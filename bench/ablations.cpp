@@ -1,0 +1,103 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//   A1  increment detection off (Sec. 5.4): increment targets become
+//       overwrites and self-reads become adjoint increments — more pairs,
+//       and possibly lost proofs.
+//   A2  activity pruning off (Sec. 5.4): every real array is questioned.
+//   A3  knowledge-consistency safeguard off (Sec. 5.5): fewer queries.
+//   A4  dimension rule off: only flattened-offset proofs remain; per-column
+//       accesses of multi-dimensional arrays become unprovable.
+#include <iostream>
+
+#include "driver/report.h"
+#include "formad/formad.h"
+#include "kernels/gfmc.h"
+#include "kernels/greengauss.h"
+#include "kernels/lbm.h"
+#include "kernels/stencil.h"
+#include "parser/parser.h"
+
+using namespace formad;
+
+namespace {
+
+struct Case {
+  std::string name;
+  kernels::KernelSpec spec;
+};
+
+struct Variant {
+  std::string name;
+  core::AnalyzeOptions opts;
+};
+
+std::string summarize(const core::KernelAnalysis& a) {
+  int safe = 0, unsafe = 0;
+  for (const auto& r : a.regions)
+    for (const auto& v : r.vars) (v.safe ? safe : unsafe)++;
+  return std::to_string(safe) + " safe / " + std::to_string(unsafe) +
+         " unsafe, " + std::to_string(a.queries()) + " queries, model " +
+         std::to_string(a.modelAssertions());
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Case> cases = {
+      {"stencil1", kernels::stencilSpec(1)},
+      {"stencil8", kernels::stencilSpec(8)},
+      {"gfmc", kernels::gfmcSplitSpec()},
+      {"gfmc*", kernels::gfmcFusedSpec()},
+      {"lbm", kernels::lbmSpec()},
+      {"greengauss", kernels::greenGaussSpec()},
+  };
+
+  std::vector<Variant> variants;
+  variants.push_back({"baseline", {}});
+  {
+    core::AnalyzeOptions o;
+    o.model.incrementDetection = false;
+    variants.push_back({"A1 no-increment-detection", o});
+  }
+  {
+    core::AnalyzeOptions o;
+    o.model.activityPruning = false;
+    variants.push_back({"A2 no-activity-pruning", o});
+  }
+  {
+    core::AnalyzeOptions o;
+    o.exploit.checkKnowledgeConsistency = false;
+    variants.push_back({"A3 no-consistency-checks", o});
+  }
+  {
+    core::AnalyzeOptions o;
+    o.exploit.useDimensionRule = false;
+    variants.push_back({"A4 no-dimension-rule", o});
+  }
+
+  std::cout << "\n### FormAD ablations (verdicts and query counts)\n\n";
+  driver::Table table({"kernel", "variant", "result"});
+  for (const auto& c : cases) {
+    auto kernel = parser::parseKernel(c.spec.source);
+    for (const auto& v : variants) {
+      auto a = core::analyzeKernel(*kernel, c.spec.independents,
+                                   c.spec.dependents, v.opts);
+      table.addRow({c.name, v.name, summarize(a)});
+    }
+  }
+  std::cout << table.str();
+  std::cout <<
+      "\nReadings:\n"
+      "  A1: without increment detection the compact stencils lose their\n"
+      "      read-only adjoint of unew (extra pairs), though knowledge\n"
+      "      still proves them; pair counts rise everywhere.\n"
+      "  A2: without activity pruning, inactive arrays are questioned too;\n"
+      "      the stencils' (inactive) weight arrays are then flagged unsafe\n"
+      "      — activity analysis is what keeps them out of the adjoint.\n"
+      "  A3: dropping the paper's assert(check()==SAT) safeguard removes\n"
+      "      one query per knowledge assertion (compare the totals), at\n"
+      "      the price of not detecting racy primals.\n"
+      "  A4: without the per-dimension rule, only exact-match offset\n"
+      "      proofs survive; GFMC's spin-flip accesses (disjoint in the\n"
+      "      walker dimension) become unprovable.\n\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "driver/driver.h"
+#include "driver/report.h"
+#include "parser/parser.h"
+
+namespace formad::bench {
+
+using driver::AdjointMode;
+using exec::ArrayValue;
+using exec::ExecMode;
+using exec::ExecOptions;
+using exec::Executor;
+using exec::Inputs;
+using exec::RunProfile;
+
+namespace {
+
+/// Binds zero-filled adjoint arrays for every adjoint parameter (their
+/// contents do not affect operation counts).
+void bindAdjoints(Inputs& io,
+                  const std::map<std::string, std::string>& adjointParams) {
+  for (const auto& [p, pb] : adjointParams) {
+    const ArrayValue& a = io.array(p);
+    std::vector<long long> dims;
+    for (int k = 0; k < a.rank(); ++k) dims.push_back(a.dim(k));
+    ArrayValue& b = io.bindArray(pb, ArrayValue::reals(dims));
+    b.fill(1e-3);
+  }
+}
+
+struct Profiled {
+  RunProfile profile;
+  size_t tapePeak = 0;
+};
+
+Profiled profileKernel(const ir::Kernel& kernel, const FigureSetup& setup,
+                       const std::map<std::string, std::string>* adjParams) {
+  Executor ex(kernel);
+  Inputs io;
+  setup.bind(io);
+  if (adjParams != nullptr) bindAdjoints(io, *adjParams);
+  exec::ExecStats st = ex.run(io, ExecOptions{ExecMode::Profile, 1});
+  return Profiled{std::move(st.profile), st.tapePeakBytes};
+}
+
+}  // namespace
+
+FigureResult runFigure(const FigureSetup& setup) {
+  auto primal = parser::parseKernel(setup.spec.source);
+
+  FigureResult result;
+  result.versions = {"primal", "adj-serial", "adj-formad", "adj-atomic",
+                     "adj-reduction"};
+
+  // Primal.
+  Profiled primalProf = profileKernel(*primal, setup, nullptr);
+  result.serialSeconds["primal"] =
+      exec::serialTime(primalProf.profile, setup.params) * setup.repetitions;
+  for (int t : setup.threads)
+    result.seconds["primal"][t] =
+        exec::runTime(primalProf.profile, setup.params, t) * setup.repetitions;
+
+  // Adjoint versions.
+  const std::pair<std::string, AdjointMode> adjoints[] = {
+      {"adj-serial", AdjointMode::Serial},
+      {"adj-formad", AdjointMode::FormAD},
+      {"adj-atomic", AdjointMode::Atomic},
+      {"adj-reduction", AdjointMode::Reduction},
+  };
+  for (const auto& [label, mode] : adjoints) {
+    // The paper's adjoint timings reflect the adjoint computation itself;
+    // when nothing needs taping, the primal forward sweep is dropped.
+    auto dr = driver::differentiate(*primal, setup.spec.independents,
+                                    setup.spec.dependents, mode,
+                                    /*omitTapeFreePrimalSweep=*/true);
+    Profiled prof = profileKernel(*dr.adjoint, setup, &dr.adjointParams);
+    result.tapePeakBytes[label] = prof.tapePeak;
+    double priv = 0;
+    for (const auto& lp : prof.profile.loops) priv += lp.reductionBytes;
+    result.privatizedBytes[label] = priv;
+    result.serialSeconds[label] =
+        exec::serialTime(prof.profile, setup.params) * setup.repetitions;
+    for (int t : setup.threads)
+      result.seconds[label][t] =
+          exec::runTime(prof.profile, setup.params, t) * setup.repetitions;
+  }
+  return result;
+}
+
+void printFigure(const FigureSetup& setup, const FigureResult& result) {
+  std::cout << "\n### " << setup.title << "\n\n";
+
+  {
+    std::vector<std::string> header = {"version", "serial"};
+    for (int t : setup.threads) header.push_back(std::to_string(t) + "T");
+    driver::Table abs(header);
+    for (const auto& v : result.versions) {
+      std::vector<std::string> row = {v,
+                                      driver::fmt(result.serialSeconds.at(v))};
+      for (int t : setup.threads)
+        row.push_back(driver::fmt(result.seconds.at(v).at(t)));
+      abs.addRow(std::move(row));
+    }
+    std::cout << "Absolute time (simulated seconds):\n" << abs.str();
+  }
+
+  {
+    std::vector<std::string> header = {"version"};
+    for (int t : setup.threads) header.push_back(std::to_string(t) + "T");
+    driver::Table sp(header);
+    for (const auto& v : result.versions) {
+      // Paper convention: speedups are relative to the *serial* program of
+      // the same kind (primal vs primal-serial, adjoints vs adj-serial).
+      double base = v == "primal" ? result.serialSeconds.at("primal")
+                                  : result.serialSeconds.at("adj-serial");
+      std::vector<std::string> row = {v};
+      for (int t : setup.threads)
+        row.push_back(driver::fmtSpeedup(base / result.seconds.at(v).at(t)));
+      sp.addRow(std::move(row));
+    }
+    std::cout << "\nParallel speedup vs. serial baseline:\n" << sp.str();
+  }
+
+  {
+    // Paper (Sec. 7): "the program versions with reduction pragmas have a
+    // significantly larger memory footprint ... whether or not atomics are
+    // used does not significantly affect the memory footprint."
+    const int maxT = setup.params.maxCores;
+    driver::Table mem({"version", "tape peak",
+                       "privatized copies @" + std::to_string(maxT) + "T"});
+    for (const auto& v : result.versions) {
+      if (v == "primal") continue;
+      auto tp = result.tapePeakBytes.find(v);
+      auto pv = result.privatizedBytes.find(v);
+      auto mb = [](double b) { return driver::fmt(b / 1048576.0, 2) + " MiB"; };
+      mem.addRow({v,
+                  tp == result.tapePeakBytes.end()
+                      ? "-" : mb(static_cast<double>(tp->second)),
+                  pv == result.privatizedBytes.end() || pv->second == 0
+                      ? "0" : mb(maxT * pv->second)});
+    }
+    std::cout << "\nMemory overhead per kernel application:\n" << mem.str();
+  }
+
+  if (!setup.paperNotes.empty()) {
+    std::cout << "\nPaper reference points:\n";
+    for (const auto& [what, value] : setup.paperNotes)
+      std::cout << "  " << what << ": " << value << "\n";
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace formad::bench

@@ -1,0 +1,61 @@
+// Shared driver for the figure benchmarks (paper Figs. 3-10).
+//
+// For one benchmark kernel this driver
+//   1. builds the primal and the four adjoint program versions of Sec. 7
+//      (Adjoint Serial / FormAD / Atomic / Reduction);
+//   2. profiles one application of each with the interpreter (operation
+//      counts per loop iteration);
+//   3. simulates wall times on the paper's 18-core socket via the
+//      calibrated cost model (see DESIGN.md — this container has one core,
+//      so scalability is simulated from measured operation mixes);
+//   4. prints the absolute-time table and the speedup table, side by side
+//      with the paper's reported reference points.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/costmodel.h"
+#include "exec/interp.h"
+#include "kernels/spec.h"
+
+namespace formad::bench {
+
+struct FigureSetup {
+  std::string title;           // e.g. "small stencil (Figs. 3 and 5)"
+  kernels::KernelSpec spec;
+  std::function<void(exec::Inputs&)> bind;
+  /// How many times the paper applies the kernel (e.g. 1000 sweeps).
+  double repetitions = 1;
+  std::vector<int> threads = {1, 2, 4, 8, 18};
+  exec::CostParams params;
+
+  /// Paper reference points, printed next to our numbers:
+  /// label -> (description, seconds).
+  std::vector<std::pair<std::string, std::string>> paperNotes;
+};
+
+/// Simulated absolute seconds for every program version and thread count.
+struct FigureResult {
+  // versions in print order: primal, adj-serial, adj-formad, adj-atomic,
+  // adj-reduction
+  std::vector<std::string> versions;
+  std::map<std::string, double> serialSeconds;          // version -> serial
+  std::map<std::string, std::map<int, double>> seconds; // version x threads
+  std::map<std::string, size_t> tapePeakBytes;
+  /// Privatized (reduction-clause) bytes per thread, summed over the
+  /// version's parallel loops — the memory-footprint cost the paper notes
+  /// for the reduction versions (Sec. 7, remark before 7.1).
+  std::map<std::string, double> privatizedBytes;
+};
+
+/// Runs the pipeline and returns the simulated series.
+[[nodiscard]] FigureResult runFigure(const FigureSetup& setup);
+
+/// Prints the absolute-time and speedup tables plus paper notes.
+void printFigure(const FigureSetup& setup, const FigureResult& result);
+
+}  // namespace formad::bench

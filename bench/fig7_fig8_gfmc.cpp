@@ -1,0 +1,36 @@
+// Reproduces paper Figures 7 and 8: absolute run time and parallel speedup
+// of the GFMC kernel (split version: dynamic spin-exchange loop + regular
+// spin-flip loop), 500 repetitions.
+#include "bench_common.h"
+#include "kernels/gfmc.h"
+
+int main() {
+  using namespace formad;
+  bench::FigureSetup setup;
+  setup.title = "GFMC — paper Fig. 7 (absolute) and Fig. 8 (speedup)";
+  setup.spec = kernels::gfmcSplitSpec();
+  kernels::GfmcConfig cfg;
+  cfg.ns = 96;
+  cfg.nw = 4096;
+  cfg.npair = 96;
+  cfg.nk = 16;
+  setup.bind = [cfg](exec::Inputs& io) {
+    kernels::Rng rng(2022);
+    kernels::bindGfmc(io, cfg, rng);
+  };
+  setup.repetitions = 500;
+  setup.paperNotes = {
+      {"primal serial", "0.655 s"},
+      {"adjoint serial", "2.23 s"},
+      {"adj-FormAD best (18T)", "0.266 s"},
+      {"adj-reduction best (4T)", "1.56 s (5.88x slower than FormAD)"},
+      {"adj-atomic", ">= 33.9 s"},
+      {"primal speedup (18T)", "7.35x"},
+      {"adj-FormAD speedup (18T)", "8.39x"},
+      {"adj-reduction peak", "1.43x at 4T"},
+  };
+
+  auto result = bench::runFigure(setup);
+  bench::printFigure(setup, result);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Outlook experiment (paper Sec. 8, future work): "We postulate that the
+// method should in principle also apply to other shared-memory-parallel
+// systems including GPUs, where avoidance of reductions or atomic updates
+// could be even more beneficial."
+//
+// We probe that claim with the cost model: an accelerator-style parameter
+// set (far more hardware threads, cheaper flops per lane, atomics with a
+// steeper contention slope, privatization over thousands of lanes being
+// prohibitive) applied to the same measured operation mixes. The gap
+// between the FormAD version and the guarded versions widens with the
+// thread count — the paper's postulate, quantified.
+#include <iostream>
+
+#include "bench_common.h"
+#include "driver/report.h"
+#include "kernels/gfmc.h"
+#include "kernels/stencil.h"
+
+using namespace formad;
+
+namespace {
+
+exec::CostParams acceleratorParams() {
+  exec::CostParams p;           // start from the CPU-socket calibration
+  p.maxCores = 1024;            // lanes
+  p.flop /= 6;                  // per-lane throughput of a wide device
+  p.intop /= 6;
+  p.seqByte /= 4;
+  p.seqBandwidth *= 3;          // HBM-class streaming
+  p.randBandwidth *= 4;
+  p.atomicOp *= 1.5;            // device atomics
+  p.atomicContention = 6;       // thousands of lanes hammering one line
+  p.shadowMergeByte *= 2;       // privatized copies x lanes are hopeless
+  p.regionOverhead = 10e-6;     // kernel launch
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::FigureSetup setup;
+  setup.title = "GPU outlook (paper Sec. 8): small stencil on a simulated "
+                "1024-lane accelerator";
+  setup.spec = kernels::stencilSpec(1);
+  setup.bind = [](exec::Inputs& io) {
+    kernels::Rng rng(2022);
+    kernels::bindStencil(io, 1, 1'000'000, rng);
+  };
+  setup.repetitions = 1000;
+  setup.threads = {32, 128, 512, 1024};
+  setup.params = acceleratorParams();
+
+  auto result = bench::runFigure(setup);
+  bench::printFigure(setup, result);
+
+  // Headline ratio: how much worse the guarded versions get as lanes grow.
+  driver::Table t({"lanes", "atomic / FormAD", "reduction / FormAD"});
+  for (int lanes : setup.threads) {
+    double f = result.seconds.at("adj-formad").at(lanes);
+    t.addRow({std::to_string(lanes),
+              driver::fmt(result.seconds.at("adj-atomic").at(lanes) / f, 1) + "x",
+              driver::fmt(result.seconds.at("adj-reduction").at(lanes) / f, 1) + "x"});
+  }
+  std::cout << "Penalty of keeping safeguards (the paper's postulate —\n"
+               "'even more beneficial' on accelerators):\n"
+            << t.str() << "\n";
+  return 0;
+}

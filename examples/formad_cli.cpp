@@ -1,0 +1,123 @@
+// formad_cli: a Tapenade-style command-line front end.
+//
+//   formad_cli <file.fad> -head <kernel> -indep a,b -dep c [-mode MODE]
+//              [-analyze-only] [-emit-c]
+//
+// Reads a DSL source file, runs the FormAD analysis, and prints the
+// generated adjoint kernel (DSL by default, a compilable C translation
+// unit with -emit-c). MODE is one of: formad (default), atomic,
+// reduction, serial, plain, tangent.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ad/forward.h"
+#include "codegen/cgen.h"
+#include "driver/driver.h"
+#include "formad/formad.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+
+using namespace formad;
+
+namespace {
+
+std::vector<std::string> splitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage() {
+  std::cerr
+      << "usage: formad_cli <file> -head <kernel> -indep a,b -dep c\n"
+         "                  [-mode formad|atomic|reduction|serial|plain|"
+         "tangent]\n"
+         "                  [-analyze-only]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string file = argv[1];
+  std::string head;
+  std::vector<std::string> indeps, deps;
+  std::string mode = "formad";
+  bool analyzeOnly = false;
+  bool emitC = false;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-head") head = next();
+    else if (arg == "-indep") indeps = splitCommas(next());
+    else if (arg == "-dep") deps = splitCommas(next());
+    else if (arg == "-mode") mode = next();
+    else if (arg == "-analyze-only") analyzeOnly = true;
+    else if (arg == "-emit-c") emitC = true;
+    else return usage();
+  }
+
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "cannot open " << file << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    ir::Program program = parser::parseProgram(buf.str());
+    if (head.empty() && program.kernels().size() == 1)
+      head = program.kernels()[0]->name;
+    const ir::Kernel& primal = program.get(head);
+    if (indeps.empty() || deps.empty()) {
+      std::cerr << "need -indep and -dep\n";
+      return 2;
+    }
+
+    if (mode == "tangent") {
+      ad::TangentOptions topts;
+      topts.independents = indeps;
+      topts.dependents = deps;
+      auto tr = ad::buildTangent(primal, topts);
+      std::cout << (emitC ? codegen::emitC(*tr.tangent)
+                          : ir::printKernel(*tr.tangent));
+      return 0;
+    }
+
+    auto analysis = driver::analyze(primal, indeps, deps);
+    std::cerr << core::describe(analysis);
+    if (analyzeOnly) return 0;
+
+    driver::AdjointMode m;
+    if (mode == "formad") m = driver::AdjointMode::FormAD;
+    else if (mode == "atomic") m = driver::AdjointMode::Atomic;
+    else if (mode == "reduction") m = driver::AdjointMode::Reduction;
+    else if (mode == "serial") m = driver::AdjointMode::Serial;
+    else if (mode == "plain") m = driver::AdjointMode::Plain;
+    else return usage();
+
+    auto dr = driver::differentiate(primal, indeps, deps, m);
+    std::cout << (emitC ? codegen::emitC(*dr.adjoint)
+                        : ir::printKernel(*dr.adjoint));
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Domain example: GFMC walker propagation (paper Sec. 7.2). Contrasts the
+// split kernel (two parallel loops — FormAD proves everything safe) with
+// the fused original (GFMC*: the partner-walker read makes crb's adjoint
+// increments unprovable, so they stay guarded), and shows the per-loop
+// guard decisions plus tape usage of the nonlinear adjoint.
+#include <iostream>
+
+#include "driver/driver.h"
+#include "driver/report.h"
+#include "exec/interp.h"
+#include "formad/formad.h"
+#include "kernels/gfmc.h"
+#include "parser/parser.h"
+
+using namespace formad;
+
+namespace {
+
+void show(const kernels::KernelSpec& spec) {
+  auto primal = parser::parseKernel(spec.source);
+  std::cout << "=== " << spec.name << " ===\n";
+  auto analysis = driver::analyze(*primal, spec.independents, spec.dependents);
+  std::cout << core::describe(analysis);
+
+  auto dr = driver::differentiate(*primal, spec.independents, spec.dependents,
+                                  driver::AdjointMode::FormAD);
+  driver::Table t({"parallel loop", "variable", "guard in FormAD adjoint"});
+  int loopIdx = 0;
+  for (const auto& rep : dr.loopReports) {
+    for (const auto& [var, guard] : rep.decisions) {
+      const char* g = guard == ir::Guard::None     ? "shared (no safeguard)"
+                      : guard == ir::Guard::Atomic ? "ATOMIC"
+                                                   : "reduction";
+      t.addRow({"#" + std::to_string(loopIdx), var, g});
+    }
+    ++loopIdx;
+  }
+  std::cout << t.str() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  show(kernels::gfmcSplitSpec());
+  show(kernels::gfmcFusedSpec());
+
+  // Run the split adjoint and report tape traffic: the nonlinear spin
+  // exchange must save intermediate values (xee/xmm and the overwritten
+  // amplitudes), which is why the adjoint costs ~4-5x the primal.
+  auto spec = kernels::gfmcSplitSpec();
+  auto primal = parser::parseKernel(spec.source);
+  auto dr = driver::differentiate(*primal, spec.independents, spec.dependents,
+                                  driver::AdjointMode::FormAD);
+
+  kernels::GfmcConfig cfg;
+  cfg.ns = 32;
+  cfg.nw = 256;
+  cfg.npair = 24;
+  cfg.nk = 8;
+  exec::Inputs io;
+  kernels::Rng rng(3);
+  kernels::bindGfmc(io, cfg, rng);
+  for (const auto& [p, pb] : dr.adjointParams) {
+    const auto& a = io.array(p);
+    std::vector<long long> dims;
+    for (int k = 0; k < a.rank(); ++k) dims.push_back(a.dim(k));
+    auto& b = io.bindArray(pb, exec::ArrayValue::reals(dims));
+    b.fill(1.0);
+  }
+  exec::Executor ex(*dr.adjoint);
+  auto st = ex.run(io, {exec::ExecMode::OpenMP, 2});
+  std::cout << "split adjoint executed on " << cfg.nw << " walkers x "
+            << cfg.ns << " spin states\n";
+  std::cout << "  peak tape: " << st.tapePeakBytes
+            << " bytes, drained: " << (st.tapeDrained ? "yes" : "no") << "\n";
+  std::cout << "  d(sum outputs)/d cr[0,0] = "
+            << io.array("crb").realAt(0) << "\n";
+  return 0;
+}

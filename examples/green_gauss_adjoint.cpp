@@ -1,0 +1,80 @@
+// Domain example: adjoint of an unstructured finite-volume gradient
+// operator (paper Sec. 7.4). Shows the full production flow:
+//   mesh + coloring -> DSL kernel -> FormAD analysis -> adjoint ->
+//   mesh sensitivities, with a finite-difference spot check.
+#include <cmath>
+#include <iostream>
+
+#include "driver/driver.h"
+#include "driver/report.h"
+#include "exec/interp.h"
+#include "formad/formad.h"
+#include "kernels/greengauss.h"
+#include "parser/parser.h"
+
+int main() {
+  using namespace formad;
+
+  auto spec = kernels::greenGaussSpec();
+  auto primal = parser::parseKernel(spec.source);
+
+  // FormAD proves the colored edge loop safe despite the data-dependent
+  // node indices (edge2nodes), because the coloring that makes the primal
+  // race-free makes the adjoint race-free too.
+  auto analysis = driver::analyze(*primal, spec.independents, spec.dependents);
+  std::cout << core::describe(analysis) << "\n";
+
+  auto adj = driver::differentiate(*primal, spec.independents,
+                                   spec.dependents,
+                                   driver::AdjointMode::FormAD);
+
+  // Objective: J = sum_k w_k grad[k] with node weights w_k (a uniform sum
+  // would telescope to zero on this mesh: every edge adds and subtracts
+  // the same flux). One adjoint run yields dJ/d dv for every node.
+  kernels::GreenGaussConfig cfg;
+  cfg.nodes = 5000;
+  auto weight = [](long long k) {
+    return 0.25 + 0.5 * static_cast<double>(k % 7);
+  };
+  exec::Inputs io;
+  kernels::Rng rng(7);
+  kernels::bindGreenGauss(io, cfg, rng);
+  io.bindArray("dvb", exec::ArrayValue::reals({cfg.nodes}));
+  auto& gradb = io.bindArray("gradb", exec::ArrayValue::reals({cfg.nodes}));
+  for (long long k = 0; k < cfg.nodes; ++k) gradb.realAt(k) = weight(k);
+
+  exec::Executor ex(*adj.adjoint);
+  (void)ex.run(io, {exec::ExecMode::OpenMP, 2});
+
+  // Finite-difference spot check on node 17.
+  auto objective = [&](double delta) {
+    exec::Inputs p;
+    kernels::Rng r2(7);
+    kernels::bindGreenGauss(p, cfg, r2);
+    p.array("dv").realAt(17) += delta;
+    exec::Executor pex(*primal);
+    (void)pex.run(p);
+    double J = 0;
+    const auto& grad = p.array("grad").realData();
+    for (long long k = 0; k < cfg.nodes; ++k)
+      J += weight(k) * grad[static_cast<size_t>(k)];
+    return J;
+  };
+  double fd = (objective(1e-6) - objective(-1e-6)) / 2e-6;
+  double adjVal = io.array("dvb").realAt(17);
+
+  driver::Table t({"quantity", "value"});
+  t.addRow({"dJ/d dv[17] (adjoint)", driver::fmt(adjVal, 9)});
+  t.addRow({"dJ/d dv[17] (finite diff)", driver::fmt(fd, 9)});
+  t.addRow({"rel. difference",
+            driver::fmt(std::fabs(adjVal - fd) /
+                            std::max(1.0, std::fabs(fd)), 12)});
+  std::cout << t.str();
+
+  // The adjoint of this kernel needs no tape at all: the node indices are
+  // recomputed per iteration and the branch condition is re-evaluated.
+  std::cout << "\nThe generated adjoint is tape-free and atomic-free; all\n"
+               "sensitivities of the " << cfg.nodes
+            << "-node mesh come from one adjoint sweep.\n";
+  return 0;
+}

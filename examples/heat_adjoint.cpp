@@ -1,0 +1,94 @@
+// Domain example: adjoint of a time-dependent PDE solve.
+//
+// Integrates the 1-D heat equation for T explicit steps and computes the
+// sensitivity of a terminal-time objective w.r.t. the *initial* condition
+// with one checkpointed backward pass — the standard inverse-design /
+// data-assimilation workflow that motivates reverse-mode AD (paper
+// Sec. 4.1), stacked on top of FormAD-verified parallel step adjoints.
+#include <cmath>
+#include <iostream>
+
+#include "driver/driver.h"
+#include "driver/report.h"
+#include "exec/checkpoint.h"
+#include "exec/interp.h"
+#include "formad/formad.h"
+#include "parser/parser.h"
+
+int main() {
+  using namespace formad;
+
+  auto primal = parser::parseKernel(R"(
+kernel heat(n: int in, dt: real in, u: real[] inout, tmp: real[] inout) {
+  parallel for i = 1 : n - 2 {
+    tmp[i] = u[i] + dt * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+  }
+  parallel for i2 = 1 : n - 2 {
+    u[i2] = tmp[i2];
+  }
+}
+)");
+
+  // FormAD proves both loops of the step safe (pure stencil accesses), so
+  // the per-step adjoint runs without atomics.
+  auto analysis = driver::analyze(*primal, {"u"}, {"u"});
+  std::cout << core::describe(analysis) << "\n";
+  auto dr = driver::differentiate(*primal, {"u"}, {"u"},
+                                  driver::AdjointMode::FormAD);
+
+  const long long n = 2000;
+  const int steps = 400;
+  exec::Inputs io;
+  io.bindInt("n", n);
+  io.bindReal("dt", 0.24);
+  auto& u = io.bindArray("u", exec::ArrayValue::reals({n}));
+  for (long long i = 0; i < n; ++i)
+    u.realAt(i) = std::exp(-0.001 * std::pow(static_cast<double>(i - n / 2), 2));
+  std::vector<double> u0 = u.realData();
+  io.bindArray("tmp", exec::ArrayValue::reals({n}));
+
+  // Objective: the temperature at a sensor location at final time.
+  const long long sensor = n / 3;
+  auto& ub = io.bindArray("ub", exec::ArrayValue::reals({n}));
+  ub.realAt(sensor) = 1.0;
+  io.bindArray("tmpb", exec::ArrayValue::reals({n}));
+
+  exec::TimeLoopOptions opts;
+  opts.steps = steps;
+  opts.exec = {exec::ExecMode::OpenMP, 2};
+  auto stats =
+      exec::runTimeLoopAdjoint(*primal, *dr.adjoint, io, {"u", "tmp"}, opts);
+
+  std::cout << "checkpointed adjoint of " << steps << " heat steps on " << n
+            << " points:\n";
+  driver::Table t({"metric", "value"});
+  t.addRow({"snapshots taken", std::to_string(stats.snapshotsTaken)});
+  t.addRow({"snapshot memory",
+            std::to_string(stats.snapshotBytes / 1024) + " KiB"});
+  t.addRow({"primal steps run (fwd + replay)",
+            std::to_string(stats.primalStepsRun)});
+  t.addRow({"adjoint steps run", std::to_string(stats.adjointStepsRun)});
+  std::cout << t.str() << "\n";
+
+  // The gradient dJ/du0: a diffused bump centered at the sensor.
+  std::cout << "dJ/du0 around the sensor (every 40th point):\n  ";
+  for (long long i = sensor - 200; i <= sensor + 200; i += 40)
+    std::cout << driver::fmt(io.array("ub").realAt(i), 5) << " ";
+  std::cout << "\n\nFinite-difference check at the sensor's initial point: ";
+  auto objective = [&](double delta) {
+    exec::Inputs p;
+    p.bindInt("n", n);
+    p.bindReal("dt", 0.24);
+    auto& uu = p.bindArray("u", exec::ArrayValue::reals({n}));
+    uu.realData() = u0;
+    uu.realAt(sensor) += delta;
+    p.bindArray("tmp", exec::ArrayValue::reals({n}));
+    exec::Executor ex(*primal);
+    for (int s = 0; s < steps; ++s) (void)ex.run(p);
+    return p.array("u").realAt(sensor);
+  };
+  double fd = (objective(1e-6) - objective(-1e-6)) / 2e-6;
+  std::cout << "adjoint " << driver::fmt(io.array("ub").realAt(sensor), 8)
+            << " vs FD " << driver::fmt(fd, 8) << "\n";
+  return 0;
+}

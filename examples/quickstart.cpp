@@ -1,0 +1,64 @@
+// Quickstart: differentiate the paper's Fig. 2 loop and see FormAD remove
+// the atomic from the adjoint increment.
+//
+//   parallel for i { y[c[i]] = x[c[i] + 7]; }
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "driver/driver.h"
+#include "exec/interp.h"
+#include "formad/formad.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+
+int main() {
+  using namespace formad;
+
+  // 1. Write the primal kernel in the DSL and parse it.
+  auto primal = parser::parseKernel(R"(
+kernel gather7(n: int in, c: int[] in, x: real[] in, y: real[] inout) {
+  parallel for i = 0 : n - 1 {
+    y[c[i]] = x[c[i] + 7];
+  }
+}
+)");
+  std::cout << "primal:\n" << ir::printKernel(*primal) << "\n";
+
+  // 2. Run the FormAD analysis: assuming the primal is correctly
+  //    parallelized, c(i) != c(i') across iterations, hence the adjoint
+  //    increments xb[c(i)+7] cannot collide either.
+  auto analysis = driver::analyze(*primal, {"x"}, {"y"});
+  std::cout << "FormAD verdicts:\n" << core::describe(analysis) << "\n";
+
+  // 3. Generate the adjoint twice: with blanket atomics, and with FormAD.
+  auto atomic = driver::differentiate(*primal, {"x"}, {"y"},
+                                      driver::AdjointMode::Atomic);
+  auto formad = driver::differentiate(*primal, {"x"}, {"y"},
+                                      driver::AdjointMode::FormAD);
+  std::cout << "adjoint with blanket atomics:\n"
+            << ir::printKernel(*atomic.adjoint) << "\n";
+  std::cout << "adjoint with FormAD (no safeguards needed):\n"
+            << ir::printKernel(*formad.adjoint) << "\n";
+
+  // 4. Execute the FormAD adjoint: seed yb, get dy/dx accumulated in xb.
+  const long long n = 8;
+  exec::Inputs io;
+  io.bindInt("n", n);
+  auto& c = io.bindArray("c", exec::ArrayValue::ints({n}));
+  for (long long i = 0; i < n; ++i) c.intAt(i) = (3 * i + 1) % n;  // permutation
+  auto& x = io.bindArray("x", exec::ArrayValue::reals({n + 7}));
+  for (long long i = 0; i < n + 7; ++i) x.realAt(i) = 0.1 * static_cast<double>(i);
+  io.bindArray("y", exec::ArrayValue::reals({n}));
+  io.bindArray("xb", exec::ArrayValue::reals({n + 7}));
+  auto& yb = io.bindArray("yb", exec::ArrayValue::reals({n}));
+  yb.fill(1.0);  // d(sum y)/dx
+
+  exec::Executor ex(*formad.adjoint);
+  auto stats = ex.run(io, {exec::ExecMode::OpenMP, 2});
+  std::cout << "gradient d(sum y)/dx = [ ";
+  for (long long i = 0; i < n + 7; ++i) std::cout << io.array("xb").realAt(i) << " ";
+  std::cout << "]\n(tape drained: " << (stats.tapeDrained ? "yes" : "no")
+            << ")\n";
+  return 0;
+}

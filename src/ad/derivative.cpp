@@ -1,0 +1,207 @@
+#include "ad/derivative.h"
+
+#include "ir/builder.h"
+
+namespace formad::ad {
+
+using namespace formad::ir;
+namespace b = formad::ir::build;
+
+bool isZeroLiteral(const Expr& e) {
+  return (e.kind() == ExprKind::RealLit && e.as<RealLit>().value == 0.0) ||
+         (e.kind() == ExprKind::IntLit && e.as<IntLit>().value == 0);
+}
+
+bool isOneLiteral(const Expr& e) {
+  return (e.kind() == ExprKind::RealLit && e.as<RealLit>().value == 1.0) ||
+         (e.kind() == ExprKind::IntLit && e.as<IntLit>().value == 1);
+}
+
+ExprPtr sAdd(ExprPtr a, ExprPtr b2) {
+  if (isZeroLiteral(*a)) return b2;
+  if (isZeroLiteral(*b2)) return a;
+  return b::add(std::move(a), std::move(b2));
+}
+
+ExprPtr sSub(ExprPtr a, ExprPtr b2) {
+  if (isZeroLiteral(*b2)) return a;
+  if (isZeroLiteral(*a)) return sNeg(std::move(b2));
+  return b::sub(std::move(a), std::move(b2));
+}
+
+ExprPtr sMul(ExprPtr a, ExprPtr b2) {
+  if (isZeroLiteral(*a) || isZeroLiteral(*b2)) return b::rconst(0.0);
+  if (isOneLiteral(*a)) return b2;
+  if (isOneLiteral(*b2)) return a;
+  return b::mul(std::move(a), std::move(b2));
+}
+
+ExprPtr sDiv(ExprPtr a, ExprPtr b2) {
+  if (isZeroLiteral(*a)) return b::rconst(0.0);
+  if (isOneLiteral(*b2)) return a;
+  return b::div(std::move(a), std::move(b2));
+}
+
+ExprPtr sNeg(ExprPtr a) {
+  if (isZeroLiteral(*a)) return a;
+  if (a->kind() == ExprKind::RealLit)
+    return b::rconst(-a->as<RealLit>().value);
+  if (a->kind() == ExprKind::IntLit) return b::iconst(-a->as<IntLit>().value);
+  if (a->kind() == ExprKind::Unary && a->as<Unary>().op == UnOp::Neg)
+    return a->as<Unary>().operand->clone();
+  return b::neg(std::move(a));
+}
+
+namespace {
+
+bool contains(const Expr& e, const Expr* occ) {
+  if (&e == occ) return true;
+  switch (e.kind()) {
+    case ExprKind::ArrayRef: {
+      // Index expressions are integer-valued: an active occurrence cannot
+      // live there, and descending would produce a wrong chain factor.
+      return false;
+    }
+    case ExprKind::Unary:
+      return contains(*e.as<Unary>().operand, occ);
+    case ExprKind::Binary:
+      return contains(*e.as<Binary>().lhs, occ) ||
+             contains(*e.as<Binary>().rhs, occ);
+    case ExprKind::Call: {
+      for (const auto& a : e.as<Call>().args)
+        if (contains(*a, occ)) return true;
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// d(call)/d(arg i) as an expression over clones of the call's arguments.
+ExprPtr intrinsicPartial(const Call& c, size_t argIndex) {
+  const Expr& x = *c.args[0];
+  switch (c.fn) {
+    case Intrinsic::Sin:
+      return b::call(Intrinsic::Cos, b::exprs(x.clone()));
+    case Intrinsic::Cos:
+      return sNeg(b::call(Intrinsic::Sin, b::exprs(x.clone())));
+    case Intrinsic::Tan: {
+      // 1 / cos(x)^2
+      auto cosx = b::call(Intrinsic::Cos, b::exprs(x.clone()));
+      auto cosx2 = b::call(Intrinsic::Cos, b::exprs(x.clone()));
+      return sDiv(b::rconst(1.0), b::mul(std::move(cosx), std::move(cosx2)));
+    }
+    case Intrinsic::Exp:
+      return b::call(Intrinsic::Exp, b::exprs(x.clone()));
+    case Intrinsic::Log:
+      return sDiv(b::rconst(1.0), x.clone());
+    case Intrinsic::Sqrt:
+      return sDiv(b::rconst(0.5),
+                  b::call(Intrinsic::Sqrt, b::exprs(x.clone())));
+    case Intrinsic::Tanh: {
+      auto t = b::call(Intrinsic::Tanh, b::exprs(x.clone()));
+      auto t2 = b::call(Intrinsic::Tanh, b::exprs(x.clone()));
+      return sSub(b::rconst(1.0), b::mul(std::move(t), std::move(t2)));
+    }
+    case Intrinsic::Pow: {
+      const Expr& y = *c.args[1];
+      if (argIndex == 0) {
+        // y * x^(y-1)
+        auto ym1 = sSub(y.clone(), b::rconst(1.0));
+        return sMul(y.clone(), b::call(Intrinsic::Pow,
+                                       b::exprs(x.clone(), std::move(ym1))));
+      }
+      // x^y * log(x)
+      return sMul(b::call(Intrinsic::Pow, b::exprs(x.clone(), y.clone())),
+                  b::call(Intrinsic::Log, b::exprs(x.clone())));
+    }
+    case Intrinsic::Abs:
+    case Intrinsic::Min:
+    case Intrinsic::Max:
+      fail("cannot differentiate through " + to_string(c.fn) +
+           " (needs branch generation, not supported)", c.loc());
+  }
+  fail("unreachable intrinsic");
+}
+
+ExprPtr partialRec(const Expr& e, const Expr* occ) {
+  if (&e == occ) return b::rconst(1.0);
+  switch (e.kind()) {
+    case ExprKind::Unary: {
+      const auto& u = e.as<Unary>();
+      FORMAD_ASSERT(u.op == UnOp::Neg, "differentiating through '!'");
+      return sNeg(partialRec(*u.operand, occ));
+    }
+    case ExprKind::Binary: {
+      const auto& bn = e.as<Binary>();
+      bool inL = contains(*bn.lhs, occ);
+      const Expr& sub = inL ? *bn.lhs : *bn.rhs;
+      switch (bn.op) {
+        case BinOp::Add:
+          return partialRec(sub, occ);
+        case BinOp::Sub:
+          return inL ? partialRec(sub, occ) : sNeg(partialRec(sub, occ));
+        case BinOp::Mul: {
+          const Expr& other = inL ? *bn.rhs : *bn.lhs;
+          return sMul(other.clone(), partialRec(sub, occ));
+        }
+        case BinOp::Div: {
+          if (inL)  // d(a/b)/da' = (da/da') / b
+            return sDiv(partialRec(sub, occ), bn.rhs->clone());
+          // d(a/b)/db' = -a/(b*b) * db/db'
+          auto factor = sNeg(
+              sDiv(bn.lhs->clone(), b::mul(bn.rhs->clone(), bn.rhs->clone())));
+          return sMul(std::move(factor), partialRec(sub, occ));
+        }
+        default:
+          fail("active reference under non-differentiable operator " +
+               to_string(bn.op), e.loc());
+      }
+    }
+    case ExprKind::Call: {
+      const auto& c = e.as<Call>();
+      for (size_t i = 0; i < c.args.size(); ++i) {
+        if (!contains(*c.args[i], occ)) continue;
+        return sMul(intrinsicPartial(c, i), partialRec(*c.args[i], occ));
+      }
+      fail("occurrence not found under call");
+    }
+    default:
+      fail("occurrence not reachable in expression");
+  }
+}
+
+}  // namespace
+
+ExprPtr partialWrtOccurrence(const Expr& root, const Expr* occ) {
+  FORMAD_ASSERT(contains(root, occ) || &root == occ,
+                "occurrence is not inside the expression");
+  return partialRec(root, occ);
+}
+
+std::vector<const Expr*> activeOccurrences(
+    const Expr& e, const std::function<bool(const Expr&)>& isActiveRef) {
+  std::vector<const Expr*> out;
+  // Manual recursion that skips array index expressions.
+  std::function<void(const Expr&)> walk = [&](const Expr& x) {
+    if (isRef(x) && isActiveRef(x)) out.push_back(&x);
+    switch (x.kind()) {
+      case ExprKind::Unary:
+        walk(*x.as<Unary>().operand);
+        break;
+      case ExprKind::Binary:
+        walk(*x.as<Binary>().lhs);
+        walk(*x.as<Binary>().rhs);
+        break;
+      case ExprKind::Call:
+        for (const auto& a : x.as<Call>().args) walk(*a);
+        break;
+      default:
+        break;  // refs have no active children (indices are int)
+    }
+  };
+  walk(e);
+  return out;
+}
+
+}  // namespace formad::ad

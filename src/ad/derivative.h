@@ -1,0 +1,43 @@
+// Symbolic partial derivatives of right-hand sides (paper Sec. 4.1).
+//
+// For a statement  z = Op(x, y, ...)  the adjoint contribution of each
+// *occurrence* of an active reference r is  rb += zb * dOp/dr.  This module
+// computes dOp/dr as an expression tree: the product of local partials
+// along the path from the root of the rhs to the occurrence, with constant
+// folding of trivial factors.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace formad::ad {
+
+// --- simplifying constructors (fold 0/1 literals) ---
+[[nodiscard]] ir::ExprPtr sAdd(ir::ExprPtr a, ir::ExprPtr b);
+[[nodiscard]] ir::ExprPtr sSub(ir::ExprPtr a, ir::ExprPtr b);
+[[nodiscard]] ir::ExprPtr sMul(ir::ExprPtr a, ir::ExprPtr b);
+[[nodiscard]] ir::ExprPtr sDiv(ir::ExprPtr a, ir::ExprPtr b);
+[[nodiscard]] ir::ExprPtr sNeg(ir::ExprPtr a);
+[[nodiscard]] bool isZeroLiteral(const ir::Expr& e);
+[[nodiscard]] bool isOneLiteral(const ir::Expr& e);
+
+/// Partial derivative of `root` with respect to the single occurrence
+/// `occ` (a node inside `root`). Every other occurrence — even of the same
+/// variable — is treated as constant; callers emit one adjoint contribution
+/// per occurrence, which sums up to the total derivative.
+/// Throws for occurrences under non-differentiable operations (abs/min/max,
+/// comparisons); Tapenade would emit control flow there, which this
+/// reproduction does not support (documented limitation).
+[[nodiscard]] ir::ExprPtr partialWrtOccurrence(const ir::Expr& root,
+                                               const ir::Expr* occ);
+
+/// All reference occurrences (VarRef/ArrayRef nodes) in `e` for which
+/// `isActiveRef` holds. References inside array index expressions are not
+/// included (indices are integers; they cannot be active).
+[[nodiscard]] std::vector<const ir::Expr*> activeOccurrences(
+    const ir::Expr& e,
+    const std::function<bool(const ir::Expr&)>& isActiveRef);
+
+}  // namespace formad::ad

@@ -1,0 +1,143 @@
+#include "ad/forward.h"
+
+#include "ad/derivative.h"
+#include "analysis/activity.h"
+#include "analysis/symbols.h"
+#include "ir/builder.h"
+#include "ir/traversal.h"
+
+namespace formad::ad {
+
+using namespace formad::ir;
+namespace b = formad::ir::build;
+
+std::string tangentName(const std::string& primalName) {
+  return primalName + "d";
+}
+
+namespace {
+
+class TangentBuilder {
+ public:
+  TangentBuilder(const Kernel& primal, const TangentOptions& opts)
+      : primal_(primal),
+        opts_(opts),
+        syms_(analysis::verifyKernel(primal)),
+        act_(analysis::computeActivity(primal, syms_, opts.independents,
+                                       opts.dependents)) {
+    for (const auto& n : act_.active)
+      if (syms_.contains(tangentName(n)))
+        fail("tangent name '" + tangentName(n) +
+             "' collides with a primal symbol");
+  }
+
+  TangentResult run() {
+    TangentResult result;
+    auto k = std::make_unique<Kernel>();
+    k->name = opts_.name.empty() ? primal_.name + "_d" : opts_.name;
+    k->params = primal_.params;
+    for (const auto& p : primal_.params) {
+      if (!act_.isActive(p.name)) continue;
+      Param tan;
+      tan.name = tangentName(p.name);
+      tan.type = p.type;
+      tan.intent = Intent::InOut;
+      k->params.push_back(tan);
+      result.tangentParams.emplace(p.name, tan.name);
+    }
+    k->body = transformScope(primal_.body);
+    result.tangent = std::move(k);
+    return result;
+  }
+
+ private:
+  const Kernel& primal_;
+  const TangentOptions& opts_;
+  analysis::SymbolTable syms_;
+  analysis::Activity act_;
+
+  [[nodiscard]] bool refIsActiveReal(const Expr& x) const {
+    if (!isRef(x)) return false;
+    const analysis::Symbol* s = syms_.find(refName(x));
+    return s != nullptr && s->type.differentiable() &&
+           act_.isActive(refName(x));
+  }
+
+  ExprPtr tangentRefFor(const Expr& r) const {
+    if (r.kind() == ExprKind::VarRef)
+      return b::var(tangentName(r.as<VarRef>().name));
+    const auto& ar = r.as<ArrayRef>();
+    std::vector<ExprPtr> idx;
+    idx.reserve(ar.indices.size());
+    for (const auto& i : ar.indices) idx.push_back(i->clone());
+    return b::idx(tangentName(ar.name), std::move(idx));
+  }
+
+  /// Σ occ_d * d(rhs)/d(occ) over active occurrences; 0.0 if none.
+  ExprPtr tangentExpr(const Expr& rhs) const {
+    auto isActive = [this](const Expr& x) { return refIsActiveReal(x); };
+    ExprPtr sum = b::rconst(0.0);
+    for (const Expr* occ : activeOccurrences(rhs, isActive)) {
+      ExprPtr term =
+          sMul(tangentRefFor(*occ), partialWrtOccurrence(rhs, occ));
+      sum = sAdd(std::move(sum), std::move(term));
+    }
+    return sum;
+  }
+
+  StmtList transformScope(const StmtList& body) {
+    StmtList out;
+    for (const auto& sp : body) transformStmt(*sp, out);
+    return out;
+  }
+
+  void transformStmt(const Stmt& s, StmtList& out) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const auto& a = s.as<Assign>();
+        if (refIsActiveReal(*a.lhs))
+          out.push_back(b::assign(tangentRefFor(*a.lhs), tangentExpr(*a.rhs)));
+        out.push_back(a.clone());
+        break;
+      }
+      case StmtKind::DeclLocal: {
+        const auto& d = s.as<DeclLocal>();
+        if (d.type.differentiable() && act_.isActive(d.name)) {
+          ExprPtr init = d.init ? tangentExpr(*d.init) : b::rconst(0.0);
+          out.push_back(
+              b::decl(tangentName(d.name), Type{Scalar::Real, 0}, std::move(init)));
+        }
+        out.push_back(d.clone());
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = s.as<If>();
+        out.push_back(b::ifStmt(i.cond->clone(), transformScope(i.thenBody),
+                                transformScope(i.elseBody)));
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = s.as<For>();
+        auto loop = b::forLoop(f.var, f.lo->clone(), f.hi->clone(),
+                               transformScope(f.body), f.step->clone());
+        auto& fl = loop->as<For>();
+        fl.parallel = f.parallel;
+        fl.sched = f.sched;
+        fl.shared = f.shared;
+        fl.privates = f.privates;
+        out.push_back(std::move(loop));
+        break;
+      }
+      default:
+        fail("unexpected statement kind in primal kernel");
+    }
+  }
+};
+
+}  // namespace
+
+TangentResult buildTangent(const Kernel& primal, const TangentOptions& opts) {
+  return TangentBuilder(primal, opts).run();
+}
+
+}  // namespace formad::ad

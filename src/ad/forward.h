@@ -1,0 +1,40 @@
+// Source-transformation forward-mode (tangent) AD.
+//
+// For each active assignment  z = f(x, y, ...)  the tangent statement
+//     zd = xd * df/dx + yd * df/dy + ...
+// is emitted immediately *before* the primal statement, so all operands are
+// at their pre-assignment values. Tangent code has the same data-access
+// pattern as the primal (reads stay reads), so every parallelization of the
+// primal is safe for the tangent — the classic contrast with reverse mode
+// that motivates FormAD. Used here to validate adjoints through the
+// dot-product identity  <yd, yb> == <xd, xb>.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+
+namespace formad::ad {
+
+struct TangentOptions {
+  std::vector<std::string> independents;
+  std::vector<std::string> dependents;
+  std::string name;  // default "<primal>_d"
+};
+
+struct TangentResult {
+  std::unique_ptr<ir::Kernel> tangent;
+  /// Tangent parameter name for each active primal parameter.
+  std::map<std::string, std::string> tangentParams;
+};
+
+[[nodiscard]] TangentResult buildTangent(const ir::Kernel& primal,
+                                         const TangentOptions& opts);
+
+/// Tangent variable name used for `primalName` ("x" -> "xd").
+[[nodiscard]] std::string tangentName(const std::string& primalName);
+
+}  // namespace formad::ad

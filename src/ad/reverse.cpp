@@ -1,0 +1,618 @@
+#include "ad/reverse.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ad/derivative.h"
+#include "analysis/activity.h"
+#include "analysis/increment.h"
+#include "analysis/symbols.h"
+#include "ir/builder.h"
+#include "ir/traversal.h"
+
+namespace formad::ad {
+
+using namespace formad::ir;
+namespace b = formad::ir::build;
+using analysis::Activity;
+using analysis::classifyIncrement;
+using analysis::SymbolTable;
+
+std::string adjointName(const std::string& primalName) {
+  return primalName + "b";
+}
+
+namespace {
+
+/// Forward + backward sweep fragments produced for one statement or scope.
+struct Piece {
+  StmtList fwd;
+  StmtList rev;
+};
+
+void append(StmtList& to, StmtList from) {
+  for (auto& s : from) to.push_back(std::move(s));
+}
+
+/// A planned tape transfer: the forward sweep pushes `value`, the backward
+/// sweep declares `temp` and pops into it.
+struct Taping {
+  TapeChannel channel;
+  ExprPtr value;
+  std::string temp;
+  Type tempType;
+};
+
+class AdjointBuilder {
+ public:
+  AdjointBuilder(const Kernel& primal, const ReverseOptions& opts)
+      : primal_(primal),
+        opts_(opts),
+        syms_(analysis::verifyKernel(primal)),
+        act_(analysis::computeActivity(primal, syms_, opts.independents,
+                                       opts.dependents)) {
+    for (const auto& n : assignedNames(primal.body, /*includeArrays=*/true))
+      written_.insert(n);
+    forEachStmt(primal.body, [](const Stmt& s) {
+      if (s.kind() == StmtKind::Push || s.kind() == StmtKind::Pop)
+        fail("cannot differentiate AD-generated code (tape statements)");
+      if (s.kind() == StmtKind::For && !s.as<For>().reductions.empty())
+        fail("primal reduction clauses are not supported by the adjoint transform");
+    });
+    // The adjoint names must be free.
+    for (const auto& n : act_.active)
+      if (syms_.contains(adjointName(n)))
+        fail("adjoint name '" + adjointName(n) + "' collides with a primal symbol");
+  }
+
+  ReverseResult run() {
+    ReverseResult result;
+    auto k = std::make_unique<Kernel>();
+    k->name = opts_.name.empty() ? primal_.name + "_b" : opts_.name;
+    k->params = primal_.params;
+    for (const auto& p : primal_.params) {
+      if (!act_.isActive(p.name)) continue;
+      Param adj;
+      adj.name = adjointName(p.name);
+      adj.type = p.type;
+      adj.intent = Intent::InOut;
+      k->params.push_back(adj);
+      result.adjointParams.emplace(p.name, adj.name);
+    }
+
+    // Kernel-level recompute prelude: leading scalar definitions with
+    // re-evaluable right-hand sides need no taping.
+    StmtList kernelPrelude = computePrelude(primal_.body);
+    Piece piece = transformScope(primal_.body);
+    if (opts_.omitTapeFreePrimalSweep && !containsPush(piece.fwd))
+      piece.fwd.clear();
+    k->body = std::move(piece.fwd);
+    append(k->body, std::move(kernelPrelude));
+    // Adjoints of active locals declared outside any parallel loop live for
+    // the whole backward sweep; initialize them to zero at its start.
+    for (const auto& n : localsDeclaredOutsideParallel())
+      k->body.push_back(
+          b::decl(adjointName(n), Type{Scalar::Real, 0}, b::rconst(0.0)));
+    append(k->body, std::move(piece.rev));
+
+    // Clause lists cloned from the primal may name locals whose
+    // declarations were dropped together with a tape-free forward sweep;
+    // scrub them so the generated kernel stays self-contained.
+    scrubClauseNames(*k);
+
+    result.adjoint = std::move(k);
+    result.loopReports = std::move(reports_);
+    return result;
+  }
+
+  static void scrubClauseNames(Kernel& k) {
+    std::set<std::string> known;
+    for (const auto& p : k.params) known.insert(p.name);
+    forEachStmt(k.body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::DeclLocal)
+        known.insert(s.as<DeclLocal>().name);
+      else if (s.kind() == StmtKind::For)
+        known.insert(s.as<For>().var);
+      else if (s.kind() == StmtKind::Pop)
+        known.insert(s.as<Pop>().target);
+    });
+    forEachStmt(k.body, [&](Stmt& s) {
+      if (s.kind() != StmtKind::For) return;
+      auto& f = s.as<For>();
+      auto drop = [&](std::vector<std::string>& names) {
+        std::erase_if(names,
+                      [&](const std::string& n) { return known.count(n) == 0; });
+      };
+      drop(f.privates);
+      drop(f.shared);
+    });
+  }
+
+ private:
+  const Kernel& primal_;
+  const ReverseOptions& opts_;
+  SymbolTable syms_;
+  Activity act_;
+  std::set<std::string> written_;
+  std::set<std::string> recomputable_;  // names re-established by preludes
+  std::vector<std::string> loopVarStack_;
+  bool inParallel_ = false;
+  int tempCounter_ = 0;
+  std::vector<LoopGuardReport> reports_;
+
+  // ----- naming -----
+
+  std::string freshTemp(const char* tag) {
+    return std::string("ad_") + tag + std::to_string(tempCounter_++);
+  }
+
+  // ----- availability during the backward sweep -----
+
+  [[nodiscard]] bool isEnclosingCounter(const std::string& name) const {
+    return std::find(loopVarStack_.begin(), loopVarStack_.end(), name) !=
+           loopVarStack_.end();
+  }
+
+  [[nodiscard]] bool nameAvailable(const std::string& name) const {
+    if (isEnclosingCounter(name)) return true;
+    if (written_.count(name) == 0) return true;  // never written: re-readable
+    return recomputable_.count(name) > 0;
+  }
+
+  [[nodiscard]] bool exprAvailable(const Expr& e) const {
+    bool ok = true;
+    forEachExpr(e, [&](const Expr& x) {
+      if (!isRef(x)) return;
+      if (x.kind() == ExprKind::ArrayRef) {
+        // Array contents at backward-sweep time match the primal values
+        // only if the array is never written (indices are checked as the
+        // traversal recurses into them).
+        if (written_.count(x.as<ArrayRef>().name) > 0) ok = false;
+      } else if (!nameAvailable(x.as<VarRef>().name)) {
+        ok = false;
+      }
+    });
+    return ok;
+  }
+
+  // ----- taping -----
+
+  /// Returns an expression usable in the backward sweep that evaluates to
+  /// the forward-sweep value of `e`; records a push/pop pair if needed.
+  ExprPtr makeAvailable(ExprPtr e, Scalar type, std::vector<Taping>& taped) {
+    if (exprAvailable(*e)) return e;
+    Taping t;
+    t.channel = type == Scalar::Int ? TapeChannel::Int : TapeChannel::Real;
+    t.value = std::move(e);
+    t.temp = freshTemp(type == Scalar::Int ? "i" : "v");
+    t.tempType = Type{type, 0};
+    taped.push_back(std::move(t));
+    return b::var(taped.back().temp);
+  }
+
+  /// Adjoint reference for a primal reference: xb / xb[indices], with index
+  /// expressions taped when their variables are overwritten.
+  ExprPtr adjointRefFor(const Expr& r, std::vector<Taping>& taped) {
+    if (r.kind() == ExprKind::VarRef)
+      return b::var(adjointName(r.as<VarRef>().name));
+    const auto& ar = r.as<ArrayRef>();
+    std::vector<ExprPtr> idx;
+    idx.reserve(ar.indices.size());
+    for (const auto& i : ar.indices)
+      idx.push_back(makeAvailable(i->clone(), Scalar::Int, taped));
+    return b::idx(adjointName(ar.name), std::move(idx));
+  }
+
+  [[nodiscard]] bool refIsActiveReal(const Expr& x) const {
+    if (!isRef(x)) return false;
+    const analysis::Symbol* s = syms_.find(refName(x));
+    return s != nullptr && s->type.differentiable() &&
+           act_.isActive(refName(x));
+  }
+
+  /// Emits the Push statements (forward order) and DeclLocal+Pop statements
+  /// (reverse order) for the planned transfers of one statement.
+  void emitTaped(std::vector<Taping>& taped, StmtList& fwd, StmtList& revPre) {
+    for (auto& t : taped)
+      fwd.push_back(b::push(t.channel, std::move(t.value)));
+    for (auto it = taped.rbegin(); it != taped.rend(); ++it) {
+      revPre.push_back(b::decl(it->temp, it->tempType));
+      revPre.push_back(b::pop(it->channel, it->temp));
+    }
+    taped.clear();
+  }
+
+  // ----- per-statement transformation -----
+
+  Piece transformScope(const StmtList& body) {
+    Piece out;
+    std::vector<StmtList> revPieces;
+    for (const auto& sp : body) {
+      Piece p = transformStmt(*sp);
+      append(out.fwd, std::move(p.fwd));
+      revPieces.push_back(std::move(p.rev));
+    }
+    for (auto it = revPieces.rbegin(); it != revPieces.rend(); ++it)
+      append(out.rev, std::move(*it));
+    return out;
+  }
+
+  Piece transformStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Assign:
+        return transformAssign(s.as<Assign>());
+      case StmtKind::DeclLocal:
+        return transformDecl(s.as<DeclLocal>());
+      case StmtKind::If:
+        return transformIf(s.as<If>());
+      case StmtKind::For:
+        return s.as<For>().parallel ? transformParallelFor(s.as<For>())
+                                    : transformSerialFor(s.as<For>());
+      default:
+        fail("unexpected statement kind in primal kernel");
+    }
+  }
+
+  /// Adjoint contributions for the active occurrences of `rhs`, scaled by
+  /// the expression `seed` (the adjoint of the statement's output).
+  /// `excluded` (may be null) is skipped — the self-occurrence of an
+  /// increment, whose partial is exactly 1.
+  StmtList contributions(const Expr& rhs, const Expr* excluded,
+                         const std::function<ExprPtr()>& seed,
+                         std::vector<Taping>& taped) {
+    StmtList out;
+    auto isActive = [this](const Expr& x) { return refIsActiveReal(x); };
+    for (const Expr* occ : activeOccurrences(rhs, isActive)) {
+      if (occ == excluded) continue;
+      ExprPtr partial =
+          makeAvailable(partialWrtOccurrence(rhs, occ), Scalar::Real, taped);
+      ExprPtr adjRef = adjointRefFor(*occ, taped);
+      out.push_back(
+          b::increment(std::move(adjRef), sMul(seed(), std::move(partial))));
+    }
+    return out;
+  }
+
+  Piece transformAssign(const Assign& a) {
+    Piece out;
+    std::vector<Taping> taped;
+    StmtList revBody;
+
+    if (refIsActiveReal(*a.lhs)) {
+      analysis::IncrementInfo incr = classifyIncrement(a);
+      if (incr.isIncrement) {
+        // Fig. 1 (right): the adjoint of the target is only read.
+        // Identify the self occurrence to skip (partial == 1).
+        const auto& bin = a.rhs->as<Binary>();
+        const Expr* self =
+            structurallyEqual(*bin.lhs, *a.lhs) ? bin.lhs.get() : bin.rhs.get();
+        ExprPtr lhsb = adjointRefFor(*a.lhs, taped);
+        const Expr& lhsbRef = *lhsb;  // cloned per contribution
+        revBody = contributions(
+            *a.rhs, self, [&]() { return lhsbRef.clone(); }, taped);
+      } else {
+        // Fig. 1 (left): general assignment. The old adjoint of the target
+        // is saved, the target's adjoint is zeroed (its previous value dies
+        // here), then every occurrence receives its contribution.
+        ExprPtr lhsb = adjointRefFor(*a.lhs, taped);
+        std::string tmpb = freshTemp("b");
+        revBody.push_back(b::decl(tmpb, Type{Scalar::Real, 0}, lhsb->clone()));
+        revBody.push_back(b::assign(lhsb->clone(), b::rconst(0.0)));
+        StmtList contrib = contributions(
+            *a.rhs, nullptr, [&]() { return b::var(tmpb); }, taped);
+        append(revBody, std::move(contrib));
+      }
+    }
+
+    emitTaped(taped, out.fwd, out.rev);
+    out.fwd.push_back(a.clone());
+    append(out.rev, std::move(revBody));
+    return out;
+  }
+
+  Piece transformDecl(const DeclLocal& d) {
+    Piece out;
+    out.fwd.push_back(d.clone());
+    if (d.type.differentiable() && act_.isActive(d.name) && d.init) {
+      std::vector<Taping> taped;
+      StmtList revBody;
+      std::string tmpb = freshTemp("b");
+      revBody.push_back(
+          b::decl(tmpb, Type{Scalar::Real, 0}, b::var(adjointName(d.name))));
+      revBody.push_back(b::assign(b::var(adjointName(d.name)), b::rconst(0.0)));
+      StmtList contrib = contributions(
+          *d.init, nullptr, [&]() { return b::var(tmpb); }, taped);
+      append(revBody, std::move(contrib));
+      emitTaped(taped, out.fwd, out.rev);
+      append(out.rev, std::move(revBody));
+    }
+    return out;
+  }
+
+  Piece transformIf(const If& i) {
+    Piece thenP = transformScope(i.thenBody);
+    Piece elseP = transformScope(i.elseBody);
+    Piece out;
+    if (exprAvailable(*i.cond)) {
+      // The branch decision can be re-evaluated during the backward sweep.
+      out.fwd.push_back(
+          b::ifStmt(i.cond->clone(), std::move(thenP.fwd), std::move(elseP.fwd)));
+      out.rev.push_back(
+          b::ifStmt(i.cond->clone(), std::move(thenP.rev), std::move(elseP.rev)));
+    } else {
+      // Record the decision on the tape (pushed after the branch so the
+      // backward sweep pops it before entering the adjoint branch).
+      std::string ct = freshTemp("c");
+      out.fwd.push_back(b::decl(ct, Type{Scalar::Bool, 0}, i.cond->clone()));
+      out.fwd.push_back(
+          b::ifStmt(b::var(ct), std::move(thenP.fwd), std::move(elseP.fwd)));
+      out.fwd.push_back(b::push(TapeChannel::Bool, b::var(ct)));
+      std::string ct2 = freshTemp("c");
+      out.rev.push_back(b::decl(ct2, Type{Scalar::Bool, 0}));
+      out.rev.push_back(b::pop(TapeChannel::Bool, ct2));
+      out.rev.push_back(
+          b::ifStmt(b::var(ct2), std::move(thenP.rev), std::move(elseP.rev)));
+    }
+    return out;
+  }
+
+  /// Bounds usable by the reverse loop: re-evaluated when available,
+  /// otherwise latched into temps that are pushed after the loop body ran
+  /// (so the pops precede the reverse loop — LIFO).
+  struct Bounds {
+    ExprPtr fwdLo, fwdHi, fwdStep;
+    ExprPtr revLo, revHi, revStep;
+    StmtList fwdPre, fwdPost, revPre;
+  };
+
+  Bounds prepareBounds(const For& f) {
+    Bounds bd;
+    const Expr* exprs[3] = {f.lo.get(), f.hi.get(), f.step.get()};
+    ExprPtr* fwdSlots[3] = {&bd.fwdLo, &bd.fwdHi, &bd.fwdStep};
+    ExprPtr* revSlots[3] = {&bd.revLo, &bd.revHi, &bd.revStep};
+    std::vector<std::string> temps;
+    for (int k = 0; k < 3; ++k) {
+      if (exprAvailable(*exprs[k])) {
+        *fwdSlots[k] = exprs[k]->clone();
+        *revSlots[k] = exprs[k]->clone();
+        continue;
+      }
+      std::string t = freshTemp("l");
+      bd.fwdPre.push_back(b::decl(t, Type{Scalar::Int, 0}, exprs[k]->clone()));
+      bd.fwdPost.push_back(b::push(TapeChannel::Int, b::var(t)));
+      *fwdSlots[k] = b::var(t);
+      std::string t2 = freshTemp("l");
+      *revSlots[k] = b::var(t2);
+      temps.push_back(t2);
+    }
+    // Pops in reverse push order.
+    for (auto it = temps.rbegin(); it != temps.rend(); ++it) {
+      bd.revPre.push_back(b::decl(*it, Type{Scalar::Int, 0}));
+      bd.revPre.push_back(b::pop(TapeChannel::Int, *it));
+    }
+    return bd;
+  }
+
+  Piece transformSerialFor(const For& f) {
+    Bounds bd = prepareBounds(f);
+    loopVarStack_.push_back(f.var);
+    std::set<std::string> savedRecomputable = recomputable_;
+    StmtList prelude = computePrelude(f.body);
+    Piece bodyP = transformScope(f.body);
+    recomputable_ = std::move(savedRecomputable);
+    loopVarStack_.pop_back();
+
+    Piece out;
+    append(out.fwd, std::move(bd.fwdPre));
+    auto fwdLoop = b::forLoop(f.var, std::move(bd.fwdLo), std::move(bd.fwdHi),
+                              std::move(bodyP.fwd), std::move(bd.fwdStep));
+    out.fwd.push_back(std::move(fwdLoop));
+    append(out.fwd, std::move(bd.fwdPost));
+
+    StmtList revBody = std::move(prelude);
+    append(revBody, std::move(bodyP.rev));
+    append(out.rev, std::move(bd.revPre));
+    auto revLoop = b::forLoop(f.var, std::move(bd.revLo), std::move(bd.revHi),
+                              std::move(revBody), std::move(bd.revStep));
+    revLoop->as<For>().reversed = true;
+    out.rev.push_back(std::move(revLoop));
+    return out;
+  }
+
+  /// The recompute prelude of a scope: the maximal prefix of the body
+  /// consisting of scalar declarations/assignments whose right-hand sides
+  /// are reverse-available. Re-executing it at the start of the matching
+  /// reverse scope re-establishes index variables (GFMC's idd/iud/...,
+  /// Green-Gauss' i/j, the stencil's `from`) without taping them. Every
+  /// recomputed name is added to the reverse-availability set.
+  StmtList computePrelude(const StmtList& body) {
+    StmtList prelude;
+    std::set<std::string> preludeNames;
+    size_t prefixEnd = 0;
+    for (; prefixEnd < body.size(); ++prefixEnd) {
+      const auto& sp = body[prefixEnd];
+      if (sp->kind() == StmtKind::DeclLocal) {
+        const auto& d = sp->as<DeclLocal>();
+        if (d.init && !exprAvailable(*d.init)) break;
+        prelude.push_back(sp->clone());
+        preludeNames.insert(d.name);
+        recomputable_.insert(d.name);
+        continue;
+      }
+      if (sp->kind() == StmtKind::Assign) {
+        const auto& a = sp->as<Assign>();
+        if (a.lhs->kind() != ExprKind::VarRef) break;
+        const auto* sym = syms_.find(a.lhs->as<VarRef>().name);
+        if (sym == nullptr || sym->kind == analysis::SymbolKind::Param) break;
+        if (!exprAvailable(*a.rhs)) break;
+        prelude.push_back(sp->clone());
+        preludeNames.insert(a.lhs->as<VarRef>().name);
+        recomputable_.insert(a.lhs->as<VarRef>().name);
+        continue;
+      }
+      break;
+    }
+    // A prelude value is only trustworthy during the backward sweep if the
+    // rest of the scope never overwrites it (the re-executed prelude would
+    // resurrect the *initial* value).
+    std::set<std::string> later;
+    for (size_t j = prefixEnd; j < body.size(); ++j)
+      collectAssignedNames(*body[j], later);
+    for (const auto& n : preludeNames)
+      if (later.count(n) > 0) recomputable_.erase(n);
+    return prelude;
+  }
+
+  [[nodiscard]] static bool containsPush(const StmtList& body) {
+    bool found = false;
+    forEachStmt(body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::Push) found = true;
+    });
+    return found;
+  }
+
+  /// Active real locals declared (at any depth) within `body`, without
+  /// descending into parallel loops when `skipParallel` is set.
+  std::vector<std::string> activeLocalsIn(const StmtList& body) const {
+    std::set<std::string> names;
+    forEachStmt(body, [&](const Stmt& s) {
+      if (s.kind() != StmtKind::DeclLocal) return;
+      const auto& d = s.as<DeclLocal>();
+      if (d.type.differentiable() && act_.isActive(d.name))
+        names.insert(d.name);
+    });
+    return {names.begin(), names.end()};
+  }
+
+  std::vector<std::string> localsDeclaredOutsideParallel() const {
+    std::set<std::string> names;
+    std::function<void(const StmtList&)> walk = [&](const StmtList& body) {
+      for (const auto& sp : body) {
+        switch (sp->kind()) {
+          case StmtKind::DeclLocal: {
+            const auto& d = sp->as<DeclLocal>();
+            if (d.type.differentiable() && act_.isActive(d.name))
+              names.insert(d.name);
+            break;
+          }
+          case StmtKind::If:
+            walk(sp->as<If>().thenBody);
+            walk(sp->as<If>().elseBody);
+            break;
+          case StmtKind::For:
+            if (!sp->as<For>().parallel) walk(sp->as<For>().body);
+            break;
+          default:
+            break;
+        }
+      }
+    };
+    walk(primal_.body);
+    return {names.begin(), names.end()};
+  }
+
+  Piece transformParallelFor(const For& f) {
+    if (inParallel_)
+      fail("nested parallel loops are not supported", f.loc());
+    inParallel_ = true;
+    Bounds bd = prepareBounds(f);
+
+    loopVarStack_.push_back(f.var);
+    std::set<std::string> savedRecomputable = recomputable_;
+    StmtList prelude = computePrelude(f.body);
+    Piece bodyP = transformScope(f.body);
+    recomputable_ = std::move(savedRecomputable);
+    loopVarStack_.pop_back();
+    inParallel_ = false;
+
+    bool tape = containsPush(bodyP.fwd);
+
+    Piece out;
+    append(out.fwd, std::move(bd.fwdPre));
+    auto fwdLoop = b::forLoop(f.var, std::move(bd.fwdLo), std::move(bd.fwdHi),
+                              std::move(bodyP.fwd), std::move(bd.fwdStep));
+    {
+      auto& fl = fwdLoop->as<For>();
+      fl.parallel = !opts_.serialize;
+      fl.sched = f.sched;
+      fl.shared = f.shared;
+      fl.privates = f.privates;
+      fl.usesTape = tape;
+    }
+    out.fwd.push_back(std::move(fwdLoop));
+    append(out.fwd, std::move(bd.fwdPost));
+
+    // Reverse body: per-iteration adjoint locals, recompute prelude, then
+    // the adjoint statements.
+    StmtList revBody;
+    for (const auto& n : activeLocalsIn(f.body))
+      revBody.push_back(
+          b::decl(adjointName(n), Type{Scalar::Real, 0}, b::rconst(0.0)));
+    append(revBody, std::move(prelude));
+    append(revBody, std::move(bodyP.rev));
+
+    append(out.rev, std::move(bd.revPre));
+    auto revLoop = b::forLoop(f.var, std::move(bd.revLo), std::move(bd.revHi),
+                              std::move(revBody), std::move(bd.revStep));
+    {
+      auto& rl = revLoop->as<For>();
+      rl.parallel = !opts_.serialize;
+      rl.reversed = true;
+      rl.sched = f.sched;
+      rl.privates = f.privates;
+      rl.usesTape = tape;
+      applyGuards(f, rl);
+    }
+    out.rev.push_back(std::move(revLoop));
+    return out;
+  }
+
+  /// Applies the safeguard policy to every adjoint increment of a shared
+  /// variable in the reverse loop, and records the decisions.
+  void applyGuards(const For& primalLoop, For& revLoop) {
+    // Names private to the reverse loop: anything declared in its body.
+    std::set<std::string> declared;
+    forEachStmt(revLoop.body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::DeclLocal)
+        declared.insert(s.as<DeclLocal>().name);
+      else if (s.kind() == StmtKind::Pop)
+        declared.insert(s.as<Pop>().target);
+    });
+
+    // Reverse map: adjoint name -> primal name (actives only).
+    std::map<std::string, std::string> primalOf;
+    for (const auto& n : act_.active) primalOf.emplace(adjointName(n), n);
+
+    LoopGuardReport rep;
+    rep.primalLoop = &primalLoop;
+
+    std::set<std::string> reduced;
+    forEachStmt(revLoop.body, [&](Stmt& s) {
+      if (s.kind() != StmtKind::Assign) return;
+      auto& a = s.as<Assign>();
+      if (!classifyIncrement(a).isIncrement) return;
+      const std::string& lhsName = refName(*a.lhs);
+      auto it = primalOf.find(lhsName);
+      if (it == primalOf.end()) return;       // not an adjoint variable
+      if (declared.count(lhsName) > 0) return;  // private adjoint: race-free
+      if (revLoop.var == lhsName) return;
+      Guard g = Guard::None;
+      if (!opts_.serialize && opts_.guardPolicy)
+        g = opts_.guardPolicy(primalLoop, it->second);
+      a.guard = g;
+      rep.decisions[it->second] = g;
+      if (g == Guard::Reduction && reduced.insert(lhsName).second)
+        revLoop.reductions.push_back(ReductionClause{BinOp::Add, lhsName});
+    });
+
+    reports_.push_back(std::move(rep));
+  }
+};
+
+}  // namespace
+
+ReverseResult buildAdjoint(const Kernel& primal, const ReverseOptions& opts) {
+  return AdjointBuilder(primal, opts).run();
+}
+
+}  // namespace formad::ad

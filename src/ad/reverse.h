@@ -1,0 +1,77 @@
+// Source-transformation reverse-mode AD (paper Sec. 4).
+//
+// buildAdjoint() turns a primal kernel into an adjoint kernel that
+//   1. runs the *forward sweep*: the primal computation, instrumented with
+//      PUSH statements that record the values the backward sweep will need
+//      (partial-derivative operands and adjoint index expressions whose
+//      variables get overwritten). Inside parallel loops, pushes go to
+//      per-iteration tape lanes;
+//   2. runs the *backward sweep*: the statements in reverse, emitting for
+//      each active assignment the adjoint instructions of Fig. 1. A
+//      parallel primal loop yields a parallel adjoint loop over the same
+//      iteration space.
+//
+// Increments `u = u + e` are detected and given the cheaper adjoint that
+// only reads ub (Fig. 1 right / Sec. 5.4). Values that are still available
+// during the backward sweep — loop counters, never-written variables, and
+// integer locals recomputed by a per-iteration prelude — are re-read
+// instead of taped, so e.g. the paper's stencils produce tape-free
+// adjoints.
+//
+// The safeguard applied to each adjoint increment of a shared variable is
+// chosen by a GuardPolicy callback, which lets the driver wire in the
+// paper's four program versions: serial, atomic, reduction, and FormAD
+// (= Shared where proven safe, Atomic elsewhere).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+
+namespace formad::ad {
+
+using GuardPolicy = std::function<ir::Guard(const ir::For& primalLoop,
+                                            const std::string& primalVar)>;
+
+struct ReverseOptions {
+  std::vector<std::string> independents;
+  std::vector<std::string> dependents;
+  /// Strip all parallelism from the generated code ("Adjoint Serial").
+  bool serialize = false;
+  /// Decides the safeguard for each adjoint increment to a shared variable;
+  /// null means Guard::None everywhere (plain shared).
+  GuardPolicy guardPolicy;
+  /// Name of the generated kernel; default "<primal>_b".
+  std::string name;
+  /// Drop the forward sweep entirely when it pushes nothing to the tape
+  /// (every value the backward sweep needs is re-readable or recomputed).
+  /// The generated kernel then no longer produces the primal outputs —
+  /// the "adjoint only" variant whose cost the paper's stencil and
+  /// Green-Gauss adjoint timings reflect.
+  bool omitTapeFreePrimalSweep = false;
+};
+
+struct LoopGuardReport {
+  const ir::For* primalLoop = nullptr;
+  /// primal variable name -> safeguard applied to its adjoint increments.
+  std::map<std::string, ir::Guard> decisions;
+};
+
+struct ReverseResult {
+  std::unique_ptr<ir::Kernel> adjoint;
+  /// Adjoint parameter name for each active primal parameter.
+  std::map<std::string, std::string> adjointParams;
+  std::vector<LoopGuardReport> loopReports;
+};
+
+[[nodiscard]] ReverseResult buildAdjoint(const ir::Kernel& primal,
+                                         const ReverseOptions& opts);
+
+/// Adjoint variable name used for `primalName` ("x" -> "xb").
+[[nodiscard]] std::string adjointName(const std::string& primalName);
+
+}  // namespace formad::ad

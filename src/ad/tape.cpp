@@ -1,0 +1,2 @@
+// Tape runtime is header-only; this translation unit anchors the target.
+#include "ad/tape.h"

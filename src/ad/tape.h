@@ -1,0 +1,137 @@
+// Tape runtime: the push/pop storage used by generated adjoint code.
+//
+// Serial code pushes to a single main lane. A parallel loop gets a
+// *LaneBlock* with one lane per iteration, so that the adjoint parallel
+// loop can pop exactly what its own iteration pushed regardless of thread
+// scheduling — the iteration-indexed analogue of Tapenade's thread-local
+// stacks for OpenMP (paper Sec. 4.2 and ref. [12]).
+//
+// Blocks are consumed LIFO: the forward sweep appends a block per parallel
+// loop execution, the reverse sweep (which mirrors the forward structure in
+// reverse) consumes from the back.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace formad::ad {
+
+class TapeLane {
+ public:
+  void pushReal(double v) { reals_.push_back(v); }
+  void pushInt(long long v) { ints_.push_back(v); }
+  void pushBool(bool v) { bools_.push_back(v ? 1 : 0); }
+
+  double popReal() {
+    FORMAD_ASSERT(!reals_.empty(), "tape real-channel underflow");
+    double v = reals_.back();
+    reals_.pop_back();
+    return v;
+  }
+  long long popInt() {
+    FORMAD_ASSERT(!ints_.empty(), "tape int-channel underflow");
+    long long v = ints_.back();
+    ints_.pop_back();
+    return v;
+  }
+  bool popBool() {
+    FORMAD_ASSERT(!bools_.empty(), "tape bool-channel underflow");
+    bool v = bools_.back() != 0;
+    bools_.pop_back();
+    return v;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return reals_.empty() && ints_.empty() && bools_.empty();
+  }
+  [[nodiscard]] size_t bytes() const {
+    return reals_.size() * sizeof(double) + ints_.size() * sizeof(long long) +
+           bools_.size();
+  }
+
+ private:
+  std::vector<double> reals_;
+  std::vector<long long> ints_;
+  std::vector<uint8_t> bools_;
+};
+
+/// Per-iteration lanes of one parallel-loop execution.
+class LaneBlock {
+ public:
+  LaneBlock(long long lo, long long step, size_t count)
+      : lo_(lo), step_(step), lanes_(count) {}
+
+  /// Lane of the iteration whose counter value is `iter`.
+  [[nodiscard]] TapeLane& lane(long long iter) {
+    FORMAD_ASSERT(step_ != 0, "zero loop step");
+    long long idx = (iter - lo_) / step_;
+    FORMAD_ASSERT(idx >= 0 && static_cast<size_t>(idx) < lanes_.size(),
+                  "iteration outside lane block");
+    return lanes_[static_cast<size_t>(idx)];
+  }
+
+  [[nodiscard]] size_t laneCount() const { return lanes_.size(); }
+  [[nodiscard]] size_t bytes() const {
+    size_t b = 0;
+    for (const auto& l : lanes_) b += l.bytes();
+    return b;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const auto& l : lanes_)
+      if (!l.empty()) return false;
+    return true;
+  }
+
+ private:
+  long long lo_;
+  long long step_;
+  std::vector<TapeLane> lanes_;
+};
+
+class Tape {
+ public:
+  [[nodiscard]] TapeLane& mainLane() { return main_; }
+
+  LaneBlock& pushBlock(long long lo, long long step, size_t count) {
+    blocks_.push_back(std::make_unique<LaneBlock>(lo, step, count));
+    return *blocks_.back();
+  }
+
+  [[nodiscard]] LaneBlock& backBlock() {
+    FORMAD_ASSERT(!blocks_.empty(), "no lane block on tape");
+    return *blocks_.back();
+  }
+
+  void popBlock() {
+    FORMAD_ASSERT(!blocks_.empty(), "popBlock on empty tape");
+    blocks_.pop_back();
+  }
+
+  [[nodiscard]] size_t blockCount() const { return blocks_.size(); }
+
+  [[nodiscard]] size_t bytes() const {
+    size_t b = main_.bytes();
+    for (const auto& blk : blocks_) b += blk->bytes();
+    return b;
+  }
+
+  /// A fully consumed tape indicates push/pop balance — checked by tests
+  /// after every adjoint execution.
+  [[nodiscard]] bool drained() const {
+    return main_.empty() && blocks_.empty();
+  }
+
+  void clear() {
+    main_ = TapeLane{};
+    blocks_.clear();
+  }
+
+ private:
+  TapeLane main_;
+  std::vector<std::unique_ptr<LaneBlock>> blocks_;
+};
+
+}  // namespace formad::ad

@@ -1,0 +1,117 @@
+#include "analysis/accesses.h"
+
+#include "analysis/increment.h"
+#include "ir/traversal.h"
+#include "support/diagnostics.h"
+
+namespace formad::analysis {
+
+using namespace formad::ir;
+
+namespace {
+
+class Collector {
+ public:
+  explicit Collector(const For& loop) : loop_(loop) {}
+
+  std::vector<ArrayAccess> run() {
+    visitBody(loop_.body);
+    return std::move(out_);
+  }
+
+ private:
+  const For& loop_;
+  std::vector<ArrayAccess> out_;
+
+  [[nodiscard]] bool excluded(const std::string& name) const {
+    return loop_.isReduction(name);
+  }
+
+  void addReads(const Expr& e, const Stmt* stmt) {
+    forEachExpr(e, [&](const Expr& x) {
+      if (x.kind() != ExprKind::ArrayRef) return;
+      const auto& ar = x.as<ArrayRef>();
+      if (excluded(ar.name)) return;
+      ArrayAccess acc;
+      acc.ref = &ar;
+      acc.array = ar.name;
+      acc.isWrite = false;
+      acc.stmt = stmt;
+      out_.push_back(std::move(acc));
+    });
+  }
+
+  void visitBody(const StmtList& body) {
+    for (const auto& sp : body) visitStmt(*sp);
+  }
+
+  void visitStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const auto& a = s.as<Assign>();
+        IncrementInfo incr = classifyIncrement(a);
+        const Expr* selfRead = nullptr;
+        if (incr.isIncrement) {
+          const auto& bin = a.rhs->as<Binary>();
+          selfRead = structurallyEqual(*bin.lhs, *a.lhs) ? bin.lhs.get()
+                                                         : bin.rhs.get();
+        }
+        size_t firstRead = out_.size();
+        addReads(*a.rhs, &s);
+        for (size_t k = firstRead; k < out_.size(); ++k)
+          if (static_cast<const Expr*>(out_[k].ref) == selfRead)
+            out_[k].isIncrementSelfRead = true;
+        if (a.lhs->kind() == ExprKind::ArrayRef) {
+          const auto& ar = a.lhs->as<ArrayRef>();
+          // Index expressions of the written reference are reads.
+          for (const auto& i : ar.indices) addReads(*i, &s);
+          if (!excluded(ar.name)) {
+            ArrayAccess acc;
+            acc.ref = &ar;
+            acc.array = ar.name;
+            acc.isWrite = true;
+            acc.isIncrementTarget = incr.isIncrement;
+            acc.isAtomic = a.atomic();
+            acc.stmt = &s;
+            out_.push_back(std::move(acc));
+          }
+        }
+        break;
+      }
+      case StmtKind::DeclLocal: {
+        const auto& d = s.as<DeclLocal>();
+        if (d.init) addReads(*d.init, &s);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = s.as<If>();
+        addReads(*i.cond, &s);
+        visitBody(i.thenBody);
+        visitBody(i.elseBody);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = s.as<For>();
+        FORMAD_ASSERT(!f.parallel, "nested parallel loop");
+        addReads(*f.lo, &s);
+        addReads(*f.hi, &s);
+        addReads(*f.step, &s);
+        visitBody(f.body);
+        break;
+      }
+      case StmtKind::Push:
+        addReads(*s.as<Push>().value, &s);
+        break;
+      case StmtKind::Pop:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<ArrayAccess> collectAccesses(const For& loop) {
+  return Collector(loop).run();
+}
+
+}  // namespace formad::analysis

@@ -1,0 +1,39 @@
+// Collection of array references inside a parallel region.
+//
+// Knowledge extraction (paper Sec. 5) needs, for each shared array, all
+// read and all write references together with the statements they occur in
+// (for context lookup) and whether a write is an exact increment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace formad::analysis {
+
+struct ArrayAccess {
+  const ir::ArrayRef* ref = nullptr;
+  std::string array;
+  bool isWrite = false;
+  /// Write that is the target of an exact increment statement (`u += e`).
+  bool isIncrementTarget = false;
+  /// Read that is the self-operand of an exact increment (the `u` in
+  /// `u = u + e`): its adjoint contribution has partial 1 and produces no
+  /// adjoint reference at all (paper Sec. 5.4).
+  bool isIncrementSelfRead = false;
+  /// Write performed under an atomic pragma in the *input* code: such a
+  /// write carries no disjointness knowledge (the primal may legitimately
+  /// collide on it).
+  bool isAtomic = false;
+  const ir::Stmt* stmt = nullptr;
+};
+
+/// Collects every array reference in the body of `loop`, excluding arrays
+/// named in reduction clauses (they are privatized, hence not shared).
+/// Reads include references inside index expressions, conditions and loop
+/// bounds. The lhs read implied by an increment (`u` in `u = u + e`)
+/// appears as an ordinary read access.
+[[nodiscard]] std::vector<ArrayAccess> collectAccesses(const ir::For& loop);
+
+}  // namespace formad::analysis

@@ -1,0 +1,91 @@
+#include "analysis/activity.h"
+
+#include "ir/traversal.h"
+
+namespace formad::analysis {
+
+using namespace formad::ir;
+
+namespace {
+
+/// Real-typed variable names referenced inside `e` (int variables cannot
+/// carry derivatives).
+std::set<std::string> realRefs(const Expr& e, const SymbolTable& syms) {
+  std::set<std::string> out;
+  forEachExpr(e, [&](const Expr& x) {
+    if (!isRef(x)) return;
+    const Symbol* s = syms.find(refName(x));
+    if (s != nullptr && s->type.differentiable()) out.insert(refName(x));
+  });
+  return out;
+}
+
+}  // namespace
+
+Activity computeActivity(const Kernel& k, const SymbolTable& syms,
+                         const std::vector<std::string>& independents,
+                         const std::vector<std::string>& dependents) {
+  Activity act;
+  for (const auto& n : independents) {
+    if (!syms.get(n).type.differentiable())
+      fail("independent variable '" + n + "' is not real-typed");
+    act.varied.insert(n);
+  }
+  for (const auto& n : dependents) {
+    if (!syms.get(n).type.differentiable())
+      fail("dependent variable '" + n + "' is not real-typed");
+    act.useful.insert(n);
+  }
+
+  // Collect all real-to-real def/use pairs once.
+  struct Flow {
+    std::string def;
+    std::set<std::string> uses;
+  };
+  std::vector<Flow> flows;
+  forEachStmt(k.body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::Assign) {
+      const auto& a = s.as<Assign>();
+      const Symbol* lhsSym = syms.find(refName(*a.lhs));
+      if (lhsSym == nullptr || !lhsSym->type.differentiable()) return;
+      flows.push_back(Flow{refName(*a.lhs), realRefs(*a.rhs, syms)});
+    } else if (s.kind() == StmtKind::DeclLocal) {
+      // A declaration with an initializer is a definition too.
+      const auto& d = s.as<DeclLocal>();
+      if (!d.type.differentiable() || !d.init) return;
+      flows.push_back(Flow{d.name, realRefs(*d.init, syms)});
+    }
+  });
+
+  // Varied: forward closure.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& f : flows) {
+      if (act.varied.count(f.def) > 0) continue;
+      for (const auto& u : f.uses)
+        if (act.varied.count(u) > 0) {
+          act.varied.insert(f.def);
+          changed = true;
+          break;
+        }
+    }
+  }
+
+  // Useful: backward closure.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& f : flows) {
+      if (act.useful.count(f.def) == 0) continue;
+      for (const auto& u : f.uses)
+        if (act.useful.insert(u).second) changed = true;
+    }
+  }
+
+  for (const auto& v : act.varied)
+    if (act.useful.count(v) > 0) act.active.insert(v);
+  return act;
+}
+
+}  // namespace formad::analysis

@@ -1,0 +1,39 @@
+// Activity analysis (paper Sec. 5.4).
+//
+// Given the independent (differentiation inputs) and dependent
+// (differentiation outputs) variables, a variable is
+//   - *varied* if its value may depend on an independent,
+//   - *useful* if its value may influence a dependent,
+//   - *active* if both.
+// Only active variables receive adjoint counterparts; only references to
+// active arrays generate adjoint references that FormAD must analyze. The
+// analysis is a variable-level fixpoint (arrays are treated atomically),
+// which over-approximates Tapenade's flow-sensitive analysis — sound for
+// both adjoint generation and reference-pair pruning.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/symbols.h"
+#include "ir/kernel.h"
+
+namespace formad::analysis {
+
+struct Activity {
+  std::set<std::string> varied;
+  std::set<std::string> useful;
+  std::set<std::string> active;
+
+  [[nodiscard]] bool isActive(const std::string& name) const {
+    return active.count(name) > 0;
+  }
+};
+
+[[nodiscard]] Activity computeActivity(
+    const ir::Kernel& k, const SymbolTable& syms,
+    const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents);
+
+}  // namespace formad::analysis

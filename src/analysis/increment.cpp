@@ -1,0 +1,48 @@
+#include "analysis/increment.h"
+
+#include "ir/traversal.h"
+
+namespace formad::analysis {
+
+using namespace formad::ir;
+
+namespace {
+
+/// True if `e` contains a reference structurally identical to `lhs`
+/// (same array, same index expressions). Such a read would make the
+/// increment classification unsound.
+bool containsExactRef(const Expr& e, const Expr& lhs) {
+  bool found = false;
+  forEachExpr(e, [&](const Expr& x) {
+    if (isRef(x) && structurallyEqual(x, lhs)) found = true;
+  });
+  return found;
+}
+
+}  // namespace
+
+IncrementInfo classifyIncrement(const Assign& a) {
+  IncrementInfo info;
+  if (a.rhs->kind() != ExprKind::Binary) return info;
+  const auto& b = a.rhs->as<Binary>();
+  if (b.op != BinOp::Add && b.op != BinOp::Sub) return info;
+
+  const Expr* self = nullptr;
+  const Expr* addend = nullptr;
+  if (structurallyEqual(*b.lhs, *a.lhs)) {
+    self = b.lhs.get();
+    addend = b.rhs.get();
+  } else if (b.op == BinOp::Add && structurallyEqual(*b.rhs, *a.lhs)) {
+    self = b.rhs.get();
+    addend = b.lhs.get();
+  }
+  if (self == nullptr) return info;
+  if (containsExactRef(*addend, *a.lhs)) return info;
+
+  info.isIncrement = true;
+  info.addend = addend;
+  info.negated = (b.op == BinOp::Sub);
+  return info;
+}
+
+}  // namespace formad::analysis

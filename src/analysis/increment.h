@@ -1,0 +1,27 @@
+// Detection of exact increment statements (paper Sec. 5.4, Fig. 1 right).
+//
+// A statement `u = u + e` (with `e` not reading the exact location `u`)
+// has an adjoint that only *reads* the adjoint of `u`:
+//     eb... += ub   (contributions into e's operands)
+// with no overwrite and no zeroing of ub. Recognizing increments both
+// simplifies the generated adjoint and removes write references from the
+// pairs FormAD must prove disjoint.
+#pragma once
+
+#include "ir/stmt.h"
+
+namespace formad::analysis {
+
+struct IncrementInfo {
+  bool isIncrement = false;
+  /// The added expression `e` (owned by the statement), valid when
+  /// isIncrement. For `u = u - e` this is the *subtracted* expression and
+  /// `negated` is set.
+  const ir::Expr* addend = nullptr;
+  bool negated = false;
+};
+
+/// Classifies an assignment as an exact increment of its own left-hand side.
+[[nodiscard]] IncrementInfo classifyIncrement(const ir::Assign& a);
+
+}  // namespace formad::analysis

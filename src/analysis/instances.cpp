@@ -1,0 +1,149 @@
+#include "analysis/instances.h"
+
+#include <set>
+
+#include "ir/traversal.h"
+#include "support/diagnostics.h"
+
+namespace formad::analysis {
+
+using namespace formad::ir;
+
+int InstanceMap::instanceOf(const Expr* use) const {
+  auto it = useInstance_.find(use);
+  FORMAD_ASSERT(it != useInstance_.end(), "expression use has no instance");
+  return it->second;
+}
+
+namespace {
+
+/// Abstract environment: variable name -> current instance id.
+using Env = std::map<std::string, int>;
+
+class InstanceAnalysis {
+ public:
+  explicit InstanceAnalysis(const For& loop) : loop_(loop) {}
+
+  InstanceMap run() {
+    Env env;  // entry instances are minted lazily on first use/assign
+    runBody(loop_.body, env);
+    return std::move(map_);
+  }
+
+ private:
+  const For& loop_;
+  InstanceMap map_;
+
+  int currentInstance(Env& env, const std::string& name) {
+    auto it = env.find(name);
+    if (it != env.end()) return it->second;
+    int inst = map_.fresh();
+    env.emplace(name, inst);
+    return inst;
+  }
+
+  /// Tags every VarRef/ArrayRef inside `e` with its current instance.
+  void visitExpr(const Expr& e, Env& env) {
+    forEachExpr(e, [&](const Expr& x) {
+      if (!isRef(x)) return;
+      if (refName(x) == loop_.var) {
+        map_.record(&x, 0);  // parallel counter: immutable per OpenMP
+        return;
+      }
+      map_.record(&x, currentInstance(env, refName(x)));
+    });
+  }
+
+  void runBody(const StmtList& body, Env& env) {
+    for (const auto& sp : body) runStmt(*sp, env);
+  }
+
+  void runStmt(const Stmt& s, Env& env) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const auto& a = s.as<Assign>();
+        // Uses first (rhs and index expressions of the lhs), then the kill.
+        visitExpr(*a.rhs, env);
+        if (a.lhs->kind() == ExprKind::ArrayRef) {
+          const auto& ar = a.lhs->as<ArrayRef>();
+          for (const auto& i : ar.indices) visitExpr(*i, env);
+          // The write renews the array's instance (conservative: the whole
+          // array). Also record the lhs node itself with the *new* instance:
+          // the written reference denotes the post-write array.
+          env[ar.name] = map_.fresh();
+          map_.record(a.lhs.get(), env[ar.name]);
+        } else {
+          env[a.lhs->as<VarRef>().name] = map_.fresh();
+          map_.record(a.lhs.get(), env[a.lhs->as<VarRef>().name]);
+        }
+        break;
+      }
+      case StmtKind::DeclLocal: {
+        const auto& d = s.as<DeclLocal>();
+        if (d.init) visitExpr(*d.init, env);
+        env[d.name] = map_.fresh();
+        break;
+      }
+      case StmtKind::Pop: {
+        env[s.as<Pop>().target] = map_.fresh();
+        break;
+      }
+      case StmtKind::Push:
+        visitExpr(*s.as<Push>().value, env);
+        break;
+      case StmtKind::If: {
+        const auto& i = s.as<If>();
+        visitExpr(*i.cond, env);
+        Env thenEnv = env;
+        Env elseEnv = env;
+        runBody(i.thenBody, thenEnv);
+        runBody(i.elseBody, elseEnv);
+        // Merge: fresh instance wherever the branches disagree.
+        std::set<std::string> names;
+        for (const auto& [n, _] : thenEnv) names.insert(n);
+        for (const auto& [n, _] : elseEnv) names.insert(n);
+        Env merged;
+        for (const auto& n : names) {
+          auto t = thenEnv.find(n);
+          auto e = elseEnv.find(n);
+          if (t != thenEnv.end() && e != elseEnv.end() &&
+              t->second == e->second)
+            merged[n] = t->second;
+          else
+            merged[n] = map_.fresh();
+        }
+        env = std::move(merged);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = s.as<For>();
+        visitExpr(*f.lo, env);
+        visitExpr(*f.hi, env);
+        visitExpr(*f.step, env);
+        // Variables overwritten anywhere in the loop body (plus the serial
+        // counter) get a fresh instance at loop entry: entry value or value
+        // from the previous iteration.
+        for (const auto& n : assignedNames(f.body, /*includeArrays=*/true))
+          env[n] = map_.fresh();
+        env[f.var] = map_.fresh();
+        runBody(f.body, env);
+        // After the loop the same merged instances remain: the body was
+        // processed starting from the merged state, so any variable it
+        // overwrites already points at a fresh post-entry instance.
+        for (const auto& n : assignedNames(f.body, /*includeArrays=*/true))
+          env[n] = map_.fresh();
+        env[f.var] = map_.fresh();
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+InstanceMap computeInstances(const For& parallelLoop) {
+  FORMAD_ASSERT(parallelLoop.parallel, "instance analysis needs a parallel loop");
+  return InstanceAnalysis(parallelLoop).run();
+}
+
+}  // namespace formad::analysis

@@ -1,0 +1,47 @@
+// Instance numbering for overwritten variables (paper Sec. 5.2).
+//
+// Variables occurring in index expressions may be modified during execution
+// of the parallel-loop body, so two textually identical uses need not denote
+// the same value. Each use of a variable is tagged with an *instance*
+// number; two uses share an instance exactly when they are reached by the
+// same set of definitions:
+//   - an assignment gives the target a fresh instance;
+//   - when control flow merges and the incoming instances differ, the merge
+//     point mints yet another fresh instance;
+//   - at entry to a (serial) loop that overwrites a variable, the variable
+//     gets a fresh instance, standing for "entry value or value from the
+//     previous iteration".
+// Int arrays used inside index expressions get instance numbers too (a
+// write to any element renews the whole array's instance, conservatively).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace formad::analysis {
+
+class InstanceMap {
+ public:
+  /// Instance of a VarRef or ArrayRef *use* site (node identity).
+  [[nodiscard]] int instanceOf(const ir::Expr* use) const;
+
+  /// Total number of instances minted (for tests/statistics).
+  [[nodiscard]] int instanceCount() const { return counter_; }
+
+  // construction
+  void record(const ir::Expr* use, int inst) { useInstance_[use] = inst; }
+  int fresh() { return counter_++; }
+
+ private:
+  std::map<const ir::Expr*, int> useInstance_;
+  int counter_ = 0;
+};
+
+/// Computes instance numbers for every variable/array use in the body of a
+/// parallel loop. The loop counter itself cannot be modified (OpenMP rule)
+/// and always keeps instance 0.
+[[nodiscard]] InstanceMap computeInstances(const ir::For& parallelLoop);
+
+}  // namespace formad::analysis

@@ -1,0 +1,220 @@
+#include "analysis/symbols.h"
+
+#include "ir/traversal.h"
+
+namespace formad::analysis {
+
+using namespace formad::ir;
+
+void SymbolTable::insert(Symbol sym) {
+  auto [it, inserted] = table_.emplace(sym.name, sym);
+  if (!inserted) {
+    // Loop counters may be reused by sibling loops, and AD-generated code
+    // re-declares locals in both the forward and the reverse sweep (the
+    // second declaration re-initializes, Fortran-style).
+    if (it->second.kind == sym.kind && it->second.type == sym.type &&
+        sym.kind != SymbolKind::Param)
+      return;
+    fail("duplicate declaration of '" + sym.name + "'");
+  }
+}
+
+const Symbol* SymbolTable::find(const std::string& name) const {
+  auto it = table_.find(name);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const Symbol& SymbolTable::get(const std::string& name) const {
+  const Symbol* s = find(name);
+  if (s == nullptr) fail("undeclared variable '" + name + "'");
+  return *s;
+}
+
+SymbolTable buildSymbolTable(const Kernel& k) {
+  SymbolTable syms;
+  for (const auto& p : k.params)
+    syms.insert(Symbol{p.name, p.type, SymbolKind::Param, p.intent});
+  forEachStmt(k.body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::DeclLocal) {
+      const auto& d = s.as<DeclLocal>();
+      syms.insert(Symbol{d.name, d.type, SymbolKind::Local, Intent::In});
+    } else if (s.kind() == StmtKind::For) {
+      const auto& f = s.as<For>();
+      syms.insert(Symbol{f.var, Type{Scalar::Int, 0}, SymbolKind::Counter,
+                         Intent::In});
+    }
+  });
+  return syms;
+}
+
+namespace {
+
+Scalar numericJoin(Scalar a, Scalar b, SourceLoc loc) {
+  if (a == Scalar::Bool || b == Scalar::Bool)
+    fail("bool operand in arithmetic expression", loc);
+  return (a == Scalar::Real || b == Scalar::Real) ? Scalar::Real : Scalar::Int;
+}
+
+void checkAssignable(Scalar target, Scalar source, SourceLoc loc) {
+  if (target == source) return;
+  if (target == Scalar::Real && source == Scalar::Int) return;  // widening
+  fail("cannot assign " +
+           to_string(Type{source, 0}) + " to " + to_string(Type{target, 0}),
+       loc);
+}
+
+class Checker {
+ public:
+  explicit Checker(const SymbolTable& syms) : syms_(syms) {}
+
+  void checkBody(const StmtList& body) {
+    for (const auto& s : body) checkStmt(*s);
+  }
+
+  void checkStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const auto& a = s.as<Assign>();
+        Scalar lhsType = refElemType(*a.lhs);
+        const Symbol& sym = syms_.get(refName(*a.lhs));
+        if (sym.kind == SymbolKind::Counter)
+          fail("cannot assign to loop counter '" + sym.name + "'", s.loc());
+        if (sym.kind == SymbolKind::Param && sym.intent == Intent::In &&
+            !sym.type.isArray())
+          fail("cannot assign to in parameter '" + sym.name + "'", s.loc());
+        checkAssignable(lhsType, typeOfExpr(*a.rhs, syms_), s.loc());
+        break;
+      }
+      case StmtKind::DeclLocal: {
+        const auto& d = s.as<DeclLocal>();
+        if (d.init)
+          checkAssignable(d.type.scalar, typeOfExpr(*d.init, syms_), s.loc());
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = s.as<If>();
+        if (typeOfExpr(*i.cond, syms_) != Scalar::Bool)
+          fail("if condition must be bool", s.loc());
+        checkBody(i.thenBody);
+        checkBody(i.elseBody);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = s.as<For>();
+        if (typeOfExpr(*f.lo, syms_) != Scalar::Int ||
+            typeOfExpr(*f.hi, syms_) != Scalar::Int ||
+            typeOfExpr(*f.step, syms_) != Scalar::Int)
+          fail("loop bounds and step must be int", s.loc());
+        for (const auto& name : f.privates) (void)syms_.get(name);
+        for (const auto& name : f.shared) (void)syms_.get(name);
+        for (const auto& r : f.reductions) (void)syms_.get(r.var);
+        checkBody(f.body);
+        break;
+      }
+      case StmtKind::Push:
+        (void)typeOfExpr(*s.as<Push>().value, syms_);
+        break;
+      case StmtKind::Pop:
+        (void)syms_.get(s.as<Pop>().target);
+        break;
+    }
+  }
+
+ private:
+  const SymbolTable& syms_;
+
+  Scalar refElemType(const Expr& e) {
+    const Symbol& sym = syms_.get(refName(e));
+    if (e.kind() == ExprKind::VarRef) {
+      if (sym.type.isArray())
+        fail("array '" + sym.name + "' used without indices", e.loc());
+      return sym.type.scalar;
+    }
+    const auto& a = e.as<ArrayRef>();
+    if (!sym.type.isArray())
+      fail("scalar '" + sym.name + "' used with indices", e.loc());
+    if (static_cast<int>(a.indices.size()) != sym.type.rank)
+      fail("rank mismatch on '" + sym.name + "'", e.loc());
+    for (const auto& i : a.indices)
+      if (typeOfExpr(*i, syms_) != Scalar::Int)
+        fail("array index must be int", e.loc());
+    return sym.type.scalar;
+  }
+};
+
+}  // namespace
+
+Scalar typeOfExpr(const Expr& e, const SymbolTable& syms) {
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+      return Scalar::Int;
+    case ExprKind::RealLit:
+      return Scalar::Real;
+    case ExprKind::BoolLit:
+      return Scalar::Bool;
+    case ExprKind::VarRef: {
+      const Symbol& sym = syms.get(e.as<VarRef>().name);
+      if (sym.type.isArray())
+        fail("array '" + sym.name + "' used as scalar", e.loc());
+      return sym.type.scalar;
+    }
+    case ExprKind::ArrayRef: {
+      const auto& a = e.as<ArrayRef>();
+      const Symbol& sym = syms.get(a.name);
+      if (!sym.type.isArray())
+        fail("scalar '" + sym.name + "' used with indices", e.loc());
+      if (static_cast<int>(a.indices.size()) != sym.type.rank)
+        fail("rank mismatch on '" + sym.name + "'", e.loc());
+      for (const auto& i : a.indices)
+        if (typeOfExpr(*i, syms) != Scalar::Int)
+          fail("array index must be int", e.loc());
+      return sym.type.scalar;
+    }
+    case ExprKind::Unary: {
+      const auto& u = e.as<Unary>();
+      Scalar t = typeOfExpr(*u.operand, syms);
+      if (u.op == UnOp::Not) {
+        if (t != Scalar::Bool) fail("'!' needs a bool operand", e.loc());
+        return Scalar::Bool;
+      }
+      if (t == Scalar::Bool) fail("cannot negate a bool", e.loc());
+      return t;
+    }
+    case ExprKind::Binary: {
+      const auto& b = e.as<Binary>();
+      Scalar lt = typeOfExpr(*b.lhs, syms);
+      Scalar rt = typeOfExpr(*b.rhs, syms);
+      if (isLogical(b.op)) {
+        if (lt != Scalar::Bool || rt != Scalar::Bool)
+          fail("logical operator needs bool operands", e.loc());
+        return Scalar::Bool;
+      }
+      if (isComparison(b.op)) {
+        (void)numericJoin(lt, rt, e.loc());
+        return Scalar::Bool;
+      }
+      if (b.op == BinOp::Mod) {
+        if (lt != Scalar::Int || rt != Scalar::Int)
+          fail("'%' needs int operands", e.loc());
+        return Scalar::Int;
+      }
+      return numericJoin(lt, rt, e.loc());
+    }
+    case ExprKind::Call: {
+      const auto& c = e.as<Call>();
+      for (const auto& a : c.args)
+        if (typeOfExpr(*a, syms) == Scalar::Bool)
+          fail("bool argument to intrinsic", e.loc());
+      return Scalar::Real;
+    }
+  }
+  fail("unreachable expression kind");
+}
+
+SymbolTable verifyKernel(const Kernel& k) {
+  SymbolTable syms = buildSymbolTable(k);
+  Checker(syms).checkBody(k.body);
+  return syms;
+}
+
+}  // namespace formad::analysis

@@ -1,0 +1,57 @@
+// Symbol table and semantic verification for kernels.
+//
+// Names in a kernel live in a single flat namespace (like Fortran locals):
+// parameters, scalar locals, and loop counters. A loop-counter name may be
+// shared by several loops (all counters are int and implicitly private);
+// any other redeclaration is an error.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace formad::analysis {
+
+enum class SymbolKind { Param, Local, Counter };
+
+struct Symbol {
+  std::string name;
+  ir::Type type;
+  SymbolKind kind = SymbolKind::Local;
+  ir::Intent intent = ir::Intent::In;  // meaningful for Param only
+};
+
+class SymbolTable {
+ public:
+  void insert(Symbol sym);
+
+  [[nodiscard]] const Symbol* find(const std::string& name) const;
+  [[nodiscard]] const Symbol& get(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+  [[nodiscard]] ir::Type typeOf(const std::string& name) const {
+    return get(name).type;
+  }
+
+  [[nodiscard]] const std::map<std::string, Symbol>& all() const {
+    return table_;
+  }
+
+ private:
+  std::map<std::string, Symbol> table_;
+};
+
+/// Builds the symbol table of `k`; throws on duplicate declarations.
+[[nodiscard]] SymbolTable buildSymbolTable(const ir::Kernel& k);
+
+/// Infers the scalar type of an expression. Throws on type errors
+/// (unknown names, rank mismatches, non-int indices, ...).
+[[nodiscard]] ir::Scalar typeOfExpr(const ir::Expr& e, const SymbolTable& syms);
+
+/// Full semantic verification of a kernel: builds the symbol table and type-
+/// checks every statement. Returns the table for further use.
+SymbolTable verifyKernel(const ir::Kernel& k);
+
+}  // namespace formad::analysis

@@ -1,0 +1,105 @@
+#include "cfg/cfg.h"
+
+#include "support/diagnostics.h"
+
+namespace formad::cfg {
+
+using namespace formad::ir;
+
+int Cfg::blockOf(const Stmt* s) const {
+  auto it = stmtBlock_.find(s);
+  FORMAD_ASSERT(it != stmtBlock_.end(), "statement not placed in CFG");
+  return it->second;
+}
+
+int Cfg::addBlock() {
+  int id = size();
+  BasicBlock b;
+  b.id = id;
+  blocks_.push_back(std::move(b));
+  return id;
+}
+
+void Cfg::addEdge(int from, int to) {
+  mutableBlock(from).succs.push_back(to);
+  mutableBlock(to).preds.push_back(from);
+}
+
+void Cfg::placeStmt(const Stmt* s, int blockId) {
+  stmtBlock_[s] = blockId;
+}
+
+namespace {
+
+class Builder {
+ public:
+  Cfg build(const StmtList& body) {
+    int entry = cfg_.addBlock();
+    cfg_.setEntry(entry);
+    int last = buildList(body, entry);
+    int exit = cfg_.addBlock();
+    cfg_.setExit(exit);
+    cfg_.addEdge(last, exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  Cfg cfg_;
+
+  /// Appends the statements to the CFG starting in block `cur`; returns the
+  /// block control falls out of.
+  int buildList(const StmtList& body, int cur) {
+    for (const auto& sp : body) cur = buildStmt(*sp, cur);
+    return cur;
+  }
+
+  int buildStmt(const Stmt& s, int cur) {
+    switch (s.kind()) {
+      case StmtKind::Assign:
+      case StmtKind::DeclLocal:
+      case StmtKind::Push:
+      case StmtKind::Pop:
+        cfg_.mutableBlock(cur).stmts.push_back(&s);
+        cfg_.placeStmt(&s, cur);
+        return cur;
+      case StmtKind::If: {
+        const auto& i = s.as<If>();
+        // The condition is evaluated at the end of `cur`.
+        cfg_.placeStmt(&s, cur);
+        int thenEntry = cfg_.addBlock();
+        int elseEntry = cfg_.addBlock();
+        cfg_.addEdge(cur, thenEntry);
+        cfg_.addEdge(cur, elseEntry);
+        int thenExit = buildList(i.thenBody, thenEntry);
+        int elseExit = buildList(i.elseBody, elseEntry);
+        int join = cfg_.addBlock();
+        cfg_.addEdge(thenExit, join);
+        cfg_.addEdge(elseExit, join);
+        return join;
+      }
+      case StmtKind::For: {
+        const auto& f = s.as<For>();
+        if (f.parallel)
+          fail("nested parallel loops are not supported", s.loc());
+        // cur(preheader) -> header -> body... -> latch -> header; header -> after
+        cfg_.placeStmt(&s, cur);
+        int header = cfg_.addBlock();
+        cfg_.addEdge(cur, header);
+        int bodyEntry = cfg_.addBlock();
+        cfg_.addEdge(header, bodyEntry);
+        int bodyExit = buildList(f.body, bodyEntry);
+        cfg_.addEdge(bodyExit, header);  // latch
+        int after = cfg_.addBlock();
+        cfg_.addEdge(header, after);
+        return after;
+      }
+    }
+    FORMAD_ASSERT(false, "unreachable statement kind");
+  }
+};
+
+}  // namespace
+
+Cfg buildCfg(const StmtList& body) { return Builder().build(body); }
+
+}  // namespace formad::cfg

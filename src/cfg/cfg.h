@@ -1,0 +1,55 @@
+// Control-flow graph over a statement list (typically a parallel-loop body).
+//
+// FormAD's context detection (paper Sec. 5.1) runs on the CFG: for the
+// general case of arbitrary control flow it uses dominator / post-dominator
+// analysis rather than relying on structure. Simple statements are grouped
+// into basic blocks; If statements produce diamonds; nested serial For
+// statements produce the usual preheader/header/body/latch shape.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace formad::cfg {
+
+struct BasicBlock {
+  int id = -1;
+  std::vector<const ir::Stmt*> stmts;  // simple statements only
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+class Cfg {
+ public:
+  [[nodiscard]] int entry() const { return entry_; }
+  [[nodiscard]] int exit() const { return exit_; }
+  [[nodiscard]] int size() const { return static_cast<int>(blocks_.size()); }
+  [[nodiscard]] const BasicBlock& block(int id) const { return blocks_.at(static_cast<size_t>(id)); }
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  /// Block containing a simple statement, or the block at which a compound
+  /// statement (If/For) is anchored (its decision point).
+  [[nodiscard]] int blockOf(const ir::Stmt* s) const;
+
+  // --- construction API (used by the builder) ---
+  int addBlock();
+  void addEdge(int from, int to);
+  void placeStmt(const ir::Stmt* s, int blockId);
+  void setEntry(int id) { entry_ = id; }
+  void setExit(int id) { exit_ = id; }
+  BasicBlock& mutableBlock(int id) { return blocks_.at(static_cast<size_t>(id)); }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::map<const ir::Stmt*, int> stmtBlock_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+/// Builds the CFG of a statement list. Nested parallel loops are rejected
+/// (the paper's OpenMP support is a single level of parallelism).
+[[nodiscard]] Cfg buildCfg(const ir::StmtList& body);
+
+}  // namespace formad::cfg

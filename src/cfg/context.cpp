@@ -1,0 +1,132 @@
+#include "cfg/context.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace formad::cfg {
+
+bool ContextTree::includes(int inner, int outer) const {
+  int c = inner;
+  while (c != -1) {
+    if (c == outer) return true;
+    c = node(c).parent;
+  }
+  return false;
+}
+
+int ContextTree::commonRoot(int a, int b) const {
+  // Walk the deeper node up until depths match, then walk both up.
+  while (node(a).depth > node(b).depth) a = node(a).parent;
+  while (node(b).depth > node(a).depth) b = node(b).parent;
+  while (a != b) {
+    a = node(a).parent;
+    b = node(b).parent;
+    FORMAD_ASSERT(a != -1 && b != -1, "context tree has no common root");
+  }
+  return a;
+}
+
+int ContextTree::addNode() {
+  int id = size();
+  Node n;
+  n.id = id;
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void ContextTree::setParent(int child, int parent) {
+  nodes_.at(static_cast<size_t>(child)).parent = parent;
+  nodes_.at(static_cast<size_t>(parent)).children.push_back(child);
+}
+
+void ContextTree::assignBlock(int blockId, int ctx) {
+  if (static_cast<size_t>(blockId) >= blockContext_.size())
+    blockContext_.resize(static_cast<size_t>(blockId) + 1, -1);
+  blockContext_[static_cast<size_t>(blockId)] = ctx;
+  nodes_.at(static_cast<size_t>(ctx)).blocks.push_back(blockId);
+}
+
+ContextTree buildContextTree(const Cfg& cfg) {
+  const int n = cfg.size();
+  DominanceInfo dom = computeDominators(cfg);
+  DominanceInfo pdom = computePostDominators(cfg);
+
+  // covers[a][b]: execution of b implies execution of a.
+  std::vector<std::vector<bool>> covers(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n), false));
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b)
+      covers[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+          dom.dominates(a, b) || pdom.dominates(a, b);
+
+  // Transitive closure (the implication chains through intermediate blocks).
+  for (int k = 0; k < n; ++k)
+    for (int a = 0; a < n; ++a) {
+      if (!covers[static_cast<size_t>(a)][static_cast<size_t>(k)]) continue;
+      for (int b = 0; b < n; ++b)
+        if (covers[static_cast<size_t>(k)][static_cast<size_t>(b)])
+          covers[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+    }
+
+  // Equivalence classes: a ~ b iff covers both ways.
+  std::vector<int> classOf(static_cast<size_t>(n), -1);
+  ContextTree tree;
+  std::vector<int> classRep;
+  for (int b = 0; b < n; ++b) {
+    if (classOf[static_cast<size_t>(b)] != -1) continue;
+    int cls = tree.addNode();
+    classRep.push_back(b);
+    for (int c = b; c < n; ++c) {
+      if (classOf[static_cast<size_t>(c)] == -1 &&
+          covers[static_cast<size_t>(b)][static_cast<size_t>(c)] &&
+          covers[static_cast<size_t>(c)][static_cast<size_t>(b)])
+        classOf[static_cast<size_t>(c)] = cls;
+    }
+  }
+  for (int b = 0; b < n; ++b) tree.assignBlock(b, classOf[static_cast<size_t>(b)]);
+
+  // Class partial order: cls(a) covered-by cls(b) iff covers[repB][repA].
+  // Parent of class X = the strictly-covering class covered by all other
+  // strictly-covering classes (exists for structured control flow).
+  int rootCls = classOf[static_cast<size_t>(cfg.entry())];
+  tree.setRoot(rootCls);
+  const int numCls = tree.size();
+  for (int x = 0; x < numCls; ++x) {
+    if (x == rootCls) continue;
+    int repX = classRep[static_cast<size_t>(x)];
+    int parent = -1;
+    for (int y = 0; y < numCls; ++y) {
+      if (y == x) continue;
+      int repY = classRep[static_cast<size_t>(y)];
+      if (!covers[static_cast<size_t>(repY)][static_cast<size_t>(repX)])
+        continue;  // y does not cover x
+      if (parent == -1) {
+        parent = y;
+      } else {
+        int repP = classRep[static_cast<size_t>(parent)];
+        // Keep the *innermost* covering class: the one covered by the other.
+        if (covers[static_cast<size_t>(repP)][static_cast<size_t>(repY)])
+          parent = y;
+      }
+    }
+    FORMAD_ASSERT(parent != -1, "context class without covering parent");
+    tree.setParent(x, parent);
+  }
+
+  // Depths (children lists were just built).
+  // Iterate in BFS order from the root.
+  std::vector<int> stack = {rootCls};
+  while (!stack.empty()) {
+    int c = stack.back();
+    stack.pop_back();
+    for (int ch : tree.node(c).children) {
+      tree.mutableNode(ch).depth = tree.node(c).depth + 1;
+      stack.push_back(ch);
+    }
+  }
+
+  return tree;
+}
+
+}  // namespace formad::cfg

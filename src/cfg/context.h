@@ -1,0 +1,71 @@
+// Control contexts (paper Sec. 5.1).
+//
+// The context of an instruction represents the set of control decisions
+// that lead to executing it. Context C2 is *included* in C1 when every
+// iteration of the parallel loop that executes an instruction of C2
+// necessarily executes the instructions of C1. Dominance and post-dominance
+// each imply inclusion; mutual inclusion means equality. We partition CFG
+// blocks into equivalence classes under the transitive closure of
+// "covers(A,B) := A dom B or A pdom B" and arrange the classes in a tree
+// rooted at the context of the region entry. Knowledge bases are attached
+// to context nodes; a context inherits all knowledge of its ancestors.
+#pragma once
+
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "cfg/dominators.h"
+
+namespace formad::cfg {
+
+class ContextTree {
+ public:
+  struct Node {
+    int id = -1;
+    int parent = -1;  // -1 for root
+    std::vector<int> children;
+    std::vector<int> blocks;  // CFG blocks in this equivalence class
+    int depth = 0;
+  };
+
+  [[nodiscard]] int root() const { return root_; }
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const Node& node(int id) const {
+    return nodes_.at(static_cast<size_t>(id));
+  }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Context of a CFG block.
+  [[nodiscard]] int contextOfBlock(int blockId) const {
+    return blockContext_.at(static_cast<size_t>(blockId));
+  }
+  /// Context of a statement (via its CFG block).
+  [[nodiscard]] int contextOf(const Cfg& cfg, const ir::Stmt* s) const {
+    return contextOfBlock(cfg.blockOf(s));
+  }
+
+  /// True iff `inner` equals `outer` or is a descendant of it — i.e. the
+  /// paper's "C_inner included in C_outer".
+  [[nodiscard]] bool includes(int inner, int outer) const;
+
+  /// Nearest common ancestor: the paper's "common root of C1 and C2" used
+  /// during knowledge exploitation.
+  [[nodiscard]] int commonRoot(int a, int b) const;
+
+  // construction
+  Node& mutableNode(int id) { return nodes_.at(static_cast<size_t>(id)); }
+  int addNode();
+  void setRoot(int id) { root_ = id; }
+  void setParent(int child, int parent);
+  void assignBlock(int blockId, int ctx);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<int> blockContext_;
+  int root_ = -1;
+};
+
+/// Builds the context tree of a CFG using dominance and post-dominance.
+[[nodiscard]] ContextTree buildContextTree(const Cfg& cfg);
+
+}  // namespace formad::cfg

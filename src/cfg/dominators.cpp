@@ -1,0 +1,71 @@
+#include "cfg/dominators.h"
+
+#include <algorithm>
+
+namespace formad::cfg {
+
+namespace {
+
+/// Iterative dataflow: dom(b) = {b} ∪ ⋂_{p ∈ preds(b)} dom(p), rooted at
+/// `root`. `preds` is the predecessor function of the graph direction we
+/// analyze (forward preds for dominators, succs for post-dominators).
+DominanceInfo solve(int n, int root,
+                    const std::vector<std::vector<int>>& preds) {
+  // domSets[b] = bitset of blocks that dominate b.
+  std::vector<std::vector<bool>> domSets(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n), true));
+  for (int b = 0; b < n; ++b) {
+    if (b == root) {
+      std::fill(domSets[static_cast<size_t>(b)].begin(),
+                domSets[static_cast<size_t>(b)].end(), false);
+      domSets[static_cast<size_t>(b)][static_cast<size_t>(b)] = true;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < n; ++b) {
+      if (b == root) continue;
+      std::vector<bool> next(static_cast<size_t>(n), true);
+      if (preds[static_cast<size_t>(b)].empty()) {
+        // Unreachable in this direction: dominated by everything (top);
+        // keep as-is so it never weakens reachable solutions.
+        continue;
+      }
+      for (int p : preds[static_cast<size_t>(b)])
+        for (int x = 0; x < n; ++x)
+          next[static_cast<size_t>(x)] =
+              next[static_cast<size_t>(x)] &&
+              domSets[static_cast<size_t>(p)][static_cast<size_t>(x)];
+      next[static_cast<size_t>(b)] = true;
+      if (next != domSets[static_cast<size_t>(b)]) {
+        domSets[static_cast<size_t>(b)] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  DominanceInfo info(n);
+  for (int b = 0; b < n; ++b)
+    for (int a = 0; a < n; ++a)
+      if (domSets[static_cast<size_t>(b)][static_cast<size_t>(a)])
+        info.set(a, b);
+  return info;
+}
+
+}  // namespace
+
+DominanceInfo computeDominators(const Cfg& cfg) {
+  std::vector<std::vector<int>> preds(static_cast<size_t>(cfg.size()));
+  for (const auto& b : cfg.blocks()) preds[static_cast<size_t>(b.id)] = b.preds;
+  return solve(cfg.size(), cfg.entry(), preds);
+}
+
+DominanceInfo computePostDominators(const Cfg& cfg) {
+  std::vector<std::vector<int>> preds(static_cast<size_t>(cfg.size()));
+  for (const auto& b : cfg.blocks()) preds[static_cast<size_t>(b.id)] = b.succs;
+  return solve(cfg.size(), cfg.exit(), preds);
+}
+
+}  // namespace formad::cfg

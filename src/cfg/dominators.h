@@ -1,0 +1,38 @@
+// Dominator and post-dominator analysis (iterative bitset fixpoint).
+//
+// Used by the context detection of FormAD (paper Sec. 5.1): I1 dominates I2,
+// or I1 post-dominates I2, implies that every loop iteration executing I2
+// also executes I1.
+#pragma once
+
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace formad::cfg {
+
+/// Full dominance relation: dom[a][b] == true iff block a dominates block b.
+/// (Block count in FormAD's parallel regions is small, so the O(n^2) dense
+/// representation is the simple and cache-friendly choice.)
+class DominanceInfo {
+ public:
+  DominanceInfo(int n) : n_(n), dom_(static_cast<size_t>(n) * n, false) {}
+
+  [[nodiscard]] bool dominates(int a, int b) const {
+    return dom_[static_cast<size_t>(a) * n_ + b];
+  }
+  void set(int a, int b) { dom_[static_cast<size_t>(a) * n_ + b] = true; }
+  [[nodiscard]] int size() const { return n_; }
+
+ private:
+  int n_;
+  std::vector<bool> dom_;  // row a: blocks dominated by a
+};
+
+/// Computes dominators with `entry` as root, following `succs`.
+[[nodiscard]] DominanceInfo computeDominators(const Cfg& cfg);
+
+/// Computes post-dominators: dominators of the reversed CFG rooted at exit.
+[[nodiscard]] DominanceInfo computePostDominators(const Cfg& cfg);
+
+}  // namespace formad::cfg

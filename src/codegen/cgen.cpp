@@ -1,0 +1,454 @@
+#include "codegen/cgen.h"
+
+#include <set>
+#include <sstream>
+
+#include "analysis/increment.h"
+#include "analysis/symbols.h"
+#include "ir/traversal.h"
+
+namespace formad::codegen {
+
+using namespace formad::ir;
+
+namespace {
+
+/// The embedded tape runtime. Kept minimal and C11: a growable main lane
+/// plus a stack of per-iteration lane blocks, exactly the discipline of
+/// ad/tape.h.
+const char* kRuntime = R"(#include <math.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+  double* r; long long rn, rcap;
+  long long* i; long long in_, icap;
+  unsigned char* b; long long bn, bcap;
+} fad_lane;
+
+typedef struct {
+  fad_lane* lanes;
+  long long lo, step, count;
+} fad_block;
+
+static fad_lane fad_main_lane_s;
+static fad_block* fad_blocks;
+static int fad_nblocks, fad_blockcap;
+
+static void fad_lane_free(fad_lane* l) {
+  free(l->r); free(l->i); free(l->b);
+  memset(l, 0, sizeof *l);
+}
+
+static void fad_push_real(fad_lane* l, double v) {
+  if (l->rn == l->rcap) {
+    l->rcap = l->rcap ? 2 * l->rcap : 16;
+    l->r = (double*)realloc(l->r, (size_t)l->rcap * sizeof(double));
+  }
+  l->r[l->rn++] = v;
+}
+static double fad_pop_real(fad_lane* l) { return l->r[--l->rn]; }
+
+static void fad_push_int(fad_lane* l, long long v) {
+  if (l->in_ == l->icap) {
+    l->icap = l->icap ? 2 * l->icap : 16;
+    l->i = (long long*)realloc(l->i, (size_t)l->icap * sizeof(long long));
+  }
+  l->i[l->in_++] = v;
+}
+static long long fad_pop_int(fad_lane* l) { return l->i[--l->in_]; }
+
+static void fad_push_bool(fad_lane* l, int v) {
+  if (l->bn == l->bcap) {
+    l->bcap = l->bcap ? 2 * l->bcap : 16;
+    l->b = (unsigned char*)realloc(l->b, (size_t)l->bcap);
+  }
+  l->b[l->bn++] = (unsigned char)v;
+}
+static int fad_pop_bool(fad_lane* l) { return (int)l->b[--l->bn]; }
+
+static fad_lane* fad_main_lane(void) { return &fad_main_lane_s; }
+
+static fad_block* fad_push_block(long long lo, long long step,
+                                 long long count) {
+  if (fad_nblocks == fad_blockcap) {
+    fad_blockcap = fad_blockcap ? 2 * fad_blockcap : 8;
+    fad_blocks =
+        (fad_block*)realloc(fad_blocks, (size_t)fad_blockcap * sizeof(fad_block));
+  }
+  fad_block* blk = &fad_blocks[fad_nblocks++];
+  blk->lo = lo; blk->step = step; blk->count = count;
+  blk->lanes = (fad_lane*)calloc((size_t)(count > 0 ? count : 1),
+                                 sizeof(fad_lane));
+  return blk;
+}
+static fad_block* fad_top_block(void) { return &fad_blocks[fad_nblocks - 1]; }
+static void fad_pop_block(void) {
+  fad_block* blk = &fad_blocks[--fad_nblocks];
+  for (long long k = 0; k < blk->count; ++k) fad_lane_free(&blk->lanes[k]);
+  free(blk->lanes);
+}
+static fad_lane* fad_block_lane(fad_block* blk, long long iter) {
+  return &blk->lanes[(iter - blk->lo) / blk->step];
+}
+)";
+
+class Emitter {
+ public:
+  Emitter(const Kernel& kernel, const CgenOptions& opts)
+      : k_(kernel), opts_(opts), syms_(analysis::verifyKernel(kernel)) {}
+
+  void emit(std::ostringstream& os) {
+    collectArrays();
+    emitSignature(os);
+    os << " {\n";
+    emitLocalDecls(os);
+    laneExpr_ = "fad_main_lane()";
+    emitBody(k_.body, 1, os);
+    emitWriteBack(os, 1);
+    os << "}\n\n";
+    emitEntry(os);
+  }
+
+ private:
+  const Kernel& k_;
+  const CgenOptions& opts_;
+  analysis::SymbolTable syms_;
+  std::vector<const Param*> arrayParams_;
+  std::string laneExpr_;
+  int temp_ = 0;
+
+  static std::string ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+  void collectArrays() {
+    for (const auto& p : k_.params)
+      if (p.type.isArray()) arrayParams_.push_back(&p);
+  }
+
+  [[nodiscard]] static const char* cType(Scalar s) {
+    switch (s) {
+      case Scalar::Int: return "long long";
+      case Scalar::Real: return "double";
+      case Scalar::Bool: return "int";
+    }
+    return "void";
+  }
+
+  void emitSignature(std::ostringstream& os) {
+    os << "void " << k_.name << "(";
+    bool first = true;
+    for (const auto& p : k_.params) {
+      if (!first) os << ", ";
+      first = false;
+      if (p.type.isArray()) {
+        os << cType(p.type.scalar) << "* " << p.name;
+      } else if (p.intent == Intent::In) {
+        os << cType(p.type.scalar) << " " << p.name;
+      } else {
+        os << cType(p.type.scalar) << "* " << p.name << "_out";
+      }
+    }
+    for (const auto* p : arrayParams_)
+      os << ", const long long* " << p->name << "_dims";
+    os << ")";
+  }
+
+  /// Scalar locals (flat namespace, possibly re-declared in fwd and rev
+  /// sweeps) become function-scope declarations; out-scalars get local
+  /// working copies written back at the end.
+  void emitLocalDecls(std::ostringstream& os) {
+    std::set<std::string> seen;
+    forEachStmt(k_.body, [&](const Stmt& s) {
+      std::string name;
+      Scalar type = Scalar::Real;
+      if (s.kind() == StmtKind::DeclLocal) {
+        name = s.as<DeclLocal>().name;
+        type = s.as<DeclLocal>().type.scalar;
+      } else if (s.kind() == StmtKind::For) {
+        name = s.as<For>().var;
+        type = Scalar::Int;
+      } else if (s.kind() == StmtKind::Pop) {
+        name = s.as<Pop>().target;
+        const analysis::Symbol* sym = syms_.find(name);
+        if (sym != nullptr) type = sym->type.scalar;
+      } else {
+        return;
+      }
+      if (seen.insert(name).second)
+        os << ind(1) << cType(type) << " " << name << " = 0;\n";
+    });
+    for (const auto& p : k_.params) {
+      if (p.type.isArray() || p.intent == Intent::In) continue;
+      os << ind(1) << cType(p.type.scalar) << " " << p.name << " = *"
+         << p.name << "_out;\n";
+    }
+  }
+
+  void emitWriteBack(std::ostringstream& os, int depth) {
+    for (const auto& p : k_.params) {
+      if (p.type.isArray() || p.intent == Intent::In) continue;
+      os << ind(depth) << "*" << p.name << "_out = " << p.name << ";\n";
+    }
+  }
+
+  // ----- expressions -----
+
+  std::string expr(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        return std::to_string(e.as<IntLit>().value) + "LL";
+      case ExprKind::RealLit: {
+        std::ostringstream os;
+        os.precision(17);
+        os << e.as<RealLit>().value;
+        std::string s = os.str();
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos)
+          s += ".0";
+        return s;
+      }
+      case ExprKind::BoolLit:
+        return e.as<BoolLit>().value ? "1" : "0";
+      case ExprKind::VarRef:
+        return e.as<VarRef>().name;
+      case ExprKind::ArrayRef:
+        return arrayRef(e.as<ArrayRef>());
+      case ExprKind::Unary: {
+        const auto& u = e.as<Unary>();
+        return (u.op == UnOp::Neg ? "(-" : "(!") + expr(*u.operand) + ")";
+      }
+      case ExprKind::Binary: {
+        const auto& b = e.as<Binary>();
+        return "(" + expr(*b.lhs) + " " + to_string(b.op) + " " +
+               expr(*b.rhs) + ")";
+      }
+      case ExprKind::Call: {
+        const auto& c = e.as<Call>();
+        std::string fn;
+        switch (c.fn) {
+          case Intrinsic::Sin: fn = "sin"; break;
+          case Intrinsic::Cos: fn = "cos"; break;
+          case Intrinsic::Tan: fn = "tan"; break;
+          case Intrinsic::Exp: fn = "exp"; break;
+          case Intrinsic::Log: fn = "log"; break;
+          case Intrinsic::Sqrt: fn = "sqrt"; break;
+          case Intrinsic::Abs: fn = "fabs"; break;
+          case Intrinsic::Min: fn = "fmin"; break;
+          case Intrinsic::Max: fn = "fmax"; break;
+          case Intrinsic::Pow: fn = "pow"; break;
+          case Intrinsic::Tanh: fn = "tanh"; break;
+        }
+        std::string out = fn + "((double)" + expr(*c.args[0]);
+        for (size_t a = 1; a < c.args.size(); ++a)
+          out += ", (double)" + expr(*c.args[a]);
+        return out + ")";
+      }
+    }
+    fail("unreachable expression kind");
+  }
+
+  std::string arrayRef(const ArrayRef& a) {
+    // Row-major, dim 0 fastest: u[i0 + d0*(i1 + d1*i2)].
+    std::string idx = expr(*a.indices[0]);
+    if (a.indices.size() >= 2) {
+      std::string inner = expr(*a.indices[1]);
+      if (a.indices.size() == 3)
+        inner = "(" + inner + " + " + a.name + "_dims[1]*" +
+                expr(*a.indices[2]) + ")";
+      idx = "(" + idx + " + " + a.name + "_dims[0]*" + inner + ")";
+    }
+    return a.name + "[" + idx + "]";
+  }
+
+  // ----- statements -----
+
+  void emitBody(const StmtList& body, int depth, std::ostringstream& os) {
+    for (const auto& s : body) emitStmt(*s, depth, os);
+  }
+
+  void emitStmt(const Stmt& s, int depth, std::ostringstream& os) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const auto& a = s.as<Assign>();
+        if (a.guard == Guard::Reduction)
+          fail("C emission of reduction-guarded increments is not supported "
+               "(use the Atomic or FormAD program versions)");
+        if (a.guard == Guard::Atomic) {
+          auto incr = analysis::classifyIncrement(a);
+          FORMAD_ASSERT(incr.isIncrement, "atomic guard on non-increment");
+          if (opts_.openmp) os << ind(depth) << "#pragma omp atomic\n";
+          os << ind(depth) << expr(*a.lhs)
+             << (incr.negated ? " -= " : " += ") << expr(*incr.addend)
+             << ";\n";
+          return;
+        }
+        os << ind(depth) << expr(*a.lhs) << " = " << expr(*a.rhs) << ";\n";
+        return;
+      }
+      case StmtKind::DeclLocal: {
+        const auto& d = s.as<DeclLocal>();
+        if (d.init)
+          os << ind(depth) << d.name << " = " << expr(*d.init) << ";\n";
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = s.as<If>();
+        os << ind(depth) << "if (" << expr(*i.cond) << ") {\n";
+        emitBody(i.thenBody, depth + 1, os);
+        if (!i.elseBody.empty()) {
+          os << ind(depth) << "} else {\n";
+          emitBody(i.elseBody, depth + 1, os);
+        }
+        os << ind(depth) << "}\n";
+        return;
+      }
+      case StmtKind::Push: {
+        const auto& p = s.as<Push>();
+        const char* fn = p.channel == TapeChannel::Real  ? "fad_push_real"
+                         : p.channel == TapeChannel::Int ? "fad_push_int"
+                                                         : "fad_push_bool";
+        os << ind(depth) << fn << "(" << laneExpr_ << ", "
+           << expr(*p.value) << ");\n";
+        return;
+      }
+      case StmtKind::Pop: {
+        const auto& p = s.as<Pop>();
+        const char* fn = p.channel == TapeChannel::Real  ? "fad_pop_real"
+                         : p.channel == TapeChannel::Int ? "fad_pop_int"
+                                                         : "fad_pop_bool";
+        os << ind(depth) << p.target << " = " << fn << "(" << laneExpr_
+           << ");\n";
+        return;
+      }
+      case StmtKind::For:
+        emitFor(s.as<For>(), depth, os);
+        return;
+    }
+  }
+
+  void emitFor(const For& f, int depth, std::ostringstream& os) {
+    int id = temp_++;
+    std::string lo = "_lo" + std::to_string(id);
+    std::string hi = "_hi" + std::to_string(id);
+    std::string st = "_st" + std::to_string(id);
+    os << ind(depth) << "{\n";
+    int d = depth + 1;
+    os << ind(d) << "const long long " << lo << " = " << expr(*f.lo)
+       << ", " << hi << " = " << expr(*f.hi) << ", " << st << " = "
+       << expr(*f.step) << ";\n";
+
+    std::string blockVar;
+    if (f.usesTape) {
+      blockVar = "_blk" + std::to_string(id);
+      os << ind(d) << "fad_block* " << blockVar << " = ";
+      if (f.reversed)
+        os << "fad_top_block();\n";
+      else
+        os << "fad_push_block(" << lo << ", " << st << ", " << hi << " >= "
+           << lo << " ? (" << hi << " - " << lo << ") / " << st
+           << " + 1 : 0);\n";
+    }
+
+    if (f.parallel && opts_.openmp) {
+      os << ind(d) << "#pragma omp parallel for schedule("
+         << (f.sched == Schedule::Dynamic ? "dynamic" : "static") << ")";
+      std::set<std::string> privates = privateNames(f);
+      privates.erase(f.var);  // the loop variable is private anyway
+      if (!privates.empty()) {
+        os << " private(";
+        bool first = true;
+        for (const auto& n : privates) {
+          os << (first ? "" : ", ") << n;
+          first = false;
+        }
+        os << ")";
+      }
+      os << "\n";
+    }
+
+    // Parallel loops always iterate ascending (order across iterations is
+    // free); reversed serial loops iterate descending.
+    if (f.reversed && !f.parallel) {
+      os << ind(d) << "for (" << f.var << " = " << lo << " + (" << hi
+         << " >= " << lo << " ? (" << hi << " - " << lo << ") / " << st
+         << " : -1) * " << st << "; " << f.var << " >= " << lo << "; "
+         << f.var << " -= " << st << ") {\n";
+    } else {
+      os << ind(d) << "for (" << f.var << " = " << lo << "; " << f.var
+         << " <= " << hi << "; " << f.var << " += " << st << ") {\n";
+    }
+
+    std::string savedLane = laneExpr_;
+    if (f.usesTape && f.parallel) {
+      os << ind(d + 1) << "fad_lane* _lane" << id << " = fad_block_lane("
+         << blockVar << ", " << f.var << ");\n";
+      laneExpr_ = "_lane" + std::to_string(id);
+    }
+    emitBody(f.body, d + 1, os);
+    laneExpr_ = savedLane;
+    os << ind(d) << "}\n";
+
+    if (f.usesTape && f.reversed) os << ind(d) << "fad_pop_block();\n";
+    os << ind(depth) << "}\n";
+  }
+
+  /// Scalars private to a parallel loop: counter, clause privates, locals
+  /// declared inside, pop targets, inner serial counters.
+  static std::set<std::string> privateNames(const For& f) {
+    std::set<std::string> names;
+    names.insert(f.var);
+    for (const auto& p : f.privates) names.insert(p);
+    forEachStmt(f.body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::DeclLocal)
+        names.insert(s.as<DeclLocal>().name);
+      else if (s.kind() == StmtKind::Pop)
+        names.insert(s.as<Pop>().target);
+      else if (s.kind() == StmtKind::For)
+        names.insert(s.as<For>().var);
+    });
+    return names;
+  }
+
+  // ----- entry wrapper -----
+
+  void emitEntry(std::ostringstream& os) {
+    os << "void " << k_.name << "_entry(void** argv) {\n";
+    os << ind(1) << k_.name << "(";
+    bool first = true;
+    size_t idx = 0;
+    for (const auto& p : k_.params) {
+      if (!first) os << ", ";
+      first = false;
+      if (p.type.isArray()) {
+        os << "(" << cType(p.type.scalar) << "*)argv[" << idx << "]";
+      } else if (p.intent == Intent::In) {
+        os << "*(" << cType(p.type.scalar) << "*)argv[" << idx << "]";
+      } else {
+        os << "(" << cType(p.type.scalar) << "*)argv[" << idx << "]";
+      }
+      ++idx;
+    }
+    for (size_t a = 0; a < arrayParams_.size(); ++a)
+      os << ", (const long long*)argv[" << idx + a << "]";
+    os << ");\n}\n\n";
+  }
+};
+
+}  // namespace
+
+std::string emitC(const std::vector<const Kernel*>& kernels,
+                  const CgenOptions& opts) {
+  std::ostringstream os;
+  os << "/* generated by formad (C backend) */\n" << kRuntime << "\n";
+  for (const auto* k : kernels) {
+    Emitter em(*k, opts);
+    em.emit(os);
+  }
+  return os.str();
+}
+
+std::string emitC(const Kernel& kernel, const CgenOptions& opts) {
+  return emitC(std::vector<const Kernel*>{&kernel}, opts);
+}
+
+}  // namespace formad::codegen

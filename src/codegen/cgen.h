@@ -1,0 +1,46 @@
+// C source emission: turn IR kernels (primal or AD-generated) into a
+// self-contained C11 + OpenMP translation unit.
+//
+// This is the "source transformation" half of a Tapenade-style tool: the
+// interpreter executes IR directly, but a downstream user compiles the
+// generated code. The emitted file contains
+//   - a small tape runtime (main lane + per-iteration lane blocks,
+//     realloc-backed, mirroring ad/tape.h),
+//   - one C function per kernel with explicit parameters,
+//   - a uniform `void <name>_entry(void** argv)` wrapper per kernel for
+//     dlopen-style embedding (used by the tests and the native benchmark).
+//
+// ABI of `_entry`: argv[k] corresponds to parameter k in declaration
+// order — `long long*` for int scalars, `double*` for real scalars (both
+// read/write), data pointers for arrays. After the parameters, one
+// `long long*` per array parameter (in order) supplies its extents
+// (3 entries, row-major, dim 0 fastest).
+//
+// Guard emission: Guard::Atomic becomes `#pragma omp atomic`;
+// Guard::None is a plain update. Guard::Reduction is rejected — the
+// shadow-with-read-through semantics the executor implements has no
+// faithful OpenMP pragma equivalent for mixed-access arrays (documented
+// limitation; the FormAD/Atomic/Serial versions are what the native
+// benchmarks compare anyway).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+
+namespace formad::codegen {
+
+struct CgenOptions {
+  /// Emit `#pragma omp ...` for parallel loops; off = fully serial file.
+  bool openmp = true;
+};
+
+/// Emits a complete C translation unit for the given kernels.
+[[nodiscard]] std::string emitC(const std::vector<const ir::Kernel*>& kernels,
+                                const CgenOptions& opts = {});
+
+[[nodiscard]] std::string emitC(const ir::Kernel& kernel,
+                                const CgenOptions& opts = {});
+
+}  // namespace formad::codegen

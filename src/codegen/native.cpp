@@ -1,0 +1,126 @@
+#include "codegen/native.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace formad::codegen {
+
+using exec::Inputs;
+
+struct NativeKernel::Impl {
+  std::vector<ir::Param> params;
+  std::string dir;
+  void* handle = nullptr;
+  using EntryFn = void (*)(void**);
+  EntryFn entry = nullptr;
+
+  ~Impl() {
+    if (handle != nullptr) dlclose(handle);
+    if (!dir.empty()) {
+      std::remove((dir + "/kernel.c").c_str());
+      std::remove((dir + "/kernel.so").c_str());
+      std::remove((dir + "/cc.log").c_str());
+      rmdir(dir.c_str());
+    }
+  }
+};
+
+NativeKernel::NativeKernel(const ir::Kernel& kernel, const CgenOptions& opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->params = kernel.params;
+  source_ = emitC(kernel, opts);
+
+  char tmpl[] = "/tmp/formad_cgen_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) fail("cannot create temporary directory for codegen");
+  impl_->dir = dir;
+
+  std::string cPath = impl_->dir + "/kernel.c";
+  {
+    std::ofstream out(cPath);
+    out << source_;
+  }
+
+  std::string soPath = impl_->dir + "/kernel.so";
+  std::string logPath = impl_->dir + "/cc.log";
+  std::string cmd = "cc -O2 -fopenmp -shared -fPIC -o " + soPath + " " +
+                    cPath + " -lm > " + logPath + " 2>&1";
+  if (std::system(cmd.c_str()) != 0) {
+    std::ifstream log(logPath);
+    std::string msg((std::istreambuf_iterator<char>(log)),
+                    std::istreambuf_iterator<char>());
+    fail("C backend compilation failed:\n" + msg);
+  }
+
+  impl_->handle = dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (impl_->handle == nullptr)
+    fail(std::string("dlopen failed: ") + dlerror());
+  std::string sym = kernel.name + "_entry";
+  impl_->entry = reinterpret_cast<Impl::EntryFn>(
+      dlsym(impl_->handle, sym.c_str()));
+  if (impl_->entry == nullptr)
+    fail("generated library lacks symbol " + sym);
+}
+
+NativeKernel::~NativeKernel() = default;
+
+void NativeKernel::run(Inputs& io) {
+  // Marshal per the _entry ABI (see cgen.h).
+  std::vector<void*> argv;
+  std::vector<long long> intScalars;
+  std::vector<double> realScalars;
+  std::vector<std::array<long long, 3>> dims;
+  intScalars.reserve(impl_->params.size());
+  realScalars.reserve(impl_->params.size());
+  dims.reserve(impl_->params.size());
+
+  for (const auto& p : impl_->params) {
+    if (p.type.isArray()) {
+      exec::ArrayValue& a = io.array(p.name);
+      if (a.elem() != p.type.scalar || a.rank() != p.type.rank)
+        fail("array bound to '" + p.name + "' has wrong type/rank");
+      argv.push_back(p.type.isReal()
+                         ? static_cast<void*>(a.realData().data())
+                         : static_cast<void*>(a.intData().data()));
+    } else if (p.type.isInt()) {
+      intScalars.push_back(io.has(p.name) ? io.intVal(p.name) : 0);
+      argv.push_back(&intScalars.back());
+    } else {
+      realScalars.push_back(io.has(p.name) ? io.real(p.name) : 0.0);
+      argv.push_back(&realScalars.back());
+    }
+  }
+  for (const auto& p : impl_->params) {
+    if (!p.type.isArray()) continue;
+    exec::ArrayValue& a = io.array(p.name);
+    std::array<long long, 3> d = {1, 1, 1};
+    for (int k = 0; k < a.rank(); ++k) d[static_cast<size_t>(k)] = a.dim(k);
+    dims.push_back(d);
+    argv.push_back(dims.back().data());
+  }
+
+  impl_->entry(argv.data());
+
+  // Write scalar outs back.
+  size_t intIdx = 0, realIdx = 0;
+  for (const auto& p : impl_->params) {
+    if (p.type.isArray()) continue;
+    if (p.type.isInt()) {
+      if (p.intent != ir::Intent::In) io.bindInt(p.name, intScalars[intIdx]);
+      ++intIdx;
+    } else {
+      if (p.intent != ir::Intent::In) io.bindReal(p.name, realScalars[realIdx]);
+      ++realIdx;
+    }
+  }
+}
+
+}  // namespace formad::codegen

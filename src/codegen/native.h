@@ -1,0 +1,39 @@
+// Compile-and-load harness for the C backend: writes the emitted source to
+// a temporary directory, builds it with the system C compiler
+// (cc -O2 -fopenmp -shared -fPIC), loads the shared object, and exposes
+// the kernel through the same Inputs binding contract as exec::Executor —
+// so tests can compare native gradients against interpreted ones
+// bit-for-bit, and benchmarks can measure real generated-code wall time.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codegen/cgen.h"
+#include "exec/interp.h"
+
+namespace formad::codegen {
+
+class NativeKernel {
+ public:
+  /// Emits, compiles and loads `kernel`. Throws Error with the compiler
+  /// output on failure.
+  explicit NativeKernel(const ir::Kernel& kernel, const CgenOptions& opts = {});
+  ~NativeKernel();
+  NativeKernel(const NativeKernel&) = delete;
+  NativeKernel& operator=(const NativeKernel&) = delete;
+
+  /// Runs the compiled kernel against `io` (same contract as Executor:
+  /// every parameter bound, out scalars written back).
+  void run(exec::Inputs& io);
+
+  /// The generated C source (for inspection/tests).
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string source_;
+};
+
+}  // namespace formad::codegen

@@ -1,0 +1,66 @@
+#include "driver/driver.h"
+
+namespace formad::driver {
+
+using namespace ::formad::ir;
+
+std::string to_string(AdjointMode mode) {
+  switch (mode) {
+    case AdjointMode::Serial: return "serial";
+    case AdjointMode::Atomic: return "atomic";
+    case AdjointMode::Reduction: return "reduction";
+    case AdjointMode::FormAD: return "formad";
+    case AdjointMode::Plain: return "plain";
+  }
+  return "?";
+}
+
+DifferentiateResult differentiate(const Kernel& primal,
+                                  const std::vector<std::string>& independents,
+                                  const std::vector<std::string>& dependents,
+                                  AdjointMode mode,
+                                  bool omitTapeFreePrimalSweep) {
+  DifferentiateResult result;
+
+  ad::ReverseOptions opts;
+  opts.independents = independents;
+  opts.dependents = dependents;
+  opts.name = primal.name + "_b_" + to_string(mode);
+  opts.omitTapeFreePrimalSweep = omitTapeFreePrimalSweep;
+
+  switch (mode) {
+    case AdjointMode::Serial:
+      opts.serialize = true;
+      break;
+    case AdjointMode::Atomic:
+      opts.guardPolicy = [](const For&, const std::string&) {
+        return Guard::Atomic;
+      };
+      break;
+    case AdjointMode::Reduction:
+      opts.guardPolicy = [](const For&, const std::string&) {
+        return Guard::Reduction;
+      };
+      break;
+    case AdjointMode::FormAD:
+      result.analysis = core::analyzeKernel(primal, independents, dependents);
+      opts.guardPolicy = core::formadPolicy(result.analysis);
+      break;
+    case AdjointMode::Plain:
+      break;  // null policy: everything plainly shared
+  }
+
+  ad::ReverseResult rr = ad::buildAdjoint(primal, opts);
+  result.adjoint = std::move(rr.adjoint);
+  result.adjointParams = std::move(rr.adjointParams);
+  result.loopReports = std::move(rr.loopReports);
+  return result;
+}
+
+core::KernelAnalysis analyze(const Kernel& primal,
+                               const std::vector<std::string>& independents,
+                               const std::vector<std::string>& dependents) {
+  return core::analyzeKernel(primal, independents, dependents);
+}
+
+}  // namespace formad::driver

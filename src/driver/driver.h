@@ -1,0 +1,43 @@
+// One-call pipeline: primal kernel -> adjoint kernel in one of the paper's
+// program versions (Sec. 7): Serial, Atomic, Reduction, FormAD — plus
+// Plain (no safeguards at all, for testing) and Tangent (forward mode).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ad/forward.h"
+#include "ad/reverse.h"
+#include "formad/formad.h"
+#include "ir/kernel.h"
+
+namespace formad::driver {
+
+enum class AdjointMode { Serial, Atomic, Reduction, FormAD, Plain };
+
+[[nodiscard]] std::string to_string(AdjointMode mode);
+
+struct DifferentiateResult {
+  std::unique_ptr<ir::Kernel> adjoint;
+  std::map<std::string, std::string> adjointParams;
+  std::vector<ad::LoopGuardReport> loopReports;
+  /// Populated for AdjointMode::FormAD.
+  core::KernelAnalysis analysis;
+};
+
+/// Builds the adjoint of `primal` under the requested safeguard mode.
+/// `omitTapeFreePrimalSweep` drops the forward sweep when nothing needs
+/// taping (the "adjoint only" variant used by the figure benchmarks; the
+/// generated kernel then does not produce the primal outputs).
+[[nodiscard]] DifferentiateResult differentiate(
+    const ir::Kernel& primal, const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents, AdjointMode mode,
+    bool omitTapeFreePrimalSweep = false);
+
+/// Runs the FormAD analysis alone (Table 1 statistics, verdicts).
+[[nodiscard]] core::KernelAnalysis analyze(
+    const ir::Kernel& primal, const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents);
+
+}  // namespace formad::driver

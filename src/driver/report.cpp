@@ -1,0 +1,48 @@
+#include "driver/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace formad::driver {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c)
+        os << std::string(widths[c], '-') << "  ";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmtSpeedup(double v) { return fmt(v, 2) + "x"; }
+
+}  // namespace formad::driver

@@ -1,0 +1,26 @@
+// Plain-text table formatting for benches and the CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace formad::driver {
+
+/// Fixed-width table printer: first row is the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.234" style formatting with the given precision.
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+/// "12.3x" speedup formatting.
+[[nodiscard]] std::string fmtSpeedup(double v);
+
+}  // namespace formad::driver

@@ -1,0 +1,71 @@
+#include "exec/checkpoint.h"
+
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace formad::exec {
+
+namespace {
+
+using Snapshot = std::map<std::string, std::vector<double>>;
+
+Snapshot takeSnapshot(Inputs& io, const std::vector<std::string>& state) {
+  Snapshot snap;
+  for (const auto& name : state) snap[name] = io.array(name).realData();
+  return snap;
+}
+
+void restoreSnapshot(Inputs& io, const Snapshot& snap) {
+  for (const auto& [name, data] : snap) io.array(name).realData() = data;
+}
+
+}  // namespace
+
+TimeLoopStats runTimeLoopAdjoint(const ir::Kernel& primal,
+                                 const ir::Kernel& adjoint, Inputs& io,
+                                 const std::vector<std::string>& stateArrays,
+                                 const TimeLoopOptions& opts) {
+  FORMAD_ASSERT(opts.steps >= 1, "time loop needs at least one step");
+  const int T = opts.steps;
+  int k = opts.snapshotEvery;
+  if (k <= 0) k = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(T))));
+
+  Executor primalExec(primal);
+  Executor adjointExec(adjoint);
+  TimeLoopStats stats;
+
+  // Forward pass with snapshots at steps 0, k, 2k, ...
+  std::vector<Snapshot> snapshots;
+  for (int s = 0; s < T; ++s) {
+    if (s % k == 0) {
+      snapshots.push_back(takeSnapshot(io, stateArrays));
+      ++stats.snapshotsTaken;
+      for (const auto& [name, data] : snapshots.back()) {
+        (void)name;
+        stats.snapshotBytes += data.size() * sizeof(double);
+      }
+    }
+    (void)primalExec.run(io, opts.exec);
+    ++stats.primalStepsRun;
+  }
+
+  // Backward pass: adjoint of step s needs the state *before* step s.
+  for (int s = T - 1; s >= 0; --s) {
+    int snapIdx = s / k;
+    restoreSnapshot(io, snapshots[static_cast<size_t>(snapIdx)]);
+    for (int r = snapIdx * k; r < s; ++r) {
+      (void)primalExec.run(io, opts.exec);
+      ++stats.primalStepsRun;
+    }
+    ExecStats st = adjointExec.run(io, opts.exec);
+    FORMAD_ASSERT(st.tapeDrained, "adjoint step left tape entries behind");
+    ++stats.adjointStepsRun;
+    // Drop snapshots that are no longer needed.
+    if (s == snapIdx * k)
+      snapshots.resize(static_cast<size_t>(snapIdx));
+  }
+  return stats;
+}
+
+}  // namespace formad::exec

@@ -1,0 +1,56 @@
+// Time-loop adjoints with uniform checkpointing.
+//
+// The paper's benchmarks apply a kernel many times (1000 stencil sweeps,
+// 500 GFMC repetitions). Differentiating the *composition* F∘F∘...∘F needs
+// the input state of every step during the backward pass — the classic
+// data-flow-reversal problem one level above FormAD's per-loop tape. This
+// driver implements the standard recompute-from-snapshot scheme:
+//
+//   forward:  snapshot the state every k steps, run the primal;
+//   backward: for step s = T-1 .. 0: restore the nearest snapshot at or
+//             before s, re-run the primal up to s, then run the adjoint
+//             kernel of step s (accumulating the adjoint state in place).
+//
+// Memory is O(T/k * state), extra recomputation is O(k) primal steps per
+// adjoint step; k defaults to ceil(sqrt(T)), balancing both at O(sqrt(T)).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/interp.h"
+
+namespace formad::exec {
+
+struct TimeLoopOptions {
+  int steps = 1;
+  /// Snapshot spacing; 0 = ceil(sqrt(steps)).
+  int snapshotEvery = 0;
+  ExecOptions exec;
+};
+
+struct TimeLoopStats {
+  int snapshotsTaken = 0;
+  size_t snapshotBytes = 0;
+  int primalStepsRun = 0;   // forward + recomputation
+  int adjointStepsRun = 0;
+};
+
+/// Runs `steps` applications of `primal` (state arrays updated in place),
+/// then propagates the seeded adjoints in `io` backwards through all
+/// steps using `adjoint` (the kernel produced by driver::differentiate;
+/// its own forward sweep re-runs the step and feeds its tape).
+///
+/// `stateArrays` are the arrays that evolve across steps (they must be
+/// parameters of both kernels). All other bound arrays are treated as
+/// constants. Adjoint arrays for the independents/dependents must already
+/// be bound and seeded in `io`; on return they hold the gradients w.r.t.
+/// the *initial* state.
+TimeLoopStats runTimeLoopAdjoint(const ir::Kernel& primal,
+                                 const ir::Kernel& adjoint,
+                                 Inputs& io,
+                                 const std::vector<std::string>& stateArrays,
+                                 const TimeLoopOptions& opts);
+
+}  // namespace formad::exec

@@ -1,0 +1,61 @@
+#include "exec/costmodel.h"
+
+#include <algorithm>
+
+#include "exec/simulate.h"
+#include "support/diagnostics.h"
+
+namespace formad::exec {
+
+double iterationTime(const OpCounts& c, const CostParams& p, int threads) {
+  double atomicCost =
+      p.atomicOp * (1.0 + p.atomicContention * (threads > 0 ? threads - 1 : 0));
+  return c.flops * p.flop + c.intops * p.intop + c.seqBytes * p.seqByte +
+         c.randBytes * p.randByte + c.tapeBytes * p.tapeByte +
+         c.atomicOps * atomicCost;
+}
+
+double loopTime(const LoopProfile& lp, const CostParams& p, int threads) {
+  const bool serialized = threads <= 0;
+  const int t = serialized ? 1 : std::min(threads, p.maxCores);
+
+  std::vector<double> iterTimes;
+  iterTimes.reserve(lp.perIteration.size());
+  OpCounts total;
+  for (const auto& c : lp.perIteration) {
+    iterTimes.push_back(iterationTime(c, p, serialized ? 0 : t));
+    total += c;
+  }
+
+  double compute = scheduleMakespan(iterTimes, t, lp.dynamicSchedule);
+
+  if (serialized) return compute;
+
+  // Bandwidth saturation floors.
+  double bwFloor = (total.seqBytes + total.tapeBytes) / p.seqBandwidth +
+                   total.randBytes / p.randBandwidth;
+
+  // Privatization: each thread zero-inits its shadow copies (in parallel,
+  // but the traffic is T-fold) and the merges are effectively serialized.
+  double shadow = 0.0;
+  if (lp.reductionBytes > 0) {
+    shadow = lp.reductionBytes * p.shadowInitByte +
+             static_cast<double>(t) * lp.reductionBytes * p.shadowMergeByte;
+  }
+
+  return std::max(compute, bwFloor) + shadow + p.regionOverhead;
+}
+
+double runTime(const RunProfile& rp, const CostParams& p, int threads) {
+  double time = iterationTime(rp.serial, p, 1);
+  for (const auto& lp : rp.loops) time += loopTime(lp, p, threads);
+  return time;
+}
+
+double serialTime(const RunProfile& rp, const CostParams& p) {
+  double time = iterationTime(rp.serial, p, 1);
+  for (const auto& lp : rp.loops) time += loopTime(lp, p, /*threads=*/0);
+  return time;
+}
+
+}  // namespace formad::exec

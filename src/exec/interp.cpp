@@ -1,0 +1,815 @@
+#include "exec/interp.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "analysis/increment.h"
+#include "analysis/symbols.h"
+#include "ir/traversal.h"
+
+namespace formad::exec {
+
+using namespace formad::ir;
+
+// ---------------------------------------------------------------- Inputs
+
+void Inputs::bindInt(const std::string& name, long long v) {
+  scalars_[name].i = v;
+}
+void Inputs::bindReal(const std::string& name, double v) {
+  scalars_[name].r = v;
+}
+ArrayValue& Inputs::bindArray(const std::string& name, ArrayValue a) {
+  return arrays_[name] = std::move(a);
+}
+ArrayValue& Inputs::array(const std::string& name) {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) fail("no array bound for '" + name + "'");
+  return it->second;
+}
+const ArrayValue& Inputs::array(const std::string& name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) fail("no array bound for '" + name + "'");
+  return it->second;
+}
+double Inputs::real(const std::string& name) const {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end()) fail("no scalar bound for '" + name + "'");
+  return it->second.r;
+}
+long long Inputs::intVal(const std::string& name) const {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end()) fail("no scalar bound for '" + name + "'");
+  return it->second.i;
+}
+bool Inputs::has(const std::string& name) const {
+  return scalars_.count(name) > 0 || arrays_.count(name) > 0;
+}
+
+// ------------------------------------------------------------- Executor
+
+namespace {
+
+/// Transcendental intrinsics are weighted as several flops in profiles.
+constexpr double kCallFlops = 8.0;
+
+struct AssignInfo {
+  bool isIncrement = false;
+  const Expr* addend = nullptr;
+  bool negated = false;
+};
+
+struct LoopInfo {
+  std::vector<bool> privMask;           // scalar slots private to the loop
+  std::vector<int> redArraySlots;       // reduction-clause arrays
+  std::vector<int> redScalarSlots;      // reduction-clause scalars
+  std::map<int, int> shadowOfArray;     // array slot -> shadow index
+  std::map<int, int> shadowOfScalar;    // scalar slot -> shadow index
+};
+
+struct Value {
+  enum class Tag { R, I, B } tag = Tag::R;
+  double r = 0.0;
+  long long i = 0;
+  bool b = false;
+
+  [[nodiscard]] double asReal() const {
+    return tag == Tag::I ? static_cast<double>(i) : r;
+  }
+  [[nodiscard]] long long asInt() const {
+    FORMAD_ASSERT(tag == Tag::I, "expected int value");
+    return i;
+  }
+  [[nodiscard]] bool asBool() const {
+    FORMAD_ASSERT(tag == Tag::B, "expected bool value");
+    return b;
+  }
+  static Value real(double v) { return Value{Tag::R, v, 0, false}; }
+  static Value integer(long long v) { return Value{Tag::I, 0.0, v, false}; }
+  static Value boolean(bool v) { return Value{Tag::B, 0.0, 0, v}; }
+};
+
+}  // namespace
+
+class Executor::Impl {
+ public:
+  Impl(Kernel& kernel) : kernel_(kernel), syms_(analysis::verifyKernel(kernel)) {
+    setup();
+  }
+
+  ExecStats run(Inputs& io, const ExecOptions& opts) {
+    opts_ = opts;
+    stats_ = ExecStats{};
+    profileMode_ = opts.mode == ExecMode::Profile;
+
+    // Bind parameters.
+    shScalars_.assign(scalarCount_, ScalarVal{});
+    arrays_.assign(arrayCount_, nullptr);
+    for (const auto& p : kernel_.params) {
+      if (p.type.isArray()) {
+        ArrayValue& a = io.array(p.name);
+        if (a.elem() != p.type.scalar || a.rank() != p.type.rank)
+          fail("array bound to '" + p.name + "' has wrong type/rank");
+        arrays_[static_cast<size_t>(arraySlot_.at(p.name))] = &a;
+      } else {
+        if (!io.has(p.name)) {
+          if (p.intent == Intent::Out) continue;  // produced by the kernel
+          fail("parameter '" + p.name + "' not bound");
+        }
+        ScalarVal& s = shScalars_[static_cast<size_t>(scalarSlot_.at(p.name))];
+        if (p.type.isInt())
+          s.i = io.intVal(p.name);
+        else if (p.type.isReal())
+          s.r = io.real(p.name);
+      }
+    }
+
+    tape_.clear();
+    tapePeak_ = 0;
+
+    Ctx ctx;
+    ctx.frame.assign(scalarCount_, ScalarVal{});
+    ctx.lane = &tape_.mainLane();
+    if (profileMode_) ctx.counts = &stats_.profile.serial;
+
+    execBody(kernel_.body, ctx);
+
+    // Write scalar out-parameters back.
+    for (const auto& p : kernel_.params) {
+      if (p.type.isArray() || p.intent == Intent::In) continue;
+      const ScalarVal& s =
+          shScalars_[static_cast<size_t>(scalarSlot_.at(p.name))];
+      if (p.type.isInt())
+        io.bindInt(p.name, s.i);
+      else
+        io.bindReal(p.name, s.r);
+    }
+
+    stats_.tapePeakBytes = tapePeak_;
+    stats_.tapeDrained = tape_.drained();
+    return std::move(stats_);
+  }
+
+ private:
+  Kernel& kernel_;
+  analysis::SymbolTable syms_;
+
+  // Static tables.
+  std::map<std::string, int> scalarSlot_;
+  std::map<std::string, int> arraySlot_;
+  std::vector<Scalar> scalarType_;
+  int scalarCount_ = 0;
+  int arrayCount_ = 0;
+  std::map<const Assign*, AssignInfo> assignInfo_;
+  std::map<const For*, LoopInfo> loopInfo_;
+  /// Per-ArrayRef access classification: which dimensions are indexed by
+  /// data-dependent expressions (array reads or tainted scalars).
+  struct AccessClass {
+    bool anyTainted = false;
+    std::vector<bool> dimTainted;
+  };
+  std::map<const Expr*, AccessClass> accessClass_;
+
+  // Run state.
+  ExecOptions opts_;
+  ExecStats stats_;
+  bool profileMode_ = false;
+  std::vector<ScalarVal> shScalars_;
+  std::vector<ArrayValue*> arrays_;
+  ad::Tape tape_;
+  size_t tapePeak_ = 0;
+
+  struct Ctx {
+    std::vector<ScalarVal> frame;          // thread-private slots
+    const std::vector<bool>* privMask = nullptr;
+    ad::TapeLane* lane = nullptr;
+    std::vector<ArrayValue>* arrShadows = nullptr;
+    std::vector<double>* sclShadows = nullptr;
+    const LoopInfo* loop = nullptr;
+    OpCounts* counts = nullptr;
+    bool inParallel = false;
+  };
+
+  // ----- setup -----
+
+  /// Scalars whose values are data-dependent (derived from array contents,
+  /// transitively). Loop counters and arithmetic over parameters stay
+  /// untainted — their access patterns are affine streams.
+  std::set<std::string> taintedScalars_;
+
+  void computeTaint() {
+    bool changed = true;
+    auto exprTainted = [&](const Expr& e) {
+      bool t = false;
+      forEachExpr(e, [&](const Expr& x) {
+        if (x.kind() == ExprKind::ArrayRef) t = true;
+        if (x.kind() == ExprKind::VarRef &&
+            taintedScalars_.count(x.as<VarRef>().name) > 0)
+          t = true;
+      });
+      return t;
+    };
+    while (changed) {
+      changed = false;
+      forEachStmt(kernel_.body, [&](const Stmt& s) {
+        const Expr* rhs = nullptr;
+        const std::string* name = nullptr;
+        if (s.kind() == StmtKind::Assign) {
+          const auto& a = s.as<Assign>();
+          if (a.lhs->kind() != ExprKind::VarRef) return;
+          rhs = a.rhs.get();
+          name = &a.lhs->as<VarRef>().name;
+        } else if (s.kind() == StmtKind::DeclLocal) {
+          const auto& d = s.as<DeclLocal>();
+          if (!d.init) return;
+          rhs = d.init.get();
+          name = &d.name;
+        } else {
+          return;
+        }
+        if (taintedScalars_.count(*name) > 0) return;
+        if (exprTainted(*rhs)) {
+          taintedScalars_.insert(*name);
+          changed = true;
+        }
+      });
+    }
+  }
+
+  void setup() {
+    computeTaint();
+    for (const auto& [name, sym] : syms_.all()) {
+      if (sym.type.isArray())
+        arraySlot_.emplace(name, arrayCount_++);
+      else {
+        scalarSlot_.emplace(name, scalarCount_);
+        scalarType_.push_back(sym.type.scalar);
+        ++scalarCount_;
+      }
+    }
+
+    // Annotate slots on every reference.
+    forEachStmt(kernel_.body, [&](Stmt& s) {
+      forEachOwnExpr(s, [&](Expr& top) {
+        forEachExpr(top, [&](Expr& e) { annotate(e); });
+      });
+      if (s.kind() == StmtKind::Assign) {
+        auto& a = s.as<Assign>();
+        forEachExpr(*a.lhs, [&](Expr& e) { annotate(e); });
+        AssignInfo info;
+        auto incr = analysis::classifyIncrement(a);
+        info.isIncrement = incr.isIncrement;
+        info.addend = incr.addend;
+        info.negated = incr.negated;
+        assignInfo_.emplace(&a, info);
+      }
+    });
+
+    // Loop bookkeeping.
+    forEachStmt(kernel_.body, [&](Stmt& s) {
+      if (s.kind() != StmtKind::For || !s.as<For>().parallel) return;
+      const auto& f = s.as<For>();
+      LoopInfo li;
+      li.privMask.assign(static_cast<size_t>(scalarCount_), false);
+      auto markPriv = [&](const std::string& n) {
+        auto it = scalarSlot_.find(n);
+        if (it != scalarSlot_.end())
+          li.privMask[static_cast<size_t>(it->second)] = true;
+      };
+      markPriv(f.var);
+      for (const auto& n : f.privates) markPriv(n);
+      forEachStmt(f.body, [&](const Stmt& t) {
+        if (t.kind() == StmtKind::DeclLocal)
+          markPriv(t.as<DeclLocal>().name);
+        else if (t.kind() == StmtKind::Pop)
+          markPriv(t.as<Pop>().target);
+        else if (t.kind() == StmtKind::For)
+          markPriv(t.as<For>().var);
+      });
+      for (const auto& r : f.reductions) {
+        auto ait = arraySlot_.find(r.var);
+        if (ait != arraySlot_.end()) {
+          li.shadowOfArray[ait->second] =
+              static_cast<int>(li.redArraySlots.size());
+          li.redArraySlots.push_back(ait->second);
+        } else {
+          int slot = scalarSlot_.at(r.var);
+          li.shadowOfScalar[slot] = static_cast<int>(li.redScalarSlots.size());
+          li.redScalarSlots.push_back(slot);
+        }
+      }
+      loopInfo_.emplace(&f, std::move(li));
+    });
+  }
+
+  void annotate(Expr& e) {
+    if (e.kind() == ExprKind::VarRef) {
+      auto& v = e.as<VarRef>();
+      auto it = scalarSlot_.find(v.name);
+      if (it == scalarSlot_.end()) fail("unbound scalar '" + v.name + "'");
+      v.slot = it->second;
+    } else if (e.kind() == ExprKind::ArrayRef) {
+      auto& a = e.as<ArrayRef>();
+      auto it = arraySlot_.find(a.name);
+      if (it == arraySlot_.end()) fail("unbound array '" + a.name + "'");
+      a.slot = it->second;
+      AccessClass cls;
+      for (const auto& i : a.indices) {
+        bool t = false;
+        forEachExpr(*i, [&](const Expr& x) {
+          if (x.kind() == ExprKind::ArrayRef) t = true;
+          if (x.kind() == ExprKind::VarRef &&
+              taintedScalars_.count(x.as<VarRef>().name) > 0)
+            t = true;
+        });
+        cls.dimTainted.push_back(t);
+        cls.anyTainted = cls.anyTainted || t;
+      }
+      accessClass_[&a] = std::move(cls);
+    }
+  }
+
+  // ----- scalar access -----
+
+  ScalarVal& scalarRef(Ctx& c, int slot) {
+    if (c.inParallel && (*c.privMask)[static_cast<size_t>(slot)])
+      return c.frame[static_cast<size_t>(slot)];
+    return shScalars_[static_cast<size_t>(slot)];
+  }
+
+  // ----- expression evaluation -----
+
+  long long evalInt(const Expr& e, Ctx& c) { return eval(e, c).asInt(); }
+  double evalReal(const Expr& e, Ctx& c) { return eval(e, c).asReal(); }
+  bool evalBool(const Expr& e, Ctx& c) { return eval(e, c).asBool(); }
+
+  long long arrayFlat(const ArrayRef& a, Ctx& c, ArrayValue*& arr) {
+    arr = arrays_[static_cast<size_t>(a.slot)];
+    FORMAD_ASSERT(arr != nullptr, "array not bound");
+    long long idx[3];
+    int n = static_cast<int>(a.indices.size());
+    for (int k = 0; k < n; ++k) idx[k] = evalInt(*a.indices[k], c);
+    return arr->linearize(idx, n);
+  }
+
+  /// Data-dependent accesses whose reachable span stays below this size
+  /// behave like cache hits on the simulated testbed (e.g. GFMC reads
+  /// cr[idd, j]: idd is data-dependent but spans one 768-byte column),
+  /// while gather/scatter across a large span (Green-Gauss node data) is
+  /// latency/bandwidth bound.
+  static constexpr double kCacheResidentBytes = 512.0 * 1024;
+
+  void countArrayAccess(const ArrayRef& a, Ctx& c) {
+    if (c.counts == nullptr) return;
+    const AccessClass& cls = accessClass_.at(&a);
+    if (!cls.anyTainted) {
+      c.counts->seqBytes += 8;
+      return;
+    }
+    // Span of the data-dependent portion: the product of the tainted
+    // dimensions' extents (affine dimensions are streamed over).
+    ArrayValue* arr = arrays_[static_cast<size_t>(a.slot)];
+    double span = 8.0;
+    for (int k = 0; k < arr->rank(); ++k)
+      if (cls.dimTainted[static_cast<size_t>(k)])
+        span *= static_cast<double>(arr->dim(k));
+    if (span >= kCacheResidentBytes)
+      c.counts->randBytes += 8;
+    else
+      c.counts->seqBytes += 8;
+  }
+
+  Value eval(const Expr& e, Ctx& c) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        return Value::integer(static_cast<const IntLit&>(e).value);
+      case ExprKind::RealLit:
+        return Value::real(static_cast<const RealLit&>(e).value);
+      case ExprKind::BoolLit:
+        return Value::boolean(static_cast<const BoolLit&>(e).value);
+      case ExprKind::VarRef: {
+        const auto& v = static_cast<const VarRef&>(e);
+        const ScalarVal& s = scalarRef(c, v.slot);
+        switch (scalarType_[static_cast<size_t>(v.slot)]) {
+          case Scalar::Int: return Value::integer(s.i);
+          case Scalar::Real: {
+            double val = s.r;
+            if (c.sclShadows != nullptr) {
+              auto it = c.loop->shadowOfScalar.find(v.slot);
+              if (it != c.loop->shadowOfScalar.end())
+                val += (*c.sclShadows)[static_cast<size_t>(it->second)];
+            }
+            return Value::real(val);
+          }
+          case Scalar::Bool: return Value::boolean(s.b);
+        }
+        FORMAD_ASSERT(false, "bad scalar type");
+        return Value::real(0.0);  // unreachable
+      }
+      case ExprKind::ArrayRef: {
+        const auto& a = static_cast<const ArrayRef&>(e);
+        ArrayValue* arr = nullptr;
+        long long flat = arrayFlat(a, c, arr);
+        countArrayAccess(a, c);
+        if (arr->elem() == Scalar::Real) {
+          double v = arr->realAt(flat);
+          // A privatized (reduction) array reads through its own shadow:
+          // the thread must observe its own pending increments.
+          if (c.arrShadows != nullptr) {
+            auto it = c.loop->shadowOfArray.find(a.slot);
+            if (it != c.loop->shadowOfArray.end())
+              v += (*c.arrShadows)[static_cast<size_t>(it->second)].realAt(flat);
+          }
+          return Value::real(v);
+        }
+        return Value::integer(arr->intAt(flat));
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const Unary&>(e);
+        Value v = eval(*u.operand, c);
+        if (u.op == UnOp::Not) return Value::boolean(!v.asBool());
+        if (v.tag == Value::Tag::I) return Value::integer(-v.i);
+        if (c.counts) c.counts->flops += 1;
+        return Value::real(-v.asReal());
+      }
+      case ExprKind::Binary:
+        return evalBinary(static_cast<const Binary&>(e), c);
+      case ExprKind::Call:
+        return evalCall(static_cast<const Call&>(e), c);
+    }
+    FORMAD_ASSERT(false, "bad expression kind");
+  }
+
+  Value evalBinary(const Binary& b, Ctx& c) {
+    if (b.op == BinOp::And) {
+      return Value::boolean(evalBool(*b.lhs, c) && evalBool(*b.rhs, c));
+    }
+    if (b.op == BinOp::Or) {
+      return Value::boolean(evalBool(*b.lhs, c) || evalBool(*b.rhs, c));
+    }
+    Value l = eval(*b.lhs, c);
+    Value r = eval(*b.rhs, c);
+    bool intOp = l.tag == Value::Tag::I && r.tag == Value::Tag::I;
+    if (isComparison(b.op)) {
+      if (c.counts) c.counts->intops += 1;
+      if (intOp) {
+        long long x = l.i, y = r.i;
+        switch (b.op) {
+          case BinOp::Lt: return Value::boolean(x < y);
+          case BinOp::Le: return Value::boolean(x <= y);
+          case BinOp::Gt: return Value::boolean(x > y);
+          case BinOp::Ge: return Value::boolean(x >= y);
+          case BinOp::Eq: return Value::boolean(x == y);
+          case BinOp::Ne: return Value::boolean(x != y);
+          default: break;
+        }
+      }
+      double x = l.asReal(), y = r.asReal();
+      switch (b.op) {
+        case BinOp::Lt: return Value::boolean(x < y);
+        case BinOp::Le: return Value::boolean(x <= y);
+        case BinOp::Gt: return Value::boolean(x > y);
+        case BinOp::Ge: return Value::boolean(x >= y);
+        case BinOp::Eq: return Value::boolean(x == y);
+        case BinOp::Ne: return Value::boolean(x != y);
+        default: break;
+      }
+    }
+    if (intOp) {
+      if (c.counts) c.counts->intops += 1;
+      long long x = l.i, y = r.i;
+      switch (b.op) {
+        case BinOp::Add: return Value::integer(x + y);
+        case BinOp::Sub: return Value::integer(x - y);
+        case BinOp::Mul: return Value::integer(x * y);
+        case BinOp::Div:
+          if (y == 0) fail("integer division by zero");
+          return Value::integer(x / y);
+        case BinOp::Mod:
+          if (y == 0) fail("integer modulo by zero");
+          return Value::integer(x % y);
+        default: break;
+      }
+    }
+    if (c.counts) c.counts->flops += 1;
+    double x = l.asReal(), y = r.asReal();
+    switch (b.op) {
+      case BinOp::Add: return Value::real(x + y);
+      case BinOp::Sub: return Value::real(x - y);
+      case BinOp::Mul: return Value::real(x * y);
+      case BinOp::Div: return Value::real(x / y);
+      default: break;
+    }
+    FORMAD_ASSERT(false, "bad binary operator");
+  }
+
+  Value evalCall(const Call& call, Ctx& c) {
+    double a0 = evalReal(*call.args[0], c);
+    if (c.counts) c.counts->flops += kCallFlops;
+    switch (call.fn) {
+      case Intrinsic::Sin: return Value::real(std::sin(a0));
+      case Intrinsic::Cos: return Value::real(std::cos(a0));
+      case Intrinsic::Tan: return Value::real(std::tan(a0));
+      case Intrinsic::Exp: return Value::real(std::exp(a0));
+      case Intrinsic::Log: return Value::real(std::log(a0));
+      case Intrinsic::Sqrt: return Value::real(std::sqrt(a0));
+      case Intrinsic::Abs: return Value::real(std::fabs(a0));
+      case Intrinsic::Tanh: return Value::real(std::tanh(a0));
+      case Intrinsic::Min:
+        return Value::real(std::min(a0, evalReal(*call.args[1], c)));
+      case Intrinsic::Max:
+        return Value::real(std::max(a0, evalReal(*call.args[1], c)));
+      case Intrinsic::Pow:
+        return Value::real(std::pow(a0, evalReal(*call.args[1], c)));
+    }
+    FORMAD_ASSERT(false, "bad intrinsic");
+  }
+
+  // ----- statement execution -----
+
+  void execBody(const StmtList& body, Ctx& c) {
+    for (const auto& s : body) exec(*s, c);
+  }
+
+  void exec(const Stmt& s, Ctx& c) {
+    switch (s.kind()) {
+      case StmtKind::Assign:
+        execAssign(static_cast<const Assign&>(s), c);
+        return;
+      case StmtKind::DeclLocal: {
+        const auto& d = static_cast<const DeclLocal&>(s);
+        int slot = scalarSlot_.at(d.name);
+        ScalarVal& sv = scalarRef(c, slot);
+        if (d.init) {
+          Value v = eval(*d.init, c);
+          switch (d.type.scalar) {
+            case Scalar::Int: sv.i = v.asInt(); break;
+            case Scalar::Real: sv.r = v.asReal(); break;
+            case Scalar::Bool: sv.b = v.asBool(); break;
+          }
+        }
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const If&>(s);
+        if (evalBool(*i.cond, c))
+          execBody(i.thenBody, c);
+        else
+          execBody(i.elseBody, c);
+        return;
+      }
+      case StmtKind::Push: {
+        const auto& p = static_cast<const Push&>(s);
+        if (c.counts) c.counts->tapeBytes += 8;
+        switch (p.channel) {
+          case TapeChannel::Real: c.lane->pushReal(evalReal(*p.value, c)); break;
+          case TapeChannel::Int: c.lane->pushInt(evalInt(*p.value, c)); break;
+          case TapeChannel::Bool: c.lane->pushBool(evalBool(*p.value, c)); break;
+        }
+        return;
+      }
+      case StmtKind::Pop: {
+        const auto& p = static_cast<const Pop&>(s);
+        if (c.counts) c.counts->tapeBytes += 8;
+        ScalarVal& sv = scalarRef(c, scalarSlot_.at(p.target));
+        switch (p.channel) {
+          case TapeChannel::Real: sv.r = c.lane->popReal(); break;
+          case TapeChannel::Int: sv.i = c.lane->popInt(); break;
+          case TapeChannel::Bool: sv.b = c.lane->popBool(); break;
+        }
+        return;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const For&>(s);
+        if (f.parallel)
+          execParallelFor(f, c);
+        else
+          execSerialFor(f, c);
+        return;
+      }
+    }
+  }
+
+  void execAssign(const Assign& a, Ctx& c) {
+    const AssignInfo& info = assignInfo_.at(&a);
+
+    if (a.guard != Guard::None) {
+      FORMAD_ASSERT(info.isIncrement, "guarded statement is not an increment");
+      double v = evalReal(*info.addend, c);
+      if (info.negated) v = -v;
+      if (c.counts) {
+        c.counts->flops += 1;
+        if (a.guard == Guard::Atomic) c.counts->atomicOps += 1;
+      }
+      if (a.lhs->kind() == ExprKind::ArrayRef) {
+        const auto& ar = static_cast<const ArrayRef&>(*a.lhs);
+        ArrayValue* arr = nullptr;
+        long long flat = arrayFlat(ar, c, arr);
+        countArrayAccess(ar, c);  // read of the increment target...
+        countArrayAccess(ar, c);  // ...and the store (RMW, like unguarded)
+        if (a.guard == Guard::Reduction && c.arrShadows != nullptr) {
+          int sh = c.loop->shadowOfArray.at(ar.slot);
+          (*c.arrShadows)[static_cast<size_t>(sh)].realAt(flat) += v;
+        } else if (a.guard == Guard::Atomic && opts_.mode == ExecMode::OpenMP) {
+          std::atomic_ref<double>(arr->realAt(flat)).fetch_add(v);
+        } else {
+          arr->realAt(flat) += v;
+        }
+      } else {
+        const auto& vr = static_cast<const VarRef&>(*a.lhs);
+        if (a.guard == Guard::Reduction && c.sclShadows != nullptr) {
+          int sh = c.loop->shadowOfScalar.at(vr.slot);
+          (*c.sclShadows)[static_cast<size_t>(sh)] += v;
+        } else if (a.guard == Guard::Atomic && opts_.mode == ExecMode::OpenMP) {
+          std::atomic_ref<double>(scalarRef(c, vr.slot).r).fetch_add(v);
+        } else {
+          scalarRef(c, vr.slot).r += v;
+        }
+      }
+      return;
+    }
+
+    Value v = eval(*a.rhs, c);
+    if (a.lhs->kind() == ExprKind::ArrayRef) {
+      const auto& ar = static_cast<const ArrayRef&>(*a.lhs);
+      ArrayValue* arr = nullptr;
+      long long flat = arrayFlat(ar, c, arr);
+      countArrayAccess(ar, c);
+      if (arr->elem() == Scalar::Real) {
+        arr->realAt(flat) = v.asReal();
+        // Overwriting an element of a privatized array supersedes the
+        // thread's pending increments for it.
+        if (c.arrShadows != nullptr) {
+          auto it = c.loop->shadowOfArray.find(ar.slot);
+          if (it != c.loop->shadowOfArray.end())
+            (*c.arrShadows)[static_cast<size_t>(it->second)].realAt(flat) = 0.0;
+        }
+      } else {
+        arr->intAt(flat) = v.asInt();
+      }
+    } else {
+      const auto& vr = static_cast<const VarRef&>(*a.lhs);
+      ScalarVal& sv = scalarRef(c, vr.slot);
+      switch (scalarType_[static_cast<size_t>(vr.slot)]) {
+        case Scalar::Int: sv.i = v.asInt(); break;
+        case Scalar::Real:
+          sv.r = v.asReal();
+          if (c.sclShadows != nullptr) {
+            auto it = c.loop->shadowOfScalar.find(vr.slot);
+            if (it != c.loop->shadowOfScalar.end())
+              (*c.sclShadows)[static_cast<size_t>(it->second)] = 0.0;
+          }
+          break;
+        case Scalar::Bool: sv.b = v.asBool(); break;
+      }
+    }
+  }
+
+  struct Range {
+    long long lo = 0, hi = -1, step = 1, count = 0;
+  };
+
+  Range evalRange(const For& f, Ctx& c) {
+    Range r;
+    r.lo = evalInt(*f.lo, c);
+    r.hi = evalInt(*f.hi, c);
+    r.step = evalInt(*f.step, c);
+    if (r.step <= 0) fail("loop step must be positive", f.loc());
+    r.count = r.hi >= r.lo ? (r.hi - r.lo) / r.step + 1 : 0;
+    return r;
+  }
+
+  void execSerialFor(const For& f, Ctx& c) {
+    Range r = evalRange(f, c);
+    int slot = scalarSlot_.at(f.var);
+    if (f.reversed) {
+      for (long long k = r.count - 1; k >= 0; --k) {
+        scalarRef(c, slot).i = r.lo + k * r.step;
+        execBody(f.body, c);
+      }
+    } else {
+      for (long long k = 0; k < r.count; ++k) {
+        scalarRef(c, slot).i = r.lo + k * r.step;
+        execBody(f.body, c);
+      }
+    }
+  }
+
+  void execParallelFor(const For& f, Ctx& c) {
+    Range r = evalRange(f, c);
+    const LoopInfo& li = loopInfo_.at(&f);
+    int counterSlot = scalarSlot_.at(f.var);
+
+    ad::LaneBlock* block = nullptr;
+    if (f.usesTape) {
+      block = f.reversed ? &tape_.backBlock()
+                         : &tape_.pushBlock(r.lo, r.step,
+                                            static_cast<size_t>(r.count));
+    }
+
+    LoopProfile* lp = nullptr;
+    if (profileMode_) {
+      stats_.profile.loops.emplace_back();
+      lp = &stats_.profile.loops.back();
+      lp->loop = &f;
+      lp->dynamicSchedule = f.sched == Schedule::Dynamic;
+      lp->perIteration.resize(static_cast<size_t>(r.count));
+      for (int slot2 : li.redArraySlots)
+        lp->reductionBytes +=
+            static_cast<double>(arrays_[static_cast<size_t>(slot2)]->bytes());
+      lp->reductionBytes += 8.0 * static_cast<double>(li.redScalarSlots.size());
+    }
+
+    auto makeShadows = [&](std::vector<ArrayValue>& arrSh,
+                           std::vector<double>& sclSh) {
+      for (int slot2 : li.redArraySlots) {
+        const ArrayValue& src = *arrays_[static_cast<size_t>(slot2)];
+        std::vector<long long> dims;
+        for (int k = 0; k < src.rank(); ++k) dims.push_back(src.dim(k));
+        arrSh.push_back(ArrayValue::reals(std::move(dims)));
+      }
+      sclSh.assign(li.redScalarSlots.size(), 0.0);
+    };
+    auto mergeShadows = [&](std::vector<ArrayValue>& arrSh,
+                            std::vector<double>& sclSh) {
+      for (size_t j = 0; j < li.redArraySlots.size(); ++j) {
+        ArrayValue& dst = *arrays_[static_cast<size_t>(li.redArraySlots[j])];
+        const auto& src = arrSh[j].realData();
+        for (size_t e = 0; e < src.size(); ++e) dst.realData()[e] += src[e];
+      }
+      for (size_t j = 0; j < li.redScalarSlots.size(); ++j)
+        shScalars_[static_cast<size_t>(li.redScalarSlots[j])].r += sclSh[j];
+    };
+
+    if (opts_.mode == ExecMode::OpenMP) {
+      omp_set_schedule(f.sched == Schedule::Dynamic ? omp_sched_dynamic
+                                                    : omp_sched_static,
+                       f.sched == Schedule::Dynamic ? 1 : 0);
+      const long long count = r.count;
+#pragma omp parallel num_threads(opts_.numThreads)
+      {
+        Ctx tc;
+        tc.frame.assign(static_cast<size_t>(scalarCount_), ScalarVal{});
+        tc.privMask = &li.privMask;
+        tc.loop = &li;
+        tc.inParallel = true;
+        std::vector<ArrayValue> arrSh;
+        std::vector<double> sclSh;
+        makeShadows(arrSh, sclSh);
+        tc.arrShadows = &arrSh;
+        tc.sclShadows = &sclSh;
+#pragma omp for schedule(runtime)
+        for (long long k = 0; k < count; ++k) {
+          long long iter = r.lo + k * r.step;
+          tc.frame[static_cast<size_t>(counterSlot)].i = iter;
+          tc.lane = block ? &block->lane(iter) : nullptr;
+          execBody(f.body, tc);
+        }
+#pragma omp critical
+        mergeShadows(arrSh, sclSh);
+      }
+    } else {
+      Ctx tc;
+      tc.frame.assign(static_cast<size_t>(scalarCount_), ScalarVal{});
+      tc.privMask = &li.privMask;
+      tc.loop = &li;
+      tc.inParallel = true;
+      std::vector<ArrayValue> arrSh;
+      std::vector<double> sclSh;
+      makeShadows(arrSh, sclSh);
+      tc.arrShadows = &arrSh;
+      tc.sclShadows = &sclSh;
+      OpCounts iterCounts;
+      if (profileMode_) tc.counts = &iterCounts;
+      for (long long k = 0; k < r.count; ++k) {
+        long long iter = r.lo + k * r.step;
+        tc.frame[static_cast<size_t>(counterSlot)].i = iter;
+        tc.lane = block ? &block->lane(iter) : nullptr;
+        if (profileMode_) iterCounts = OpCounts{};
+        execBody(f.body, tc);
+        if (profileMode_) lp->perIteration[static_cast<size_t>(k)] = iterCounts;
+      }
+      mergeShadows(arrSh, sclSh);
+    }
+
+    tapePeak_ = std::max(tapePeak_, tape_.bytes());
+    if (f.usesTape && f.reversed) tape_.popBlock();
+  }
+};
+
+Executor::Executor(const Kernel& kernel) : kernel_(kernel.clone()) {
+  impl_ = std::make_unique<Impl>(*kernel_);
+}
+
+Executor::~Executor() = default;
+
+ExecStats Executor::run(Inputs& io, const ExecOptions& opts) {
+  return impl_->run(io, opts);
+}
+
+}  // namespace formad::exec

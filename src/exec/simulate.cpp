@@ -1,0 +1,47 @@
+#include "exec/simulate.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/diagnostics.h"
+
+namespace formad::exec {
+
+std::vector<double> scheduleThreads(const std::vector<double>& iterTimes,
+                                    int threads, bool dynamic) {
+  FORMAD_ASSERT(threads > 0, "thread count must be positive");
+  std::vector<double> busy(static_cast<size_t>(threads), 0.0);
+  const size_t n = iterTimes.size();
+  if (n == 0) return busy;
+
+  if (!dynamic) {
+    // OpenMP static: contiguous chunks of ceil(n / T).
+    size_t chunk = (n + static_cast<size_t>(threads) - 1) /
+                   static_cast<size_t>(threads);
+    for (size_t i = 0; i < n; ++i)
+      busy[std::min(i / chunk, static_cast<size_t>(threads) - 1)] +=
+          iterTimes[i];
+    return busy;
+  }
+
+  // Dynamic, chunk 1: iterations are claimed in order by the thread that
+  // becomes free first.
+  using Slot = std::pair<double, int>;  // (finish time, thread)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> pq;
+  for (int t = 0; t < threads; ++t) pq.emplace(0.0, t);
+  for (size_t i = 0; i < n; ++i) {
+    auto [finish, t] = pq.top();
+    pq.pop();
+    busy[static_cast<size_t>(t)] = finish + iterTimes[i];
+    pq.emplace(busy[static_cast<size_t>(t)], t);
+  }
+  return busy;
+}
+
+double scheduleMakespan(const std::vector<double>& iterTimes, int threads,
+                        bool dynamic) {
+  std::vector<double> busy = scheduleThreads(iterTimes, threads, dynamic);
+  return *std::max_element(busy.begin(), busy.end());
+}
+
+}  // namespace formad::exec

@@ -1,0 +1,22 @@
+// Iteration-to-thread schedule simulation.
+//
+// Models OpenMP static scheduling (contiguous chunks) and dynamic
+// scheduling (each iteration goes to the earliest-finishing thread, chunk
+// size 1) over measured per-iteration times — the mechanism behind the
+// load-balance differences the paper discusses for GFMC's spin-exchange
+// loop.
+#pragma once
+
+#include <vector>
+
+namespace formad::exec {
+
+/// Per-thread busy times after distributing `iterTimes` over `threads`.
+[[nodiscard]] std::vector<double> scheduleThreads(
+    const std::vector<double>& iterTimes, int threads, bool dynamic);
+
+/// max(threadTimes) convenience.
+[[nodiscard]] double scheduleMakespan(const std::vector<double>& iterTimes,
+                                      int threads, bool dynamic);
+
+}  // namespace formad::exec

@@ -1,0 +1,64 @@
+#include "exec/value.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace formad::exec {
+
+namespace {
+long long totalSize(const std::vector<long long>& dims) {
+  FORMAD_ASSERT(!dims.empty() && dims.size() <= 3, "array rank must be 1..3");
+  long long n = 1;
+  for (long long d : dims) {
+    FORMAD_ASSERT(d > 0, "array dimensions must be positive");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+ArrayValue ArrayValue::reals(std::vector<long long> dims) {
+  ArrayValue a;
+  a.elem_ = ir::Scalar::Real;
+  a.size_ = totalSize(dims);
+  a.dims_ = std::move(dims);
+  a.reals_.assign(static_cast<size_t>(a.size_), 0.0);
+  return a;
+}
+
+ArrayValue ArrayValue::ints(std::vector<long long> dims) {
+  ArrayValue a;
+  a.elem_ = ir::Scalar::Int;
+  a.size_ = totalSize(dims);
+  a.dims_ = std::move(dims);
+  a.ints_.assign(static_cast<size_t>(a.size_), 0);
+  return a;
+}
+
+long long ArrayValue::linearize(const long long* idx, int n) const {
+  FORMAD_ASSERT(n == rank(), "array rank mismatch at runtime");
+  long long flat = 0;
+  long long stride = 1;
+  for (int k = 0; k < n; ++k) {
+    long long i = idx[k];
+    if (i < 0 || i >= dims_[static_cast<size_t>(k)])
+      fail("array index out of bounds: index " + std::to_string(i) +
+           " in dimension of extent " +
+           std::to_string(dims_[static_cast<size_t>(k)]));
+    flat += i * stride;
+    stride *= dims_[static_cast<size_t>(k)];
+  }
+  return flat;
+}
+
+void ArrayValue::fill(double v) {
+  FORMAD_ASSERT(elem_ == ir::Scalar::Real, "fill(double) on int array");
+  std::fill(reals_.begin(), reals_.end(), v);
+}
+
+void ArrayValue::fill(long long v) {
+  FORMAD_ASSERT(elem_ == ir::Scalar::Int, "fill(int) on real array");
+  std::fill(ints_.begin(), ints_.end(), v);
+}
+
+}  // namespace formad::exec

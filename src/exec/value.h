@@ -1,0 +1,68 @@
+// Runtime values: scalars and dense arrays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/diagnostics.h"
+
+namespace formad::exec {
+
+/// A scalar runtime value (int / real / bool), untagged by design: the
+/// interpreter knows the static type of every slot.
+struct ScalarVal {
+  double r = 0.0;
+  long long i = 0;
+  bool b = false;
+};
+
+/// A dense 0-based array of reals or ints, rank 1..3, row-major.
+class ArrayValue {
+ public:
+  ArrayValue() = default;
+
+  [[nodiscard]] static ArrayValue reals(std::vector<long long> dims);
+  [[nodiscard]] static ArrayValue ints(std::vector<long long> dims);
+
+  [[nodiscard]] ir::Scalar elem() const { return elem_; }
+  [[nodiscard]] int rank() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] long long dim(int k) const {
+    return dims_.at(static_cast<size_t>(k));
+  }
+  [[nodiscard]] long long size() const { return size_; }
+  [[nodiscard]] size_t bytes() const { return static_cast<size_t>(size_) * 8; }
+
+  /// Row-major linearization with bounds checking.
+  [[nodiscard]] long long linearize(const long long* idx, int n) const;
+
+  [[nodiscard]] double& realAt(long long flat) {
+    return reals_[static_cast<size_t>(flat)];
+  }
+  [[nodiscard]] double realAt(long long flat) const {
+    return reals_[static_cast<size_t>(flat)];
+  }
+  [[nodiscard]] long long& intAt(long long flat) {
+    return ints_[static_cast<size_t>(flat)];
+  }
+  [[nodiscard]] long long intAt(long long flat) const {
+    return ints_[static_cast<size_t>(flat)];
+  }
+
+  [[nodiscard]] std::vector<double>& realData() { return reals_; }
+  [[nodiscard]] const std::vector<double>& realData() const { return reals_; }
+  [[nodiscard]] std::vector<long long>& intData() { return ints_; }
+  [[nodiscard]] const std::vector<long long>& intData() const { return ints_; }
+
+  void fill(double v);
+  void fill(long long v);
+
+ private:
+  ir::Scalar elem_ = ir::Scalar::Real;
+  std::vector<long long> dims_;
+  long long size_ = 0;
+  std::vector<double> reals_;
+  std::vector<long long> ints_;
+};
+
+}  // namespace formad::exec

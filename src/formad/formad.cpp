@@ -1,0 +1,109 @@
+#include "formad/formad.h"
+
+#include <sstream>
+
+#include "analysis/activity.h"
+#include "analysis/symbols.h"
+#include "ir/traversal.h"
+
+namespace formad::core {
+
+using namespace ::formad::ir;
+
+const RegionVerdict* KernelAnalysis::regionFor(const For* loop) const {
+  for (const auto& r : regions)
+    if (r.loop == loop) return &r;
+  return nullptr;
+}
+
+bool KernelAnalysis::isSafe(const For* loop, const std::string& var) const {
+  const RegionVerdict* r = regionFor(loop);
+  return r != nullptr && r->isSafe(var);
+}
+
+int KernelAnalysis::modelAssertions() const {
+  int n = 0;
+  for (const auto& r : regions) n += r.modelAssertions;
+  return n;
+}
+
+long long KernelAnalysis::queries() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.queries;
+  return n;
+}
+
+int KernelAnalysis::uniqueExprs() const {
+  int n = 0;
+  for (const auto& r : regions) n += r.uniqueExprs;
+  return n;
+}
+
+int KernelAnalysis::statementsInRegions() const {
+  int n = 0;
+  for (const auto& r : regions) n += r.statementsInRegion;
+  return n;
+}
+
+double KernelAnalysis::analysisSeconds() const {
+  double s = 0.0;
+  for (const auto& r : regions) s += r.analysisSeconds;
+  return s;
+}
+
+KernelAnalysis analyzeKernel(const Kernel& kernel,
+                             const std::vector<std::string>& independents,
+                             const std::vector<std::string>& dependents,
+                             const AnalyzeOptions& opts) {
+  analysis::SymbolTable syms = analysis::verifyKernel(kernel);
+  analysis::Activity act =
+      analysis::computeActivity(kernel, syms, independents, dependents);
+
+  KernelAnalysis out;
+  forEachStmt(kernel.body, [&](const Stmt& s) {
+    if (s.kind() != StmtKind::For || !s.as<For>().parallel) return;
+    RegionModel model =
+        buildRegionModel(kernel, s.as<For>(), syms, act, opts.model);
+    out.regions.push_back(exploitRegion(model, opts.exploit));
+  });
+  return out;
+}
+
+ad::GuardPolicy formadPolicy(const KernelAnalysis& analysis) {
+  // The policy callback outlives this function; copy the verdict data.
+  std::map<const For*, std::map<std::string, bool>> safeMap;
+  for (const auto& r : analysis.regions) {
+    auto& m = safeMap[r.loop];
+    for (const auto& v : r.vars) m.emplace(v.var, v.safe);
+  }
+  return [safeMap](const For& loop, const std::string& var) {
+    auto it = safeMap.find(&loop);
+    if (it == safeMap.end()) return Guard::Atomic;
+    auto vit = it->second.find(var);
+    if (vit == it->second.end()) return Guard::Atomic;
+    return vit->second ? Guard::None : Guard::Atomic;
+  };
+}
+
+std::string describe(const KernelAnalysis& analysis) {
+  std::ostringstream os;
+  int idx = 0;
+  for (const auto& r : analysis.regions) {
+    os << "parallel region #" << idx++ << " (counter '" << r.loop->var
+       << "'): model size " << r.modelAssertions << ", queries " << r.queries
+       << ", unique write exprs " << r.uniqueExprs << ", statements "
+       << r.statementsInRegion << ", analysis "
+       << r.analysisSeconds << "s\n";
+    for (const auto& v : r.vars) {
+      os << "  " << v.var << ": "
+         << (v.safe ? "SAFE (shared, no atomics)" : "UNSAFE (needs safeguard)")
+         << " after " << v.pairsTested << " pair(s)";
+      if (!v.safe && !v.firstUnsafePair.empty())
+        os << " — offending pair: " << v.firstUnsafePair;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace formad::core

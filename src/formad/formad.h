@@ -1,0 +1,49 @@
+// FormAD top level: analyze every parallel region of a kernel and expose
+// the verdicts as a GuardPolicy for the adjoint transform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ad/reverse.h"
+#include "formad/exploit.h"
+#include "ir/kernel.h"
+
+namespace formad::core {
+
+struct AnalyzeOptions {
+  ExploitOptions exploit;
+  ModelOptions model;
+};
+
+/// Result of running FormAD on one kernel (one verdict per parallel loop).
+struct KernelAnalysis {
+  std::vector<RegionVerdict> regions;
+
+  [[nodiscard]] const RegionVerdict* regionFor(const ir::For* loop) const;
+  /// Safe == the adjoint accesses of `var` in `loop` were all proven
+  /// disjoint; unknown loops/vars are unsafe.
+  [[nodiscard]] bool isSafe(const ir::For* loop, const std::string& var) const;
+
+  // Aggregate Table-1 statistics over all regions of the kernel.
+  [[nodiscard]] int modelAssertions() const;
+  [[nodiscard]] long long queries() const;
+  [[nodiscard]] int uniqueExprs() const;
+  [[nodiscard]] int statementsInRegions() const;
+  [[nodiscard]] double analysisSeconds() const;
+};
+
+/// Runs knowledge extraction + exploitation on every parallel loop of the
+/// kernel, with differentiation w.r.t. the given independents/dependents.
+[[nodiscard]] KernelAnalysis analyzeKernel(
+    const ir::Kernel& kernel, const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents, const AnalyzeOptions& = {});
+
+/// Guard policy implementing the paper's FormAD program version: proven
+/// variables stay plainly shared, everything else falls back to atomics.
+[[nodiscard]] ad::GuardPolicy formadPolicy(const KernelAnalysis& analysis);
+
+/// Human-readable per-region report (verdicts + statistics).
+[[nodiscard]] std::string describe(const KernelAnalysis& analysis);
+
+}  // namespace formad::core

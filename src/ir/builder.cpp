@@ -1,0 +1,93 @@
+#include "ir/builder.h"
+
+namespace formad::ir::build {
+
+ExprPtr iconst(long long v) { return std::make_unique<IntLit>(v); }
+ExprPtr rconst(double v) { return std::make_unique<RealLit>(v); }
+ExprPtr bconst(bool v) { return std::make_unique<BoolLit>(v); }
+ExprPtr var(std::string name) {
+  return std::make_unique<VarRef>(std::move(name));
+}
+
+ExprPtr idx(std::string array, std::vector<ExprPtr> indices) {
+  return std::make_unique<ArrayRef>(std::move(array), std::move(indices));
+}
+
+ExprPtr idx1(std::string array, ExprPtr i) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(i));
+  return idx(std::move(array), std::move(v));
+}
+
+ExprPtr idx2(std::string array, ExprPtr i, ExprPtr j) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(i));
+  v.push_back(std::move(j));
+  return idx(std::move(array), std::move(v));
+}
+
+ExprPtr neg(ExprPtr a) {
+  return std::make_unique<Unary>(UnOp::Neg, std::move(a));
+}
+ExprPtr add(ExprPtr a, ExprPtr b) {
+  return std::make_unique<Binary>(BinOp::Add, std::move(a), std::move(b));
+}
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+  return std::make_unique<Binary>(BinOp::Sub, std::move(a), std::move(b));
+}
+ExprPtr mul(ExprPtr a, ExprPtr b) {
+  return std::make_unique<Binary>(BinOp::Mul, std::move(a), std::move(b));
+}
+ExprPtr div(ExprPtr a, ExprPtr b) {
+  return std::make_unique<Binary>(BinOp::Div, std::move(a), std::move(b));
+}
+ExprPtr bin(BinOp op, ExprPtr a, ExprPtr b) {
+  return std::make_unique<Binary>(op, std::move(a), std::move(b));
+}
+ExprPtr call(Intrinsic fn, std::vector<ExprPtr> args) {
+  return std::make_unique<Call>(fn, std::move(args));
+}
+
+StmtPtr assign(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<Assign>(std::move(lhs), std::move(rhs));
+}
+
+StmtPtr increment(ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr lhsRead = lhs->clone();
+  return std::make_unique<Assign>(std::move(lhs),
+                                  add(std::move(lhsRead), std::move(rhs)));
+}
+
+StmtPtr decl(std::string name, Type type, ExprPtr init) {
+  return std::make_unique<DeclLocal>(std::move(name), type, std::move(init));
+}
+
+StmtPtr ifStmt(ExprPtr cond, StmtList thenBody, StmtList elseBody) {
+  return std::make_unique<If>(std::move(cond), std::move(thenBody),
+                              std::move(elseBody));
+}
+
+StmtPtr forLoop(std::string var, ExprPtr lo, ExprPtr hi, StmtList body,
+                ExprPtr step) {
+  if (!step) step = iconst(1);
+  return std::make_unique<For>(std::move(var), std::move(lo), std::move(hi),
+                               std::move(step), std::move(body));
+}
+
+StmtPtr parallelFor(std::string var, ExprPtr lo, ExprPtr hi, StmtList body,
+                    ExprPtr step) {
+  auto f = forLoop(std::move(var), std::move(lo), std::move(hi),
+                   std::move(body), std::move(step));
+  f->as<For>().parallel = true;
+  return f;
+}
+
+StmtPtr push(TapeChannel ch, ExprPtr value) {
+  return std::make_unique<Push>(ch, std::move(value));
+}
+
+StmtPtr pop(TapeChannel ch, std::string target) {
+  return std::make_unique<Pop>(ch, std::move(target));
+}
+
+}  // namespace formad::ir::build

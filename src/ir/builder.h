@@ -1,0 +1,57 @@
+// Fluent helpers to construct IR in C++.
+//
+// Used by the AD transform to synthesize adjoint code, and by tests. Kernels
+// for the paper's benchmarks are written in the textual DSL (see parser/)
+// but can equally be built through this API.
+#pragma once
+
+#include "ir/kernel.h"
+
+namespace formad::ir::build {
+
+[[nodiscard]] ExprPtr iconst(long long v);
+[[nodiscard]] ExprPtr rconst(double v);
+[[nodiscard]] ExprPtr bconst(bool v);
+[[nodiscard]] ExprPtr var(std::string name);
+[[nodiscard]] ExprPtr idx(std::string array, std::vector<ExprPtr> indices);
+[[nodiscard]] ExprPtr idx1(std::string array, ExprPtr i);
+[[nodiscard]] ExprPtr idx2(std::string array, ExprPtr i, ExprPtr j);
+
+[[nodiscard]] ExprPtr neg(ExprPtr a);
+[[nodiscard]] ExprPtr add(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr sub(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr mul(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr div(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr bin(BinOp op, ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr call(Intrinsic fn, std::vector<ExprPtr> args);
+
+[[nodiscard]] StmtPtr assign(ExprPtr lhs, ExprPtr rhs);
+/// `lhs = lhs + rhs` (the AD increment pattern of Fig. 1).
+[[nodiscard]] StmtPtr increment(ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] StmtPtr decl(std::string name, Type type, ExprPtr init = nullptr);
+[[nodiscard]] StmtPtr ifStmt(ExprPtr cond, StmtList thenBody,
+                             StmtList elseBody = {});
+[[nodiscard]] StmtPtr forLoop(std::string var, ExprPtr lo, ExprPtr hi,
+                              StmtList body, ExprPtr step = nullptr);
+[[nodiscard]] StmtPtr parallelFor(std::string var, ExprPtr lo, ExprPtr hi,
+                                  StmtList body, ExprPtr step = nullptr);
+[[nodiscard]] StmtPtr push(TapeChannel ch, ExprPtr value);
+[[nodiscard]] StmtPtr pop(TapeChannel ch, std::string target);
+
+/// Builds a StmtList from individual statements.
+template <class... Ts>
+[[nodiscard]] StmtList block(Ts&&... stmts) {
+  StmtList out;
+  (out.push_back(std::forward<Ts>(stmts)), ...);
+  return out;
+}
+
+/// Builds an argument/index vector from individual expressions.
+template <class... Ts>
+[[nodiscard]] std::vector<ExprPtr> exprs(Ts&&... items) {
+  std::vector<ExprPtr> out;
+  (out.push_back(std::forward<Ts>(items)), ...);
+  return out;
+}
+
+}  // namespace formad::ir::build

@@ -1,0 +1,161 @@
+#include "ir/expr.h"
+
+namespace formad::ir {
+
+bool isComparison(BinOp op) {
+  switch (op) {
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+    case BinOp::Eq:
+    case BinOp::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isLogical(BinOp op) { return op == BinOp::And || op == BinOp::Or; }
+
+std::string to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+std::string to_string(UnOp op) { return op == UnOp::Neg ? "-" : "!"; }
+
+std::string to_string(Intrinsic fn) {
+  switch (fn) {
+    case Intrinsic::Sin: return "sin";
+    case Intrinsic::Cos: return "cos";
+    case Intrinsic::Tan: return "tan";
+    case Intrinsic::Exp: return "exp";
+    case Intrinsic::Log: return "log";
+    case Intrinsic::Sqrt: return "sqrt";
+    case Intrinsic::Abs: return "abs";
+    case Intrinsic::Min: return "min";
+    case Intrinsic::Max: return "max";
+    case Intrinsic::Pow: return "pow";
+    case Intrinsic::Tanh: return "tanh";
+  }
+  return "?";
+}
+
+int intrinsicArity(Intrinsic fn) {
+  switch (fn) {
+    case Intrinsic::Min:
+    case Intrinsic::Max:
+    case Intrinsic::Pow:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+ExprPtr IntLit::clone() const { return std::make_unique<IntLit>(value, loc()); }
+ExprPtr RealLit::clone() const {
+  return std::make_unique<RealLit>(value, loc());
+}
+ExprPtr BoolLit::clone() const {
+  return std::make_unique<BoolLit>(value, loc());
+}
+
+ExprPtr VarRef::clone() const {
+  auto c = std::make_unique<VarRef>(name, loc());
+  c->slot = slot;
+  return c;
+}
+
+ExprPtr ArrayRef::clone() const {
+  std::vector<ExprPtr> idx;
+  idx.reserve(indices.size());
+  for (const auto& i : indices) idx.push_back(i->clone());
+  auto c = std::make_unique<ArrayRef>(name, std::move(idx), loc());
+  c->slot = slot;
+  return c;
+}
+
+ExprPtr Unary::clone() const {
+  return std::make_unique<Unary>(op, operand->clone(), loc());
+}
+
+ExprPtr Binary::clone() const {
+  return std::make_unique<Binary>(op, lhs->clone(), rhs->clone(), loc());
+}
+
+ExprPtr Call::clone() const {
+  std::vector<ExprPtr> a;
+  a.reserve(args.size());
+  for (const auto& x : args) a.push_back(x->clone());
+  return std::make_unique<Call>(fn, std::move(a), loc());
+}
+
+bool structurallyEqual(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case ExprKind::IntLit:
+      return a.as<IntLit>().value == b.as<IntLit>().value;
+    case ExprKind::RealLit:
+      return a.as<RealLit>().value == b.as<RealLit>().value;
+    case ExprKind::BoolLit:
+      return a.as<BoolLit>().value == b.as<BoolLit>().value;
+    case ExprKind::VarRef:
+      return a.as<VarRef>().name == b.as<VarRef>().name;
+    case ExprKind::ArrayRef: {
+      const auto& x = a.as<ArrayRef>();
+      const auto& y = b.as<ArrayRef>();
+      if (x.name != y.name || x.indices.size() != y.indices.size())
+        return false;
+      for (size_t i = 0; i < x.indices.size(); ++i)
+        if (!structurallyEqual(*x.indices[i], *y.indices[i])) return false;
+      return true;
+    }
+    case ExprKind::Unary: {
+      const auto& x = a.as<Unary>();
+      const auto& y = b.as<Unary>();
+      return x.op == y.op && structurallyEqual(*x.operand, *y.operand);
+    }
+    case ExprKind::Binary: {
+      const auto& x = a.as<Binary>();
+      const auto& y = b.as<Binary>();
+      return x.op == y.op && structurallyEqual(*x.lhs, *y.lhs) &&
+             structurallyEqual(*x.rhs, *y.rhs);
+    }
+    case ExprKind::Call: {
+      const auto& x = a.as<Call>();
+      const auto& y = b.as<Call>();
+      if (x.fn != y.fn || x.args.size() != y.args.size()) return false;
+      for (size_t i = 0; i < x.args.size(); ++i)
+        if (!structurallyEqual(*x.args[i], *y.args[i])) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool isRef(const Expr& e) {
+  return e.kind() == ExprKind::VarRef || e.kind() == ExprKind::ArrayRef;
+}
+
+const std::string& refName(const Expr& e) {
+  if (e.kind() == ExprKind::VarRef) return e.as<VarRef>().name;
+  FORMAD_ASSERT(e.kind() == ExprKind::ArrayRef, "refName: not a reference");
+  return e.as<ArrayRef>().name;
+}
+
+}  // namespace formad::ir

@@ -1,0 +1,178 @@
+// Expression AST of the kernel IR.
+//
+// Expressions are owned trees (unique_ptr). Every node carries a SourceLoc
+// and supports deep clone() — the AD transform synthesizes adjoint code by
+// cloning and recombining primal subtrees.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/diagnostics.h"
+
+namespace formad::ir {
+
+enum class ExprKind {
+  IntLit,
+  RealLit,
+  BoolLit,
+  VarRef,
+  ArrayRef,
+  Unary,
+  Binary,
+  Call,
+};
+
+enum class UnOp { Neg, Not };
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+};
+
+[[nodiscard]] bool isComparison(BinOp op);
+[[nodiscard]] bool isLogical(BinOp op);
+[[nodiscard]] std::string to_string(BinOp op);
+[[nodiscard]] std::string to_string(UnOp op);
+
+/// Differentiable intrinsic functions (elementals in Fortran terms).
+enum class Intrinsic { Sin, Cos, Tan, Exp, Log, Sqrt, Abs, Min, Max, Pow, Tanh };
+
+[[nodiscard]] std::string to_string(Intrinsic fn);
+[[nodiscard]] int intrinsicArity(Intrinsic fn);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class Expr {
+ public:
+  explicit Expr(ExprKind kind, SourceLoc loc = {}) : kind_(kind), loc_(loc) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+  [[nodiscard]] virtual ExprPtr clone() const = 0;
+
+  /// Checked downcasts.
+  template <class T>
+  [[nodiscard]] T& as() {
+    auto* p = dynamic_cast<T*>(this);
+    FORMAD_ASSERT(p != nullptr, "bad Expr downcast");
+    return *p;
+  }
+  template <class T>
+  [[nodiscard]] const T& as() const {
+    auto* p = dynamic_cast<const T*>(this);
+    FORMAD_ASSERT(p != nullptr, "bad Expr downcast");
+    return *p;
+  }
+
+ private:
+  ExprKind kind_;
+  SourceLoc loc_;
+};
+
+class IntLit final : public Expr {
+ public:
+  explicit IntLit(long long value, SourceLoc loc = {})
+      : Expr(ExprKind::IntLit, loc), value(value) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  long long value;
+};
+
+class RealLit final : public Expr {
+ public:
+  explicit RealLit(double value, SourceLoc loc = {})
+      : Expr(ExprKind::RealLit, loc), value(value) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  double value;
+};
+
+class BoolLit final : public Expr {
+ public:
+  explicit BoolLit(bool value, SourceLoc loc = {})
+      : Expr(ExprKind::BoolLit, loc), value(value) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  bool value;
+};
+
+/// Reference to a scalar variable (parameter, local, or loop counter).
+class VarRef final : public Expr {
+ public:
+  explicit VarRef(std::string name, SourceLoc loc = {})
+      : Expr(ExprKind::VarRef, loc), name(std::move(name)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string name;
+  /// Storage slot resolved by the executor's binder (-1 = unresolved).
+  int slot = -1;
+};
+
+/// Reference to an element of a (rank >= 1) array: a[i], a[i,j], ...
+class ArrayRef final : public Expr {
+ public:
+  ArrayRef(std::string name, std::vector<ExprPtr> indices, SourceLoc loc = {})
+      : Expr(ExprKind::ArrayRef, loc),
+        name(std::move(name)),
+        indices(std::move(indices)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string name;
+  std::vector<ExprPtr> indices;
+  int slot = -1;
+};
+
+class Unary final : public Expr {
+ public:
+  Unary(UnOp op, ExprPtr operand, SourceLoc loc = {})
+      : Expr(ExprKind::Unary, loc), op(op), operand(std::move(operand)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  UnOp op;
+  ExprPtr operand;
+};
+
+class Binary final : public Expr {
+ public:
+  Binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {})
+      : Expr(ExprKind::Binary, loc),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  BinOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+class Call final : public Expr {
+ public:
+  Call(Intrinsic fn, std::vector<ExprPtr> args, SourceLoc loc = {})
+      : Expr(ExprKind::Call, loc), fn(fn), args(std::move(args)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  Intrinsic fn;
+  std::vector<ExprPtr> args;
+};
+
+/// Deep structural equality (names, literals, operators). Slot annotations
+/// are ignored. Used e.g. by increment detection (paper Sec. 5.4).
+[[nodiscard]] bool structurallyEqual(const Expr& a, const Expr& b);
+
+/// True if the expression is a VarRef or ArrayRef (an lvalue candidate).
+[[nodiscard]] bool isRef(const Expr& e);
+
+/// Name of a VarRef/ArrayRef.
+[[nodiscard]] const std::string& refName(const Expr& e);
+
+}  // namespace formad::ir

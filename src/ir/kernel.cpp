@@ -1,0 +1,53 @@
+#include "ir/kernel.h"
+
+#include "support/diagnostics.h"
+
+namespace formad::ir {
+
+const Param* Kernel::findParam(const std::string& n) const {
+  for (const auto& p : params)
+    if (p.name == n) return &p;
+  return nullptr;
+}
+
+std::unique_ptr<Kernel> Kernel::clone() const {
+  auto k = std::make_unique<Kernel>();
+  k->name = name;
+  k->params = params;
+  k->body = cloneList(body);
+  return k;
+}
+
+Kernel& Program::add(std::unique_ptr<Kernel> k) {
+  FORMAD_ASSERT(k != nullptr, "null kernel");
+  if (find(k->name) != nullptr)
+    fail("duplicate kernel name: " + k->name);
+  kernels_.push_back(std::move(k));
+  return *kernels_.back();
+}
+
+Kernel* Program::find(const std::string& name) {
+  for (auto& k : kernels_)
+    if (k->name == name) return k.get();
+  return nullptr;
+}
+
+const Kernel* Program::find(const std::string& name) const {
+  for (const auto& k : kernels_)
+    if (k->name == name) return k.get();
+  return nullptr;
+}
+
+Kernel& Program::get(const std::string& name) {
+  auto* k = find(name);
+  if (k == nullptr) fail("no such kernel: " + name);
+  return *k;
+}
+
+const Kernel& Program::get(const std::string& name) const {
+  const auto* k = find(name);
+  if (k == nullptr) fail("no such kernel: " + name);
+  return *k;
+}
+
+}  // namespace formad::ir

@@ -1,0 +1,56 @@
+// Kernel and Program containers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "ir/type.h"
+
+namespace formad::ir {
+
+/// A kernel parameter. Arrays are passed by reference (Fortran dummy
+/// arguments); their extents are bound at execution time.
+struct Param {
+  std::string name;
+  Type type;
+  Intent intent = Intent::In;
+};
+
+/// A kernel: the unit FormAD differentiates (a Fortran subroutine in the
+/// paper). Its body may contain OpenMP-style parallel loops.
+class Kernel {
+ public:
+  std::string name;
+  std::vector<Param> params;
+  StmtList body;
+
+  [[nodiscard]] const Param* findParam(const std::string& n) const;
+  [[nodiscard]] bool hasParam(const std::string& n) const {
+    return findParam(n) != nullptr;
+  }
+
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const;
+};
+
+/// A program: a set of kernels (some primal, some AD-generated).
+class Program {
+ public:
+  [[nodiscard]] Kernel& add(std::unique_ptr<Kernel> k);
+  [[nodiscard]] Kernel* find(const std::string& name);
+  [[nodiscard]] const Kernel* find(const std::string& name) const;
+  [[nodiscard]] Kernel& get(const std::string& name);
+  [[nodiscard]] const Kernel& get(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Kernel>>& kernels() const {
+    return kernels_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+};
+
+}  // namespace formad::ir

@@ -1,0 +1,222 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace formad::ir {
+
+namespace {
+
+/// Operator precedence for minimal parenthesization.
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::Or: return 1;
+    case BinOp::And: return 2;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: return 3;
+    case BinOp::Add:
+    case BinOp::Sub: return 4;
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Mod: return 5;
+  }
+  return 0;
+}
+
+void printExprRec(const Expr& e, std::ostringstream& os, int parentPrec) {
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+      os << e.as<IntLit>().value;
+      break;
+    case ExprKind::RealLit: {
+      std::ostringstream tmp;
+      tmp << e.as<RealLit>().value;
+      std::string s = tmp.str();
+      // Ensure the literal reads back as a real.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos)
+        s += ".0";
+      os << s;
+      break;
+    }
+    case ExprKind::BoolLit:
+      os << (e.as<BoolLit>().value ? "true" : "false");
+      break;
+    case ExprKind::VarRef:
+      os << e.as<VarRef>().name;
+      break;
+    case ExprKind::ArrayRef: {
+      const auto& a = e.as<ArrayRef>();
+      os << a.name << "[";
+      for (size_t i = 0; i < a.indices.size(); ++i) {
+        if (i) os << ", ";
+        printExprRec(*a.indices[i], os, 0);
+      }
+      os << "]";
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto& u = e.as<Unary>();
+      os << to_string(u.op);
+      printExprRec(*u.operand, os, 100);
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = e.as<Binary>();
+      int prec = precedence(b.op);
+      bool parens = prec < parentPrec;
+      if (parens) os << "(";
+      printExprRec(*b.lhs, os, prec);
+      os << " " << to_string(b.op) << " ";
+      printExprRec(*b.rhs, os, prec + 1);
+      if (parens) os << ")";
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& c = e.as<Call>();
+      os << to_string(c.fn) << "(";
+      for (size_t i = 0; i < c.args.size(); ++i) {
+        if (i) os << ", ";
+        printExprRec(*c.args[i], os, 0);
+      }
+      os << ")";
+      break;
+    }
+  }
+}
+
+std::string ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+const char* channelName(TapeChannel ch) {
+  switch (ch) {
+    case TapeChannel::Real: return "real";
+    case TapeChannel::Int: return "int";
+    case TapeChannel::Bool: return "bool";
+  }
+  return "?";
+}
+
+void printStmtRec(const Stmt& s, std::ostringstream& os, int indent) {
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      const auto& a = s.as<Assign>();
+      os << ind(indent);
+      if (a.guard == Guard::Atomic) os << "atomic ";
+      if (a.guard == Guard::Reduction) os << "shadow ";
+      os << printExpr(*a.lhs) << " = " << printExpr(*a.rhs) << ";\n";
+      break;
+    }
+    case StmtKind::DeclLocal: {
+      const auto& d = s.as<DeclLocal>();
+      os << ind(indent) << "var " << d.name << ": " << to_string(d.type);
+      if (d.init) os << " = " << printExpr(*d.init);
+      os << ";\n";
+      break;
+    }
+    case StmtKind::If: {
+      const auto& i = s.as<If>();
+      os << ind(indent) << "if (" << printExpr(*i.cond) << ") {\n";
+      for (const auto& t : i.thenBody) printStmtRec(*t, os, indent + 1);
+      if (!i.elseBody.empty()) {
+        os << ind(indent) << "} else {\n";
+        for (const auto& t : i.elseBody) printStmtRec(*t, os, indent + 1);
+      }
+      os << ind(indent) << "}\n";
+      break;
+    }
+    case StmtKind::For: {
+      const auto& f = s.as<For>();
+      os << ind(indent);
+      if (f.parallel) os << "parallel ";
+      os << "for " << f.var << " = " << printExpr(*f.lo) << " : "
+         << printExpr(*f.hi);
+      bool stepIsOne = f.step->kind() == ExprKind::IntLit &&
+                       f.step->as<IntLit>().value == 1;
+      if (!stepIsOne) os << " : " << printExpr(*f.step);
+      if (f.reversed) os << " reversed";
+      if (f.parallel) {
+        if (f.sched == Schedule::Dynamic) os << " schedule(dynamic)";
+        if (!f.shared.empty()) {
+          os << " shared(";
+          for (size_t i = 0; i < f.shared.size(); ++i)
+            os << (i ? ", " : "") << f.shared[i];
+          os << ")";
+        }
+        if (!f.privates.empty()) {
+          os << " private(";
+          for (size_t i = 0; i < f.privates.size(); ++i)
+            os << (i ? ", " : "") << f.privates[i];
+          os << ")";
+        }
+        for (const auto& r : f.reductions)
+          os << " reduction(" << to_string(r.op) << ": " << r.var << ")";
+      }
+      os << " {\n";
+      for (const auto& t : f.body) printStmtRec(*t, os, indent + 1);
+      os << ind(indent) << "}\n";
+      break;
+    }
+    case StmtKind::Push: {
+      const auto& p = s.as<Push>();
+      os << ind(indent) << "PUSH_" << channelName(p.channel) << "("
+         << printExpr(*p.value) << ");\n";
+      break;
+    }
+    case StmtKind::Pop: {
+      const auto& p = s.as<Pop>();
+      os << ind(indent) << p.target << " = POP_" << channelName(p.channel)
+         << "();\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string printExpr(const Expr& e) {
+  std::ostringstream os;
+  printExprRec(e, os, 0);
+  return os.str();
+}
+
+std::string printStmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  printStmtRec(s, os, indent);
+  return os.str();
+}
+
+std::string printBody(const StmtList& body, int indent) {
+  std::ostringstream os;
+  for (const auto& s : body) printStmtRec(*s, os, indent);
+  return os.str();
+}
+
+std::string printKernel(const Kernel& k) {
+  std::ostringstream os;
+  os << "kernel " << k.name << "(";
+  for (size_t i = 0; i < k.params.size(); ++i) {
+    if (i) os << ", ";
+    const auto& p = k.params[i];
+    os << p.name << ": " << to_string(p.type) << " " << to_string(p.intent);
+  }
+  os << ") {\n";
+  os << printBody(k.body, 1);
+  os << "}\n";
+  return os.str();
+}
+
+std::string printProgram(const Program& p) {
+  std::string out;
+  for (const auto& k : p.kernels()) {
+    out += printKernel(*k);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace formad::ir

@@ -1,0 +1,20 @@
+// Pretty printer: renders IR back to DSL text.
+//
+// The output of `printKernel` on parser-produced IR is re-parseable; for
+// AD-generated code, Push/Pop statements render as pseudo calls so the
+// generated adjoint can be inspected like Tapenade's output files.
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace formad::ir {
+
+[[nodiscard]] std::string printExpr(const Expr& e);
+[[nodiscard]] std::string printStmt(const Stmt& s, int indent = 0);
+[[nodiscard]] std::string printBody(const StmtList& body, int indent = 0);
+[[nodiscard]] std::string printKernel(const Kernel& k);
+[[nodiscard]] std::string printProgram(const Program& p);
+
+}  // namespace formad::ir

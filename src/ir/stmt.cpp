@@ -1,0 +1,61 @@
+#include "ir/stmt.h"
+
+#include <algorithm>
+
+namespace formad::ir {
+
+StmtList cloneList(const StmtList& body) {
+  StmtList out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(s->clone());
+  return out;
+}
+
+StmtPtr Assign::clone() const {
+  auto c = std::make_unique<Assign>(lhs->clone(), rhs->clone(), loc());
+  c->guard = guard;
+  return c;
+}
+
+StmtPtr DeclLocal::clone() const {
+  return std::make_unique<DeclLocal>(name, type, init ? init->clone() : nullptr,
+                                     loc());
+}
+
+StmtPtr If::clone() const {
+  return std::make_unique<If>(cond->clone(), cloneList(thenBody),
+                              cloneList(elseBody), loc());
+}
+
+StmtPtr For::clone() const {
+  auto c = std::make_unique<For>(var, lo->clone(), hi->clone(), step->clone(),
+                                 cloneList(body), loc());
+  c->parallel = parallel;
+  c->reversed = reversed;
+  c->usesTape = usesTape;
+  c->sched = sched;
+  c->shared = shared;
+  c->privates = privates;
+  c->reductions = reductions;
+  return c;
+}
+
+bool For::isPrivate(const std::string& name) const {
+  if (name == var) return true;
+  return std::find(privates.begin(), privates.end(), name) != privates.end();
+}
+
+bool For::isReduction(const std::string& name) const {
+  return std::any_of(reductions.begin(), reductions.end(),
+                     [&](const ReductionClause& r) { return r.var == name; });
+}
+
+StmtPtr Push::clone() const {
+  return std::make_unique<Push>(channel, value->clone(), loc());
+}
+
+StmtPtr Pop::clone() const {
+  return std::make_unique<Pop>(channel, target, loc());
+}
+
+}  // namespace formad::ir

@@ -1,0 +1,184 @@
+// Statement AST of the kernel IR.
+//
+// Besides the surface constructs (assignment, local declaration, if, serial
+// and OpenMP-style parallel `for`), the IR contains tape statements
+// (Push/Pop) that only appear in AD-generated code. The adjoint of a
+// parallel loop pushes into a per-iteration tape lane, matching the
+// iteration-local stacks of Tapenade's OpenMP support (paper Sec. 4.1/4.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "ir/type.h"
+
+namespace formad::ir {
+
+enum class StmtKind { Assign, DeclLocal, If, For, Push, Pop };
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+class Stmt {
+ public:
+  explicit Stmt(StmtKind kind, SourceLoc loc = {}) : kind_(kind), loc_(loc) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+  template <class T>
+  [[nodiscard]] T& as() {
+    auto* p = dynamic_cast<T*>(this);
+    FORMAD_ASSERT(p != nullptr, "bad Stmt downcast");
+    return *p;
+  }
+  template <class T>
+  [[nodiscard]] const T& as() const {
+    auto* p = dynamic_cast<const T*>(this);
+    FORMAD_ASSERT(p != nullptr, "bad Stmt downcast");
+    return *p;
+  }
+
+ private:
+  StmtKind kind_;
+  SourceLoc loc_;
+};
+
+[[nodiscard]] StmtList cloneList(const StmtList& body);
+
+/// Safeguard applied to an AD-generated increment of a shared adjoint
+/// variable (the overhead FormAD exists to remove):
+///   - None:      plain load/add/store;
+///   - Atomic:    the increment executes atomically;
+///   - Reduction: the increment lands in a zero-initialized per-thread
+///     shadow copy that the enclosing loop merges into the shared variable
+///     afterwards (privatization + reduction).
+enum class Guard { None, Atomic, Reduction };
+
+/// `lhs = rhs` where lhs is a VarRef or ArrayRef.
+class Assign final : public Stmt {
+ public:
+  Assign(ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {})
+      : Stmt(StmtKind::Assign, loc), lhs(std::move(lhs)), rhs(std::move(rhs)) {
+    FORMAD_ASSERT(isRef(*this->lhs), "Assign lhs must be a reference");
+  }
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr lhs;
+  ExprPtr rhs;
+  Guard guard = Guard::None;
+
+  [[nodiscard]] bool atomic() const { return guard == Guard::Atomic; }
+};
+
+/// Declaration of a scalar local: `var t: real = init;` (init optional).
+class DeclLocal final : public Stmt {
+ public:
+  DeclLocal(std::string name, Type type, ExprPtr init, SourceLoc loc = {})
+      : Stmt(StmtKind::DeclLocal, loc),
+        name(std::move(name)),
+        type(type),
+        init(std::move(init)) {
+    FORMAD_ASSERT(!type.isArray(), "local arrays are not supported");
+  }
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::string name;
+  Type type;
+  ExprPtr init;  // may be null
+};
+
+class If final : public Stmt {
+ public:
+  If(ExprPtr cond, StmtList thenBody, StmtList elseBody, SourceLoc loc = {})
+      : Stmt(StmtKind::If, loc),
+        cond(std::move(cond)),
+        thenBody(std::move(thenBody)),
+        elseBody(std::move(elseBody)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr cond;
+  StmtList thenBody;
+  StmtList elseBody;
+};
+
+/// OpenMP-like scheduling for parallel loops (affects the simulated cost
+/// model; real execution maps to the equivalent OpenMP schedule).
+enum class Schedule { Static, Dynamic };
+
+struct ReductionClause {
+  BinOp op = BinOp::Add;
+  std::string var;
+
+  bool operator==(const ReductionClause&) const = default;
+};
+
+/// Counted loop `for v = lo : hi : step { body }` with *inclusive* bounds
+/// (Fortran-style). `parallel` marks an `!$omp parallel do`. Variables are
+/// shared by default (like arrays in an OpenMP parallel region); `privates`
+/// lists privatized scalars; the loop counter is always private.
+/// `reversed` is set on AD-generated loops that run hi..lo.
+class For final : public Stmt {
+ public:
+  For(std::string var, ExprPtr lo, ExprPtr hi, ExprPtr step, StmtList body,
+      SourceLoc loc = {})
+      : Stmt(StmtKind::For, loc),
+        var(std::move(var)),
+        lo(std::move(lo)),
+        hi(std::move(hi)),
+        step(std::move(step)),
+        body(std::move(body)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::string var;
+  ExprPtr lo;
+  ExprPtr hi;
+  ExprPtr step;  // positive constant in the surface language
+  StmtList body;
+
+  bool parallel = false;
+  bool reversed = false;
+  /// AD-generated: this loop pushes to / pops from per-iteration tape lanes.
+  bool usesTape = false;
+  Schedule sched = Schedule::Static;
+  std::vector<std::string> shared;    // documentation only; arrays default shared
+  std::vector<std::string> privates;  // privatized scalars
+  std::vector<ReductionClause> reductions;
+
+  [[nodiscard]] bool isPrivate(const std::string& name) const;
+  [[nodiscard]] bool isReduction(const std::string& name) const;
+};
+
+/// Which tape channel a Push/Pop uses.
+enum class TapeChannel { Real, Int, Bool };
+
+/// AD-generated: evaluate `value` and push it onto the current tape lane.
+class Push final : public Stmt {
+ public:
+  Push(TapeChannel channel, ExprPtr value, SourceLoc loc = {})
+      : Stmt(StmtKind::Push, loc), channel(channel), value(std::move(value)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  TapeChannel channel;
+  ExprPtr value;
+};
+
+/// AD-generated: pop the top of the tape lane into scalar local `target`.
+class Pop final : public Stmt {
+ public:
+  Pop(TapeChannel channel, std::string target, SourceLoc loc = {})
+      : Stmt(StmtKind::Pop, loc), channel(channel), target(std::move(target)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  TapeChannel channel;
+  std::string target;
+};
+
+}  // namespace formad::ir

@@ -1,0 +1,174 @@
+#include "ir/traversal.h"
+
+#include <algorithm>
+#include <set>
+
+namespace formad::ir {
+
+namespace {
+
+template <class E, class F>
+void forEachExprImpl(E& e, const F& fn) {
+  fn(e);
+  switch (e.kind()) {
+    case ExprKind::ArrayRef: {
+      auto& a = e.template as<ArrayRef>();
+      for (auto& i : a.indices) forEachExprImpl(*i, fn);
+      break;
+    }
+    case ExprKind::Unary:
+      forEachExprImpl(*e.template as<Unary>().operand, fn);
+      break;
+    case ExprKind::Binary: {
+      auto& b = e.template as<Binary>();
+      forEachExprImpl(*b.lhs, fn);
+      forEachExprImpl(*b.rhs, fn);
+      break;
+    }
+    case ExprKind::Call: {
+      auto& c = e.template as<Call>();
+      for (auto& a : c.args) forEachExprImpl(*a, fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+template <class S, class F>
+void forEachOwnExprImpl(S& s, const F& fn) {
+  switch (s.kind()) {
+    case StmtKind::Assign: {
+      auto& a = s.template as<Assign>();
+      fn(*a.lhs);
+      fn(*a.rhs);
+      break;
+    }
+    case StmtKind::DeclLocal: {
+      auto& d = s.template as<DeclLocal>();
+      if (d.init) fn(*d.init);
+      break;
+    }
+    case StmtKind::If:
+      fn(*s.template as<If>().cond);
+      break;
+    case StmtKind::For: {
+      auto& f = s.template as<For>();
+      fn(*f.lo);
+      fn(*f.hi);
+      fn(*f.step);
+      break;
+    }
+    case StmtKind::Push:
+      fn(*s.template as<Push>().value);
+      break;
+    case StmtKind::Pop:
+      break;
+  }
+}
+
+template <class L, class F>
+void forEachStmtImpl(L& body, const F& fn) {
+  for (auto& sp : body) {
+    fn(*sp);
+    switch (sp->kind()) {
+      case StmtKind::If: {
+        auto& i = sp->template as<If>();
+        forEachStmtImpl(i.thenBody, fn);
+        forEachStmtImpl(i.elseBody, fn);
+        break;
+      }
+      case StmtKind::For:
+        forEachStmtImpl(sp->template as<For>().body, fn);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void forEachExpr(Expr& e, const std::function<void(Expr&)>& fn) {
+  forEachExprImpl(e, fn);
+}
+void forEachExpr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  forEachExprImpl(e, fn);
+}
+
+void forEachOwnExpr(Stmt& s, const std::function<void(Expr&)>& fn) {
+  forEachOwnExprImpl(s, fn);
+}
+void forEachOwnExpr(const Stmt& s,
+                    const std::function<void(const Expr&)>& fn) {
+  forEachOwnExprImpl(s, fn);
+}
+
+void forEachStmt(StmtList& body, const std::function<void(Stmt&)>& fn) {
+  forEachStmtImpl(body, fn);
+}
+void forEachStmt(const StmtList& body,
+                 const std::function<void(const Stmt&)>& fn) {
+  forEachStmtImpl(body, fn);
+}
+
+void collectRefs(const Expr& e, std::vector<const Expr*>& out) {
+  forEachExpr(e, [&](const Expr& x) {
+    if (isRef(x)) out.push_back(&x);
+  });
+}
+
+bool referencesVar(const Expr& e, const std::string& name) {
+  bool found = false;
+  forEachExpr(e, [&](const Expr& x) {
+    if (isRef(x) && refName(x) == name) found = true;
+  });
+  return found;
+}
+
+namespace {
+
+void collectAssignedImpl(const Stmt& s, std::set<std::string>& names,
+                         bool includeArrays) {
+  if (s.kind() == StmtKind::Assign) {
+    const auto& a = s.as<Assign>();
+    if (a.lhs->kind() == ExprKind::VarRef)
+      names.insert(a.lhs->as<VarRef>().name);
+    else if (includeArrays)
+      names.insert(a.lhs->as<ArrayRef>().name);
+  } else if (s.kind() == StmtKind::DeclLocal) {
+    // A declaration (re)initializes its local: it kills the previous
+    // value just like an assignment.
+    names.insert(s.as<DeclLocal>().name);
+  } else if (s.kind() == StmtKind::Pop) {
+    names.insert(s.as<Pop>().target);
+  } else if (s.kind() == StmtKind::For) {
+    names.insert(s.as<For>().var);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> assignedNames(const StmtList& body,
+                                       bool includeArrays) {
+  std::set<std::string> names;
+  forEachStmt(body,
+              [&](const Stmt& s) { collectAssignedImpl(s, names, includeArrays); });
+  return {names.begin(), names.end()};
+}
+
+void collectAssignedNames(const Stmt& s, std::set<std::string>& out) {
+  collectAssignedImpl(s, out, /*includeArrays=*/true);
+  if (s.kind() == StmtKind::If) {
+    const auto& i = s.as<If>();
+    forEachStmt(i.thenBody,
+                [&](const Stmt& t) { collectAssignedImpl(t, out, true); });
+    forEachStmt(i.elseBody,
+                [&](const Stmt& t) { collectAssignedImpl(t, out, true); });
+  } else if (s.kind() == StmtKind::For) {
+    forEachStmt(s.as<For>().body,
+                [&](const Stmt& t) { collectAssignedImpl(t, out, true); });
+  }
+}
+
+}  // namespace formad::ir

@@ -1,0 +1,44 @@
+// Generic traversal helpers over the IR.
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "ir/kernel.h"
+#include "ir/stmt.h"
+
+namespace formad::ir {
+
+/// Visit every expression node in `e`, preorder (parent before children).
+void forEachExpr(Expr& e, const std::function<void(Expr&)>& fn);
+void forEachExpr(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+/// Visit every expression directly contained in statement `s` (its own
+/// operands only — not expressions of nested statements).
+void forEachOwnExpr(Stmt& s, const std::function<void(Expr&)>& fn);
+void forEachOwnExpr(const Stmt& s,
+                    const std::function<void(const Expr&)>& fn);
+
+/// Visit every statement in `body`, preorder, recursing into If/For bodies.
+void forEachStmt(StmtList& body, const std::function<void(Stmt&)>& fn);
+void forEachStmt(const StmtList& body,
+                 const std::function<void(const Stmt&)>& fn);
+
+/// Collect pointers to all VarRef/ArrayRef nodes inside an expression.
+void collectRefs(const Expr& e, std::vector<const Expr*>& out);
+
+/// True if any VarRef/ArrayRef inside `e` has the given name.
+[[nodiscard]] bool referencesVar(const Expr& e, const std::string& name);
+
+/// Names of scalar variables assigned (directly or in nested statements) in
+/// `body`. Array writes are reported under the array's name too when
+/// `includeArrays` is set.
+[[nodiscard]] std::vector<std::string> assignedNames(const StmtList& body,
+                                                     bool includeArrays);
+
+/// Adds the names defined by `s` (recursing into nested statements) to
+/// `out`: assignment targets, local declarations, pop targets, and loop
+/// counters. Array element writes are reported under the array's name.
+void collectAssignedNames(const Stmt& s, std::set<std::string>& out);
+
+}  // namespace formad::ir

@@ -1,0 +1,29 @@
+#include "ir/type.h"
+
+namespace formad::ir {
+
+std::string to_string(const Type& t) {
+  std::string base;
+  switch (t.scalar) {
+    case Scalar::Int: base = "int"; break;
+    case Scalar::Real: base = "real"; break;
+    case Scalar::Bool: base = "bool"; break;
+  }
+  if (t.rank > 0) {
+    base += "[";
+    for (int i = 1; i < t.rank; ++i) base += ",";
+    base += "]";
+  }
+  return base;
+}
+
+std::string to_string(Intent intent) {
+  switch (intent) {
+    case Intent::In: return "in";
+    case Intent::Out: return "out";
+    case Intent::InOut: return "inout";
+  }
+  return "?";
+}
+
+}  // namespace formad::ir

@@ -1,0 +1,37 @@
+// Scalar and array types of the kernel IR, and parameter intents.
+//
+// The IR models the fragment of Fortran that FormAD (Hückelheim & Hascoët,
+// ICPP 2022) operates on: scalars and dense multi-dimensional arrays of
+// integer or real type. `real` is the only differentiable type, matching the
+// paper's activity rules (Sec. 5.4).
+#pragma once
+
+#include <string>
+
+namespace formad::ir {
+
+enum class Scalar { Int, Real, Bool };
+
+/// A scalar or array type. rank == 0 means scalar; arrays support rank 1..3.
+struct Type {
+  Scalar scalar = Scalar::Real;
+  int rank = 0;
+
+  [[nodiscard]] bool isArray() const { return rank > 0; }
+  [[nodiscard]] bool isReal() const { return scalar == Scalar::Real; }
+  [[nodiscard]] bool isInt() const { return scalar == Scalar::Int; }
+  [[nodiscard]] bool isBool() const { return scalar == Scalar::Bool; }
+  /// Only real-typed data can carry derivatives (paper Sec. 5.4).
+  [[nodiscard]] bool differentiable() const { return isReal(); }
+
+  bool operator==(const Type&) const = default;
+};
+
+[[nodiscard]] std::string to_string(const Type& t);
+
+/// Dataflow direction of a kernel parameter, as in Fortran intent clauses.
+enum class Intent { In, Out, InOut };
+
+[[nodiscard]] std::string to_string(Intent intent);
+
+}  // namespace formad::ir

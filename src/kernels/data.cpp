@@ -1,0 +1,16 @@
+#include "kernels/data.h"
+
+namespace formad::kernels {
+
+void fillUniform(exec::ArrayValue& a, Rng& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (auto& v : a.realData()) v = dist(rng);
+}
+
+void fillUniformInt(exec::ArrayValue& a, Rng& rng, long long lo,
+                    long long hi) {
+  std::uniform_int_distribution<long long> dist(lo, hi);
+  for (auto& v : a.intData()) v = dist(rng);
+}
+
+}  // namespace formad::kernels

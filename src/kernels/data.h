@@ -1,0 +1,18 @@
+// Deterministic pseudo-random data generation for benchmark kernels.
+#pragma once
+
+#include <random>
+
+#include "exec/value.h"
+
+namespace formad::kernels {
+
+using Rng = std::mt19937_64;
+
+/// Fills a real array with uniform values in [lo, hi).
+void fillUniform(exec::ArrayValue& a, Rng& rng, double lo, double hi);
+
+/// Fills an int array with uniform values in [lo, hi].
+void fillUniformInt(exec::ArrayValue& a, Rng& rng, long long lo, long long hi);
+
+}  // namespace formad::kernels

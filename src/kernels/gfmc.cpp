@@ -1,0 +1,151 @@
+#include "kernels/gfmc.h"
+
+namespace formad::kernels {
+
+namespace {
+
+/// The spin-exchange inner body shared by both variants. `coupling` is the
+/// term added to xee: the split variant reads the lagged snapshot crold
+/// (inactive), the fused variant reads the live cr of the partner walker.
+std::string spinExchange(const std::string& coupling) {
+  return
+      "    for ip = 0 : paircount[j] - 1 {\n"
+      "      var k12: int = ip % nk;\n"
+      "      var idd: int = mss[0, ip, k12];\n"
+      "      var iud: int = mss[1, ip, k12];\n"
+      "      var idu: int = mss[2, ip, k12];\n"
+      "      var iuu: int = mss[3, ip, k12];\n"
+      "      var xee: real = 0.25 * (cr[idd, j] + cr[iuu, j]) + " + coupling +
+      ";\n"
+      "      var xmm: real = 0.25 * (cr[iud, j] * cr[idu, j]) + 0.5;\n"
+      "      cl[idd, j] = xee * cr[idd, j] + xmm * cr[iuu, j];\n"
+      "      cl[iuu, j] = xee * cr[iuu, j] + xmm * cr[idd, j];\n"
+      "      cl[iud, j] = xmm * cr[iud, j] + xee * cr[idu, j];\n"
+      "      cl[idu, j] = xmm * cr[idu, j] + xee * cr[iud, j];\n"
+      "      cr[idd, j] = 0.5 * (cr[idd, j] + cl[idd, j]);\n"
+      "      cr[iuu, j] = 0.5 * (cr[iuu, j] + cl[iuu, j]);\n"
+      "      cr[iud, j] = 0.5 * (cr[iud, j] + cl[iud, j]);\n"
+      "      cr[idu, j] = 0.5 * (cr[idu, j] + cl[idu, j]);\n"
+      "    }\n";
+}
+
+std::string spinFlip(const std::string& counter) {
+  return
+      "    for is = 0 : ns - 1 {\n"
+      "      cr[is, " + counter + "] = 0.9 * cr[is, " + counter +
+      "] + 0.05 * (cl[is, " + counter + "] * cl[is, " + counter + "]);\n"
+      "    }\n";
+}
+
+}  // namespace
+
+KernelSpec gfmcSplitSpec() {
+  KernelSpec spec;
+  spec.name = "gfmc";
+  spec.source =
+      "kernel gfmc(ns: int in, nw: int in, nk: int in, paircount: int[] in, "
+      "mss: int[,,] in, cl: real[,] inout, cr: real[,] inout, "
+      "crold: real[,] in) {\n"
+      "  # spin exchange: dynamic, data-dependent, load-imbalanced\n"
+      "  parallel for j = 0 : nw - 1 schedule(dynamic) {\n" +
+      spinExchange("0.125 * crold[idd, j]") +
+      "  }\n"
+      "  # spin flip: regular workload\n"
+      "  parallel for j2 = 0 : nw - 1 {\n" +
+      spinFlip("j2") +
+      "  }\n"
+      "}\n";
+  spec.independents = {"cl", "cr"};
+  spec.dependents = {"cl", "cr"};
+  return spec;
+}
+
+KernelSpec gfmcFusedSpec() {
+  KernelSpec spec;
+  spec.name = "gfmc_fused";
+  // cr is read-only here; the flip phase writes crnew instead. The
+  // cross-column read cr[idd, jx] is a read-read pattern in the primal
+  // (harmless) whose adjoint increments crb at another walker's column —
+  // the unsafe increment FormAD reports.
+  spec.source =
+      "kernel gfmc_fused(ns: int in, nw: int in, nk: int in, "
+      "paircount: int[] in, mss: int[,,] in, cl: real[,] inout, "
+      "cr: real[,] in, crnew: real[,] out, jxch: int[,] in) {\n"
+      "  # original structure: both phases in one parallel loop\n"
+      "  parallel for j = 0 : nw - 1 schedule(dynamic) {\n"
+      "    var jx: int = jxch[0, j];\n"
+      "    for ip = 0 : paircount[j] - 1 {\n"
+      "      var k12: int = ip % nk;\n"
+      "      var idd: int = mss[0, ip, k12];\n"
+      "      var iud: int = mss[1, ip, k12];\n"
+      "      var idu: int = mss[2, ip, k12];\n"
+      "      var iuu: int = mss[3, ip, k12];\n"
+      "      var xee: real = 0.25 * (cr[idd, j] + cr[iuu, j])"
+      " + 0.125 * cr[idd, jx];\n"
+      "      var xmm: real = 0.25 * (cr[iud, j] * cr[idu, j]) + 0.5;\n"
+      "      cl[idd, j] = xee * cr[idd, j] + xmm * cr[iuu, j];\n"
+      "      cl[iuu, j] = xee * cr[iuu, j] + xmm * cr[idd, j];\n"
+      "      cl[iud, j] = xmm * cr[iud, j] + xee * cr[idu, j];\n"
+      "      cl[idu, j] = xmm * cr[idu, j] + xee * cr[iud, j];\n"
+      "    }\n"
+      "    for is = 0 : ns - 1 {\n"
+      "      crnew[is, j] = 0.9 * cr[is, j] + 0.05 * (cl[is, j] * cl[is, j]);\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  spec.independents = {"cl", "cr"};
+  spec.dependents = {"cl", "crnew"};
+  return spec;
+}
+
+void bindGfmc(exec::Inputs& io, const GfmcConfig& cfg, Rng& rng) {
+  io.bindInt("ns", cfg.ns);
+  io.bindInt("nw", cfg.nw);
+  io.bindInt("nk", cfg.nk);
+
+  auto& paircount =
+      io.bindArray("paircount", exec::ArrayValue::ints({cfg.nw}));
+  // Heavy-tailed imbalance: most walkers do little, a few do all pairs.
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (auto& v : paircount.intData()) {
+    double x = u(rng);
+    v = static_cast<long long>(static_cast<double>(cfg.npair) * x * x * x);
+  }
+
+  auto& mss = io.bindArray(
+      "mss", exec::ArrayValue::ints({4, cfg.npair > 0 ? cfg.npair : 1, cfg.nk}));
+  // Four distinct spin indices per (pair, k) entry.
+  std::uniform_int_distribution<long long> spin(0, cfg.ns - 1);
+  for (long long ip = 0; ip < std::max<long long>(cfg.npair, 1); ++ip) {
+    for (long long k = 0; k < cfg.nk; ++k) {
+      long long v[4];
+      for (int s = 0; s < 4; ++s) {
+        bool fresh = false;
+        while (!fresh) {
+          v[s] = spin(rng);
+          fresh = true;
+          for (int t2 = 0; t2 < s; ++t2) fresh = fresh && v[t2] != v[s];
+        }
+        long long idx[3] = {s, ip, k};
+        mss.intAt(mss.linearize(idx, 3)) = v[s];
+      }
+    }
+  }
+
+  auto& cl = io.bindArray("cl", exec::ArrayValue::reals({cfg.ns, cfg.nw}));
+  fillUniform(cl, rng, 0.1, 0.9);
+  auto& cr = io.bindArray("cr", exec::ArrayValue::reals({cfg.ns, cfg.nw}));
+  fillUniform(cr, rng, 0.1, 0.9);
+  auto& crold =
+      io.bindArray("crold", exec::ArrayValue::reals({cfg.ns, cfg.nw}));
+  fillUniform(crold, rng, 0.1, 0.9);
+  auto& crnew =
+      io.bindArray("crnew", exec::ArrayValue::reals({cfg.ns, cfg.nw}));
+  crnew.fill(0.0);
+
+  auto& jxch = io.bindArray("jxch", exec::ArrayValue::ints({1, cfg.nw}));
+  std::uniform_int_distribution<long long> walker(0, cfg.nw - 1);
+  for (auto& v : jxch.intData()) v = walker(rng);
+}
+
+}  // namespace formad::kernels

@@ -1,0 +1,46 @@
+// Green's function Monte Carlo kernel (paper Sec. 7.2, CORAL suite).
+//
+// Two program variants over walker amplitude arrays cl/cr (spin state x
+// walker), both differentiated with cl and cr as active inputs and outputs:
+//
+//   - gfmc  ("split"): two parallel loops over walkers. The *spin exchange*
+//     loop is dynamic and load-imbalanced (per-walker pair counts differ)
+//     and writes cl / overwrites cr at data-dependent spin indices taken
+//     from the mss table; the coupling term reads the lagged snapshot
+//     `crold` (inactive input), keeping every active access in the
+//     walker's own column. The *spin flip* loop is regular. FormAD proves
+//     both loops safe: the spin-exchange accesses match the knowledge
+//     extracted from the cl/cr overwrites exactly, and the spin-flip pairs
+//     are disjoint in the walker dimension.
+//
+//   - gfmc* ("fused", kernel name gfmc_fused): the original single parallel
+//     loop. Here cr is *read-only* inside the loop (the flip phase writes a
+//     separate crnew), and the spin-exchange coupling reads the partner
+//     walker's amplitude cr[idd, jx] — a cross-column read-read pattern
+//     that is perfectly safe in the primal but turns into an
+//     increment-increment conflict in the adjoint (two walkers can share a
+//     partner). FormAD correctly rejects cr, and every increment to crb
+//     must be guarded (the paper's observed behavior for GFMC*).
+#pragma once
+
+#include "exec/interp.h"
+#include "kernels/data.h"
+#include "kernels/spec.h"
+
+namespace formad::kernels {
+
+[[nodiscard]] KernelSpec gfmcSplitSpec();
+[[nodiscard]] KernelSpec gfmcFusedSpec();
+
+struct GfmcConfig {
+  long long ns = 64;       // spin states per walker
+  long long nw = 512;      // walkers
+  long long npair = 48;    // max pairs per walker (imbalance: 0..npair)
+  long long nk = 8;        // mss table depth
+};
+
+/// Binds both variants' inputs (the fused variant additionally uses jxch;
+/// the split variant additionally uses crold).
+void bindGfmc(exec::Inputs& io, const GfmcConfig& cfg, Rng& rng);
+
+}  // namespace formad::kernels

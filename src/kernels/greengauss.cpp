@@ -1,0 +1,65 @@
+#include "kernels/greengauss.h"
+
+namespace formad::kernels {
+
+KernelSpec greenGaussSpec() {
+  KernelSpec spec;
+  spec.name = "greengauss";
+  spec.source = R"(
+kernel greengauss(ncolor: int in, color_ia: int[] in, edge2nodes: int[,] in,
+                  dv: real[] in, sij: real[] in, grad: real[] inout) {
+  for ic = 0 : ncolor - 1 {
+    parallel for ie = color_ia[ic] : color_ia[ic + 1] - 1 private(i, j, dvface) {
+      var i: int = edge2nodes[0, ie];
+      var j: int = edge2nodes[1, ie];
+      if (i != j) {
+        var dvface: real = 0.5 * (dv[i] + dv[j]);
+        grad[i] += dvface * sij[ie];
+        grad[j] -= dvface * sij[ie];
+      }
+    }
+  }
+}
+)";
+  spec.independents = {"dv"};
+  spec.dependents = {"grad"};
+  return spec;
+}
+
+void bindGreenGauss(exec::Inputs& io, const GreenGaussConfig& cfg, Rng& rng) {
+  const long long n = cfg.nodes;
+  const long long edges = n - 1;  // linear chain mesh
+
+  io.bindInt("ncolor", 2);
+
+  // Edges (k, k+1); even edges are color 0, odd edges color 1.
+  auto& colorIa = io.bindArray("color_ia", exec::ArrayValue::ints({3}));
+  const long long evenCount = (edges + 1) / 2;
+  colorIa.intAt(0) = 0;
+  colorIa.intAt(1) = evenCount;
+  colorIa.intAt(2) = edges;
+
+  auto& e2n = io.bindArray("edge2nodes", exec::ArrayValue::ints({2, edges}));
+  long long pos = 0;
+  for (long long k = 0; k < edges; k += 2, ++pos) {
+    long long idx0[2] = {0, pos};
+    long long idx1[2] = {1, pos};
+    e2n.intAt(e2n.linearize(idx0, 2)) = k;
+    e2n.intAt(e2n.linearize(idx1, 2)) = k + 1;
+  }
+  for (long long k = 1; k < edges; k += 2, ++pos) {
+    long long idx0[2] = {0, pos};
+    long long idx1[2] = {1, pos};
+    e2n.intAt(e2n.linearize(idx0, 2)) = k;
+    e2n.intAt(e2n.linearize(idx1, 2)) = k + 1;
+  }
+
+  auto& dv = io.bindArray("dv", exec::ArrayValue::reals({n}));
+  fillUniform(dv, rng, -1.0, 1.0);
+  auto& sij = io.bindArray("sij", exec::ArrayValue::reals({edges}));
+  fillUniform(sij, rng, 0.5, 1.5);
+  auto& grad = io.bindArray("grad", exec::ArrayValue::reals({n}));
+  grad.fill(0.0);
+}
+
+}  // namespace formad::kernels

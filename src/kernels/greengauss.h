@@ -1,0 +1,28 @@
+// Green-Gauss gradient kernel (paper Sec. 7.4).
+//
+// Edge-based finite-volume gradient accumulation over an unstructured
+// mesh, parallelized with an edge coloring: the outer serial loop walks
+// colors, the inner parallel loop walks the color's edges. Node indices
+// come from edge2nodes, so the access pattern is data-dependent; FormAD
+// nevertheless proves the adjoint safe because the adjoint increments to
+// dvb target exactly the node indices whose disjointness follows from the
+// primal's grad updates.
+#pragma once
+
+#include "exec/interp.h"
+#include "kernels/data.h"
+#include "kernels/spec.h"
+
+namespace formad::kernels {
+
+[[nodiscard]] KernelSpec greenGaussSpec();
+
+struct GreenGaussConfig {
+  long long nodes = 100000;
+  /// The paper uses a simple linear mesh that needs only 2 colors.
+  bool linearMesh = true;
+};
+
+void bindGreenGauss(exec::Inputs& io, const GreenGaussConfig& cfg, Rng& rng);
+
+}  // namespace formad::kernels

@@ -1,0 +1,34 @@
+#include "kernels/indirect.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace formad::kernels {
+
+KernelSpec indirectSpec() {
+  KernelSpec spec;
+  spec.name = "gather7";
+  spec.source = R"(
+kernel gather7(n: int in, c: int[] in, x: real[] in, y: real[] inout) {
+  parallel for i = 0 : n - 1 {
+    y[c[i]] = x[c[i] + 7];
+  }
+}
+)";
+  spec.independents = {"x"};
+  spec.dependents = {"y"};
+  return spec;
+}
+
+void bindIndirect(exec::Inputs& io, long long n, Rng& rng) {
+  io.bindInt("n", n);
+  auto& c = io.bindArray("c", exec::ArrayValue::ints({n}));
+  std::iota(c.intData().begin(), c.intData().end(), 0);
+  std::shuffle(c.intData().begin(), c.intData().end(), rng);
+  auto& x = io.bindArray("x", exec::ArrayValue::reals({n + 7}));
+  fillUniform(x, rng, -1.0, 1.0);
+  auto& y = io.bindArray("y", exec::ArrayValue::reals({n}));
+  y.fill(0.0);
+}
+
+}  // namespace formad::kernels

@@ -1,0 +1,20 @@
+// The paper's Fig. 2 motivating example: a parallel loop with indirect
+// (gather/scatter) memory access,
+//     y(c(i)) = x(c(i) + 7)
+// Correct parallelization implies c(i) != c(i') across iterations, from
+// which FormAD deduces c(i)+7 != c(i')+7 and removes the atomic from the
+// adjoint increment of xb.
+#pragma once
+
+#include "exec/interp.h"
+#include "kernels/data.h"
+#include "kernels/spec.h"
+
+namespace formad::kernels {
+
+[[nodiscard]] KernelSpec indirectSpec();
+
+/// Binds x (size n + 7), y (size n) and a random permutation c of [0, n).
+void bindIndirect(exec::Inputs& io, long long n, Rng& rng);
+
+}  // namespace formad::kernels

@@ -1,0 +1,139 @@
+#include "kernels/lbm.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace formad::kernels {
+
+namespace {
+
+struct Direction {
+  const char* field;  // symbolic field-offset parameter name
+  int ex, ey, ez;     // lattice velocity
+  double weight;
+};
+
+/// D3Q19 directions. The displacement of a direction on the flattened grid
+/// is ex + ey*nx + ez*nx*ny, which with nx=120, nx*ny=14400 produces the
+/// exact constants of the paper's listing (se -> -119, nb -> -14280, ...).
+const Direction kDirs[19] = {
+    {"c", 0, 0, 0, 1.0 / 3.0},    {"n", 0, 1, 0, 1.0 / 18.0},
+    {"s", 0, -1, 0, 1.0 / 18.0},  {"e", 1, 0, 0, 1.0 / 18.0},
+    {"w", -1, 0, 0, 1.0 / 18.0},  {"t", 0, 0, 1, 1.0 / 18.0},
+    {"b", 0, 0, -1, 1.0 / 18.0},  {"ne", 1, 1, 0, 1.0 / 36.0},
+    {"nw", -1, 1, 0, 1.0 / 36.0}, {"se", 1, -1, 0, 1.0 / 36.0},
+    {"sw", -1, -1, 0, 1.0 / 36.0}, {"nt", 0, 1, 1, 1.0 / 36.0},
+    {"nb", 0, 1, -1, 1.0 / 36.0}, {"st", 0, -1, 1, 1.0 / 36.0},
+    {"sb", 0, -1, -1, 1.0 / 36.0}, {"et", 1, 0, 1, 1.0 / 36.0},
+    {"eb", 1, 0, -1, 1.0 / 36.0}, {"wt", -1, 0, 1, 1.0 / 36.0},
+    {"wb", -1, 0, -1, 1.0 / 36.0},
+};
+
+}  // namespace
+
+/// Uppercased direction token used in local names (f_NE, eu_NE): keeps the
+/// "append b" adjoint naming collision-free against the e/eb, s/sb, ...
+/// parameter pairs.
+static std::string upper(const char* f) {
+  std::string out(f);
+  for (auto& ch : out) ch = static_cast<char>(::toupper(ch));
+  return out;
+}
+
+KernelSpec lbmSpec(const LbmLayout& layout) {
+  std::ostringstream os;
+  os << "kernel lbm(ncells: int in, n_cell_entries: int in, margin: int in,\n"
+        "           omega: real in, srcgrid: real[] in, dstgrid: real[] inout";
+  for (const auto& d : kDirs) os << ",\n           " << d.field << ": int in";
+  os << ") {\n";
+  os << "  parallel for cell = margin : ncells - margin - 1 {\n";
+  os << "    var i: int = n_cell_entries * cell;\n";
+  // Gather the 19 distribution values of this cell (the paper's offending
+  // adjoint increments target exactly these  f + n_cell_entries*0 + i
+  // expressions).
+  for (const auto& d : kDirs)
+    os << "    var f_" << upper(d.field) << ": real = srcgrid[" << d.field
+       << " + n_cell_entries * 0 + i];\n";
+  // Macroscopic quantities.
+  os << "    var rho: real = 0.0";
+  for (const auto& d : kDirs) os << " + f_" << upper(d.field);
+  os << ";\n";
+  auto velocity = [&](const char* name, int Direction::* comp) {
+    os << "    var " << name << ": real = (0.0";
+    for (const auto& d : kDirs) {
+      int s = d.*comp;
+      if (s > 0)
+        os << " + f_" << upper(d.field);
+      else if (s < 0)
+        os << " - f_" << upper(d.field);
+    }
+    os << ") / rho;\n";
+  };
+  velocity("ux", &Direction::ex);
+  velocity("uy", &Direction::ey);
+  velocity("uz", &Direction::ez);
+  os << "    var usq: real = 1.5 * (ux*ux + uy*uy + uz*uz);\n";
+  // Collide and stream: write direction f of the displaced neighbor.
+  for (const auto& d : kDirs) {
+    long long disp = d.ex + d.ey * layout.nx + d.ez * layout.nx * layout.ny;
+    os << "    dstgrid[" << d.field << " + n_cell_entries * " << disp
+       << " + i] = (1.0 - omega) * f_" << upper(d.field) << " + omega * ("
+       << d.weight << " * rho * (1.0";
+    bool hasU = d.ex != 0 || d.ey != 0 || d.ez != 0;
+    if (hasU) {
+      os << " + 3.0 * eu_" << upper(d.field) << " + 4.5 * eu_" << upper(d.field)
+         << " * eu_" << upper(d.field);
+    }
+    os << " - usq));\n";
+  }
+  os << "  }\n}\n";
+
+  // The edotu helpers must be declared before use: splice them in ahead of
+  // the write statements.
+  std::string src = os.str();
+  std::string helpers;
+  {
+    std::ostringstream hs;
+    for (const auto& d : kDirs) {
+      if (d.ex == 0 && d.ey == 0 && d.ez == 0) continue;
+      hs << "    var eu_" << upper(d.field) << ": real = 0.0";
+      if (d.ex > 0) hs << " + ux";
+      if (d.ex < 0) hs << " - ux";
+      if (d.ey > 0) hs << " + uy";
+      if (d.ey < 0) hs << " - uy";
+      if (d.ez > 0) hs << " + uz";
+      if (d.ez < 0) hs << " - uz";
+      hs << ";\n";
+    }
+    helpers = hs.str();
+  }
+  size_t anchor = src.find("    dstgrid[");
+  src.insert(anchor, helpers);
+
+  KernelSpec spec;
+  spec.name = "lbm";
+  spec.source = std::move(src);
+  spec.independents = {"srcgrid"};
+  spec.dependents = {"dstgrid"};
+  return spec;
+}
+
+void bindLbm(exec::Inputs& io, const LbmLayout& layout, Rng& rng) {
+  const long long cells = layout.cells();
+  const long long margin =
+      layout.nx * layout.ny + layout.nx + 1;  // covers all displacements
+  io.bindInt("ncells", cells);
+  io.bindInt("n_cell_entries", layout.nCellEntries);
+  io.bindInt("margin", margin);
+  io.bindReal("omega", 1.2);
+  for (size_t k = 0; k < 19; ++k) io.bindInt(kDirs[k].field, static_cast<long long>(k));
+
+  auto& src = io.bindArray(
+      "srcgrid", exec::ArrayValue::reals({cells * layout.nCellEntries}));
+  fillUniform(src, rng, 0.2, 1.0);
+  auto& dst = io.bindArray(
+      "dstgrid", exec::ArrayValue::reals({cells * layout.nCellEntries}));
+  dst.fill(0.0);
+}
+
+}  // namespace formad::kernels

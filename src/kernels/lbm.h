@@ -1,0 +1,36 @@
+// Lattice-Boltzmann D3Q19 stream-collide kernel (paper Sec. 7.3, Parboil).
+//
+// The kernel is written against a flattened array-of-structures layout:
+// cell c stores its 19 distribution values (plus padding) at
+// srcgrid[f + n_cell_entries*c]; the streaming step writes direction f of
+// the displaced neighbor cell, dstgrid[f + n_cell_entries*disp_f + i] with
+// i = n_cell_entries*c — exactly the macro-expanded index expressions the
+// paper shows. The per-direction field offsets (c_, n_, s_, ...) are
+// symbolic integer parameters, reproducing the paper's knowledge set of 19
+// safe write expressions. FormAD correctly *rejects* this kernel: the
+// adjoint increments srcgridb at expressions like  eb_0 + n_cell_entries*0
+// + i_0  that are not provably disjoint, so the safeguards stay.
+#pragma once
+
+#include "exec/interp.h"
+#include "kernels/data.h"
+#include "kernels/spec.h"
+
+namespace formad::kernels {
+
+/// Direction displacements for a grid with nx=120, nx*ny=14400 — matching
+/// the constants visible in the paper's LBM listing.
+struct LbmLayout {
+  long long nx = 120;
+  long long ny = 120;
+  long long nz = 4;
+  long long nCellEntries = 20;
+
+  [[nodiscard]] long long cells() const { return nx * ny * nz; }
+};
+
+[[nodiscard]] KernelSpec lbmSpec(const LbmLayout& layout = {});
+
+void bindLbm(exec::Inputs& io, const LbmLayout& layout, Rng& rng);
+
+}  // namespace formad::kernels

@@ -1,0 +1,18 @@
+// Common descriptor for the paper's benchmark kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace formad::kernels {
+
+/// A benchmark kernel: DSL source plus the differentiation request
+/// (independent inputs / dependent outputs) used in the paper's Sec. 7.
+struct KernelSpec {
+  std::string name;
+  std::string source;
+  std::vector<std::string> independents;
+  std::vector<std::string> dependents;
+};
+
+}  // namespace formad::kernels

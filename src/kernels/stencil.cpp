@@ -1,0 +1,48 @@
+#include "kernels/stencil.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace formad::kernels {
+
+KernelSpec stencilSpec(int radius) {
+  FORMAD_ASSERT(radius >= 1, "stencil radius must be >= 1");
+  const int stride = radius + 1;
+  std::ostringstream os;
+  os << "kernel stencil" << radius
+     << "(n: int in, uold: real[] in, unew: real[] inout, w: real[] in) {\n";
+  os << "  for offset = 0 : " << radius << " {\n";
+  os << "    var from: int = " << radius << " + offset;\n";
+  os << "    parallel for i = from : n - " << radius + 1 << " : " << stride
+     << " shared(unew, uold) {\n";
+  // Center contribution, then the symmetric pairs: iteration i reads and
+  // writes exactly the window unew[i-radius .. i].
+  os << "      unew[i] += w[0] * uold[i];\n";
+  for (int k = 1; k <= radius; ++k) {
+    os << "      unew[i] += w[" << k << "] * uold[i - " << k << "];\n";
+    os << "      unew[i - " << k << "] += w[" << k << "] * uold[i];\n";
+  }
+  os << "    }\n";
+  os << "  }\n";
+  os << "}\n";
+
+  KernelSpec spec;
+  spec.name = "stencil" + std::to_string(radius);
+  spec.source = os.str();
+  spec.independents = {"uold"};
+  spec.dependents = {"unew"};
+  return spec;
+}
+
+void bindStencil(exec::Inputs& io, int radius, long long n, Rng& rng) {
+  io.bindInt("n", n);
+  auto& uold = io.bindArray("uold", exec::ArrayValue::reals({n}));
+  fillUniform(uold, rng, -1.0, 1.0);
+  auto& unew = io.bindArray("unew", exec::ArrayValue::reals({n}));
+  fillUniform(unew, rng, -0.1, 0.1);
+  auto& w = io.bindArray("w", exec::ArrayValue::reals({radius + 1}));
+  fillUniform(w, rng, 0.1, 0.5);
+}
+
+}  // namespace formad::kernels

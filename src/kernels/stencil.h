@@ -1,0 +1,24 @@
+// Compact stencils (paper Sec. 7.1, after Stock et al. [19]).
+//
+// The "compact" scheme updates, in each iteration, the same set of output
+// locations it reads, so any correct parallelization of the primal is also
+// safe for the reverse mode — the property FormAD proves automatically.
+// radius 1 gives the paper's 3-point "small" stencil (the listing in
+// Sec. 7.1), radius 8 the 17-point "large" stencil.
+#pragma once
+
+#include "exec/interp.h"
+#include "kernels/data.h"
+#include "kernels/spec.h"
+
+namespace formad::kernels {
+
+/// One sweep over the domain: an offset loop of radius+1 passes, each a
+/// parallel loop of stride radius+1 (no two concurrent iterations touch
+/// the same points).
+[[nodiscard]] KernelSpec stencilSpec(int radius);
+
+/// Binds uold/unew of n points plus the stencil weights.
+void bindStencil(exec::Inputs& io, int radius, long long n, Rng& rng);
+
+}  // namespace formad::kernels

@@ -1,0 +1,41 @@
+// Lexer for the kernel DSL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace formad::parser {
+
+enum class TokKind {
+  Ident,
+  IntLit,
+  RealLit,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Colon, Semicolon,
+  Assign,      // =
+  PlusAssign,  // +=
+  MinusAssign, // -=
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  AndAnd, OrOr, Bang,
+  Eof,
+};
+
+struct Token {
+  TokKind kind = TokKind::Eof;
+  std::string text;       // for Ident
+  long long intValue = 0;
+  double realValue = 0.0;
+  SourceLoc loc;
+};
+
+/// Tokenizes `source`. `//` line comments and `#` line comments are skipped.
+/// Throws Error on invalid input.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+[[nodiscard]] std::string to_string(TokKind k);
+
+}  // namespace formad::parser

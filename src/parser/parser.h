@@ -1,0 +1,39 @@
+// Recursive-descent parser for the kernel DSL.
+//
+// Grammar sketch (inclusive Fortran-style loop bounds):
+//
+//   program  := kernel*
+//   kernel   := "kernel" IDENT "(" [param {"," param}] ")" "{" stmt* "}"
+//   param    := IDENT ":" type intent
+//   type     := ("int"|"real"|"bool") ["[" {","} "]"]
+//   intent   := "in" | "out" | "inout"
+//   stmt     := decl | if | for | assign
+//   decl     := "var" IDENT ":" type ["=" expr] ";"
+//   if       := "if" "(" expr ")" "{" stmt* "}" ["else" "{" stmt* "}"]
+//   for      := ["parallel"] "for" IDENT "=" expr ":" expr [":" expr]
+//               clause* "{" stmt* "}"
+//   clause   := "shared" "(" ids ")" | "private" "(" ids ")"
+//             | "reduction" "(" "+" ":" IDENT ")"
+//             | "schedule" "(" ("static"|"dynamic") ")"
+//   assign   := ref ("=" | "+=" | "-=") expr ";"
+//   ref      := IDENT ["[" expr {"," expr} "]"]
+//
+// `a += e` desugars to `a = a + e` (the increment pattern of paper Fig. 1);
+// `a -= e` to `a = a + (-e)` so that increment detection still applies.
+#pragma once
+
+#include "ir/kernel.h"
+
+namespace formad::parser {
+
+/// Parses a whole program (one or more kernels). Throws formad::Error with
+/// a source location on malformed input.
+[[nodiscard]] ir::Program parseProgram(const std::string& source);
+
+/// Parses a single kernel.
+[[nodiscard]] std::unique_ptr<ir::Kernel> parseKernel(const std::string& source);
+
+/// Parses a single expression (for tests).
+[[nodiscard]] ir::ExprPtr parseExpr(const std::string& source);
+
+}  // namespace formad::parser

@@ -1,0 +1,32 @@
+#include "smt/congruence.h"
+
+namespace formad::smt {
+
+bool congruenceClose(const AtomTable& atoms, LiaSystem& lia) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const int n = atoms.size();
+    for (AtomId a = 0; a < n; ++a) {
+      const Atom& x = atoms.atom(a);
+      if (x.kind != AtomKind::UF) continue;
+      for (AtomId b = a + 1; b < n; ++b) {
+        const Atom& y = atoms.atom(b);
+        if (y.kind != AtomKind::UF || x.fn != y.fn ||
+            x.args.size() != y.args.size())
+          continue;
+        LinExpr diff = LinExpr::atom(a) - LinExpr::atom(b);
+        if (lia.impliesZero(diff)) continue;  // already merged
+        bool argsEqual = true;
+        for (size_t i = 0; i < x.args.size() && argsEqual; ++i)
+          argsEqual = lia.impliesZero(x.args[i] - y.args[i]);
+        if (!argsEqual) continue;
+        if (!lia.addEquality(diff)) return false;  // contradiction
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace formad::smt

@@ -1,0 +1,21 @@
+// Congruence closure over uninterpreted-function atoms.
+//
+// If two UF applications share their function symbol and the equality
+// system entails pairwise equality of their arguments, the applications
+// themselves are equal; the merge is recorded as a new linear equality.
+// Iterates to fixpoint (merges can enable further merges through nested
+// applications).
+#pragma once
+
+#include "smt/lia.h"
+#include "smt/term.h"
+
+namespace formad::smt {
+
+/// Closes `lia` under congruence of the UF atoms in `atoms`.
+/// Returns false iff a merge contradicts the existing equalities (the
+/// system entails a - b = c with c != 0 while congruence forces a = b),
+/// i.e. the constraint set is unsatisfiable.
+[[nodiscard]] bool congruenceClose(const AtomTable& atoms, LiaSystem& lia);
+
+}  // namespace formad::smt

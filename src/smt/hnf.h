@@ -1,0 +1,38 @@
+// Exact integer feasibility of linear equality systems via Hermite normal
+// form.
+//
+// The Gaussian engine (lia.h) decides rational consistency and entailment;
+// its per-row gcd test catches simple integer infeasibilities (2x = 1) but
+// not joint ones (x + y = 1 ∧ x - y = 2 has gcd-clean rows yet forces
+// 2x = 3). This module decides A·x = b over the integers exactly:
+// unimodular column operations bring A to (lower-triangular) Hermite form
+// H = A·U; since U is invertible over Z, A·x = b is solvable iff H·y = b
+// is, which forward substitution decides by divisibility.
+//
+// Overflow safety: all arithmetic is __int128 with range checks — the
+// systems FormAD produces are tiny (tens of atoms, coefficients that are
+// array strides), far from the guard rails.
+#pragma once
+
+#include <vector>
+
+#include "smt/linear.h"
+
+namespace formad::smt {
+
+/// One equality  Σ coeff_k · x_k = rhs  with integer coefficients.
+struct IntRow {
+  std::vector<long long> coeffs;  // dense over a shared column order
+  long long rhs = 0;
+};
+
+/// Decides whether the system has an integer solution. Empty systems are
+/// feasible. Rationally inconsistent systems are infeasible.
+[[nodiscard]] bool integerSolvable(std::vector<IntRow> rows);
+
+/// Converts equality constraints (expr = 0) to dense integer rows over a
+/// stable column order (ascending AtomId). Returns the column order.
+[[nodiscard]] std::vector<AtomId> denseRows(
+    const std::vector<const LinExpr*>& equalities, std::vector<IntRow>& out);
+
+}  // namespace formad::smt

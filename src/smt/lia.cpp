@@ -1,0 +1,74 @@
+#include "smt/lia.h"
+
+#include "support/diagnostics.h"
+
+namespace formad::smt {
+
+bool LiaSystem::addEquality(const LinExpr& e) {
+  LinExpr r = reduce(e);
+  if (r.isZero()) return true;        // already entailed
+  if (r.isConstant()) return false;   // 0 = c, c != 0
+  // Choose the highest-id atom as pivot (deterministic).
+  AtomId pivot = r.coeffs().rbegin()->first;
+  Rational pc = r.coeffs().rbegin()->second;
+  // pivot = -(r - pc*pivot)/pc
+  LinExpr rest = r;
+  rest.addTerm(pivot, -pc);
+  LinExpr value = (-rest).scaled(pc.inverse());
+
+  // Substitute into existing rows.
+  for (auto& [p, rhs] : rows_) {
+    Rational c = rhs.coeff(pivot);
+    if (c.isZero()) continue;
+    LinExpr updated = rhs;
+    updated.addTerm(pivot, -c);
+    updated = updated + value.scaled(c);
+    rhs = std::move(updated);
+  }
+  rows_.emplace(pivot, std::move(value));
+  return true;
+}
+
+LinExpr LiaSystem::reduce(const LinExpr& e) const {
+  LinExpr out(e.constant());
+  for (const auto& [id, c] : e.coeffs()) {
+    auto it = rows_.find(id);
+    if (it == rows_.end())
+      out.addTerm(id, c);
+    else
+      out = out + it->second.scaled(c);
+  }
+  return out;
+}
+
+std::vector<LinExpr> LiaSystem::equations() const {
+  std::vector<LinExpr> out;
+  out.reserve(rows_.size());
+  for (const auto& [pivot, rhs] : rows_)
+    out.push_back(LinExpr::atom(pivot) - rhs);
+  return out;
+}
+
+bool LiaSystem::integerFeasible() const {
+  for (const auto& [pivot, rhs] : rows_) {
+    // Row: pivot - rhs = 0. Clear denominators.
+    long long l = 1;
+    for (const auto& [id, c] : rhs.coeffs()) {
+      (void)id;
+      l = lcm64(l, c.den());
+    }
+    l = lcm64(l, rhs.constant().den());
+    // Integer row:  l*pivot - Σ (l*cᵢ) xᵢ = l*const.
+    long long g = l;  // pivot coefficient
+    for (const auto& [id, c] : rhs.coeffs()) {
+      (void)id;
+      long long ci = c.num() * (l / c.den());
+      g = gcd64(g, ci < 0 ? -ci : ci);
+    }
+    long long rhsConst = rhs.constant().num() * (l / rhs.constant().den());
+    if (g != 0 && rhsConst % g != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace formad::smt

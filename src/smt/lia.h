@@ -1,0 +1,51 @@
+// Linear integer arithmetic equality engine.
+//
+// Maintains a triangular (reduced) system of linear equalities over atoms
+// via exact Gaussian elimination. Supports:
+//   - addEquality:   returns false on rational inconsistency (e.g. 0 = 1);
+//   - reduce:        canonical residue of an expression modulo the system;
+//   - impliesZero:   entailment "system ⊨ e = 0";
+//   - integerFeasible: per-row gcd test — a row  Σ aᵢxᵢ = c  (integer
+//     coefficients after clearing denominators) with gcd(aᵢ) ∤ c has no
+//     integer solution. This makes UNSAT answers on integer-infeasible
+//     systems sound; the test is not complete for joint infeasibility,
+//     which only ever costs FormAD a conservative "keep the atomic".
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "smt/linear.h"
+
+namespace formad::smt {
+
+class LiaSystem {
+ public:
+  /// Adds e = 0. Returns false if the system becomes rationally
+  /// inconsistent (reduction yields a nonzero constant).
+  [[nodiscard]] bool addEquality(const LinExpr& e);
+
+  /// Residue of `e` after substituting all pivots.
+  [[nodiscard]] LinExpr reduce(const LinExpr& e) const;
+
+  /// True iff the equalities entail e = 0.
+  [[nodiscard]] bool impliesZero(const LinExpr& e) const {
+    return reduce(e).isZero();
+  }
+
+  /// False iff some row provably has no integer solution (gcd test — a
+  /// fast sound filter; the solver follows up with the exact HNF test).
+  [[nodiscard]] bool integerFeasible() const;
+
+  /// The triangular system as expressions  pivot - rhs  (each equal to 0).
+  /// Its solution set equals that of every equality added so far.
+  [[nodiscard]] std::vector<LinExpr> equations() const;
+
+  [[nodiscard]] size_t rowCount() const { return rows_.size(); }
+
+ private:
+  // pivot atom -> expression it equals (free of all pivot atoms).
+  std::map<AtomId, LinExpr> rows_;
+};
+
+}  // namespace formad::smt

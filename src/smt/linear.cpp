@@ -1,0 +1,57 @@
+#include "smt/linear.h"
+
+namespace formad::smt {
+
+LinExpr LinExpr::atom(AtomId id, Rational coeff) {
+  LinExpr e;
+  e.addTerm(id, coeff);
+  return e;
+}
+
+Rational LinExpr::coeff(AtomId id) const {
+  auto it = coeffs_.find(id);
+  return it == coeffs_.end() ? Rational(0) : it->second;
+}
+
+void LinExpr::addTerm(AtomId id, Rational coeff) {
+  if (coeff.isZero()) return;
+  auto [it, inserted] = coeffs_.emplace(id, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second.isZero()) coeffs_.erase(it);
+  }
+}
+
+LinExpr LinExpr::operator+(const LinExpr& o) const {
+  LinExpr out = *this;
+  for (const auto& [id, c] : o.coeffs_) out.addTerm(id, c);
+  out.constant_ += o.constant_;
+  return out;
+}
+
+LinExpr LinExpr::operator-(const LinExpr& o) const { return *this + (-o); }
+
+LinExpr LinExpr::operator-() const { return scaled(Rational(-1)); }
+
+LinExpr LinExpr::scaled(Rational factor) const {
+  LinExpr out;
+  if (factor.isZero()) return out;
+  for (const auto& [id, c] : coeffs_) out.coeffs_.emplace(id, c * factor);
+  out.constant_ = constant_ * factor;
+  return out;
+}
+
+std::string LinExpr::key() const {
+  std::string s;
+  for (const auto& [id, c] : coeffs_) {
+    if (!s.empty()) s += " + ";
+    s += c.str() + "*a" + std::to_string(id);
+  }
+  if (!constant_.isZero() || s.empty()) {
+    if (!s.empty()) s += " + ";
+    s += constant_.str();
+  }
+  return s;
+}
+
+}  // namespace formad::smt

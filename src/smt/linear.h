@@ -1,0 +1,57 @@
+// Linear expressions over interned atoms.
+//
+// A LinExpr is  Σ coeff_k · atom_k  +  constant  with rational coefficients
+// and integer-valued atoms (scalar variables and uninterpreted array reads).
+// This is the normal form every index expression is lowered to before it
+// reaches the solver — mirroring the flattened expressions the paper shows
+// for the LBM test case (Sec. 7.3).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "smt/rational.h"
+
+namespace formad::smt {
+
+/// Index into the AtomTable (see term.h).
+using AtomId = int;
+
+class LinExpr {
+ public:
+  LinExpr() = default;
+  explicit LinExpr(Rational constant) : constant_(constant) {}
+
+  [[nodiscard]] static LinExpr atom(AtomId id, Rational coeff = 1);
+
+  [[nodiscard]] const std::map<AtomId, Rational>& coeffs() const {
+    return coeffs_;
+  }
+  [[nodiscard]] const Rational& constant() const { return constant_; }
+  [[nodiscard]] Rational coeff(AtomId id) const;
+
+  [[nodiscard]] bool isConstant() const { return coeffs_.empty(); }
+  [[nodiscard]] bool isZero() const {
+    return coeffs_.empty() && constant_.isZero();
+  }
+
+  void addTerm(AtomId id, Rational coeff);
+  void addConstant(Rational c) { constant_ += c; }
+
+  [[nodiscard]] LinExpr operator+(const LinExpr& o) const;
+  [[nodiscard]] LinExpr operator-(const LinExpr& o) const;
+  [[nodiscard]] LinExpr operator-() const;
+  [[nodiscard]] LinExpr scaled(Rational factor) const;
+
+  bool operator==(const LinExpr& o) const = default;
+
+  /// Stable textual form: "2*a3 + -1*a7 + 5" (atom ids); used for interning
+  /// keys and debugging.
+  [[nodiscard]] std::string key() const;
+
+ private:
+  std::map<AtomId, Rational> coeffs_;  // no zero entries
+  Rational constant_;
+};
+
+}  // namespace formad::smt

@@ -1,0 +1,106 @@
+#include "smt/solver.h"
+
+#include <optional>
+
+#include "support/diagnostics.h"
+
+namespace formad::smt {
+
+std::string to_string(CheckResult r) {
+  switch (r) {
+    case CheckResult::Sat: return "sat";
+    case CheckResult::Unsat: return "unsat";
+    case CheckResult::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+void Solver::add(Constraint c) {
+  stack_.push_back(std::move(c));
+  ++stats_.assertionsAdded;
+}
+
+void Solver::push() { marks_.push_back(stack_.size()); }
+
+void Solver::pop() {
+  FORMAD_ASSERT(!marks_.empty(), "Solver::pop without matching push");
+  stack_.resize(marks_.back());
+  marks_.pop_back();
+}
+
+CheckResult Solver::check() {
+  ++stats_.checks;
+
+  LiaSystem lia;
+  for (const auto& c : stack_)
+    if (c.rel == Rel::Eq && !lia.addEquality(c.expr))
+      return CheckResult::Unsat;
+
+  if (!congruenceClose(atoms_, lia)) return CheckResult::Unsat;
+  if (!lia.integerFeasible()) return CheckResult::Unsat;  // fast gcd filter
+  {
+    // Exact joint integer feasibility of the (reduced) equality system.
+    std::vector<LinExpr> eqs = lia.equations();
+    std::vector<const LinExpr*> ptrs;
+    ptrs.reserve(eqs.size());
+    for (const auto& e : eqs) ptrs.push_back(&e);
+    std::vector<IntRow> rows;
+    (void)denseRows(ptrs, rows);
+    if (!integerSolvable(std::move(rows))) return CheckResult::Unsat;
+  }
+
+  // Disequalities: e != 0 is violated iff the equalities entail e = 0.
+  for (const auto& c : stack_) {
+    if (c.rel != Rel::Ne) continue;
+    LinExpr r = lia.reduce(c.expr);
+    if (r.isZero()) return CheckResult::Unsat;
+  }
+
+  // Inequalities: constant violations, then single-atom interval tracking.
+  bool sawUndecidedLe = false;
+  struct Bounds {
+    std::optional<Rational> lo, hi;
+  };
+  std::map<AtomId, Bounds> bounds;
+  for (const auto& c : stack_) {
+    if (c.rel != Rel::Le) continue;
+    LinExpr r = lia.reduce(c.expr);  // r <= 0
+    if (r.isConstant()) {
+      if (r.constant().sign() > 0) return CheckResult::Unsat;
+      continue;
+    }
+    if (r.coeffs().size() == 1) {
+      auto [id, coeff] = *r.coeffs().begin();
+      Rational bound = (-r.constant()) / coeff;  // x <= b or x >= b
+      Bounds& bb = bounds[id];
+      if (coeff.sign() > 0) {
+        if (!bb.hi || bound < *bb.hi) bb.hi = bound;
+      } else {
+        if (!bb.lo || bound > *bb.lo) bb.lo = bound;
+      }
+    } else {
+      sawUndecidedLe = true;
+    }
+  }
+  for (const auto& [id, bb] : bounds) {
+    (void)id;
+    if (bb.lo && bb.hi && *bb.hi < *bb.lo) return CheckResult::Unsat;
+  }
+  // Disequality pinned to a point interval.
+  for (const auto& c : stack_) {
+    if (c.rel != Rel::Ne) continue;
+    LinExpr r = lia.reduce(c.expr);
+    if (r.coeffs().size() != 1) continue;
+    auto [id, coeff] = *r.coeffs().begin();
+    auto it = bounds.find(id);
+    if (it == bounds.end()) continue;
+    const Bounds& bb = it->second;
+    Rational v = (-r.constant()) / coeff;  // the excluded value
+    if (bb.lo && bb.hi && *bb.lo == *bb.hi && *bb.lo == v)
+      return CheckResult::Unsat;
+  }
+
+  return sawUndecidedLe ? CheckResult::Unknown : CheckResult::Sat;
+}
+
+}  // namespace formad::smt

@@ -1,0 +1,83 @@
+// The solver facade — the stand-in for Z3 in this reproduction.
+//
+// Decides conjunctions of linear-integer (dis)equalities and (limited)
+// inequalities over scalar variables and uninterpreted array reads, with a
+// Z3-style assertion stack (push/pop). This is exactly the fragment
+// FormAD's buildModel/testVar procedures emit (paper Sec. 5.5):
+//
+//     solver.add(i != i');            // distinct loop counters
+//     solver.add(w'(k) != r(k));      // knowledge: disjoint primal indices
+//     solver.push();
+//     solver.add(e0' == e1);          // question: can adjoint indices meet?
+//     if (solver.check() == Unsat)    // provably disjoint -> no atomic
+//     solver.pop();
+//
+// Soundness contract: Unsat is only reported when the conjunction truly has
+// no integer solution (rational Gaussian conflict, congruence conflict,
+// gcd-infeasible row, or an entailed equality contradicting a disequality).
+// Sat/Unknown may be over-approximate, which FormAD treats as "potentially
+// conflicting" — the safe direction.
+#pragma once
+
+#include <vector>
+
+#include "smt/congruence.h"
+#include "smt/hnf.h"
+#include "smt/lia.h"
+#include "smt/term.h"
+
+namespace formad::smt {
+
+enum class CheckResult { Sat, Unsat, Unknown };
+
+[[nodiscard]] std::string to_string(CheckResult r);
+
+enum class Rel { Eq, Ne, Le };  // constraint: expr REL 0
+
+struct Constraint {
+  LinExpr expr;
+  Rel rel = Rel::Eq;
+
+  [[nodiscard]] static Constraint eq(LinExpr a, const LinExpr& b) {
+    return Constraint{std::move(a) - b, Rel::Eq};
+  }
+  [[nodiscard]] static Constraint ne(LinExpr a, const LinExpr& b) {
+    return Constraint{std::move(a) - b, Rel::Ne};
+  }
+  /// a <= b
+  [[nodiscard]] static Constraint le(LinExpr a, const LinExpr& b) {
+    return Constraint{std::move(a) - b, Rel::Le};
+  }
+};
+
+class Solver {
+ public:
+  explicit Solver(AtomTable& atoms) : atoms_(atoms) {}
+
+  void add(Constraint c);
+  void push();
+  void pop();
+
+  /// Decides the current conjunction. Stateless between calls: the model is
+  /// rebuilt from the assertion stack (stack sizes in FormAD's queries are
+  /// small — Table 1 reports at most a few hundred assertions).
+  [[nodiscard]] CheckResult check();
+
+  [[nodiscard]] size_t assertionCount() const { return stack_.size(); }
+
+  struct Stats {
+    long long assertionsAdded = 0;
+    long long checks = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] AtomTable& atoms() { return atoms_; }
+
+ private:
+  AtomTable& atoms_;
+  std::vector<Constraint> stack_;
+  std::vector<size_t> marks_;
+  Stats stats_;
+};
+
+}  // namespace formad::smt

@@ -1,0 +1,74 @@
+#include "smt/term.h"
+
+namespace formad::smt {
+
+std::string Atom::str() const {
+  if (kind == AtomKind::Var) {
+    std::string s = name + "_" + std::to_string(instance);
+    if (primed) s += "'";
+    return s;
+  }
+  std::string s = fn + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) s += ", ";
+    s += args[i].key();
+  }
+  return s + ")";
+}
+
+AtomId AtomTable::intern(Atom a, const std::string& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  AtomId id = size();
+  atoms_.push_back(std::move(a));
+  index_.emplace(key, id);
+  return id;
+}
+
+AtomId AtomTable::internVar(const std::string& name, int instance,
+                            bool primed) {
+  Atom a;
+  a.kind = AtomKind::Var;
+  a.name = name;
+  a.instance = instance;
+  a.primed = primed;
+  std::string key = "v:" + a.str();
+  return intern(std::move(a), key);
+}
+
+AtomId AtomTable::internUF(const std::string& fn, std::vector<LinExpr> args) {
+  Atom a;
+  a.kind = AtomKind::UF;
+  a.fn = fn;
+  a.args = std::move(args);
+  std::string key = "u:" + a.str();
+  return intern(std::move(a), key);
+}
+
+std::string AtomTable::render(const LinExpr& e) const {
+  std::string s;
+  auto renderAtom = [&](AtomId id) -> std::string {
+    const Atom& a = atom(id);
+    if (a.kind == AtomKind::Var) return a.str();
+    std::string t = a.fn + "(";
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (i) t += ", ";
+      t += render(a.args[i]);
+    }
+    return t + ")";
+  };
+  for (const auto& [id, c] : e.coeffs()) {
+    if (!s.empty()) s += " + ";
+    if (c == Rational(1))
+      s += renderAtom(id);
+    else
+      s += renderAtom(id) + "*" + c.str();
+  }
+  if (!e.constant().isZero() || s.empty()) {
+    if (!s.empty()) s += " + ";
+    s += e.constant().str();
+  }
+  return s;
+}
+
+}  // namespace formad::smt

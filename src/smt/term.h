@@ -1,0 +1,62 @@
+// Interned atoms: the integer-valued leaves of linear expressions.
+//
+// Two atom kinds:
+//   - Var:  a scalar integer variable, identified by (name, instance,
+//           primed). The instance number comes from the paper's Sec. 5.2
+//           analysis; `primed` marks the sibling copy that stands for the
+//           value of a private variable on *another* thread (Sec. 5.3).
+//   - UF:   an uninterpreted function application f(e1, ..., ek) — reads of
+//           integer arrays inside index expressions (e.g. c(i), mss(1,ig,k))
+//           and opaque nonlinear operations (__mul, __div, __mod). Equal
+//           function + provably equal arguments ⇒ equal value (congruence).
+//
+// Atoms are interned: structural identity ⇒ same AtomId, so LinExpr
+// coefficients can be keyed by id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smt/linear.h"
+
+namespace formad::smt {
+
+enum class AtomKind { Var, UF };
+
+struct Atom {
+  AtomKind kind = AtomKind::Var;
+  // Var
+  std::string name;
+  int instance = 0;
+  bool primed = false;
+  // UF
+  std::string fn;
+  std::vector<LinExpr> args;
+
+  [[nodiscard]] std::string str() const;
+};
+
+class AtomTable {
+ public:
+  [[nodiscard]] AtomId internVar(const std::string& name, int instance,
+                                 bool primed);
+  [[nodiscard]] AtomId internUF(const std::string& fn,
+                                std::vector<LinExpr> args);
+
+  [[nodiscard]] const Atom& atom(AtomId id) const {
+    return atoms_.at(static_cast<size_t>(id));
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(atoms_.size()); }
+
+  /// Renders a LinExpr with human-readable atom names (paper-style, e.g.
+  /// "se_0 + n_cell_entries_0*-119 + i_0").
+  [[nodiscard]] std::string render(const LinExpr& e) const;
+
+ private:
+  AtomId intern(Atom a, const std::string& key);
+
+  std::vector<Atom> atoms_;
+  std::map<std::string, AtomId> index_;
+};
+
+}  // namespace formad::smt

@@ -1,0 +1,31 @@
+#include "support/diagnostics.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace formad {
+
+std::string SourceLoc::str() const {
+  if (!known()) return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+Error::Error(std::string message, SourceLoc loc)
+    : std::runtime_error(loc.known() ? loc.str() + ": " + message
+                                     : std::move(message)),
+      loc_(loc) {}
+
+void fail(const std::string& message, SourceLoc loc) {
+  throw Error(message, loc);
+}
+
+namespace detail {
+void assertFail(const char* cond, const std::string& msg, const char* file,
+                int line) {
+  std::cerr << "FORMAD internal error at " << file << ":" << line << ": "
+            << cond << " — " << msg << std::endl;
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace formad

@@ -1,0 +1,47 @@
+// Diagnostics: source locations and error reporting used across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace formad {
+
+/// A position in a DSL source file (1-based; 0 means "unknown").
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Exception type for all user-facing errors (parse errors, unsupported
+/// constructs, binding failures). Internal invariant violations use
+/// FORMAD_ASSERT instead.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string message, SourceLoc loc = {});
+
+  [[nodiscard]] SourceLoc where() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Throws Error with the given message.
+[[noreturn]] void fail(const std::string& message, SourceLoc loc = {});
+
+/// Internal invariant check; aborts with a readable message on violation.
+/// Active in all build types: this library is a verification tool, so we do
+/// not trade away its own self-checks for speed.
+#define FORMAD_ASSERT(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) ::formad::detail::assertFail(#cond, (msg), __FILE__, __LINE__); \
+  } while (false)
+
+namespace detail {
+[[noreturn]] void assertFail(const char* cond, const std::string& msg,
+                             const char* file, int line);
+}  // namespace detail
+
+}  // namespace formad

@@ -1,0 +1,272 @@
+#include "helpers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "kernels/gfmc.h"
+#include "kernels/greengauss.h"
+#include "kernels/indirect.h"
+#include "kernels/lbm.h"
+#include "kernels/stencil.h"
+
+namespace formad::testing {
+
+using exec::ArrayValue;
+using exec::ExecOptions;
+using exec::Executor;
+using exec::Inputs;
+
+namespace {
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// Random values in [-1, 1] from a dedicated stream.
+std::vector<double> randomVector(size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+/// Dims of the array bound to `name`.
+std::vector<long long> dimsOf(const Inputs& io, const std::string& name) {
+  const ArrayValue& a = io.array(name);
+  std::vector<long long> dims;
+  for (int k = 0; k < a.rank(); ++k) dims.push_back(a.dim(k));
+  return dims;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+std::map<std::string, std::vector<double>> runPrimal(const Harness& h) {
+  auto kernel = h.parse();
+  Executor ex(*kernel);
+  Inputs io;
+  h.bind(io);
+  (void)ex.run(io);
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& dep : h.spec.dependents) out[dep] = io.array(dep).realData();
+  return out;
+}
+
+double relDiff(double a, double b) {
+  return std::fabs(a - b) / std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+double dotProductError(const Harness& h, driver::AdjointMode mode,
+                       const ExecOptions& execOpts, unsigned seed) {
+  auto primal = h.parse();
+
+  ad::TangentOptions topts;
+  topts.independents = h.spec.independents;
+  topts.dependents = h.spec.dependents;
+  ad::TangentResult tr = ad::buildTangent(*primal, topts);
+
+  auto dr =
+      driver::differentiate(*primal, h.spec.independents, h.spec.dependents, mode);
+
+  // --- tangent run ---
+  Inputs tio;
+  h.bind(tio);
+  std::map<std::string, std::vector<double>> xdSeeds;
+  unsigned stream = seed * 7919 + 13;
+  for (const auto& [p, pd] : tr.tangentParams) {
+    auto dims = dimsOf(tio, p);
+    ArrayValue& a = tio.bindArray(pd, ArrayValue::reals(dims));
+    if (contains(h.spec.independents, p)) {
+      a.realData() = randomVector(a.realData().size(), stream++);
+      xdSeeds[p] = a.realData();
+    }
+  }
+  Executor tex(*tr.tangent);
+  (void)tex.run(tio);
+
+  // --- adjoint run ---
+  Inputs aio;
+  h.bind(aio);
+  std::map<std::string, std::vector<double>> ybSeeds;
+  unsigned stream2 = seed * 104729 + 57;
+  for (const auto& [p, pb] : dr.adjointParams) {
+    auto dims = dimsOf(aio, p);
+    ArrayValue& a = aio.bindArray(pb, ArrayValue::reals(dims));
+    if (contains(h.spec.dependents, p)) {
+      a.realData() = randomVector(a.realData().size(), stream2++);
+      ybSeeds[p] = a.realData();
+    }
+  }
+  Executor aex(*dr.adjoint);
+  exec::ExecStats st = aex.run(aio, execOpts);
+  EXPECT_TRUE(st.tapeDrained) << "tape not drained after adjoint run";
+
+  // <yb_seed, yd_final> vs <xb_final, xd_seed>. Declared dependents /
+  // independents that turned out inactive have no derivative counterpart
+  // and contribute zero to both sides.
+  double lhs = 0.0;
+  for (const auto& dep : h.spec.dependents) {
+    auto it = tr.tangentParams.find(dep);
+    if (it == tr.tangentParams.end()) continue;
+    lhs += dot(ybSeeds.at(dep), tio.array(it->second).realData());
+  }
+  double rhs = 0.0;
+  for (const auto& ind : h.spec.independents) {
+    auto it = dr.adjointParams.find(ind);
+    if (it == dr.adjointParams.end()) continue;
+    rhs += dot(aio.array(it->second).realData(), xdSeeds.at(ind));
+  }
+  return relDiff(lhs, rhs);
+}
+
+double finiteDifferenceError(const Harness& h, driver::AdjointMode mode,
+                             int probes, unsigned seed) {
+  auto primal = h.parse();
+  auto dr =
+      driver::differentiate(*primal, h.spec.independents, h.spec.dependents, mode);
+
+  // Objective: sum over dependents of all final entries.
+  auto objective = [&](const std::string& perturbName, long long entry,
+                       double delta) {
+    Inputs io;
+    h.bind(io);
+    if (!perturbName.empty())
+      io.array(perturbName).realData()[static_cast<size_t>(entry)] += delta;
+    Executor ex(*primal);
+    (void)ex.run(io);
+    double obj = 0.0;
+    for (const auto& dep : h.spec.dependents)
+      for (double v : io.array(dep).realData()) obj += v;
+    return obj;
+  };
+
+  // Adjoint gradient with yb = 1.
+  Inputs aio;
+  h.bind(aio);
+  for (const auto& [p, pb] : dr.adjointParams) {
+    auto dims = dimsOf(aio, p);
+    ArrayValue& a = aio.bindArray(pb, ArrayValue::reals(dims));
+    if (contains(h.spec.dependents, p)) a.fill(1.0);
+  }
+  Executor aex(*dr.adjoint);
+  (void)aex.run(aio);
+
+  std::mt19937_64 rng(seed * 31 + 7);
+  double maxErr = 0.0;
+  for (int probe = 0; probe < probes; ++probe) {
+    const std::string& ind =
+        h.spec.independents[static_cast<size_t>(probe) %
+                            h.spec.independents.size()];
+    Inputs probeIo;
+    h.bind(probeIo);
+    size_t n = probeIo.array(ind).realData().size();
+    std::uniform_int_distribution<long long> pick(0, static_cast<long long>(n) - 1);
+    long long entry = pick(rng);
+
+    double x0 = probeIo.array(ind).realData()[static_cast<size_t>(entry)];
+    double step = 1e-6 * std::max(1.0, std::fabs(x0));
+    double fd = (objective(ind, entry, step) - objective(ind, entry, -step)) /
+                (2.0 * step);
+    auto pbIt = dr.adjointParams.find(ind);
+    double adj = pbIt == dr.adjointParams.end()
+                     ? 0.0  // independent proved inactive: gradient is zero
+                     : aio.array(pbIt->second)
+                           .realData()[static_cast<size_t>(entry)];
+    // FD is itself O(step^2) accurate; compare loosely.
+    double err = std::fabs(fd - adj) / std::max({1.0, std::fabs(fd), std::fabs(adj)});
+    maxErr = std::max(maxErr, err);
+  }
+  return maxErr;
+}
+
+std::map<std::string, std::vector<double>> adjointGradients(
+    const Harness& h, driver::AdjointMode mode, const ExecOptions& execOpts,
+    unsigned seed) {
+  auto primal = h.parse();
+  auto dr =
+      driver::differentiate(*primal, h.spec.independents, h.spec.dependents, mode);
+  Inputs aio;
+  h.bind(aio);
+  unsigned stream = seed * 104729 + 57;
+  for (const auto& [p, pb] : dr.adjointParams) {
+    auto dims = dimsOf(aio, p);
+    ArrayValue& a = aio.bindArray(pb, ArrayValue::reals(dims));
+    if (contains(h.spec.dependents, p))
+      a.realData() = randomVector(a.realData().size(), stream++);
+  }
+  Executor aex(*dr.adjoint);
+  exec::ExecStats st = aex.run(aio, execOpts);
+  EXPECT_TRUE(st.tapeDrained);
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& [p, pb] : dr.adjointParams)
+    out[p] = aio.array(pb).realData();
+  return out;
+}
+
+Harness stencilHarness(int radius, long long n, unsigned seed) {
+  Harness h;
+  h.spec = kernels::stencilSpec(radius);
+  h.bind = [radius, n, seed](Inputs& io) {
+    kernels::Rng rng(seed);
+    kernels::bindStencil(io, radius, n, rng);
+  };
+  return h;
+}
+
+Harness gfmcHarness(bool fused, unsigned seed) {
+  Harness h;
+  h.spec = fused ? kernels::gfmcFusedSpec() : kernels::gfmcSplitSpec();
+  h.bind = [seed](Inputs& io) {
+    kernels::GfmcConfig cfg;
+    cfg.ns = 24;
+    cfg.nw = 64;
+    cfg.npair = 12;
+    cfg.nk = 4;
+    kernels::Rng rng(seed);
+    kernels::bindGfmc(io, cfg, rng);
+  };
+  return h;
+}
+
+Harness greenGaussHarness(long long nodes, unsigned seed) {
+  Harness h;
+  h.spec = kernels::greenGaussSpec();
+  h.bind = [nodes, seed](Inputs& io) {
+    kernels::GreenGaussConfig cfg;
+    cfg.nodes = nodes;
+    kernels::Rng rng(seed);
+    kernels::bindGreenGauss(io, cfg, rng);
+  };
+  return h;
+}
+
+Harness indirectHarness(long long n, unsigned seed) {
+  Harness h;
+  h.spec = kernels::indirectSpec();
+  h.bind = [n, seed](Inputs& io) {
+    kernels::Rng rng(seed);
+    kernels::bindIndirect(io, n, rng);
+  };
+  return h;
+}
+
+Harness lbmHarness(unsigned seed) {
+  Harness h;
+  kernels::LbmLayout layout;
+  layout.nz = 3;
+  h.spec = kernels::lbmSpec(layout);
+  h.bind = [layout, seed](Inputs& io) {
+    kernels::Rng rng(seed);
+    kernels::bindLbm(io, layout, rng);
+  };
+  return h;
+}
+
+}  // namespace formad::testing

@@ -1,0 +1,62 @@
+// Shared test utilities: kernel harnesses and derivative validation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ad/forward.h"
+#include "driver/driver.h"
+#include "exec/interp.h"
+#include "ir/kernel.h"
+#include "kernels/spec.h"
+#include "parser/parser.h"
+
+namespace formad::testing {
+
+/// A kernel under test: spec + a binder that fills Inputs deterministically
+/// from a seed (fresh state on every call).
+struct Harness {
+  kernels::KernelSpec spec;
+  std::function<void(exec::Inputs&)> bind;
+
+  [[nodiscard]] std::unique_ptr<ir::Kernel> parse() const {
+    return parser::parseKernel(spec.source);
+  }
+};
+
+/// Runs the primal and returns the value of every dependent (flattened).
+std::map<std::string, std::vector<double>> runPrimal(const Harness& h);
+
+/// Relative difference |a-b| / max(1, |a|, |b|).
+double relDiff(double a, double b);
+
+/// Validates the dot-product identity  <yb, yd> == <xb_out, xd_seed>
+/// between the tangent and the adjoint built in `mode`, executed with
+/// `execOpts`. Returns the relative error.
+double dotProductError(const Harness& h, driver::AdjointMode mode,
+                       const exec::ExecOptions& execOpts, unsigned seed);
+
+/// Central finite-difference check of the adjoint-computed gradient of
+/// sum(dependents) w.r.t. `probes` random entries of the independents.
+/// Returns the maximum relative error over the probes.
+double finiteDifferenceError(const Harness& h, driver::AdjointMode mode,
+                             int probes, unsigned seed);
+
+/// Gradients (all adjoint outputs) computed by the adjoint in `mode` with
+/// the given execution options; yb seeded deterministically from `seed`.
+std::map<std::string, std::vector<double>> adjointGradients(
+    const Harness& h, driver::AdjointMode mode,
+    const exec::ExecOptions& execOpts, unsigned seed);
+
+// --- prebuilt harnesses for the paper's kernels ---
+Harness stencilHarness(int radius, long long n, unsigned seed);
+Harness gfmcHarness(bool fused, unsigned seed);
+Harness greenGaussHarness(long long nodes, unsigned seed);
+Harness indirectHarness(long long n, unsigned seed);
+Harness lbmHarness(unsigned seed);
+
+}  // namespace formad::testing

@@ -1,0 +1,330 @@
+// AD engine unit tests: symbolic partials, tape runtime, and the structure
+// of generated adjoint/tangent code.
+#include <gtest/gtest.h>
+
+#include "ad/derivative.h"
+#include "ad/forward.h"
+#include "ad/reverse.h"
+#include "ad/tape.h"
+#include "ir/printer.h"
+#include "ir/traversal.h"
+#include "parser/parser.h"
+
+namespace formad::ad {
+namespace {
+
+using namespace formad::ir;
+
+// ---------------------------------------------------------------- partials
+
+/// Partial of `src` w.r.t. the n-th occurrence of variable `name`.
+std::string partialOf(const std::string& src, const std::string& name,
+                      int occurrence = 0) {
+  auto e = parser::parseExpr(src);
+  std::vector<const Expr*> occs;
+  forEachExpr(*e, [&](const Expr& x) {
+    if (x.kind() == ExprKind::VarRef && x.as<VarRef>().name == name)
+      occs.push_back(&x);
+  });
+  return printExpr(*partialWrtOccurrence(*e, occs.at(static_cast<size_t>(occurrence))));
+}
+
+TEST(Derivative, BasicRules) {
+  EXPECT_EQ(partialOf("x + y", "x"), "1.0");
+  EXPECT_EQ(partialOf("x - y", "y"), "-1.0");
+  EXPECT_EQ(partialOf("2.0 * x", "x"), "2.0");
+  EXPECT_EQ(partialOf("x * y", "x"), "y");
+  EXPECT_EQ(partialOf("x / y", "x"), "1.0 / y");
+  EXPECT_EQ(partialOf("x / y", "y"), "-(x / (y * y))");
+}
+
+TEST(Derivative, ChainRuleThroughCalls) {
+  EXPECT_EQ(partialOf("sin(x)", "x"), "cos(x)");
+  EXPECT_EQ(partialOf("cos(x)", "x"), "-sin(x)");
+  EXPECT_EQ(partialOf("exp(2.0 * x)", "x"), "exp(2.0 * x) * 2.0");
+  EXPECT_EQ(partialOf("log(x)", "x"), "1.0 / x");
+  EXPECT_EQ(partialOf("sqrt(x)", "x"), "0.5 / sqrt(x)");
+  EXPECT_EQ(partialOf("tanh(x)", "x"), "1.0 - tanh(x) * tanh(x)");
+}
+
+TEST(Derivative, PowBothArguments) {
+  EXPECT_EQ(partialOf("pow(x, y)", "x"), "y * pow(x, y - 1.0)");
+  EXPECT_EQ(partialOf("pow(x, y)", "y"), "pow(x, y) * log(x)");
+}
+
+TEST(Derivative, PerOccurrence) {
+  // x * x: each occurrence contributes the *other* factor.
+  EXPECT_EQ(partialOf("x * x", "x", 0), "x");
+  EXPECT_EQ(partialOf("x * x", "x", 1), "x");
+}
+
+TEST(Derivative, NonDifferentiableIntrinsicsThrow) {
+  auto e = parser::parseExpr("abs(x)");
+  std::vector<const Expr*> occs;
+  forEachExpr(*e, [&](const Expr& x) {
+    if (x.kind() == ExprKind::VarRef) occs.push_back(&x);
+  });
+  EXPECT_THROW((void)partialWrtOccurrence(*e, occs.at(0)), Error);
+}
+
+TEST(Derivative, ActiveOccurrencesSkipIndices) {
+  auto e = parser::parseExpr("a[i] * b[a[j]]");
+  // Pretend every ref is "active": index positions must still be skipped.
+  auto occs = activeOccurrences(*e, [](const Expr&) { return true; });
+  // a[i], b[a[j]] — but not the inner a[j] (it sits in an index), nor the
+  // scalar i/j (they are refs inside indices).
+  ASSERT_EQ(occs.size(), 2u);
+  EXPECT_EQ(refName(*occs[0]), "a");
+  EXPECT_EQ(refName(*occs[1]), "b");
+}
+
+// ---------------------------------------------------------------- tape
+
+TEST(Tape, LifoPerChannel) {
+  TapeLane lane;
+  lane.pushReal(1.5);
+  lane.pushReal(2.5);
+  lane.pushInt(7);
+  lane.pushBool(true);
+  EXPECT_TRUE(lane.popBool());
+  EXPECT_EQ(lane.popInt(), 7);
+  EXPECT_DOUBLE_EQ(lane.popReal(), 2.5);
+  EXPECT_DOUBLE_EQ(lane.popReal(), 1.5);
+  EXPECT_TRUE(lane.empty());
+}
+
+TEST(Tape, LaneBlockMapsIterations) {
+  LaneBlock block(10, 2, 3);  // iterations 10, 12, 14
+  block.lane(12).pushReal(1.0);
+  EXPECT_TRUE(block.lane(10).empty());
+  EXPECT_FALSE(block.lane(12).empty());
+  EXPECT_EQ(block.laneCount(), 3u);
+}
+
+TEST(Tape, BlockStackIsLifo) {
+  Tape tape;
+  tape.mainLane().pushInt(1);
+  (void)tape.pushBlock(0, 1, 4);
+  (void)tape.pushBlock(0, 1, 2);
+  EXPECT_EQ(tape.blockCount(), 2u);
+  EXPECT_EQ(tape.backBlock().laneCount(), 2u);
+  tape.popBlock();
+  EXPECT_EQ(tape.backBlock().laneCount(), 4u);
+  tape.popBlock();
+  EXPECT_FALSE(tape.drained());  // main lane still holds the int
+  EXPECT_EQ(tape.mainLane().popInt(), 1);
+  EXPECT_TRUE(tape.drained());
+}
+
+TEST(Tape, BytesAccounting) {
+  Tape tape;
+  tape.mainLane().pushReal(0.0);
+  tape.mainLane().pushInt(0);
+  tape.mainLane().pushBool(false);
+  EXPECT_EQ(tape.bytes(), sizeof(double) + sizeof(long long) + 1);
+}
+
+// --------------------------------------------------- adjoint structure
+
+ReverseResult reverse(const std::string& src,
+                      std::vector<std::string> indeps,
+                      std::vector<std::string> deps) {
+  auto k = parser::parseKernel(src);
+  ReverseOptions opts;
+  opts.independents = std::move(indeps);
+  opts.dependents = std::move(deps);
+  return buildAdjoint(*k, opts);
+}
+
+TEST(Reverse, IncrementAdjointOnlyReadsTargetAdjoint) {
+  auto rr = reverse(R"(
+kernel f(u: real[] inout, x: real[] in, i: int in) {
+  u[i] = u[i] + 2.0 * x[i];
+}
+)", {"x"}, {"u"});
+  std::string printed = printKernel(*rr.adjoint);
+  // xb is incremented; ub is only read — never assigned in the reverse part.
+  EXPECT_NE(printed.find("xb[i] = xb[i] + ub[i] * 2.0"), std::string::npos)
+      << printed;
+  EXPECT_EQ(printed.find("ub[i] ="), printed.rfind("ub[i] ="))
+      << "ub must not be written:\n" << printed;
+}
+
+TEST(Reverse, OverwriteAdjointSavesAndZeroes) {
+  auto rr = reverse(R"(
+kernel f(y: real[] inout, x: real[] in, i: int in) {
+  y[i] = 3.0 * x[i];
+}
+)", {"x"}, {"y"});
+  std::string printed = printKernel(*rr.adjoint);
+  EXPECT_NE(printed.find("yb[i] = 0.0"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("xb[i] = xb[i] +"), std::string::npos) << printed;
+}
+
+TEST(Reverse, SelfReferencingAssignmentUsesSavedAdjoint) {
+  auto rr = reverse(R"(
+kernel f(y: real inout, x: real in) {
+  y = 2.0 * y + x;
+}
+)", {"x"}, {"y"});
+  std::string printed = printKernel(*rr.adjoint);
+  // tmpb = yb; yb = 0; yb += tmpb*2; xb += tmpb.
+  EXPECT_NE(printed.find("yb = 0.0"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("yb = yb +"), std::string::npos) << printed;
+}
+
+TEST(Reverse, NonlinearValuesAreTaped) {
+  auto rr = reverse(R"(
+kernel f(n: int in, y: real[] inout, x: real[] inout) {
+  parallel for i = 0 : n {
+    x[i] = x[i] * x[i];
+    y[i] = x[i] * 2.0;
+  }
+}
+)", {"x"}, {"y"});
+  std::string printed = printKernel(*rr.adjoint);
+  EXPECT_NE(printed.find("PUSH_real"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("POP_real"), std::string::npos) << printed;
+  // Both loops of the adjoint must use tape lanes.
+  int tapeLoops = 0;
+  forEachStmt(rr.adjoint->body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::For && s.as<For>().usesTape) ++tapeLoops;
+  });
+  EXPECT_EQ(tapeLoops, 2);
+}
+
+TEST(Reverse, LinearStencilNeedsNoTape) {
+  auto rr = reverse(R"(
+kernel f(n: int in, unew: real[] inout, uold: real[] in) {
+  parallel for i = 1 : n {
+    unew[i] = unew[i] + 0.5 * uold[i - 1];
+  }
+}
+)", {"uold"}, {"unew"});
+  std::string printed = printKernel(*rr.adjoint);
+  EXPECT_EQ(printed.find("PUSH"), std::string::npos) << printed;
+}
+
+TEST(Reverse, BranchConditionTapedWhenOverwritten) {
+  auto rr = reverse(R"(
+kernel f(y: real[] inout, x: real[] in, t: real inout, i: int in) {
+  t = x[i];
+  if (t > 0.0) {
+    y[i] = t * t;
+  }
+}
+)", {"x"}, {"y"});
+  std::string printed = printKernel(*rr.adjoint);
+  EXPECT_NE(printed.find("PUSH_bool"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("POP_bool"), std::string::npos) << printed;
+}
+
+TEST(Reverse, AvailableConditionIsReevaluated) {
+  auto rr = reverse(R"(
+kernel f(y: real[] inout, x: real[] in, c: int[] in, i: int in) {
+  if (c[i] > 0) {
+    y[i] = x[i] * 2.0;
+  }
+}
+)", {"x"}, {"y"});
+  std::string printed = printKernel(*rr.adjoint);
+  EXPECT_EQ(printed.find("PUSH_bool"), std::string::npos) << printed;
+}
+
+TEST(Reverse, ReversedLoopsAreMarked) {
+  auto rr = reverse(R"(
+kernel f(n: int in, y: real[] inout, x: real[] in) {
+  for j = 0 : n {
+    parallel for i = 0 : n {
+      y[i] = y[i] + x[i];
+    }
+  }
+}
+)", {"x"}, {"y"});
+  int reversedSerial = 0, reversedParallel = 0;
+  forEachStmt(rr.adjoint->body, [&](const Stmt& s) {
+    if (s.kind() != StmtKind::For) return;
+    const auto& f = s.as<For>();
+    if (!f.reversed) return;
+    (f.parallel ? reversedParallel : reversedSerial)++;
+  });
+  EXPECT_EQ(reversedSerial, 1);
+  EXPECT_EQ(reversedParallel, 1);
+}
+
+TEST(Reverse, AdjointParamsAddedForActivesOnly) {
+  auto rr = reverse(R"(
+kernel f(y: real[] inout, x: real[] in, s: real[] in, i: int in) {
+  y[i] = x[i] * s[i];
+}
+)", {"x"}, {"y"});
+  EXPECT_TRUE(rr.adjointParams.count("x"));
+  EXPECT_TRUE(rr.adjointParams.count("y"));
+  EXPECT_FALSE(rr.adjointParams.count("s"));  // inactive
+  EXPECT_EQ(rr.adjointParams.at("x"), "xb");
+}
+
+TEST(Reverse, RejectsPrimalReductionClauses) {
+  auto k = parser::parseKernel(R"(
+kernel f(n: int in, s: real inout, x: real[] in) {
+  parallel for i = 0 : n reduction(+: s) {
+    s = s + x[i];
+  }
+}
+)");
+  ReverseOptions opts;
+  opts.independents = {"x"};
+  opts.dependents = {"s"};
+  EXPECT_THROW((void)buildAdjoint(*k, opts), Error);
+}
+
+TEST(Reverse, AdjointNameCollisionDetected) {
+  auto k = parser::parseKernel(R"(
+kernel f(y: real[] inout, x: real[] in, xb: real[] in, i: int in) {
+  y[i] = x[i] + xb[i];
+}
+)");
+  ReverseOptions opts;
+  opts.independents = {"x"};
+  opts.dependents = {"y"};
+  EXPECT_THROW((void)buildAdjoint(*k, opts), Error);
+}
+
+// --------------------------------------------------- tangent structure
+
+TEST(Forward, TangentPrecedesPrimalStatement) {
+  auto k = parser::parseKernel(R"(
+kernel f(y: real[] inout, x: real[] in, i: int in) {
+  y[i] = x[i] * x[i];
+}
+)");
+  TangentOptions opts;
+  opts.independents = {"x"};
+  opts.dependents = {"y"};
+  auto tr = buildTangent(*k, opts);
+  ASSERT_EQ(tr.tangent->body.size(), 2u);
+  const auto& tangentStmt = tr.tangent->body[0]->as<Assign>();
+  EXPECT_EQ(refName(*tangentStmt.lhs), "yd");
+  const auto& primalStmt = tr.tangent->body[1]->as<Assign>();
+  EXPECT_EQ(refName(*primalStmt.lhs), "y");
+}
+
+TEST(Forward, ParallelizationIsPreserved) {
+  auto k = parser::parseKernel(R"(
+kernel f(n: int in, y: real[] inout, x: real[] in) {
+  parallel for i = 0 : n schedule(dynamic) {
+    y[i] = x[i];
+  }
+}
+)");
+  TangentOptions opts;
+  opts.independents = {"x"};
+  opts.dependents = {"y"};
+  auto tr = buildTangent(*k, opts);
+  const auto& loop = tr.tangent->body[0]->as<For>();
+  EXPECT_TRUE(loop.parallel);
+  EXPECT_EQ(loop.sched, Schedule::Dynamic);
+}
+
+}  // namespace
+}  // namespace formad::ad

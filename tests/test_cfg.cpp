@@ -1,0 +1,178 @@
+// CFG construction, dominators/post-dominators, and context trees
+// (paper Sec. 5.1).
+#include <gtest/gtest.h>
+
+#include "cfg/context.h"
+#include "parser/parser.h"
+
+namespace formad::cfg {
+namespace {
+
+using namespace formad::ir;
+
+const For& firstParallelLoop(const Kernel& k) {
+  for (const auto& s : k.body)
+    if (s->kind() == StmtKind::For && s->as<For>().parallel)
+      return s->as<For>();
+  throw std::runtime_error("no parallel loop");
+}
+
+TEST(Cfg, StraightLineIsSingleChain) {
+  auto k = parser::parseKernel(R"(
+kernel f(a: real[] inout, i: int in) {
+  a[i] = 1.0;
+  a[i + 1] = 2.0;
+}
+)");
+  Cfg cfg = buildCfg(k->body);
+  // entry block with both statements + exit.
+  EXPECT_EQ(cfg.size(), 2);
+  EXPECT_EQ(cfg.block(cfg.entry()).stmts.size(), 2u);
+  EXPECT_EQ(cfg.blockOf(k->body[0].get()), cfg.blockOf(k->body[1].get()));
+}
+
+TEST(Cfg, IfMakesDiamond) {
+  auto k = parser::parseKernel(R"(
+kernel f(a: real[] inout, i: int in) {
+  if (i > 0) {
+    a[i] = 1.0;
+  } else {
+    a[0] = 2.0;
+  }
+  a[1] = 3.0;
+}
+)");
+  Cfg cfg = buildCfg(k->body);
+  // entry(cond), then, else, join, exit
+  EXPECT_EQ(cfg.size(), 5);
+  EXPECT_EQ(cfg.block(cfg.entry()).succs.size(), 2u);
+}
+
+TEST(Cfg, RejectsNestedParallel) {
+  auto k = parser::parseKernel(R"(
+kernel f(n: int in, a: real[] inout) {
+  parallel for i = 0 : n {
+    parallel for j = 0 : n {
+      a[j] = 1.0;
+    }
+  }
+}
+)");
+  const For& outer = firstParallelLoop(*k);
+  EXPECT_THROW((void)buildCfg(outer.body), Error);
+}
+
+TEST(Dominators, DiamondDominance) {
+  auto k = parser::parseKernel(R"(
+kernel f(a: real[] inout, i: int in) {
+  if (i > 0) {
+    a[i] = 1.0;
+  }
+  a[1] = 3.0;
+}
+)");
+  Cfg cfg = buildCfg(k->body);
+  DominanceInfo dom = computeDominators(cfg);
+  DominanceInfo pdom = computePostDominators(cfg);
+  int entry = cfg.entry();
+  int thenBlk = cfg.blockOf(k->body[0]->as<If>().thenBody[0].get());
+  int after = cfg.blockOf(k->body[1].get());
+  EXPECT_TRUE(dom.dominates(entry, thenBlk));
+  EXPECT_TRUE(dom.dominates(entry, after));
+  EXPECT_FALSE(dom.dominates(thenBlk, after));
+  EXPECT_TRUE(pdom.dominates(after, thenBlk));
+  EXPECT_TRUE(pdom.dominates(after, entry));
+  // Every block dominates itself.
+  for (int bId = 0; bId < cfg.size(); ++bId)
+    EXPECT_TRUE(dom.dominates(bId, bId));
+}
+
+TEST(Contexts, StraightLineIsOneContext) {
+  auto k = parser::parseKernel(R"(
+kernel f(a: real[] inout, i: int in) {
+  a[i] = 1.0;
+  a[i + 1] = a[i] * 2.0;
+}
+)");
+  Cfg cfg = buildCfg(k->body);
+  ContextTree tree = buildContextTree(cfg);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.contextOf(cfg, k->body[0].get()),
+            tree.contextOf(cfg, k->body[1].get()));
+}
+
+TEST(Contexts, BranchesGetChildContexts) {
+  auto k = parser::parseKernel(R"(
+kernel f(a: real[] inout, i: int in) {
+  a[0] = 0.0;
+  if (i > 0) {
+    a[i] = 1.0;
+  } else {
+    a[1] = 2.0;
+  }
+  a[2] = 3.0;
+}
+)");
+  Cfg cfg = buildCfg(k->body);
+  ContextTree tree = buildContextTree(cfg);
+
+  const auto& ifStmt = k->body[1]->as<If>();
+  int root = tree.contextOf(cfg, k->body[0].get());
+  int thenCtx = tree.contextOf(cfg, ifStmt.thenBody[0].get());
+  int elseCtx = tree.contextOf(cfg, ifStmt.elseBody[0].get());
+  int afterCtx = tree.contextOf(cfg, k->body[2].get());
+
+  EXPECT_EQ(root, tree.root());
+  EXPECT_EQ(afterCtx, root);  // pre- and post-if code must both execute
+  EXPECT_NE(thenCtx, root);
+  EXPECT_NE(elseCtx, root);
+  EXPECT_NE(thenCtx, elseCtx);
+  EXPECT_TRUE(tree.includes(thenCtx, root));
+  EXPECT_TRUE(tree.includes(elseCtx, root));
+  EXPECT_FALSE(tree.includes(root, thenCtx));
+  EXPECT_EQ(tree.commonRoot(thenCtx, elseCtx), root);
+  EXPECT_EQ(tree.commonRoot(thenCtx, thenCtx), thenCtx);
+}
+
+TEST(Contexts, NestedIfsNest) {
+  auto k = parser::parseKernel(R"(
+kernel f(a: real[] inout, i: int in) {
+  if (i > 0) {
+    a[1] = 1.0;
+    if (i > 1) {
+      a[2] = 2.0;
+    }
+  }
+}
+)");
+  Cfg cfg = buildCfg(k->body);
+  ContextTree tree = buildContextTree(cfg);
+  const auto& outer = k->body[0]->as<If>();
+  const auto& inner = outer.thenBody[1]->as<If>();
+  int outerCtx = tree.contextOf(cfg, outer.thenBody[0].get());
+  int innerCtx = tree.contextOf(cfg, inner.thenBody[0].get());
+  EXPECT_TRUE(tree.includes(innerCtx, outerCtx));
+  EXPECT_FALSE(tree.includes(outerCtx, innerCtx));
+  EXPECT_EQ(tree.node(innerCtx).depth, tree.node(outerCtx).depth + 1);
+}
+
+TEST(Contexts, SerialLoopBodyIsIncludedContext) {
+  auto k = parser::parseKernel(R"(
+kernel f(n: int in, a: real[] inout) {
+  a[0] = 0.0;
+  for j = 1 : n {
+    a[j] = 1.0;
+  }
+}
+)");
+  Cfg cfg = buildCfg(k->body);
+  ContextTree tree = buildContextTree(cfg);
+  int root = tree.contextOf(cfg, k->body[0].get());
+  int bodyCtx = tree.contextOf(cfg, k->body[1]->as<For>().body[0].get());
+  // The loop body may execute zero times: it is a strict sub-context.
+  EXPECT_NE(bodyCtx, root);
+  EXPECT_TRUE(tree.includes(bodyCtx, root));
+}
+
+}  // namespace
+}  // namespace formad::cfg

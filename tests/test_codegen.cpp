@@ -1,0 +1,159 @@
+// C backend tests: the emitted source must compile with the system C
+// compiler and the compiled kernels (primal, tangent, adjoints) must agree
+// with the interpreter on every benchmark kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codegen/cgen.h"
+#include "codegen/native.h"
+#include "helpers.h"
+
+namespace formad::testing {
+namespace {
+
+using codegen::CgenOptions;
+using codegen::NativeKernel;
+using driver::AdjointMode;
+using exec::ArrayValue;
+using exec::Inputs;
+
+TEST(Cgen, SourceShape) {
+  auto k = parser::parseKernel(R"(
+kernel axpy(n: int in, a: real in, x: real[] in, y: real[] inout) {
+  parallel for i = 0 : n - 1 {
+    y[i] = y[i] + a * x[i];
+  }
+}
+)");
+  std::string src = codegen::emitC(*k);
+  EXPECT_NE(src.find("void axpy(long long n, double a, double* x, double* y"),
+            std::string::npos)
+      << src;
+  EXPECT_NE(src.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(src.find("void axpy_entry(void** argv)"), std::string::npos);
+
+  CgenOptions serial;
+  serial.openmp = false;
+  EXPECT_EQ(codegen::emitC(*k, serial).find("#pragma omp"),
+            std::string::npos);
+}
+
+TEST(Cgen, AtomicGuardBecomesPragma) {
+  Harness h = indirectHarness(32, 1);
+  auto k = h.parse();
+  auto dr = driver::differentiate(*k, h.spec.independents, h.spec.dependents,
+                                  AdjointMode::Atomic);
+  std::string src = codegen::emitC(*dr.adjoint);
+  EXPECT_NE(src.find("#pragma omp atomic"), std::string::npos) << src;
+}
+
+TEST(Cgen, ReductionGuardRejected) {
+  Harness h = indirectHarness(32, 1);
+  auto k = h.parse();
+  auto dr = driver::differentiate(*k, h.spec.independents, h.spec.dependents,
+                                  AdjointMode::Reduction);
+  EXPECT_THROW((void)codegen::emitC(*dr.adjoint), Error);
+}
+
+/// Compares native vs interpreted execution of a kernel on the harness's
+/// inputs (plus zero/seeded adjoint arrays when `adjointParams` given).
+void expectNativeMatchesInterpreter(
+    const ir::Kernel& kernel, const Harness& h,
+    const std::map<std::string, std::string>* adjointParams) {
+  auto bindAll = [&](Inputs& io) {
+    h.bind(io);
+    if (adjointParams != nullptr) {
+      for (const auto& [p, pb] : *adjointParams) {
+        const auto& a = io.array(p);
+        std::vector<long long> dims;
+        for (int k = 0; k < a.rank(); ++k) dims.push_back(a.dim(k));
+        auto& b = io.bindArray(pb, ArrayValue::reals(dims));
+        b.fill(0.5);
+      }
+    }
+  };
+
+  Inputs interpIo;
+  bindAll(interpIo);
+  exec::Executor ex(kernel);
+  (void)ex.run(interpIo);
+
+  Inputs nativeIo;
+  bindAll(nativeIo);
+  NativeKernel native(kernel);
+  native.run(nativeIo);
+
+  for (const auto& p : kernel.params) {
+    if (!p.type.isArray() || !p.type.isReal()) continue;
+    const auto& a = interpIo.array(p.name).realData();
+    const auto& b = nativeIo.array(p.name).realData();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+      EXPECT_NEAR(a[i], b[i], 1e-12 * std::max(1.0, std::fabs(a[i])))
+          << kernel.name << " " << p.name << "[" << i << "]";
+  }
+}
+
+struct NativeCase {
+  const char* name;
+  Harness (*make)();
+};
+
+Harness mkStencil() { return stencilHarness(1, 500, 11); }
+Harness mkStencilLarge() { return stencilHarness(8, 400, 13); }
+Harness mkIndirect() { return indirectHarness(128, 17); }
+Harness mkGreenGauss() { return greenGaussHarness(800, 19); }
+Harness mkGfmc() { return gfmcHarness(false, 23); }
+Harness mkGfmcFused() { return gfmcHarness(true, 29); }
+
+class NativeVsInterp : public ::testing::TestWithParam<NativeCase> {};
+
+TEST_P(NativeVsInterp, PrimalMatches) {
+  Harness h = GetParam().make();
+  auto k = h.parse();
+  expectNativeMatchesInterpreter(*k, h, nullptr);
+}
+
+TEST_P(NativeVsInterp, FormadAdjointMatches) {
+  Harness h = GetParam().make();
+  auto k = h.parse();
+  auto dr = driver::differentiate(*k, h.spec.independents, h.spec.dependents,
+                                  AdjointMode::FormAD);
+  expectNativeMatchesInterpreter(*dr.adjoint, h, &dr.adjointParams);
+}
+
+TEST_P(NativeVsInterp, AtomicAdjointMatches) {
+  Harness h = GetParam().make();
+  auto k = h.parse();
+  auto dr = driver::differentiate(*k, h.spec.independents, h.spec.dependents,
+                                  AdjointMode::Atomic);
+  expectNativeMatchesInterpreter(*dr.adjoint, h, &dr.adjointParams);
+}
+
+TEST_P(NativeVsInterp, TangentMatches) {
+  Harness h = GetParam().make();
+  auto k = h.parse();
+  ad::TangentOptions topts;
+  topts.independents = h.spec.independents;
+  topts.dependents = h.spec.dependents;
+  auto tr = ad::buildTangent(*k, topts);
+  std::map<std::string, std::string> seeds(tr.tangentParams.begin(),
+                                           tr.tangentParams.end());
+  expectNativeMatchesInterpreter(*tr.tangent, h, &seeds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, NativeVsInterp,
+    ::testing::Values(NativeCase{"stencil1", mkStencil},
+                      NativeCase{"stencil8", mkStencilLarge},
+                      NativeCase{"indirect", mkIndirect},
+                      NativeCase{"greengauss", mkGreenGauss},
+                      NativeCase{"gfmc", mkGfmc},
+                      NativeCase{"gfmc_fused", mkGfmcFused}),
+    [](const ::testing::TestParamInfo<NativeCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace formad::testing

@@ -1,0 +1,170 @@
+// Schedule simulation and cost-model behaviour: the mechanisms that
+// produce the paper's figure shapes must hold qualitatively for any
+// reasonable parameter set.
+#include <gtest/gtest.h>
+
+#include "exec/costmodel.h"
+#include "exec/simulate.h"
+
+namespace formad::exec {
+namespace {
+
+TEST(Schedule, StaticContiguousChunks) {
+  std::vector<double> iters(8, 1.0);
+  auto busy = scheduleThreads(iters, 4, /*dynamic=*/false);
+  ASSERT_EQ(busy.size(), 4u);
+  for (double b : busy) EXPECT_DOUBLE_EQ(b, 2.0);
+}
+
+TEST(Schedule, StaticImbalanceHurts) {
+  // One heavy chunk dominates under static scheduling.
+  std::vector<double> iters(8, 0.1);
+  iters[0] = 10.0;
+  iters[1] = 10.0;  // both land in thread 0's chunk
+  double staticT = scheduleMakespan(iters, 4, false);
+  double dynamicT = scheduleMakespan(iters, 4, true);
+  EXPECT_GT(staticT, dynamicT);
+  EXPECT_NEAR(dynamicT, 10.0, 0.5);
+}
+
+TEST(Schedule, DynamicIsGreedyOptimalForUniform) {
+  std::vector<double> iters(100, 1.0);
+  EXPECT_NEAR(scheduleMakespan(iters, 10, true), 10.0, 1e-9);
+}
+
+TEST(Schedule, MoreThreadsNeverSlower) {
+  std::vector<double> iters;
+  for (int i = 0; i < 57; ++i) iters.push_back(0.1 + (i % 7) * 0.05);
+  double prev = scheduleMakespan(iters, 1, true);
+  for (int t = 2; t <= 16; t *= 2) {
+    double cur = scheduleMakespan(iters, t, true);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(Schedule, EmptyLoop) {
+  EXPECT_DOUBLE_EQ(scheduleMakespan({}, 4, false), 0.0);
+  EXPECT_DOUBLE_EQ(scheduleMakespan({}, 4, true), 0.0);
+}
+
+LoopProfile uniformLoop(int iters, OpCounts perIter, bool dynamic = false) {
+  LoopProfile lp;
+  lp.dynamicSchedule = dynamic;
+  lp.perIteration.assign(static_cast<size_t>(iters), perIter);
+  return lp;
+}
+
+TEST(CostModel, FlopBoundLoopScalesLinearly) {
+  CostParams p;
+  OpCounts c;
+  c.flops = 100;
+  LoopProfile lp = uniformLoop(100000, c);
+  double t1 = loopTime(lp, p, 1);
+  double t18 = loopTime(lp, p, 18);
+  EXPECT_GT(t1 / t18, 12.0);
+  EXPECT_LT(t1 / t18, 18.5);
+}
+
+TEST(CostModel, RandomTrafficSaturatesEarly) {
+  CostParams p;
+  OpCounts c;
+  c.randBytes = 48;
+  c.flops = 4;
+  LoopProfile lp = uniformLoop(200000, c);
+  double t1 = loopTime(lp, p, 1);
+  double t18 = loopTime(lp, p, 18);
+  // Memory-bound: some speedup, far from linear (Green-Gauss ~2.75x).
+  EXPECT_GT(t1 / t18, 1.5);
+  EXPECT_LT(t1 / t18, 6.0);
+}
+
+TEST(CostModel, AtomicsDegradeWithThreads) {
+  CostParams p;
+  OpCounts c;
+  c.flops = 6;
+  c.seqBytes = 48;
+  c.atomicOps = 3;
+  LoopProfile lp = uniformLoop(100000, c);
+  double t1 = loopTime(lp, p, 1);
+  double t18 = loopTime(lp, p, 18);
+  // Paper Figs. 3-6: the atomic version is best at 1 thread and slows
+  // down as threads are added.
+  EXPECT_GT(t18, t1);
+}
+
+TEST(CostModel, AtomicsCostFarMoreThanPlainIncrements) {
+  CostParams p;
+  OpCounts plain;
+  plain.flops = 6;
+  plain.seqBytes = 48;
+  OpCounts atomic = plain;
+  atomic.atomicOps = 3;
+  double tp = loopTime(uniformLoop(100000, plain), p, 1);
+  double ta = loopTime(uniformLoop(100000, atomic), p, 1);
+  EXPECT_GT(ta / tp, 5.0);  // paper: ~25x for the small stencil
+}
+
+TEST(CostModel, ReductionOverheadGrowsWithThreads) {
+  CostParams p;
+  OpCounts c;
+  c.flops = 6;
+  c.seqBytes = 48;
+  LoopProfile lp = uniformLoop(100000, c);
+  lp.reductionBytes = 8e6;  // 1M doubles privatized
+  double t1 = loopTime(lp, p, 1);
+  double t18 = loopTime(lp, p, 18);
+  // The merge term scales with T and eventually dominates.
+  EXPECT_GT(t18, loopTime(uniformLoop(100000, c), p, 18));
+  double merge1 = 1 * lp.reductionBytes * p.shadowMergeByte;
+  double merge18 = 18 * lp.reductionBytes * p.shadowMergeByte;
+  EXPECT_GT(t18 - (t1 - merge1), merge18 - merge1 - 1e-9);
+}
+
+TEST(CostModel, SerializedLoopIgnoresThreadsAndOverheads) {
+  CostParams p;
+  OpCounts c;
+  c.flops = 10;
+  LoopProfile lp = uniformLoop(1000, c);
+  EXPECT_DOUBLE_EQ(loopTime(lp, p, 0), loopTime(lp, p, 0));
+  EXPECT_LT(loopTime(lp, p, 0), loopTime(lp, p, 1));  // no region overhead
+}
+
+TEST(CostModel, ThreadsCappedAtSocketSize) {
+  CostParams p;
+  OpCounts c;
+  c.flops = 100;
+  LoopProfile lp = uniformLoop(100000, c);
+  EXPECT_DOUBLE_EQ(loopTime(lp, p, 18), loopTime(lp, p, 64));
+}
+
+TEST(CostModel, DynamicScheduleHelpsImbalancedLoops) {
+  CostParams p;
+  OpCounts light, heavy;
+  light.flops = 1;
+  heavy.flops = 1000;
+  LoopProfile staticLp, dynLp;
+  for (int i = 0; i < 1024; ++i) {
+    OpCounts c = (i < 64) ? heavy : light;  // heavy head like GFMC pairs
+    staticLp.perIteration.push_back(c);
+    dynLp.perIteration.push_back(c);
+  }
+  staticLp.dynamicSchedule = false;
+  dynLp.dynamicSchedule = true;
+  EXPECT_LT(loopTime(dynLp, p, 8), loopTime(staticLp, p, 8));
+}
+
+TEST(CostModel, RunTimeSumsSerialAndLoops) {
+  CostParams p;
+  RunProfile rp;
+  rp.serial.flops = 1e6;
+  OpCounts c;
+  c.flops = 10;
+  rp.loops.push_back(uniformLoop(1000, c));
+  double serialOnly = iterationTime(rp.serial, p, 1);
+  EXPECT_GT(runTime(rp, p, 4), serialOnly);
+  EXPECT_GT(serialTime(rp, p), serialOnly);
+}
+
+}  // namespace
+}  // namespace formad::exec

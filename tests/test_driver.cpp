@@ -1,0 +1,86 @@
+// Driver-layer tests: mode plumbing, report formatting, and describe().
+#include <gtest/gtest.h>
+
+#include "driver/driver.h"
+#include "driver/report.h"
+#include "helpers.h"
+
+namespace formad::testing {
+namespace {
+
+using driver::AdjointMode;
+
+TEST(Driver, ModeNames) {
+  EXPECT_EQ(driver::to_string(AdjointMode::Serial), "serial");
+  EXPECT_EQ(driver::to_string(AdjointMode::Atomic), "atomic");
+  EXPECT_EQ(driver::to_string(AdjointMode::Reduction), "reduction");
+  EXPECT_EQ(driver::to_string(AdjointMode::FormAD), "formad");
+  EXPECT_EQ(driver::to_string(AdjointMode::Plain), "plain");
+}
+
+TEST(Driver, AdjointKernelNamesEncodeMode) {
+  Harness h = indirectHarness(16, 1);
+  auto k = h.parse();
+  for (AdjointMode m : {AdjointMode::Serial, AdjointMode::Atomic,
+                        AdjointMode::FormAD}) {
+    auto dr = driver::differentiate(*k, h.spec.independents,
+                                    h.spec.dependents, m);
+    EXPECT_EQ(dr.adjoint->name, "gather7_b_" + driver::to_string(m));
+  }
+}
+
+TEST(Driver, AnalysisAttachedOnlyInFormadMode) {
+  Harness h = indirectHarness(16, 1);
+  auto k = h.parse();
+  auto atomic = driver::differentiate(*k, h.spec.independents,
+                                      h.spec.dependents, AdjointMode::Atomic);
+  EXPECT_TRUE(atomic.analysis.regions.empty());
+  auto formad = driver::differentiate(*k, h.spec.independents,
+                                      h.spec.dependents, AdjointMode::FormAD);
+  EXPECT_EQ(formad.analysis.regions.size(), 1u);
+}
+
+TEST(Driver, DescribeMentionsVerdicts) {
+  Harness h = lbmHarness(1);
+  auto k = h.parse();
+  auto a = driver::analyze(*k, h.spec.independents, h.spec.dependents);
+  std::string text = core::describe(a);
+  EXPECT_NE(text.find("srcgrid"), std::string::npos);
+  EXPECT_NE(text.find("UNSAFE"), std::string::npos);
+  EXPECT_NE(text.find("dstgrid"), std::string::npos);
+  EXPECT_NE(text.find("SAFE"), std::string::npos);
+}
+
+TEST(Report, TableAlignsColumns) {
+  driver::Table t({"a", "long-header", "c"});
+  t.addRow({"x", "1", "yyyy"});
+  t.addRow({"longer", "2", "z"});
+  std::string s = t.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // The separator underlines the widest cell of each column.
+  EXPECT_NE(s.find("-----------"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(Report, NumberFormatting) {
+  EXPECT_EQ(driver::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(driver::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(driver::fmtSpeedup(13.4), "13.40x");
+}
+
+TEST(Driver, InactiveIndependentsGetNoAdjointParams) {
+  // s never influences y: no sb parameter is added even though the user
+  // requested it as an independent.
+  auto k = parser::parseKernel(R"(
+kernel f(y: real[] inout, x: real[] in, s: real[] in, i: int in) {
+  y[i] = x[i] * 2.0;
+}
+)");
+  auto dr = driver::differentiate(*k, {"x", "s"}, {"y"}, AdjointMode::Plain);
+  EXPECT_TRUE(dr.adjointParams.count("x"));
+  EXPECT_FALSE(dr.adjointParams.count("s"));
+}
+
+}  // namespace
+}  // namespace formad::testing

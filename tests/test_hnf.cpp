@@ -1,0 +1,148 @@
+// Exact integer feasibility (Hermite normal form) — unit and property
+// tests, including the joint infeasibilities the gcd filter misses.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "smt/hnf.h"
+#include "smt/solver.h"
+
+namespace formad::smt {
+namespace {
+
+IntRow row(std::vector<long long> coeffs, long long rhs) {
+  IntRow r;
+  r.coeffs = std::move(coeffs);
+  r.rhs = rhs;
+  return r;
+}
+
+TEST(Hnf, EmptyAndTrivial) {
+  EXPECT_TRUE(integerSolvable({}));
+  EXPECT_TRUE(integerSolvable({row({0, 0}, 0)}));
+  EXPECT_FALSE(integerSolvable({row({0, 0}, 3)}));
+}
+
+TEST(Hnf, SingleRowGcd) {
+  EXPECT_TRUE(integerSolvable({row({2, 4}, 6)}));
+  EXPECT_FALSE(integerSolvable({row({2, 4}, 3)}));
+  EXPECT_TRUE(integerSolvable({row({3, 5}, 1)}));  // gcd(3,5)=1
+}
+
+TEST(Hnf, JointInfeasibilityBeyondGcd) {
+  // x + y = 1, x - y = 2  =>  2x = 3: each row gcd-clean, jointly infeasible.
+  EXPECT_FALSE(integerSolvable({row({1, 1}, 1), row({1, -1}, 2)}));
+  // x + y = 1, x - y = 3  =>  x = 2, y = -1: feasible.
+  EXPECT_TRUE(integerSolvable({row({1, 1}, 1), row({1, -1}, 3)}));
+}
+
+TEST(Hnf, RationalInconsistency) {
+  EXPECT_FALSE(integerSolvable({row({1, 2}, 1), row({2, 4}, 3)}));
+  EXPECT_TRUE(integerSolvable({row({1, 2}, 1), row({2, 4}, 2)}));
+}
+
+TEST(Hnf, UnderdeterminedSystems) {
+  EXPECT_TRUE(integerSolvable({row({6, 10, 15}, 1)}));  // gcd(6,10,15)=1
+  EXPECT_TRUE(integerSolvable({row({2, 3, 0}, 5), row({0, 0, 7}, 14)}));
+}
+
+TEST(Hnf, PropertyAgainstBruteForce) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> coeff(-4, 4);
+  std::uniform_int_distribution<int> nr(1, 3);
+  int infeasibleSeen = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    int m = nr(rng);
+    std::vector<IntRow> rows;
+    for (int r = 0; r < m; ++r)
+      rows.push_back(
+          row({coeff(rng), coeff(rng), coeff(rng)}, coeff(rng)));
+
+    bool brute = false;
+    for (int a = -24 ; a <= 24 && !brute; ++a)
+      for (int b = -24; b <= 24 && !brute; ++b)
+        for (int c = -24; c <= 24 && !brute; ++c) {
+          bool ok = true;
+          for (const auto& rw : rows)
+            ok = ok && (rw.coeffs[0] * a + rw.coeffs[1] * b +
+                            rw.coeffs[2] * c ==
+                        rw.rhs);
+          brute = ok;
+        }
+
+    bool hnf = integerSolvable(rows);
+    // Brute force over a box is one-directional: a box solution must be
+    // accepted. The converse (HNF says solvable but the box is empty) can
+    // legitimately happen for solutions outside the box — verify HNF's
+    // claim by checking divisibility structure instead: re-run on a
+    // doubled box only when they disagree.
+    if (brute) {
+      EXPECT_TRUE(hnf) << "trial " << trial;
+    } else if (hnf) {
+      bool wide = false;
+      for (int a = -60; a <= 60 && !wide; ++a)
+        for (int b = -60; b <= 60 && !wide; ++b)
+          for (int c = -60; c <= 60 && !wide; ++c) {
+            bool ok = true;
+            for (const auto& rw : rows)
+              ok = ok && (rw.coeffs[0] * a + rw.coeffs[1] * b +
+                              rw.coeffs[2] * c ==
+                          rw.rhs);
+            wide = ok;
+          }
+      EXPECT_TRUE(wide) << "HNF claims solvable but none found, trial "
+                        << trial;
+    } else {
+      ++infeasibleSeen;
+    }
+  }
+  EXPECT_GT(infeasibleSeen, 0);  // the distribution produces real negatives
+}
+
+TEST(Hnf, DenseRowsClearsDenominators) {
+  AtomTable atoms;
+  AtomId x = atoms.internVar("x", 0, false);
+  AtomId y = atoms.internVar("y", 0, false);
+  // x/2 + y/3 - 1 = 0  ->  3x + 2y = 6.
+  LinExpr e = LinExpr::atom(x, Rational(1, 2)) +
+              LinExpr::atom(y, Rational(1, 3)) + LinExpr(Rational(-1));
+  std::vector<IntRow> rows;
+  auto cols = denseRows({&e}, rows);
+  ASSERT_EQ(cols.size(), 2u);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].coeffs[0], 3);
+  EXPECT_EQ(rows[0].coeffs[1], 2);
+  EXPECT_EQ(rows[0].rhs, 6);
+}
+
+TEST(SolverWithHnf, JointIntegerInfeasibilityDetected) {
+  AtomTable atoms;
+  AtomId x = atoms.internVar("x", 0, false);
+  AtomId y = atoms.internVar("y", 0, false);
+  Solver solver(atoms);
+  // x + y = 1 and x - y = 2 have a rational solution (1.5, -0.5) but no
+  // integer one: the pre-HNF solver answered Sat here.
+  solver.add(Constraint::eq(LinExpr::atom(x) + LinExpr::atom(y),
+                            LinExpr(Rational(1))));
+  solver.add(Constraint::eq(LinExpr::atom(x) - LinExpr::atom(y),
+                            LinExpr(Rational(2))));
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+}
+
+TEST(SolverWithHnf, StrideParityProof) {
+  // A FormAD-flavoured corollary: on a stride-2 loop writing u[2i] and
+  // u[2i'+1]... the offsets 2i and 2i'+1 can never meet (parity), which
+  // needs exactly the integer reasoning HNF provides:
+  // assert 2i = 2i' + 1 -> Unsat.
+  AtomTable atoms;
+  AtomId i = atoms.internVar("i", 0, false);
+  AtomId ip = atoms.internVar("i", 0, true);
+  Solver solver(atoms);
+  solver.add(Constraint::eq(LinExpr::atom(i).scaled(Rational(2)),
+                            LinExpr::atom(ip).scaled(Rational(2)) +
+                                LinExpr(Rational(1))));
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+}
+
+}  // namespace
+}  // namespace formad::smt

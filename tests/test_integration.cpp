@@ -1,0 +1,230 @@
+// Integration tests: multi-step (time-loop) adjoints with checkpointing,
+// the omit-tape-free-primal-sweep variant, and CLI-style program flows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/checkpoint.h"
+#include "helpers.h"
+#include "ir/printer.h"
+
+namespace formad::testing {
+namespace {
+
+using driver::AdjointMode;
+using exec::ArrayValue;
+using exec::ExecOptions;
+using exec::Inputs;
+
+/// A damped diffusion step: u <- u + dt * (u_{i-1} - 2 u_i + u_{i+1})
+/// written as a compact parallel kernel over a single state array.
+const char* kHeatStep = R"(
+kernel heat(n: int in, dt: real in, u: real[] inout, tmp: real[] inout) {
+  parallel for i = 1 : n - 2 {
+    tmp[i] = u[i] + dt * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+  }
+  parallel for i2 = 1 : n - 2 {
+    u[i2] = tmp[i2];
+  }
+}
+)";
+
+double heatObjective(long long n, double dt, int steps,
+                     const std::vector<double>& u0) {
+  auto primal = parser::parseKernel(kHeatStep);
+  exec::Executor ex(*primal);
+  Inputs io;
+  io.bindInt("n", n);
+  io.bindReal("dt", dt);
+  io.bindArray("u", ArrayValue::reals({n})).realData() = u0;
+  io.bindArray("tmp", ArrayValue::reals({n}));
+  for (int s = 0; s < steps; ++s) (void)ex.run(io);
+  double J = 0;
+  const auto& u = io.array("u").realData();
+  for (long long i = 0; i < n; ++i)
+    J += 0.1 * static_cast<double>(i % 5) * u[static_cast<size_t>(i)];
+  return J;
+}
+
+class TimeLoop : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeLoop, CheckpointedAdjointMatchesFiniteDifferences) {
+  const long long n = 40;
+  const double dt = 0.2;
+  const int steps = 13;
+  const int snapshotEvery = GetParam();  // 0 = auto sqrt
+
+  auto primal = parser::parseKernel(kHeatStep);
+  auto dr = driver::differentiate(*primal, {"u"}, {"u"}, AdjointMode::FormAD);
+
+  std::vector<double> u0(static_cast<size_t>(n));
+  for (long long i = 0; i < n; ++i)
+    u0[static_cast<size_t>(i)] = std::sin(0.3 * static_cast<double>(i));
+
+  Inputs io;
+  io.bindInt("n", n);
+  io.bindReal("dt", dt);
+  io.bindArray("u", ArrayValue::reals({n})).realData() = u0;
+  io.bindArray("tmp", ArrayValue::reals({n}));
+  auto& ub = io.bindArray("ub", ArrayValue::reals({n}));
+  for (long long i = 0; i < n; ++i)
+    ub.realAt(i) = 0.1 * static_cast<double>(i % 5);  // dJ/du(final)
+  io.bindArray("tmpb", ArrayValue::reals({n}));
+
+  exec::TimeLoopOptions opts;
+  opts.steps = steps;
+  opts.snapshotEvery = snapshotEvery;
+  auto stats = exec::runTimeLoopAdjoint(*primal, *dr.adjoint, io, {"u", "tmp"},
+                                        opts);
+  EXPECT_EQ(stats.adjointStepsRun, steps);
+  EXPECT_GE(stats.primalStepsRun, steps);
+
+  // dJ/du0 via central differences at a few probes.
+  for (long long probe : {1LL, 7LL, 20LL, n - 2}) {
+    auto up = u0;
+    up[static_cast<size_t>(probe)] += 1e-6;
+    auto um = u0;
+    um[static_cast<size_t>(probe)] -= 1e-6;
+    double fd = (heatObjective(n, dt, steps, up) -
+                 heatObjective(n, dt, steps, um)) /
+                2e-6;
+    EXPECT_NEAR(io.array("ub").realAt(probe), fd, 1e-6)
+        << "probe " << probe << ", snapshotEvery " << snapshotEvery;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SnapshotSpacing, TimeLoop,
+                         ::testing::Values(0, 1, 3, 13));
+
+TEST(TimeLoop, SnapshotAccountingMatchesSpacing) {
+  const long long n = 16;
+  auto primal = parser::parseKernel(kHeatStep);
+  auto dr = driver::differentiate(*primal, {"u"}, {"u"}, AdjointMode::Serial);
+
+  auto makeIo = [&](Inputs& io) {
+    io.bindInt("n", n);
+    io.bindReal("dt", 0.1);
+    io.bindArray("u", ArrayValue::reals({n})).fill(1.0);
+    io.bindArray("tmp", ArrayValue::reals({n}));
+    io.bindArray("ub", ArrayValue::reals({n})).fill(1.0);
+    io.bindArray("tmpb", ArrayValue::reals({n}));
+  };
+
+  // k = 1: snapshot every step, no recomputation.
+  {
+    Inputs io;
+    makeIo(io);
+    exec::TimeLoopOptions o;
+    o.steps = 9;
+    o.snapshotEvery = 1;
+    auto st = exec::runTimeLoopAdjoint(*primal, *dr.adjoint, io, {"u", "tmp"}, o);
+    EXPECT_EQ(st.snapshotsTaken, 9);
+    EXPECT_EQ(st.primalStepsRun, 9);  // forward only
+  }
+  // k = 9: one snapshot, maximal recomputation.
+  {
+    Inputs io;
+    makeIo(io);
+    exec::TimeLoopOptions o;
+    o.steps = 9;
+    o.snapshotEvery = 9;
+    auto st = exec::runTimeLoopAdjoint(*primal, *dr.adjoint, io, {"u", "tmp"}, o);
+    EXPECT_EQ(st.snapshotsTaken, 1);
+    EXPECT_EQ(st.primalStepsRun, 9 + 8 * 9 / 2);  // 9 fwd + 0+1+..+8 replays
+  }
+}
+
+TEST(TimeLoop, AllSnapshotSpacingsAgree) {
+  const long long n = 24;
+  auto primal = parser::parseKernel(kHeatStep);
+  auto dr = driver::differentiate(*primal, {"u"}, {"u"}, AdjointMode::FormAD);
+
+  std::vector<double> ref;
+  for (int k : {1, 2, 5, 11}) {
+    Inputs io;
+    io.bindInt("n", n);
+    io.bindReal("dt", 0.15);
+    auto& u = io.bindArray("u", ArrayValue::reals({n}));
+    for (long long i = 0; i < n; ++i) u.realAt(i) = 0.05 * static_cast<double>(i);
+    io.bindArray("tmp", ArrayValue::reals({n}));
+    io.bindArray("ub", ArrayValue::reals({n})).fill(1.0);
+    io.bindArray("tmpb", ArrayValue::reals({n}));
+    exec::TimeLoopOptions o;
+    o.steps = 11;
+    o.snapshotEvery = k;
+    (void)exec::runTimeLoopAdjoint(*primal, *dr.adjoint, io, {"u", "tmp"}, o);
+    if (ref.empty()) {
+      ref = io.array("ub").realData();
+    } else {
+      const auto& got = io.array("ub").realData();
+      for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_DOUBLE_EQ(got[i], ref[i]) << "k=" << k << " entry " << i;
+    }
+  }
+}
+
+// --- the omit-tape-free-primal-sweep variant ---
+
+TEST(OmitPrimalSweep, GradientsUnchangedForTapeFreeKernels) {
+  for (auto mk : {+[] { return stencilHarness(1, 300, 3); },
+                  +[] { return greenGaussHarness(1500, 3); },
+                  +[] { return indirectHarness(128, 3); }}) {
+    Harness h = mk();
+    auto k = h.parse();
+    auto normal = driver::differentiate(*k, h.spec.independents,
+                                        h.spec.dependents, AdjointMode::FormAD,
+                                        /*omit=*/false);
+    auto lean = driver::differentiate(*k, h.spec.independents,
+                                      h.spec.dependents, AdjointMode::FormAD,
+                                      /*omit=*/true);
+    // The lean variant must contain no primal statements writing the
+    // dependents' values... at minimum it must be strictly smaller.
+    EXPECT_LT(ir::printKernel(*lean.adjoint).size(),
+              ir::printKernel(*normal.adjoint).size());
+
+    // Gradients agree.
+    auto run = [&](const ir::Kernel& kernel) {
+      Inputs io;
+      h.bind(io);
+      for (const auto& [p, pb] : normal.adjointParams) {
+        const auto& a = io.array(p);
+        std::vector<long long> dims;
+        for (int d = 0; d < a.rank(); ++d) dims.push_back(a.dim(d));
+        auto& b = io.bindArray(pb, ArrayValue::reals(dims));
+        if (std::find(h.spec.dependents.begin(), h.spec.dependents.end(), p) !=
+            h.spec.dependents.end())
+          b.fill(1.0);
+      }
+      exec::Executor ex(kernel);
+      (void)ex.run(io);
+      std::map<std::string, std::vector<double>> grads;
+      for (const auto& ind : h.spec.independents)
+        grads[ind] = io.array(normal.adjointParams.at(ind)).realData();
+      return grads;
+    };
+    auto g1 = run(*normal.adjoint);
+    auto g2 = run(*lean.adjoint);
+    for (const auto& [name, vals] : g1) {
+      const auto& other = g2.at(name);
+      ASSERT_EQ(vals.size(), other.size());
+      for (size_t i = 0; i < vals.size(); ++i)
+        EXPECT_DOUBLE_EQ(vals[i], other[i]) << h.spec.name << " " << name;
+    }
+  }
+}
+
+TEST(OmitPrimalSweep, KeptWhenTapeIsNeeded) {
+  // GFMC needs its tape: the forward sweep must survive the option.
+  Harness h = gfmcHarness(false, 3);
+  auto k = h.parse();
+  auto lean = driver::differentiate(*k, h.spec.independents, h.spec.dependents,
+                                    AdjointMode::FormAD, /*omit=*/true);
+  std::string printed = ir::printKernel(*lean.adjoint);
+  EXPECT_NE(printed.find("PUSH_real"), std::string::npos);
+  EXPECT_LT(dotProductError(h, AdjointMode::FormAD,
+                            ExecOptions{exec::ExecMode::Serial, 1}, 9),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace formad::testing

@@ -1,0 +1,127 @@
+// IR node behaviour: clone, structural equality, traversal, builder.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/traversal.h"
+#include "parser/parser.h"
+
+namespace formad::ir {
+namespace {
+
+namespace b = formad::ir::build;
+
+TEST(Expr, StructuralEquality) {
+  auto e1 = parser::parseExpr("a[i - 1] * 2.0 + sin(x)");
+  auto e2 = parser::parseExpr("a[i - 1] * 2.0 + sin(x)");
+  auto e3 = parser::parseExpr("a[i - 2] * 2.0 + sin(x)");
+  EXPECT_TRUE(structurallyEqual(*e1, *e2));
+  EXPECT_FALSE(structurallyEqual(*e1, *e3));
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  auto e = parser::parseExpr("pow(a[i, j], b) / (c - 1)");
+  auto c = e->clone();
+  EXPECT_TRUE(structurallyEqual(*e, *c));
+  EXPECT_NE(e.get(), c.get());
+  // Mutating the clone must not affect the original.
+  c->as<Binary>().op = BinOp::Mul;
+  EXPECT_FALSE(structurallyEqual(*e, *c));
+}
+
+TEST(Stmt, CloneLoopPreservesFlags) {
+  auto k = parser::parseKernel(R"(
+kernel f(n: int in, a: real[] inout) {
+  parallel for i = 0 : n schedule(dynamic) private(t) {
+    var t: real = a[i];
+    a[i] = t * 2.0;
+  }
+}
+)");
+  const auto& loop = k->body[0]->as<For>();
+  auto c = loop.clone();
+  const auto& cl = c->as<For>();
+  EXPECT_TRUE(cl.parallel);
+  EXPECT_EQ(cl.sched, Schedule::Dynamic);
+  EXPECT_EQ(cl.privates, loop.privates);
+  EXPECT_EQ(cl.body.size(), loop.body.size());
+}
+
+TEST(Traversal, ForEachStmtVisitsNested) {
+  auto k = parser::parseKernel(R"(
+kernel f(n: int in, a: real[] inout) {
+  for j = 0 : n {
+    if (j > 0) {
+      a[j] = 1.0;
+    } else {
+      a[0] = 2.0;
+    }
+  }
+}
+)");
+  int stmts = 0;
+  forEachStmt(k->body, [&](const Stmt&) { ++stmts; });
+  EXPECT_EQ(stmts, 4);  // for, if, 2 assigns
+}
+
+TEST(Traversal, AssignedNamesIncludesAllDefKinds) {
+  auto k = parser::parseKernel(R"(
+kernel f(n: int in, a: real[] inout, s: real out) {
+  var t: real = 1.0;
+  for j = 0 : n {
+    a[j] = t;
+    s = t;
+  }
+}
+)");
+  auto names = assignedNames(k->body, /*includeArrays=*/true);
+  std::set<std::string> got(names.begin(), names.end());
+  EXPECT_TRUE(got.count("a"));
+  EXPECT_TRUE(got.count("s"));
+  EXPECT_TRUE(got.count("t"));  // DeclLocal counts as a def
+  EXPECT_TRUE(got.count("j"));  // loop counter
+  EXPECT_FALSE(got.count("n"));
+}
+
+TEST(Traversal, ReferencesVar) {
+  auto e = parser::parseExpr("a[c[i] + 1] * x");
+  EXPECT_TRUE(referencesVar(*e, "a"));
+  EXPECT_TRUE(referencesVar(*e, "c"));
+  EXPECT_TRUE(referencesVar(*e, "i"));
+  EXPECT_TRUE(referencesVar(*e, "x"));
+  EXPECT_FALSE(referencesVar(*e, "y"));
+}
+
+TEST(Builder, IncrementBuildsSelfRead) {
+  auto s = b::increment(b::idx1("u", b::var("i")), b::rconst(1.0));
+  const auto& a = s->as<Assign>();
+  EXPECT_EQ(printExpr(*a.rhs), "u[i] + 1.0");
+}
+
+TEST(Kernel, ProgramRejectsDuplicates) {
+  Program p;
+  auto k1 = std::make_unique<Kernel>();
+  k1->name = "f";
+  (void)p.add(std::move(k1));
+  auto k2 = std::make_unique<Kernel>();
+  k2->name = "f";
+  EXPECT_THROW((void)p.add(std::move(k2)), Error);
+}
+
+TEST(Printer, GuardsAreRendered) {
+  auto s = b::increment(b::idx1("ub", b::var("i")), b::var("v"));
+  s->as<Assign>().guard = Guard::Atomic;
+  EXPECT_NE(printStmt(*s).find("atomic"), std::string::npos);
+  s->as<Assign>().guard = Guard::Reduction;
+  EXPECT_NE(printStmt(*s).find("shadow"), std::string::npos);
+}
+
+TEST(Printer, PushPopRendered) {
+  auto p1 = b::push(TapeChannel::Real, b::var("x"));
+  auto p2 = b::pop(TapeChannel::Int, "t");
+  EXPECT_NE(printStmt(*p1).find("PUSH_real"), std::string::npos);
+  EXPECT_NE(printStmt(*p2).find("POP_int"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace formad::ir

@@ -1,0 +1,215 @@
+// End-to-end derivative validation for the paper's benchmark kernels:
+// dot-product identity (tangent vs adjoint), finite differences, and
+// equivalence of all safeguard modes, in serial and real-OpenMP execution.
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace formad::testing {
+namespace {
+
+using driver::AdjointMode;
+using exec::ExecMode;
+using exec::ExecOptions;
+
+constexpr double kDotTol = 1e-9;
+constexpr double kFdTol = 2e-5;
+
+struct ModeCase {
+  AdjointMode mode;
+  ExecMode exec;
+  int threads;
+};
+
+std::string caseName(const ::testing::TestParamInfo<ModeCase>& info) {
+  std::string n = driver::to_string(info.param.mode);
+  n += info.param.exec == ExecMode::OpenMP ? "_omp" : "_serial";
+  n += std::to_string(info.param.threads);
+  return n;
+}
+
+const ModeCase kAllModes[] = {
+    {AdjointMode::Serial, ExecMode::Serial, 1},
+    {AdjointMode::Plain, ExecMode::Serial, 1},
+    {AdjointMode::Atomic, ExecMode::Serial, 1},
+    {AdjointMode::Reduction, ExecMode::Serial, 1},
+    {AdjointMode::FormAD, ExecMode::Serial, 1},
+    {AdjointMode::Atomic, ExecMode::OpenMP, 3},
+    {AdjointMode::Reduction, ExecMode::OpenMP, 3},
+    {AdjointMode::FormAD, ExecMode::OpenMP, 3},
+};
+
+class StencilSmallModes : public ::testing::TestWithParam<ModeCase> {};
+TEST_P(StencilSmallModes, DotProduct) {
+  auto p = GetParam();
+  Harness h = stencilHarness(1, 400, 11);
+  ExecOptions opts{p.exec, p.threads};
+  EXPECT_LT(dotProductError(h, p.mode, opts, 1), kDotTol);
+}
+INSTANTIATE_TEST_SUITE_P(AllModes, StencilSmallModes,
+                         ::testing::ValuesIn(kAllModes), caseName);
+
+class StencilLargeModes : public ::testing::TestWithParam<ModeCase> {};
+TEST_P(StencilLargeModes, DotProduct) {
+  auto p = GetParam();
+  Harness h = stencilHarness(8, 600, 13);
+  ExecOptions opts{p.exec, p.threads};
+  EXPECT_LT(dotProductError(h, p.mode, opts, 2), kDotTol);
+}
+INSTANTIATE_TEST_SUITE_P(AllModes, StencilLargeModes,
+                         ::testing::ValuesIn(kAllModes), caseName);
+
+class GfmcSplitModes : public ::testing::TestWithParam<ModeCase> {};
+TEST_P(GfmcSplitModes, DotProduct) {
+  auto p = GetParam();
+  Harness h = gfmcHarness(/*fused=*/false, 17);
+  ExecOptions opts{p.exec, p.threads};
+  EXPECT_LT(dotProductError(h, p.mode, opts, 3), kDotTol);
+}
+INSTANTIATE_TEST_SUITE_P(AllModes, GfmcSplitModes,
+                         ::testing::ValuesIn(kAllModes), caseName);
+
+class GfmcFusedModes : public ::testing::TestWithParam<ModeCase> {};
+TEST_P(GfmcFusedModes, DotProduct) {
+  auto p = GetParam();
+  // The fused variant is the paper's GFMC*: FormAD must fall back to
+  // atomics for cr, and the gradients must still be correct.
+  Harness h = gfmcHarness(/*fused=*/true, 19);
+  ExecOptions opts{p.exec, p.threads};
+  EXPECT_LT(dotProductError(h, p.mode, opts, 4), kDotTol);
+}
+INSTANTIATE_TEST_SUITE_P(AllModes, GfmcFusedModes,
+                         ::testing::ValuesIn(kAllModes), caseName);
+
+class GreenGaussModes : public ::testing::TestWithParam<ModeCase> {};
+TEST_P(GreenGaussModes, DotProduct) {
+  auto p = GetParam();
+  Harness h = greenGaussHarness(3000, 23);
+  ExecOptions opts{p.exec, p.threads};
+  EXPECT_LT(dotProductError(h, p.mode, opts, 5), kDotTol);
+}
+INSTANTIATE_TEST_SUITE_P(AllModes, GreenGaussModes,
+                         ::testing::ValuesIn(kAllModes), caseName);
+
+class IndirectModes : public ::testing::TestWithParam<ModeCase> {};
+TEST_P(IndirectModes, DotProduct) {
+  auto p = GetParam();
+  Harness h = indirectHarness(256, 29);
+  ExecOptions opts{p.exec, p.threads};
+  EXPECT_LT(dotProductError(h, p.mode, opts, 6), kDotTol);
+}
+INSTANTIATE_TEST_SUITE_P(AllModes, IndirectModes,
+                         ::testing::ValuesIn(kAllModes), caseName);
+
+TEST(LbmKernel, DotProductAtomicAndSerial) {
+  Harness h = lbmHarness(31);
+  EXPECT_LT(dotProductError(h, AdjointMode::Atomic,
+                            ExecOptions{ExecMode::Serial, 1}, 7),
+            kDotTol);
+  EXPECT_LT(dotProductError(h, AdjointMode::Serial,
+                            ExecOptions{ExecMode::Serial, 1}, 8),
+            kDotTol);
+}
+
+TEST(LbmKernel, DotProductFormadOpenMP) {
+  Harness h = lbmHarness(37);
+  EXPECT_LT(dotProductError(h, AdjointMode::FormAD,
+                            ExecOptions{ExecMode::OpenMP, 3}, 9),
+            kDotTol);
+}
+
+// --- finite differences (objective = sum of dependents) ---
+
+TEST(FiniteDifference, StencilSmall) {
+  EXPECT_LT(finiteDifferenceError(stencilHarness(1, 200, 41),
+                                  AdjointMode::FormAD, 6, 1),
+            kFdTol);
+}
+
+TEST(FiniteDifference, StencilLarge) {
+  EXPECT_LT(finiteDifferenceError(stencilHarness(8, 300, 43),
+                                  AdjointMode::FormAD, 6, 2),
+            kFdTol);
+}
+
+TEST(FiniteDifference, GfmcSplit) {
+  EXPECT_LT(finiteDifferenceError(gfmcHarness(false, 47), AdjointMode::FormAD,
+                                  6, 3),
+            kFdTol);
+}
+
+TEST(FiniteDifference, GfmcFused) {
+  EXPECT_LT(finiteDifferenceError(gfmcHarness(true, 53), AdjointMode::FormAD,
+                                  6, 4),
+            kFdTol);
+}
+
+TEST(FiniteDifference, GreenGauss) {
+  EXPECT_LT(finiteDifferenceError(greenGaussHarness(1500, 59),
+                                  AdjointMode::FormAD, 6, 5),
+            kFdTol);
+}
+
+TEST(FiniteDifference, Indirect) {
+  EXPECT_LT(finiteDifferenceError(indirectHarness(128, 61),
+                                  AdjointMode::Serial, 6, 6),
+            kFdTol);
+}
+
+// --- all safeguard modes agree bit-for-bit-ish in serial execution ---
+
+void expectModesAgree(const Harness& h) {
+  ExecOptions serialOpts{ExecMode::Serial, 1};
+  auto ref = adjointGradients(h, AdjointMode::Serial, serialOpts, 77);
+  for (AdjointMode mode : {AdjointMode::Plain, AdjointMode::Atomic,
+                           AdjointMode::Reduction, AdjointMode::FormAD}) {
+    auto got = adjointGradients(h, mode, serialOpts, 77);
+    ASSERT_EQ(got.size(), ref.size());
+    for (const auto& [name, vals] : ref) {
+      const auto& g = got.at(name);
+      ASSERT_EQ(g.size(), vals.size());
+      for (size_t i = 0; i < vals.size(); ++i)
+        EXPECT_LT(relDiff(g[i], vals[i]), 1e-12)
+            << "mode " << driver::to_string(mode) << " grad " << name
+            << " entry " << i;
+    }
+  }
+}
+
+TEST(ModeEquivalence, StencilSmall) { expectModesAgree(stencilHarness(1, 300, 5)); }
+TEST(ModeEquivalence, GfmcSplit) { expectModesAgree(gfmcHarness(false, 7)); }
+TEST(ModeEquivalence, GfmcFused) { expectModesAgree(gfmcHarness(true, 9)); }
+TEST(ModeEquivalence, GreenGauss) {
+  expectModesAgree(greenGaussHarness(2000, 11));
+}
+TEST(ModeEquivalence, Indirect) { expectModesAgree(indirectHarness(200, 13)); }
+
+// --- primal consistency: adjoint kernels also compute the primal outputs ---
+
+TEST(PrimalConsistency, AdjointForwardSweepMatchesPrimal) {
+  Harness h = gfmcHarness(false, 91);
+  auto primalOut = runPrimal(h);
+
+  auto primal = h.parse();
+  auto dr = driver::differentiate(*primal, h.spec.independents,
+                                  h.spec.dependents, AdjointMode::FormAD);
+  exec::Inputs io;
+  h.bind(io);
+  for (const auto& [p, pb] : dr.adjointParams) {
+    const auto& a = io.array(p);
+    std::vector<long long> dims;
+    for (int k = 0; k < a.rank(); ++k) dims.push_back(a.dim(k));
+    io.bindArray(pb, exec::ArrayValue::reals(dims));
+  }
+  exec::Executor ex(*dr.adjoint);
+  (void)ex.run(io);
+  for (const auto& [dep, vals] : primalOut) {
+    const auto& got = io.array(dep).realData();
+    ASSERT_EQ(got.size(), vals.size());
+    for (size_t i = 0; i < vals.size(); ++i)
+      EXPECT_LT(relDiff(got[i], vals[i]), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace formad::testing

@@ -1,0 +1,201 @@
+// Index-expression lowering (formad/knowledge.h, IndexLowering): the
+// translation from IR index expressions to SMT terms — flattening with
+// symbolic extents, priming of private variables, instance tagging, and
+// opaque nonlinear operations.
+#include <gtest/gtest.h>
+
+#include "analysis/instances.h"
+#include "analysis/symbols.h"
+#include "formad/knowledge.h"
+#include "ir/traversal.h"
+#include "parser/parser.h"
+
+namespace formad::core {
+namespace {
+
+using namespace formad::ir;
+
+struct Lowered {
+  std::unique_ptr<Kernel> kernel;
+  const For* loop = nullptr;
+  analysis::SymbolTable syms;
+  analysis::InstanceMap inst;
+  std::set<std::string> privates;
+  std::shared_ptr<smt::AtomTable> atoms;
+  std::unique_ptr<IndexLowering> low;
+
+  explicit Lowered(const std::string& src)
+      : kernel(parser::parseKernel(src)), syms(analysis::verifyKernel(*kernel)) {
+    forEachStmt(kernel->body, [&](const Stmt& s) {
+      if (s.kind() == StmtKind::For && s.as<For>().parallel)
+        loop = &s.as<For>();
+    });
+    inst = analysis::computeInstances(*loop);
+    privates = privateNames(*loop);
+    atoms = std::make_shared<smt::AtomTable>();
+    low = std::make_unique<IndexLowering>(*atoms, inst, privates, syms);
+  }
+
+  /// The n-th ArrayRef to `array` in the loop body.
+  const ArrayRef* ref(const std::string& array, int n = 0) const {
+    const ArrayRef* found = nullptr;
+    int seen = 0;
+    forEachStmt(loop->body, [&](const Stmt& s) {
+      forEachOwnExpr(s, [&](const Expr& top) {
+        forEachExpr(top, [&](const Expr& e) {
+          if (e.kind() == ExprKind::ArrayRef &&
+              e.as<ArrayRef>().name == array && seen++ == n && !found)
+            found = &e.as<ArrayRef>();
+        });
+      });
+    });
+    return found;
+  }
+};
+
+TEST(Lowering, OneDimIsTheIndexItself) {
+  Lowered l(R"(
+kernel f(n: int in, u: real[] inout) {
+  parallel for i = 0 : n {
+    u[i + 7] = 1.0;
+  }
+}
+)");
+  smt::LinExpr off = l.low->refOffset(*l.ref("u"), false);
+  EXPECT_EQ(l.atoms->render(off), "i_0 + 7");
+}
+
+TEST(Lowering, TwoDimUsesSymbolicExtent) {
+  Lowered l(R"(
+kernel f(n: int in, w: real[,] inout) {
+  parallel for i = 0 : n {
+    w[3, i] = 1.0;
+  }
+}
+)");
+  smt::LinExpr off = l.low->refOffset(*l.ref("w"), false);
+  // 3 + dim0(w) * i
+  std::string r = l.atoms->render(off);
+  EXPECT_NE(r.find("__dim_w_0"), std::string::npos) << r;
+  EXPECT_NE(r.find("3"), std::string::npos) << r;
+}
+
+TEST(Lowering, ConstantIndexScalesExtentLinearly) {
+  Lowered l(R"(
+kernel f(n: int in, w: real[,] inout) {
+  parallel for i = 0 : n {
+    w[i, 2] = 1.0;
+  }
+}
+)");
+  // i + D0*2: the multiplication by a constant stays linear (coefficient
+  // 2 on the extent atom), no opaque __mul.
+  smt::LinExpr off = l.low->refOffset(*l.ref("w"), false);
+  std::string r = l.atoms->render(off);
+  EXPECT_EQ(r.find("__mul"), std::string::npos) << r;
+  EXPECT_NE(r.find("__dim_w_0_0*2"), std::string::npos) << r;
+}
+
+TEST(Lowering, PrimingMarksOnlyPrivates) {
+  Lowered l(R"(
+kernel f(n: int in, m: int in, c: int[] in, u: real[] inout) {
+  parallel for i = 0 : n {
+    var t: int = c[i];
+    u[t + m] = 1.0;
+  }
+}
+)");
+  smt::LinExpr plain = l.low->refOffset(*l.ref("u"), false);
+  smt::LinExpr primed = l.low->refOffset(*l.ref("u"), true);
+  std::string p = l.atoms->render(primed);
+  // t is private (declared inside) -> primed; m is a shared parameter ->
+  // unprimed on both sides.
+  EXPECT_NE(p.find("t_"), std::string::npos);
+  EXPECT_NE(p.find("'"), std::string::npos) << p;
+  EXPECT_EQ(p.find("m_0'"), std::string::npos) << p;
+  // The unprimed side has no siblings at all.
+  EXPECT_EQ(l.atoms->render(plain).find("'"), std::string::npos);
+}
+
+TEST(Lowering, UninterpretedArrayReadsCongruent) {
+  Lowered l(R"(
+kernel f(n: int in, c: int[] in, u: real[] inout, v: real[] inout) {
+  parallel for i = 0 : n {
+    u[c[i]] = 1.0;
+    v[c[i]] = 2.0;
+  }
+}
+)");
+  smt::LinExpr a = l.low->refOffset(*l.ref("u"), false);
+  smt::LinExpr b = l.low->refOffset(*l.ref("v"), false);
+  // Identical c(i) reads intern to the same atom: the difference is zero.
+  EXPECT_TRUE((a - b).isZero());
+}
+
+TEST(Lowering, InstanceDistinguishesRedefinedVariables) {
+  Lowered l(R"(
+kernel f(n: int in, c: int[] in, u: real[] inout) {
+  parallel for i = 0 : n {
+    var t: int = c[i];
+    u[t] = 1.0;
+    t = c[i] + 1;
+    u[t] = 2.0;
+  }
+}
+)");
+  smt::LinExpr first = l.low->refOffset(*l.ref("u", 0), false);
+  smt::LinExpr second = l.low->refOffset(*l.ref("u", 1), false);
+  EXPECT_FALSE((first - second).isZero());
+  EXPECT_NE(l.atoms->render(first), l.atoms->render(second));
+}
+
+TEST(Lowering, NonlinearProductsAreOpaqueAndCanonical) {
+  Lowered l(R"(
+kernel f(n: int in, m: int in, k: int in, u: real[] inout) {
+  parallel for i = 0 : n {
+    u[m * k] = 1.0;
+    u[k * m] = 2.0;
+  }
+}
+)");
+  smt::LinExpr a = l.low->refOffset(*l.ref("u", 0), false);
+  smt::LinExpr b = l.low->refOffset(*l.ref("u", 1), false);
+  // Commutative canonicalization: m*k and k*m intern identically.
+  EXPECT_TRUE((a - b).isZero());
+  EXPECT_NE(l.atoms->render(a).find("__mul"), std::string::npos);
+}
+
+TEST(Lowering, DivisionAndModuloAreOpaque) {
+  Lowered l(R"(
+kernel f(n: int in, m: int in, u: real[] inout) {
+  parallel for i = 0 : n {
+    u[i / m] = 1.0;
+    u[i % m] = 2.0;
+  }
+}
+)");
+  std::string d = l.atoms->render(l.low->refOffset(*l.ref("u", 0), false));
+  std::string r = l.atoms->render(l.low->refOffset(*l.ref("u", 1), false));
+  EXPECT_NE(d.find("__div"), std::string::npos) << d;
+  EXPECT_NE(r.find("__mod"), std::string::npos) << r;
+}
+
+TEST(Lowering, CounterIsNeverRenamedByInstances) {
+  Lowered l(R"(
+kernel f(n: int in, u: real[] inout) {
+  parallel for i = 0 : n {
+    for j = 0 : 3 {
+      u[i] = u[i] + 1.0;
+    }
+  }
+}
+)");
+  // The parallel counter keeps instance 0 everywhere (OpenMP forbids
+  // modifying it); the inner serial counter is private and primes.
+  smt::LinExpr off = l.low->refOffset(*l.ref("u"), false);
+  EXPECT_EQ(l.atoms->render(off), "i_0");
+  EXPECT_TRUE(l.privates.count("j"));
+}
+
+}  // namespace
+}  // namespace formad::core

@@ -1,0 +1,188 @@
+// Robustness tests: parser fuzzing (graceful errors, no crashes), taped
+// branch decisions in gradients, executor reuse, and runtime edge cases.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.h"
+#include "ir/printer.h"
+
+namespace formad::testing {
+namespace {
+
+using driver::AdjointMode;
+using exec::ArrayValue;
+using exec::ExecMode;
+using exec::ExecOptions;
+using exec::Inputs;
+
+TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  const char* atoms[] = {"kernel", "for",  "parallel", "if",   "var",
+                         "real",   "int",  "in",       "out",  "{",
+                         "}",      "(",    ")",        "[",    "]",
+                         ":",      ";",    "=",        "+=",   "+",
+                         "*",      "foo",  "bar",      "1",    "2.5",
+                         ",",      "<",    "&&",       "-",    "%"};
+  std::mt19937_64 rng(12345);
+  std::uniform_int_distribution<size_t> pick(0, std::size(atoms) - 1);
+  std::uniform_int_distribution<int> len(1, 60);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string src;
+    int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      src += atoms[pick(rng)];
+      src += ' ';
+    }
+    try {
+      auto k = parser::parseKernel(src);
+      (void)analysis::verifyKernel(*k);
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;  // graceful rejection is the expected path
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 2000);
+  EXPECT_GT(rejected, 1900);  // soup is almost never a valid kernel
+}
+
+TEST(ParserFuzz, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> byte(1, 126);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string src;
+    for (int i = 0; i < 80; ++i)
+      src += static_cast<char>(byte(rng));
+    EXPECT_THROW((void)parser::parseKernel(src), Error) << src;
+  }
+}
+
+TEST(TapedBranches, GradientThroughOverwrittenCondition) {
+  // The branch condition reads t, which is overwritten afterwards: the
+  // decision must be pushed in the forward sweep and popped in reverse.
+  Harness h;
+  h.spec.name = "taped";
+  h.spec.source = R"(
+kernel taped(n: int in, x: real[] inout, y: real[] inout) {
+  parallel for i = 0 : n - 1 {
+    var t: real = x[i] - 0.5;
+    if (t > 0.0) {
+      y[i] = t * t;
+    } else {
+      y[i] = -2.0 * t;
+    }
+    t = 0.0;
+    x[i] = x[i] + t;
+  }
+}
+)";
+  h.spec.independents = {"x"};
+  h.spec.dependents = {"y"};
+  h.bind = [](Inputs& io) {
+    const long long n = 50;
+    io.bindInt("n", n);
+    auto& x = io.bindArray("x", ArrayValue::reals({n}));
+    for (long long i = 0; i < n; ++i)
+      x.realAt(i) = 0.02 * static_cast<double>(i);  // both branches taken
+    io.bindArray("y", ArrayValue::reals({n}));
+  };
+
+  // The generated code must contain bool tape traffic.
+  auto k = h.parse();
+  auto dr = driver::differentiate(*k, {"x"}, {"y"}, AdjointMode::FormAD);
+  EXPECT_NE(ir::printKernel(*dr.adjoint).find("PUSH_bool"), std::string::npos);
+
+  EXPECT_LT(dotProductError(h, AdjointMode::FormAD,
+                            ExecOptions{ExecMode::Serial, 1}, 1),
+            1e-9);
+  EXPECT_LT(dotProductError(h, AdjointMode::FormAD,
+                            ExecOptions{ExecMode::OpenMP, 3}, 2),
+            1e-9);
+  EXPECT_LT(finiteDifferenceError(h, AdjointMode::FormAD, 6, 3), 2e-5);
+}
+
+TEST(ExecutorReuse, RepeatedRunsAreIndependent) {
+  auto k = parser::parseKernel(R"(
+kernel scale(n: int in, x: real[] inout, f: real in) {
+  parallel for i = 0 : n - 1 {
+    x[i] = x[i] * f;
+  }
+}
+)");
+  exec::Executor ex(*k);
+  for (int round = 1; round <= 3; ++round) {
+    Inputs io;
+    io.bindInt("n", 8);
+    io.bindReal("f", 2.0);
+    io.bindArray("x", ArrayValue::reals({8})).fill(1.0);
+    (void)ex.run(io);
+    EXPECT_DOUBLE_EQ(io.array("x").realAt(0), 2.0) << "round " << round;
+  }
+}
+
+TEST(ExecutorReuse, AdjointExecutorAcrossSeeds) {
+  Harness h = gfmcHarness(false, 31);
+  auto k = h.parse();
+  auto dr = driver::differentiate(*k, h.spec.independents, h.spec.dependents,
+                                  AdjointMode::FormAD);
+  exec::Executor ex(*dr.adjoint);
+  double first = 0;
+  for (int round = 0; round < 2; ++round) {
+    Inputs io;
+    h.bind(io);
+    for (const auto& [p, pb] : dr.adjointParams) {
+      const auto& a = io.array(p);
+      std::vector<long long> dims;
+      for (int d = 0; d < a.rank(); ++d) dims.push_back(a.dim(d));
+      io.bindArray(pb, ArrayValue::reals(dims)).fill(1.0);
+    }
+    exec::ExecStats st = ex.run(io);
+    EXPECT_TRUE(st.tapeDrained);
+    double v = io.array("crb").realAt(0);
+    if (round == 0)
+      first = v;
+    else
+      EXPECT_DOUBLE_EQ(v, first);  // identical inputs => identical gradient
+  }
+}
+
+TEST(RuntimeEdges, NegativeAndZeroTripParallelLoops) {
+  auto k = parser::parseKernel(R"(
+kernel empty(n: int in, x: real[] inout) {
+  parallel for i = 2 : n {
+    x[i] = 1.0;
+  }
+}
+)");
+  exec::Executor ex(*k);
+  Inputs io;
+  io.bindInt("n", -5);  // hi < lo: zero iterations
+  io.bindArray("x", ArrayValue::reals({4}));
+  EXPECT_NO_THROW((void)ex.run(io, {ExecMode::OpenMP, 3}));
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(io.array("x").realAt(i), 0.0);
+}
+
+TEST(RuntimeEdges, AdjointOfEmptyIterationSpace) {
+  Harness h;
+  h.spec.name = "empty2";
+  h.spec.source = R"(
+kernel empty2(n: int in, x: real[] in, y: real[] inout) {
+  parallel for i = 1 : n - 1 {
+    y[i] = x[i] * x[i];
+  }
+}
+)";
+  h.spec.independents = {"x"};
+  h.spec.dependents = {"y"};
+  h.bind = [](Inputs& io) {
+    io.bindInt("n", 1);  // zero iterations
+    io.bindArray("x", ArrayValue::reals({4})).fill(1.0);
+    io.bindArray("y", ArrayValue::reals({4}));
+  };
+  EXPECT_LT(dotProductError(h, AdjointMode::FormAD,
+                            ExecOptions{ExecMode::Serial, 1}, 1),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace formad::testing
