@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_scaling.dir/analysis_scaling.cpp.o"
+  "CMakeFiles/analysis_scaling.dir/analysis_scaling.cpp.o.d"
+  "analysis_scaling"
+  "analysis_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig5_small_stencil.dir/fig3_fig5_small_stencil.cpp.o"
+  "CMakeFiles/fig3_fig5_small_stencil.dir/fig3_fig5_small_stencil.cpp.o.d"
+  "fig3_fig5_small_stencil"
+  "fig3_fig5_small_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig5_small_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

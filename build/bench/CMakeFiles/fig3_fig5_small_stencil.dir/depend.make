@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_fig5_small_stencil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fig6_large_stencil.dir/fig4_fig6_large_stencil.cpp.o"
+  "CMakeFiles/fig4_fig6_large_stencil.dir/fig4_fig6_large_stencil.cpp.o.d"
+  "fig4_fig6_large_stencil"
+  "fig4_fig6_large_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fig6_large_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

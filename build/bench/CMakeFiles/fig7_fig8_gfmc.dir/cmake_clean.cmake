@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fig8_gfmc.dir/fig7_fig8_gfmc.cpp.o"
+  "CMakeFiles/fig7_fig8_gfmc.dir/fig7_fig8_gfmc.cpp.o.d"
+  "fig7_fig8_gfmc"
+  "fig7_fig8_gfmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fig8_gfmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_fig8_gfmc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fig10_greengauss.dir/fig9_fig10_greengauss.cpp.o"
+  "CMakeFiles/fig9_fig10_greengauss.dir/fig9_fig10_greengauss.cpp.o.d"
+  "fig9_fig10_greengauss"
+  "fig9_fig10_greengauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fig10_greengauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

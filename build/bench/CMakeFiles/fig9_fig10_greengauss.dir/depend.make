@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_fig10_greengauss.
+# This may be replaced when dependencies are built.

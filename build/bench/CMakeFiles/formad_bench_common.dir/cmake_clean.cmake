@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libformad_bench_common.a"
+  "../lib/libformad_bench_common.pdb"
+  "CMakeFiles/formad_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/formad_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formad_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

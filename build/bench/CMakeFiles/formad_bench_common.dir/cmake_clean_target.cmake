@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libformad_bench_common.a"
+)

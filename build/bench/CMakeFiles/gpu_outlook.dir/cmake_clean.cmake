@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_outlook.dir/gpu_outlook.cpp.o"
+  "CMakeFiles/gpu_outlook.dir/gpu_outlook.cpp.o.d"
+  "gpu_outlook"
+  "gpu_outlook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_outlook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

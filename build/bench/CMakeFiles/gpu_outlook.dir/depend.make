@@ -1,0 +1,2 @@
+# Empty dependencies file for gpu_outlook.
+# This may be replaced when dependencies are built.

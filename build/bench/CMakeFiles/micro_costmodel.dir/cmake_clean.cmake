@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_costmodel.dir/micro_costmodel.cpp.o"
+  "CMakeFiles/micro_costmodel.dir/micro_costmodel.cpp.o.d"
+  "micro_costmodel"
+  "micro_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_stencil.dir/native_stencil.cpp.o"
+  "CMakeFiles/native_stencil.dir/native_stencil.cpp.o.d"
+  "native_stencil"
+  "native_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_analysis.dir/table1_analysis.cpp.o"
+  "CMakeFiles/table1_analysis.dir/table1_analysis.cpp.o.d"
+  "table1_analysis"
+  "table1_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formad_cli.dir/formad_cli.cpp.o"
+  "CMakeFiles/formad_cli.dir/formad_cli.cpp.o.d"
+  "formad_cli"
+  "formad_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfmc_walkers.dir/gfmc_walkers.cpp.o"
+  "CMakeFiles/gfmc_walkers.dir/gfmc_walkers.cpp.o.d"
+  "gfmc_walkers"
+  "gfmc_walkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfmc_walkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gfmc_walkers.
+# This may be replaced when dependencies are built.

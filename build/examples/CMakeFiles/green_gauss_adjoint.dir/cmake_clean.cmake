@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_gauss_adjoint.dir/green_gauss_adjoint.cpp.o"
+  "CMakeFiles/green_gauss_adjoint.dir/green_gauss_adjoint.cpp.o.d"
+  "green_gauss_adjoint"
+  "green_gauss_adjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_gauss_adjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for green_gauss_adjoint.
+# This may be replaced when dependencies are built.

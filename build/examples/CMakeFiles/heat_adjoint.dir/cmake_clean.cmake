@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_adjoint.dir/heat_adjoint.cpp.o"
+  "CMakeFiles/heat_adjoint.dir/heat_adjoint.cpp.o.d"
+  "heat_adjoint"
+  "heat_adjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_adjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

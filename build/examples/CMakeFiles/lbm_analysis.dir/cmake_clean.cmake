@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_analysis.dir/lbm_analysis.cpp.o"
+  "CMakeFiles/lbm_analysis.dir/lbm_analysis.cpp.o.d"
+  "lbm_analysis"
+  "lbm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

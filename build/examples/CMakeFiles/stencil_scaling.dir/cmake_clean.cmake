@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_scaling.dir/stencil_scaling.cpp.o"
+  "CMakeFiles/stencil_scaling.dir/stencil_scaling.cpp.o.d"
+  "stencil_scaling"
+  "stencil_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

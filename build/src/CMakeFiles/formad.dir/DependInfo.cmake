@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ad/derivative.cpp" "src/CMakeFiles/formad.dir/ad/derivative.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ad/derivative.cpp.o.d"
+  "/root/repo/src/ad/forward.cpp" "src/CMakeFiles/formad.dir/ad/forward.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ad/forward.cpp.o.d"
+  "/root/repo/src/ad/reverse.cpp" "src/CMakeFiles/formad.dir/ad/reverse.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ad/reverse.cpp.o.d"
+  "/root/repo/src/ad/tape.cpp" "src/CMakeFiles/formad.dir/ad/tape.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ad/tape.cpp.o.d"
+  "/root/repo/src/analysis/accesses.cpp" "src/CMakeFiles/formad.dir/analysis/accesses.cpp.o" "gcc" "src/CMakeFiles/formad.dir/analysis/accesses.cpp.o.d"
+  "/root/repo/src/analysis/activity.cpp" "src/CMakeFiles/formad.dir/analysis/activity.cpp.o" "gcc" "src/CMakeFiles/formad.dir/analysis/activity.cpp.o.d"
+  "/root/repo/src/analysis/increment.cpp" "src/CMakeFiles/formad.dir/analysis/increment.cpp.o" "gcc" "src/CMakeFiles/formad.dir/analysis/increment.cpp.o.d"
+  "/root/repo/src/analysis/instances.cpp" "src/CMakeFiles/formad.dir/analysis/instances.cpp.o" "gcc" "src/CMakeFiles/formad.dir/analysis/instances.cpp.o.d"
+  "/root/repo/src/analysis/symbols.cpp" "src/CMakeFiles/formad.dir/analysis/symbols.cpp.o" "gcc" "src/CMakeFiles/formad.dir/analysis/symbols.cpp.o.d"
+  "/root/repo/src/cfg/cfg.cpp" "src/CMakeFiles/formad.dir/cfg/cfg.cpp.o" "gcc" "src/CMakeFiles/formad.dir/cfg/cfg.cpp.o.d"
+  "/root/repo/src/cfg/context.cpp" "src/CMakeFiles/formad.dir/cfg/context.cpp.o" "gcc" "src/CMakeFiles/formad.dir/cfg/context.cpp.o.d"
+  "/root/repo/src/cfg/dominators.cpp" "src/CMakeFiles/formad.dir/cfg/dominators.cpp.o" "gcc" "src/CMakeFiles/formad.dir/cfg/dominators.cpp.o.d"
+  "/root/repo/src/codegen/cgen.cpp" "src/CMakeFiles/formad.dir/codegen/cgen.cpp.o" "gcc" "src/CMakeFiles/formad.dir/codegen/cgen.cpp.o.d"
+  "/root/repo/src/codegen/native.cpp" "src/CMakeFiles/formad.dir/codegen/native.cpp.o" "gcc" "src/CMakeFiles/formad.dir/codegen/native.cpp.o.d"
+  "/root/repo/src/driver/driver.cpp" "src/CMakeFiles/formad.dir/driver/driver.cpp.o" "gcc" "src/CMakeFiles/formad.dir/driver/driver.cpp.o.d"
+  "/root/repo/src/driver/report.cpp" "src/CMakeFiles/formad.dir/driver/report.cpp.o" "gcc" "src/CMakeFiles/formad.dir/driver/report.cpp.o.d"
+  "/root/repo/src/exec/checkpoint.cpp" "src/CMakeFiles/formad.dir/exec/checkpoint.cpp.o" "gcc" "src/CMakeFiles/formad.dir/exec/checkpoint.cpp.o.d"
+  "/root/repo/src/exec/costmodel.cpp" "src/CMakeFiles/formad.dir/exec/costmodel.cpp.o" "gcc" "src/CMakeFiles/formad.dir/exec/costmodel.cpp.o.d"
+  "/root/repo/src/exec/interp.cpp" "src/CMakeFiles/formad.dir/exec/interp.cpp.o" "gcc" "src/CMakeFiles/formad.dir/exec/interp.cpp.o.d"
+  "/root/repo/src/exec/simulate.cpp" "src/CMakeFiles/formad.dir/exec/simulate.cpp.o" "gcc" "src/CMakeFiles/formad.dir/exec/simulate.cpp.o.d"
+  "/root/repo/src/exec/value.cpp" "src/CMakeFiles/formad.dir/exec/value.cpp.o" "gcc" "src/CMakeFiles/formad.dir/exec/value.cpp.o.d"
+  "/root/repo/src/formad/exploit.cpp" "src/CMakeFiles/formad.dir/formad/exploit.cpp.o" "gcc" "src/CMakeFiles/formad.dir/formad/exploit.cpp.o.d"
+  "/root/repo/src/formad/formad.cpp" "src/CMakeFiles/formad.dir/formad/formad.cpp.o" "gcc" "src/CMakeFiles/formad.dir/formad/formad.cpp.o.d"
+  "/root/repo/src/formad/knowledge.cpp" "src/CMakeFiles/formad.dir/formad/knowledge.cpp.o" "gcc" "src/CMakeFiles/formad.dir/formad/knowledge.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/formad.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/formad.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "src/CMakeFiles/formad.dir/ir/kernel.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ir/kernel.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/formad.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/formad.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ir/stmt.cpp.o.d"
+  "/root/repo/src/ir/traversal.cpp" "src/CMakeFiles/formad.dir/ir/traversal.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ir/traversal.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/formad.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/formad.dir/ir/type.cpp.o.d"
+  "/root/repo/src/kernels/data.cpp" "src/CMakeFiles/formad.dir/kernels/data.cpp.o" "gcc" "src/CMakeFiles/formad.dir/kernels/data.cpp.o.d"
+  "/root/repo/src/kernels/gfmc.cpp" "src/CMakeFiles/formad.dir/kernels/gfmc.cpp.o" "gcc" "src/CMakeFiles/formad.dir/kernels/gfmc.cpp.o.d"
+  "/root/repo/src/kernels/greengauss.cpp" "src/CMakeFiles/formad.dir/kernels/greengauss.cpp.o" "gcc" "src/CMakeFiles/formad.dir/kernels/greengauss.cpp.o.d"
+  "/root/repo/src/kernels/indirect.cpp" "src/CMakeFiles/formad.dir/kernels/indirect.cpp.o" "gcc" "src/CMakeFiles/formad.dir/kernels/indirect.cpp.o.d"
+  "/root/repo/src/kernels/lbm.cpp" "src/CMakeFiles/formad.dir/kernels/lbm.cpp.o" "gcc" "src/CMakeFiles/formad.dir/kernels/lbm.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/CMakeFiles/formad.dir/kernels/stencil.cpp.o" "gcc" "src/CMakeFiles/formad.dir/kernels/stencil.cpp.o.d"
+  "/root/repo/src/parser/lexer.cpp" "src/CMakeFiles/formad.dir/parser/lexer.cpp.o" "gcc" "src/CMakeFiles/formad.dir/parser/lexer.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/CMakeFiles/formad.dir/parser/parser.cpp.o" "gcc" "src/CMakeFiles/formad.dir/parser/parser.cpp.o.d"
+  "/root/repo/src/smt/congruence.cpp" "src/CMakeFiles/formad.dir/smt/congruence.cpp.o" "gcc" "src/CMakeFiles/formad.dir/smt/congruence.cpp.o.d"
+  "/root/repo/src/smt/hnf.cpp" "src/CMakeFiles/formad.dir/smt/hnf.cpp.o" "gcc" "src/CMakeFiles/formad.dir/smt/hnf.cpp.o.d"
+  "/root/repo/src/smt/lia.cpp" "src/CMakeFiles/formad.dir/smt/lia.cpp.o" "gcc" "src/CMakeFiles/formad.dir/smt/lia.cpp.o.d"
+  "/root/repo/src/smt/linear.cpp" "src/CMakeFiles/formad.dir/smt/linear.cpp.o" "gcc" "src/CMakeFiles/formad.dir/smt/linear.cpp.o.d"
+  "/root/repo/src/smt/rational.cpp" "src/CMakeFiles/formad.dir/smt/rational.cpp.o" "gcc" "src/CMakeFiles/formad.dir/smt/rational.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/CMakeFiles/formad.dir/smt/solver.cpp.o" "gcc" "src/CMakeFiles/formad.dir/smt/solver.cpp.o.d"
+  "/root/repo/src/smt/term.cpp" "src/CMakeFiles/formad.dir/smt/term.cpp.o" "gcc" "src/CMakeFiles/formad.dir/smt/term.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/formad.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/formad.dir/support/diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

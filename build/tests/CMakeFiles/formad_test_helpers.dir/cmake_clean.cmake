@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formad_test_helpers.dir/helpers.cpp.o"
+  "CMakeFiles/formad_test_helpers.dir/helpers.cpp.o.d"
+  "libformad_test_helpers.a"
+  "libformad_test_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formad_test_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

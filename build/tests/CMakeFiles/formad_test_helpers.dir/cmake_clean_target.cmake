@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libformad_test_helpers.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ad.dir/test_ad.cpp.o"
+  "CMakeFiles/test_ad.dir/test_ad.cpp.o.d"
+  "test_ad"
+  "test_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg.dir/test_cfg.cpp.o"
+  "CMakeFiles/test_cfg.dir/test_cfg.cpp.o.d"
+  "test_cfg"
+  "test_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel.dir/test_costmodel.cpp.o"
+  "CMakeFiles/test_costmodel.dir/test_costmodel.cpp.o.d"
+  "test_costmodel"
+  "test_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec.dir/test_exec.cpp.o"
+  "CMakeFiles/test_exec.dir/test_exec.cpp.o.d"
+  "test_exec"
+  "test_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

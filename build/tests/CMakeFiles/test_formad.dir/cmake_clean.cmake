@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formad.dir/test_formad.cpp.o"
+  "CMakeFiles/test_formad.dir/test_formad.cpp.o.d"
+  "test_formad"
+  "test_formad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hnf.dir/test_hnf.cpp.o"
+  "CMakeFiles/test_hnf.dir/test_hnf.cpp.o.d"
+  "test_hnf"
+  "test_hnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowering.dir/test_lowering.cpp.o"
+  "CMakeFiles/test_lowering.dir/test_lowering.cpp.o.d"
+  "test_lowering"
+  "test_lowering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

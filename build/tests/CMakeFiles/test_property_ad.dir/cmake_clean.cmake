@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_ad.dir/test_property_ad.cpp.o"
+  "CMakeFiles/test_property_ad.dir/test_property_ad.cpp.o.d"
+  "test_property_ad"
+  "test_property_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
