@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "driver/driver.h"
 #include "driver/report.h"
@@ -46,6 +50,36 @@ Profiled profileKernel(const ir::Kernel& kernel, const FigureSetup& setup,
   return Profiled{std::move(st.profile), st.tapePeakBytes};
 }
 
+/// Measures one serial kernel application on `engine` (best of
+/// setup.realReps; inputs are rebound outside the timed section, so the
+/// first run's bytecode compilation is the only one-off cost and best-of
+/// excludes it).
+RealTiming timeReal(const ir::Kernel& kernel, const FigureSetup& setup,
+                    const std::map<std::string, std::string>* adjParams,
+                    const std::string& version, exec::ExecEngine engine) {
+  RealTiming rt;
+  rt.version = version;
+  rt.engine = engine == exec::ExecEngine::Bytecode ? "bytecode" : "treewalk";
+  Executor ex(kernel);
+  ExecOptions opts;
+  opts.mode = ExecMode::Serial;
+  opts.engine = engine;
+  rt.seconds = -1;
+  for (int rep = 0; rep < std::max(1, setup.realReps); ++rep) {
+    Inputs io;
+    setup.bind(io);
+    if (adjParams != nullptr) bindAdjoints(io, *adjParams);
+    auto t0 = std::chrono::steady_clock::now();
+    exec::ExecStats st = ex.run(io, opts);
+    double s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    if (rt.seconds < 0 || s < rt.seconds) rt.seconds = s;
+    rt.tapePeakBytes = st.tapePeakBytes;
+  }
+  return rt;
+}
+
 }  // namespace
 
 FigureResult runFigure(const FigureSetup& setup) {
@@ -56,6 +90,10 @@ FigureResult runFigure(const FigureSetup& setup) {
                      "adj-reduction"};
 
   // Primal.
+  result.real.push_back(
+      timeReal(*primal, setup, nullptr, "primal", exec::ExecEngine::TreeWalk));
+  result.real.push_back(
+      timeReal(*primal, setup, nullptr, "primal", exec::ExecEngine::Bytecode));
   Profiled primalProf = profileKernel(*primal, setup, nullptr);
   result.serialSeconds["primal"] =
       exec::serialTime(primalProf.profile, setup.params) * setup.repetitions;
@@ -76,6 +114,12 @@ FigureResult runFigure(const FigureSetup& setup) {
     auto dr = driver::differentiate(*primal, setup.spec.independents,
                                     setup.spec.dependents, mode,
                                     /*omitTapeFreePrimalSweep=*/true);
+    if (mode == AdjointMode::FormAD) {
+      result.real.push_back(timeReal(*dr.adjoint, setup, &dr.adjointParams,
+                                     label, exec::ExecEngine::TreeWalk));
+      result.real.push_back(timeReal(*dr.adjoint, setup, &dr.adjointParams,
+                                     label, exec::ExecEngine::Bytecode));
+    }
     Profiled prof = profileKernel(*dr.adjoint, setup, &dr.adjointParams);
     result.tapePeakBytes[label] = prof.tapePeak;
     double priv = 0;
@@ -145,12 +189,79 @@ void printFigure(const FigureSetup& setup, const FigureResult& result) {
     std::cout << "\nMemory overhead per kernel application:\n" << mem.str();
   }
 
+  if (!result.real.empty()) {
+    // Measured on this container (single application, serial, both
+    // engines) — the one table here that is real wall time, not the cost
+    // model.
+    driver::Table rt({"version", "engine", "seconds", "vs treewalk"});
+    for (const auto& r : result.real) {
+      double base = 0;
+      for (const auto& o : result.real)
+        if (o.version == r.version && o.engine == "treewalk") base = o.seconds;
+      rt.addRow({r.version, r.engine, driver::fmt(r.seconds),
+                 r.engine == "treewalk" || r.seconds <= 0
+                     ? "1.0x"
+                     : driver::fmtSpeedup(base / r.seconds)});
+    }
+    std::cout << "\nMeasured engine comparison (1 application, serial, this "
+                 "machine):\n"
+              << rt.str();
+  }
+
   if (!setup.paperNotes.empty()) {
     std::cout << "\nPaper reference points:\n";
     for (const auto& [what, value] : setup.paperNotes)
       std::cout << "  " << what << ": " << value << "\n";
   }
   std::cout << std::endl;
+}
+
+void writeBenchJson(const FigureSetup& setup, const FigureResult& result) {
+  if (setup.name.empty()) return;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"benchmark\": \"" << setup.name << "\",\n";
+  os << "  \"repetitions\": " << setup.repetitions << ",\n";
+  os << "  \"threads\": [";
+  for (size_t i = 0; i < setup.threads.size(); ++i)
+    os << (i ? ", " : "") << setup.threads[i];
+  os << "],\n";
+
+  os << "  \"simulated\": [\n";
+  for (size_t i = 0; i < result.versions.size(); ++i) {
+    const std::string& v = result.versions[i];
+    os << "    {\"version\": \"" << v << "\", \"mode\": \"simulated\", "
+       << "\"serial_seconds\": " << result.serialSeconds.at(v)
+       << ", \"parallel_seconds\": {";
+    bool first = true;
+    for (int t : setup.threads) {
+      os << (first ? "" : ", ") << "\"" << t
+         << "\": " << result.seconds.at(v).at(t);
+      first = false;
+    }
+    os << "}";
+    auto tp = result.tapePeakBytes.find(v);
+    if (tp != result.tapePeakBytes.end())
+      os << ", \"tape_peak_bytes\": " << tp->second;
+    os << "}" << (i + 1 < result.versions.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"real\": [\n";
+  for (size_t i = 0; i < result.real.size(); ++i) {
+    const RealTiming& r = result.real[i];
+    os << "    {\"version\": \"" << r.version << "\", \"engine\": \""
+       << r.engine << "\", \"mode\": \"" << r.mode
+       << "\", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+       << ", \"tape_peak_bytes\": " << r.tapePeakBytes << "}"
+       << (i + 1 < result.real.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+
+  std::string file = "BENCH_" + setup.name + ".json";
+  std::ofstream out(file);
+  out << os.str();
+  std::cout << "wrote " << file << "\n";
 }
 
 }  // namespace formad::bench

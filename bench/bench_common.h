@@ -25,6 +25,8 @@
 namespace formad::bench {
 
 struct FigureSetup {
+  std::string name;            // file-safe id, e.g. "fig3_fig5_small_stencil";
+                               // results land in BENCH_<name>.json
   std::string title;           // e.g. "small stencil (Figs. 3 and 5)"
   kernels::KernelSpec spec;
   std::function<void(exec::Inputs&)> bind;
@@ -32,10 +34,24 @@ struct FigureSetup {
   double repetitions = 1;
   std::vector<int> threads = {1, 2, 4, 8, 18};
   exec::CostParams params;
+  /// Repetitions of the real (measured, this container) timing pass; the
+  /// best run is reported, so the first-run bytecode compile is excluded.
+  int realReps = 3;
 
   /// Paper reference points, printed next to our numbers:
   /// label -> (description, seconds).
   std::vector<std::pair<std::string, std::string>> paperNotes;
+};
+
+/// One measured (not simulated) serial run of a program version on one
+/// execution engine, at the figure's full workload.
+struct RealTiming {
+  std::string version;  // "primal" or "adj-formad"
+  std::string engine;   // "bytecode" or "treewalk"
+  std::string mode = "serial";
+  int threads = 1;
+  double seconds = 0;   // best of FigureSetup::realReps runs, one application
+  size_t tapePeakBytes = 0;
 };
 
 /// Simulated absolute seconds for every program version and thread count.
@@ -50,12 +66,19 @@ struct FigureResult {
   /// version's parallel loops — the memory-footprint cost the paper notes
   /// for the reduction versions (Sec. 7, remark before 7.1).
   std::map<std::string, double> privatizedBytes;
+  /// Wall-clock measurements of primal and FormAD adjoint on both engines.
+  std::vector<RealTiming> real;
 };
 
-/// Runs the pipeline and returns the simulated series.
+/// Runs the pipeline and returns the simulated series plus the measured
+/// engine comparison.
 [[nodiscard]] FigureResult runFigure(const FigureSetup& setup);
 
 /// Prints the absolute-time and speedup tables plus paper notes.
 void printFigure(const FigureSetup& setup, const FigureResult& result);
+
+/// Writes BENCH_<setup.name>.json (engine, mode, threads, simulated and
+/// measured wall times, tape peaks) into the working directory.
+void writeBenchJson(const FigureSetup& setup, const FigureResult& result);
 
 }  // namespace formad::bench

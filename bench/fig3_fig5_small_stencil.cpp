@@ -6,6 +6,7 @@
 int main() {
   using namespace formad;
   bench::FigureSetup setup;
+  setup.name = "fig3_fig5_small_stencil";
   setup.title = "Small stencil — paper Fig. 3 (absolute) and Fig. 5 (speedup)";
   setup.spec = kernels::stencilSpec(1);
   const long long n = 1'000'000;
@@ -27,5 +28,6 @@ int main() {
 
   auto result = bench::runFigure(setup);
   bench::printFigure(setup, result);
+  bench::writeBenchJson(setup, result);
   return 0;
 }

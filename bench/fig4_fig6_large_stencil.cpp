@@ -6,6 +6,7 @@
 int main() {
   using namespace formad;
   bench::FigureSetup setup;
+  setup.name = "fig4_fig6_large_stencil";
   setup.title = "Large stencil — paper Fig. 4 (absolute) and Fig. 6 (speedup)";
   setup.spec = kernels::stencilSpec(8);
   const long long n = 1'000'000;
@@ -27,5 +28,6 @@ int main() {
 
   auto result = bench::runFigure(setup);
   bench::printFigure(setup, result);
+  bench::writeBenchJson(setup, result);
   return 0;
 }

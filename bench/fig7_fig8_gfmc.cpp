@@ -7,6 +7,7 @@
 int main() {
   using namespace formad;
   bench::FigureSetup setup;
+  setup.name = "fig7_fig8_gfmc";
   setup.title = "GFMC — paper Fig. 7 (absolute) and Fig. 8 (speedup)";
   setup.spec = kernels::gfmcSplitSpec();
   kernels::GfmcConfig cfg;
@@ -32,5 +33,6 @@ int main() {
 
   auto result = bench::runFigure(setup);
   bench::printFigure(setup, result);
+  bench::writeBenchJson(setup, result);
   return 0;
 }

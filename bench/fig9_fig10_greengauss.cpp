@@ -7,6 +7,7 @@
 int main() {
   using namespace formad;
   bench::FigureSetup setup;
+  setup.name = "fig9_fig10_greengauss";
   setup.title =
       "Green-Gauss gradients — paper Fig. 9 (absolute) and Fig. 10 (speedup)";
   setup.spec = kernels::greenGaussSpec();
@@ -30,5 +31,6 @@ int main() {
 
   auto result = bench::runFigure(setup);
   bench::printFigure(setup, result);
+  bench::writeBenchJson(setup, result);
   return 0;
 }

@@ -7,6 +7,10 @@
 // generated adjoint kernel (DSL by default, a compilable C translation
 // unit with -emit-c). MODE is one of: formad (default), atomic,
 // reduction, serial, plain, tangent.
+//
+// -engine bytecode|treewalk selects the execution engine (see
+// exec/interp.h); with the bytecode engine, -disasm prints the compiled
+// register-VM listing of the generated kernel to stderr.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,6 +20,8 @@
 #include "ad/forward.h"
 #include "codegen/cgen.h"
 #include "driver/driver.h"
+#include "exec/bytecode.h"
+#include "exec/kernel_info.h"
 #include "formad/formad.h"
 #include "ir/printer.h"
 #include "parser/parser.h"
@@ -39,8 +45,17 @@ int usage() {
       << "usage: formad_cli <file> -head <kernel> -indep a,b -dep c\n"
          "                  [-mode formad|atomic|reduction|serial|plain|"
          "tangent]\n"
+         "                  [-engine bytecode|treewalk] [-disasm]\n"
          "                  [-analyze-only]\n";
   return 2;
+}
+
+/// Prints the register-VM listing of `kernel` to stderr (-disasm).
+void disassemble(const ir::Kernel& kernel) {
+  auto clone = kernel.clone();
+  exec::KernelInfo info = exec::buildKernelInfo(*clone);
+  exec::BytecodeEngine eng(*clone, info);
+  std::cerr << eng.disassemble();
 }
 
 }  // namespace
@@ -51,8 +66,10 @@ int main(int argc, char** argv) {
   std::string head;
   std::vector<std::string> indeps, deps;
   std::string mode = "formad";
+  std::string engine = "bytecode";
   bool analyzeOnly = false;
   bool emitC = false;
+  bool disasm = false;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -67,9 +84,17 @@ int main(int argc, char** argv) {
     else if (arg == "-indep") indeps = splitCommas(next());
     else if (arg == "-dep") deps = splitCommas(next());
     else if (arg == "-mode") mode = next();
+    else if (arg == "-engine") engine = next();
+    else if (arg == "-disasm") disasm = true;
     else if (arg == "-analyze-only") analyzeOnly = true;
     else if (arg == "-emit-c") emitC = true;
     else return usage();
+  }
+  if (engine != "bytecode" && engine != "treewalk") return usage();
+  if (disasm && engine != "bytecode") {
+    std::cerr << "-disasm requires -engine bytecode (the tree-walker "
+                 "interprets the IR directly and has no listing)\n";
+    return 2;
   }
 
   std::ifstream in(file);
@@ -97,6 +122,7 @@ int main(int argc, char** argv) {
       auto tr = ad::buildTangent(primal, topts);
       std::cout << (emitC ? codegen::emitC(*tr.tangent)
                           : ir::printKernel(*tr.tangent));
+      if (disasm) disassemble(*tr.tangent);
       return 0;
     }
 
@@ -115,6 +141,7 @@ int main(int argc, char** argv) {
     auto dr = driver::differentiate(primal, indeps, deps, m);
     std::cout << (emitC ? codegen::emitC(*dr.adjoint)
                         : ir::printKernel(*dr.adjoint));
+    if (disasm) disassemble(*dr.adjoint);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,80 @@
+// Bytecode execution engine: compiles kernel IR once into a flat register
+// program and runs it on a direct-threaded VM.
+//
+// Why: the tree-walking interpreter (interp.cpp) pays a virtual-dispatch
+// switch, a tagged-Value return and several map lookups per IR node per
+// iteration; the figure benchmarks push millions of iterations through it.
+// The compiler lowers each kernel to:
+//   - typed register banks (real / int / bool), one fixed register per
+//     scalar slot plus expression temporaries — no tagging, no lookups;
+//   - a flat instruction array per program region (main body + one
+//     sub-program per parallel loop) with jump-resolved control flow;
+//   - compile-time resolution of privatization: inside a parallel loop,
+//     private scalars are thread-frame registers and shared scalars use
+//     explicit shared-bank access opcodes (with reduction-shadow
+//     read-through variants), so the per-access privMask test disappears;
+//   - array accesses through bind-time descriptors with precomputed
+//     row-major strides and per-dimension bounds checks;
+//   - constant folding over literal subtrees, with the folded operations'
+//     profile counts re-attached to the surviving instructions so Profile
+//     mode reports the same operation mix as the tree-walker.
+//
+// Semantics contract: for any kernel and mode, the VM performs the same
+// real-arithmetic operations in the same order as the tree-walker (bit-
+// identical results, enforced by tests/test_bytecode.cpp), preserves the
+// per-iteration tape LaneBlock push/pop discipline (scheduling-independent
+// adjoints), and reproduces Profile-mode operation counts exactly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ad/tape.h"
+#include "exec/counts.h"
+#include "exec/kernel_info.h"
+#include "exec/value.h"
+
+namespace formad::exec {
+
+struct VmOptions {
+  bool openmp = false;   // parallel loops run on real OpenMP threads
+  int numThreads = 1;
+  bool profile = false;  // collect OpCounts (serial execution)
+};
+
+struct VmResult {
+  RunProfile profile;  // populated when VmOptions::profile
+  size_t tapePeakBytes = 0;
+};
+
+class BytecodeEngine {
+ public:
+  /// Compiles `kernel` (already slot-annotated by buildKernelInfo; both
+  /// must outlive the engine).
+  BytecodeEngine(const ir::Kernel& kernel, const KernelInfo& info);
+  ~BytecodeEngine();
+  BytecodeEngine(const BytecodeEngine&) = delete;
+  BytecodeEngine& operator=(const BytecodeEngine&) = delete;
+
+  /// Runs the compiled kernel. `sharedScalars` carries bound scalar
+  /// parameters in and final scalar values out (slot-indexed, like the
+  /// tree-walker's shared bank); `arrays` is the slot-indexed binding
+  /// table. The tape is cleared by the caller.
+  VmResult run(std::vector<ScalarVal>& sharedScalars,
+               std::vector<ArrayValue*>& arrays, ad::Tape& tape,
+               const VmOptions& opts);
+
+  /// Human-readable instruction listing (debugging aid).
+  [[nodiscard]] std::string disassemble() const;
+
+  /// Total instructions over all program regions.
+  [[nodiscard]] size_t instructionCount() const;
+
+  struct Impl;  // exposed for the compiler's internals; not part of the API
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace formad::exec

@@ -5,12 +5,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <set>
 #include <vector>
 
-#include "analysis/increment.h"
-#include "analysis/symbols.h"
-#include "ir/traversal.h"
+#include "exec/bytecode.h"
+#include "exec/kernel_info.h"
 
 namespace formad::exec {
 
@@ -55,23 +53,6 @@ bool Inputs::has(const std::string& name) const {
 
 namespace {
 
-/// Transcendental intrinsics are weighted as several flops in profiles.
-constexpr double kCallFlops = 8.0;
-
-struct AssignInfo {
-  bool isIncrement = false;
-  const Expr* addend = nullptr;
-  bool negated = false;
-};
-
-struct LoopInfo {
-  std::vector<bool> privMask;           // scalar slots private to the loop
-  std::vector<int> redArraySlots;       // reduction-clause arrays
-  std::vector<int> redScalarSlots;      // reduction-clause scalars
-  std::map<int, int> shadowOfArray;     // array slot -> shadow index
-  std::map<int, int> shadowOfScalar;    // scalar slot -> shadow index
-};
-
 struct Value {
   enum class Tag { R, I, B } tag = Tag::R;
   double r = 0.0;
@@ -98,9 +79,7 @@ struct Value {
 
 class Executor::Impl {
  public:
-  Impl(Kernel& kernel) : kernel_(kernel), syms_(analysis::verifyKernel(kernel)) {
-    setup();
-  }
+  Impl(Kernel& kernel) : kernel_(kernel), info_(buildKernelInfo(kernel)) {}
 
   ExecStats run(Inputs& io, const ExecOptions& opts) {
     opts_ = opts;
@@ -108,20 +87,21 @@ class Executor::Impl {
     profileMode_ = opts.mode == ExecMode::Profile;
 
     // Bind parameters.
-    shScalars_.assign(scalarCount_, ScalarVal{});
-    arrays_.assign(arrayCount_, nullptr);
+    shScalars_.assign(static_cast<size_t>(info_.scalarCount), ScalarVal{});
+    arrays_.assign(static_cast<size_t>(info_.arrayCount), nullptr);
     for (const auto& p : kernel_.params) {
       if (p.type.isArray()) {
         ArrayValue& a = io.array(p.name);
         if (a.elem() != p.type.scalar || a.rank() != p.type.rank)
           fail("array bound to '" + p.name + "' has wrong type/rank");
-        arrays_[static_cast<size_t>(arraySlot_.at(p.name))] = &a;
+        arrays_[static_cast<size_t>(info_.arraySlot.at(p.name))] = &a;
       } else {
         if (!io.has(p.name)) {
           if (p.intent == Intent::Out) continue;  // produced by the kernel
           fail("parameter '" + p.name + "' not bound");
         }
-        ScalarVal& s = shScalars_[static_cast<size_t>(scalarSlot_.at(p.name))];
+        ScalarVal& s =
+            shScalars_[static_cast<size_t>(info_.scalarSlot.at(p.name))];
         if (p.type.isInt())
           s.i = io.intVal(p.name);
         else if (p.type.isReal())
@@ -132,18 +112,29 @@ class Executor::Impl {
     tape_.clear();
     tapePeak_ = 0;
 
-    Ctx ctx;
-    ctx.frame.assign(scalarCount_, ScalarVal{});
-    ctx.lane = &tape_.mainLane();
-    if (profileMode_) ctx.counts = &stats_.profile.serial;
-
-    execBody(kernel_.body, ctx);
+    if (opts.engine == ExecEngine::Bytecode) {
+      // Compiled lazily, once per kernel; reused across runs.
+      if (!bc_) bc_ = std::make_unique<BytecodeEngine>(kernel_, info_);
+      VmOptions vo;
+      vo.openmp = opts.mode == ExecMode::OpenMP;
+      vo.numThreads = opts.numThreads;
+      vo.profile = profileMode_;
+      VmResult vr = bc_->run(shScalars_, arrays_, tape_, vo);
+      stats_.profile = std::move(vr.profile);
+      tapePeak_ = vr.tapePeakBytes;
+    } else {
+      Ctx ctx;
+      ctx.frame.assign(static_cast<size_t>(info_.scalarCount), ScalarVal{});
+      ctx.lane = &tape_.mainLane();
+      if (profileMode_) ctx.counts = &stats_.profile.serial;
+      execBody(kernel_.body, ctx);
+    }
 
     // Write scalar out-parameters back.
     for (const auto& p : kernel_.params) {
       if (p.type.isArray() || p.intent == Intent::In) continue;
       const ScalarVal& s =
-          shScalars_[static_cast<size_t>(scalarSlot_.at(p.name))];
+          shScalars_[static_cast<size_t>(info_.scalarSlot.at(p.name))];
       if (p.type.isInt())
         io.bindInt(p.name, s.i);
       else
@@ -157,23 +148,8 @@ class Executor::Impl {
 
  private:
   Kernel& kernel_;
-  analysis::SymbolTable syms_;
-
-  // Static tables.
-  std::map<std::string, int> scalarSlot_;
-  std::map<std::string, int> arraySlot_;
-  std::vector<Scalar> scalarType_;
-  int scalarCount_ = 0;
-  int arrayCount_ = 0;
-  std::map<const Assign*, AssignInfo> assignInfo_;
-  std::map<const For*, LoopInfo> loopInfo_;
-  /// Per-ArrayRef access classification: which dimensions are indexed by
-  /// data-dependent expressions (array reads or tainted scalars).
-  struct AccessClass {
-    bool anyTainted = false;
-    std::vector<bool> dimTainted;
-  };
-  std::map<const Expr*, AccessClass> accessClass_;
+  KernelInfo info_;  // shared static tables (kernel_info.h)
+  std::unique_ptr<BytecodeEngine> bc_;  // compiled lazily on first use
 
   // Run state.
   ExecOptions opts_;
@@ -194,145 +170,6 @@ class Executor::Impl {
     OpCounts* counts = nullptr;
     bool inParallel = false;
   };
-
-  // ----- setup -----
-
-  /// Scalars whose values are data-dependent (derived from array contents,
-  /// transitively). Loop counters and arithmetic over parameters stay
-  /// untainted — their access patterns are affine streams.
-  std::set<std::string> taintedScalars_;
-
-  void computeTaint() {
-    bool changed = true;
-    auto exprTainted = [&](const Expr& e) {
-      bool t = false;
-      forEachExpr(e, [&](const Expr& x) {
-        if (x.kind() == ExprKind::ArrayRef) t = true;
-        if (x.kind() == ExprKind::VarRef &&
-            taintedScalars_.count(x.as<VarRef>().name) > 0)
-          t = true;
-      });
-      return t;
-    };
-    while (changed) {
-      changed = false;
-      forEachStmt(kernel_.body, [&](const Stmt& s) {
-        const Expr* rhs = nullptr;
-        const std::string* name = nullptr;
-        if (s.kind() == StmtKind::Assign) {
-          const auto& a = s.as<Assign>();
-          if (a.lhs->kind() != ExprKind::VarRef) return;
-          rhs = a.rhs.get();
-          name = &a.lhs->as<VarRef>().name;
-        } else if (s.kind() == StmtKind::DeclLocal) {
-          const auto& d = s.as<DeclLocal>();
-          if (!d.init) return;
-          rhs = d.init.get();
-          name = &d.name;
-        } else {
-          return;
-        }
-        if (taintedScalars_.count(*name) > 0) return;
-        if (exprTainted(*rhs)) {
-          taintedScalars_.insert(*name);
-          changed = true;
-        }
-      });
-    }
-  }
-
-  void setup() {
-    computeTaint();
-    for (const auto& [name, sym] : syms_.all()) {
-      if (sym.type.isArray())
-        arraySlot_.emplace(name, arrayCount_++);
-      else {
-        scalarSlot_.emplace(name, scalarCount_);
-        scalarType_.push_back(sym.type.scalar);
-        ++scalarCount_;
-      }
-    }
-
-    // Annotate slots on every reference.
-    forEachStmt(kernel_.body, [&](Stmt& s) {
-      forEachOwnExpr(s, [&](Expr& top) {
-        forEachExpr(top, [&](Expr& e) { annotate(e); });
-      });
-      if (s.kind() == StmtKind::Assign) {
-        auto& a = s.as<Assign>();
-        forEachExpr(*a.lhs, [&](Expr& e) { annotate(e); });
-        AssignInfo info;
-        auto incr = analysis::classifyIncrement(a);
-        info.isIncrement = incr.isIncrement;
-        info.addend = incr.addend;
-        info.negated = incr.negated;
-        assignInfo_.emplace(&a, info);
-      }
-    });
-
-    // Loop bookkeeping.
-    forEachStmt(kernel_.body, [&](Stmt& s) {
-      if (s.kind() != StmtKind::For || !s.as<For>().parallel) return;
-      const auto& f = s.as<For>();
-      LoopInfo li;
-      li.privMask.assign(static_cast<size_t>(scalarCount_), false);
-      auto markPriv = [&](const std::string& n) {
-        auto it = scalarSlot_.find(n);
-        if (it != scalarSlot_.end())
-          li.privMask[static_cast<size_t>(it->second)] = true;
-      };
-      markPriv(f.var);
-      for (const auto& n : f.privates) markPriv(n);
-      forEachStmt(f.body, [&](const Stmt& t) {
-        if (t.kind() == StmtKind::DeclLocal)
-          markPriv(t.as<DeclLocal>().name);
-        else if (t.kind() == StmtKind::Pop)
-          markPriv(t.as<Pop>().target);
-        else if (t.kind() == StmtKind::For)
-          markPriv(t.as<For>().var);
-      });
-      for (const auto& r : f.reductions) {
-        auto ait = arraySlot_.find(r.var);
-        if (ait != arraySlot_.end()) {
-          li.shadowOfArray[ait->second] =
-              static_cast<int>(li.redArraySlots.size());
-          li.redArraySlots.push_back(ait->second);
-        } else {
-          int slot = scalarSlot_.at(r.var);
-          li.shadowOfScalar[slot] = static_cast<int>(li.redScalarSlots.size());
-          li.redScalarSlots.push_back(slot);
-        }
-      }
-      loopInfo_.emplace(&f, std::move(li));
-    });
-  }
-
-  void annotate(Expr& e) {
-    if (e.kind() == ExprKind::VarRef) {
-      auto& v = e.as<VarRef>();
-      auto it = scalarSlot_.find(v.name);
-      if (it == scalarSlot_.end()) fail("unbound scalar '" + v.name + "'");
-      v.slot = it->second;
-    } else if (e.kind() == ExprKind::ArrayRef) {
-      auto& a = e.as<ArrayRef>();
-      auto it = arraySlot_.find(a.name);
-      if (it == arraySlot_.end()) fail("unbound array '" + a.name + "'");
-      a.slot = it->second;
-      AccessClass cls;
-      for (const auto& i : a.indices) {
-        bool t = false;
-        forEachExpr(*i, [&](const Expr& x) {
-          if (x.kind() == ExprKind::ArrayRef) t = true;
-          if (x.kind() == ExprKind::VarRef &&
-              taintedScalars_.count(x.as<VarRef>().name) > 0)
-            t = true;
-        });
-        cls.dimTainted.push_back(t);
-        cls.anyTainted = cls.anyTainted || t;
-      }
-      accessClass_[&a] = std::move(cls);
-    }
-  }
 
   // ----- scalar access -----
 
@@ -357,16 +194,9 @@ class Executor::Impl {
     return arr->linearize(idx, n);
   }
 
-  /// Data-dependent accesses whose reachable span stays below this size
-  /// behave like cache hits on the simulated testbed (e.g. GFMC reads
-  /// cr[idd, j]: idd is data-dependent but spans one 768-byte column),
-  /// while gather/scatter across a large span (Green-Gauss node data) is
-  /// latency/bandwidth bound.
-  static constexpr double kCacheResidentBytes = 512.0 * 1024;
-
   void countArrayAccess(const ArrayRef& a, Ctx& c) {
     if (c.counts == nullptr) return;
-    const AccessClass& cls = accessClass_.at(&a);
+    const AccessClass& cls = info_.accessClass.at(&a);
     if (!cls.anyTainted) {
       c.counts->seqBytes += 8;
       return;
@@ -395,7 +225,7 @@ class Executor::Impl {
       case ExprKind::VarRef: {
         const auto& v = static_cast<const VarRef&>(e);
         const ScalarVal& s = scalarRef(c, v.slot);
-        switch (scalarType_[static_cast<size_t>(v.slot)]) {
+        switch (info_.scalarType[static_cast<size_t>(v.slot)]) {
           case Scalar::Int: return Value::integer(s.i);
           case Scalar::Real: {
             double val = s.r;
@@ -543,7 +373,7 @@ class Executor::Impl {
         return;
       case StmtKind::DeclLocal: {
         const auto& d = static_cast<const DeclLocal&>(s);
-        int slot = scalarSlot_.at(d.name);
+        int slot = info_.scalarSlot.at(d.name);
         ScalarVal& sv = scalarRef(c, slot);
         if (d.init) {
           Value v = eval(*d.init, c);
@@ -576,7 +406,7 @@ class Executor::Impl {
       case StmtKind::Pop: {
         const auto& p = static_cast<const Pop&>(s);
         if (c.counts) c.counts->tapeBytes += 8;
-        ScalarVal& sv = scalarRef(c, scalarSlot_.at(p.target));
+        ScalarVal& sv = scalarRef(c, info_.scalarSlot.at(p.target));
         switch (p.channel) {
           case TapeChannel::Real: sv.r = c.lane->popReal(); break;
           case TapeChannel::Int: sv.i = c.lane->popInt(); break;
@@ -596,7 +426,7 @@ class Executor::Impl {
   }
 
   void execAssign(const Assign& a, Ctx& c) {
-    const AssignInfo& info = assignInfo_.at(&a);
+    const AssignInfo& info = info_.assignInfo.at(&a);
 
     if (a.guard != Guard::None) {
       FORMAD_ASSERT(info.isIncrement, "guarded statement is not an increment");
@@ -655,7 +485,7 @@ class Executor::Impl {
     } else {
       const auto& vr = static_cast<const VarRef&>(*a.lhs);
       ScalarVal& sv = scalarRef(c, vr.slot);
-      switch (scalarType_[static_cast<size_t>(vr.slot)]) {
+      switch (info_.scalarType[static_cast<size_t>(vr.slot)]) {
         case Scalar::Int: sv.i = v.asInt(); break;
         case Scalar::Real:
           sv.r = v.asReal();
@@ -686,7 +516,7 @@ class Executor::Impl {
 
   void execSerialFor(const For& f, Ctx& c) {
     Range r = evalRange(f, c);
-    int slot = scalarSlot_.at(f.var);
+    int slot = info_.scalarSlot.at(f.var);
     if (f.reversed) {
       for (long long k = r.count - 1; k >= 0; --k) {
         scalarRef(c, slot).i = r.lo + k * r.step;
@@ -702,8 +532,8 @@ class Executor::Impl {
 
   void execParallelFor(const For& f, Ctx& c) {
     Range r = evalRange(f, c);
-    const LoopInfo& li = loopInfo_.at(&f);
-    int counterSlot = scalarSlot_.at(f.var);
+    const LoopInfo& li = info_.loopInfo.at(&f);
+    int counterSlot = info_.scalarSlot.at(f.var);
 
     ad::LaneBlock* block = nullptr;
     if (f.usesTape) {
@@ -754,7 +584,7 @@ class Executor::Impl {
 #pragma omp parallel num_threads(opts_.numThreads)
       {
         Ctx tc;
-        tc.frame.assign(static_cast<size_t>(scalarCount_), ScalarVal{});
+        tc.frame.assign(static_cast<size_t>(info_.scalarCount), ScalarVal{});
         tc.privMask = &li.privMask;
         tc.loop = &li;
         tc.inParallel = true;
@@ -775,7 +605,7 @@ class Executor::Impl {
       }
     } else {
       Ctx tc;
-      tc.frame.assign(static_cast<size_t>(scalarCount_), ScalarVal{});
+      tc.frame.assign(static_cast<size_t>(info_.scalarCount), ScalarVal{});
       tc.privMask = &li.privMask;
       tc.loop = &li;
       tc.inParallel = true;

@@ -1,4 +1,6 @@
-// Kernel executor: binds values to parameters and interprets the IR.
+// Kernel executor: binds values to parameters and runs the IR, either on
+// the tree-walking interpreter or on the bytecode VM (bytecode.h; the
+// default — see ExecEngine).
 //
 // Three modes:
 //   - Serial:  single-threaded reference execution (used for correctness
@@ -27,6 +29,12 @@ namespace formad::exec {
 
 enum class ExecMode { Serial, OpenMP, Profile };
 
+/// Which execution engine runs the kernel:
+///   - TreeWalk: the original AST-walking interpreter (reference semantics);
+///   - Bytecode: the compiled register VM (bytecode.h), bit-identical to the
+///     tree-walker and substantially faster — the default.
+enum class ExecEngine { TreeWalk, Bytecode };
+
 /// Values bound to kernel parameters. Arrays are owned here and passed to
 /// the kernel by reference (results are read back from the same objects).
 class Inputs {
@@ -49,6 +57,7 @@ class Inputs {
 struct ExecOptions {
   ExecMode mode = ExecMode::Serial;
   int numThreads = 1;
+  ExecEngine engine = ExecEngine::Bytecode;
 };
 
 struct ExecStats {

@@ -1,0 +1,151 @@
+#include "exec/kernel_info.h"
+
+#include "analysis/increment.h"
+#include "ir/traversal.h"
+
+namespace formad::exec {
+
+using namespace formad::ir;
+
+namespace {
+
+void computeTaint(const Kernel& kernel, std::set<std::string>& tainted) {
+  auto exprTainted = [&](const Expr& e) {
+    bool t = false;
+    forEachExpr(e, [&](const Expr& x) {
+      if (x.kind() == ExprKind::ArrayRef) t = true;
+      if (x.kind() == ExprKind::VarRef &&
+          tainted.count(x.as<VarRef>().name) > 0)
+        t = true;
+    });
+    return t;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    forEachStmt(kernel.body, [&](const Stmt& s) {
+      const Expr* rhs = nullptr;
+      const std::string* name = nullptr;
+      if (s.kind() == StmtKind::Assign) {
+        const auto& a = s.as<Assign>();
+        if (a.lhs->kind() != ExprKind::VarRef) return;
+        rhs = a.rhs.get();
+        name = &a.lhs->as<VarRef>().name;
+      } else if (s.kind() == StmtKind::DeclLocal) {
+        const auto& d = s.as<DeclLocal>();
+        if (!d.init) return;
+        rhs = d.init.get();
+        name = &d.name;
+      } else {
+        return;
+      }
+      if (tainted.count(*name) > 0) return;
+      if (exprTainted(*rhs)) {
+        tainted.insert(*name);
+        changed = true;
+      }
+    });
+  }
+}
+
+void annotate(Expr& e, KernelInfo& info) {
+  if (e.kind() == ExprKind::VarRef) {
+    auto& v = e.as<VarRef>();
+    auto it = info.scalarSlot.find(v.name);
+    if (it == info.scalarSlot.end()) fail("unbound scalar '" + v.name + "'");
+    v.slot = it->second;
+  } else if (e.kind() == ExprKind::ArrayRef) {
+    auto& a = e.as<ArrayRef>();
+    auto it = info.arraySlot.find(a.name);
+    if (it == info.arraySlot.end()) fail("unbound array '" + a.name + "'");
+    a.slot = it->second;
+    AccessClass cls;
+    for (const auto& i : a.indices) {
+      bool t = false;
+      forEachExpr(*i, [&](const Expr& x) {
+        if (x.kind() == ExprKind::ArrayRef) t = true;
+        if (x.kind() == ExprKind::VarRef &&
+            info.taintedScalars.count(x.as<VarRef>().name) > 0)
+          t = true;
+      });
+      cls.dimTainted.push_back(t);
+      cls.anyTainted = cls.anyTainted || t;
+    }
+    info.accessClass[&a] = std::move(cls);
+  }
+}
+
+}  // namespace
+
+KernelInfo buildKernelInfo(Kernel& kernel) {
+  KernelInfo info;
+  info.syms = analysis::verifyKernel(kernel);
+  computeTaint(kernel, info.taintedScalars);
+
+  for (const auto& [name, sym] : info.syms.all()) {
+    if (sym.type.isArray())
+      info.arraySlot.emplace(name, info.arrayCount++);
+    else {
+      info.scalarSlot.emplace(name, info.scalarCount);
+      info.scalarType.push_back(sym.type.scalar);
+      ++info.scalarCount;
+    }
+  }
+
+  // Annotate slots on every reference; classify assignments.
+  forEachStmt(kernel.body, [&](Stmt& s) {
+    forEachOwnExpr(s, [&](Expr& top) {
+      forEachExpr(top, [&](Expr& e) { annotate(e, info); });
+    });
+    if (s.kind() == StmtKind::Assign) {
+      auto& a = s.as<Assign>();
+      forEachExpr(*a.lhs, [&](Expr& e) { annotate(e, info); });
+      AssignInfo ai;
+      auto incr = analysis::classifyIncrement(a);
+      ai.isIncrement = incr.isIncrement;
+      ai.addend = incr.addend;
+      ai.negated = incr.negated;
+      info.assignInfo.emplace(&a, ai);
+    }
+  });
+
+  // Loop bookkeeping.
+  forEachStmt(kernel.body, [&](Stmt& s) {
+    if (s.kind() != StmtKind::For || !s.as<For>().parallel) return;
+    const auto& f = s.as<For>();
+    LoopInfo li;
+    li.privMask.assign(static_cast<size_t>(info.scalarCount), false);
+    auto markPriv = [&](const std::string& n) {
+      auto it = info.scalarSlot.find(n);
+      if (it != info.scalarSlot.end())
+        li.privMask[static_cast<size_t>(it->second)] = true;
+    };
+    markPriv(f.var);
+    for (const auto& n : f.privates) markPriv(n);
+    forEachStmt(f.body, [&](const Stmt& t) {
+      if (t.kind() == StmtKind::DeclLocal)
+        markPriv(t.as<DeclLocal>().name);
+      else if (t.kind() == StmtKind::Pop)
+        markPriv(t.as<Pop>().target);
+      else if (t.kind() == StmtKind::For)
+        markPriv(t.as<For>().var);
+    });
+    for (const auto& r : f.reductions) {
+      auto ait = info.arraySlot.find(r.var);
+      if (ait != info.arraySlot.end()) {
+        li.shadowOfArray[ait->second] =
+            static_cast<int>(li.redArraySlots.size());
+        li.redArraySlots.push_back(ait->second);
+      } else {
+        int slot = info.scalarSlot.at(r.var);
+        li.shadowOfScalar[slot] = static_cast<int>(li.redScalarSlots.size());
+        li.redScalarSlots.push_back(slot);
+      }
+    }
+    info.loopInfo.emplace(&f, std::move(li));
+  });
+
+  return info;
+}
+
+}  // namespace formad::exec

@@ -1,0 +1,78 @@
+// Static per-kernel execution metadata shared by the execution engines.
+//
+// Both the tree-walking interpreter (interp.cpp) and the bytecode compiler
+// (bytecode.cpp) need the same pre-execution analysis: storage-slot
+// assignment for scalars and arrays, per-loop privatization/reduction
+// bookkeeping, increment classification of assignments, and the taint
+// classification of array accesses used by the cost-model profiler.
+// buildKernelInfo computes all of it once; the Executor owns the result and
+// hands it to whichever engine runs.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/symbols.h"
+#include "ir/kernel.h"
+
+namespace formad::exec {
+
+/// Transcendental intrinsics are weighted as several flops in profiles.
+constexpr double kCallFlops = 8.0;
+
+/// Data-dependent accesses whose reachable span stays below this size
+/// behave like cache hits on the simulated testbed (e.g. GFMC reads
+/// cr[idd, j]: idd is data-dependent but spans one 768-byte column),
+/// while gather/scatter across a large span (Green-Gauss node data) is
+/// latency/bandwidth bound.
+constexpr double kCacheResidentBytes = 512.0 * 1024;
+
+/// Increment classification of an Assign (paper Sec. 5.4).
+struct AssignInfo {
+  bool isIncrement = false;
+  const ir::Expr* addend = nullptr;
+  bool negated = false;
+};
+
+/// Privatization and reduction bookkeeping of one parallel loop.
+struct LoopInfo {
+  std::vector<bool> privMask;        // scalar slots private to the loop
+  std::vector<int> redArraySlots;    // reduction-clause arrays
+  std::vector<int> redScalarSlots;   // reduction-clause scalars
+  std::map<int, int> shadowOfArray;  // array slot -> shadow index
+  std::map<int, int> shadowOfScalar; // scalar slot -> shadow index
+};
+
+/// Per-ArrayRef access classification: which dimensions are indexed by
+/// data-dependent expressions (array reads or tainted scalars).
+struct AccessClass {
+  bool anyTainted = false;
+  std::vector<bool> dimTainted;
+};
+
+struct KernelInfo {
+  analysis::SymbolTable syms;
+
+  std::map<std::string, int> scalarSlot;
+  std::map<std::string, int> arraySlot;
+  std::vector<ir::Scalar> scalarType;  // by scalar slot
+  int scalarCount = 0;
+  int arrayCount = 0;
+
+  std::map<const ir::Assign*, AssignInfo> assignInfo;
+  std::map<const ir::For*, LoopInfo> loopInfo;
+  std::map<const ir::Expr*, AccessClass> accessClass;
+
+  /// Scalars whose values are data-dependent (derived from array contents,
+  /// transitively). Loop counters and arithmetic over parameters stay
+  /// untainted — their access patterns are affine streams.
+  std::set<std::string> taintedScalars;
+};
+
+/// Verifies `kernel`, assigns storage slots, annotates every VarRef /
+/// ArrayRef in place with its slot, and computes the static tables above.
+[[nodiscard]] KernelInfo buildKernelInfo(ir::Kernel& kernel);
+
+}  // namespace formad::exec

@@ -91,8 +91,9 @@ std::string describe(const KernelAnalysis& analysis) {
   for (const auto& r : analysis.regions) {
     os << "parallel region #" << idx++ << " (counter '" << r.loop->var
        << "'): model size " << r.modelAssertions << ", queries " << r.queries
-       << ", unique write exprs " << r.uniqueExprs << ", statements "
-       << r.statementsInRegion << ", analysis "
+       << " (" << r.solverCacheHits << " cached, " << r.pairCacheHits
+       << " duplicate pairs), unique write exprs " << r.uniqueExprs
+       << ", statements " << r.statementsInRegion << ", analysis "
        << r.analysisSeconds << "s\n";
     for (const auto& v : r.vars) {
       os << "  " << v.var << ": "

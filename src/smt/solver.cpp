@@ -1,5 +1,6 @@
 #include "smt/solver.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "support/diagnostics.h"
@@ -28,9 +29,38 @@ void Solver::pop() {
   marks_.pop_back();
 }
 
+std::string Solver::stackKey() const {
+  // A conjunction is order-independent; sorting makes stacks that assert
+  // the same constraints in different orders share a cache entry.
+  std::vector<std::string> parts;
+  parts.reserve(stack_.size());
+  for (const auto& c : stack_) {
+    const char* tag = c.rel == Rel::Eq ? "=" : c.rel == Rel::Ne ? "!" : "<";
+    parts.push_back(tag + c.expr.key());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const auto& p : parts) {
+    key += p;
+    key += ';';
+  }
+  return key;
+}
+
 CheckResult Solver::check() {
   ++stats_.checks;
+  std::string key = stackKey();
+  auto it = verdictCache_.find(key);
+  if (it != verdictCache_.end()) {
+    ++stats_.cacheHits;
+    return it->second;
+  }
+  CheckResult r = solve();
+  verdictCache_.emplace(std::move(key), r);
+  return r;
+}
 
+CheckResult Solver::solve() {
   LiaSystem lia;
   for (const auto& c : stack_)
     if (c.rel == Rel::Eq && !lia.addEquality(c.expr))
@@ -50,10 +80,14 @@ CheckResult Solver::check() {
   }
 
   // Disequalities: e != 0 is violated iff the equalities entail e = 0.
+  // Each residue is computed once and reused by the pinned-interval pass.
+  std::vector<LinExpr> neResidues;
   for (const auto& c : stack_) {
     if (c.rel != Rel::Ne) continue;
+    ++stats_.reduceCalls;
     LinExpr r = lia.reduce(c.expr);
     if (r.isZero()) return CheckResult::Unsat;
+    neResidues.push_back(std::move(r));
   }
 
   // Inequalities: constant violations, then single-atom interval tracking.
@@ -64,6 +98,7 @@ CheckResult Solver::check() {
   std::map<AtomId, Bounds> bounds;
   for (const auto& c : stack_) {
     if (c.rel != Rel::Le) continue;
+    ++stats_.reduceCalls;
     LinExpr r = lia.reduce(c.expr);  // r <= 0
     if (r.isConstant()) {
       if (r.constant().sign() > 0) return CheckResult::Unsat;
@@ -86,10 +121,9 @@ CheckResult Solver::check() {
     (void)id;
     if (bb.lo && bb.hi && *bb.hi < *bb.lo) return CheckResult::Unsat;
   }
-  // Disequality pinned to a point interval.
-  for (const auto& c : stack_) {
-    if (c.rel != Rel::Ne) continue;
-    LinExpr r = lia.reduce(c.expr);
+  // Disequality pinned to a point interval (residues memoized above).
+  for (const LinExpr& r : neResidues) {
+    ++stats_.reduceMemoHits;
     if (r.coeffs().size() != 1) continue;
     auto [id, coeff] = *r.coeffs().begin();
     auto it = bounds.find(id);

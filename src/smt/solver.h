@@ -19,6 +19,8 @@
 // conflicting" — the safe direction.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "smt/congruence.h"
@@ -58,9 +60,15 @@ class Solver {
   void push();
   void pop();
 
-  /// Decides the current conjunction. Stateless between calls: the model is
-  /// rebuilt from the assertion stack (stack sizes in FormAD's queries are
-  /// small — Table 1 reports at most a few hundred assertions).
+  /// Decides the current conjunction. The model is rebuilt from the
+  /// assertion stack, but two layers of incrementality avoid repeated work
+  /// across the many near-identical stacks FormAD's context-tree walk
+  /// produces:
+  ///   - a verdict cache keyed on the canonicalized stack (conjunctions are
+  ///     order-independent), so re-checking an already-decided conjunction
+  ///     is a map lookup;
+  ///   - within one solve, each Ne constraint is reduced against the
+  ///     equality system once and the residue reused by every later pass.
   [[nodiscard]] CheckResult check();
 
   [[nodiscard]] size_t assertionCount() const { return stack_.size(); }
@@ -68,15 +76,22 @@ class Solver {
   struct Stats {
     long long assertionsAdded = 0;
     long long checks = 0;
+    long long cacheHits = 0;       // checks answered from the verdict cache
+    long long reduceCalls = 0;     // lia.reduce invocations actually made
+    long long reduceMemoHits = 0;  // reductions reused from the per-solve memo
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
   [[nodiscard]] AtomTable& atoms() { return atoms_; }
 
  private:
+  [[nodiscard]] CheckResult solve();
+  [[nodiscard]] std::string stackKey() const;
+
   AtomTable& atoms_;
   std::vector<Constraint> stack_;
   std::vector<size_t> marks_;
+  std::map<std::string, CheckResult> verdictCache_;
   Stats stats_;
 };
 

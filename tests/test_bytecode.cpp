@@ -1,0 +1,184 @@
+// Differential validation of the bytecode VM against the tree-walking
+// interpreter: bit-identical primal outputs and gradients (up to FP
+// accumulation order for atomic/reduction merges under real OpenMP),
+// identical Profile-mode operation counts, across the paper's kernels and
+// every safeguard mode.
+#include <gtest/gtest.h>
+
+#include "driver/driver.h"
+#include "exec/bytecode.h"
+#include "exec/kernel_info.h"
+#include "helpers.h"
+
+namespace formad::testing {
+namespace {
+
+using driver::AdjointMode;
+using exec::ArrayValue;
+using exec::ExecEngine;
+using exec::ExecMode;
+using exec::ExecOptions;
+using exec::Executor;
+using exec::Inputs;
+using exec::LoopProfile;
+using exec::OpCounts;
+using exec::RunProfile;
+
+constexpr ExecOptions kTreeSerial{ExecMode::Serial, 1, ExecEngine::TreeWalk};
+constexpr ExecOptions kByteSerial{ExecMode::Serial, 1, ExecEngine::Bytecode};
+
+const AdjointMode kSafeguards[] = {AdjointMode::Serial, AdjointMode::Atomic,
+                                   AdjointMode::Reduction, AdjointMode::FormAD};
+
+std::vector<Harness> allKernels() {
+  std::vector<Harness> hs;
+  hs.push_back(stencilHarness(2, 300, 11));
+  hs.push_back(gfmcHarness(false, 21));
+  hs.push_back(gfmcHarness(true, 22));
+  hs.push_back(greenGaussHarness(200, 31));
+  hs.push_back(indirectHarness(400, 41));
+  hs.push_back(lbmHarness(51));
+  return hs;
+}
+
+/// Primal run under `opts`; returns every dependent's flattened values and
+/// the run's stats through the out-parameter.
+std::map<std::string, std::vector<double>> primalOutputs(
+    const Harness& h, const ExecOptions& opts, exec::ExecStats* stats) {
+  auto kernel = h.parse();
+  Executor ex(*kernel);
+  Inputs io;
+  h.bind(io);
+  exec::ExecStats st = ex.run(io, opts);
+  if (stats != nullptr) *stats = std::move(st);
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& dep : h.spec.dependents) out[dep] = io.array(dep).realData();
+  return out;
+}
+
+/// Profile of the `mode` adjoint of `h` executed on `eng`.
+exec::ExecStats adjointProfile(const Harness& h, AdjointMode mode,
+                               ExecEngine eng) {
+  auto primal = h.parse();
+  auto dr = driver::differentiate(*primal, h.spec.independents,
+                                  h.spec.dependents, mode);
+  Inputs io;
+  h.bind(io);
+  for (const auto& [p, pb] : dr.adjointParams) {
+    const ArrayValue& a = io.array(p);
+    std::vector<long long> dims;
+    for (int k = 0; k < a.rank(); ++k) dims.push_back(a.dim(k));
+    io.bindArray(pb, ArrayValue::reals(dims));
+  }
+  Executor ex(*dr.adjoint);
+  ExecOptions opts;
+  opts.mode = ExecMode::Profile;
+  opts.engine = eng;
+  return ex.run(io, opts);
+}
+
+void expectCountsEq(const OpCounts& a, const OpCounts& b,
+                    const std::string& where) {
+  EXPECT_EQ(a.flops, b.flops) << where;
+  EXPECT_EQ(a.intops, b.intops) << where;
+  EXPECT_EQ(a.seqBytes, b.seqBytes) << where;
+  EXPECT_EQ(a.randBytes, b.randBytes) << where;
+  EXPECT_EQ(a.atomicOps, b.atomicOps) << where;
+  EXPECT_EQ(a.tapeBytes, b.tapeBytes) << where;
+}
+
+void expectGradientsEq(
+    const std::map<std::string, std::vector<double>>& ref,
+    const std::map<std::string, std::vector<double>>& got,
+    const std::string& where) {
+  ASSERT_EQ(ref.size(), got.size()) << where;
+  for (const auto& [name, rv] : ref) {
+    ASSERT_TRUE(got.count(name)) << where << " missing " << name;
+    const auto& gv = got.at(name);
+    ASSERT_EQ(rv.size(), gv.size()) << where << " " << name;
+    for (size_t i = 0; i < rv.size(); ++i)
+      EXPECT_EQ(rv[i], gv[i]) << where << " " << name << "[" << i << "]";
+  }
+}
+
+TEST(BytecodeDiff, PrimalBitIdenticalSerial) {
+  for (const Harness& h : allKernels()) {
+    exec::ExecStats ts, bs;
+    auto tree = primalOutputs(h, kTreeSerial, &ts);
+    auto byte = primalOutputs(h, kByteSerial, &bs);
+    expectGradientsEq(tree, byte, h.spec.name + " primal");
+    EXPECT_EQ(ts.tapePeakBytes, bs.tapePeakBytes) << h.spec.name;
+  }
+}
+
+TEST(BytecodeDiff, GradientsBitIdenticalSerial) {
+  for (const Harness& h : allKernels()) {
+    for (AdjointMode mode : kSafeguards) {
+      auto tree = adjointGradients(h, mode, kTreeSerial, 7);
+      auto byte = adjointGradients(h, mode, kByteSerial, 7);
+      expectGradientsEq(tree, byte,
+                        h.spec.name + " " + driver::to_string(mode));
+    }
+  }
+}
+
+TEST(BytecodeDiff, GradientsMatchUnderOpenMP) {
+  // Atomic increments and reduction-shadow merges reorder FP accumulation
+  // across threads, so compare against the tree-walker within tolerance.
+  constexpr ExecOptions kByteOmp{ExecMode::OpenMP, 3, ExecEngine::Bytecode};
+  for (const Harness& h : allKernels()) {
+    for (AdjointMode mode :
+         {AdjointMode::Atomic, AdjointMode::Reduction, AdjointMode::FormAD}) {
+      auto tree = adjointGradients(h, mode, kTreeSerial, 9);
+      auto byte = adjointGradients(h, mode, kByteOmp, 9);
+      ASSERT_EQ(tree.size(), byte.size());
+      for (const auto& [name, rv] : tree) {
+        const auto& gv = byte.at(name);
+        ASSERT_EQ(rv.size(), gv.size());
+        for (size_t i = 0; i < rv.size(); ++i)
+          EXPECT_LT(relDiff(rv[i], gv[i]), 1e-9)
+              << h.spec.name << " " << driver::to_string(mode) << " " << name
+              << "[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(BytecodeDiff, ProfileCountsIdentical) {
+  for (const Harness& h : allKernels()) {
+    for (AdjointMode mode : kSafeguards) {
+      exec::ExecStats ts = adjointProfile(h, mode, ExecEngine::TreeWalk);
+      exec::ExecStats bs = adjointProfile(h, mode, ExecEngine::Bytecode);
+      const RunProfile& tp = ts.profile;
+      const RunProfile& bp = bs.profile;
+      std::string where = h.spec.name + " " + driver::to_string(mode);
+      expectCountsEq(tp.serial, bp.serial, where + " serial");
+      ASSERT_EQ(tp.loops.size(), bp.loops.size()) << where;
+      for (size_t l = 0; l < tp.loops.size(); ++l) {
+        const LoopProfile& tl = tp.loops[l];
+        const LoopProfile& bl = bp.loops[l];
+        std::string lw = where + " loop " + std::to_string(l);
+        EXPECT_EQ(tl.dynamicSchedule, bl.dynamicSchedule) << lw;
+        EXPECT_EQ(tl.reductionBytes, bl.reductionBytes) << lw;
+        ASSERT_EQ(tl.perIteration.size(), bl.perIteration.size()) << lw;
+        for (size_t k = 0; k < tl.perIteration.size(); ++k)
+          expectCountsEq(tl.perIteration[k], bl.perIteration[k],
+                         lw + " iter " + std::to_string(k));
+      }
+      EXPECT_EQ(ts.tapePeakBytes, bs.tapePeakBytes) << where;
+      EXPECT_EQ(ts.tapeDrained, bs.tapeDrained) << where;
+    }
+  }
+}
+
+TEST(BytecodeDiff, DisassembleSmoke) {
+  Harness h = stencilHarness(1, 50, 3);
+  auto kernel = h.parse();
+  exec::KernelInfo info = exec::buildKernelInfo(*kernel);
+  exec::BytecodeEngine eng(*kernel, info);
+  EXPECT_GT(eng.instructionCount(), 0u);
+  EXPECT_FALSE(eng.disassemble().empty());
+}
+
+}  // namespace
+}  // namespace formad::testing
