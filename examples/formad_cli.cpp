@@ -11,8 +11,16 @@
 // -engine bytecode|treewalk selects the execution engine (see
 // exec/interp.h); with the bytecode engine, -disasm prints the compiled
 // register-VM listing of the generated kernel to stderr.
+//
+// -racecheck runs the static primal race checker (racecheck/) before
+// differentiating: a proven race aborts with the counterexample witness;
+// an inconclusive verdict is reported as a warning. With -racecheck-only
+// the verdict report is printed and nothing is differentiated.
+// -bind n=v,m=w pins never-written integer parameters to concrete values
+// for the checker; -coloring a,b declares conflict-free coloring arrays.
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +33,7 @@
 #include "formad/formad.h"
 #include "ir/printer.h"
 #include "parser/parser.h"
+#include "racecheck/racecheck.h"
 
 using namespace formad;
 
@@ -46,8 +55,29 @@ int usage() {
          "                  [-mode formad|atomic|reduction|serial|plain|"
          "tangent]\n"
          "                  [-engine bytecode|treewalk] [-disasm]\n"
-         "                  [-analyze-only]\n";
+         "                  [-analyze-only]\n"
+         "                  [-racecheck] [-racecheck-only]\n"
+         "                  [-bind name=value,...] [-coloring array,...]\n";
   return 2;
+}
+
+/// Parses "-bind n=20,c=0" pin lists.
+std::map<std::string, long long> parseBindings(const std::string& s) {
+  std::map<std::string, long long> pins;
+  for (const std::string& item : splitCommas(s)) {
+    size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::cerr << "bad -bind entry '" << item << "' (expected name=value)\n";
+      std::exit(2);
+    }
+    try {
+      pins[item.substr(0, eq)] = std::stoll(item.substr(eq + 1));
+    } catch (const std::exception&) {
+      std::cerr << "bad -bind value in '" << item << "'\n";
+      std::exit(2);
+    }
+  }
+  return pins;
 }
 
 /// Prints the register-VM listing of `kernel` to stderr (-disasm).
@@ -70,6 +100,9 @@ int main(int argc, char** argv) {
   bool analyzeOnly = false;
   bool emitC = false;
   bool disasm = false;
+  bool racecheckFlag = false;
+  bool racecheckOnly = false;
+  racecheck::RaceCheckOptions rcOpts;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -88,6 +121,13 @@ int main(int argc, char** argv) {
     else if (arg == "-disasm") disasm = true;
     else if (arg == "-analyze-only") analyzeOnly = true;
     else if (arg == "-emit-c") emitC = true;
+    else if (arg == "-racecheck") racecheckFlag = true;
+    else if (arg == "-racecheck-only") racecheckOnly = true;
+    else if (arg == "-bind") rcOpts.paramValues = parseBindings(next());
+    else if (arg == "-coloring") {
+      for (const std::string& a : splitCommas(next()))
+        rcOpts.colorings.insert(a);
+    }
     else return usage();
   }
   if (engine != "bytecode" && engine != "treewalk") return usage();
@@ -110,6 +150,13 @@ int main(int argc, char** argv) {
     if (head.empty() && program.kernels().size() == 1)
       head = program.kernels()[0]->name;
     const ir::Kernel& primal = program.get(head);
+
+    if (racecheckOnly) {
+      auto report = racecheck::checkKernelRaces(primal, rcOpts);
+      std::cout << report.describe();
+      return report.overall() == racecheck::RaceVerdict::Racy ? 1 : 0;
+    }
+
     if (indeps.empty() || deps.empty()) {
       std::cerr << "need -indep and -dep\n";
       return 2;
@@ -130,15 +177,19 @@ int main(int argc, char** argv) {
     std::cerr << core::describe(analysis);
     if (analyzeOnly) return 0;
 
-    driver::AdjointMode m;
-    if (mode == "formad") m = driver::AdjointMode::FormAD;
-    else if (mode == "atomic") m = driver::AdjointMode::Atomic;
-    else if (mode == "reduction") m = driver::AdjointMode::Reduction;
-    else if (mode == "serial") m = driver::AdjointMode::Serial;
-    else if (mode == "plain") m = driver::AdjointMode::Plain;
+    driver::DriverOptions dopts;
+    if (mode == "formad") dopts.mode = driver::AdjointMode::FormAD;
+    else if (mode == "atomic") dopts.mode = driver::AdjointMode::Atomic;
+    else if (mode == "reduction") dopts.mode = driver::AdjointMode::Reduction;
+    else if (mode == "serial") dopts.mode = driver::AdjointMode::Serial;
+    else if (mode == "plain") dopts.mode = driver::AdjointMode::Plain;
     else return usage();
+    dopts.racecheckPrimal = racecheckFlag;
+    dopts.racecheck = rcOpts;
 
-    auto dr = driver::differentiate(primal, indeps, deps, m);
+    auto dr = driver::differentiate(primal, indeps, deps, dopts);
+    if (racecheckFlag) std::cerr << dr.raceReport.describe();
+    for (const auto& w : dr.warnings) std::cerr << "warning: " << w << "\n";
     std::cout << (emitC ? codegen::emitC(*dr.adjoint)
                         : ir::printKernel(*dr.adjoint));
     if (disasm) disassemble(*dr.adjoint);

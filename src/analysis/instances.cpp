@@ -15,6 +15,11 @@ int InstanceMap::instanceOf(const Expr* use) const {
   return it->second;
 }
 
+int InstanceMap::instanceOfDef(const Stmt* stmt) const {
+  auto it = defInstance_.find(stmt);
+  return it == defInstance_.end() ? -1 : it->second;
+}
+
 namespace {
 
 /// Abstract environment: variable name -> current instance id.
@@ -82,10 +87,12 @@ class InstanceAnalysis {
         const auto& d = s.as<DeclLocal>();
         if (d.init) visitExpr(*d.init, env);
         env[d.name] = map_.fresh();
+        map_.recordDef(&s, env[d.name]);
         break;
       }
       case StmtKind::Pop: {
         env[s.as<Pop>().target] = map_.fresh();
+        map_.recordDef(&s, env[s.as<Pop>().target]);
         break;
       }
       case StmtKind::Push:

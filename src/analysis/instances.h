@@ -27,15 +27,24 @@ class InstanceMap {
   /// Instance of a VarRef or ArrayRef *use* site (node identity).
   [[nodiscard]] int instanceOf(const ir::Expr* use) const;
 
+  /// Instance the *target* of a defining statement receives: the declared
+  /// name of a DeclLocal or the popped target of a Pop (statements whose
+  /// target is a name, not an expression node). Assign targets are
+  /// recorded on their lhs expression instead. Used by the race checker to
+  /// key defining equations; returns -1 if the statement minted none.
+  [[nodiscard]] int instanceOfDef(const ir::Stmt* stmt) const;
+
   /// Total number of instances minted (for tests/statistics).
   [[nodiscard]] int instanceCount() const { return counter_; }
 
   // construction
   void record(const ir::Expr* use, int inst) { useInstance_[use] = inst; }
+  void recordDef(const ir::Stmt* stmt, int inst) { defInstance_[stmt] = inst; }
   int fresh() { return counter_++; }
 
  private:
   std::map<const ir::Expr*, int> useInstance_;
+  std::map<const ir::Stmt*, int> defInstance_;
   int counter_ = 0;
 };
 

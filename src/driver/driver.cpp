@@ -18,17 +18,38 @@ std::string to_string(AdjointMode mode) {
 DifferentiateResult differentiate(const Kernel& primal,
                                   const std::vector<std::string>& independents,
                                   const std::vector<std::string>& dependents,
-                                  AdjointMode mode,
-                                  bool omitTapeFreePrimalSweep) {
+                                  const DriverOptions& dopts) {
   DifferentiateResult result;
+
+  if (dopts.racecheckPrimal) {
+    result.raceReport = racecheck::checkKernelRaces(primal, dopts.racecheck);
+    switch (result.raceReport.overall()) {
+      case racecheck::RaceVerdict::Racy: {
+        std::string msg = "refusing to differentiate '" + primal.name +
+                          "': the primal parallel loop has a data race";
+        for (const auto& region : result.raceReport.regions)
+          for (const auto& w : region.witnesses) msg += "\n  " + w.render();
+        fail(msg);
+        break;
+      }
+      case racecheck::RaceVerdict::Unknown:
+        result.warnings.push_back(
+            "race check of primal '" + primal.name +
+            "' is inconclusive; differentiation proceeds on the usual "
+            "assumption that the primal is race-free");
+        break;
+      case racecheck::RaceVerdict::RaceFree:
+        break;
+    }
+  }
 
   ad::ReverseOptions opts;
   opts.independents = independents;
   opts.dependents = dependents;
-  opts.name = primal.name + "_b_" + to_string(mode);
-  opts.omitTapeFreePrimalSweep = omitTapeFreePrimalSweep;
+  opts.name = primal.name + "_b_" + to_string(dopts.mode);
+  opts.omitTapeFreePrimalSweep = dopts.omitTapeFreePrimalSweep;
 
-  switch (mode) {
+  switch (dopts.mode) {
     case AdjointMode::Serial:
       opts.serialize = true;
       break;
@@ -44,6 +65,12 @@ DifferentiateResult differentiate(const Kernel& primal,
       break;
     case AdjointMode::FormAD:
       result.analysis = core::analyzeKernel(primal, independents, dependents);
+      // Satisfiability safeguard: contradictory knowledge means the primal
+      // itself is racy; an adjoint generated from it would inherit the bug.
+      for (const auto& r : result.analysis.regions)
+        if (!r.knowledgeContradiction.empty())
+          fail("refusing to differentiate '" + primal.name + "': " +
+               r.knowledgeContradiction);
       opts.guardPolicy = core::formadPolicy(result.analysis);
       break;
     case AdjointMode::Plain:
@@ -55,6 +82,17 @@ DifferentiateResult differentiate(const Kernel& primal,
   result.adjointParams = std::move(rr.adjointParams);
   result.loopReports = std::move(rr.loopReports);
   return result;
+}
+
+DifferentiateResult differentiate(const Kernel& primal,
+                                  const std::vector<std::string>& independents,
+                                  const std::vector<std::string>& dependents,
+                                  AdjointMode mode,
+                                  bool omitTapeFreePrimalSweep) {
+  DriverOptions dopts;
+  dopts.mode = mode;
+  dopts.omitTapeFreePrimalSweep = omitTapeFreePrimalSweep;
+  return differentiate(primal, independents, dependents, dopts);
 }
 
 core::KernelAnalysis analyze(const Kernel& primal,

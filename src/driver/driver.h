@@ -11,6 +11,7 @@
 #include "ad/reverse.h"
 #include "formad/formad.h"
 #include "ir/kernel.h"
+#include "racecheck/racecheck.h"
 
 namespace formad::driver {
 
@@ -18,18 +19,43 @@ enum class AdjointMode { Serial, Atomic, Reduction, FormAD, Plain };
 
 [[nodiscard]] std::string to_string(AdjointMode mode);
 
+struct DriverOptions {
+  AdjointMode mode = AdjointMode::FormAD;
+  /// Drops the forward sweep when nothing needs taping (the "adjoint only"
+  /// variant used by the figure benchmarks; the generated kernel then does
+  /// not produce the primal outputs).
+  bool omitTapeFreePrimalSweep = false;
+  /// Pre-flight gate: run the static race checker (racecheck/) on the
+  /// primal before differentiating. A primal proven racy aborts adjoint
+  /// generation with the witness; an inconclusive verdict degrades to a
+  /// warning in DifferentiateResult::warnings.
+  bool racecheckPrimal = false;
+  /// Pins / coloring facts forwarded to the race checker.
+  racecheck::RaceCheckOptions racecheck;
+};
+
 struct DifferentiateResult {
   std::unique_ptr<ir::Kernel> adjoint;
   std::map<std::string, std::string> adjointParams;
   std::vector<ad::LoopGuardReport> loopReports;
   /// Populated for AdjointMode::FormAD.
   core::KernelAnalysis analysis;
+  /// Populated when DriverOptions::racecheckPrimal is set.
+  racecheck::RaceReport raceReport;
+  /// Non-fatal pipeline diagnostics (e.g. an inconclusive race check).
+  std::vector<std::string> warnings;
 };
 
 /// Builds the adjoint of `primal` under the requested safeguard mode.
-/// `omitTapeFreePrimalSweep` drops the forward sweep when nothing needs
-/// taping (the "adjoint only" variant used by the figure benchmarks; the
-/// generated kernel then does not produce the primal outputs).
+/// Throws formad::Error if the pre-flight race check proves the primal
+/// racy, or if FormAD's satisfiability safeguard finds the extracted
+/// knowledge contradictory (both mean the primal parallel loop has a data
+/// race, so no adjoint should be generated from it).
+[[nodiscard]] DifferentiateResult differentiate(
+    const ir::Kernel& primal, const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents, const DriverOptions& opts);
+
+/// Convenience overload: mode + omitTapeFreePrimalSweep, no race check.
 [[nodiscard]] DifferentiateResult differentiate(
     const ir::Kernel& primal, const std::vector<std::string>& independents,
     const std::vector<std::string>& dependents, AdjointMode mode,

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "exec/bytecode.h"
@@ -49,6 +51,34 @@ bool Inputs::has(const std::string& name) const {
   return scalars_.count(name) > 0 || arrays_.count(name) > 0;
 }
 
+// -------------------------------------------------------------- RaceLog
+
+std::string RaceLog::describe() const {
+  if (!any()) return "no cross-iteration conflicts observed\n";
+  std::string out;
+  for (const auto& e : events) {
+    out += e.writeWrite ? "write/write" : "read/write";
+    out += " conflict on ";
+    out += e.var;
+    if (!e.scalar) {
+      out += "[";
+      out += std::to_string(e.element);
+      out += "]";
+    }
+    out += " between iterations ";
+    out += std::to_string(e.iterA);
+    out += " and ";
+    out += std::to_string(e.iterB);
+    out += "\n";
+  }
+  if (dropped > 0) {
+    out += "... and ";
+    out += std::to_string(dropped);
+    out += " more conflicts\n";
+  }
+  return out;
+}
+
 // ------------------------------------------------------------- Executor
 
 namespace {
@@ -85,6 +115,8 @@ class Executor::Impl {
     opts_ = opts;
     stats_ = ExecStats{};
     profileMode_ = opts.mode == ExecMode::Profile;
+    raceMode_ = opts.logRaces;
+    raceActive_ = false;
 
     // Bind parameters.
     shScalars_.assign(static_cast<size_t>(info_.scalarCount), ScalarVal{});
@@ -112,7 +144,8 @@ class Executor::Impl {
     tape_.clear();
     tapePeak_ = 0;
 
-    if (opts.engine == ExecEngine::Bytecode) {
+    // Race logging needs per-access visibility: force the serial tree-walk.
+    if (opts.engine == ExecEngine::Bytecode && !opts.logRaces) {
       // Compiled lazily, once per kernel; reused across runs.
       if (!bc_) bc_ = std::make_unique<BytecodeEngine>(kernel_, info_);
       VmOptions vo;
@@ -160,6 +193,96 @@ class Executor::Impl {
   ad::Tape tape_;
   size_t tapePeak_ = 0;
 
+  // ----- dynamic race oracle (ExecOptions::logRaces) -----
+  //
+  // While a parallel loop runs (serially — logging forces the serial
+  // tree-walk), every touch of shared storage is recorded per location.
+  // Two distinct iterations touching the same location with at least one
+  // unprotected write yields one RaceEvent per location and kind.
+  // Atomic-guarded accesses are treated as synchronized and
+  // reduction-guarded accesses as privatized; neither is logged.
+
+  struct RaceLoc {
+    static constexpr long long kNone = std::numeric_limits<long long>::min();
+    long long firstWrite = kNone;  // loop counter of the first writing iter
+    long long firstRead = kNone;   // loop counter of the first reading iter
+    bool reportedWW = false;
+    bool reportedRW = false;
+  };
+  static constexpr long long kMaxRaceEvents = 64;
+
+  bool raceMode_ = false;    // this run logs races
+  bool raceActive_ = false;  // currently inside a logged parallel loop
+  long long raceIter_ = 0;   // loop counter value of the current iteration
+  std::map<std::pair<int, long long>, RaceLoc> raceArrayLocs_;
+  std::map<int, RaceLoc> raceScalarLocs_;
+
+  [[nodiscard]] std::string slotName(const std::map<std::string, int>& m,
+                                     int slot) const {
+    for (const auto& [name, s] : m)
+      if (s == slot) return name;
+    return "?";
+  }
+
+  void raceEmit(const std::string& var, long long elem, long long otherIter,
+                bool writeWrite, bool scalar) {
+    RaceLog& lg = stats_.raceLog;
+    if (static_cast<long long>(lg.events.size()) >= kMaxRaceEvents) {
+      ++lg.dropped;
+      return;
+    }
+    RaceEvent ev;
+    ev.var = var;
+    ev.element = elem;
+    ev.iterA = otherIter;
+    ev.iterB = raceIter_;
+    ev.writeWrite = writeWrite;
+    ev.scalar = scalar;
+    lg.events.push_back(std::move(ev));
+  }
+
+  void raceNoteRead(RaceLoc& loc, const std::string& var, long long elem,
+                    bool scalar) {
+    if (loc.firstWrite != RaceLoc::kNone && loc.firstWrite != raceIter_ &&
+        !loc.reportedRW) {
+      loc.reportedRW = true;
+      raceEmit(var, elem, loc.firstWrite, /*writeWrite=*/false, scalar);
+    }
+    if (loc.firstRead == RaceLoc::kNone) loc.firstRead = raceIter_;
+  }
+
+  void raceNoteWrite(RaceLoc& loc, const std::string& var, long long elem,
+                     bool scalar) {
+    if (loc.firstWrite != RaceLoc::kNone && loc.firstWrite != raceIter_ &&
+        !loc.reportedWW) {
+      loc.reportedWW = true;
+      raceEmit(var, elem, loc.firstWrite, /*writeWrite=*/true, scalar);
+    }
+    if (loc.firstRead != RaceLoc::kNone && loc.firstRead != raceIter_ &&
+        !loc.reportedRW) {
+      loc.reportedRW = true;
+      raceEmit(var, elem, loc.firstRead, /*writeWrite=*/false, scalar);
+    }
+    if (loc.firstWrite == RaceLoc::kNone) loc.firstWrite = raceIter_;
+  }
+
+  void raceArrayRead(int slot, long long flat) {
+    RaceLoc& loc = raceArrayLocs_[{slot, flat}];
+    raceNoteRead(loc, slotName(info_.arraySlot, slot), flat, false);
+  }
+  void raceArrayWrite(int slot, long long flat) {
+    RaceLoc& loc = raceArrayLocs_[{slot, flat}];
+    raceNoteWrite(loc, slotName(info_.arraySlot, slot), flat, false);
+  }
+  void raceScalarRead(int slot) {
+    raceNoteRead(raceScalarLocs_[slot], slotName(info_.scalarSlot, slot), 0,
+                 true);
+  }
+  void raceScalarWrite(int slot) {
+    raceNoteWrite(raceScalarLocs_[slot], slotName(info_.scalarSlot, slot), 0,
+                  true);
+  }
+
   struct Ctx {
     std::vector<ScalarVal> frame;          // thread-private slots
     const std::vector<bool>* privMask = nullptr;
@@ -177,6 +300,12 @@ class Executor::Impl {
     if (c.inParallel && (*c.privMask)[static_cast<size_t>(slot)])
       return c.frame[static_cast<size_t>(slot)];
     return shScalars_[static_cast<size_t>(slot)];
+  }
+
+  /// A scalar slot is shared (worth race-logging) unless the running loop
+  /// privatizes it (counter, private clause, locals).
+  [[nodiscard]] static bool raceSharedScalar(const Ctx& c, int slot) {
+    return !(c.inParallel && (*c.privMask)[static_cast<size_t>(slot)]);
   }
 
   // ----- expression evaluation -----
@@ -224,6 +353,7 @@ class Executor::Impl {
         return Value::boolean(static_cast<const BoolLit&>(e).value);
       case ExprKind::VarRef: {
         const auto& v = static_cast<const VarRef&>(e);
+        if (raceActive_ && raceSharedScalar(c, v.slot)) raceScalarRead(v.slot);
         const ScalarVal& s = scalarRef(c, v.slot);
         switch (info_.scalarType[static_cast<size_t>(v.slot)]) {
           case Scalar::Int: return Value::integer(s.i);
@@ -245,6 +375,7 @@ class Executor::Impl {
         const auto& a = static_cast<const ArrayRef&>(e);
         ArrayValue* arr = nullptr;
         long long flat = arrayFlat(a, c, arr);
+        if (raceActive_) raceArrayRead(a.slot, flat);
         countArrayAccess(a, c);
         if (arr->elem() == Scalar::Real) {
           double v = arr->realAt(flat);
@@ -469,6 +600,7 @@ class Executor::Impl {
       const auto& ar = static_cast<const ArrayRef&>(*a.lhs);
       ArrayValue* arr = nullptr;
       long long flat = arrayFlat(ar, c, arr);
+      if (raceActive_) raceArrayWrite(ar.slot, flat);
       countArrayAccess(ar, c);
       if (arr->elem() == Scalar::Real) {
         arr->realAt(flat) = v.asReal();
@@ -484,6 +616,7 @@ class Executor::Impl {
       }
     } else {
       const auto& vr = static_cast<const VarRef&>(*a.lhs);
+      if (raceActive_ && raceSharedScalar(c, vr.slot)) raceScalarWrite(vr.slot);
       ScalarVal& sv = scalarRef(c, vr.slot);
       switch (info_.scalarType[static_cast<size_t>(vr.slot)]) {
         case Scalar::Int: sv.i = v.asInt(); break;
@@ -576,7 +709,7 @@ class Executor::Impl {
         shScalars_[static_cast<size_t>(li.redScalarSlots[j])].r += sclSh[j];
     };
 
-    if (opts_.mode == ExecMode::OpenMP) {
+    if (opts_.mode == ExecMode::OpenMP && !raceMode_) {
       omp_set_schedule(f.sched == Schedule::Dynamic ? omp_sched_dynamic
                                                     : omp_sched_static,
                        f.sched == Schedule::Dynamic ? 1 : 0);
@@ -604,6 +737,15 @@ class Executor::Impl {
         mergeShadows(arrSh, sclSh);
       }
     } else {
+      // A logged parallel loop nested in another logged loop keeps the
+      // outer loop's iteration identity (conflicts within the inner loop
+      // are still cross-iteration conflicts of the outer region).
+      const bool raceTop = raceMode_ && !raceActive_;
+      if (raceTop) {
+        raceArrayLocs_.clear();
+        raceScalarLocs_.clear();
+        raceActive_ = true;
+      }
       Ctx tc;
       tc.frame.assign(static_cast<size_t>(info_.scalarCount), ScalarVal{});
       tc.privMask = &li.privMask;
@@ -618,6 +760,7 @@ class Executor::Impl {
       if (profileMode_) tc.counts = &iterCounts;
       for (long long k = 0; k < r.count; ++k) {
         long long iter = r.lo + k * r.step;
+        if (raceTop) raceIter_ = iter;
         tc.frame[static_cast<size_t>(counterSlot)].i = iter;
         tc.lane = block ? &block->lane(iter) : nullptr;
         if (profileMode_) iterCounts = OpCounts{};
@@ -625,6 +768,7 @@ class Executor::Impl {
         if (profileMode_) lp->perIteration[static_cast<size_t>(k)] = iterCounts;
       }
       mergeShadows(arrSh, sclSh);
+      if (raceTop) raceActive_ = false;
     }
 
     tapePeak_ = std::max(tapePeak_, tape_.bytes());

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ad/tape.h"
 #include "exec/counts.h"
@@ -58,12 +59,40 @@ struct ExecOptions {
   ExecMode mode = ExecMode::Serial;
   int numThreads = 1;
   ExecEngine engine = ExecEngine::Bytecode;
+  /// Record per-iteration read/write sets of every parallel loop and report
+  /// cross-iteration conflicts (the dynamic race oracle used to validate
+  /// the static checker in racecheck/). Forces serial tree-walk execution
+  /// so the log is deterministic and complete; results land in
+  /// ExecStats::raceLog.
+  bool logRaces = false;
+};
+
+/// One observed cross-iteration conflict on a concrete input: two distinct
+/// iterations of the same parallel loop touched the same storage location
+/// and at least one touch was an unprotected write.
+struct RaceEvent {
+  std::string var;        // array or scalar parameter/local name
+  long long element = 0;  // flattened element index (arrays only)
+  long long iterA = 0;    // the two colliding loop-counter values
+  long long iterB = 0;
+  bool writeWrite = false;  // both touches were writes
+  bool scalar = false;      // conflict on a shared scalar
+};
+
+/// Conflicts observed by one run with ExecOptions::logRaces set.
+struct RaceLog {
+  std::vector<RaceEvent> events;
+  long long dropped = 0;  // events beyond the cap (kept as a count only)
+
+  [[nodiscard]] bool any() const { return !events.empty() || dropped > 0; }
+  [[nodiscard]] std::string describe() const;
 };
 
 struct ExecStats {
   RunProfile profile;        // populated in Profile mode
   size_t tapePeakBytes = 0;  // high-water mark of tape memory
   bool tapeDrained = true;   // push/pop balance check
+  RaceLog raceLog;           // populated when ExecOptions::logRaces is set
 };
 
 class Executor {

@@ -95,6 +95,8 @@ std::string describe(const KernelAnalysis& analysis) {
        << " duplicate pairs), unique write exprs " << r.uniqueExprs
        << ", statements " << r.statementsInRegion << ", analysis "
        << r.analysisSeconds << "s\n";
+    if (!r.knowledgeContradiction.empty())
+      os << "  CONTRADICTION: " << r.knowledgeContradiction << "\n";
     for (const auto& v : r.vars) {
       os << "  " << v.var << ": "
          << (v.safe ? "SAFE (shared, no atomics)" : "UNSAFE (needs safeguard)")

@@ -56,8 +56,14 @@ LinExpr IndexLowering::lower(const Expr& e, bool primed) {
       return LinExpr(smt::Rational(e.as<IntLit>().value));
     case ExprKind::VarRef: {
       const auto& v = e.as<VarRef>();
+      if (pinned_ != nullptr && privates_.count(v.name) == 0) {
+        auto it = pinned_->find(v.name);
+        if (it != pinned_->end())
+          return LinExpr(smt::Rational(it->second));
+      }
       bool p = primed && privates_.count(v.name) > 0;
-      return LinExpr::atom(atoms_.internVar(v.name, inst_.instanceOf(&e), p));
+      int instNo = inst_ == nullptr ? 0 : inst_->instanceOf(&e);
+      return LinExpr::atom(atoms_.internVar(v.name, instNo, p));
     }
     case ExprKind::ArrayRef: {
       const auto& a = e.as<ArrayRef>();
@@ -68,7 +74,8 @@ LinExpr IndexLowering::lower(const Expr& e, bool primed) {
       std::vector<LinExpr> args;
       args.reserve(a.indices.size());
       for (const auto& i : a.indices) args.push_back(lower(*i, primed));
-      std::string fn = a.name + "@" + std::to_string(inst_.instanceOf(&e));
+      int instNo = inst_ == nullptr ? 0 : inst_->instanceOf(&e);
+      std::string fn = a.name + "@" + std::to_string(instNo);
       return opaque(fn, std::move(args));
     }
     case ExprKind::Unary: {

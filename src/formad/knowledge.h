@@ -108,9 +108,25 @@ class IndexLowering {
                 std::set<std::string> privates,
                 const analysis::SymbolTable& syms)
       : atoms_(atoms),
-        inst_(inst),
+        inst_(&inst),
         privates_(std::move(privates)),
         syms_(syms) {}
+
+  /// Extended form used by the race checker: `inst` may be null (every use
+  /// then gets instance 0 — correct for expressions evaluated once outside
+  /// the region body, like loop bounds), and `pinned` maps never-written
+  /// integer parameters to concrete values, substituted as constants
+  /// during lowering (this linearizes products like n_cell_entries * cell
+  /// that would otherwise become opaque __mul atoms).
+  IndexLowering(smt::AtomTable& atoms, const analysis::InstanceMap* inst,
+                std::set<std::string> privates,
+                const analysis::SymbolTable& syms,
+                const std::map<std::string, long long>* pinned)
+      : atoms_(atoms),
+        inst_(inst),
+        privates_(std::move(privates)),
+        syms_(syms),
+        pinned_(pinned) {}
 
   /// Flattened memory offset of an array reference (row-major with symbolic
   /// extents). `primed` substitutes sibling atoms for private variables
@@ -128,9 +144,10 @@ class IndexLowering {
   [[nodiscard]] smt::LinExpr dimExtent(const std::string& array, int dim);
 
   smt::AtomTable& atoms_;
-  const analysis::InstanceMap& inst_;
+  const analysis::InstanceMap* inst_;
   std::set<std::string> privates_;
   const analysis::SymbolTable& syms_;
+  const std::map<std::string, long long>* pinned_ = nullptr;
 };
 
 /// Private names of a parallel loop: the counter, clause privates, and

@@ -136,4 +136,12 @@ void bindLbm(exec::Inputs& io, const LbmLayout& layout, Rng& rng) {
   dst.fill(0.0);
 }
 
+std::map<std::string, long long> lbmPinnedParams(const LbmLayout& layout) {
+  std::map<std::string, long long> pins;
+  pins["n_cell_entries"] = layout.nCellEntries;
+  for (size_t k = 0; k < 19; ++k)
+    pins[kDirs[k].field] = static_cast<long long>(k);
+  return pins;
+}
+
 }  // namespace formad::kernels

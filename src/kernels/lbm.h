@@ -12,6 +12,9 @@
 // + i_0  that are not provably disjoint, so the safeguards stay.
 #pragma once
 
+#include <map>
+#include <string>
+
 #include "exec/interp.h"
 #include "kernels/data.h"
 #include "kernels/spec.h"
@@ -32,5 +35,14 @@ struct LbmLayout {
 [[nodiscard]] KernelSpec lbmSpec(const LbmLayout& layout = {});
 
 void bindLbm(exec::Inputs& io, const LbmLayout& layout, Rng& rng);
+
+/// The concrete values bindLbm gives the kernel's symbolic layout
+/// parameters (n_cell_entries and the 19 field offsets). Pinning these in
+/// RaceCheckOptions::paramValues linearizes the index expressions, letting
+/// the race checker decide the kernel (the field offsets are distinct
+/// mod n_cell_entries, so displaced writes of different directions can
+/// never land on the same element).
+[[nodiscard]] std::map<std::string, long long> lbmPinnedParams(
+    const LbmLayout& layout = {});
 
 }  // namespace formad::kernels

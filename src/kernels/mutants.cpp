@@ -1,0 +1,162 @@
+#include "kernels/mutants.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace formad::kernels {
+
+KernelSpec stencilRacySpec() {
+  KernelSpec spec;
+  spec.name = "stencil_racy";
+  spec.source = R"(
+kernel stencil_racy(n: int in, uold: real[] in, unew: real[] inout, w: real[] in) {
+  parallel for i = 1 : n - 2 shared(unew, uold) {
+    unew[i] += w[0] * uold[i];
+    unew[i + 1] += w[1] * uold[i];
+  }
+}
+)";
+  spec.independents = {"uold"};
+  spec.dependents = {"unew"};
+  return spec;
+}
+
+KernelSpec stencilStrideRacySpec() {
+  KernelSpec spec;
+  spec.name = "stencil_stride_racy";
+  spec.source = R"(
+kernel stencil_stride_racy(n: int in, uold: real[] in, unew: real[] inout, w: real[] in) {
+  parallel for i = 2 : n - 1 : 2 shared(unew, uold) {
+    unew[i] += w[0] * uold[i];
+    unew[i - 2] += w[1] * uold[i];
+  }
+}
+)";
+  spec.independents = {"uold"};
+  spec.dependents = {"unew"};
+  return spec;
+}
+
+KernelSpec lbmRacySpec() {
+  KernelSpec spec;
+  spec.name = "lbm_racy";
+  spec.source = R"(
+kernel lbm_racy(ncells: int in, n_cell_entries: int in, margin: int in,
+                c: int in, srcgrid: real[] in, dstgrid: real[] inout) {
+  parallel for cell = margin : ncells - margin - 1 {
+    var i: int = n_cell_entries * cell;
+    dstgrid[c + n_cell_entries * 0 + i] = 0.5 * srcgrid[c + n_cell_entries * 0 + i];
+    dstgrid[c + n_cell_entries * 1 + i] = 0.5 * srcgrid[c + n_cell_entries * 0 + i];
+  }
+}
+)";
+  spec.independents = {"srcgrid"};
+  spec.dependents = {"dstgrid"};
+  return spec;
+}
+
+KernelSpec gatherRacySpec() {
+  KernelSpec spec;
+  spec.name = "gather_racy";
+  spec.source = R"(
+kernel gather_racy(n: int in, c: int[] in, x: real[] in, y: real[] inout) {
+  parallel for i = 0 : n - 1 {
+    y[c[i]] = x[c[i] + 7];
+    y[0] = y[0] + x[i];
+  }
+}
+)";
+  spec.independents = {"x"};
+  spec.dependents = {"y"};
+  return spec;
+}
+
+KernelSpec sumRacySpec() {
+  KernelSpec spec;
+  spec.name = "sum_racy";
+  spec.source = R"(
+kernel sum_racy(n: int in, x: real[] in, s: real inout) {
+  parallel for i = 0 : n - 1 {
+    s = s + x[i];
+  }
+}
+)";
+  spec.independents = {"x"};
+  spec.dependents = {"s"};
+  return spec;
+}
+
+void bindStencilRacy(exec::Inputs& io, long long n, Rng& rng) {
+  io.bindInt("n", n);
+  auto& uold = io.bindArray("uold", exec::ArrayValue::reals({n}));
+  fillUniform(uold, rng, -1.0, 1.0);
+  auto& unew = io.bindArray("unew", exec::ArrayValue::reals({n}));
+  fillUniform(unew, rng, -0.1, 0.1);
+  auto& w = io.bindArray("w", exec::ArrayValue::reals({2}));
+  fillUniform(w, rng, 0.1, 0.5);
+}
+
+void bindStencilStrideRacy(exec::Inputs& io, long long n, Rng& rng) {
+  bindStencilRacy(io, n, rng);
+}
+
+void bindLbmRacy(exec::Inputs& io, long long ncells, Rng& rng) {
+  const long long nce = 20;
+  io.bindInt("ncells", ncells);
+  io.bindInt("n_cell_entries", nce);
+  io.bindInt("margin", 2);
+  io.bindInt("c", 0);
+  auto& src = io.bindArray("srcgrid", exec::ArrayValue::reals({ncells * nce}));
+  fillUniform(src, rng, 0.2, 1.0);
+  auto& dst = io.bindArray("dstgrid", exec::ArrayValue::reals({ncells * nce}));
+  dst.fill(0.0);
+}
+
+void bindGatherRacy(exec::Inputs& io, long long n, Rng& rng) {
+  io.bindInt("n", n);
+  auto& c = io.bindArray("c", exec::ArrayValue::ints({n}));
+  std::iota(c.intData().begin(), c.intData().end(), 0);
+  std::shuffle(c.intData().begin(), c.intData().end(), rng);
+  auto& x = io.bindArray("x", exec::ArrayValue::reals({n + 7}));
+  fillUniform(x, rng, -1.0, 1.0);
+  auto& y = io.bindArray("y", exec::ArrayValue::reals({n}));
+  y.fill(0.0);
+}
+
+void bindSumRacy(exec::Inputs& io, long long n, Rng& rng) {
+  io.bindInt("n", n);
+  auto& x = io.bindArray("x", exec::ArrayValue::reals({n}));
+  fillUniform(x, rng, -1.0, 1.0);
+  io.bindReal("s", 0.0);
+}
+
+void bindGreenGaussBroken(exec::Inputs& io, long long nodes, Rng& rng) {
+  const long long n = nodes;
+  const long long edges = n - 1;  // linear chain mesh
+
+  io.bindInt("ncolor", 2);
+
+  // All edges in "color" 0 — consecutive chain edges (k, k+1) and
+  // (k+1, k+2) share node k+1, so the color class is not conflict-free.
+  auto& colorIa = io.bindArray("color_ia", exec::ArrayValue::ints({3}));
+  colorIa.intAt(0) = 0;
+  colorIa.intAt(1) = edges;
+  colorIa.intAt(2) = edges;
+
+  auto& e2n = io.bindArray("edge2nodes", exec::ArrayValue::ints({2, edges}));
+  for (long long k = 0; k < edges; ++k) {
+    long long idx0[2] = {0, k};
+    long long idx1[2] = {1, k};
+    e2n.intAt(e2n.linearize(idx0, 2)) = k;
+    e2n.intAt(e2n.linearize(idx1, 2)) = k + 1;
+  }
+
+  auto& dv = io.bindArray("dv", exec::ArrayValue::reals({n}));
+  fillUniform(dv, rng, -1.0, 1.0);
+  auto& sij = io.bindArray("sij", exec::ArrayValue::reals({edges}));
+  fillUniform(sij, rng, 0.5, 1.5);
+  auto& grad = io.bindArray("grad", exec::ArrayValue::reals({n}));
+  grad.fill(0.0);
+}
+
+}  // namespace formad::kernels

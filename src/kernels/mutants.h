@@ -1,0 +1,50 @@
+// Deliberately-racy mutants of the paper kernels.
+//
+// The race checker (src/racecheck/) must flag each of these as Racy with a
+// concrete witness, and the interpreter's race-logging oracle must observe
+// the collision at runtime. Each mutant breaks its parent kernel in the
+// smallest way that reintroduces a primal race:
+//   - stencil_racy:        stride-1 loop whose `unew[i+1]` write overlaps
+//                          the next iteration's `unew[i]` write;
+//   - stencil_stride_racy: stride-2 loop writing `unew[i-2]` — exactly one
+//                          stride behind, so the congruence argument that
+//                          proves the correct compact stencil safe now
+//                          *produces* the colliding iteration pair;
+//   - lbm_racy:            LBM's offending displaced write moved into the
+//                          primal: the same field is written for the own
+//                          cell and for a neighbor cell;
+//   - gather_racy:         the Fig. 2 gather loop plus an unguarded
+//                          accumulation into y[0] on every iteration;
+//   - sum_racy:            an unguarded shared-scalar sum (no reduction
+//                          clause, no atomic).
+// bindGreenGaussBroken additionally rebinds the *correct* Green-Gauss
+// kernel with a coloring that is not conflict-free — statically
+// indistinguishable from the correct binding (the verdict is Unknown
+// either way), but the dynamic oracle catches it, which is exactly why the
+// oracle exists.
+#pragma once
+
+#include "exec/interp.h"
+#include "kernels/data.h"
+#include "kernels/spec.h"
+
+namespace formad::kernels {
+
+[[nodiscard]] KernelSpec stencilRacySpec();
+[[nodiscard]] KernelSpec stencilStrideRacySpec();
+[[nodiscard]] KernelSpec lbmRacySpec();
+[[nodiscard]] KernelSpec gatherRacySpec();
+[[nodiscard]] KernelSpec sumRacySpec();
+
+void bindStencilRacy(exec::Inputs& io, long long n, Rng& rng);
+void bindStencilStrideRacy(exec::Inputs& io, long long n, Rng& rng);
+/// ncells must exceed 2*margin (margin is fixed at 2).
+void bindLbmRacy(exec::Inputs& io, long long ncells, Rng& rng);
+void bindGatherRacy(exec::Inputs& io, long long n, Rng& rng);
+void bindSumRacy(exec::Inputs& io, long long n, Rng& rng);
+
+/// Binds the inputs of the *correct* greengauss kernel (greenGaussSpec())
+/// with a single-color "coloring" in which consecutive edges share nodes.
+void bindGreenGaussBroken(exec::Inputs& io, long long nodes, Rng& rng);
+
+}  // namespace formad::kernels

@@ -52,9 +52,25 @@ std::vector<AtomId> denseRows(const std::vector<const LinExpr*>& equalities,
 }
 
 bool integerSolvable(std::vector<IntRow> rows) {
-  if (rows.empty()) return true;
+  const size_t n = rows.empty() ? 0 : rows[0].coeffs.size();
+  return integerSolve(std::move(rows), n).has_value();
+}
+
+std::optional<IntSolution> integerSolve(std::vector<IntRow> rows,
+                                        size_t width) {
   const size_t m = rows.size();
-  const size_t n = rows[0].coeffs.size();
+  const size_t n = width;
+  FORMAD_ASSERT(rows.empty() || rows[0].coeffs.size() == n,
+                "integerSolve width mismatch");
+
+  // The unimodular column transformation U (column-major: U[c] is column c
+  // of U, length n). Every column operation applied to A is mirrored on U,
+  // maintaining the invariant  H = A_original · U.
+  std::vector<std::vector<long long>> U(n);
+  for (size_t c = 0; c < n; ++c) {
+    U[c].assign(n, 0);
+    U[c][c] = 1;
+  }
 
   // Bring the coefficient matrix to lower-triangular Hermite-like form
   // using unimodular *column* operations (they change variables, not the
@@ -75,9 +91,11 @@ bool integerSolvable(std::vector<IntRow> rows) {
       }
       if (best == SIZE_MAX) break;  // row r has no support here
       // Move it to pivotCol (column swap is unimodular).
-      if (best != pivotCol)
+      if (best != pivotCol) {
         for (size_t rr = 0; rr < m; ++rr)
           std::swap(rows[rr].coeffs[pivotCol], rows[rr].coeffs[best]);
+        std::swap(U[pivotCol], U[best]);
+      }
       // Reduce every other column of row r modulo the pivot.
       long long p = rows[r].coeffs[pivotCol];
       bool clean = true;
@@ -90,6 +108,9 @@ bool integerSolvable(std::vector<IntRow> rows) {
             rows[rr].coeffs[cidx] = narrow(
                 static_cast<Wide>(rows[rr].coeffs[cidx]) -
                 static_cast<Wide>(q) * rows[rr].coeffs[pivotCol]);
+          for (size_t i = 0; i < n; ++i)
+            U[cidx][i] = narrow(static_cast<Wide>(U[cidx][i]) -
+                                static_cast<Wide>(q) * U[pivotCol][i]);
         }
         if (rows[r].coeffs[cidx] != 0) clean = false;
       }
@@ -102,7 +123,8 @@ bool integerSolvable(std::vector<IntRow> rows) {
   }
 
   // Forward substitution on H y = b. Process rows in order; each pivot
-  // entry must divide the residual right-hand side.
+  // entry must divide the residual right-hand side. Free coordinates of y
+  // stay 0 — they parameterize the homogeneous lattice instead.
   std::vector<long long> y(n, 0);
   for (size_t r = 0; r < m; ++r) {
     Wide residual = rows[r].rhs;
@@ -114,14 +136,26 @@ bool integerSolvable(std::vector<IntRow> rows) {
     if (pc == SIZE_MAX) {
       // Zero row: the residual must vanish (rational inconsistency
       // otherwise).
-      if (residual != 0) return false;
+      if (residual != 0) return std::nullopt;
       continue;
     }
     long long p = rows[r].coeffs[pc];
-    if (residual % p != 0) return false;  // integer infeasible
+    if (residual % p != 0) return std::nullopt;  // integer infeasible
     y[pc] = narrow(residual / p);
   }
-  return true;
+
+  // Map back through U:  x = U·y.  Columns of U beyond the last pivot span
+  // the kernel of A (H has no support there), giving the lattice basis.
+  IntSolution sol;
+  sol.particular.assign(n, 0);
+  for (size_t c = 0; c < pivotCol; ++c) {
+    if (y[c] == 0) continue;
+    for (size_t i = 0; i < n; ++i)
+      sol.particular[i] = narrow(static_cast<Wide>(sol.particular[i]) +
+                                 static_cast<Wide>(y[c]) * U[c][i]);
+  }
+  for (size_t c = pivotCol; c < n; ++c) sol.basis.push_back(U[c]);
+  return sol;
 }
 
 }  // namespace formad::smt

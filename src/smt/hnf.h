@@ -14,6 +14,7 @@
 // array strides), far from the guard rails.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "smt/linear.h"
@@ -29,6 +30,24 @@ struct IntRow {
 /// Decides whether the system has an integer solution. Empty systems are
 /// feasible. Rationally inconsistent systems are infeasible.
 [[nodiscard]] bool integerSolvable(std::vector<IntRow> rows);
+
+/// The full integer solution set of A·x = b in parametric form: every
+/// solution is  particular + Σ t_j · basis_j  for integer t, and every such
+/// combination is a solution. The basis spans the solution lattice of the
+/// homogeneous system A·v = 0 (it is the set of free columns of the
+/// unimodular transformation that brings A to Hermite form).
+struct IntSolution {
+  std::vector<long long> particular;          // one x with A·x = b
+  std::vector<std::vector<long long>> basis;  // lattice basis of A·v = 0
+};
+
+/// Solves A·x = b over the integers, additionally returning the solution
+/// lattice (the data `integerSolvable` discards). `width` is the number of
+/// columns — needed because `rows` may be empty, in which case every
+/// variable is free (particular = 0, basis = identity). Returns nullopt iff
+/// no integer solution exists.
+[[nodiscard]] std::optional<IntSolution> integerSolve(std::vector<IntRow> rows,
+                                                      size_t width);
 
 /// Converts equality constraints (expr = 0) to dense integer rows over a
 /// stable column order (ascending AtomId). Returns the column order.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
+#include <string>
 
 #include "support/diagnostics.h"
 
@@ -24,7 +26,9 @@ void Solver::add(Constraint c) {
 void Solver::push() { marks_.push_back(stack_.size()); }
 
 void Solver::pop() {
-  FORMAD_ASSERT(!marks_.empty(), "Solver::pop without matching push");
+  if (marks_.empty())
+    fail("Solver::pop without matching push (assertion stack has " +
+         std::to_string(stack_.size()) + " assertions and no open scope)");
   stack_.resize(marks_.back());
   marks_.pop_back();
 }
@@ -135,6 +139,223 @@ CheckResult Solver::solve() {
   }
 
   return sawUndecidedLe ? CheckResult::Unknown : CheckResult::Sat;
+}
+
+Rational Solver::evaluate(const LinExpr& e, const Model& m) {
+  Rational v = e.constant();
+  for (const auto& [id, coeff] : e.coeffs()) {
+    auto it = m.find(id);
+    FORMAD_ASSERT(it != m.end(), "model evaluation: unassigned atom");
+    v += coeff * Rational(it->second);
+  }
+  return v;
+}
+
+namespace {
+
+/// Enumerates small integer coordinate vectors of dimension `dims` in
+/// roughly increasing magnitude: the origin, then single-coordinate spikes
+/// of growing height, then two-coordinate combinations, then a
+/// deterministic pseudo-random sweep. The systems the race checker
+/// produces need at most two active lattice directions (one to separate
+/// the iteration pair, one to push a symbolic extent past the bounds), so
+/// this order finds the small witnesses users want to read first.
+class CoordinateSearch {
+ public:
+  explicit CoordinateSearch(size_t dims) : dims_(dims), t_(dims, 0) {}
+
+  /// Returns the next candidate or nullptr once the budget is exhausted.
+  const std::vector<long long>* next() {
+    if (dims_ == 0) {
+      // Zero-dimensional lattice: the particular solution is the only
+      // candidate.
+      return phase_++ == 0 ? &t_ : nullptr;
+    }
+    if (++emitted_ > kBudget) return nullptr;
+    switch (phase_) {
+      case 0:  // origin
+        phase_ = 1;
+        return &t_;
+      case 1:  // single nonzero coordinate, growing magnitude
+        if (singleNext()) return &t_;
+        phase_ = 2;
+        std::fill(t_.begin(), t_.end(), 0);
+        [[fallthrough]];
+      case 2:  // pairs of nonzero coordinates
+        if (pairNext()) return &t_;
+        phase_ = 3;
+        std::fill(t_.begin(), t_.end(), 0);
+        [[fallthrough]];
+      default:  // deterministic pseudo-random sweep
+        for (size_t j = 0; j < dims_; ++j) {
+          rngState_ = rngState_ * 6364136223846793005ULL + 1442695040888963407ULL;
+          t_[j] = static_cast<long long>((rngState_ >> 33) % 19) - 9;
+        }
+        return &t_;
+    }
+  }
+
+ private:
+  bool singleNext() {
+    // State: (radius r in 1..kRadius, coordinate j, sign).
+    while (r1_ <= kRadius) {
+      if (j1_ < dims_) {
+        std::fill(t_.begin(), t_.end(), 0);
+        t_[j1_] = neg1_ ? -r1_ : r1_;
+        if (neg1_) {
+          neg1_ = false;
+          ++j1_;
+        } else {
+          neg1_ = true;
+        }
+        return true;
+      }
+      j1_ = 0;
+      ++r1_;
+    }
+    return false;
+  }
+
+  bool pairNext() {
+    while (ra_ <= kPairRadius) {
+      while (rb_ <= kPairRadius) {
+        while (ja_ < dims_) {
+          while (jb_ < dims_) {
+            if (jb_ == ja_) {
+              ++jb_;
+              continue;
+            }
+            if (sign_ < 4) {
+              std::fill(t_.begin(), t_.end(), 0);
+              t_[ja_] = (sign_ & 1) ? -ra_ : ra_;
+              t_[jb_] = (sign_ & 2) ? -rb_ : rb_;
+              ++sign_;
+              return true;
+            }
+            sign_ = 0;
+            ++jb_;
+          }
+          jb_ = 0;
+          ++ja_;
+        }
+        ja_ = 0;
+        ++rb_;
+      }
+      rb_ = 1;
+      ++ra_;
+    }
+    return false;
+  }
+
+  static constexpr long long kRadius = 24;
+  static constexpr long long kPairRadius = 8;
+  static constexpr long long kBudget = 60000;
+
+  size_t dims_;
+  std::vector<long long> t_;
+  int phase_ = 0;
+  long long emitted_ = 0;
+  // single-coordinate state
+  long long r1_ = 1;
+  size_t j1_ = 0;
+  bool neg1_ = false;
+  // pair state
+  long long ra_ = 1, rb_ = 1;
+  size_t ja_ = 0, jb_ = 0;
+  int sign_ = 0;
+  // pseudo-random state (fixed seed: runs are reproducible)
+  unsigned long long rngState_ = 0x9e3779b97f4a7c15ULL;
+};
+
+}  // namespace
+
+std::optional<Model> Solver::model() {
+  ++stats_.modelSearches;
+
+  // Rebuild the equality engine exactly as solve() does; a contradiction
+  // here means Unsat, hence no model.
+  LiaSystem lia;
+  for (const auto& c : stack_)
+    if (c.rel == Rel::Eq && !lia.addEquality(c.expr)) return std::nullopt;
+  if (!congruenceClose(atoms_, lia)) return std::nullopt;
+
+  // The atom universe: everything the stack or the reduced system mentions
+  // must receive a value.
+  std::set<AtomId> universe;
+  for (const auto& c : stack_)
+    for (const auto& [id, coeff] : c.expr.coeffs()) {
+      (void)coeff;
+      universe.insert(id);
+    }
+  std::vector<LinExpr> eqs = lia.equations();
+  std::vector<const LinExpr*> ptrs;
+  ptrs.reserve(eqs.size());
+  for (const auto& e : eqs) {
+    for (const auto& [id, coeff] : e.coeffs()) {
+      (void)coeff;
+      universe.insert(id);
+    }
+    ptrs.push_back(&e);
+  }
+
+  // Parametric integer solution of the equality system.
+  std::vector<IntRow> rows;
+  std::vector<AtomId> columns = denseRows(ptrs, rows);
+  std::optional<IntSolution> sol = integerSolve(std::move(rows),
+                                                columns.size());
+  if (!sol) return std::nullopt;
+
+  // Atoms outside the equality system are unconstrained extra lattice
+  // dimensions of their own.
+  std::vector<AtomId> freeAtoms;
+  for (AtomId id : universe)
+    if (!std::binary_search(columns.begin(), columns.end(), id))
+      freeAtoms.push_back(id);
+
+  const size_t latticeDims = sol->basis.size();
+  const size_t dims = latticeDims + freeAtoms.size();
+
+  auto assemble = [&](const std::vector<long long>& t) {
+    Model m;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      __int128 v = sol->particular[c];
+      for (size_t j = 0; j < latticeDims; ++j)
+        v += static_cast<__int128>(t[j]) * sol->basis[j][c];
+      FORMAD_ASSERT(v <= INT64_MAX && v >= INT64_MIN, "model value overflow");
+      m[columns[c]] = static_cast<long long>(v);
+    }
+    for (size_t j = 0; j < freeAtoms.size(); ++j)
+      m[freeAtoms[j]] = t[latticeDims + j];
+    return m;
+  };
+
+  auto satisfies = [&](const Model& m) {
+    for (const auto& c : stack_) {
+      Rational v = evaluate(c.expr, m);
+      switch (c.rel) {
+        case Rel::Eq:
+          if (!v.isZero()) return false;
+          break;
+        case Rel::Ne:
+          if (v.isZero()) return false;
+          break;
+        case Rel::Le:
+          if (v.sign() > 0) return false;
+          break;
+      }
+    }
+    return true;
+  };
+
+  CoordinateSearch search(dims);
+  while (const std::vector<long long>* t = search.next()) {
+    Model m = assemble(*t);
+    if (satisfies(m)) {
+      ++stats_.modelsFound;
+      return m;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace formad::smt

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,12 +53,19 @@ struct Constraint {
   }
 };
 
+/// A concrete integer assignment, one value per atom mentioned on the
+/// assertion stack.
+using Model = std::map<AtomId, long long>;
+
 class Solver {
  public:
   explicit Solver(AtomTable& atoms) : atoms_(atoms) {}
 
   void add(Constraint c);
   void push();
+  /// Drops the assertions added since the matching push(). Calling pop on
+  /// an empty mark stack throws formad::Error (it would otherwise corrupt
+  /// the assertion stack silently).
   void pop();
 
   /// Decides the current conjunction. The model is rebuilt from the
@@ -71,6 +79,28 @@ class Solver {
   ///     equality system once and the residue reused by every later pass.
   [[nodiscard]] CheckResult check();
 
+  /// Attempts to build a concrete integer model of the current conjunction
+  /// (the witness-extraction companion of check(), used by the race
+  /// checker to turn a non-Unsat verdict into a human-readable
+  /// counterexample). The model is assembled from the LIA equality
+  /// solution: the HNF pass yields one particular integer solution plus a
+  /// basis of the homogeneous solution lattice, and a bounded search over
+  /// small lattice coordinates looks for a point that also satisfies every
+  /// Ne and Le assertion. Every returned model is verified by exact
+  /// evaluation of the full assertion stack. Returns nullopt when the
+  /// conjunction is Unsat or no witness lies within the search budget
+  /// (callers must treat that as "unknown", never as Unsat).
+  ///
+  /// Caveat: UF atoms are treated as free integer unknowns — functional
+  /// consistency between distinct UF applications is NOT enforced, so a
+  /// model involving UF atoms is a witness only under the caller's reading
+  /// of those atoms (the race checker restricts witness claims to UF-free
+  /// queries for exactly this reason).
+  [[nodiscard]] std::optional<Model> model();
+
+  /// Exact value of `e` under `m` (every atom of `e` must be assigned).
+  [[nodiscard]] static Rational evaluate(const LinExpr& e, const Model& m);
+
   [[nodiscard]] size_t assertionCount() const { return stack_.size(); }
 
   struct Stats {
@@ -79,6 +109,8 @@ class Solver {
     long long cacheHits = 0;       // checks answered from the verdict cache
     long long reduceCalls = 0;     // lia.reduce invocations actually made
     long long reduceMemoHits = 0;  // reductions reused from the per-solve memo
+    long long modelSearches = 0;   // model() invocations
+    long long modelsFound = 0;     // model() calls that produced a witness
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -137,7 +137,9 @@ TEST(Verdicts, GreenGaussSafeWithTable1Stats) {
 
 TEST(Safeguard, RacyPrimalIsDetected) {
   // Every iteration writes y[0]: a blatant write-write race. The knowledge
-  // base (y's write pairs) becomes unsatisfiable under i != i'.
+  // base (y's write pairs) becomes unsatisfiable under i != i'. The
+  // analysis records the contradiction (all variables distrusted) and code
+  // generation refuses to build an adjoint from it.
   auto k = parser::parseKernel(R"(
 kernel racy(n: int in, x: real[] in, y: real[] inout) {
   parallel for i = 0 : n - 1 {
@@ -145,7 +147,33 @@ kernel racy(n: int in, x: real[] in, y: real[] inout) {
   }
 }
 )");
-  EXPECT_THROW((void)driver::analyze(*k, {"x"}, {"y"}), Error);
+  auto a = driver::analyze(*k, {"x"}, {"y"});
+  ASSERT_EQ(a.regions.size(), 1u);
+  EXPECT_NE(a.regions[0].knowledgeContradiction.find("unsatisfiable"),
+            std::string::npos);
+  for (const auto& v : a.regions[0].vars) EXPECT_FALSE(v.safe);
+  EXPECT_NE(core::describe(a).find("CONTRADICTION"), std::string::npos);
+  EXPECT_THROW(
+      (void)driver::differentiate(*k, {"x"}, {"y"}, driver::AdjointMode::FormAD),
+      Error);
+}
+
+TEST(Safeguard, ContradictionSkippedWhenSafeguardDisabled) {
+  // The ablation switch turns the consistency check off: analysis then
+  // silently builds on the contradictory knowledge (this is exactly what
+  // the safeguard exists to prevent) and the contradiction goes unrecorded.
+  auto k = parser::parseKernel(R"(
+kernel racy(n: int in, x: real[] in, y: real[] inout) {
+  parallel for i = 0 : n - 1 {
+    y[0] = y[0] + x[i];
+  }
+}
+)");
+  core::AnalyzeOptions opts;
+  opts.exploit.checkKnowledgeConsistency = false;
+  auto a = core::analyzeKernel(*k, {"x"}, {"y"}, opts);
+  ASSERT_EQ(a.regions.size(), 1u);
+  EXPECT_TRUE(a.regions[0].knowledgeContradiction.empty());
 }
 
 TEST(Safeguard, AtomicPrimalWritesCarryNoKnowledge) {

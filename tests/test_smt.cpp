@@ -7,6 +7,7 @@
 #include <random>
 
 #include "smt/solver.h"
+#include "support/diagnostics.h"
 
 namespace formad::smt {
 namespace {
@@ -362,6 +363,200 @@ TEST(AtomTable, RenderIsReadable) {
   EXPECT_NE(s.find("c@0"), std::string::npos);
   EXPECT_NE(s.find("i_0"), std::string::npos);
   EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+// -------------------------------------------------- stack discipline
+
+TEST_F(SolverTest, PopWithoutPushThrows) {
+  solver.push();
+  solver.pop();
+  EXPECT_THROW(solver.pop(), Error);
+}
+
+TEST_F(SolverTest, PopUnderflowLeavesAssertionsIntact) {
+  solver.add(Constraint::ne(LinExpr::atom(i), LinExpr::atom(ip)));
+  EXPECT_THROW(solver.pop(), Error);
+  EXPECT_EQ(solver.assertionCount(), 1u);
+  EXPECT_EQ(solver.check(), CheckResult::Sat);
+}
+
+// -------------------------------------------------- Unknown paths
+
+TEST_F(SolverTest, MultiAtomInequalityIsUnknown) {
+  // i + i' <= 3 leaves a multi-atom residue the interval tracker cannot
+  // decide: the verdict must degrade to Unknown, never to Sat.
+  solver.add(Constraint::le(LinExpr::atom(i) + LinExpr::atom(ip),
+                            LinExpr(Rational(3))));
+  EXPECT_EQ(solver.check(), CheckResult::Unknown);
+}
+
+TEST_F(SolverTest, UndecidedLeStillDetectsIntervalConflicts) {
+  // The undecided multi-atom Le must not mask a decidable single-atom
+  // interval conflict elsewhere on the stack.
+  solver.add(Constraint::le(LinExpr::atom(i) + LinExpr::atom(ip),
+                            LinExpr(Rational(3))));
+  solver.add(Constraint::le(LinExpr(Rational(5)), LinExpr::atom(i)));
+  solver.add(Constraint::le(LinExpr::atom(i), LinExpr(Rational(4))));
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+}
+
+// -------------------------------------------------- Stats counters
+
+TEST_F(SolverTest, VerdictCacheCountsHits) {
+  solver.add(Constraint::ne(LinExpr::atom(i), LinExpr::atom(ip)));
+  EXPECT_EQ(solver.check(), CheckResult::Sat);
+  EXPECT_EQ(solver.stats().cacheHits, 0);
+  EXPECT_EQ(solver.check(), CheckResult::Sat);
+  EXPECT_EQ(solver.stats().cacheHits, 1);
+  EXPECT_EQ(solver.stats().checks, 2);
+
+  // A different stack misses; an order-permuted copy of a seen stack hits.
+  solver.push();
+  solver.add(Constraint::eq(LinExpr::atom(i), LinExpr(Rational(0))));
+  EXPECT_EQ(solver.check(), CheckResult::Sat);
+  EXPECT_EQ(solver.stats().cacheHits, 1);
+  solver.pop();
+}
+
+TEST_F(SolverTest, ReduceMemoServesThePinnedIntervalPass) {
+  // 0 <= i <= 0 pins i to a point and i != 0 excludes it: the verdict is
+  // Unsat, reached in the pinned-interval pass that reuses the memoized
+  // Ne residues (reduceMemoHits) instead of reducing them again.
+  solver.add(Constraint::ne(LinExpr::atom(i), LinExpr::atom(ip)));
+  solver.add(Constraint::le(LinExpr(Rational(0)), LinExpr::atom(i)));
+  solver.add(Constraint::le(LinExpr::atom(i), LinExpr(Rational(0))));
+  solver.add(Constraint::ne(LinExpr::atom(i), LinExpr(Rational(0))));
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+  EXPECT_GT(solver.stats().reduceMemoHits, 0);
+  EXPECT_GT(solver.stats().reduceCalls, 0);
+
+  // The cached re-check must not re-reduce anything.
+  long long reduceCalls = solver.stats().reduceCalls;
+  long long memoHits = solver.stats().reduceMemoHits;
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+  EXPECT_EQ(solver.stats().reduceCalls, reduceCalls);
+  EXPECT_EQ(solver.stats().reduceMemoHits, memoHits);
+}
+
+// -------------------------------------------------- model extraction
+
+TEST_F(SolverTest, ModelSatisfiesEqualitiesAndBounds) {
+  // i' = i + 3 with i >= 2: any returned model must lie on the line and
+  // inside the half-space.
+  solver.add(Constraint::eq(LinExpr::atom(ip),
+                            LinExpr::atom(i) + LinExpr(Rational(3))));
+  solver.add(Constraint::le(LinExpr(Rational(2)), LinExpr::atom(i)));
+  auto m = solver.model();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->at(ip), m->at(i) + 3);
+  EXPECT_GE(m->at(i), 2);
+  EXPECT_EQ(solver.stats().modelSearches, 1);
+  EXPECT_EQ(solver.stats().modelsFound, 1);
+}
+
+TEST_F(SolverTest, ModelRespectsDisequalities) {
+  solver.add(Constraint::ne(LinExpr::atom(i), LinExpr::atom(ip)));
+  solver.add(Constraint::ne(LinExpr::atom(i), LinExpr(Rational(0))));
+  auto m = solver.model();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->at(i), m->at(ip));
+  EXPECT_NE(m->at(i), 0);
+}
+
+TEST_F(SolverTest, NoModelForUnsatConjunction) {
+  // 2i = 1 has no integer solution; model() must not fabricate one.
+  solver.add(Constraint::eq(LinExpr::atom(i).scaled(Rational(2)),
+                            LinExpr(Rational(1))));
+  EXPECT_FALSE(solver.model().has_value());
+  EXPECT_EQ(solver.stats().modelsFound, 0);
+}
+
+TEST_F(SolverTest, ModelFindsStrideCongruenceWitness) {
+  // i and i' on the lattice 1 + 2Z with i == i' + 2 and i != i' — the
+  // witness the race checker needs for a stride-2 loop writing one stride
+  // behind: two distinct iterations, indices colliding.
+  AtomId q = atoms.internVar("q", 0, false);
+  AtomId qp = atoms.internVar("q", 0, true);
+  solver.add(Constraint::eq(
+      LinExpr::atom(i),
+      LinExpr::atom(q).scaled(Rational(2)) + LinExpr(Rational(1))));
+  solver.add(Constraint::eq(
+      LinExpr::atom(ip),
+      LinExpr::atom(qp).scaled(Rational(2)) + LinExpr(Rational(1))));
+  solver.add(Constraint::ne(LinExpr::atom(i), LinExpr::atom(ip)));
+  solver.add(Constraint::eq(LinExpr::atom(i),
+                            LinExpr::atom(ip) + LinExpr(Rational(2))));
+  auto m = solver.model();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->at(i), m->at(ip) + 2);
+  EXPECT_EQ(m->at(i) % 2 == 0, false);
+  EXPECT_EQ(m->at(qp) + 1, m->at(q));
+}
+
+TEST(SolverModel, EvaluateIsExact) {
+  Model m{{0, 2}, {1, -5}};
+  LinExpr e = LinExpr::atom(0).scaled(Rational(3)) + LinExpr::atom(1) +
+              LinExpr(Rational(7));
+  EXPECT_EQ(Solver::evaluate(e, m), Rational(8));
+}
+
+TEST(SolverModelProperty, ReturnedModelsSatisfyTheStack) {
+  // model() self-verifies before returning; this re-verifies externally
+  // over random stacks, and cross-checks "no model" answers against brute
+  // force (a brute-force-infeasible stack must never yield a model).
+  std::mt19937_64 rng(20260806);
+  std::uniform_int_distribution<int> coeff(-3, 3);
+  std::uniform_int_distribution<int> numCons(1, 5);
+  std::uniform_int_distribution<int> relPick(0, 2);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    AtomTable atoms;
+    AtomId v[3] = {atoms.internVar("a", 0, false),
+                   atoms.internVar("b", 0, false),
+                   atoms.internVar("c", 0, false)};
+    Solver solver(atoms);
+
+    struct Con {
+      int c[3];
+      int k;
+      Rel rel;
+    };
+    std::vector<Con> cons;
+    int n = numCons(rng);
+    for (int j = 0; j < n; ++j) {
+      Con con{};
+      LinExpr e;
+      for (int q = 0; q < 3; ++q) {
+        con.c[q] = coeff(rng);
+        e.addTerm(v[q], Rational(con.c[q]));
+      }
+      con.k = coeff(rng);
+      e.addConstant(Rational(con.k));
+      con.rel = static_cast<Rel>(relPick(rng));
+      cons.push_back(con);
+      solver.add(Constraint{e, con.rel});
+    }
+
+    auto m = solver.model();
+    if (m.has_value()) {
+      // An atom whose coefficient is zero in every constraint never enters
+      // the solver's universe and gets no assignment; any value works.
+      auto at = [&](AtomId id) -> long long {
+        auto it = m->find(id);
+        return it == m->end() ? 0 : it->second;
+      };
+      for (const auto& con : cons) {
+        long long val = con.c[0] * at(v[0]) + con.c[1] * at(v[1]) +
+                        con.c[2] * at(v[2]) + con.k;
+        if (con.rel == Rel::Eq)
+          EXPECT_EQ(val, 0) << "trial " << trial;
+        else if (con.rel == Rel::Ne)
+          EXPECT_NE(val, 0) << "trial " << trial;
+        else
+          EXPECT_LE(val, 0) << "trial " << trial;
+      }
+    }
+  }
 }
 
 }  // namespace
