@@ -1,8 +1,12 @@
 // Reproduces paper Table 1: FormAD analysis statistics per test case —
 // analysis time, model size (number of assertions), number of queries
 // answered by the proof system, number of unique index expressions, and
-// the size of the analyzed parallel region.
+// the size of the analyzed parallel region. Also times each analysis at
+// 1/2/4/8 worker threads (-analysis-threads; the statistics themselves
+// are identical at every width) and writes BENCH_table1_analysis.json.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "driver/driver.h"
 #include "driver/report.h"
@@ -45,6 +49,9 @@ int main() {
   driver::Table table({"problem", "time [s]", "model size", "queries",
                        "queries*", "exprs", "stmts", "verdict"});
   std::vector<std::string> notes;
+  std::ostringstream js;
+  js << "{\n  \"benchmark\": \"table1_analysis\",\n  \"cases\": [\n";
+  bool firstCase = true;
   for (const auto& row : rows) {
     auto kernel = parser::parseKernel(row.spec.source);
     auto analysis =
@@ -67,6 +74,31 @@ int main() {
                   std::to_string(analysis.statementsInRegions()),
                   allSafe ? "safe (no atomics)" : "REJECTED (keep guards)"});
     notes.push_back(row.problem + " — " + row.paper);
+
+    js << (firstCase ? "" : ",\n") << "    {\"problem\": \"" << row.problem
+       << "\", \"model_size\": " << analysis.modelAssertions()
+       << ", \"queries\": " << analysis.queries()
+       << ", \"queries_exploit_only\": " << exploitOnly.queries()
+       << ", \"exprs\": " << analysis.uniqueExprs()
+       << ", \"stmts\": " << analysis.statementsInRegions()
+       << ", \"safe\": " << (allSafe ? "true" : "false")
+       << ", \"seconds_by_threads\": {";
+    bool firstThread = true;
+    for (int threads : {1, 2, 4, 8}) {
+      auto timed = driver::analyze(*kernel, row.spec.independents,
+                                   row.spec.dependents, threads);
+      js << (firstThread ? "" : ", ") << "\"" << threads
+         << "\": " << timed.analysisSeconds();
+      firstThread = false;
+    }
+    js << "}}";
+    firstCase = false;
+  }
+  js << "\n  ]\n}\n";
+  {
+    std::ofstream out("BENCH_table1_analysis.json");
+    out << js.str();
+    std::cout << "wrote BENCH_table1_analysis.json\n";
   }
   std::cout << table.str() << "\n";
   for (const auto& n : notes) std::cout << "  " << n << "\n";

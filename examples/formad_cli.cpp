@@ -57,7 +57,8 @@ int usage() {
          "                  [-engine bytecode|treewalk] [-disasm]\n"
          "                  [-analyze-only]\n"
          "                  [-racecheck] [-racecheck-only]\n"
-         "                  [-bind name=value,...] [-coloring array,...]\n";
+         "                  [-bind name=value,...] [-coloring array,...]\n"
+         "                  [-analysis-threads N]   (0 = auto-detect)\n";
   return 2;
 }
 
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
   bool disasm = false;
   bool racecheckFlag = false;
   bool racecheckOnly = false;
+  int analysisThreads = 0;  // 0 = auto (hardware concurrency)
   racecheck::RaceCheckOptions rcOpts;
 
   for (int i = 2; i < argc; ++i) {
@@ -127,6 +129,21 @@ int main(int argc, char** argv) {
     else if (arg == "-coloring") {
       for (const std::string& a : splitCommas(next()))
         rcOpts.colorings.insert(a);
+    }
+    else if (arg == "-analysis-threads") {
+      std::string v = next();
+      try {
+        analysisThreads = std::stoi(v);
+      } catch (const std::exception&) {
+        std::cerr << "bad -analysis-threads value '" << v
+                  << "' (expected an integer >= 0; 0 = auto-detect)\n";
+        return 2;
+      }
+      if (analysisThreads < 0) {
+        std::cerr << "-analysis-threads must be >= 0 (0 = auto-detect), got "
+                  << analysisThreads << "\n";
+        return 2;
+      }
     }
     else return usage();
   }
@@ -173,7 +190,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    auto analysis = driver::analyze(primal, indeps, deps);
+    auto analysis = driver::analyze(primal, indeps, deps, analysisThreads);
     std::cerr << core::describe(analysis);
     if (analyzeOnly) return 0;
 
@@ -186,6 +203,7 @@ int main(int argc, char** argv) {
     else return usage();
     dopts.racecheckPrimal = racecheckFlag;
     dopts.racecheck = rcOpts;
+    dopts.analysisThreads = analysisThreads;
 
     auto dr = driver::differentiate(primal, indeps, deps, dopts);
     if (racecheckFlag) std::cerr << dr.raceReport.describe();

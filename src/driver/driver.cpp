@@ -1,8 +1,20 @@
 #include "driver/driver.h"
 
+#include <memory>
+
+#include "support/pool.h"
+
 namespace formad::driver {
 
 using namespace ::formad::ir;
+
+int resolveAnalysisThreads(int requested) {
+  if (requested < 0)
+    fail("analysis threads must be >= 0 (0 = auto-detect), got " +
+         std::to_string(requested));
+  if (requested == 0) return support::WorkPool::hardwareWidth();
+  return requested;
+}
 
 std::string to_string(AdjointMode mode) {
   switch (mode) {
@@ -21,8 +33,18 @@ DifferentiateResult differentiate(const Kernel& primal,
                                   const DriverOptions& dopts) {
   DifferentiateResult result;
 
+  // One worker pool for the whole analysis phase: the race checker's
+  // converse queries and FormAD's exploitation queries share it, so a
+  // driver invocation spins threads up at most once.
+  const int analysisThreads = resolveAnalysisThreads(dopts.analysisThreads);
+  std::unique_ptr<support::WorkPool> pool;
+  if (analysisThreads > 1)
+    pool = std::make_unique<support::WorkPool>(analysisThreads);
+
   if (dopts.racecheckPrimal) {
-    result.raceReport = racecheck::checkKernelRaces(primal, dopts.racecheck);
+    racecheck::RaceCheckOptions ropts = dopts.racecheck;
+    ropts.pool = pool.get();
+    result.raceReport = racecheck::checkKernelRaces(primal, ropts);
     switch (result.raceReport.overall()) {
       case racecheck::RaceVerdict::Racy: {
         std::string msg = "refusing to differentiate '" + primal.name +
@@ -63,8 +85,13 @@ DifferentiateResult differentiate(const Kernel& primal,
         return Guard::Reduction;
       };
       break;
-    case AdjointMode::FormAD:
-      result.analysis = core::analyzeKernel(primal, independents, dependents);
+    case AdjointMode::FormAD: {
+      core::AnalyzeOptions aopts;
+      aopts.exploit.threads = analysisThreads;
+      aopts.exploit.pool = pool.get();
+      result.analysis =
+          core::analyzeKernel(primal, independents, dependents, aopts);
+    }
       // Satisfiability safeguard: contradictory knowledge means the primal
       // itself is racy; an adjoint generated from it would inherit the bug.
       for (const auto& r : result.analysis.regions)
@@ -96,8 +123,22 @@ DifferentiateResult differentiate(const Kernel& primal,
 }
 
 core::KernelAnalysis analyze(const Kernel& primal,
-                               const std::vector<std::string>& independents,
-                               const std::vector<std::string>& dependents) {
+                             const std::vector<std::string>& independents,
+                             const std::vector<std::string>& dependents,
+                             int analysisThreads) {
+  core::AnalyzeOptions aopts;
+  aopts.exploit.threads = resolveAnalysisThreads(analysisThreads);
+  std::unique_ptr<support::WorkPool> pool;
+  if (aopts.exploit.threads > 1) {
+    pool = std::make_unique<support::WorkPool>(aopts.exploit.threads);
+    aopts.exploit.pool = pool.get();
+  }
+  return core::analyzeKernel(primal, independents, dependents, aopts);
+}
+
+core::KernelAnalysis analyze(const Kernel& primal,
+                             const std::vector<std::string>& independents,
+                             const std::vector<std::string>& dependents) {
   return core::analyzeKernel(primal, independents, dependents);
 }
 

@@ -32,7 +32,17 @@ struct DriverOptions {
   bool racecheckPrimal = false;
   /// Pins / coloring facts forwarded to the race checker.
   racecheck::RaceCheckOptions racecheck;
+  /// Worker threads for the analysis phase (FormAD exploitation queries and
+  /// the race checker's converse queries, which share one pool). 0 = auto
+  /// (hardware concurrency); negative values are rejected with a clear
+  /// error. Any count yields bit-identical analyses, warnings, and reports
+  /// — only wall time changes.
+  int analysisThreads = 0;
 };
+
+/// Resolves a requested analysis thread count: 0 -> hardware concurrency,
+/// n >= 1 -> n, negative -> throws formad::Error.
+[[nodiscard]] int resolveAnalysisThreads(int requested);
 
 struct DifferentiateResult {
   std::unique_ptr<ir::Kernel> adjoint;
@@ -62,6 +72,10 @@ struct DifferentiateResult {
     bool omitTapeFreePrimalSweep = false);
 
 /// Runs the FormAD analysis alone (Table 1 statistics, verdicts).
+/// `analysisThreads` follows the DriverOptions convention (0 = auto).
+[[nodiscard]] core::KernelAnalysis analyze(
+    const ir::Kernel& primal, const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents, int analysisThreads);
 [[nodiscard]] core::KernelAnalysis analyze(
     const ir::Kernel& primal, const std::vector<std::string>& independents,
     const std::vector<std::string>& dependents);

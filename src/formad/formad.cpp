@@ -86,6 +86,10 @@ ad::GuardPolicy formadPolicy(const KernelAnalysis& analysis) {
 }
 
 std::string describe(const KernelAnalysis& analysis) {
+  return describe(analysis, /*includeTiming=*/true);
+}
+
+std::string describe(const KernelAnalysis& analysis, bool includeTiming) {
   std::ostringstream os;
   int idx = 0;
   for (const auto& r : analysis.regions) {
@@ -93,8 +97,9 @@ std::string describe(const KernelAnalysis& analysis) {
        << "'): model size " << r.modelAssertions << ", queries " << r.queries
        << " (" << r.solverCacheHits << " cached, " << r.pairCacheHits
        << " duplicate pairs), unique write exprs " << r.uniqueExprs
-       << ", statements " << r.statementsInRegion << ", analysis "
-       << r.analysisSeconds << "s\n";
+       << ", statements " << r.statementsInRegion;
+    if (includeTiming) os << ", analysis " << r.analysisSeconds << "s";
+    os << "\n";
     if (!r.knowledgeContradiction.empty())
       os << "  CONTRADICTION: " << r.knowledgeContradiction << "\n";
     for (const auto& v : r.vars) {

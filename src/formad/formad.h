@@ -43,7 +43,12 @@ struct KernelAnalysis {
 /// variables stay plainly shared, everything else falls back to atomics.
 [[nodiscard]] ad::GuardPolicy formadPolicy(const KernelAnalysis& analysis);
 
-/// Human-readable per-region report (verdicts + statistics).
+/// Human-readable per-region report (verdicts + statistics). With
+/// includeTiming=false the wall-clock field is omitted, making the report a
+/// pure function of the verdicts — byte-identical across runs and analysis
+/// thread counts (what the conformance suite compares).
+[[nodiscard]] std::string describe(const KernelAnalysis& analysis,
+                                   bool includeTiming);
 [[nodiscard]] std::string describe(const KernelAnalysis& analysis);
 
 }  // namespace formad::core

@@ -1,0 +1,301 @@
+#include "formad/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "support/pool.h"
+
+namespace formad::core {
+
+using smt::CheckResult;
+using smt::Constraint;
+using smt::LinExpr;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The serial walk's duplicate-pair cache key: identical index expressions
+/// under the same context share one solver verdict.
+std::string pairKeyOf(int ctx, const QuestionPair& p) {
+  std::string k = std::to_string(ctx);
+  k += '|';
+  k += p.primedWrite.key();
+  k += '|';
+  k += p.other.key();
+  for (size_t d = 0; d < p.primedDims.size(); ++d) {
+    k += '|';
+    k += p.primedDims[d].key();
+    k += '~';
+    k += p.otherDims[d].key();
+  }
+  return k;
+}
+
+/// Canonical fingerprint of a conjunction given its per-constraint keys —
+/// byte-identical to what Solver::stackKey() produces for the same live
+/// stack, so replay's query accounting mirrors the serial solver's verdict
+/// cache exactly.
+std::string conjunctionFingerprint(std::vector<std::string> parts) {
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const auto& p : parts) {
+    key += p;
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(const RegionModel& model,
+                               const ExploitOptions& opts)
+    : model_(model), opts_(opts) {
+  auto t0 = std::chrono::steady_clock::now();
+  plan();
+  planSeconds_ = secondsSince(t0);
+}
+
+void QueryScheduler::plan() {
+  // Group knowledge and questions by context, in the same order the serial
+  // walk sees them.
+  std::map<int, std::vector<const KnowledgeAssertion*>> knowledgeAt;
+  for (const auto& k : model_.knowledge) knowledgeAt[k.context].push_back(&k);
+
+  struct Q {
+    const QuestionPair* pair;
+    size_t varIndex;
+  };
+  std::map<int, std::vector<Q>> questionsAt;
+  for (size_t vi = 0; vi < model_.questions.size(); ++vi)
+    for (const auto& p : model_.questions[vi].pairs)
+      questionsAt[p.context].push_back(Q{&p, vi});
+
+  // Base conjunction along the current context path. Index 0 is the root
+  // assertion: two threads never share a loop-counter value.
+  std::vector<Constraint> base;
+  std::vector<std::string> baseKeys;
+  base.push_back(Constraint::ne(LinExpr::atom(model_.counterPrimeAtom),
+                                LinExpr::atom(model_.counterAtom)));
+  baseKeys.push_back(smt::Solver::constraintKey(base.back()));
+
+  std::map<std::string, int> taskByPairKey;
+
+  // Depth-first pre-order over the context tree — the exact order of the
+  // paper's recursive walk. The emitted schedule_ is a linearization of
+  // that walk; replay processes it front to back.
+  std::function<void(int)> dfs = [&](int ctx) {
+    size_t mark = base.size();
+    for (const auto* k : knowledgeAt[ctx]) {
+      base.push_back(Constraint::ne(k->primed, k->other));
+      baseKeys.push_back(smt::Solver::constraintKey(base.back()));
+      if (opts_.checkKnowledgeConsistency) {
+        QueryTask t;
+        t.kind = QueryTask::Kind::Consistency;
+        t.base = base;
+        t.baseKeys = baseKeys;
+        tasks_.push_back(std::move(t));
+        Step s;
+        s.op = Step::Op::Consistency;
+        s.taskIndex = static_cast<int>(tasks_.size()) - 1;
+        s.array = k->array;
+        schedule_.push_back(std::move(s));
+      }
+    }
+    for (const auto& q : questionsAt[ctx]) {
+      std::string key = pairKeyOf(ctx, *q.pair);
+      auto it = taskByPairKey.find(key);
+      int taskIndex;
+      if (it != taskByPairKey.end()) {
+        taskIndex = it->second;
+      } else {
+        QueryTask t;
+        t.kind = QueryTask::Kind::Pair;
+        t.base = base;
+        t.baseKeys = baseKeys;
+        t.probes.push_back(Constraint::eq(q.pair->primedWrite, q.pair->other));
+        if (opts_.useDimensionRule)
+          for (size_t d = 0; d < q.pair->primedDims.size(); ++d)
+            t.probes.push_back(
+                Constraint::eq(q.pair->primedDims[d], q.pair->otherDims[d]));
+        tasks_.push_back(std::move(t));
+        taskIndex = static_cast<int>(tasks_.size()) - 1;
+        taskByPairKey.emplace(key, taskIndex);
+      }
+      Step s;
+      s.op = Step::Op::Question;
+      s.taskIndex = taskIndex;
+      s.varIndex = q.varIndex;
+      s.pair = q.pair;
+      s.pairKey = std::move(key);
+      schedule_.push_back(std::move(s));
+    }
+    for (int child : model_.contexts.node(ctx).children) dfs(child);
+    base.resize(mark);
+    baseKeys.resize(mark);
+  };
+  dfs(model_.contexts.root());
+}
+
+QueryResult QueryScheduler::evaluate(smt::Solver& solver,
+                                     const QueryTask& task) const {
+  auto t0 = std::chrono::steady_clock::now();
+  solver.reset();
+  for (const auto& c : task.base) solver.add(c);
+
+  QueryResult r;
+  r.evaluated = true;
+  if (task.kind == QueryTask::Kind::Consistency) {
+    r.unsat = solver.check() == CheckResult::Unsat;
+    r.checksPerformed = 1;
+  } else {
+    // The serial walk checks the flattened offsets first, then — under the
+    // in-bounds assumption — each dimension, stopping at the first Unsat.
+    for (const auto& probe : task.probes) {
+      solver.push();
+      solver.add(probe);
+      bool unsat = solver.check() == CheckResult::Unsat;
+      solver.pop();
+      ++r.checksPerformed;
+      if (unsat) {
+        r.pairSafe = true;
+        break;
+      }
+    }
+  }
+  r.seconds = secondsSince(t0);
+  return r;
+}
+
+RegionVerdict QueryScheduler::replay(
+    const std::function<const QueryResult&(int)>& getResult) const {
+  RegionVerdict verdict;
+  verdict.loop = model_.loop;
+  verdict.modelAssertions = model_.modelSize();
+  verdict.uniqueExprs = model_.uniqueExprs;
+  verdict.statementsInRegion = model_.statementsInRegion;
+  for (const auto& vq : model_.questions) {
+    VarVerdict vv;
+    vv.var = vq.var;
+    vv.safe = true;
+    verdict.vars.push_back(std::move(vv));
+  }
+
+  // The serial solver's verdict cache, replayed symbolically: a check whose
+  // stack fingerprint was already seen would have been a cache hit.
+  std::set<std::string> seenStacks;
+  auto accountChecks = [&](const QueryTask& task, const QueryResult& res) {
+    for (int i = 0; i < res.checksPerformed; ++i) {
+      std::vector<std::string> parts = task.baseKeys;
+      if (task.kind == QueryTask::Kind::Pair)
+        parts.push_back(smt::Solver::constraintKey(
+            task.probes[static_cast<size_t>(i)]));
+      ++verdict.queries;
+      if (!seenStacks.insert(conjunctionFingerprint(std::move(parts))).second)
+        ++verdict.solverCacheHits;
+    }
+  };
+
+  std::map<std::string, bool> pairVerdicts;
+  for (const auto& step : schedule_) {
+    if (step.op == Step::Op::Consistency) {
+      const QueryResult& res = getResult(step.taskIndex);
+      accountChecks(tasks_[static_cast<size_t>(step.taskIndex)], res);
+      if (res.unsat) {
+        // Satisfiability safeguard (paper Sec. 5.5): the knowledge itself
+        // is contradictory, so every disjointness "proof" below it would be
+        // vacuous. Record the contradiction, distrust the whole region, and
+        // let the caller decide whether it is fatal.
+        verdict.knowledgeContradiction =
+            "knowledge base unsatisfiable after asserting the disjointness "
+            "of the primal writes to array '" +
+            step.array +
+            "': the primal parallel loop has a data race (or the extracted "
+            "model is inconsistent)";
+        for (auto& v : verdict.vars) v.safe = false;
+        break;
+      }
+      continue;
+    }
+    VarVerdict& vv = verdict.vars[step.varIndex];
+    if (!vv.safe) continue;  // early exit per variable (paper Sec. 7.5)
+    ++vv.pairsTested;
+    bool pairSafe = false;
+    auto cached = pairVerdicts.find(step.pairKey);
+    if (cached != pairVerdicts.end()) {
+      ++verdict.pairCacheHits;
+      pairSafe = cached->second;
+    } else {
+      const QueryResult& res = getResult(step.taskIndex);
+      accountChecks(tasks_[static_cast<size_t>(step.taskIndex)], res);
+      pairSafe = res.pairSafe;
+      pairVerdicts.emplace(step.pairKey, pairSafe);
+    }
+    if (!pairSafe) {
+      vv.safe = false;
+      vv.firstUnsafePair = model_.atoms->render(step.pair->primedWrite) +
+                           " == " + model_.atoms->render(step.pair->other);
+    }
+  }
+  return verdict;
+}
+
+RegionVerdict QueryScheduler::run(support::WorkPool* pool) {
+  auto t0 = std::chrono::steady_clock::now();
+  const int width = pool != nullptr ? pool->width() : 1;
+
+  smt::VerdictCache cache;
+  std::vector<QueryResult> results(tasks_.size());
+  RegionVerdict verdict;
+  double replaySeconds = 0.0;
+
+  if (width > 1 && tasks_.size() > 1) {
+    // Eager speculative evaluation: every task runs, in any order, on
+    // thread-confined worker solvers sharing the concurrent verdict cache.
+    std::vector<std::unique_ptr<smt::Solver>> solvers;
+    solvers.reserve(static_cast<size_t>(width));
+    for (int w = 0; w < width; ++w) {
+      solvers.push_back(std::make_unique<smt::Solver>(*model_.atoms));
+      solvers.back()->attachCache(&cache);
+    }
+    pool->run(tasks_.size(), [&](size_t i, int w) {
+      results[i] = evaluate(*solvers[static_cast<size_t>(w)], tasks_[i]);
+    });
+    auto tReplay = std::chrono::steady_clock::now();
+    verdict = replay([&](int i) -> const QueryResult& {
+      return results[static_cast<size_t>(i)];
+    });
+    replaySeconds = secondsSince(tReplay);
+    verdict.threadsUsed = width;
+  } else {
+    // Lazy evaluation: tasks run on demand during replay, reproducing the
+    // serial walk's exact work profile (skipped tasks are never evaluated).
+    smt::Solver solver(*model_.atoms);
+    solver.attachCache(&cache);
+    double evalSeconds = 0.0;
+    verdict = replay([&](int i) -> const QueryResult& {
+      QueryResult& r = results[static_cast<size_t>(i)];
+      if (!r.evaluated) {
+        r = evaluate(solver, tasks_[static_cast<size_t>(i)]);
+        evalSeconds += r.seconds;
+      }
+      return r;
+    });
+    replaySeconds = secondsSince(t0) - evalSeconds;
+    verdict.threadsUsed = 1;
+  }
+
+  verdict.taskSeconds.reserve(results.size());
+  for (const auto& r : results) verdict.taskSeconds.push_back(r.seconds);
+  verdict.planSeconds = planSeconds_ + replaySeconds;
+  verdict.analysisSeconds = planSeconds_ + secondsSince(t0);
+  return verdict;
+}
+
+}  // namespace formad::core

@@ -1,0 +1,122 @@
+// The exploitation query scheduler: parallel SMT with serial semantics.
+//
+// The paper's testVar walk (Sec. 5.5) is a depth-first traversal of the
+// context tree on ONE solver: push knowledge, answer questions, recurse.
+// Its verdicts per query are independent — only the *bookkeeping* (per-var
+// early exit, the duplicate-pair cache, query/cache-hit counts, and the
+// stop-at-first-contradiction safeguard) depends on traversal order. The
+// scheduler exploits that split in three phases:
+//
+//   1. plan    — re-enumerate the serial walk WITHOUT a solver, emitting
+//                one self-contained QueryTask per solver interaction the
+//                walk could perform: a consistency check per knowledge
+//                assertion, and one task per unique (context, pair)
+//                conjunction. Each task carries its full base conjunction
+//                (root counter-disjointness + the knowledge on the context
+//                path), so tasks are independent.
+//   2. evaluate — run the tasks speculatively in any order across the
+//                worker pool, one thread-confined smt::Solver per worker,
+//                all sharing one concurrent VerdictCache. "Speculative"
+//                means tasks the serial walk would have skipped (early
+//                exit, contradiction) are evaluated too; their results are
+//                simply never consumed. With one worker, evaluation is
+//                instead lazy — tasks run on demand during replay, which
+//                reproduces the serial walk's exact work profile.
+//   3. replay  — re-walk the canonical serial schedule consuming task
+//                results, reconstructing the verdicts, the per-var early
+//                exits, the pair cache hits, and the query/solver-cache-hit
+//                counts exactly as the single-solver walk would have
+//                produced them. Replay touches no solver, so the resulting
+//                RegionVerdict — and every report rendered from it — is
+//                bit-identical at any thread count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "formad/exploit.h"
+#include "formad/knowledge.h"
+
+namespace formad::support {
+class WorkPool;
+}
+
+namespace formad::core {
+
+/// One independent solver interaction of the exploitation walk.
+struct QueryTask {
+  enum class Kind {
+    Consistency,  // is the base conjunction itself Unsat? (safeguard)
+    Pair,         // can any probe prove the pair disjoint?
+  };
+  Kind kind = Kind::Pair;
+  /// Base conjunction: the root counter assertion plus the knowledge
+  /// visible on the context path (for Consistency, up to and including the
+  /// assertion under test).
+  std::vector<smt::Constraint> base;
+  /// Canonical fingerprint of each base constraint (Solver::constraintKey),
+  /// used by replay to reconstruct per-check stack fingerprints.
+  std::vector<std::string> baseKeys;
+  /// Pair only: equalities tried in order — flattened offsets first, then
+  /// one per dimension — stopping at the first Unsat (paper Sec. 3
+  /// dimension rule).
+  std::vector<smt::Constraint> probes;
+};
+
+/// Outcome of evaluating one QueryTask.
+struct QueryResult {
+  bool evaluated = false;
+  bool unsat = false;     // Consistency: base conjunction proven Unsat
+  bool pairSafe = false;  // Pair: some probe proved disjointness
+  /// Number of solver checks performed (1 for Consistency; for Pair, one
+  /// per probe tried before the first Unsat). Replay uses this to account
+  /// queries exactly as the serial walk would.
+  int checksPerformed = 0;
+  double seconds = 0.0;  // wall time of this task (scaling diagnostics)
+};
+
+class QueryScheduler {
+ public:
+  QueryScheduler(const RegionModel& model, const ExploitOptions& opts);
+
+  [[nodiscard]] const std::vector<QueryTask>& tasks() const { return tasks_; }
+
+  /// Evaluates the plan and replays the canonical schedule. `pool` may be
+  /// null (serial). The returned verdict is bit-identical regardless of
+  /// pool width; only analysisSeconds/planSeconds/taskSeconds/threadsUsed
+  /// (wall-clock observables) vary.
+  [[nodiscard]] RegionVerdict run(support::WorkPool* pool);
+
+ private:
+  // One step of the canonical serial schedule (DFS pre-order).
+  struct Step {
+    enum class Op { Consistency, Question };
+    Op op = Op::Question;
+    int taskIndex = -1;
+    // Consistency: provenance for the contradiction diagnostic.
+    std::string array;
+    // Question: which var the pair belongs to, and the serial walk's
+    // duplicate-pair cache key.
+    size_t varIndex = 0;
+    const QuestionPair* pair = nullptr;
+    std::string pairKey;
+  };
+
+  void plan();
+  [[nodiscard]] QueryResult evaluate(smt::Solver& solver,
+                                     const QueryTask& task) const;
+  /// Replays the canonical schedule; `getResult` supplies task outcomes —
+  /// precomputed in the eager (parallel) mode, evaluated on demand in the
+  /// lazy (single-worker) mode.
+  [[nodiscard]] RegionVerdict replay(
+      const std::function<const QueryResult&(int)>& getResult) const;
+
+  const RegionModel& model_;
+  const ExploitOptions& opts_;
+  std::vector<QueryTask> tasks_;
+  std::vector<Step> schedule_;
+  double planSeconds_ = 0.0;
+};
+
+}  // namespace formad::core

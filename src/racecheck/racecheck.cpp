@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <sstream>
 
 #include "analysis/accesses.h"
@@ -13,6 +14,7 @@
 #include "ir/printer.h"
 #include "ir/traversal.h"
 #include "smt/solver.h"
+#include "support/pool.h"
 
 namespace formad::racecheck {
 
@@ -118,11 +120,48 @@ class RegionChecker {
     auto t0 = std::chrono::steady_clock::now();
     report_.loop = &loop_;
 
+    // Serial front half: lowering, substitution, and pair enumeration all
+    // intern atoms and fill memo tables, so they stay on this thread. The
+    // resulting tasks are self-contained converse queries.
     buildContexts();
     buildDefiningEquations();
     buildBaseConstraints();
     checkSharedScalarWrites();
-    checkArrayPairs();
+    std::vector<PairTask> tasks = planArrayPairs();
+
+    // Evaluate every pair query — speculatively across the pool when one is
+    // attached (the AtomTable is read-only from here on), serially on the
+    // region solver otherwise. Each outcome is a pure function of the task,
+    // so the merge below is order-independent of evaluation.
+    std::vector<PairOutcome> outcomes(tasks.size());
+    support::WorkPool* pool = opts_.pool;
+    if (pool != nullptr && pool->width() > 1 && tasks.size() > 1) {
+      const int width = pool->width();
+      smt::VerdictCache cache;
+      std::vector<std::unique_ptr<smt::Solver>> solvers;
+      std::vector<char> seeded(static_cast<size_t>(width), 0);
+      for (int w = 0; w < width; ++w) {
+        solvers.push_back(std::make_unique<smt::Solver>(atoms_));
+        solvers.back()->attachCache(&cache);
+      }
+      pool->run(tasks.size(), [&](size_t i, int w) {
+        smt::Solver& s = *solvers[static_cast<size_t>(w)];
+        if (seeded[static_cast<size_t>(w)] == 0) {
+          // Seed the worker's solver on its own thread (solvers are
+          // thread-confined) with the region's base constraints.
+          for (const auto& c : base_) s.add(c);
+          seeded[static_cast<size_t>(w)] = 1;
+        }
+        outcomes[i] = evaluatePair(s, tasks[i]);
+      });
+    } else {
+      for (size_t i = 0; i < tasks.size(); ++i)
+        outcomes[i] = evaluatePair(solver_, tasks[i]);
+    }
+
+    // Canonical merge: pair order is the enumeration order, identical at
+    // any pool width — as are the witness cap and every counter.
+    for (size_t i = 0; i < tasks.size(); ++i) mergePair(tasks[i], outcomes[i]);
 
     if (!report_.witnesses.empty())
       report_.verdict = RaceVerdict::Racy;
@@ -131,7 +170,6 @@ class RegionChecker {
     else
       report_.verdict = RaceVerdict::RaceFree;
 
-    report_.queries = static_cast<int>(solver_.stats().checks);
     report_.analysisSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -156,7 +194,32 @@ class RegionChecker {
   AtomId counter_ = -1, counterPrime_ = -1;
   std::map<AtomId, LinExpr> defs_;       // private int scalar -> its value
   std::map<AtomId, LinExpr> substMemo_;  // fully substituted defs
+  std::vector<smt::Constraint> base_;    // the every-query base conjunction
   RegionRaceReport report_;
+
+  /// One self-contained converse query: reference A (primed side, always a
+  /// write) against reference B, dims already substituted. Tasks own their
+  /// data so evaluation can run on any worker.
+  struct PairTask {
+    std::string array;
+    std::string refA, refB;
+    SourceLoc locA, locB;
+    bool bothWrites = false;
+    bool guarded = false;
+    bool lowered = false;
+    std::vector<LinExpr> da, db, diffs;
+  };
+
+  /// Outcome of one converse query — a pure function of its task, so
+  /// evaluation order (and hence pool width) cannot affect the merge.
+  struct PairOutcome {
+    enum class Kind { Proven, Assumed, Undecided, Witness };
+    Kind kind = Kind::Undecided;
+    std::string reason;  // Undecided
+    int checks = 0;      // solver check() calls this query issued
+    smt::Model model;    // Witness
+    std::vector<long long> indices;
+  };
 
   void buildContexts() {
     cfg_ = cfg::buildCfg(loop_.body);
@@ -238,11 +301,18 @@ class RegionChecker {
   /// q >= 0 — this is what makes stride-s stencils provably safe), and the
   /// upper bound i <= hi. Bounds that fail to lower are simply omitted:
   /// fewer constraints only weakens Unsat proofs, never unsoundly.
+  /// Appends to the base conjunction, mirrored into the region solver and
+  /// into base_ so per-worker solvers can be seeded with the same stack.
+  void addBase(smt::Constraint c) {
+    base_.push_back(c);
+    solver_.add(std::move(c));
+  }
+
   void buildBaseConstraints() {
     counter_ = atoms_.internVar(loop_.var, 0, false);
     counterPrime_ = atoms_.internVar(loop_.var, 0, true);
-    solver_.add(smt::Constraint::ne(LinExpr::atom(counterPrime_),
-                                    LinExpr::atom(counter_)));
+    addBase(smt::Constraint::ne(LinExpr::atom(counterPrime_),
+                                LinExpr::atom(counter_)));
 
     std::optional<LinExpr> lo = lowerBound(*loop_.lo);
     std::optional<LinExpr> hi = lowerBound(*loop_.hi);
@@ -255,19 +325,19 @@ class RegionChecker {
       AtomId q = atoms_.internVar("__" + loop_.var + "_iter", 0, false);
       AtomId qp = atoms_.internVar("__" + loop_.var + "_iter", 0, true);
       smt::Rational s = step->constant();
-      solver_.add(smt::Constraint::eq(LinExpr::atom(counter_),
-                                      *lo + LinExpr::atom(q, s)));
-      solver_.add(smt::Constraint::eq(LinExpr::atom(counterPrime_),
-                                      *lo + LinExpr::atom(qp, s)));
-      solver_.add(smt::Constraint::le(LinExpr(0), LinExpr::atom(q)));
-      solver_.add(smt::Constraint::le(LinExpr(0), LinExpr::atom(qp)));
+      addBase(smt::Constraint::eq(LinExpr::atom(counter_),
+                                  *lo + LinExpr::atom(q, s)));
+      addBase(smt::Constraint::eq(LinExpr::atom(counterPrime_),
+                                  *lo + LinExpr::atom(qp, s)));
+      addBase(smt::Constraint::le(LinExpr(0), LinExpr::atom(q)));
+      addBase(smt::Constraint::le(LinExpr(0), LinExpr::atom(qp)));
     } else if (lo) {
-      solver_.add(smt::Constraint::le(*lo, LinExpr::atom(counter_)));
-      solver_.add(smt::Constraint::le(*lo, LinExpr::atom(counterPrime_)));
+      addBase(smt::Constraint::le(*lo, LinExpr::atom(counter_)));
+      addBase(smt::Constraint::le(*lo, LinExpr::atom(counterPrime_)));
     }
     if (hi) {
-      solver_.add(smt::Constraint::le(LinExpr::atom(counter_), *hi));
-      solver_.add(smt::Constraint::le(LinExpr::atom(counterPrime_), *hi));
+      addBase(smt::Constraint::le(LinExpr::atom(counter_), *hi));
+      addBase(smt::Constraint::le(LinExpr::atom(counterPrime_), *hi));
     }
   }
 
@@ -369,31 +439,29 @@ class RegionChecker {
     return !ca.empty() && ca == cb;
   }
 
-  void recordUndecided(const std::string& array, const LoweredRef& a,
-                       const LoweredRef& b, std::string reason) {
+  void recordUndecided(const PairTask& t, std::string reason) {
     UndecidedPair u;
-    u.array = array;
-    u.refA = printExpr(*a.acc->ref);
-    u.refB = printExpr(*b.acc->ref);
-    u.locA = a.acc->stmt->loc();
-    u.locB = b.acc->stmt->loc();
+    u.array = t.array;
+    u.refA = t.refA;
+    u.refB = t.refB;
+    u.locA = t.locA;
+    u.locB = t.locB;
     u.reason = std::move(reason);
     report_.undecided.push_back(std::move(u));
   }
 
-  void recordWitness(const std::string& array, const LoweredRef& a,
-                     const LoweredRef& b, const smt::Model& m,
+  void recordWitness(const PairTask& t, const smt::Model& m,
                      const std::vector<long long>& indices) {
     if (static_cast<int>(report_.witnesses.size()) >=
         opts_.maxWitnessesPerRegion)
       return;
     RaceWitness w;
-    w.array = array;
-    w.refA = printExpr(*a.acc->ref);
-    w.refB = printExpr(*b.acc->ref);
-    w.locA = a.acc->stmt->loc();
-    w.locB = b.acc->stmt->loc();
-    w.bothWrites = a.acc->isWrite && b.acc->isWrite;
+    w.array = t.array;
+    w.refA = t.refA;
+    w.refB = t.refB;
+    w.locA = t.locA;
+    w.locB = t.locB;
+    w.bothWrites = t.bothWrites;
     w.iterA = m.at(counterPrime_);
     w.iterB = m.at(counter_);
     w.indices = indices;
@@ -401,114 +469,135 @@ class RegionChecker {
     report_.witnesses.push_back(std::move(w));
   }
 
-  /// Decides one reference pair: reference `a` on iteration i' against
-  /// reference `b` on iteration i. Returns after updating the report.
-  void checkPair(const std::string& array, const LoweredRef& a,
-                 const LoweredRef& b) {
-    ++report_.pairsChecked;
-    if (!a.lowered || !b.lowered) {
-      recordUndecided(array, a, b, "unsupported index expression");
-      return;
+  /// Decides one reference pair: reference A on iteration i' against
+  /// reference B on iteration i. `solver` must hold exactly the base
+  /// conjunction; every path restores it before returning. Touches no
+  /// report state — the merge consumes the outcome in canonical order.
+  [[nodiscard]] PairOutcome evaluatePair(smt::Solver& solver,
+                                         const PairTask& t) const {
+    PairOutcome o;
+    if (!t.lowered) {
+      o.reason = "unsupported index expression";
+      return o;
     }
 
-    std::vector<LinExpr> da, db, diffs;
-    for (size_t k = 0; k < a.dimsPrimed.size(); ++k) {
-      da.push_back(substitute(a.dimsPrimed[k]));
-      db.push_back(substitute(b.dims[k]));
-      diffs.push_back(da.back() - db.back());
-    }
-
-    bool allZero = std::all_of(diffs.begin(), diffs.end(),
+    bool allZero = std::all_of(t.diffs.begin(), t.diffs.end(),
                                [](const LinExpr& d) { return d.isZero(); });
-    const bool guarded = a.guarded || b.guarded;
 
     if (allZero) {
       // The references hit the same element on every iteration pair.
-      if (guarded) {
-        recordUndecided(array, a, b,
-                        "same element every iteration, but the references "
-                        "are conditionally guarded");
-        return;
+      if (t.guarded) {
+        o.reason =
+            "same element every iteration, but the references "
+            "are conditionally guarded";
+        return o;
       }
-      auto m = anyIterationPair();
+      // Any legal iteration pair witnesses the collision (model search is
+      // deterministic, so every worker derives the same pair).
+      auto m = solver.model();
       if (!m) {
-        recordUndecided(array, a, b,
-                        "same element every iteration, but no legal "
-                        "iteration pair was found");
-        return;
+        o.reason =
+            "same element every iteration, but no legal "
+            "iteration pair was found";
+        return o;
       }
-      std::vector<long long> indices;
-      for (const auto& d : da) {
+      for (const auto& d : t.da) {
         smt::Rational v = smt::Solver::evaluate(substituteFree(d, *m), {});
-        indices.push_back(v.num() / v.den());
+        o.indices.push_back(v.num() / v.den());
       }
-      recordWitness(array, a, b, *m, indices);
-      return;
+      o.kind = PairOutcome::Kind::Witness;
+      o.model = std::move(*m);
+      return o;
     }
 
     // Ask the solver: can all dimensions coincide while i != i'?
-    solver_.push();
-    for (size_t k = 0; k < da.size(); ++k)
-      solver_.add(smt::Constraint::eq(da[k], db[k]));
-    smt::CheckResult r = solver_.check();
+    solver.push();
+    for (size_t k = 0; k < t.da.size(); ++k)
+      solver.add(smt::Constraint::eq(t.da[k], t.db[k]));
+    smt::CheckResult r = solver.check();
+    o.checks = 1;
     if (r == smt::CheckResult::Unsat) {
-      solver_.pop();
-      ++report_.pairsProven;
-      return;
+      solver.pop();
+      o.kind = PairOutcome::Kind::Proven;
+      return o;
     }
 
     // Per-dimension coloring facts: under the in-bounds assumption a pair
     // is disjoint if ANY single dimension is (same rule the exploitation
     // phase uses), so a coloring promise on one dimension discharges it.
-    for (size_t k = 0; k < da.size(); ++k) {
-      if (coloringDischarges(da[k], db[k])) {
-        solver_.pop();
-        ++report_.pairsAssumed;
-        return;
+    for (size_t k = 0; k < t.da.size(); ++k) {
+      if (coloringDischarges(t.da[k], t.db[k])) {
+        solver.pop();
+        o.kind = PairOutcome::Kind::Assumed;
+        return o;
       }
     }
 
     // Genuineness: a Racy claim needs the collision to be forced by the
     // iteration pair alone.
-    for (const auto& d : diffs) {
+    for (const auto& d : t.diffs) {
       std::string offender;
       if (!iterationDetermined(d, offender)) {
-        solver_.pop();
-        recordUndecided(array, a, b, offender);
-        return;
+        solver.pop();
+        o.reason = std::move(offender);
+        return o;
       }
     }
-    if (guarded) {
-      solver_.pop();
-      recordUndecided(array, a, b,
-                      "possible collision, but the references are "
-                      "conditionally guarded");
-      return;
+    if (t.guarded) {
+      solver.pop();
+      o.reason =
+          "possible collision, but the references are "
+          "conditionally guarded";
+      return o;
     }
 
-    std::optional<smt::Model> m = solver_.model();
+    std::optional<smt::Model> m = solver.model();
     if (!m) {
-      solver_.pop();
-      recordUndecided(array, a, b, "no witness found within search budget");
-      return;
+      solver.pop();
+      o.reason = "no witness found within search budget";
+      return o;
     }
     // Confirm the witness by exact evaluation: equal indices, distinct
     // iterations. A mismatch would be a solver bug — degrade to Unknown
     // rather than report a bogus collision.
     std::vector<long long> indices;
     bool confirmed = m->at(counter_) != m->at(counterPrime_);
-    for (size_t k = 0; k < da.size() && confirmed; ++k) {
-      smt::Rational va = smt::Solver::evaluate(da[k], *m);
-      smt::Rational vb = smt::Solver::evaluate(db[k], *m);
+    for (size_t k = 0; k < t.da.size() && confirmed; ++k) {
+      smt::Rational va = smt::Solver::evaluate(t.da[k], *m);
+      smt::Rational vb = smt::Solver::evaluate(t.db[k], *m);
       confirmed = va == vb && va.isInteger();
       indices.push_back(va.num());
     }
-    solver_.pop();
+    solver.pop();
     if (!confirmed) {
-      recordUndecided(array, a, b, "witness failed confirmation");
-      return;
+      o.reason = "witness failed confirmation";
+      return o;
     }
-    recordWitness(array, a, b, *m, indices);
+    o.kind = PairOutcome::Kind::Witness;
+    o.model = std::move(*m);
+    o.indices = std::move(indices);
+    return o;
+  }
+
+  /// Folds one outcome into the report — the order-sensitive half of the
+  /// old checkPair, always executed in canonical pair order.
+  void mergePair(const PairTask& t, const PairOutcome& o) {
+    ++report_.pairsChecked;
+    report_.queries += o.checks;
+    switch (o.kind) {
+      case PairOutcome::Kind::Proven:
+        ++report_.pairsProven;
+        break;
+      case PairOutcome::Kind::Assumed:
+        ++report_.pairsAssumed;
+        break;
+      case PairOutcome::Kind::Undecided:
+        recordUndecided(t, o.reason);
+        break;
+      case PairOutcome::Kind::Witness:
+        recordWitness(t, o.model, o.indices);
+        break;
+    }
   }
 
   /// Evaluates the atoms of `e` that the model assigns, leaving none: the
@@ -527,7 +616,10 @@ class RegionChecker {
     return out;
   }
 
-  void checkArrayPairs() {
+  /// Enumerates the reference pairs in canonical order and packages each as
+  /// a self-contained task (lowering and substitution happen here, on the
+  /// planning thread — the only phase that interns atoms).
+  [[nodiscard]] std::vector<PairTask> planArrayPairs() {
     std::vector<ArrayAccess> accesses = analysis::collectAccesses(loop_);
 
     std::map<std::string, std::vector<LoweredRef>> byArray;
@@ -549,6 +641,7 @@ class RegionChecker {
       byArray[acc.array].push_back(std::move(lr));
     }
 
+    std::vector<PairTask> tasks;
     for (const auto& [array, refs] : byArray) {
       bool anyWrite = std::any_of(
           refs.begin(), refs.end(),
@@ -571,10 +664,28 @@ class RegionChecker {
                             (w.acc->isWrite ? "w" : "r") +
                             (x.acc->isWrite ? "w" : "r");
           if (!seen.insert(key).second) continue;
-          checkPair(array, w, x);
+
+          PairTask t;
+          t.array = array;
+          t.refA = printExpr(*w.acc->ref);
+          t.refB = printExpr(*x.acc->ref);
+          t.locA = w.acc->stmt->loc();
+          t.locB = x.acc->stmt->loc();
+          t.bothWrites = w.acc->isWrite && x.acc->isWrite;
+          t.guarded = w.guarded || x.guarded;
+          t.lowered = w.lowered && x.lowered;
+          if (t.lowered) {
+            for (size_t k = 0; k < w.dimsPrimed.size(); ++k) {
+              t.da.push_back(substitute(w.dimsPrimed[k]));
+              t.db.push_back(substitute(x.dims[k]));
+              t.diffs.push_back(t.da.back() - t.db.back());
+            }
+          }
+          tasks.push_back(std::move(t));
         }
       }
     }
+    return tasks;
   }
 };
 

@@ -43,6 +43,10 @@
 #include "ir/kernel.h"
 #include "support/diagnostics.h"
 
+namespace formad::support {
+class WorkPool;
+}
+
 namespace formad::racecheck {
 
 enum class RaceVerdict { RaceFree, Racy, Unknown };
@@ -116,6 +120,11 @@ struct RaceCheckOptions {
   std::set<std::string> colorings;
   /// Stop collecting witnesses in a region after this many.
   int maxWitnessesPerRegion = 4;
+  /// Optional externally owned worker pool (shared with the exploitation
+  /// scheduler by the driver): per-pair converse queries are evaluated
+  /// speculatively across its workers and merged in canonical pair order,
+  /// so the report is bit-identical at any pool width.
+  support::WorkPool* pool = nullptr;
 };
 
 /// Runs the race checker on every parallel region of `kernel`.

@@ -18,14 +18,79 @@ std::string to_string(CheckResult r) {
   return "?";
 }
 
+std::optional<CheckResult> VerdictCache::lookup(const std::string& key) {
+  Shard& s = shardFor(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void VerdictCache::store(const std::string& key, CheckResult r) {
+  Shard& s = shardFor(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.map.emplace(key, r);
+}
+
+size_t VerdictCache::size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(s.mu));
+    n += s.map.size();
+  }
+  return n;
+}
+
+void VerdictCache::bind(const AtomTable* atoms) {
+  std::lock_guard<std::mutex> lk(bindMu_);
+  if (atoms_ == nullptr) {
+    atoms_ = atoms;
+    return;
+  }
+  if (atoms_ != atoms)
+    fail("VerdictCache shared across distinct AtomTables: cache keys embed "
+         "AtomIds, which are only meaningful relative to one table");
+}
+
+void Solver::attachCache(VerdictCache* cache) {
+  if (cache != nullptr) cache->bind(&atoms_);
+  sharedCache_ = cache;
+}
+
+void Solver::reset() {
+  stack_.clear();
+  marks_.clear();
+  owner_ = std::thread::id{};
+}
+
+void Solver::requireOwner() {
+  std::thread::id self = std::this_thread::get_id();
+  if (owner_ == std::thread::id{}) {
+    owner_ = self;
+    return;
+  }
+  if (owner_ != self)
+    fail("smt::Solver is thread-confined: used from a second thread without "
+         "an intervening reset()");
+}
+
 void Solver::add(Constraint c) {
+  requireOwner();
   stack_.push_back(std::move(c));
   ++stats_.assertionsAdded;
 }
 
-void Solver::push() { marks_.push_back(stack_.size()); }
+void Solver::push() {
+  requireOwner();
+  marks_.push_back(stack_.size());
+}
 
 void Solver::pop() {
+  requireOwner();
   if (marks_.empty())
     fail("Solver::pop without matching push (assertion stack has " +
          std::to_string(stack_.size()) + " assertions and no open scope)");
@@ -33,15 +98,17 @@ void Solver::pop() {
   marks_.pop_back();
 }
 
+std::string Solver::constraintKey(const Constraint& c) {
+  const char* tag = c.rel == Rel::Eq ? "=" : c.rel == Rel::Ne ? "!" : "<";
+  return tag + c.expr.key();
+}
+
 std::string Solver::stackKey() const {
   // A conjunction is order-independent; sorting makes stacks that assert
   // the same constraints in different orders share a cache entry.
   std::vector<std::string> parts;
   parts.reserve(stack_.size());
-  for (const auto& c : stack_) {
-    const char* tag = c.rel == Rel::Eq ? "=" : c.rel == Rel::Ne ? "!" : "<";
-    parts.push_back(tag + c.expr.key());
-  }
+  for (const auto& c : stack_) parts.push_back(constraintKey(c));
   std::sort(parts.begin(), parts.end());
   std::string key;
   for (const auto& p : parts) {
@@ -52,8 +119,18 @@ std::string Solver::stackKey() const {
 }
 
 CheckResult Solver::check() {
+  requireOwner();
   ++stats_.checks;
   std::string key = stackKey();
+  if (sharedCache_ != nullptr) {
+    if (auto cached = sharedCache_->lookup(key)) {
+      ++stats_.cacheHits;
+      return *cached;
+    }
+    CheckResult r = solve();
+    sharedCache_->store(key, r);
+    return r;
+  }
   auto it = verdictCache_.find(key);
   if (it != verdictCache_.end()) {
     ++stats_.cacheHits;
@@ -270,6 +347,7 @@ class CoordinateSearch {
 }  // namespace
 
 std::optional<Model> Solver::model() {
+  requireOwner();
   ++stats_.modelSearches;
 
   // Rebuild the equality engine exactly as solve() does; a contradiction

@@ -19,9 +19,14 @@
 // conflicting" — the safe direction.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "smt/congruence.h"
@@ -56,6 +61,54 @@ struct Constraint {
 /// A concrete integer assignment, one value per atom mentioned on the
 /// assertion stack.
 using Model = std::map<AtomId, long long>;
+
+/// A sharded, thread-safe verdict cache shared by the per-worker solvers of
+/// one parallel analysis. Keys are canonical assertion-stack fingerprints
+/// (Solver::stackKey), which cover the ENTIRE live stack — including
+/// assertions inside open push/pop scopes — so a verdict recorded under one
+/// scope can never be served for a different one.
+///
+/// Keys embed AtomIds, which are only meaningful relative to one AtomTable;
+/// sharing a cache across tables would alias unrelated conjunctions. The
+/// cache therefore binds to the table of the first solver that attaches and
+/// rejects attachment from any other table.
+class VerdictCache {
+ public:
+  /// Returns the cached verdict, or nullopt on miss. Counts a hit/miss.
+  [[nodiscard]] std::optional<CheckResult> lookup(const std::string& key);
+  /// Records a verdict. Concurrent stores of the same key are benign: every
+  /// solver derives the same verdict for the same fingerprint.
+  void store(const std::string& key, CheckResult r);
+
+  [[nodiscard]] long long hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t size() const;
+
+ private:
+  friend class Solver;
+  /// Binds the cache to one AtomTable (first caller wins); throws
+  /// formad::Error if a solver over a different table tries to attach.
+  void bind(const AtomTable* atoms);
+
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, CheckResult> map;
+  };
+  [[nodiscard]] Shard& shardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::mutex bindMu_;
+  const AtomTable* atoms_ = nullptr;  // guarded by bindMu_
+};
 
 class Solver {
  public:
@@ -116,14 +169,42 @@ class Solver {
 
   [[nodiscard]] AtomTable& atoms() { return atoms_; }
 
+  /// Shares a concurrent verdict cache with other solvers over the SAME
+  /// AtomTable (per-worker solvers of one parallel analysis). While
+  /// attached, check() consults the shared cache instead of the private
+  /// map. Pass nullptr to detach.
+  void attachCache(VerdictCache* cache);
+
+  /// Clears the assertion stack, open scopes, and the thread binding (so
+  /// the solver may be adopted by another worker for the next task batch).
+  /// Stats and cache attachment survive.
+  void reset();
+
+  /// Canonical fingerprint of one constraint — the unit stackKey() and the
+  /// analysis replay build conjunction fingerprints from. Two constraints
+  /// with equal keys are the same assertion.
+  [[nodiscard]] static std::string constraintKey(const Constraint& c);
+
+  /// Canonical fingerprint of the current conjunction: per-constraint keys,
+  /// sorted (a conjunction is order-independent) and joined. Covers the
+  /// whole live stack including open push/pop scopes, so cached verdicts
+  /// can never leak across scopes.
+  [[nodiscard]] std::string stackKey() const;
+
  private:
   [[nodiscard]] CheckResult solve();
-  [[nodiscard]] std::string stackKey() const;
+  /// Solvers are thread-confined: the first mutating call binds the owning
+  /// thread, and any use from another thread throws. reset() clears the
+  /// binding. This turns cross-thread sharing bugs into immediate errors
+  /// instead of silent stack corruption.
+  void requireOwner();
 
   AtomTable& atoms_;
   std::vector<Constraint> stack_;
   std::vector<size_t> marks_;
   std::map<std::string, CheckResult> verdictCache_;
+  VerdictCache* sharedCache_ = nullptr;
+  std::thread::id owner_{};
   Stats stats_;
 };
 

@@ -1,0 +1,81 @@
+// A small shared worker pool for the analysis pipeline.
+//
+// One pool is created per driver invocation and reused by every phase that
+// fans independent solver queries out over threads (FormAD exploitation,
+// the static race checker). Tasks are claimed dynamically from a single
+// shared ticket counter — cheap self-scheduling load balancing for the
+// irregular per-query costs SMT workloads produce — and each task carries
+// the index of the worker running it, so callers can keep strictly
+// thread-confined state (one smt::Solver per worker).
+//
+// Determinism contract: the pool guarantees only that every task index in
+// [0, n) runs exactly once. Callers that need reproducible output must not
+// derive results from completion order; the analysis pipeline merges all
+// task results in a canonical order afterwards (see formad/scheduler.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace formad::support {
+
+class WorkPool {
+ public:
+  /// Spawns `threads - 1` workers; the thread calling run() is worker 0.
+  /// A width of 1 (or less) degenerates to inline serial execution.
+  explicit WorkPool(int threads);
+  ~WorkPool();
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  [[nodiscard]] int width() const { return width_; }
+
+  /// Runs fn(taskIndex, workerIndex) for every taskIndex in [0, n), then
+  /// returns. Worker indices lie in [0, width()); each index is used by at
+  /// most one OS thread for the duration of the call. Not reentrant and not
+  /// thread-safe: one run() at a time, always from the owning thread. If a
+  /// task throws, the first exception is rethrown here after all claimed
+  /// tasks finished.
+  void run(size_t n, const std::function<void(size_t, int)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static int hardwareWidth();
+
+ private:
+  void workerLoop(int worker);
+  void drain(int worker);
+
+  // Tickets and the task count are tagged with the run's epoch in the high
+  // 32 bits. A claim is honored only if the ticket's epoch matches the
+  // epoch packed into limit_; a ticket whose epoch is stale (drawn before
+  // the current run was published, or after its run completed) always fails
+  // that comparison and is discarded without touching fn_. A claim that IS
+  // honored pins its run: run() cannot return — and hence no later epoch
+  // can be published and no descriptor overwritten — until the claimed
+  // task has executed and decremented pending_.
+  static constexpr int kEpochShift = 32;
+  static constexpr uint64_t kIndexMask = (uint64_t{1} << kEpochShift) - 1;
+
+  const int width_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> cursor_{0};  // (epoch << 32) | next task index
+  std::atomic<uint64_t> limit_{0};   // (epoch << 32) | task count
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<const std::function<void(size_t, int)>*> fn_{nullptr};
+
+  std::mutex mu_;
+  std::condition_variable wake_;  // workers wait here between runs
+  std::condition_variable done_;  // run() waits here for pending_ == 0
+  uint64_t epoch_ = 0;            // guarded by mu_ (mirrors cursor_ epoch)
+  bool stop_ = false;             // guarded by mu_
+  std::exception_ptr error_;      // guarded by mu_
+};
+
+}  // namespace formad::support

@@ -59,4 +59,16 @@ Harness greenGaussHarness(long long nodes, unsigned seed);
 Harness indirectHarness(long long n, unsigned seed);
 Harness lbmHarness(unsigned seed);
 
+/// DSL source of a random kernel drawn from the generator grammar (parallel
+/// loop with nested serial loops and branches, increments and overwrites,
+/// 1-D/2-D arrays, nonlinear intrinsics, scalar locals). Deterministic in
+/// `seed`; race-free by construction (iterations only touch row/column i
+/// plus read-only data). Shared by the property suite and the differential
+/// fuzzer.
+std::string randomKernelSource(unsigned seed);
+
+/// Harness over randomKernelSource(seed) with deterministic bindings
+/// (u, v, w real arrays; r read-only reals; c a permutation of 0..n-1).
+Harness randomHarness(unsigned seed);
+
 }  // namespace formad::testing

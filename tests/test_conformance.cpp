@@ -1,0 +1,198 @@
+// Cross-thread-count conformance: the analysis pipeline must be a pure
+// function of the kernel, not of the worker count. Every paper kernel and
+// every racy mutant goes through the full driver at 1/2/4/8 analysis
+// threads, and the timing-free rendered reports (FormAD analysis describe,
+// race-check describe, warnings, and — for the mutants — the exact Error
+// message of the refusal) must be byte-identical across all counts.
+//
+// The second half is a differential fuzzer: random kernels from the shared
+// generator (tests/helpers.cpp) are analyzed serially and in parallel
+// (byte-identical reports required), and their FormAD adjoints are executed
+// under TreeWalk/Serial, Bytecode/Serial, and Bytecode/OpenMP — the three
+// engines must agree on every gradient entry within 1e-12 relative error
+// (OpenMP merges thread-local reduction copies in thread order, so the
+// floating-point sums may differ in the last bits; see exec/interp.h).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "formad/formad.h"
+#include "helpers.h"
+#include "kernels/data.h"
+#include "kernels/mutants.h"
+#include "racecheck/racecheck.h"
+
+namespace formad::testing {
+namespace {
+
+using driver::AdjointMode;
+using exec::ExecEngine;
+using exec::ExecMode;
+using exec::ExecOptions;
+
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+/// Everything the driver reports that must not depend on the worker count.
+struct Transcript {
+  std::string analysis;   // core::describe(analysis, /*timing=*/false)
+  std::string racecheck;  // RaceReport::describe()
+  std::string warnings;   // DifferentiateResult::warnings, joined
+  std::string error;      // Error::what() when differentiate refuses
+};
+
+Transcript runDriver(const kernels::KernelSpec& spec, int analysisThreads) {
+  Transcript t;
+  auto primal = parser::parseKernel(spec.source);
+  driver::DriverOptions dopts;
+  dopts.mode = AdjointMode::FormAD;
+  dopts.racecheckPrimal = true;
+  dopts.analysisThreads = analysisThreads;
+  try {
+    auto dr = driver::differentiate(*primal, spec.independents,
+                                    spec.dependents, dopts);
+    t.analysis = core::describe(dr.analysis, /*includeTiming=*/false);
+    t.racecheck = dr.raceReport.describe();
+    for (const auto& w : dr.warnings) t.warnings += w + "\n";
+  } catch (const Error& e) {
+    t.error = e.what();
+  }
+  return t;
+}
+
+void expectThreadInvariant(const kernels::KernelSpec& spec) {
+  const Transcript serial = runDriver(spec, 1);
+  for (int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const Transcript parallel = runDriver(spec, threads);
+    EXPECT_EQ(serial.analysis, parallel.analysis)
+        << spec.name << " analysis report diverges at " << threads
+        << " threads";
+    EXPECT_EQ(serial.racecheck, parallel.racecheck)
+        << spec.name << " race-check report diverges at " << threads
+        << " threads";
+    EXPECT_EQ(serial.warnings, parallel.warnings)
+        << spec.name << " warnings diverge at " << threads << " threads";
+    EXPECT_EQ(serial.error, parallel.error)
+        << spec.name << " refusal message diverges at " << threads
+        << " threads";
+  }
+}
+
+// --- paper kernels ---
+
+TEST(Conformance, CompactStencil) {
+  expectThreadInvariant(stencilHarness(1, 64, 7).spec);
+}
+
+TEST(Conformance, WideStencil) {
+  expectThreadInvariant(stencilHarness(3, 96, 7).spec);
+}
+
+TEST(Conformance, Lbm) { expectThreadInvariant(lbmHarness(7).spec); }
+
+TEST(Conformance, GfmcSplit) { expectThreadInvariant(gfmcHarness(false, 7).spec); }
+
+TEST(Conformance, GfmcFused) { expectThreadInvariant(gfmcHarness(true, 7).spec); }
+
+TEST(Conformance, GreenGauss) {
+  expectThreadInvariant(greenGaussHarness(32, 7).spec);
+}
+
+TEST(Conformance, IndirectGather) {
+  expectThreadInvariant(indirectHarness(64, 7).spec);
+}
+
+// --- racy mutants: the refusal (witnesses included) must match too ---
+
+TEST(Conformance, StencilRacyMutant) {
+  const kernels::KernelSpec spec = kernels::stencilRacySpec();
+  const Transcript t = runDriver(spec, 1);
+  EXPECT_FALSE(t.error.empty()) << "mutant should be refused";
+  expectThreadInvariant(spec);
+}
+
+TEST(Conformance, StencilStrideRacyMutant) {
+  expectThreadInvariant(kernels::stencilStrideRacySpec());
+}
+
+TEST(Conformance, LbmRacyMutant) {
+  expectThreadInvariant(kernels::lbmRacySpec());
+}
+
+TEST(Conformance, GatherRacyMutant) {
+  expectThreadInvariant(kernels::gatherRacySpec());
+}
+
+TEST(Conformance, SumRacyMutant) {
+  expectThreadInvariant(kernels::sumRacySpec());
+}
+
+// --- differential fuzzer ---
+//
+// Each seed draws one kernel from the shared generator and checks two
+// independent kinds of agreement:
+//   (a) analysis: the timing-free FormAD report at 1 thread vs 4 threads;
+//   (b) execution: adjoint gradients under the three engine configurations.
+// 200 seeds; zero disagreements tolerated.
+
+class DifferentialFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DifferentialFuzz, SerialAndParallelAnalysesAgree) {
+  const Harness h = randomHarness(GetParam());
+  auto primal = h.parse();
+  auto serial =
+      driver::analyze(*primal, h.spec.independents, h.spec.dependents, 1);
+  auto parallel =
+      driver::analyze(*primal, h.spec.independents, h.spec.dependents, 4);
+  EXPECT_EQ(core::describe(serial, false), core::describe(parallel, false))
+      << "seed " << GetParam();
+}
+
+TEST_P(DifferentialFuzz, EnginesAgreeOnAdjointGradients) {
+  const Harness h = randomHarness(GetParam());
+  const unsigned seed = GetParam() * 101 + 3;
+
+  ExecOptions tree;
+  tree.engine = ExecEngine::TreeWalk;
+  ExecOptions byte;
+  byte.engine = ExecEngine::Bytecode;
+  ExecOptions omp;
+  omp.engine = ExecEngine::Bytecode;
+  omp.mode = ExecMode::OpenMP;
+  omp.numThreads = 4;
+
+  auto gTree = adjointGradients(h, AdjointMode::FormAD, tree, seed);
+  auto gByte = adjointGradients(h, AdjointMode::FormAD, byte, seed);
+  auto gOmp = adjointGradients(h, AdjointMode::FormAD, omp, seed);
+
+  ASSERT_EQ(gTree.size(), gByte.size());
+  ASSERT_EQ(gTree.size(), gOmp.size());
+  ASSERT_FALSE(gTree.empty());
+  size_t nonzero = 0;
+  for (const auto& [name, tv] : gTree)
+    for (double x : tv)
+      if (x != 0.0) ++nonzero;
+  EXPECT_GT(nonzero, 0u) << "seed " << GetParam()
+                         << " produced an all-zero gradient — the "
+                            "comparison below would be vacuous";
+  for (const auto& [name, tv] : gTree) {
+    const auto& bv = gByte.at(name);
+    const auto& ov = gOmp.at(name);
+    ASSERT_EQ(tv.size(), bv.size()) << name;
+    ASSERT_EQ(tv.size(), ov.size()) << name;
+    for (size_t i = 0; i < tv.size(); ++i) {
+      EXPECT_LT(relDiff(tv[i], bv[i]), 1e-12)
+          << "seed " << GetParam() << " " << name << "[" << i
+          << "] treewalk vs bytecode";
+      EXPECT_LT(relDiff(tv[i], ov[i]), 1e-12)
+          << "seed " << GetParam() << " " << name << "[" << i
+          << "] serial vs openmp";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(1u, 201u));
+
+}  // namespace
+}  // namespace formad::testing

@@ -82,5 +82,57 @@ kernel f(y: real[] inout, x: real[] in, s: real[] in, i: int in) {
   EXPECT_FALSE(dr.adjointParams.count("s"));
 }
 
+// ------------------------------------------- analysis thread resolution
+
+// The -analysis-threads convention (shared by DriverOptions and the CLI):
+// 0 = auto-detect, n >= 1 = exactly n, negative = a clear error.
+TEST(Driver, AnalysisThreadsZeroMeansAutoDetect) {
+  EXPECT_GE(driver::resolveAnalysisThreads(0), 1);
+}
+
+TEST(Driver, AnalysisThreadsPositivePassesThrough) {
+  EXPECT_EQ(driver::resolveAnalysisThreads(1), 1);
+  EXPECT_EQ(driver::resolveAnalysisThreads(7), 7);
+}
+
+TEST(Driver, AnalysisThreadsNegativeIsRejectedWithClearError) {
+  try {
+    (void)driver::resolveAnalysisThreads(-2);
+    FAIL() << "expected a formad::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(">= 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-2"), std::string::npos) << msg;
+  }
+}
+
+// The threaded analyze() overload goes through the same resolution: a
+// negative request throws before any analysis work starts, and explicit
+// counts produce the same verdicts as the default entry point.
+TEST(Driver, AnalyzeOverloadHonoursThreadConvention) {
+  Harness h = stencilHarness(1, 32, 3);
+  auto k = h.parse();
+  EXPECT_THROW(
+      (void)driver::analyze(*k, h.spec.independents, h.spec.dependents, -1),
+      Error);
+  auto one = driver::analyze(*k, h.spec.independents, h.spec.dependents, 1);
+  auto four = driver::analyze(*k, h.spec.independents, h.spec.dependents, 4);
+  auto zero = driver::analyze(*k, h.spec.independents, h.spec.dependents, 0);
+  EXPECT_EQ(core::describe(one, false), core::describe(four, false));
+  EXPECT_EQ(core::describe(one, false), core::describe(zero, false));
+}
+
+// DriverOptions::analysisThreads feeds the same gate: differentiate() must
+// refuse a negative count up front.
+TEST(Driver, DifferentiateRejectsNegativeAnalysisThreads) {
+  Harness h = stencilHarness(1, 32, 3);
+  auto k = h.parse();
+  driver::DriverOptions opts;
+  opts.analysisThreads = -1;
+  EXPECT_THROW((void)driver::differentiate(*k, h.spec.independents,
+                                           h.spec.dependents, opts),
+               Error);
+}
+
 }  // namespace
 }  // namespace formad::testing

@@ -5,11 +5,8 @@
 // and reverse mode in every safeguard mode, and their tapes must drain.
 #include <gtest/gtest.h>
 
-#include <random>
-#include <sstream>
 
 #include "helpers.h"
-#include "kernels/data.h"
 
 namespace formad::testing {
 namespace {
@@ -17,141 +14,6 @@ namespace {
 using driver::AdjointMode;
 using exec::ExecMode;
 using exec::ExecOptions;
-
-/// Generates a random kernel over fixed parameters:
-///   n: int, u: real[] inout, v: real[] inout, w: real[,] inout,
-///   r: real[] in (read-only), c: int[] in (a permutation of 0..N-1).
-/// Parallel iterations only touch row/column i (plus read-only data), so
-/// every generated kernel is correctly parallelized by construction.
-class KernelGen {
- public:
-  explicit KernelGen(unsigned seed) : rng_(seed) {}
-
-  std::string generate() {
-    body_.str("");
-    locals_ = 0;
-    emitParallelLoop();
-    std::ostringstream k;
-    k << "kernel randk(n: int in, u: real[] inout, v: real[] inout, "
-         "w: real[,] inout, r: real[] in, c: int[] in) {\n"
-      << body_.str() << "}\n";
-    return k.str();
-  }
-
- private:
-  std::mt19937_64 rng_;
-  std::ostringstream body_;
-  int locals_ = 0;
-  std::vector<std::string> liveLocals_;
-
-  int pick(int n) {
-    return static_cast<int>(std::uniform_int_distribution<int>(0, n - 1)(rng_));
-  }
-  double coef() {
-    return std::uniform_real_distribution<double>(0.25, 1.75)(rng_);
-  }
-
-  /// A random real-valued expression over row i / inner counter k.
-  std::string expr(const std::string& i, int depth) {
-    switch (depth > 0 ? pick(7) : pick(4)) {
-      case 0: return "u[" + i + "]";
-      case 1: return "r[" + i + "]";
-      case 2: return "v[c[" + i + "]]";
-      case 3: {
-        std::ostringstream os;
-        os << coef();
-        std::string s = os.str();
-        return s.find('.') == std::string::npos ? s + ".0" : s;
-      }
-      case 4:
-        return "(" + expr(i, depth - 1) + " + " + expr(i, depth - 1) + ")";
-      case 5:
-        return "(" + expr(i, depth - 1) + " * " + expr(i, depth - 1) + ")";
-      default:
-        switch (pick(3)) {
-          case 0: return "sin(" + expr(i, depth - 1) + ")";
-          case 1: return "tanh(" + expr(i, depth - 1) + ")";
-          default: return "exp(0.1 * " + expr(i, depth - 1) + ")";
-        }
-    }
-  }
-
-  void emitStmt(const std::string& i, int indent) {
-    std::string pad(static_cast<size_t>(indent) * 2, ' ');
-    switch (pick(6)) {
-      case 0:  // increment of u at own row
-        body_ << pad << "u[" << i << "] += " << expr(i, 1) << ";\n";
-        break;
-      case 1:  // overwrite of v at the permuted index (own element)
-        body_ << pad << "v[c[" << i << "]] = " << expr(i, 1) << ";\n";
-        break;
-      case 2: {  // 2-D access in own column
-        body_ << pad << "w[" << pick(3) << ", " << i
-              << "] = " << expr(i, 1) << ";\n";
-        break;
-      }
-      case 3: {  // scalar local chain
-        std::string t = "t" + std::to_string(locals_++);
-        body_ << pad << "var " << t << ": real = " << expr(i, 2) << ";\n";
-        body_ << pad << "u[" << i << "] += " << t << " * "
-              << expr(i, 0) << ";\n";
-        break;
-      }
-      case 4:  // branch on read-only data
-        body_ << pad << "if (c[" << i << "] % 2 == 0) {\n";
-        emitStmt(i, indent + 1);
-        body_ << pad << "} else {\n";
-        emitStmt(i, indent + 1);
-        body_ << pad << "}\n";
-        break;
-      default:  // self-scaling overwrite (tests the tmpb pattern)
-        body_ << pad << "u[" << i << "] = 0.5 * u[" << i << "] + "
-              << expr(i, 1) << ";\n";
-        break;
-    }
-  }
-
-  void emitParallelLoop() {
-    body_ << "  parallel for i = 0 : n - 1 {\n";
-    int stmts = 2 + pick(3);
-    for (int s = 0; s < stmts; ++s) emitStmt("i", 2);
-    if (pick(2) == 0) {
-      // nested serial loop over a few repetitions
-      body_ << "    for k = 0 : 2 {\n";
-      emitStmt("i", 3);
-      body_ << "    }\n";
-    }
-    body_ << "  }\n";
-  }
-};
-
-Harness randomHarness(unsigned seed) {
-  KernelGen gen(seed);
-  Harness h;
-  h.spec.name = "randk";
-  h.spec.source = gen.generate();
-  h.spec.independents = {"u", "v"};
-  h.spec.dependents = {"u", "v", "w"};
-  const long long n = 64;
-  h.bind = [n, seed](exec::Inputs& io) {
-    kernels::Rng rng(seed * 17 + 5);
-    io.bindInt("n", n);
-    auto& u = io.bindArray("u", exec::ArrayValue::reals({n}));
-    kernels::fillUniform(u, rng, 0.2, 0.8);
-    auto& v = io.bindArray("v", exec::ArrayValue::reals({n}));
-    kernels::fillUniform(v, rng, 0.2, 0.8);
-    auto& w = io.bindArray("w", exec::ArrayValue::reals({3, n}));
-    kernels::fillUniform(w, rng, 0.2, 0.8);
-    auto& r = io.bindArray("r", exec::ArrayValue::reals({n}));
-    kernels::fillUniform(r, rng, 0.2, 0.8);
-    auto& c = io.bindArray("c", exec::ArrayValue::ints({n}));
-    std::vector<long long> perm(static_cast<size_t>(n));
-    for (long long i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
-    std::shuffle(perm.begin(), perm.end(), rng);
-    c.intData() = perm;
-  };
-  return h;
-}
 
 class RandomKernels : public ::testing::TestWithParam<unsigned> {};
 

@@ -338,9 +338,14 @@ TEST(RaceOracle, EventCapIsCountedNotSilent) {
                       kernels::bindStencilRacy(io, 512, rng);
                     });
   ASSERT_TRUE(log.any());
-  EXPECT_LE(log.events.size(), 64u);
+  EXPECT_EQ(log.events.size(), 64u) << "cap should be filled exactly";
   EXPECT_GT(log.dropped, 0);
-  EXPECT_NE(log.describe().find("more conflicts"), std::string::npos);
+  // describe() must surface the exact overflow count, not just a vague
+  // truncation marker.
+  const std::string text = log.describe();
+  const std::string tail =
+      "... and " + std::to_string(log.dropped) + " more conflicts\n";
+  EXPECT_NE(text.find(tail), std::string::npos) << text;
 }
 
 // ------------------------------------------------ driver pre-flight gate

@@ -4,7 +4,10 @@
 // enumeration over a small integer domain.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
+#include <thread>
+#include <vector>
 
 #include "smt/solver.h"
 #include "support/diagnostics.h"
@@ -557,6 +560,160 @@ TEST(SolverModelProperty, ReturnedModelsSatisfyTheStack) {
       }
     }
   }
+}
+
+// ------------------------------------------------ verdict cache & threading
+
+// Regression for the scope-staleness hazard: a verdict computed inside a
+// push()ed scope must never answer a check() made after the pop(). The
+// cache key is the fingerprint of the FULL assertion stack, so the Unsat
+// seen under the extra assertion and the Sat of the base scope are distinct
+// entries — a cache that keyed on anything less would replay the stale
+// Unsat here.
+TEST_F(SolverTest, CacheNeverServesStaleScopedVerdict) {
+  solver.add(Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i)));
+  ASSERT_EQ(solver.check(), CheckResult::Sat);
+
+  solver.push();
+  solver.add(Constraint::eq(LinExpr::atom(ip), LinExpr::atom(i)));
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+  solver.pop();
+
+  // Same solver, same base assertions as the first check: must be Sat
+  // again (and IS allowed to be a cache hit — of the base entry).
+  EXPECT_EQ(solver.check(), CheckResult::Sat);
+
+  // Re-entering an identical scope is a legitimate hit on the scoped entry.
+  long long hitsBefore = solver.stats().cacheHits;
+  solver.push();
+  solver.add(Constraint::eq(LinExpr::atom(ip), LinExpr::atom(i)));
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+  solver.pop();
+  EXPECT_EQ(solver.stats().cacheHits, hitsBefore + 1);
+}
+
+// The same property through a shared VerdictCache (the concurrent cache
+// worker solvers attach during parallel exploitation).
+TEST_F(SolverTest, SharedCacheNeverServesStaleScopedVerdict) {
+  VerdictCache cache;
+  solver.attachCache(&cache);
+  solver.add(Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i)));
+  ASSERT_EQ(solver.check(), CheckResult::Sat);
+  solver.push();
+  solver.add(Constraint::eq(LinExpr::atom(ip), LinExpr::atom(i)));
+  EXPECT_EQ(solver.check(), CheckResult::Unsat);
+  solver.pop();
+  EXPECT_EQ(solver.check(), CheckResult::Sat);
+
+  // A second solver over the same AtomTable replays all three verdicts
+  // from the shared cache without solving.
+  Solver other(atoms);
+  other.attachCache(&cache);
+  other.add(Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i)));
+  EXPECT_EQ(other.check(), CheckResult::Sat);
+  other.push();
+  other.add(Constraint::eq(LinExpr::atom(ip), LinExpr::atom(i)));
+  EXPECT_EQ(other.check(), CheckResult::Unsat);
+  other.pop();
+  EXPECT_EQ(other.check(), CheckResult::Sat);
+  EXPECT_EQ(other.stats().cacheHits, 3);
+}
+
+// The stack fingerprint is insertion-order independent: the same set of
+// constraints asserted in a different order is the same cache entry.
+TEST_F(SolverTest, StackKeyIsOrderIndependent) {
+  AtomId ci = atoms.internUF("c", {LinExpr::atom(i)});
+  Solver a(atoms), b(atoms);
+  a.add(Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i)));
+  a.add(Constraint::le(LinExpr::atom(ci), LinExpr(Rational(8))));
+  b.add(Constraint::le(LinExpr::atom(ci), LinExpr(Rational(8))));
+  b.add(Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i)));
+  EXPECT_EQ(a.stackKey(), b.stackKey());
+}
+
+// A VerdictCache is bound to the AtomTable of the first solver that
+// attaches; keys are AtomId-based, so sharing across tables would alias
+// unrelated constraints. The second attach must be rejected loudly.
+TEST(VerdictCacheTest, RejectsSharingAcrossAtomTables) {
+  AtomTable t1, t2;
+  (void)t1.internVar("i", 0, false);
+  (void)t2.internVar("j", 0, false);
+  VerdictCache cache;
+  Solver s1(t1);
+  s1.attachCache(&cache);
+  Solver s2(t2);
+  EXPECT_THROW(s2.attachCache(&cache), Error);
+  // Re-attaching a solver over the SAME table is fine.
+  Solver s3(t1);
+  s3.attachCache(&cache);
+}
+
+// Solvers are thread-confined: the first add/check binds the owner thread,
+// any use from another thread throws, and reset() releases the binding so
+// a pool can hand the instance to a different worker.
+TEST_F(SolverTest, ThreadConfinementIsEnforcedAndResetReleases) {
+  solver.add(Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i)));
+  ASSERT_EQ(solver.check(), CheckResult::Sat);
+
+  bool threw = false;
+  std::thread probe([&] {
+    try {
+      (void)solver.check();
+    } catch (const Error&) {
+      threw = true;
+    }
+  });
+  probe.join();
+  EXPECT_TRUE(threw) << "second thread must be rejected without a reset()";
+
+  solver.reset();
+  CheckResult fromWorker = CheckResult::Unknown;
+  std::thread worker([&] {
+    solver.add(Constraint::eq(LinExpr::atom(ip), LinExpr::atom(i)));
+    fromWorker = solver.check();
+  });
+  worker.join();
+  EXPECT_EQ(fromWorker, CheckResult::Sat);
+}
+
+// The shared cache itself is safe under concurrent store/lookup: hammer
+// one cache from several threads over disjoint and overlapping keys.
+TEST(VerdictCacheTest, ConcurrentStoresAndLookupsAreConsistent) {
+  AtomTable table;
+  std::vector<AtomId> vars;
+  for (int v = 0; v < 8; ++v)
+    vars.push_back(table.internVar("v" + std::to_string(v), 0, false));
+  VerdictCache cache;
+  Solver binder(table);
+  binder.attachCache(&cache);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> disagreements{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Solver s(table);
+      s.attachCache(&cache);
+      for (int round = 0; round < 50; ++round) {
+        const int v = (t + round) % 8;
+        s.push();
+        // v == round is satisfiable on its own; v == round && v == round+1
+        // is not.
+        s.add(Constraint::eq(LinExpr::atom(vars[v]),
+                             LinExpr(Rational(round % 4))));
+        const CheckResult one = s.check();
+        s.add(Constraint::eq(LinExpr::atom(vars[v]),
+                             LinExpr(Rational(round % 4 + 1))));
+        const CheckResult two = s.check();
+        s.pop();
+        if (one != CheckResult::Sat || two != CheckResult::Unsat)
+          disagreements.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(disagreements.load(), 0);
+  EXPECT_GT(cache.hits(), 0);
+  EXPECT_GT(cache.size(), 0u);
 }
 
 }  // namespace
