@@ -6,8 +6,14 @@
 //   A3  knowledge-consistency safeguard off (Sec. 5.5): fewer queries.
 //   A4  dimension rule off: only flattened-offset proofs remain; per-column
 //       accesses of multi-dimensional arrays become unprovable.
+//   F1  fast path off: every check reaches the full solver (tier 2) —
+//       identical verdicts and query counts, pure speed ablation.
+//   F2  fast path syntactic-only: tier-0 deciders without the tier-1
+//       arithmetic (GCD/stride/interval) tests.
+// Writes BENCH_ablations.json through the shared writer (bench_common.h).
 #include <iostream>
 
+#include "bench_common.h"
 #include "driver/report.h"
 #include "formad/formad.h"
 #include "kernels/gfmc.h"
@@ -73,16 +79,44 @@ int main() {
     o.exploit.useDimensionRule = false;
     variants.push_back({"A4 no-dimension-rule", o});
   }
+  {
+    core::AnalyzeOptions o;
+    o.exploit.fastpath = smt::FastPathMode::Off;
+    variants.push_back({"F1 fastpath-off", o});
+  }
+  {
+    core::AnalyzeOptions o;
+    o.exploit.fastpath = smt::FastPathMode::Syntactic;
+    variants.push_back({"F2 fastpath-syntactic", o});
+  }
 
   std::cout << "\n### FormAD ablations (verdicts and query counts)\n\n";
-  driver::Table table({"kernel", "variant", "result"});
+  driver::Table table({"kernel", "variant", "result", "tier-2"});
+  bench::Json rows = bench::Json::array();
   for (const auto& c : cases) {
     auto kernel = parser::parseKernel(c.spec.source);
     for (const auto& v : variants) {
       auto a = core::analyzeKernel(*kernel, c.spec.independents,
                                    c.spec.dependents, v.opts);
-      table.addRow({c.name, v.name, summarize(a)});
+      table.addRow({c.name, v.name, summarize(a),
+                    std::to_string(a.tier2Checks())});
+      int safe = 0, unsafe = 0;
+      for (const auto& r : a.regions)
+        for (const auto& var : r.vars) (var.safe ? safe : unsafe)++;
+      bench::Json row = bench::Json::object();
+      row.set("kernel", bench::Json::str(c.name));
+      row.set("variant", bench::Json::str(v.name));
+      row.set("safe_vars", bench::Json::integer(safe));
+      row.set("unsafe_vars", bench::Json::integer(unsafe));
+      row.set("model_size", bench::Json::integer(a.modelAssertions()));
+      row.set("tiers", bench::tierCountsJson(a));
+      rows.push(std::move(row));
     }
+  }
+  {
+    bench::Json body = bench::Json::object();
+    body.set("rows", std::move(rows));
+    bench::writeBenchFile("ablations", body);
   }
   std::cout << table.str();
   std::cout <<
@@ -98,6 +132,9 @@ int main() {
       "      the price of not detecting racy primals.\n"
       "  A4: without the per-dimension rule, only exact-match offset\n"
       "      proofs survive; GFMC's spin-flip accesses (disjoint in the\n"
-      "      walker dimension) become unprovable.\n\n";
+      "      walker dimension) become unprovable.\n"
+      "  F1/F2: identical verdicts and query counts to baseline — the\n"
+      "      fast path is exact; the tier-2 column shows how many checks\n"
+      "      still reach the full solver under each mode.\n\n";
   return 0;
 }

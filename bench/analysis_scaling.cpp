@@ -1,4 +1,4 @@
-// Analysis-cost scaling (paper Sec. 7.5) in two dimensions.
+// Analysis-cost scaling (paper Sec. 7.5) in three dimensions.
 //
 // 1. Model growth: the model has 1 + e^2 assertions for e unique write
 //    expressions, and the number of queries grows accordingly. Sweeping
@@ -18,13 +18,20 @@
 //    containers often pin a single core, where measured wall time cannot
 //    scale no matter how the queries are scheduled.
 //
-// Writes BENCH_analysis_scaling.json.
+// 3. Fast-path tiers: the tiered deciders (smt/fastpath.h) answer most
+//    disjointness queries before the full solver. The comparison section
+//    runs each configuration with -fastpath off and full and reports the
+//    tier-2 (full-solve) check counts and wall times side by side; the
+//    verdicts and query totals are identical by construction.
+//
+// Writes BENCH_analysis_scaling.json through the shared writer
+// (bench_common.h). `--smoke` runs a seconds-sized subset (small stencil
+// only, fewer repetitions) for the CI quick-bench step.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
+#include "bench_common.h"
 #include "driver/driver.h"
 #include "driver/report.h"
 #include "kernels/greengauss.h"
@@ -60,20 +67,19 @@ struct ThreadScaling {
 };
 
 ThreadScaling scaleConfig(const std::string& name,
-                          const kernels::KernelSpec& spec) {
-  constexpr int kReps = 5;
+                          const kernels::KernelSpec& spec, int reps) {
   ThreadScaling out;
   out.config = name;
   auto kernel = parser::parseKernel(spec.source);
 
-  // Best-of-kReps wall time per width (the usual benchmarking guard
+  // Best-of-reps wall time per width (the usual benchmarking guard
   // against scheduler noise), and the fastest eager run's per-task
   // profile for the simulation: the 4-thread run evaluates every task,
   // so each entry of taskSeconds carries a wall time.
   std::vector<std::vector<double>> regionTasks;
   double profileCost = 0.0;
   for (int threads : kThreads) {
-    for (int rep = 0; rep < kReps; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       auto a = driver::analyze(*kernel, spec.independents, spec.dependents,
                                threads);
       double wall = a.analysisSeconds();
@@ -112,15 +118,49 @@ ThreadScaling scaleConfig(const std::string& name,
   return out;
 }
 
+/// One fast-path ablation point: the same analysis at -fastpath off and
+/// full (identical verdicts and query totals; only the tier split and the
+/// wall time move).
+struct FastPathPoint {
+  std::string config;
+  core::KernelAnalysis off, full;
+  double wallOff = 0.0, wallFull = 0.0;  // best-of-reps, single-threaded
+};
+
+FastPathPoint fastpathConfig(const std::string& name,
+                             const kernels::KernelSpec& spec, int reps) {
+  FastPathPoint p;
+  p.config = name;
+  auto kernel = parser::parseKernel(spec.source);
+  auto best = [&](smt::FastPathMode mode, double& wall) {
+    core::KernelAnalysis a;
+    wall = -1;
+    for (int rep = 0; rep < reps; ++rep) {
+      a = driver::analyze(*kernel, spec.independents, spec.dependents,
+                          /*analysisThreads=*/1, mode);
+      double s = a.analysisSeconds();
+      if (wall < 0 || s < wall) wall = s;
+    }
+    return a;
+  };
+  p.off = best(smt::FastPathMode::Off, p.wallOff);
+  p.full = best(smt::FastPathMode::Full, p.wallFull);
+  return p;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const int reps = smoke ? 2 : 5;
+
   std::cout << "\n### Analysis scaling over stencil radius (e = radius + 1)\n\n";
-  std::ostringstream radiusJson;
+  bench::Json radiusRows = bench::Json::array();
   driver::Table t({"radius", "exprs e", "model size", "1+e^2", "queries",
-                   "time [ms]", "verdict"});
-  bool firstRadius = true;
-  for (int radius : {1, 2, 4, 8, 12, 16, 24}) {
+                   "tier-2", "time [ms]", "verdict"});
+  std::vector<int> radii = smoke ? std::vector<int>{1, 2, 4}
+                                 : std::vector<int>{1, 2, 4, 8, 12, 16, 24};
+  for (int radius : radii) {
     auto spec = kernels::stencilSpec(radius);
     auto kernel = parser::parseKernel(spec.source);
     auto a = driver::analyze(*kernel, spec.independents, spec.dependents);
@@ -130,15 +170,17 @@ int main() {
     t.addRow({std::to_string(radius), std::to_string(e),
               std::to_string(a.modelAssertions()),
               std::to_string(1 + e * e), std::to_string(a.queries()),
+              std::to_string(a.tier2Checks()),
               driver::fmt(a.analysisSeconds() * 1e3, 2),
               safe ? "safe" : "rejected"});
-    radiusJson << (firstRadius ? "" : ",") << "\n    {\"radius\": " << radius
-               << ", \"exprs\": " << e
-               << ", \"model_size\": " << a.modelAssertions()
-               << ", \"queries\": " << a.queries()
-               << ", \"seconds\": " << a.analysisSeconds()
-               << ", \"safe\": " << (safe ? "true" : "false") << "}";
-    firstRadius = false;
+    bench::Json row = bench::Json::object();
+    row.set("radius", bench::Json::integer(radius));
+    row.set("exprs", bench::Json::integer(e));
+    row.set("model_size", bench::Json::integer(a.modelAssertions()));
+    row.set("seconds", bench::Json::num(a.analysisSeconds()));
+    row.set("safe", bench::Json::boolean(safe));
+    row.set("tiers", bench::tierCountsJson(a));
+    radiusRows.push(std::move(row));
   }
   std::cout << t.str()
             << "\nModel size tracks 1+e^2 exactly; queries grow with the\n"
@@ -146,10 +188,16 @@ int main() {
                "paper's <5 s analysis budget.\n\n";
 
   std::cout << "### Analysis-phase thread scaling (-analysis-threads)\n\n";
+  std::vector<std::pair<std::string, kernels::KernelSpec>> configs;
+  if (smoke) {
+    configs.emplace_back("small_stencil_r4", kernels::stencilSpec(4));
+  } else {
+    configs.emplace_back("large_stencil_r16", kernels::stencilSpec(16));
+    configs.emplace_back("greengauss", kernels::greenGaussSpec());
+  }
   std::vector<ThreadScaling> scaling;
-  scaling.push_back(
-      scaleConfig("large_stencil_r16", kernels::stencilSpec(16)));
-  scaling.push_back(scaleConfig("greengauss", kernels::greenGaussSpec()));
+  for (const auto& [name, spec] : configs)
+    scaling.push_back(scaleConfig(name, spec, reps));
 
   driver::Table st({"config", "tasks", "plan [ms]", "task sum [ms]",
                     "wall@1 [ms]", "wall@4 [ms]", "phase x4", "query x4",
@@ -172,47 +220,86 @@ int main() {
          "evaluation itself. Measured wall times reflect whatever cores\n"
          "this machine actually grants the pool.\n\n";
 
-  std::ostringstream js;
-  js << "{\n  \"benchmark\": \"analysis_scaling\",\n";
-  js << "  \"radius_sweep\": [" << radiusJson.str() << "\n  ],\n";
-  js << "  \"thread_scaling\": [\n";
-  for (size_t i = 0; i < scaling.size(); ++i) {
-    const auto& s = scaling[i];
-    js << "    {\"config\": \"" << s.config << "\", \"tasks\": " << s.tasks
-       << ", \"plan_seconds\": " << s.planSeconds
-       << ", \"task_seconds_total\": " << s.taskSecondsTotal
-       << ", \"measured_wall_seconds\": {";
-    bool first = true;
-    for (int th : kThreads) {
-      js << (first ? "" : ", ") << "\"" << th
-         << "\": " << s.measuredWall.at(th);
-      first = false;
-    }
-    js << "}, \"simulated_speedup\": {";
-    first = true;
-    for (int th : kThreads) {
-      js << (first ? "" : ", ") << "\"" << th
-         << "\": " << s.simulatedSpeedup.at(th);
-      first = false;
-    }
-    js << "}, \"simulated_query_speedup\": {";
-    first = true;
-    for (int th : kThreads) {
-      js << (first ? "" : ", ") << "\"" << th
-         << "\": " << s.querySpeedup.at(th);
-      first = false;
-    }
-    js << "}}" << (i + 1 < scaling.size() ? "," : "") << "\n";
+  std::cout << "### Fast-path tier ablation (-fastpath off vs full)\n\n";
+  std::vector<FastPathPoint> fastpath;
+  for (const auto& [name, spec] : configs)
+    fastpath.push_back(fastpathConfig(name, spec, reps));
+
+  driver::Table ft({"config", "queries", "tier-2 off", "tier-2 full",
+                    "tier-2 cut", "wall off [ms]", "wall full [ms]",
+                    "wall cut"});
+  for (const auto& p : fastpath) {
+    const double cut =
+        static_cast<double>(p.off.tier2Checks()) /
+        static_cast<double>(std::max(1LL, p.full.tier2Checks()));
+    ft.addRow({p.config, std::to_string(p.off.queries()),
+               std::to_string(p.off.tier2Checks()),
+               std::to_string(p.full.tier2Checks()),
+               driver::fmt(cut, 1) + "x",
+               driver::fmt(p.wallOff * 1e3, 2),
+               driver::fmt(p.wallFull * 1e3, 2),
+               driver::fmtSpeedup(p.wallFull > 0 ? p.wallOff / p.wallFull
+                                                 : 1.0)});
   }
-  js << "  ]\n}\n";
-  std::ofstream out("BENCH_analysis_scaling.json");
-  out << js.str();
-  std::cout << "wrote BENCH_analysis_scaling.json\n";
+  std::cout << ft.str()
+            << "\nBoth columns answer the same queries with identical\n"
+               "verdicts; 'tier-2' counts the checks that reached the full\n"
+               "solver. The tiered deciders retire the bulk of them\n"
+               "syntactically or with GCD/stride/interval arithmetic.\n\n";
+
+  bench::Json scalingRows = bench::Json::array();
+  for (const auto& s : scaling) {
+    bench::Json row = bench::Json::object();
+    row.set("config", bench::Json::str(s.config));
+    row.set("tasks", bench::Json::integer(static_cast<long long>(s.tasks)));
+    row.set("plan_seconds", bench::Json::num(s.planSeconds));
+    row.set("task_seconds_total", bench::Json::num(s.taskSecondsTotal));
+    bench::Json wall = bench::Json::object(), sim = bench::Json::object(),
+                q = bench::Json::object();
+    for (int th : kThreads) {
+      wall.set(std::to_string(th), bench::Json::num(s.measuredWall.at(th)));
+      sim.set(std::to_string(th), bench::Json::num(s.simulatedSpeedup.at(th)));
+      q.set(std::to_string(th), bench::Json::num(s.querySpeedup.at(th)));
+    }
+    row.set("measured_wall_seconds", std::move(wall));
+    row.set("simulated_speedup", std::move(sim));
+    row.set("simulated_query_speedup", std::move(q));
+    scalingRows.push(std::move(row));
+  }
+
+  bench::Json fastpathRows = bench::Json::array();
+  for (const auto& p : fastpath) {
+    bench::Json row = bench::Json::object();
+    row.set("config", bench::Json::str(p.config));
+    row.set("off", bench::Json::object()
+                       .set("tiers", bench::tierCountsJson(p.off))
+                       .set("wall_seconds", bench::Json::num(p.wallOff)));
+    row.set("full", bench::Json::object()
+                        .set("tiers", bench::tierCountsJson(p.full))
+                        .set("wall_seconds", bench::Json::num(p.wallFull)));
+    row.set("tier2_reduction",
+            bench::Json::num(
+                static_cast<double>(p.off.tier2Checks()) /
+                static_cast<double>(std::max(1LL, p.full.tier2Checks()))));
+    fastpathRows.push(std::move(row));
+  }
+
+  bench::Json body = bench::Json::object();
+  body.set("smoke", bench::Json::boolean(smoke));
+  body.set("radius_sweep", std::move(radiusRows));
+  body.set("thread_scaling", std::move(scalingRows));
+  body.set("fastpath_comparison", std::move(fastpathRows));
+  bench::writeBenchFile("analysis_scaling", body);
 
   for (const auto& s : scaling)
     if (s.querySpeedup.at(4) < 2.0)
       std::cout << "NOTE: " << s.config
                 << " simulated 4-thread query speedup below 2x ("
                 << s.querySpeedup.at(4) << ")\n";
+  for (const auto& p : fastpath)
+    if (p.off.tier2Checks() < 5 * std::max(1LL, p.full.tier2Checks()))
+      std::cout << "NOTE: " << p.config << " tier-2 reduction below 5x (off "
+                << p.off.tier2Checks() << " vs full " << p.full.tier2Checks()
+                << ")\n";
   return 0;
 }

@@ -9,8 +9,136 @@
 #include "driver/driver.h"
 #include "driver/report.h"
 #include "parser/parser.h"
+#include "support/diagnostics.h"
 
 namespace formad::bench {
+
+Json Json::num(double v) {
+  Json j;
+  j.kind_ = Kind::Num;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::integer(long long v) {
+  Json j;
+  j.kind_ = Kind::Int;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::str(std::string s) {
+  Json j;
+  j.kind_ = Kind::Str;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+Json& Json::push(Json v) {
+  FORMAD_ASSERT(kind_ == Kind::Array, "Json::push on a non-array");
+  elems_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  FORMAD_ASSERT(kind_ == Kind::Object, "Json::set on a non-object");
+  for (auto& [k, old] : members_) {
+    if (k == key) {
+      old = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+std::string Json::dump(int indent) const {
+  auto quoted = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  };
+  switch (kind_) {
+    case Kind::Null:
+      return "null";
+    case Kind::Num: {
+      std::ostringstream os;
+      os << num_;
+      return os.str();
+    }
+    case Kind::Int:
+      return std::to_string(int_);
+    case Kind::Bool:
+      return bool_ ? "true" : "false";
+    case Kind::Str:
+      return quoted(str_);
+    case Kind::Array: {
+      if (elems_.empty()) return "[]";
+      const std::string pad(static_cast<size_t>(indent), ' ');
+      std::string out = "[\n";
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        out += pad + "  " + elems_[i].dump(indent + 2);
+        out += i + 1 < elems_.size() ? ",\n" : "\n";
+      }
+      return out + pad + "]";
+    }
+    case Kind::Object: {
+      if (members_.empty()) return "{}";
+      const std::string pad(static_cast<size_t>(indent), ' ');
+      std::string out = "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        out += pad + "  " + quoted(members_[i].first) + ": " +
+               members_[i].second.dump(indent + 2);
+        out += i + 1 < members_.size() ? ",\n" : "\n";
+      }
+      return out + pad + "}";
+    }
+  }
+  return "null";
+}
+
+void writeBenchFile(const std::string& name, const Json& body) {
+  Json root = Json::object();
+  root.set("benchmark", Json::str(name));
+  root.set("schema_version", Json::integer(1));
+  for (const auto& [k, v] : body.members()) root.set(k, v);
+  const std::string file = "BENCH_" + name + ".json";
+  std::ofstream out(file);
+  out << root.dump() << "\n";
+  std::cout << "wrote " << file << "\n";
+}
+
+Json tierCountsJson(const core::KernelAnalysis& a) {
+  Json t = Json::object();
+  t.set("queries", Json::integer(a.queries()));
+  t.set("tier0", Json::integer(a.tier0Hits()));
+  t.set("tier1", Json::integer(a.tier1Hits()));
+  t.set("tier2", Json::integer(a.tier2Checks()));
+  t.set("cached", Json::integer(a.cacheHits()));
+  return t;
+}
 
 using driver::AdjointMode;
 using exec::ArrayValue;
@@ -218,50 +346,45 @@ void printFigure(const FigureSetup& setup, const FigureResult& result) {
 
 void writeBenchJson(const FigureSetup& setup, const FigureResult& result) {
   if (setup.name.empty()) return;
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"benchmark\": \"" << setup.name << "\",\n";
-  os << "  \"repetitions\": " << setup.repetitions << ",\n";
-  os << "  \"threads\": [";
-  for (size_t i = 0; i < setup.threads.size(); ++i)
-    os << (i ? ", " : "") << setup.threads[i];
-  os << "],\n";
+  Json body = Json::object();
+  body.set("repetitions", Json::num(setup.repetitions));
+  Json threads = Json::array();
+  for (int t : setup.threads) threads.push(Json::integer(t));
+  body.set("threads", std::move(threads));
 
-  os << "  \"simulated\": [\n";
-  for (size_t i = 0; i < result.versions.size(); ++i) {
-    const std::string& v = result.versions[i];
-    os << "    {\"version\": \"" << v << "\", \"mode\": \"simulated\", "
-       << "\"serial_seconds\": " << result.serialSeconds.at(v)
-       << ", \"parallel_seconds\": {";
-    bool first = true;
-    for (int t : setup.threads) {
-      os << (first ? "" : ", ") << "\"" << t
-         << "\": " << result.seconds.at(v).at(t);
-      first = false;
-    }
-    os << "}";
+  Json simulated = Json::array();
+  for (const std::string& v : result.versions) {
+    Json e = Json::object();
+    e.set("version", Json::str(v));
+    e.set("mode", Json::str("simulated"));
+    e.set("serial_seconds", Json::num(result.serialSeconds.at(v)));
+    Json ps = Json::object();
+    for (int t : setup.threads)
+      ps.set(std::to_string(t), Json::num(result.seconds.at(v).at(t)));
+    e.set("parallel_seconds", std::move(ps));
     auto tp = result.tapePeakBytes.find(v);
     if (tp != result.tapePeakBytes.end())
-      os << ", \"tape_peak_bytes\": " << tp->second;
-    os << "}" << (i + 1 < result.versions.size() ? "," : "") << "\n";
+      e.set("tape_peak_bytes",
+            Json::integer(static_cast<long long>(tp->second)));
+    simulated.push(std::move(e));
   }
-  os << "  ],\n";
+  body.set("simulated", std::move(simulated));
 
-  os << "  \"real\": [\n";
-  for (size_t i = 0; i < result.real.size(); ++i) {
-    const RealTiming& r = result.real[i];
-    os << "    {\"version\": \"" << r.version << "\", \"engine\": \""
-       << r.engine << "\", \"mode\": \"" << r.mode
-       << "\", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
-       << ", \"tape_peak_bytes\": " << r.tapePeakBytes << "}"
-       << (i + 1 < result.real.size() ? "," : "") << "\n";
+  Json real = Json::array();
+  for (const RealTiming& r : result.real) {
+    Json e = Json::object();
+    e.set("version", Json::str(r.version));
+    e.set("engine", Json::str(r.engine));
+    e.set("mode", Json::str(r.mode));
+    e.set("threads", Json::integer(r.threads));
+    e.set("seconds", Json::num(r.seconds));
+    e.set("tape_peak_bytes",
+          Json::integer(static_cast<long long>(r.tapePeakBytes)));
+    real.push(std::move(e));
   }
-  os << "  ]\n}\n";
+  body.set("real", std::move(real));
 
-  std::string file = "BENCH_" + setup.name + ".json";
-  std::ofstream out(file);
-  out << os.str();
-  std::cout << "wrote " << file << "\n";
+  writeBenchFile(setup.name, body);
 }
 
 }  // namespace formad::bench

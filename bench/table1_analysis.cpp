@@ -3,11 +3,12 @@
 // answered by the proof system, number of unique index expressions, and
 // the size of the analyzed parallel region. Also times each analysis at
 // 1/2/4/8 worker threads (-analysis-threads; the statistics themselves
-// are identical at every width) and writes BENCH_table1_analysis.json.
-#include <fstream>
+// are identical at every width) and writes BENCH_table1_analysis.json
+// through the shared writer (bench_common.h), including the per-tier
+// query counts of the fast-path deciders.
 #include <iostream>
-#include <sstream>
 
+#include "bench_common.h"
 #include "driver/driver.h"
 #include "driver/report.h"
 #include "kernels/gfmc.h"
@@ -49,9 +50,7 @@ int main() {
   driver::Table table({"problem", "time [s]", "model size", "queries",
                        "queries*", "exprs", "stmts", "verdict"});
   std::vector<std::string> notes;
-  std::ostringstream js;
-  js << "{\n  \"benchmark\": \"table1_analysis\",\n  \"cases\": [\n";
-  bool firstCase = true;
+  bench::Json cases = bench::Json::array();
   for (const auto& row : rows) {
     auto kernel = parser::parseKernel(row.spec.source);
     auto analysis =
@@ -75,30 +74,29 @@ int main() {
                   allSafe ? "safe (no atomics)" : "REJECTED (keep guards)"});
     notes.push_back(row.problem + " — " + row.paper);
 
-    js << (firstCase ? "" : ",\n") << "    {\"problem\": \"" << row.problem
-       << "\", \"model_size\": " << analysis.modelAssertions()
-       << ", \"queries\": " << analysis.queries()
-       << ", \"queries_exploit_only\": " << exploitOnly.queries()
-       << ", \"exprs\": " << analysis.uniqueExprs()
-       << ", \"stmts\": " << analysis.statementsInRegions()
-       << ", \"safe\": " << (allSafe ? "true" : "false")
-       << ", \"seconds_by_threads\": {";
-    bool firstThread = true;
+    bench::Json c = bench::Json::object();
+    c.set("problem", bench::Json::str(row.problem));
+    c.set("model_size", bench::Json::integer(analysis.modelAssertions()));
+    c.set("queries", bench::Json::integer(analysis.queries()));
+    c.set("queries_exploit_only", bench::Json::integer(exploitOnly.queries()));
+    c.set("exprs", bench::Json::integer(analysis.uniqueExprs()));
+    c.set("stmts", bench::Json::integer(analysis.statementsInRegions()));
+    c.set("safe", bench::Json::boolean(allSafe));
+    c.set("tiers", bench::tierCountsJson(analysis));
+    bench::Json byThreads = bench::Json::object();
     for (int threads : {1, 2, 4, 8}) {
       auto timed = driver::analyze(*kernel, row.spec.independents,
                                    row.spec.dependents, threads);
-      js << (firstThread ? "" : ", ") << "\"" << threads
-         << "\": " << timed.analysisSeconds();
-      firstThread = false;
+      byThreads.set(std::to_string(threads),
+                    bench::Json::num(timed.analysisSeconds()));
     }
-    js << "}}";
-    firstCase = false;
+    c.set("seconds_by_threads", std::move(byThreads));
+    cases.push(std::move(c));
   }
-  js << "\n  ]\n}\n";
   {
-    std::ofstream out("BENCH_table1_analysis.json");
-    out << js.str();
-    std::cout << "wrote BENCH_table1_analysis.json\n";
+    bench::Json body = bench::Json::object();
+    body.set("cases", std::move(cases));
+    bench::writeBenchFile("table1_analysis", body);
   }
   std::cout << table.str() << "\n";
   for (const auto& n : notes) std::cout << "  " << n << "\n";

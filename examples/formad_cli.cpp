@@ -18,6 +18,11 @@
 // the verdict report is printed and nothing is differentiated.
 // -bind n=v,m=w pins never-written integer parameters to concrete values
 // for the checker; -coloring a,b declares conflict-free coloring arrays.
+//
+// -fastpath off|syntactic|full selects the tiered disjointness deciders
+// consulted before the full solver (default full). Every fast verdict is
+// exact, so the setting changes speed and the tier breakdown only — never
+// any verdict or report.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -58,7 +63,8 @@ int usage() {
          "                  [-analyze-only]\n"
          "                  [-racecheck] [-racecheck-only]\n"
          "                  [-bind name=value,...] [-coloring array,...]\n"
-         "                  [-analysis-threads N]   (0 = auto-detect)\n";
+         "                  [-analysis-threads N]   (0 = auto-detect)\n"
+         "                  [-fastpath off|syntactic|full]   (default full)\n";
   return 2;
 }
 
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
   bool racecheckFlag = false;
   bool racecheckOnly = false;
   int analysisThreads = 0;  // 0 = auto (hardware concurrency)
+  smt::FastPathMode fastpath = smt::FastPathMode::Full;
   racecheck::RaceCheckOptions rcOpts;
 
   for (int i = 2; i < argc; ++i) {
@@ -142,6 +149,17 @@ int main(int argc, char** argv) {
       if (analysisThreads < 0) {
         std::cerr << "-analysis-threads must be >= 0 (0 = auto-detect), got "
                   << analysisThreads << "\n";
+        return 2;
+      }
+    }
+    else if (arg == "-fastpath" || arg.rfind("-fastpath=", 0) == 0) {
+      std::string v = arg == "-fastpath" ? next() : arg.substr(10);
+      if (v == "off") fastpath = smt::FastPathMode::Off;
+      else if (v == "syntactic") fastpath = smt::FastPathMode::Syntactic;
+      else if (v == "full") fastpath = smt::FastPathMode::Full;
+      else {
+        std::cerr << "bad -fastpath value '" << v
+                  << "' (expected off, syntactic, or full)\n";
         return 2;
       }
     }
@@ -190,8 +208,10 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    auto analysis = driver::analyze(primal, indeps, deps, analysisThreads);
+    auto analysis =
+        driver::analyze(primal, indeps, deps, analysisThreads, fastpath);
     std::cerr << core::describe(analysis);
+    std::cerr << core::describeTiers(analysis);
     if (analyzeOnly) return 0;
 
     driver::DriverOptions dopts;
@@ -204,6 +224,7 @@ int main(int argc, char** argv) {
     dopts.racecheckPrimal = racecheckFlag;
     dopts.racecheck = rcOpts;
     dopts.analysisThreads = analysisThreads;
+    dopts.fastpath = fastpath;
 
     auto dr = driver::differentiate(primal, indeps, deps, dopts);
     if (racecheckFlag) std::cerr << dr.raceReport.describe();

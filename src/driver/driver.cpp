@@ -44,6 +44,7 @@ DifferentiateResult differentiate(const Kernel& primal,
   if (dopts.racecheckPrimal) {
     racecheck::RaceCheckOptions ropts = dopts.racecheck;
     ropts.pool = pool.get();
+    ropts.fastpath = dopts.fastpath;
     result.raceReport = racecheck::checkKernelRaces(primal, ropts);
     switch (result.raceReport.overall()) {
       case racecheck::RaceVerdict::Racy: {
@@ -89,6 +90,7 @@ DifferentiateResult differentiate(const Kernel& primal,
       core::AnalyzeOptions aopts;
       aopts.exploit.threads = analysisThreads;
       aopts.exploit.pool = pool.get();
+      aopts.exploit.fastpath = dopts.fastpath;
       result.analysis =
           core::analyzeKernel(primal, independents, dependents, aopts);
     }
@@ -125,9 +127,11 @@ DifferentiateResult differentiate(const Kernel& primal,
 core::KernelAnalysis analyze(const Kernel& primal,
                              const std::vector<std::string>& independents,
                              const std::vector<std::string>& dependents,
-                             int analysisThreads) {
+                             int analysisThreads,
+                             smt::FastPathMode fastpath) {
   core::AnalyzeOptions aopts;
   aopts.exploit.threads = resolveAnalysisThreads(analysisThreads);
+  aopts.exploit.fastpath = fastpath;
   std::unique_ptr<support::WorkPool> pool;
   if (aopts.exploit.threads > 1) {
     pool = std::make_unique<support::WorkPool>(aopts.exploit.threads);

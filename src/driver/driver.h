@@ -38,6 +38,12 @@ struct DriverOptions {
   /// error. Any count yields bit-identical analyses, warnings, and reports
   /// — only wall time changes.
   int analysisThreads = 0;
+  /// Analysis-wide fast-path mode, applied to BOTH the FormAD exploitation
+  /// solvers and the race checker's converse queries (it overrides
+  /// racecheck.fastpath so one knob governs the whole analysis phase).
+  /// Fast verdicts are exact: any mode yields bit-identical analyses,
+  /// verdicts, and reports — only wall time and the tier breakdown change.
+  smt::FastPathMode fastpath = smt::FastPathMode::Full;
 };
 
 /// Resolves a requested analysis thread count: 0 -> hardware concurrency,
@@ -72,10 +78,12 @@ struct DifferentiateResult {
     bool omitTapeFreePrimalSweep = false);
 
 /// Runs the FormAD analysis alone (Table 1 statistics, verdicts).
-/// `analysisThreads` follows the DriverOptions convention (0 = auto).
+/// `analysisThreads` follows the DriverOptions convention (0 = auto);
+/// `fastpath` follows DriverOptions::fastpath (exact, speed-only).
 [[nodiscard]] core::KernelAnalysis analyze(
     const ir::Kernel& primal, const std::vector<std::string>& independents,
-    const std::vector<std::string>& dependents, int analysisThreads);
+    const std::vector<std::string>& dependents, int analysisThreads,
+    smt::FastPathMode fastpath = smt::FastPathMode::Full);
 [[nodiscard]] core::KernelAnalysis analyze(
     const ir::Kernel& primal, const std::vector<std::string>& independents,
     const std::vector<std::string>& dependents);

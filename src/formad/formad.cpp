@@ -51,6 +51,30 @@ double KernelAnalysis::analysisSeconds() const {
   return s;
 }
 
+long long KernelAnalysis::tier0Hits() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.tier0Hits;
+  return n;
+}
+
+long long KernelAnalysis::tier1Hits() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.tier1Hits;
+  return n;
+}
+
+long long KernelAnalysis::tier2Checks() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.tier2Checks;
+  return n;
+}
+
+long long KernelAnalysis::cacheHits() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.solverCacheHits;
+  return n;
+}
+
 KernelAnalysis analyzeKernel(const Kernel& kernel,
                              const std::vector<std::string>& independents,
                              const std::vector<std::string>& dependents,
@@ -110,6 +134,18 @@ std::string describe(const KernelAnalysis& analysis, bool includeTiming) {
         os << " — offending pair: " << v.firstUnsafePair;
       os << "\n";
     }
+  }
+  return os.str();
+}
+
+std::string describeTiers(const KernelAnalysis& analysis) {
+  std::ostringstream os;
+  int idx = 0;
+  for (const auto& r : analysis.regions) {
+    os << "region #" << idx++ << " decision tiers: " << r.queries
+       << " queries = " << r.tier0Hits << " tier-0 + " << r.tier1Hits
+       << " tier-1 + " << r.tier2Checks << " tier-2 + " << r.solverCacheHits
+       << " cached\n";
   }
   return os.str();
 }

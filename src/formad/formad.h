@@ -31,6 +31,14 @@ struct KernelAnalysis {
   [[nodiscard]] int uniqueExprs() const;
   [[nodiscard]] int statementsInRegions() const;
   [[nodiscard]] double analysisSeconds() const;
+
+  // Aggregate decision-tier breakdown over all regions; together with the
+  // solver-cache hits these partition queries():
+  //   queries() == tier0Hits() + tier1Hits() + tier2Checks() + cacheHits().
+  [[nodiscard]] long long tier0Hits() const;
+  [[nodiscard]] long long tier1Hits() const;
+  [[nodiscard]] long long tier2Checks() const;
+  [[nodiscard]] long long cacheHits() const;
 };
 
 /// Runs knowledge extraction + exploitation on every parallel loop of the
@@ -50,5 +58,11 @@ struct KernelAnalysis {
 [[nodiscard]] std::string describe(const KernelAnalysis& analysis,
                                    bool includeTiming);
 [[nodiscard]] std::string describe(const KernelAnalysis& analysis);
+
+/// Per-region decision-tier breakdown, one line per region (golden-tested
+/// stable format). A pure function of the verdicts: byte-identical across
+/// runs and analysis thread counts. Kept separate from describe() so the
+/// classic report stays byte-compatible with the pre-tier analyzer.
+[[nodiscard]] std::string describeTiers(const KernelAnalysis& analysis);
 
 }  // namespace formad::core

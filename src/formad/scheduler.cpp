@@ -77,13 +77,22 @@ void QueryScheduler::plan() {
     for (const auto& p : model_.questions[vi].pairs)
       questionsAt[p.context].push_back(Q{&p, vi});
 
-  // Base conjunction along the current context path. Index 0 is the root
-  // assertion: two threads never share a loop-counter value.
-  std::vector<Constraint> base;
-  std::vector<std::string> baseKeys;
-  base.push_back(Constraint::ne(LinExpr::atom(model_.counterPrimeAtom),
-                                LinExpr::atom(model_.counterAtom)));
-  baseKeys.push_back(smt::Solver::constraintKey(base.back()));
+  // The base prefix tree. Node 0 is the root assertion — two threads never
+  // share a loop-counter value — and every knowledge assertion the DFS
+  // pushes becomes a child node, so a context path IS a tree path and
+  // sibling tasks share their prefix structurally (no per-task copies).
+  auto appendBase = [&](int parent, Constraint delta) {
+    BaseNode n;
+    n.parent = parent;
+    n.deltaKey = smt::Solver::constraintKey(delta);
+    n.delta = std::move(delta);
+    n.depth = (parent < 0 ? 0 : bases_[static_cast<size_t>(parent)].depth) + 1;
+    bases_.push_back(std::move(n));
+    return static_cast<int>(bases_.size()) - 1;
+  };
+  int current =
+      appendBase(-1, Constraint::ne(LinExpr::atom(model_.counterPrimeAtom),
+                                    LinExpr::atom(model_.counterAtom)));
 
   std::map<std::string, int> taskByPairKey;
 
@@ -91,15 +100,13 @@ void QueryScheduler::plan() {
   // paper's recursive walk. The emitted schedule_ is a linearization of
   // that walk; replay processes it front to back.
   std::function<void(int)> dfs = [&](int ctx) {
-    size_t mark = base.size();
+    int saved = current;
     for (const auto* k : knowledgeAt[ctx]) {
-      base.push_back(Constraint::ne(k->primed, k->other));
-      baseKeys.push_back(smt::Solver::constraintKey(base.back()));
+      current = appendBase(current, Constraint::ne(k->primed, k->other));
       if (opts_.checkKnowledgeConsistency) {
         QueryTask t;
         t.kind = QueryTask::Kind::Consistency;
-        t.base = base;
-        t.baseKeys = baseKeys;
+        t.baseId = current;
         tasks_.push_back(std::move(t));
         Step s;
         s.op = Step::Op::Consistency;
@@ -117,8 +124,7 @@ void QueryScheduler::plan() {
       } else {
         QueryTask t;
         t.kind = QueryTask::Kind::Pair;
-        t.base = base;
-        t.baseKeys = baseKeys;
+        t.baseId = current;
         t.probes.push_back(Constraint::eq(q.pair->primedWrite, q.pair->other));
         if (opts_.useDimensionRule)
           for (size_t d = 0; d < q.pair->primedDims.size(); ++d)
@@ -137,23 +143,59 @@ void QueryScheduler::plan() {
       schedule_.push_back(std::move(s));
     }
     for (int child : model_.contexts.node(ctx).children) dfs(child);
-    base.resize(mark);
-    baseKeys.resize(mark);
+    current = saved;
   };
   dfs(model_.contexts.root());
 }
 
-QueryResult QueryScheduler::evaluate(smt::Solver& solver,
+std::vector<std::string> QueryScheduler::baseKeysOf(int baseId) const {
+  std::vector<std::string> out;
+  for (int id = baseId; id >= 0; id = bases_[static_cast<size_t>(id)].parent)
+    out.push_back(bases_[static_cast<size_t>(id)].deltaKey);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void QueryScheduler::switchBase(smt::Solver& solver, int& cur,
+                                int target) const {
+  // Find the common ancestor of the current and target base nodes.
+  auto depth = [&](int id) {
+    return id < 0 ? size_t{0} : bases_[static_cast<size_t>(id)].depth;
+  };
+  auto parent = [&](int id) { return bases_[static_cast<size_t>(id)].parent; };
+  int a = cur, b = target;
+  while (depth(a) > depth(b)) a = parent(a);
+  while (depth(b) > depth(a)) b = parent(b);
+  while (a != b) {
+    a = parent(a);
+    b = parent(b);
+  }
+  // Pop down to the ancestor (each base constraint sits in its own push
+  // scope, so one pop removes exactly one), then push the missing path.
+  while (cur != a) {
+    solver.pop();
+    cur = parent(cur);
+  }
+  std::vector<int> path;
+  for (int id = target; id != a; id = parent(id)) path.push_back(id);
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    solver.push();
+    solver.add(bases_[static_cast<size_t>(*it)].delta);
+    cur = *it;
+  }
+}
+
+QueryResult QueryScheduler::evaluate(smt::Solver& solver, int& cur,
                                      const QueryTask& task) const {
   auto t0 = std::chrono::steady_clock::now();
-  solver.reset();
-  for (const auto& c : task.base) solver.add(c);
+  switchBase(solver, cur, task.baseId);
 
   QueryResult r;
   r.evaluated = true;
   if (task.kind == QueryTask::Kind::Consistency) {
     r.unsat = solver.check() == CheckResult::Unsat;
     r.checksPerformed = 1;
+    r.tiers.push_back(solver.lastCheckTier());
   } else {
     // The serial walk checks the flattened offsets first, then — under the
     // in-bounds assumption — each dimension, stopping at the first Unsat.
@@ -161,6 +203,7 @@ QueryResult QueryScheduler::evaluate(smt::Solver& solver,
       solver.push();
       solver.add(probe);
       bool unsat = solver.check() == CheckResult::Unsat;
+      r.tiers.push_back(solver.lastCheckTier());
       solver.pop();
       ++r.checksPerformed;
       if (unsat) {
@@ -188,17 +231,32 @@ RegionVerdict QueryScheduler::replay(
   }
 
   // The serial solver's verdict cache, replayed symbolically: a check whose
-  // stack fingerprint was already seen would have been a cache hit.
+  // stack fingerprint was already seen would have been a cache hit; the
+  // first occurrence is attributed to the tier that decided it (a pure
+  // function of the conjunction, so the breakdown is width-independent).
   std::set<std::string> seenStacks;
   auto accountChecks = [&](const QueryTask& task, const QueryResult& res) {
+    std::vector<std::string> baseKeys = baseKeysOf(task.baseId);
     for (int i = 0; i < res.checksPerformed; ++i) {
-      std::vector<std::string> parts = task.baseKeys;
+      std::vector<std::string> parts = baseKeys;
       if (task.kind == QueryTask::Kind::Pair)
         parts.push_back(smt::Solver::constraintKey(
             task.probes[static_cast<size_t>(i)]));
       ++verdict.queries;
-      if (!seenStacks.insert(conjunctionFingerprint(std::move(parts))).second)
+      if (!seenStacks.insert(conjunctionFingerprint(std::move(parts)))
+               .second) {
         ++verdict.solverCacheHits;
+        continue;
+      }
+      const int tier = static_cast<size_t>(i) < res.tiers.size()
+                           ? res.tiers[static_cast<size_t>(i)]
+                           : 2;
+      if (tier == 0)
+        ++verdict.tier0Hits;
+      else if (tier == 1)
+        ++verdict.tier1Hits;
+      else
+        ++verdict.tier2Checks;
     }
   };
 
@@ -256,16 +314,31 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool) {
   double replaySeconds = 0.0;
 
   if (width > 1 && tasks_.size() > 1) {
-    // Eager speculative evaluation: every task runs, in any order, on
-    // thread-confined worker solvers sharing the concurrent verdict cache.
+    // Eager speculative evaluation over prefix-sharing batches: tasks are
+    // grouped into contiguous runs of the canonical plan order (the DFS
+    // emits tasks of one context consecutively, so a batch's tasks share
+    // long base prefixes), and each worker walks between bases with
+    // incremental push/pop on its thread-confined solver instead of
+    // rebuilding the stack per task. All workers share the concurrent
+    // verdict cache. Several batches per worker keep the pool's dynamic
+    // self-scheduling effective on uneven batch costs.
+    const size_t nBatches =
+        std::min(tasks_.size(), static_cast<size_t>(width) * 8);
     std::vector<std::unique_ptr<smt::Solver>> solvers;
+    std::vector<int> atBase(static_cast<size_t>(width), -1);
     solvers.reserve(static_cast<size_t>(width));
     for (int w = 0; w < width; ++w) {
       solvers.push_back(std::make_unique<smt::Solver>(*model_.atoms));
       solvers.back()->attachCache(&cache);
+      solvers.back()->setFastPathMode(opts_.fastpath);
     }
-    pool->run(tasks_.size(), [&](size_t i, int w) {
-      results[i] = evaluate(*solvers[static_cast<size_t>(w)], tasks_[i]);
+    pool->run(nBatches, [&](size_t b, int w) {
+      const size_t lo = b * tasks_.size() / nBatches;
+      const size_t hi = (b + 1) * tasks_.size() / nBatches;
+      smt::Solver& solver = *solvers[static_cast<size_t>(w)];
+      for (size_t i = lo; i < hi; ++i)
+        results[i] = evaluate(solver, atBase[static_cast<size_t>(w)],
+                              tasks_[i]);
     });
     auto tReplay = std::chrono::steady_clock::now();
     verdict = replay([&](int i) -> const QueryResult& {
@@ -274,15 +347,20 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool) {
     replaySeconds = secondsSince(tReplay);
     verdict.threadsUsed = width;
   } else {
-    // Lazy evaluation: tasks run on demand during replay, reproducing the
-    // serial walk's exact work profile (skipped tasks are never evaluated).
+    // Lazy evaluation: tasks run on demand during replay over ONE
+    // persistent incremental trail (replay demands tasks in canonical DFS
+    // order, so consecutive demands share long prefixes too), reproducing
+    // the serial walk's exact work profile — skipped tasks are never
+    // evaluated.
     smt::Solver solver(*model_.atoms);
     solver.attachCache(&cache);
+    solver.setFastPathMode(opts_.fastpath);
+    int atBase = -1;
     double evalSeconds = 0.0;
     verdict = replay([&](int i) -> const QueryResult& {
       QueryResult& r = results[static_cast<size_t>(i)];
       if (!r.evaluated) {
-        r = evaluate(solver, tasks_[static_cast<size_t>(i)]);
+        r = evaluate(solver, atBase, tasks_[static_cast<size_t>(i)]);
         evalSeconds += r.seconds;
       }
       return r;

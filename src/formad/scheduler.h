@@ -8,27 +8,34 @@
 // scheduler exploits that split in three phases:
 //
 //   1. plan    — re-enumerate the serial walk WITHOUT a solver, emitting
-//                one self-contained QueryTask per solver interaction the
-//                walk could perform: a consistency check per knowledge
-//                assertion, and one task per unique (context, pair)
-//                conjunction. Each task carries its full base conjunction
-//                (root counter-disjointness + the knowledge on the context
-//                path), so tasks are independent.
-//   2. evaluate — run the tasks speculatively in any order across the
-//                worker pool, one thread-confined smt::Solver per worker,
-//                all sharing one concurrent VerdictCache. "Speculative"
-//                means tasks the serial walk would have skipped (early
-//                exit, contradiction) are evaluated too; their results are
-//                simply never consumed. With one worker, evaluation is
-//                instead lazy — tasks run on demand during replay, which
-//                reproduces the serial walk's exact work profile.
+//                one QueryTask per solver interaction the walk could
+//                perform: a consistency check per knowledge assertion, and
+//                one task per unique (context, pair) conjunction. Tasks
+//                reference their base conjunction (root counter
+//                disjointness + the knowledge on the context path) as a
+//                node of a shared prefix tree rather than by copy, so
+//                consecutive tasks share long context prefixes by
+//                construction.
+//   2. evaluate — run the tasks speculatively across the worker pool, one
+//                thread-confined smt::Solver per worker, all sharing one
+//                concurrent VerdictCache. Tasks are grouped into
+//                contiguous prefix-sharing batches of the canonical plan
+//                order: a worker walks from one task's base to the next by
+//                popping to their common ancestor and pushing the delta
+//                (incremental push/pop), instead of reset-per-task. With
+//                one worker, evaluation is instead lazy — tasks run on
+//                demand during replay over one persistent incremental
+//                trail, which reproduces the serial walk's exact work
+//                profile.
 //   3. replay  — re-walk the canonical serial schedule consuming task
 //                results, reconstructing the verdicts, the per-var early
-//                exits, the pair cache hits, and the query/solver-cache-hit
-//                counts exactly as the single-solver walk would have
-//                produced them. Replay touches no solver, so the resulting
-//                RegionVerdict — and every report rendered from it — is
-//                bit-identical at any thread count.
+//                exits, the pair cache hits, the query/solver-cache-hit
+//                counts, and the per-tier decision counts exactly as the
+//                single-solver walk would have produced them. Replay
+//                touches no solver, so the resulting RegionVerdict — and
+//                every report rendered from it — is bit-identical at any
+//                thread count and at any fast-path mode (fast verdicts are
+//                exact; only the tier counters reflect the mode).
 #pragma once
 
 #include <functional>
@@ -51,13 +58,11 @@ struct QueryTask {
     Pair,         // can any probe prove the pair disjoint?
   };
   Kind kind = Kind::Pair;
-  /// Base conjunction: the root counter assertion plus the knowledge
-  /// visible on the context path (for Consistency, up to and including the
-  /// assertion under test).
-  std::vector<smt::Constraint> base;
-  /// Canonical fingerprint of each base constraint (Solver::constraintKey),
-  /// used by replay to reconstruct per-check stack fingerprints.
-  std::vector<std::string> baseKeys;
+  /// Node in the scheduler's base prefix tree identifying this task's base
+  /// conjunction (the root counter assertion plus the knowledge visible on
+  /// the context path; for Consistency, up to and including the assertion
+  /// under test). -1 = the empty conjunction (never emitted).
+  int baseId = -1;
   /// Pair only: equalities tried in order — flattened offsets first, then
   /// one per dimension — stopping at the first Unsat (paper Sec. 3
   /// dimension rule).
@@ -73,6 +78,9 @@ struct QueryResult {
   /// per probe tried before the first Unsat). Replay uses this to account
   /// queries exactly as the serial walk would.
   int checksPerformed = 0;
+  /// Decision tier of each performed check (0/1 fast path, 2 full solve) —
+  /// a pure function of the conjunction, hence identical at any width.
+  std::vector<int> tiers;
   double seconds = 0.0;  // wall time of this task (scaling diagnostics)
 };
 
@@ -89,6 +97,17 @@ class QueryScheduler {
   [[nodiscard]] RegionVerdict run(support::WorkPool* pool);
 
  private:
+  /// One node of the base prefix tree: the conjunction consisting of the
+  /// parent's conjunction plus `delta`. The DFS plan appends nodes as it
+  /// pushes knowledge, so a task's base is the root-to-node path — and
+  /// sibling tasks share their context prefix structurally.
+  struct BaseNode {
+    int parent = -1;
+    smt::Constraint delta;
+    std::string deltaKey;  // Solver::constraintKey(delta), derived once
+    size_t depth = 0;      // constraints on the root-to-node path
+  };
+
   // One step of the canonical serial schedule (DFS pre-order).
   struct Step {
     enum class Op { Consistency, Question };
@@ -104,7 +123,15 @@ class QueryScheduler {
   };
 
   void plan();
-  [[nodiscard]] QueryResult evaluate(smt::Solver& solver,
+  /// Per-constraint fingerprints of the base conjunction of `baseId`, in
+  /// root-to-node (stack) order.
+  [[nodiscard]] std::vector<std::string> baseKeysOf(int baseId) const;
+  /// Moves `solver` (whose stack holds the base of `cur`, one push scope
+  /// per base constraint) to the base of `target` incrementally: pop to
+  /// the common ancestor, then push the missing deltas. `cur` is updated.
+  void switchBase(smt::Solver& solver, int& cur, int target) const;
+  /// Evaluates one task on a solver holding the base of `cur` (updated).
+  [[nodiscard]] QueryResult evaluate(smt::Solver& solver, int& cur,
                                      const QueryTask& task) const;
   /// Replays the canonical schedule; `getResult` supplies task outcomes —
   /// precomputed in the eager (parallel) mode, evaluated on demand in the
@@ -114,6 +141,7 @@ class QueryScheduler {
 
   const RegionModel& model_;
   const ExploitOptions& opts_;
+  std::vector<BaseNode> bases_;
   std::vector<QueryTask> tasks_;
   std::vector<Step> schedule_;
   double planSeconds_ = 0.0;

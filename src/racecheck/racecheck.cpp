@@ -114,7 +114,9 @@ class RegionChecker {
         inst_(analysis::computeInstances(loop)),
         privates_(core::privateNames(loop)),
         low_(atoms_, &inst_, privates_, syms_, &pinned_),
-        solver_(atoms_) {}
+        solver_(atoms_) {
+    solver_.setFastPathMode(opts.fastpath);
+  }
 
   RegionRaceReport run() {
     auto t0 = std::chrono::steady_clock::now();
@@ -143,6 +145,7 @@ class RegionChecker {
       for (int w = 0; w < width; ++w) {
         solvers.push_back(std::make_unique<smt::Solver>(atoms_));
         solvers.back()->attachCache(&cache);
+        solvers.back()->setFastPathMode(opts_.fastpath);
       }
       pool->run(tasks.size(), [&](size_t i, int w) {
         smt::Solver& s = *solvers[static_cast<size_t>(w)];
@@ -217,6 +220,7 @@ class RegionChecker {
     Kind kind = Kind::Undecided;
     std::string reason;  // Undecided
     int checks = 0;      // solver check() calls this query issued
+    int checkTier = 2;   // decision tier of that check (0/1 fast, 2 solve)
     smt::Model model;    // Witness
     std::vector<long long> indices;
   };
@@ -516,6 +520,7 @@ class RegionChecker {
       solver.add(smt::Constraint::eq(t.da[k], t.db[k]));
     smt::CheckResult r = solver.check();
     o.checks = 1;
+    o.checkTier = solver.lastCheckTier();
     if (r == smt::CheckResult::Unsat) {
       solver.pop();
       o.kind = PairOutcome::Kind::Proven;
@@ -584,6 +589,14 @@ class RegionChecker {
   void mergePair(const PairTask& t, const PairOutcome& o) {
     ++report_.pairsChecked;
     report_.queries += o.checks;
+    if (o.checks > 0) {
+      if (o.checkTier == 0)
+        ++report_.tier0Hits;
+      else if (o.checkTier == 1)
+        ++report_.tier1Hits;
+      else
+        ++report_.tier2Checks;
+    }
     switch (o.kind) {
       case PairOutcome::Kind::Proven:
         ++report_.pairsProven;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "ir/kernel.h"
+#include "smt/fastpath.h"
 #include "support/diagnostics.h"
 
 namespace formad::support {
@@ -95,6 +96,12 @@ struct RegionRaceReport {
   int pairsProven = 0;   // discharged by an Unsat proof
   int pairsAssumed = 0;  // discharged by a declared coloring fact
   int queries = 0;       // solver check() calls issued
+  /// Decision-tier breakdown of the queries (0/1 fast path, 2 full solve;
+  /// cache-served checks count under the tier that first decided them).
+  /// queries == tier0Hits + tier1Hits + tier2Checks, at any pool width.
+  long long tier0Hits = 0;
+  long long tier1Hits = 0;
+  long long tier2Checks = 0;
   double analysisSeconds = 0;
 };
 
@@ -120,6 +127,10 @@ struct RaceCheckOptions {
   std::set<std::string> colorings;
   /// Stop collecting witnesses in a region after this many.
   int maxWitnessesPerRegion = 4;
+  /// Tiered fast-path deciders consulted before the full solver
+  /// (smt/fastpath.h). Fast verdicts are exact: the setting changes speed
+  /// and the tier breakdown only, never any verdict or witness.
+  smt::FastPathMode fastpath = smt::FastPathMode::Full;
   /// Optional externally owned worker pool (shared with the exploitation
   /// scheduler by the driver): per-pair converse queries are evaluated
   /// speculatively across its workers and merged in canonical pair order,

@@ -1,0 +1,218 @@
+#include "smt/fastpath.h"
+
+#include <map>
+#include <optional>
+
+#include "smt/lia.h"
+#include "smt/solver.h"
+
+namespace formad::smt {
+
+std::string to_string(FastPathMode m) {
+  switch (m) {
+    case FastPathMode::Off: return "off";
+    case FastPathMode::Syntactic: return "syntactic";
+    case FastPathMode::Full: return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+FastDecision decided(FastVerdict v, int tier, std::string decider,
+                     std::string justification) {
+  FastDecision d;
+  d.verdict = v;
+  d.tier = tier;
+  d.decider = std::move(decider);
+  d.justification = std::move(justification);
+  return d;
+}
+
+/// GCD divisibility test of one reduced equation `e = 0` (a row of the
+/// triangular system, so this is exactly LiaSystem::integerFeasible's
+/// per-row condition): with denominators cleared, an integer combination
+/// Σ aᵢxᵢ = c is solvable iff gcd(aᵢ) | c. Returns the certifying line on
+/// failure. `stride` reports the stride-lattice shape a·x − a·y + c: the
+/// congruence-separation pattern the loop lattice equations produce.
+std::optional<std::string> gcdInfeasible(const AtomTable& atoms,
+                                         const LinExpr& e, bool& stride) {
+  long long l = 1;
+  for (const auto& [id, c] : e.coeffs()) {
+    (void)id;
+    l = lcm64(l, c.den());
+  }
+  l = lcm64(l, e.constant().den());
+  long long g = 0;
+  std::vector<long long> ints;
+  for (const auto& [id, c] : e.coeffs()) {
+    (void)id;
+    long long ci = c.num() * (l / c.den());
+    ints.push_back(ci);
+    g = gcd64(g, ci < 0 ? -ci : ci);
+  }
+  long long c0 = e.constant().num() * (l / e.constant().den());
+  if (g == 0 || c0 % g == 0) return std::nullopt;
+  stride = ints.size() == 2 && ints[0] + ints[1] == 0;
+  long long s = ints.empty() ? 0 : (ints[0] < 0 ? -ints[0] : ints[0]);
+  if (stride)
+    return "stride lattice: " + atoms.render(e) + " = 0 needs " +
+           std::to_string(s) + " | " + std::to_string(c0 < 0 ? -c0 : c0) +
+           ", which fails";
+  return "gcd test: gcd of coefficients " + std::to_string(g) +
+         " does not divide constant " + std::to_string(c0) + " in " +
+         atoms.render(e) + " = 0";
+}
+
+}  // namespace
+
+FastDecision decideFast(const AtomTable& atoms,
+                        const std::vector<Constraint>& stack,
+                        FastPathMode mode) {
+  FastDecision unknown;
+  if (mode == FastPathMode::Off) return unknown;
+
+  // ---- Tier 0: syntactic scans. Each claim coincides with solve():
+  // a nonzero-constant equality fails addEquality immediately; a
+  // syntactically zero disequality reduces to zero under ANY equality
+  // system; a positive-constant inequality has a positive residue under
+  // any system. All three force solve() to Unsat no matter what else is
+  // on the stack.
+  bool satCertificate = true;  // all Eq zero, all Ne nonzero, no Le
+  bool anyUF = false;
+  for (const auto& c : stack) {
+    for (const auto& [id, coeff] : c.expr.coeffs()) {
+      (void)coeff;
+      if (atoms.atom(id).kind == AtomKind::UF) anyUF = true;
+    }
+    switch (c.rel) {
+      case Rel::Eq:
+        if (c.expr.isConstant() && !c.expr.constant().isZero())
+          return decided(FastVerdict::Disjoint, 0, "t0-eq-const",
+                         "equality of terms differing by a constant: " +
+                             atoms.render(c.expr) + " = 0 is false");
+        if (!c.expr.isZero()) satCertificate = false;
+        break;
+      case Rel::Ne:
+        if (c.expr.isZero())
+          return decided(FastVerdict::Disjoint, 0, "t0-identical",
+                         "disequality of syntactically identical terms: "
+                         "0 != 0 is false");
+        break;
+      case Rel::Le:
+        if (c.expr.isConstant() && c.expr.constant().sign() > 0)
+          return decided(FastVerdict::Disjoint, 0, "t0-le-const",
+                         "constant bound violation: " + atoms.render(c.expr) +
+                             " <= 0 is false");
+        satCertificate = false;
+        break;
+    }
+  }
+  // Overlap certificate: with no equality rows and no inequalities,
+  // solve() is exactly "every Ne residue is the (nonzero) expression
+  // itself" -> Sat. Structural interning makes congruence closure a no-op
+  // under an empty system (two UF atoms with syntactically equal
+  // arguments are the SAME atom), so the claim is exact even with UF
+  // reads on the stack. This answers both the all-disequality consistency
+  // checks and probes whose indices are syntactically identical.
+  if (satCertificate)
+    return decided(FastVerdict::Overlap, 0, "t0-identical",
+                   "no equality or bound constraints and every disequality "
+                   "is between distinct terms: trivially satisfiable");
+
+  if (mode == FastPathMode::Syntactic) return unknown;
+
+  // ---- Tier 1: arithmetic deciders over the rational Gaussian system,
+  // built in stack order (the same insertion order and pivot rule as
+  // solve(), so the triangular rows coincide).
+  LiaSystem lia;
+  for (const auto& c : stack)
+    if (c.rel == Rel::Eq && !lia.addEquality(c.expr))
+      return decided(FastVerdict::Disjoint, 1, "t1-eq-conflict",
+                     "equalities are rationally inconsistent: " +
+                         atoms.render(c.expr) +
+                         " = 0 contradicts the earlier equalities");
+
+  // GCD / stride-lattice congruence separation. Exact even with UF atoms:
+  // congruence closure only ADDS equalities (shrinking the solution set),
+  // and solve()'s unconditional HNF pass is complete for joint integer
+  // feasibility — so an integer-infeasible equality system always makes
+  // solve() return Unsat through one gate or another.
+  for (const LinExpr& e : lia.equations()) {
+    bool stride = false;
+    if (auto why = gcdInfeasible(atoms, e, stride))
+      return decided(FastVerdict::Disjoint, 1,
+                     stride ? "t1-stride" : "t1-gcd", *why);
+  }
+
+  // Entailed disequalities: the equalities already force e = 0, so e != 0
+  // is unsatisfiable. Rational reduction is complete for linear
+  // entailment, and the (larger) congruence-closed system entails
+  // everything this one does, so solve()'s residue is zero too.
+  for (const auto& c : stack) {
+    if (c.rel != Rel::Ne) continue;
+    if (lia.reduce(c.expr).isZero())
+      return decided(FastVerdict::Disjoint, 1, "t1-ne-entailed",
+                     "equalities entail " + atoms.render(c.expr) +
+                         " = 0, contradicting the disequality");
+  }
+
+  // Interval / Banerjee-style bound separation, replicating solve()'s
+  // single-atom interval pass verbatim. Only sound-AND-exact when no UF
+  // atom appears anywhere on the stack: congruence merges could otherwise
+  // reshape an inequality residue into a multi-atom form solve() refuses
+  // to decide (Unknown), which an interval Unsat claim would contradict.
+  if (!anyUF) {
+    struct Bounds {
+      std::optional<Rational> lo, hi;
+    };
+    std::map<AtomId, Bounds> bounds;
+    for (const auto& c : stack) {
+      if (c.rel != Rel::Le) continue;
+      LinExpr r = lia.reduce(c.expr);  // r <= 0
+      if (r.isConstant()) {
+        if (r.constant().sign() > 0)
+          return decided(FastVerdict::Disjoint, 1, "t1-interval",
+                         "bound " + atoms.render(c.expr) +
+                             " <= 0 reduces to the false constant bound " +
+                             r.constant().str() + " <= 0");
+        continue;
+      }
+      if (r.coeffs().size() != 1) continue;  // solver's Unknown territory
+      auto [id, coeff] = *r.coeffs().begin();
+      Rational bound = (-r.constant()) / coeff;
+      Bounds& bb = bounds[id];
+      if (coeff.sign() > 0) {
+        if (!bb.hi || bound < *bb.hi) bb.hi = bound;
+      } else {
+        if (!bb.lo || bound > *bb.lo) bb.lo = bound;
+      }
+    }
+    for (const auto& [id, bb] : bounds) {
+      if (bb.lo && bb.hi && *bb.hi < *bb.lo)
+        return decided(FastVerdict::Disjoint, 1, "t1-interval",
+                       "bounds separate: " + bb.lo->str() + " <= " +
+                           atoms.render(LinExpr::atom(id)) + " <= " +
+                           bb.hi->str() + " is an empty interval");
+    }
+    for (const auto& c : stack) {
+      if (c.rel != Rel::Ne) continue;
+      LinExpr r = lia.reduce(c.expr);
+      if (r.coeffs().size() != 1) continue;
+      auto [id, coeff] = *r.coeffs().begin();
+      auto it = bounds.find(id);
+      if (it == bounds.end()) continue;
+      const Bounds& bb = it->second;
+      Rational v = (-r.constant()) / coeff;
+      if (bb.lo && bb.hi && *bb.lo == *bb.hi && *bb.lo == v)
+        return decided(FastVerdict::Disjoint, 1, "t1-interval",
+                       "bounds pin " + atoms.render(LinExpr::atom(id)) +
+                           " to the point " + v.str() +
+                           ", which a disequality excludes");
+    }
+  }
+
+  return unknown;
+}
+
+}  // namespace formad::smt

@@ -1,0 +1,68 @@
+// Tiered fast-path disjointness deciders (the front door of the solver).
+//
+// Most conjunctions FormAD's exploitation walk and the race checker emit
+// are decided by near-trivial reasoning: syntactically identical index
+// terms (never disjoint), differing constants on identical affine bases
+// (disjoint), stride-lattice/GCD divisibility, or interval separation of
+// range facts. Classic dependence testing answers these in nanoseconds;
+// the full solver should be the fallback, not the front door.
+//
+//   Tier 0  purely syntactic scans of the assertion stack.
+//   Tier 1  arithmetic deciders over the linear/congruence/rational
+//           machinery: rational Gaussian conflict, GCD divisibility,
+//           stride-lattice congruence separation, entailed disequalities,
+//           and interval (Banerjee-style) bound separation.
+//   Tier 2  the full Solver::solve() pipeline (not in this file).
+//
+// EXACTNESS CONTRACT: every verdict decideFast returns must equal what
+// Solver::solve() would return for the same conjunction — not merely be
+// sound. The parallel scheduler's replay reproduces serial bookkeeping
+// from per-check verdicts, so a fast path that returned Unsat where
+// solve() would return Unknown (or vice versa) would make reports differ
+// between -fastpath=off and -fastpath=full. Each decider below documents
+// why its claim coincides with solve()'s answer; anything that cannot be
+// matched exactly must return Unknown. The differential fuzz suite
+// (tests/test_fastpath.cpp) enforces this on random conjunctions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smt/term.h"
+
+namespace formad::smt {
+
+struct Constraint;
+
+/// How much of the tiered front end to run before falling back to the
+/// full solver. Off = always tier 2 (the pure-SMT baseline the
+/// conformance suite compares against); Syntactic = tier 0 only; Full =
+/// tiers 0 and 1.
+enum class FastPathMode { Off, Syntactic, Full };
+
+[[nodiscard]] std::string to_string(FastPathMode m);
+
+/// Three-valued fast-path answer about the conjunction on the stack.
+/// Disjoint == the conjunction is Unsat (the probed references can never
+/// coincide); Overlap == Sat (a collision assignment exists); Unknown ==
+/// fall through to the next tier.
+enum class FastVerdict { Disjoint, Overlap, Unknown };
+
+/// A decided query plus its provenance: which tier and named decider
+/// fired, and a one-line human/machine-checkable justification (the
+/// arithmetic fact that certifies the verdict).
+struct FastDecision {
+  FastVerdict verdict = FastVerdict::Unknown;
+  int tier = 2;          // 0 or 1 when decided; 2 means "ask the solver"
+  std::string decider;   // e.g. "t1-stride", empty when Unknown
+  std::string justification;
+};
+
+/// Runs the tiered deciders over the conjunction `stack` (the solver's
+/// full live assertion stack). Returns Unknown unless a decider can
+/// certify the exact solve() verdict.
+[[nodiscard]] FastDecision decideFast(const AtomTable& atoms,
+                                      const std::vector<Constraint>& stack,
+                                      FastPathMode mode);
+
+}  // namespace formad::smt

@@ -18,7 +18,8 @@ std::string to_string(CheckResult r) {
   return "?";
 }
 
-std::optional<CheckResult> VerdictCache::lookup(const std::string& key) {
+std::optional<VerdictCache::Entry> VerdictCache::lookup(
+    const std::string& key) {
   Shard& s = shardFor(key);
   std::lock_guard<std::mutex> lk(s.mu);
   auto it = s.map.find(key);
@@ -30,10 +31,10 @@ std::optional<CheckResult> VerdictCache::lookup(const std::string& key) {
   return it->second;
 }
 
-void VerdictCache::store(const std::string& key, CheckResult r) {
+void VerdictCache::store(const std::string& key, CheckResult r, int tier) {
   Shard& s = shardFor(key);
   std::lock_guard<std::mutex> lk(s.mu);
-  s.map.emplace(key, r);
+  s.map.emplace(key, Entry{r, tier});
 }
 
 size_t VerdictCache::size() const {
@@ -63,6 +64,7 @@ void Solver::attachCache(VerdictCache* cache) {
 
 void Solver::reset() {
   stack_.clear();
+  keys_.clear();
   marks_.clear();
   owner_ = std::thread::id{};
 }
@@ -80,6 +82,7 @@ void Solver::requireOwner() {
 
 void Solver::add(Constraint c) {
   requireOwner();
+  keys_.push_back(constraintKey(c));
   stack_.push_back(std::move(c));
   ++stats_.assertionsAdded;
 }
@@ -95,6 +98,7 @@ void Solver::pop() {
     fail("Solver::pop without matching push (assertion stack has " +
          std::to_string(stack_.size()) + " assertions and no open scope)");
   stack_.resize(marks_.back());
+  keys_.resize(marks_.back());
   marks_.pop_back();
 }
 
@@ -105,10 +109,9 @@ std::string Solver::constraintKey(const Constraint& c) {
 
 std::string Solver::stackKey() const {
   // A conjunction is order-independent; sorting makes stacks that assert
-  // the same constraints in different orders share a cache entry.
-  std::vector<std::string> parts;
-  parts.reserve(stack_.size());
-  for (const auto& c : stack_) parts.push_back(constraintKey(c));
+  // the same constraints in different orders share a cache entry. The
+  // per-constraint keys were derived once at add() time.
+  std::vector<std::string> parts = keys_;
   std::sort(parts.begin(), parts.end());
   std::string key;
   for (const auto& p : parts) {
@@ -125,20 +128,54 @@ CheckResult Solver::check() {
   if (sharedCache_ != nullptr) {
     if (auto cached = sharedCache_->lookup(key)) {
       ++stats_.cacheHits;
-      return *cached;
+      lastTier_ = cached->tier;
+      return cached->result;
     }
-    CheckResult r = solve();
-    sharedCache_->store(key, r);
+    CheckResult r = decide();
+    sharedCache_->store(key, r, lastTier_);
     return r;
   }
   auto it = verdictCache_.find(key);
   if (it != verdictCache_.end()) {
     ++stats_.cacheHits;
-    return it->second;
+    lastTier_ = it->second.tier;
+    return it->second.result;
   }
-  CheckResult r = solve();
-  verdictCache_.emplace(std::move(key), r);
+  CheckResult r = decide();
+  verdictCache_.emplace(std::move(key), VerdictCache::Entry{r, lastTier_});
   return r;
+}
+
+CheckResult Solver::decide() {
+  if (fastMode_ != FastPathMode::Off) {
+    FastDecision d = decideFast(atoms_, stack_, fastMode_);
+    if (d.verdict != FastVerdict::Unknown) {
+      lastTier_ = d.tier;
+      if (d.tier == 0)
+        ++stats_.fastpathTier0;
+      else
+        ++stats_.fastpathTier1;
+      return d.verdict == FastVerdict::Disjoint ? CheckResult::Unsat
+                                                : CheckResult::Sat;
+    }
+  }
+  lastTier_ = 2;
+  return solve();
+}
+
+std::string Solver::Stats::describe() const {
+  std::string s = "checks " + std::to_string(checks) + " (" +
+                  std::to_string(cacheHits) + " cached, " +
+                  std::to_string(fastpathTier0) + " tier-0, " +
+                  std::to_string(fastpathTier1) + " tier-1, " +
+                  std::to_string(checks - cacheHits - fastpathTier0 -
+                                 fastpathTier1) +
+                  " tier-2), assertions " + std::to_string(assertionsAdded) +
+                  ", reduces " + std::to_string(reduceCalls) + " (" +
+                  std::to_string(reduceMemoHits) + " memoized), models " +
+                  std::to_string(modelsFound) + "/" +
+                  std::to_string(modelSearches);
+  return s;
 }
 
 CheckResult Solver::solve() {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "smt/congruence.h"
+#include "smt/fastpath.h"
 #include "smt/hnf.h"
 #include "smt/lia.h"
 #include "smt/term.h"
@@ -74,11 +75,21 @@ using Model = std::map<AtomId, long long>;
 /// rejects attachment from any other table.
 class VerdictCache {
  public:
+  /// A cached verdict plus the decision tier (0/1 fast path, 2 full solve)
+  /// that first produced it. The tier is a pure function of the
+  /// conjunction (every decider is deterministic and order-independent),
+  /// so serving it with the verdict keeps per-tier accounting identical
+  /// at any pool width.
+  struct Entry {
+    CheckResult result = CheckResult::Unknown;
+    int tier = 2;
+  };
+
   /// Returns the cached verdict, or nullopt on miss. Counts a hit/miss.
-  [[nodiscard]] std::optional<CheckResult> lookup(const std::string& key);
+  [[nodiscard]] std::optional<Entry> lookup(const std::string& key);
   /// Records a verdict. Concurrent stores of the same key are benign: every
-  /// solver derives the same verdict for the same fingerprint.
-  void store(const std::string& key, CheckResult r);
+  /// solver derives the same verdict (and tier) for the same fingerprint.
+  void store(const std::string& key, CheckResult r, int tier = 2);
 
   [[nodiscard]] long long hits() const {
     return hits_.load(std::memory_order_relaxed);
@@ -97,7 +108,7 @@ class VerdictCache {
   static constexpr size_t kShards = 16;
   struct Shard {
     std::mutex mu;
-    std::unordered_map<std::string, CheckResult> map;
+    std::unordered_map<std::string, Entry> map;
   };
   [[nodiscard]] Shard& shardFor(const std::string& key) {
     return shards_[std::hash<std::string>{}(key) % kShards];
@@ -160,12 +171,31 @@ class Solver {
     long long assertionsAdded = 0;
     long long checks = 0;
     long long cacheHits = 0;       // checks answered from the verdict cache
+    long long fastpathTier0 = 0;   // checks decided by a tier-0 syntactic test
+    long long fastpathTier1 = 0;   // checks decided by a tier-1 arithmetic test
     long long reduceCalls = 0;     // lia.reduce invocations actually made
     long long reduceMemoHits = 0;  // reductions reused from the per-solve memo
     long long modelSearches = 0;   // model() invocations
     long long modelsFound = 0;     // model() calls that produced a witness
+
+    /// Stable one-line rendering of the tier breakdown plus the classic
+    /// counters (golden-tested; reports and the CLI print it verbatim).
+    [[nodiscard]] std::string describe() const;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Selects the tiered fast path consulted by check() before the full
+  /// solve. Defaults to Off: a raw Solver is the pure-SMT baseline, and
+  /// the analysis layers opt in explicitly (every fast-path verdict is
+  /// exact, so only speed — never any verdict — depends on the mode).
+  void setFastPathMode(FastPathMode m) { fastMode_ = m; }
+  [[nodiscard]] FastPathMode fastPathMode() const { return fastMode_; }
+
+  /// Decision tier of the most recent check(): 0/1 = fast path, 2 = full
+  /// solve. Cache hits report the tier stored with the verdict, which is a
+  /// pure function of the conjunction — so per-tier accounting is
+  /// deterministic at any pool width.
+  [[nodiscard]] int lastCheckTier() const { return lastTier_; }
 
   [[nodiscard]] AtomTable& atoms() { return atoms_; }
 
@@ -192,6 +222,9 @@ class Solver {
   [[nodiscard]] std::string stackKey() const;
 
  private:
+  /// check() body on a cache miss: tiered fast path first, full solve as
+  /// the fallback. Records the decision tier in lastTier_.
+  [[nodiscard]] CheckResult decide();
   [[nodiscard]] CheckResult solve();
   /// Solvers are thread-confined: the first mutating call binds the owning
   /// thread, and any use from another thread throws. reset() clears the
@@ -201,10 +234,16 @@ class Solver {
 
   AtomTable& atoms_;
   std::vector<Constraint> stack_;
+  /// constraintKey of each stack_ entry, maintained by add/pop/reset so
+  /// stackKey() never re-derives expression keys (the schedulers re-check
+  /// under long-lived incremental stacks, where re-keying dominated).
+  std::vector<std::string> keys_;
   std::vector<size_t> marks_;
-  std::map<std::string, CheckResult> verdictCache_;
+  std::map<std::string, VerdictCache::Entry> verdictCache_;
   VerdictCache* sharedCache_ = nullptr;
   std::thread::id owner_{};
+  FastPathMode fastMode_ = FastPathMode::Off;
+  int lastTier_ = 2;
   Stats stats_;
 };
 

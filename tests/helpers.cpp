@@ -412,4 +412,51 @@ Harness randomHarness(unsigned seed) {
   return h;
 }
 
+std::vector<smt::Constraint> randomConjunction(smt::AtomTable& atoms,
+                                               unsigned seed) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  auto pick = [&](int lo, int hi) {
+    return lo + static_cast<int>(
+                    rng() % static_cast<unsigned long long>(hi - lo + 1));
+  };
+  using smt::Constraint;
+  using smt::LinExpr;
+  using smt::Rational;
+
+  // The atom universe of a typical query: the counter pair, the iteration
+  // lattice coordinates, a parameter, and two UF reads over the counters
+  // (the shape knowledge assertions have).
+  std::vector<smt::AtomId> pool = {
+      atoms.internVar("i", 0, false), atoms.internVar("i", 0, true),
+      atoms.internVar("q", 0, false), atoms.internVar("q", 0, true),
+      atoms.internVar("n", 0, false),
+  };
+  pool.push_back(atoms.internUF("c@0", {LinExpr::atom(pool[0])}));
+  pool.push_back(atoms.internUF("c@0", {LinExpr::atom(pool[1])}));
+
+  auto randomExpr = [&]() {
+    LinExpr e(Rational(pick(-6, 6)));
+    const int terms = pick(0, 3);
+    for (int t = 0; t < terms; ++t) {
+      int c = pick(-3, 3);
+      if (c == 0) c = 1;
+      e.addTerm(pool[static_cast<size_t>(pick(0, static_cast<int>(pool.size()) - 1))],
+                Rational(c));
+    }
+    return e;
+  };
+
+  std::vector<Constraint> out;
+  const int n = pick(1, 6);
+  for (int k = 0; k < n; ++k) {
+    LinExpr e = randomExpr();
+    switch (pick(0, 2)) {
+      case 0: out.push_back(Constraint{std::move(e), smt::Rel::Eq}); break;
+      case 1: out.push_back(Constraint{std::move(e), smt::Rel::Ne}); break;
+      default: out.push_back(Constraint{std::move(e), smt::Rel::Le}); break;
+    }
+  }
+  return out;
+}
+
 }  // namespace formad::testing

@@ -14,6 +14,7 @@
 #include "ir/kernel.h"
 #include "kernels/spec.h"
 #include "parser/parser.h"
+#include "smt/solver.h"
 
 namespace formad::testing {
 
@@ -70,5 +71,14 @@ std::string randomKernelSource(unsigned seed);
 /// Harness over randomKernelSource(seed) with deterministic bindings
 /// (u, v, w real arrays; r read-only reals; c a permutation of 0..n-1).
 Harness randomHarness(unsigned seed);
+
+/// Random solver conjunction drawn from the FormAD query grammar: affine
+/// (dis)equalities and bounds over a counter pair, iteration-lattice
+/// coordinates, a parameter, and uninterpreted array reads — the
+/// constraint shapes the exploitation and race-check stacks produce.
+/// Deterministic in `seed`. Used by the fast-path differential fuzzer
+/// (test_fastpath.cpp).
+std::vector<smt::Constraint> randomConjunction(smt::AtomTable& atoms,
+                                               unsigned seed);
 
 }  // namespace formad::testing

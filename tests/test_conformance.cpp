@@ -41,13 +41,15 @@ struct Transcript {
   std::string error;      // Error::what() when differentiate refuses
 };
 
-Transcript runDriver(const kernels::KernelSpec& spec, int analysisThreads) {
+Transcript runDriver(const kernels::KernelSpec& spec, int analysisThreads,
+                     smt::FastPathMode fastpath = smt::FastPathMode::Full) {
   Transcript t;
   auto primal = parser::parseKernel(spec.source);
   driver::DriverOptions dopts;
   dopts.mode = AdjointMode::FormAD;
   dopts.racecheckPrimal = true;
   dopts.analysisThreads = analysisThreads;
+  dopts.fastpath = fastpath;
   try {
     auto dr = driver::differentiate(*primal, spec.independents,
                                     spec.dependents, dopts);
@@ -101,6 +103,52 @@ TEST(Conformance, GreenGauss) {
 
 TEST(Conformance, IndirectGather) {
   expectThreadInvariant(indirectHarness(64, 7).spec);
+}
+
+// --- fast-path conformance: -fastpath must be invisible in the report ---
+//
+// The tiered deciders claim exactness, so the whole transcript (verdicts,
+// query counts, witnesses, refusals) must be byte-identical between
+// -fastpath=off and the syntactic/full tiers at every thread count.
+
+void expectFastPathInvariant(const kernels::KernelSpec& spec) {
+  for (int threads : kThreadCounts) {
+    const Transcript off = runDriver(spec, threads, smt::FastPathMode::Off);
+    for (smt::FastPathMode mode :
+         {smt::FastPathMode::Syntactic, smt::FastPathMode::Full}) {
+      const Transcript fast = runDriver(spec, threads, mode);
+      EXPECT_EQ(off.analysis, fast.analysis)
+          << spec.name << " analysis report diverges from -fastpath=off at "
+          << smt::to_string(mode) << ", " << threads << " threads";
+      EXPECT_EQ(off.racecheck, fast.racecheck)
+          << spec.name << " race-check report diverges from -fastpath=off at "
+          << smt::to_string(mode) << ", " << threads << " threads";
+      EXPECT_EQ(off.warnings, fast.warnings)
+          << spec.name << " warnings diverge from -fastpath=off at "
+          << smt::to_string(mode) << ", " << threads << " threads";
+      EXPECT_EQ(off.error, fast.error)
+          << spec.name << " refusal diverges from -fastpath=off at "
+          << smt::to_string(mode) << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(Conformance, FastPathModesAgreeOnWideStencil) {
+  expectFastPathInvariant(stencilHarness(3, 96, 7).spec);
+}
+
+TEST(Conformance, FastPathModesAgreeOnLbm) {
+  expectFastPathInvariant(lbmHarness(7).spec);
+}
+
+TEST(Conformance, FastPathModesAgreeOnGreenGauss) {
+  expectFastPathInvariant(greenGaussHarness(32, 7).spec);
+}
+
+TEST(Conformance, FastPathModesAgreeOnRacyMutant) {
+  // Refusals carry SMT-derived witness text; the fast path must not change
+  // a single byte of it.
+  expectFastPathInvariant(kernels::stencilStrideRacySpec());
 }
 
 // --- racy mutants: the refusal (witnesses included) must match too ---

@@ -82,6 +82,57 @@ kernel f(y: real[] inout, x: real[] in, s: real[] in, i: int in) {
   EXPECT_FALSE(dr.adjointParams.count("s"));
 }
 
+// ------------------------------------------- decision-tier reporting
+
+// Golden for Solver::Stats::describe(): the tier breakdown inside the
+// parentheses must partition the checks (tier-2 is the remainder), and the
+// layout is fixed — the CLI's -stats output and the bench logs parse it.
+TEST(Report, SolverStatsDescribeGolden) {
+  smt::Solver::Stats s;
+  s.checks = 12;
+  s.cacheHits = 3;
+  s.fastpathTier0 = 4;
+  s.fastpathTier1 = 2;
+  s.assertionsAdded = 40;
+  s.reduceCalls = 5;
+  s.reduceMemoHits = 2;
+  s.modelSearches = 2;
+  s.modelsFound = 1;
+  EXPECT_EQ(s.describe(),
+            "checks 12 (3 cached, 4 tier-0, 2 tier-1, 3 tier-2), "
+            "assertions 40, reduces 5 (2 memoized), models 1/2");
+}
+
+// describeTiers() renders one line per region and its counts partition the
+// region's query total — the invariant the scheduler's replay maintains.
+TEST(Report, DescribeTiersPartitionsQueries) {
+  Harness h = stencilHarness(2, 32, 3);
+  auto k = h.parse();
+  auto a = driver::analyze(*k, h.spec.independents, h.spec.dependents);
+  ASSERT_EQ(a.regions.size(), 1u);
+  const auto& r = a.regions[0];
+  EXPECT_EQ(r.queries,
+            r.tier0Hits + r.tier1Hits + r.tier2Checks + r.solverCacheHits);
+  EXPECT_EQ(core::describeTiers(a),
+            "region #0 decision tiers: " + std::to_string(r.queries) +
+                " queries = " + std::to_string(r.tier0Hits) + " tier-0 + " +
+                std::to_string(r.tier1Hits) + " tier-1 + " +
+                std::to_string(r.tier2Checks) + " tier-2 + " +
+                std::to_string(r.solverCacheHits) + " cached\n");
+  // The default analysis runs the full fast path: the stencil's queries
+  // must not all fall through to tier 2.
+  EXPECT_GT(r.tier0Hits + r.tier1Hits, 0);
+}
+
+// The kernel-level aggregates sum the regions and partition queries().
+TEST(Driver, TierAggregatesPartitionQueries) {
+  Harness h = gfmcHarness(false, 1);
+  auto k = h.parse();
+  auto a = driver::analyze(*k, h.spec.independents, h.spec.dependents);
+  EXPECT_EQ(a.queries(), a.tier0Hits() + a.tier1Hits() + a.tier2Checks() +
+                             a.cacheHits());
+}
+
 // ------------------------------------------- analysis thread resolution
 
 // The -analysis-threads convention (shared by DriverOptions and the CLI):

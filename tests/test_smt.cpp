@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "smt/fastpath.h"
 #include "smt/solver.h"
 #include "support/diagnostics.h"
 
@@ -439,6 +440,168 @@ TEST_F(SolverTest, ReduceMemoServesThePinnedIntervalPass) {
   EXPECT_EQ(solver.check(), CheckResult::Unsat);
   EXPECT_EQ(solver.stats().reduceCalls, reduceCalls);
   EXPECT_EQ(solver.stats().reduceMemoHits, memoHits);
+}
+
+// -------------------------------------------- fast-path tier-1 deciders
+//
+// Each tier-1 decider on a hand-built conjunction: decideFast must name
+// the decider, the full solver must agree (exactness), and a Solver with
+// the fast path enabled must report the check's tier.
+
+class FastPathTier1Test : public SolverTest {
+ protected:
+  // decideFast on `stack` plus cross-checks: the pure-SMT verdict equals
+  // `expect`, and a fast-pathed solver reaches the same verdict.
+  FastDecision decideAndCrossCheck(const std::vector<Constraint>& stack,
+                                   CheckResult expect) {
+    Solver pure(atoms);  // FastPathMode::Off by default
+    Solver fast(atoms);
+    fast.setFastPathMode(FastPathMode::Full);
+    for (const auto& c : stack) {
+      pure.add(c);
+      fast.add(c);
+    }
+    EXPECT_EQ(pure.check(), expect);
+    EXPECT_EQ(fast.check(), expect);
+    lastFastTier = fast.lastCheckTier();
+    return decideFast(atoms, stack, FastPathMode::Full);
+  }
+  int lastFastTier = 2;
+};
+
+TEST_F(FastPathTier1Test, GcdDivisibilitySeparates) {
+  // 2i + 4i' = 1 has no integer solution: gcd(2, 4) = 2 does not divide 1.
+  std::vector<Constraint> stack = {
+      Constraint::eq(LinExpr::atom(i, Rational(2)) +
+                         LinExpr::atom(ip, Rational(4)),
+                     LinExpr(Rational(1)))};
+  FastDecision d = decideAndCrossCheck(stack, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Disjoint);
+  EXPECT_EQ(d.tier, 1);
+  EXPECT_EQ(d.decider, "t1-gcd");
+  EXPECT_NE(d.justification.find("gcd"), std::string::npos);
+  EXPECT_EQ(lastFastTier, 1);
+}
+
+TEST_F(FastPathTier1Test, StrideLatticeFromLbmColoringFacts) {
+  // The LBM checkerboard coloring yields lattice facts of the shape
+  // 20q' - 20q + c = 0 between same-color cell bases (20 doubles per
+  // cell). With 20 not dividing c the bases can never collide; the
+  // stride-lattice decider must answer without the solver's HNF pass.
+  AtomId q = atoms.internVar("q", 0, false);
+  AtomId qp = atoms.internVar("q", 0, true);
+  std::vector<Constraint> stack = {
+      Constraint::ne(LinExpr::atom(qp), LinExpr::atom(q)),
+      Constraint::eq(LinExpr::atom(qp, Rational(20)) -
+                         LinExpr::atom(q, Rational(20)) +
+                         LinExpr(Rational(7)),
+                     LinExpr(Rational(0)))};
+  FastDecision d = decideAndCrossCheck(stack, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Disjoint);
+  EXPECT_EQ(d.tier, 1);
+  EXPECT_EQ(d.decider, "t1-stride");
+  EXPECT_NE(d.justification.find("stride lattice"), std::string::npos);
+  EXPECT_EQ(lastFastTier, 1);
+}
+
+TEST_F(FastPathTier1Test, RationalEqualityConflict) {
+  // i = 3 and i = 5 are already rationally inconsistent.
+  std::vector<Constraint> stack = {
+      Constraint::eq(LinExpr::atom(i), LinExpr(Rational(3))),
+      Constraint::eq(LinExpr::atom(i), LinExpr(Rational(5)))};
+  FastDecision d = decideAndCrossCheck(stack, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Disjoint);
+  EXPECT_EQ(d.tier, 1);
+  EXPECT_EQ(d.decider, "t1-eq-conflict");
+  EXPECT_EQ(lastFastTier, 1);
+}
+
+TEST_F(FastPathTier1Test, EntailedDisequality) {
+  // i = i' makes the standard i != i' probe base unsatisfiable.
+  std::vector<Constraint> stack = {
+      Constraint::eq(LinExpr::atom(i), LinExpr::atom(ip)),
+      Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i))};
+  FastDecision d = decideAndCrossCheck(stack, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Disjoint);
+  EXPECT_EQ(d.tier, 1);
+  EXPECT_EQ(d.decider, "t1-ne-entailed");
+  EXPECT_EQ(lastFastTier, 1);
+}
+
+TEST_F(FastPathTier1Test, IntervalSeparation) {
+  // 7 <= i <= 5 is empty.
+  std::vector<Constraint> stack = {
+      Constraint::ne(LinExpr::atom(ip), LinExpr::atom(i)),
+      Constraint::le(LinExpr::atom(i), LinExpr(Rational(5))),
+      Constraint::le(LinExpr(Rational(7)), LinExpr::atom(i))};
+  FastDecision d = decideAndCrossCheck(stack, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Disjoint);
+  EXPECT_EQ(d.tier, 1);
+  EXPECT_EQ(d.decider, "t1-interval");
+  EXPECT_EQ(lastFastTier, 1);
+}
+
+TEST_F(FastPathTier1Test, PointIntervalExcludedByDisequality) {
+  // 4 <= i <= 4 pins i; i != 4 excludes the only point.
+  std::vector<Constraint> stack = {
+      Constraint::le(LinExpr::atom(i), LinExpr(Rational(4))),
+      Constraint::le(LinExpr(Rational(4)), LinExpr::atom(i)),
+      Constraint::ne(LinExpr::atom(i), LinExpr(Rational(4)))};
+  FastDecision d = decideAndCrossCheck(stack, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Disjoint);
+  EXPECT_EQ(d.tier, 1);
+  EXPECT_EQ(d.decider, "t1-interval");
+  EXPECT_EQ(lastFastTier, 1);
+}
+
+TEST_F(FastPathTier1Test, BoundFactsSeparatingInOneDimensionOnly) {
+  // Regression: a 2-D access whose range facts separate only in the first
+  // dimension. 0 <= i <= 10 and 20 <= j <= 30 separate; the second
+  // dimension's 0 <= k, l <= 30 do not. Probing the separating dimension
+  // must decide via the interval decider; probing the overlapping one
+  // must fall through to the solver, which finds a collision.
+  AtomId j = atoms.internVar("j", 0, true);
+  AtomId k = atoms.internVar("k", 0, false);
+  AtomId l = atoms.internVar("l", 0, true);
+  std::vector<Constraint> facts = {
+      Constraint::le(LinExpr(Rational(0)), LinExpr::atom(i)),
+      Constraint::le(LinExpr::atom(i), LinExpr(Rational(10))),
+      Constraint::le(LinExpr(Rational(20)), LinExpr::atom(j)),
+      Constraint::le(LinExpr::atom(j), LinExpr(Rational(30))),
+      Constraint::le(LinExpr(Rational(0)), LinExpr::atom(k)),
+      Constraint::le(LinExpr::atom(k), LinExpr(Rational(30))),
+      Constraint::le(LinExpr(Rational(0)), LinExpr::atom(l)),
+      Constraint::le(LinExpr::atom(l), LinExpr(Rational(30)))};
+
+  std::vector<Constraint> separating = facts;
+  separating.push_back(Constraint::eq(LinExpr::atom(i), LinExpr::atom(j)));
+  FastDecision d = decideAndCrossCheck(separating, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Disjoint);
+  EXPECT_EQ(d.decider, "t1-interval");
+  EXPECT_EQ(lastFastTier, 1);
+
+  std::vector<Constraint> overlapping = facts;
+  overlapping.push_back(Constraint::eq(LinExpr::atom(k), LinExpr::atom(l)));
+  d = decideAndCrossCheck(overlapping, CheckResult::Sat);
+  EXPECT_EQ(d.verdict, FastVerdict::Unknown);
+  EXPECT_EQ(d.tier, 2);
+  EXPECT_EQ(lastFastTier, 2);
+}
+
+TEST_F(FastPathTier1Test, UfAtomsDisableTheIntervalDecider) {
+  // An interval conflict in the presence of an uninterpreted read must
+  // stay Unknown at the fast path: congruence merges could reshape Le
+  // residues, so only solve() may claim the verdict (still Unsat here —
+  // exactness allows falling through, never disagreeing).
+  AtomId ci = atoms.internUF("c", {LinExpr::atom(i)});
+  AtomId cip = atoms.internUF("c", {LinExpr::atom(ip)});
+  std::vector<Constraint> stack = {
+      Constraint::ne(LinExpr::atom(cip), LinExpr::atom(ci)),
+      Constraint::le(LinExpr::atom(i), LinExpr(Rational(5))),
+      Constraint::le(LinExpr(Rational(7)), LinExpr::atom(i))};
+  FastDecision d = decideAndCrossCheck(stack, CheckResult::Unsat);
+  EXPECT_EQ(d.verdict, FastVerdict::Unknown);
+  EXPECT_EQ(lastFastTier, 2);
 }
 
 // -------------------------------------------------- model extraction
