@@ -1,0 +1,177 @@
+// Resource governance: verdict quality vs. solver step budget.
+//
+// FormAD's step budget (-solver-budget) caps every solver check at a
+// deterministic number of internal steps; checks that run out degrade the
+// affected variable to an atomic adjoint instead of hanging or aborting.
+// This bench sweeps the budget from starvation to unlimited on the repo's
+// benchmark kernels and reports, per point,
+//   - how many variables stay provably safe (shared adjoint access),
+//   - how many pairs degraded (kept atomic purely by governance),
+//   - how many checks hit the budget, and the analysis wall time,
+// making the quality/effort trade-off a table instead of folklore. It also
+// re-runs one starved configuration at 1 and 4 analysis threads and checks
+// that every verdict-affecting counter matches exactly — the determinism
+// contract budgets are designed around (steps are counted, never timed).
+//
+// Writes BENCH_governance.json through the shared writer (bench_common.h).
+// `--smoke` runs a seconds-sized subset for the CI quick-bench step.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "driver/driver.h"
+#include "driver/report.h"
+#include "kernels/gfmc.h"
+#include "kernels/greengauss.h"
+#include "kernels/lbm.h"
+#include "kernels/stencil.h"
+#include "parser/parser.h"
+
+using namespace formad;
+
+namespace {
+
+struct SweepPoint {
+  long long budget = 0;  // 0 = unlimited
+  long long safeVars = 0, unsafeVars = 0;
+  long long degradedPairs = 0, exhaustedChecks = 0;
+  double seconds = 0.0;
+};
+
+long long safeCount(const core::KernelAnalysis& a) {
+  long long n = 0;
+  for (const auto& r : a.regions)
+    for (const auto& v : r.vars) n += v.safe ? 1 : 0;
+  return n;
+}
+
+long long varCount(const core::KernelAnalysis& a) {
+  long long n = 0;
+  for (const auto& r : a.regions) n += static_cast<long long>(r.vars.size());
+  return n;
+}
+
+SweepPoint runPoint(const ir::Kernel& kernel, const kernels::KernelSpec& spec,
+                    long long budget, int threads = 1) {
+  driver::DriverOptions opts;
+  opts.analysisThreads = threads;
+  // The tiered fast paths (smt/fastpath.h) answer most benchmark queries
+  // without a single counted solver step, which would make every budget
+  // point identical. Sweeping with the fast path off measures what the
+  // budget actually governs: the full decision procedures.
+  opts.fastpath = smt::FastPathMode::Off;
+  opts.solverStepBudget = budget;
+  auto a = driver::analyze(kernel, spec.independents, spec.dependents, opts);
+  SweepPoint p;
+  p.budget = budget;
+  p.safeVars = safeCount(a);
+  p.unsafeVars = varCount(a) - p.safeVars;
+  p.degradedPairs = a.degradedPairs();
+  p.exhaustedChecks = a.budgetExhaustedChecks();
+  p.seconds = a.analysisSeconds();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+
+  std::vector<std::pair<std::string, kernels::KernelSpec>> configs;
+  configs.emplace_back("small_stencil_r2", kernels::stencilSpec(2));
+  if (!smoke) {
+    configs.emplace_back("large_stencil_r8", kernels::stencilSpec(8));
+    configs.emplace_back("lbm", kernels::lbmSpec());
+    configs.emplace_back("gfmc_split", kernels::gfmcSplitSpec());
+  }
+  configs.emplace_back("greengauss", kernels::greenGaussSpec());
+
+  // 0 terminates each sweep = unlimited (the reference verdict).
+  std::vector<long long> budgets =
+      smoke ? std::vector<long long>{1, 16, 256, 0}
+            : std::vector<long long>{1, 4, 16, 64, 256, 1024, 4096, 0};
+
+  bench::Json sweepRows = bench::Json::array();
+  bool monotone = true;
+  for (const auto& [name, spec] : configs) {
+    auto kernel = parser::parseKernel(spec.source);
+    std::cout << "\n### " << name << ": verdict quality vs. step budget\n\n";
+    driver::Table t({"budget", "safe vars", "atomic vars", "degraded pairs",
+                     "exhausted checks", "time [ms]"});
+    long long prevSafe = -1;
+    bool prevUnlimited = false;
+    for (long long budget : budgets) {
+      SweepPoint p = runPoint(*kernel, spec, budget);
+      t.addRow({budget == 0 ? "unlimited" : std::to_string(budget),
+                std::to_string(p.safeVars), std::to_string(p.unsafeVars),
+                std::to_string(p.degradedPairs),
+                std::to_string(p.exhaustedChecks),
+                driver::fmt(p.seconds * 1e3, 2)});
+      // Bigger budgets can only recover verdicts, never lose them.
+      if (prevSafe >= 0 && !prevUnlimited && p.safeVars < prevSafe)
+        monotone = false;
+      prevSafe = p.safeVars;
+      prevUnlimited = budget == 0;
+      bench::Json row = bench::Json::object();
+      row.set("config", bench::Json::str(name));
+      row.set("budget", bench::Json::integer(p.budget));
+      row.set("unlimited", bench::Json::boolean(p.budget == 0));
+      row.set("safe_vars", bench::Json::integer(p.safeVars));
+      row.set("atomic_vars", bench::Json::integer(p.unsafeVars));
+      row.set("degraded_pairs", bench::Json::integer(p.degradedPairs));
+      row.set("exhausted_checks", bench::Json::integer(p.exhaustedChecks));
+      row.set("seconds", bench::Json::num(p.seconds));
+      sweepRows.push(std::move(row));
+    }
+    std::cout << t.str();
+  }
+  std::cout << "\nEvery budget point is a sound analysis: degraded pairs\n"
+               "fall back to atomic adjoints, so the generated code is\n"
+               "correct at any budget — only its scalability recovers as\n"
+               "the budget grows toward the unlimited reference verdict.\n";
+
+  // Determinism spot check: a starved run must produce identical
+  // verdict-affecting counters at any thread count (steps, not seconds).
+  std::cout << "\n### Budgeted-verdict determinism across thread counts\n\n";
+  bench::Json determinism = bench::Json::array();
+  bool deterministic = true;
+  {
+    const auto& [name, spec] = configs.front();
+    auto kernel = parser::parseKernel(spec.source);
+    const long long starved = 16;
+    SweepPoint t1 = runPoint(*kernel, spec, starved, /*threads=*/1);
+    SweepPoint t4 = runPoint(*kernel, spec, starved, /*threads=*/4);
+    deterministic = t1.safeVars == t4.safeVars &&
+                    t1.degradedPairs == t4.degradedPairs &&
+                    t1.exhaustedChecks == t4.exhaustedChecks;
+    std::cout << name << " @ budget " << starved << ": threads 1 vs 4 -> "
+              << (deterministic ? "identical counters\n"
+                                : "MISMATCH (determinism bug)\n");
+    for (const SweepPoint* p : {&t1, &t4}) {
+      bench::Json row = bench::Json::object();
+      row.set("config", bench::Json::str(name));
+      row.set("budget", bench::Json::integer(starved));
+      row.set("threads", bench::Json::integer(p == &t1 ? 1 : 4));
+      row.set("safe_vars", bench::Json::integer(p->safeVars));
+      row.set("degraded_pairs", bench::Json::integer(p->degradedPairs));
+      row.set("exhausted_checks", bench::Json::integer(p->exhaustedChecks));
+      determinism.push(std::move(row));
+    }
+  }
+
+  bench::Json body = bench::Json::object();
+  body.set("smoke", bench::Json::boolean(smoke));
+  body.set("budget_sweep", std::move(sweepRows));
+  body.set("safe_vars_monotone_in_budget", bench::Json::boolean(monotone));
+  body.set("budgeted_verdicts_thread_deterministic",
+           bench::Json::boolean(deterministic));
+  body.set("determinism_check", std::move(determinism));
+  bench::writeBenchFile("governance", body);
+
+  if (!monotone)
+    std::cout << "NOTE: safe-variable count dropped as the budget grew\n";
+  if (!deterministic)
+    std::cout << "NOTE: budgeted verdicts differed across thread counts\n";
+  return monotone && deterministic ? 0 : 1;
+}

@@ -23,6 +23,14 @@
 // consulted before the full solver (default full). Every fast verdict is
 // exact, so the setting changes speed and the tier breakdown only — never
 // any verdict or report.
+//
+// -solver-budget N|unlimited caps each solver check at N deterministic
+// internal steps (checks that run out degrade to atomic adjoints /
+// undecided race pairs); -deadline-ms N puts a wall-clock deadline on each
+// region's analysis (liveness only — degraded, never hung).
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -64,8 +72,30 @@ int usage() {
          "                  [-racecheck] [-racecheck-only]\n"
          "                  [-bind name=value,...] [-coloring array,...]\n"
          "                  [-analysis-threads N]   (0 = auto-detect)\n"
-         "                  [-fastpath off|syntactic|full]   (default full)\n";
+         "                  [-fastpath off|syntactic|full]   (default full)\n"
+         "                  [-solver-budget N|unlimited]   (steps per check)\n"
+         "                  [-deadline-ms N]   (per-region analysis "
+         "deadline)\n";
   return 2;
+}
+
+/// Validated integer parse for numeric flag values: the ENTIRE string must
+/// be one in-range decimal integer — "4x", "", "  7", or an overflow all
+/// fail with the flag name, the offending text, and the expectation, then
+/// exit with the usage status. Every numeric flag funnels through here so
+/// a typo is a diagnosed error, never a silently truncated value.
+long long parseIntFlag(const std::string& flag, const std::string& text,
+                       long long min, long long max, const char* expected) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      v < min || v > max) {
+    std::cerr << "bad " << flag << " value '" << text << "' (expected "
+              << expected << ")\n";
+    std::exit(2);
+  }
+  return v;
 }
 
 /// Parses "-bind n=20,c=0" pin lists.
@@ -77,12 +107,9 @@ std::map<std::string, long long> parseBindings(const std::string& s) {
       std::cerr << "bad -bind entry '" << item << "' (expected name=value)\n";
       std::exit(2);
     }
-    try {
-      pins[item.substr(0, eq)] = std::stoll(item.substr(eq + 1));
-    } catch (const std::exception&) {
-      std::cerr << "bad -bind value in '" << item << "'\n";
-      std::exit(2);
-    }
+    pins[item.substr(0, eq)] =
+        parseIntFlag("-bind", item.substr(eq + 1), INT64_MIN, INT64_MAX,
+                     "name=value with an integer value");
   }
   return pins;
 }
@@ -111,6 +138,8 @@ int main(int argc, char** argv) {
   bool racecheckOnly = false;
   int analysisThreads = 0;  // 0 = auto (hardware concurrency)
   smt::FastPathMode fastpath = smt::FastPathMode::Full;
+  long long solverBudget = 0;  // steps per solver check; 0 = unlimited
+  int deadlineMs = 0;          // per-region analysis deadline; 0 = none
   racecheck::RaceCheckOptions rcOpts;
 
   for (int i = 2; i < argc; ++i) {
@@ -138,19 +167,21 @@ int main(int argc, char** argv) {
         rcOpts.colorings.insert(a);
     }
     else if (arg == "-analysis-threads") {
+      analysisThreads = static_cast<int>(
+          parseIntFlag(arg, next(), 0, INT32_MAX,
+                       "an integer >= 0; 0 = auto-detect"));
+    }
+    else if (arg == "-solver-budget") {
       std::string v = next();
-      try {
-        analysisThreads = std::stoi(v);
-      } catch (const std::exception&) {
-        std::cerr << "bad -analysis-threads value '" << v
-                  << "' (expected an integer >= 0; 0 = auto-detect)\n";
-        return 2;
-      }
-      if (analysisThreads < 0) {
-        std::cerr << "-analysis-threads must be >= 0 (0 = auto-detect), got "
-                  << analysisThreads << "\n";
-        return 2;
-      }
+      if (v == "unlimited")
+        solverBudget = 0;
+      else
+        solverBudget = parseIntFlag(arg, v, 1, INT64_MAX,
+                                    "a step count >= 1, or 'unlimited'");
+    }
+    else if (arg == "-deadline-ms") {
+      deadlineMs = static_cast<int>(parseIntFlag(
+          arg, next(), 0, INT32_MAX, "a millisecond count >= 0; 0 = none"));
     }
     else if (arg == "-fastpath" || arg.rfind("-fastpath=", 0) == 0) {
       std::string v = arg == "-fastpath" ? next() : arg.substr(10);
@@ -186,6 +217,8 @@ int main(int argc, char** argv) {
       head = program.kernels()[0]->name;
     const ir::Kernel& primal = program.get(head);
 
+    rcOpts.solverSteps = solverBudget;
+    rcOpts.deadlineMs = deadlineMs;
     if (racecheckOnly) {
       auto report = racecheck::checkKernelRaces(primal, rcOpts);
       std::cout << report.describe();
@@ -208,8 +241,12 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    auto analysis =
-        driver::analyze(primal, indeps, deps, analysisThreads, fastpath);
+    driver::DriverOptions analyzeOpts;
+    analyzeOpts.analysisThreads = analysisThreads;
+    analyzeOpts.fastpath = fastpath;
+    analyzeOpts.solverStepBudget = solverBudget;
+    analyzeOpts.analysisDeadlineMs = deadlineMs;
+    auto analysis = driver::analyze(primal, indeps, deps, analyzeOpts);
     std::cerr << core::describe(analysis);
     std::cerr << core::describeTiers(analysis);
     if (analyzeOnly) return 0;
@@ -225,6 +262,8 @@ int main(int argc, char** argv) {
     dopts.racecheck = rcOpts;
     dopts.analysisThreads = analysisThreads;
     dopts.fastpath = fastpath;
+    dopts.solverStepBudget = solverBudget;
+    dopts.analysisDeadlineMs = deadlineMs;
 
     auto dr = driver::differentiate(primal, indeps, deps, dopts);
     if (racecheckFlag) std::cerr << dr.raceReport.describe();

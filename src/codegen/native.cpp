@@ -4,8 +4,10 @@
 #include <unistd.h>
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
@@ -38,9 +40,21 @@ NativeKernel::NativeKernel(const ir::Kernel& kernel, const CgenOptions& opts)
   impl_->params = kernel.params;
   source_ = emitC(kernel, opts);
 
-  char tmpl[] = "/tmp/formad_cgen_XXXXXX";
-  char* dir = mkdtemp(tmpl);
-  if (dir == nullptr) fail("cannot create temporary directory for codegen");
+  // Honor TMPDIR (sandboxes and CI runners often make /tmp read-only or
+  // point scratch space elsewhere), falling back to /tmp.
+  std::string base = "/tmp";
+  if (const char* env = std::getenv("TMPDIR"); env != nullptr && *env != '\0')
+    base = env;
+  while (base.size() > 1 && base.back() == '/') base.pop_back();
+  std::string tmpl = base + "/formad_cgen_XXXXXX";
+  // mkdtemp mutates its argument in place; a std::string buffer is legal to
+  // mutate through data() and keeps ownership simple.
+  char* dir = mkdtemp(tmpl.data());
+  if (dir == nullptr)
+    fail("cannot create temporary directory '" + tmpl +
+         "' for codegen: " + std::strerror(errno));
+  // From here on every failure path runs ~Impl, which removes the
+  // directory and anything the steps below managed to create in it.
   impl_->dir = dir;
 
   std::string cPath = impl_->dir + "/kernel.c";

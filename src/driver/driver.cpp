@@ -1,5 +1,6 @@
 #include "driver/driver.h"
 
+#include <cstdlib>
 #include <memory>
 
 #include "support/pool.h"
@@ -7,6 +8,27 @@
 namespace formad::driver {
 
 using namespace ::formad::ir;
+
+namespace {
+
+/// Env-gated fault injection for the CI smoke job: FORMAD_FAULT_UNKNOWN_AT
+/// and FORMAD_FAULT_THROW_AT name the 1-based ordinal of the solver check
+/// (counted process-wide across driver calls) to force to a
+/// budget-exhausted Unknown / a thrown formad::Error. Returns nullptr when
+/// neither is set.
+smt::FaultInject* envFaultInjection() {
+  static smt::FaultInject fault;
+  static const bool configured = [] {
+    if (const char* u = std::getenv("FORMAD_FAULT_UNKNOWN_AT"))
+      fault.unknownAtCheck = std::atoll(u);
+    if (const char* t = std::getenv("FORMAD_FAULT_THROW_AT"))
+      fault.throwAtCheck = std::atoll(t);
+    return fault.unknownAtCheck > 0 || fault.throwAtCheck > 0;
+  }();
+  return configured ? &fault : nullptr;
+}
+
+}  // namespace
 
 int resolveAnalysisThreads(int requested) {
   if (requested < 0)
@@ -41,11 +63,28 @@ DifferentiateResult differentiate(const Kernel& primal,
   if (analysisThreads > 1)
     pool = std::make_unique<support::WorkPool>(analysisThreads);
 
+  smt::FaultInject* fault =
+      dopts.faultInject != nullptr ? dopts.faultInject : envFaultInjection();
+
   if (dopts.racecheckPrimal) {
     racecheck::RaceCheckOptions ropts = dopts.racecheck;
     ropts.pool = pool.get();
     ropts.fastpath = dopts.fastpath;
+    ropts.solverSteps = dopts.solverStepBudget;
+    ropts.deadlineMs = dopts.analysisDeadlineMs;
+    ropts.faultInject = fault;
     result.raceReport = racecheck::checkKernelRaces(primal, ropts);
+    long long rcExhausted = 0, rcDegraded = 0;
+    for (const auto& region : result.raceReport.regions) {
+      rcExhausted += region.budgetExhaustedChecks;
+      rcDegraded += region.degradedPairs;
+    }
+    if (rcExhausted > 0 || rcDegraded > 0)
+      result.warnings.push_back(
+          "race check of primal '" + primal.name +
+          "' degraded under resource limits: " + std::to_string(rcExhausted) +
+          " budget-exhausted check(s), " + std::to_string(rcDegraded) +
+          " pair(s) left undecided conservatively");
     switch (result.raceReport.overall()) {
       case racecheck::RaceVerdict::Racy: {
         std::string msg = "refusing to differentiate '" + primal.name +
@@ -91,6 +130,9 @@ DifferentiateResult differentiate(const Kernel& primal,
       aopts.exploit.threads = analysisThreads;
       aopts.exploit.pool = pool.get();
       aopts.exploit.fastpath = dopts.fastpath;
+      aopts.exploit.solverSteps = dopts.solverStepBudget;
+      aopts.exploit.deadlineMs = dopts.analysisDeadlineMs;
+      aopts.exploit.faultInject = fault;
       result.analysis =
           core::analyzeKernel(primal, independents, dependents, aopts);
     }
@@ -100,6 +142,17 @@ DifferentiateResult differentiate(const Kernel& primal,
         if (!r.knowledgeContradiction.empty())
           fail("refusing to differentiate '" + primal.name + "': " +
                r.knowledgeContradiction);
+      // Graceful degradation is never silent: a budget or deadline that
+      // forced atomics gets a warning (the adjoint is correct either way).
+      if (result.analysis.budgetExhaustedChecks() > 0 ||
+          result.analysis.degradedPairs() > 0)
+        result.warnings.push_back(
+            "FormAD analysis of '" + primal.name +
+            "' degraded under resource limits: " +
+            std::to_string(result.analysis.budgetExhaustedChecks()) +
+            " budget-exhausted check(s), " +
+            std::to_string(result.analysis.degradedPairs()) +
+            " pair(s) kept atomic conservatively");
       opts.guardPolicy = core::formadPolicy(result.analysis);
       break;
     case AdjointMode::Plain:
@@ -144,6 +197,25 @@ core::KernelAnalysis analyze(const Kernel& primal,
                              const std::vector<std::string>& independents,
                              const std::vector<std::string>& dependents) {
   return core::analyzeKernel(primal, independents, dependents);
+}
+
+core::KernelAnalysis analyze(const Kernel& primal,
+                             const std::vector<std::string>& independents,
+                             const std::vector<std::string>& dependents,
+                             const DriverOptions& opts) {
+  core::AnalyzeOptions aopts;
+  aopts.exploit.threads = resolveAnalysisThreads(opts.analysisThreads);
+  aopts.exploit.fastpath = opts.fastpath;
+  aopts.exploit.solverSteps = opts.solverStepBudget;
+  aopts.exploit.deadlineMs = opts.analysisDeadlineMs;
+  aopts.exploit.faultInject =
+      opts.faultInject != nullptr ? opts.faultInject : envFaultInjection();
+  std::unique_ptr<support::WorkPool> pool;
+  if (aopts.exploit.threads > 1) {
+    pool = std::make_unique<support::WorkPool>(aopts.exploit.threads);
+    aopts.exploit.pool = pool.get();
+  }
+  return core::analyzeKernel(primal, independents, dependents, aopts);
 }
 
 }  // namespace formad::driver

@@ -44,6 +44,23 @@ struct DriverOptions {
   /// Fast verdicts are exact: any mode yields bit-identical analyses,
   /// verdicts, and reports — only wall time and the tier breakdown change.
   smt::FastPathMode fastpath = smt::FastPathMode::Full;
+  /// Per-check deterministic solver step budget for the whole analysis
+  /// phase (FormAD exploitation + race checker); <= 0 = unlimited. Checks
+  /// that run out degrade conservatively (atomic adjoints, undecided race
+  /// pairs) and surface as a warning — never an abort. Deterministic:
+  /// budgeted verdicts are byte-identical at any analysisThreads.
+  long long solverStepBudget = 0;
+  /// Per-region analysis wall-clock deadline in milliseconds (<= 0 =
+  /// none). Liveness only: which pairs a deadline stops is
+  /// timing-dependent, so prefer solverStepBudget where reproducible
+  /// reports matter (it overrides racecheck.deadlineMs / exploit deadline
+  /// so one knob governs the whole analysis phase).
+  int analysisDeadlineMs = 0;
+  /// Fault-injection harness for the degradation paths (tests / CI smoke
+  /// job). When null, the environment variables FORMAD_FAULT_UNKNOWN_AT
+  /// and FORMAD_FAULT_THROW_AT (1-based process-wide check ordinals) are
+  /// consulted instead; both unset = off.
+  smt::FaultInject* faultInject = nullptr;
 };
 
 /// Resolves a requested analysis thread count: 0 -> hardware concurrency,
@@ -87,5 +104,12 @@ struct DifferentiateResult {
 [[nodiscard]] core::KernelAnalysis analyze(
     const ir::Kernel& primal, const std::vector<std::string>& independents,
     const std::vector<std::string>& dependents);
+
+/// Full-options analyze: honors analysisThreads, fastpath,
+/// solverStepBudget, analysisDeadlineMs, and faultInject (mode and the
+/// race-check fields are ignored — this runs the FormAD analysis only).
+[[nodiscard]] core::KernelAnalysis analyze(
+    const ir::Kernel& primal, const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents, const DriverOptions& opts);
 
 }  // namespace formad::driver

@@ -75,6 +75,18 @@ long long KernelAnalysis::cacheHits() const {
   return n;
 }
 
+long long KernelAnalysis::budgetExhaustedChecks() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.budgetExhaustedChecks;
+  return n;
+}
+
+long long KernelAnalysis::degradedPairs() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.degradedPairs;
+  return n;
+}
+
 KernelAnalysis analyzeKernel(const Kernel& kernel,
                              const std::vector<std::string>& independents,
                              const std::vector<std::string>& dependents,
@@ -126,12 +138,21 @@ std::string describe(const KernelAnalysis& analysis, bool includeTiming) {
     os << "\n";
     if (!r.knowledgeContradiction.empty())
       os << "  CONTRADICTION: " << r.knowledgeContradiction << "\n";
+    // Resource-governance line only when governance actually degraded
+    // something: default (unlimited) runs stay byte-identical to the
+    // pre-governance report.
+    if (r.budgetExhaustedChecks > 0 || r.degradedPairs > 0)
+      os << "  governance: " << r.budgetExhaustedChecks
+         << " budget-exhausted check(s), " << r.degradedPairs
+         << " degraded pair(s) kept atomic\n";
     for (const auto& v : r.vars) {
       os << "  " << v.var << ": "
          << (v.safe ? "SAFE (shared, no atomics)" : "UNSAFE (needs safeguard)")
          << " after " << v.pairsTested << " pair(s)";
       if (!v.safe && !v.firstUnsafePair.empty())
         os << " — offending pair: " << v.firstUnsafePair;
+      if (!v.safe && !v.unsafeReason.empty())
+        os << " [" << v.unsafeReason << "]";
       os << "\n";
     }
   }

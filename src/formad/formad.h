@@ -39,6 +39,13 @@ struct KernelAnalysis {
   [[nodiscard]] long long tier1Hits() const;
   [[nodiscard]] long long tier2Checks() const;
   [[nodiscard]] long long cacheHits() const;
+
+  // Aggregate resource-governance counters over all regions; both stay 0
+  // under unlimited budgets and no deadline (the default), in which case
+  // describe()/describeTiers render byte-identically to the pre-governance
+  // analyzer.
+  [[nodiscard]] long long budgetExhaustedChecks() const;
+  [[nodiscard]] long long degradedPairs() const;
 };
 
 /// Runs knowledge extraction + exploitation on every parallel loop of the

@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "support/cancel.h"
 #include "support/pool.h"
 
 namespace formad::core {
@@ -196,6 +197,7 @@ QueryResult QueryScheduler::evaluate(smt::Solver& solver, int& cur,
     r.unsat = solver.check() == CheckResult::Unsat;
     r.checksPerformed = 1;
     r.tiers.push_back(solver.lastCheckTier());
+    r.exhausted.push_back(solver.lastCheckBudgetExhausted() ? 1 : 0);
   } else {
     // The serial walk checks the flattened offsets first, then — under the
     // in-bounds assumption — each dimension, stopping at the first Unsat.
@@ -204,6 +206,7 @@ QueryResult QueryScheduler::evaluate(smt::Solver& solver, int& cur,
       solver.add(probe);
       bool unsat = solver.check() == CheckResult::Unsat;
       r.tiers.push_back(solver.lastCheckTier());
+      r.exhausted.push_back(solver.lastCheckBudgetExhausted() ? 1 : 0);
       solver.pop();
       ++r.checksPerformed;
       if (unsat) {
@@ -257,13 +260,26 @@ RegionVerdict QueryScheduler::replay(
         ++verdict.tier1Hits;
       else
         ++verdict.tier2Checks;
+      if (static_cast<size_t>(i) < res.exhausted.size() &&
+          res.exhausted[static_cast<size_t>(i)] != 0)
+        ++verdict.budgetExhaustedChecks;
     }
   };
 
-  std::map<std::string, bool> pairVerdicts;
+  // Per-pair replay outcome: the verdict plus why (empty reason = the
+  // classic "possible overlap"; otherwise a governance degradation).
+  struct PairOutcome {
+    bool safe = false;
+    std::string reason;
+  };
+  std::map<std::string, PairOutcome> pairVerdicts;
   for (const auto& step : schedule_) {
     if (step.op == Step::Op::Consistency) {
       const QueryResult& res = getResult(step.taskIndex);
+      // A consistency probe that cancellation stopped skips silently:
+      // claiming a contradiction it did not prove would be unsound, and
+      // the safeguard still holds wherever evaluation did run.
+      if (!res.evaluated) continue;
       accountChecks(tasks_[static_cast<size_t>(step.taskIndex)], res);
       if (res.unsat) {
         // Satisfiability safeguard (paper Sec. 5.5): the knowledge itself
@@ -284,19 +300,36 @@ RegionVerdict QueryScheduler::replay(
     VarVerdict& vv = verdict.vars[step.varIndex];
     if (!vv.safe) continue;  // early exit per variable (paper Sec. 7.5)
     ++vv.pairsTested;
-    bool pairSafe = false;
+    PairOutcome outcome;
     auto cached = pairVerdicts.find(step.pairKey);
     if (cached != pairVerdicts.end()) {
       ++verdict.pairCacheHits;
-      pairSafe = cached->second;
+      outcome = cached->second;
     } else {
       const QueryResult& res = getResult(step.taskIndex);
       accountChecks(tasks_[static_cast<size_t>(step.taskIndex)], res);
-      pairSafe = res.pairSafe;
-      pairVerdicts.emplace(step.pairKey, pairSafe);
+      if (!res.evaluated) {
+        // Cancellation (deadline or task failure) stopped this task before
+        // it ran: degrade to unsafe — the atomic adjoint stays, which is
+        // always sound.
+        outcome.reason = "cancelled";
+        ++verdict.degradedPairs;
+      } else {
+        outcome.safe = res.pairSafe;
+        if (!res.pairSafe) {
+          for (char e : res.exhausted)
+            if (e != 0) {
+              outcome.reason = "step budget exhausted";
+              ++verdict.degradedPairs;
+              break;
+            }
+        }
+      }
+      pairVerdicts.emplace(step.pairKey, outcome);
     }
-    if (!pairSafe) {
+    if (!outcome.safe) {
       vv.safe = false;
+      vv.unsafeReason = outcome.reason;
       vv.firstUnsafePair = model_.atoms->render(step.pair->primedWrite) +
                            " == " + model_.atoms->render(step.pair->other);
     }
@@ -304,7 +337,8 @@ RegionVerdict QueryScheduler::replay(
   return verdict;
 }
 
-RegionVerdict QueryScheduler::run(support::WorkPool* pool) {
+RegionVerdict QueryScheduler::run(support::WorkPool* pool,
+                                  support::CancelToken* cancel) {
   auto t0 = std::chrono::steady_clock::now();
   const int width = pool != nullptr ? pool->width() : 1;
 
@@ -331,15 +365,34 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool) {
       solvers.push_back(std::make_unique<smt::Solver>(*model_.atoms));
       solvers.back()->attachCache(&cache);
       solvers.back()->setFastPathMode(opts_.fastpath);
+      solvers.back()->setStepBudget(opts_.solverSteps);
+      solvers.back()->setCancelToken(cancel);
+      solvers.back()->setFaultInjection(opts_.faultInject);
     }
-    pool->run(nBatches, [&](size_t b, int w) {
-      const size_t lo = b * tasks_.size() / nBatches;
-      const size_t hi = (b + 1) * tasks_.size() / nBatches;
-      smt::Solver& solver = *solvers[static_cast<size_t>(w)];
-      for (size_t i = lo; i < hi; ++i)
-        results[i] = evaluate(solver, atBase[static_cast<size_t>(w)],
-                              tasks_[i]);
-    });
+    pool->run(
+        nBatches,
+        [&](size_t b, int w) {
+          const size_t lo = b * tasks_.size() / nBatches;
+          const size_t hi = (b + 1) * tasks_.size() / nBatches;
+          smt::Solver& solver = *solvers[static_cast<size_t>(w)];
+          for (size_t i = lo; i < hi; ++i) {
+            if (cancel != nullptr && cancel->cancelled()) return;
+            try {
+              results[i] = evaluate(solver, atBase[static_cast<size_t>(w)],
+                                    tasks_[i]);
+            } catch (const support::Cancelled&) {
+              // The token fired mid-check. The unwind may have skipped
+              // pops, so this worker's solver stack no longer matches its
+              // atBase trail — abandon the batch (the pool skips every
+              // later claim once the token is set, so the solver is never
+              // touched again). The task stays unevaluated; replay
+              // degrades it.
+              results[i] = QueryResult{};
+              return;
+            }
+          }
+        },
+        cancel);
     auto tReplay = std::chrono::steady_clock::now();
     verdict = replay([&](int i) -> const QueryResult& {
       return results[static_cast<size_t>(i)];
@@ -355,13 +408,23 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool) {
     smt::Solver solver(*model_.atoms);
     solver.attachCache(&cache);
     solver.setFastPathMode(opts_.fastpath);
+    solver.setStepBudget(opts_.solverSteps);
+    solver.setCancelToken(cancel);
+    solver.setFaultInjection(opts_.faultInject);
     int atBase = -1;
     double evalSeconds = 0.0;
+    bool abandoned = false;  // solver stack desynced by a mid-check cancel
     verdict = replay([&](int i) -> const QueryResult& {
       QueryResult& r = results[static_cast<size_t>(i)];
-      if (!r.evaluated) {
-        r = evaluate(solver, atBase, tasks_[static_cast<size_t>(i)]);
-        evalSeconds += r.seconds;
+      if (!r.evaluated && !abandoned &&
+          (cancel == nullptr || !cancel->poll())) {
+        try {
+          r = evaluate(solver, atBase, tasks_[static_cast<size_t>(i)]);
+          evalSeconds += r.seconds;
+        } catch (const support::Cancelled&) {
+          abandoned = true;
+          r = QueryResult{};
+        }
       }
       return r;
     });

@@ -46,6 +46,7 @@
 #include "formad/knowledge.h"
 
 namespace formad::support {
+class CancelToken;
 class WorkPool;
 }
 
@@ -81,6 +82,10 @@ struct QueryResult {
   /// Decision tier of each performed check (0/1 fast path, 2 full solve) —
   /// a pure function of the conjunction, hence identical at any width.
   std::vector<int> tiers;
+  /// Parallel to tiers: whether each check returned a budget-exhausted
+  /// Unknown. Under a fixed step budget this too is a pure function of the
+  /// conjunction (steps are counted, never timed).
+  std::vector<char> exhausted;
   double seconds = 0.0;  // wall time of this task (scaling diagnostics)
 };
 
@@ -93,8 +98,12 @@ class QueryScheduler {
   /// Evaluates the plan and replays the canonical schedule. `pool` may be
   /// null (serial). The returned verdict is bit-identical regardless of
   /// pool width; only analysisSeconds/planSeconds/taskSeconds/threadsUsed
-  /// (wall-clock observables) vary.
-  [[nodiscard]] RegionVerdict run(support::WorkPool* pool);
+  /// (wall-clock observables) vary. `cancel`, when non-null, is the
+  /// region's cooperative cancellation token: tasks it stops before they
+  /// evaluate degrade to unsafe pairs in replay (which pairs depends on
+  /// timing — cancellation trades reproducibility for liveness).
+  [[nodiscard]] RegionVerdict run(support::WorkPool* pool,
+                                  support::CancelToken* cancel = nullptr);
 
  private:
   /// One node of the base prefix tree: the conjunction consisting of the

@@ -14,6 +14,7 @@
 #include "ir/printer.h"
 #include "ir/traversal.h"
 #include "smt/solver.h"
+#include "support/cancel.h"
 #include "support/pool.h"
 
 namespace formad::racecheck {
@@ -81,7 +82,13 @@ std::string RaceReport::describe() const {
     os << "  region " << i << " (counter '" << r.loop->var
        << "'): " << to_string(r.verdict) << " — " << r.pairsChecked
        << " pairs, " << r.pairsProven << " proven, " << r.pairsAssumed
-       << " assumed, " << r.queries << " queries\n";
+       << " assumed, " << r.queries << " queries";
+    // Governance suffix only when something degraded: default (unlimited,
+    // no deadline) reports stay byte-identical to the classic format.
+    if (r.budgetExhaustedChecks > 0 || r.degradedPairs > 0)
+      os << " (" << r.budgetExhaustedChecks << " budget-exhausted, "
+         << r.degradedPairs << " degraded)";
+    os << "\n";
     for (const auto& w : r.witnesses) os << "    witness: " << w.render() << "\n";
     for (const auto& u : r.undecided)
       os << "    undecided: " << u.array << " " << u.refA << " vs " << u.refB
@@ -116,11 +123,24 @@ class RegionChecker {
         low_(atoms_, &inst_, privates_, syms_, &pinned_),
         solver_(atoms_) {
     solver_.setFastPathMode(opts.fastpath);
+    solver_.setStepBudget(opts.solverSteps);
+    solver_.setFaultInjection(opts.faultInject);
   }
 
   RegionRaceReport run() {
     auto t0 = std::chrono::steady_clock::now();
     report_.loop = &loop_;
+
+    // Region-level cancellation: an externally owned token wins; otherwise
+    // a configured deadline gets a fresh per-region token, so every region
+    // receives the full deadline.
+    support::CancelToken* cancel = opts_.cancel;
+    support::CancelToken localToken;
+    if (cancel == nullptr && opts_.deadlineMs > 0) {
+      localToken.armDeadline(opts_.deadlineMs);
+      cancel = &localToken;
+    }
+    solver_.setCancelToken(cancel);
 
     // Serial front half: lowering, substitution, and pair enumeration all
     // intern atoms and fill memo tables, so they stay on this thread. The
@@ -146,20 +166,40 @@ class RegionChecker {
         solvers.push_back(std::make_unique<smt::Solver>(atoms_));
         solvers.back()->attachCache(&cache);
         solvers.back()->setFastPathMode(opts_.fastpath);
+        solvers.back()->setStepBudget(opts_.solverSteps);
+        solvers.back()->setCancelToken(cancel);
+        solvers.back()->setFaultInjection(opts_.faultInject);
       }
-      pool->run(tasks.size(), [&](size_t i, int w) {
-        smt::Solver& s = *solvers[static_cast<size_t>(w)];
-        if (seeded[static_cast<size_t>(w)] == 0) {
-          // Seed the worker's solver on its own thread (solvers are
-          // thread-confined) with the region's base constraints.
-          for (const auto& c : base_) s.add(c);
-          seeded[static_cast<size_t>(w)] = 1;
-        }
-        outcomes[i] = evaluatePair(s, tasks[i]);
-      });
+      pool->run(
+          tasks.size(),
+          [&](size_t i, int w) {
+            smt::Solver& s = *solvers[static_cast<size_t>(w)];
+            if (seeded[static_cast<size_t>(w)] == 0) {
+              // Seed the worker's solver on its own thread (solvers are
+              // thread-confined) with the region's base constraints.
+              for (const auto& c : base_) s.add(c);
+              seeded[static_cast<size_t>(w)] = 1;
+            }
+            try {
+              outcomes[i] = evaluatePair(s, tasks[i]);
+            } catch (const support::Cancelled&) {
+              // Token fired mid-check. The unwind may have skipped a pop,
+              // but the pool skips every later claim once the token is
+              // set, so this worker's solver is never used again. The
+              // outcome stays default (skipped); the merge degrades it.
+              outcomes[i] = PairOutcome{};
+            }
+          },
+          cancel);
     } else {
-      for (size_t i = 0; i < tasks.size(); ++i)
-        outcomes[i] = evaluatePair(solver_, tasks[i]);
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        if (cancel != nullptr && cancel->poll()) break;
+        try {
+          outcomes[i] = evaluatePair(solver_, tasks[i]);
+        } catch (const support::Cancelled&) {
+          break;  // solver stack may be desynced; stop using it
+        }
+      }
     }
 
     // Canonical merge: pair order is the enumeration order, identical at
@@ -218,9 +258,12 @@ class RegionChecker {
   struct PairOutcome {
     enum class Kind { Proven, Assumed, Undecided, Witness };
     Kind kind = Kind::Undecided;
-    std::string reason;  // Undecided
+    std::string reason;  // Undecided; empty = never evaluated (cancelled)
     int checks = 0;      // solver check() calls this query issued
     int checkTier = 2;   // decision tier of that check (0/1 fast, 2 solve)
+    /// The check returned a budget-exhausted Unknown (deterministic under
+    /// a fixed step budget).
+    bool exhausted = false;
     smt::Model model;    // Witness
     std::vector<long long> indices;
   };
@@ -521,6 +564,7 @@ class RegionChecker {
     smt::CheckResult r = solver.check();
     o.checks = 1;
     o.checkTier = solver.lastCheckTier();
+    o.exhausted = solver.lastCheckBudgetExhausted();
     if (r == smt::CheckResult::Unsat) {
       solver.pop();
       o.kind = PairOutcome::Kind::Proven;
@@ -536,6 +580,15 @@ class RegionChecker {
         o.kind = PairOutcome::Kind::Assumed;
         return o;
       }
+    }
+
+    // A budget-exhausted Unknown is a resource verdict, not a structural
+    // one: the pair stays undecided (skip the witness search — a solver
+    // that could not finish the check will not confirm a model either).
+    if (o.exhausted) {
+      solver.pop();
+      o.reason = "solver step budget exhausted";
+      return o;
     }
 
     // Genuineness: a Racy claim needs the collision to be forced by the
@@ -597,6 +650,7 @@ class RegionChecker {
       else
         ++report_.tier2Checks;
     }
+    if (o.exhausted) ++report_.budgetExhaustedChecks;
     switch (o.kind) {
       case PairOutcome::Kind::Proven:
         ++report_.pairsProven;
@@ -604,9 +658,19 @@ class RegionChecker {
       case PairOutcome::Kind::Assumed:
         ++report_.pairsAssumed;
         break;
-      case PairOutcome::Kind::Undecided:
-        recordUndecided(t, o.reason);
+      case PairOutcome::Kind::Undecided: {
+        // An empty reason marks a task the pool never evaluated
+        // (cancellation got there first); both that and budget exhaustion
+        // are governance degradations, not structural unknowns.
+        const bool skipped = o.reason.empty();
+        if (skipped || (o.exhausted &&
+                        o.reason == "solver step budget exhausted"))
+          ++report_.degradedPairs;
+        recordUndecided(
+            t, skipped ? "cancelled before evaluation (deadline or failure)"
+                       : o.reason);
         break;
+      }
       case PairOutcome::Kind::Witness:
         recordWitness(t, o.model, o.indices);
         break;
@@ -731,6 +795,18 @@ RaceReport checkKernelRaces(const Kernel& kernel,
     try {
       report.regions.push_back(
           RegionChecker(f, syms, pinned, opts).run());
+    } catch (const support::Cancelled&) {
+      // The region deadline (or an external cancel) fired outside the
+      // per-pair degradation paths: report the whole region undecided
+      // rather than aborting the kernel-level check.
+      RegionRaceReport r;
+      r.loop = &f;
+      r.verdict = RaceVerdict::Unknown;
+      r.degradedPairs = 1;
+      UndecidedPair u;
+      u.reason = "region analysis cancelled (deadline or failure)";
+      r.undecided.push_back(std::move(u));
+      report.regions.push_back(std::move(r));
     } catch (const Error& e) {
       RegionRaceReport r;
       r.loop = &f;

@@ -45,7 +45,12 @@
 #include "support/diagnostics.h"
 
 namespace formad::support {
+class CancelToken;
 class WorkPool;
+}
+
+namespace formad::smt {
+struct FaultInject;
 }
 
 namespace formad::racecheck {
@@ -102,6 +107,13 @@ struct RegionRaceReport {
   long long tier0Hits = 0;
   long long tier1Hits = 0;
   long long tier2Checks = 0;
+  /// Queries that returned a budget-exhausted Unknown. 0 unless a step
+  /// budget is configured, so default reports are byte-identical to the
+  /// pre-governance format (describe() appends these only when nonzero).
+  long long budgetExhaustedChecks = 0;
+  /// Pairs left undecided by resource governance — budget exhaustion or
+  /// cancellation — rather than by the structure of the query.
+  long long degradedPairs = 0;
   double analysisSeconds = 0;
 };
 
@@ -136,6 +148,20 @@ struct RaceCheckOptions {
   /// speculatively across its workers and merged in canonical pair order,
   /// so the report is bit-identical at any pool width.
   support::WorkPool* pool = nullptr;
+  /// Per-check deterministic solver step budget (<= 0 = unlimited). A
+  /// query that runs out is reported undecided with reason "solver step
+  /// budget exhausted" — never Racy, never RaceFree.
+  long long solverSteps = 0;
+  /// Region wall-clock deadline in milliseconds (<= 0 = none). A liveness
+  /// limit only: pairs the deadline stops degrade to undecided; which
+  /// pairs is timing-dependent (use solverSteps for reproducible limits).
+  int deadlineMs = 0;
+  /// Optional externally owned cancellation token; when null and
+  /// deadlineMs > 0, each region arms its own.
+  support::CancelToken* cancel = nullptr;
+  /// Deterministic fault-injection harness for tests and the CI smoke job
+  /// (nullptr = off; see smt::FaultInject).
+  smt::FaultInject* faultInject = nullptr;
 };
 
 /// Runs the race checker on every parallel region of `kernel`.

@@ -1,0 +1,67 @@
+// Deterministic solver resource metering.
+//
+// The paper's pipeline is sound under *any* non-UNSAT answer: a solver
+// that gives up simply demotes the adjoint access to an atomic increment.
+// This header supplies the "give up" mechanism: a step budget charged at
+// deterministic points of the decision procedures (Gaussian pivot
+// substitutions, congruence merges, HNF column operations, model-search
+// candidates). The step count of a check is a pure function of the
+// conjunction — never of wall clock, thread count, or scheduling — so a
+// budget-limited verdict is byte-identical across runs and pool widths.
+//
+// Two distinct signals unwind from a charge site:
+//   - StepLimitReached: the per-check budget ran out. Caught inside
+//     Solver::check()/model() and surfaced as a budget-exhausted Unknown
+//     (never escapes the solver).
+//   - support::Cancelled: the attached CancelToken fired (deadline or task
+//     failure). Escapes the solver so schedulers can degrade the in-flight
+//     task; polled every kCancelPollPeriod charges to keep the hot path
+//     one relaxed load per poll.
+#pragma once
+
+#include "support/cancel.h"
+
+namespace formad::smt {
+
+/// Internal control-flow signal for budget exhaustion; thrown by
+/// StepBudget::charge and caught by the Solver. Intentionally not derived
+/// from std::exception: nothing outside the solver should ever see it.
+struct StepLimitReached {};
+
+class StepBudget {
+ public:
+  /// Re-arms the meter for one check: `limit` steps (<= 0 = unlimited),
+  /// optional cancellation token polled while charging.
+  void arm(long long limit, const support::CancelToken* cancel) {
+    limit_ = limit;
+    used_ = 0;
+    ticks_ = 0;
+    cancel_ = cancel;
+  }
+
+  /// Records `n` deterministic solver steps. Throws StepLimitReached when
+  /// the armed limit is crossed, support::Cancelled when the token fired.
+  void charge(long long n = 1) {
+    used_ += n;
+    if (limit_ > 0 && used_ > limit_) throw StepLimitReached{};
+    if (cancel_ != nullptr && (ticks_++ & (kCancelPollPeriod - 1)) == 0 &&
+        cancel_->cancelled())
+      throw support::Cancelled();
+  }
+
+  [[nodiscard]] long long used() const { return used_; }
+  [[nodiscard]] long long limit() const { return limit_; }
+
+  /// The first charge always reads the token (so a pre-cancelled token
+  /// stops a check immediately), then every 256th — a relaxed atomic load,
+  /// cheap enough for pivot-level charge sites.
+  static constexpr long long kCancelPollPeriod = 256;
+
+ private:
+  long long limit_ = 0;
+  long long used_ = 0;
+  long long ticks_ = 0;
+  const support::CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace formad::smt

@@ -21,6 +21,9 @@ bool congruenceClose(const AtomTable& atoms, LiaSystem& lia) {
         for (size_t i = 0; i < x.args.size() && argsEqual; ++i)
           argsEqual = lia.impliesZero(x.args[i] - y.args[i]);
         if (!argsEqual) continue;
+        // Each congruence merge is a deterministic solver step (the
+        // argument-entailment reduce calls above charge through lia).
+        if (lia.stepBudget() != nullptr) lia.stepBudget()->charge();
         if (!lia.addEquality(diff)) return false;  // contradiction
         changed = true;
       }

@@ -51,13 +51,13 @@ std::vector<AtomId> denseRows(const std::vector<const LinExpr*>& equalities,
   return columns;
 }
 
-bool integerSolvable(std::vector<IntRow> rows) {
+bool integerSolvable(std::vector<IntRow> rows, StepBudget* budget) {
   const size_t n = rows.empty() ? 0 : rows[0].coeffs.size();
-  return integerSolve(std::move(rows), n).has_value();
+  return integerSolve(std::move(rows), n, budget).has_value();
 }
 
 std::optional<IntSolution> integerSolve(std::vector<IntRow> rows,
-                                        size_t width) {
+                                        size_t width, StepBudget* budget) {
   const size_t m = rows.size();
   const size_t n = width;
   FORMAD_ASSERT(rows.empty() || rows[0].coeffs.size() == n,
@@ -80,6 +80,7 @@ std::optional<IntSolution> integerSolve(std::vector<IntRow> rows,
   for (size_t r = 0; r < m && pivotCol < n; ++r) {
     // Euclidean elimination across columns pivotCol..n-1 on row r.
     while (true) {
+      if (budget != nullptr) budget->charge();
       // Find the column (>= pivotCol) with the smallest nonzero |entry|.
       size_t best = SIZE_MAX;
       for (size_t cidx = pivotCol; cidx < n; ++cidx) {
@@ -104,6 +105,7 @@ std::optional<IntSolution> integerSolve(std::vector<IntRow> rows,
         if (v == 0) continue;
         long long q = v / p;  // truncated division keeps |remainder| < |p|
         if (q != 0) {
+          if (budget != nullptr) budget->charge();
           for (size_t rr = 0; rr < m; ++rr)
             rows[rr].coeffs[cidx] = narrow(
                 static_cast<Wide>(rows[rr].coeffs[cidx]) -

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "smt/budget.h"
 #include "smt/linear.h"
 
 namespace formad::smt {
@@ -28,8 +29,11 @@ struct IntRow {
 };
 
 /// Decides whether the system has an integer solution. Empty systems are
-/// feasible. Rationally inconsistent systems are infeasible.
-[[nodiscard]] bool integerSolvable(std::vector<IntRow> rows);
+/// feasible. Rationally inconsistent systems are infeasible. `budget`, when
+/// non-null, is charged one step per unimodular column operation, so a
+/// budgeted solve cuts off deterministically (StepLimitReached).
+[[nodiscard]] bool integerSolvable(std::vector<IntRow> rows,
+                                   StepBudget* budget = nullptr);
 
 /// The full integer solution set of A·x = b in parametric form: every
 /// solution is  particular + Σ t_j · basis_j  for integer t, and every such
@@ -46,8 +50,8 @@ struct IntSolution {
 /// columns — needed because `rows` may be empty, in which case every
 /// variable is free (particular = 0, basis = identity). Returns nullopt iff
 /// no integer solution exists.
-[[nodiscard]] std::optional<IntSolution> integerSolve(std::vector<IntRow> rows,
-                                                      size_t width);
+[[nodiscard]] std::optional<IntSolution> integerSolve(
+    std::vector<IntRow> rows, size_t width, StepBudget* budget = nullptr);
 
 /// Converts equality constraints (expr = 0) to dense integer rows over a
 /// stable column order (ascending AtomId). Returns the column order.

@@ -20,6 +20,7 @@ bool LiaSystem::addEquality(const LinExpr& e) {
   for (auto& [p, rhs] : rows_) {
     Rational c = rhs.coeff(pivot);
     if (c.isZero()) continue;
+    if (budget_ != nullptr) budget_->charge();
     LinExpr updated = rhs;
     updated.addTerm(pivot, -c);
     updated = updated + value.scaled(c);
@@ -30,13 +31,16 @@ bool LiaSystem::addEquality(const LinExpr& e) {
 }
 
 LinExpr LiaSystem::reduce(const LinExpr& e) const {
+  if (budget_ != nullptr) budget_->charge();
   LinExpr out(e.constant());
   for (const auto& [id, c] : e.coeffs()) {
     auto it = rows_.find(id);
     if (it == rows_.end())
       out.addTerm(id, c);
-    else
+    else {
+      if (budget_ != nullptr) budget_->charge();
       out = out + it->second.scaled(c);
+    }
   }
   return out;
 }

@@ -15,12 +15,19 @@
 #include <map>
 #include <vector>
 
+#include "smt/budget.h"
 #include "smt/linear.h"
 
 namespace formad::smt {
 
 class LiaSystem {
  public:
+  /// Attaches a step meter: every pivot substitution charges one step, so
+  /// a budgeted solve can be cut off deterministically mid-elimination
+  /// (StepLimitReached unwinds out of addEquality/reduce). Null detaches.
+  void setStepBudget(StepBudget* b) { budget_ = b; }
+  [[nodiscard]] StepBudget* stepBudget() const { return budget_; }
+
   /// Adds e = 0. Returns false if the system becomes rationally
   /// inconsistent (reduction yields a nonzero constant).
   [[nodiscard]] bool addEquality(const LinExpr& e);
@@ -46,6 +53,7 @@ class LiaSystem {
  private:
   // pivot atom -> expression it equals (free of all pivot atoms).
   std::map<AtomId, LinExpr> rows_;
+  StepBudget* budget_ = nullptr;  // optional; charged, never owned
 };
 
 }  // namespace formad::smt

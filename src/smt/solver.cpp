@@ -19,11 +19,11 @@ std::string to_string(CheckResult r) {
 }
 
 std::optional<VerdictCache::Entry> VerdictCache::lookup(
-    const std::string& key) {
+    const std::string& key, long long stepLimit) {
   Shard& s = shardFor(key);
   std::lock_guard<std::mutex> lk(s.mu);
   auto it = s.map.find(key);
-  if (it == s.map.end()) {
+  if (it == s.map.end() || !sufficientFor(it->second, stepLimit)) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -31,10 +31,20 @@ std::optional<VerdictCache::Entry> VerdictCache::lookup(
   return it->second;
 }
 
-void VerdictCache::store(const std::string& key, CheckResult r, int tier) {
+void VerdictCache::store(const std::string& key, CheckResult r, int tier,
+                         bool complete, long long steps) {
   Shard& s = shardFor(key);
   std::lock_guard<std::mutex> lk(s.mu);
-  s.map.emplace(key, Entry{r, tier});
+  auto [it, inserted] = s.map.emplace(key, Entry{r, tier, complete, steps});
+  if (inserted) return;
+  // Upgrade in place when the new verdict covers strictly more budgets:
+  // a complete verdict over an exhausted one, or an exhaustion at a larger
+  // limit. Serving is guarded by sufficientFor, so this policy only
+  // affects hit rates, never verdicts.
+  Entry& cur = it->second;
+  if ((complete && !cur.complete) ||
+      (!complete && !cur.complete && steps > cur.steps))
+    cur = Entry{r, tier, complete, steps};
 }
 
 size_t VerdictCache::size() const {
@@ -124,25 +134,61 @@ std::string Solver::stackKey() const {
 CheckResult Solver::check() {
   requireOwner();
   ++stats_.checks;
+  lastBudgetExhausted_ = false;
+  lastSteps_ = 0;
+  if (fault_ != nullptr) {
+    long long n =
+        fault_->checksSeen.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fault_->throwAtCheck > 0 && n == fault_->throwAtCheck)
+      fail("injected solver fault at check " + std::to_string(n));
+    if (fault_->unknownAtCheck > 0 && n == fault_->unknownAtCheck) {
+      // An injected fault is not a verdict — never cached.
+      lastTier_ = 2;
+      lastBudgetExhausted_ = true;
+      ++stats_.budgetExhausted;
+      return CheckResult::Unknown;
+    }
+  }
   std::string key = stackKey();
   if (sharedCache_ != nullptr) {
-    if (auto cached = sharedCache_->lookup(key)) {
+    if (auto cached = sharedCache_->lookup(key, stepLimit_)) {
       ++stats_.cacheHits;
       lastTier_ = cached->tier;
+      if (!cached->complete) {
+        lastBudgetExhausted_ = true;
+        ++stats_.budgetExhausted;
+      }
       return cached->result;
     }
     CheckResult r = decide();
-    sharedCache_->store(key, r, lastTier_);
+    sharedCache_->store(key, r, lastTier_, !lastBudgetExhausted_,
+                        lastBudgetExhausted_ ? stepLimit_ : lastSteps_);
     return r;
   }
   auto it = verdictCache_.find(key);
-  if (it != verdictCache_.end()) {
+  if (it != verdictCache_.end() &&
+      VerdictCache::sufficientFor(it->second, stepLimit_)) {
     ++stats_.cacheHits;
     lastTier_ = it->second.tier;
+    if (!it->second.complete) {
+      lastBudgetExhausted_ = true;
+      ++stats_.budgetExhausted;
+    }
     return it->second.result;
   }
   CheckResult r = decide();
-  verdictCache_.emplace(std::move(key), VerdictCache::Entry{r, lastTier_});
+  VerdictCache::Entry e{r, lastTier_, !lastBudgetExhausted_,
+                        lastBudgetExhausted_ ? stepLimit_ : lastSteps_};
+  if (it != verdictCache_.end()) {
+    // Insufficient entry found above: upgrade under the same policy as
+    // VerdictCache::store (complete beats exhausted; a larger exhaustion
+    // limit beats a smaller one).
+    if ((e.complete && !it->second.complete) ||
+        (!e.complete && !it->second.complete && e.steps > it->second.steps))
+      it->second = e;
+  } else {
+    verdictCache_.emplace(std::move(key), e);
+  }
   return r;
 }
 
@@ -160,7 +206,20 @@ CheckResult Solver::decide() {
     }
   }
   lastTier_ = 2;
-  return solve();
+  budget_.arm(stepLimit_, cancel_);
+  try {
+    CheckResult r = solve();
+    lastSteps_ = budget_.used();
+    return r;
+  } catch (const StepLimitReached&) {
+    // Deterministic cutoff: the step count is a pure function of the
+    // conjunction, so the same budget gives up on the same checks at any
+    // pool width. Unknown is the safe direction (atomic adjoint).
+    lastSteps_ = budget_.used();
+    lastBudgetExhausted_ = true;
+    ++stats_.budgetExhausted;
+    return CheckResult::Unknown;
+  }
 }
 
 std::string Solver::Stats::describe() const {
@@ -175,11 +234,14 @@ std::string Solver::Stats::describe() const {
                   std::to_string(reduceMemoHits) + " memoized), models " +
                   std::to_string(modelsFound) + "/" +
                   std::to_string(modelSearches);
+  if (budgetExhausted > 0)
+    s += ", budget-exhausted " + std::to_string(budgetExhausted);
   return s;
 }
 
 CheckResult Solver::solve() {
   LiaSystem lia;
+  lia.setStepBudget(&budget_);
   for (const auto& c : stack_)
     if (c.rel == Rel::Eq && !lia.addEquality(c.expr))
       return CheckResult::Unsat;
@@ -194,7 +256,7 @@ CheckResult Solver::solve() {
     for (const auto& e : eqs) ptrs.push_back(&e);
     std::vector<IntRow> rows;
     (void)denseRows(ptrs, rows);
-    if (!integerSolvable(std::move(rows))) return CheckResult::Unsat;
+    if (!integerSolvable(std::move(rows), &budget_)) return CheckResult::Unsat;
   }
 
   // Disequalities: e != 0 is violated iff the equalities entail e = 0.
@@ -386,10 +448,21 @@ class CoordinateSearch {
 std::optional<Model> Solver::model() {
   requireOwner();
   ++stats_.modelSearches;
+  budget_.arm(stepLimit_, cancel_);
+  try {
+    return modelImpl();
+  } catch (const StepLimitReached&) {
+    // Witness search ran out of its step budget. No model means "unknown"
+    // to every caller (never Unsat), so giving up here is sound.
+    return std::nullopt;
+  }
+}
 
+std::optional<Model> Solver::modelImpl() {
   // Rebuild the equality engine exactly as solve() does; a contradiction
   // here means Unsat, hence no model.
   LiaSystem lia;
+  lia.setStepBudget(&budget_);
   for (const auto& c : stack_)
     if (c.rel == Rel::Eq && !lia.addEquality(c.expr)) return std::nullopt;
   if (!congruenceClose(atoms_, lia)) return std::nullopt;
@@ -416,8 +489,8 @@ std::optional<Model> Solver::model() {
   // Parametric integer solution of the equality system.
   std::vector<IntRow> rows;
   std::vector<AtomId> columns = denseRows(ptrs, rows);
-  std::optional<IntSolution> sol = integerSolve(std::move(rows),
-                                                columns.size());
+  std::optional<IntSolution> sol =
+      integerSolve(std::move(rows), columns.size(), &budget_);
   if (!sol) return std::nullopt;
 
   // Atoms outside the equality system are unconstrained extra lattice
@@ -464,6 +537,7 @@ std::optional<Model> Solver::model() {
 
   CoordinateSearch search(dims);
   while (const std::vector<long long>* t = search.next()) {
+    budget_.charge();  // one step per witness candidate
     Model m = assemble(*t);
     if (satisfies(m)) {
       ++stats_.modelsFound;

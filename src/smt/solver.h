@@ -29,11 +29,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "smt/budget.h"
 #include "smt/congruence.h"
 #include "smt/fastpath.h"
 #include "smt/hnf.h"
 #include "smt/lia.h"
 #include "smt/term.h"
+
+namespace formad::support {
+class CancelToken;
+}
 
 namespace formad::smt {
 
@@ -63,6 +68,21 @@ struct Constraint {
 /// assertion stack.
 using Model = std::map<AtomId, long long>;
 
+/// Deterministic fault-injection harness for the degradation paths (tests
+/// and the CI smoke job). Counts every check() across all solvers it is
+/// attached to and forces the Nth one (1-based) to either report a
+/// budget-exhausted Unknown or to throw formad::Error — proving that a
+/// solver giving up (or dying) degrades to atomic adjoints instead of
+/// hanging or corrupting the analysis. 0 disables a trigger. The counter
+/// is shared and atomic, so under a parallel analysis the faulting check
+/// is scheduling-dependent — use width 1 where the test needs to know
+/// exactly which conjunction faults.
+struct FaultInject {
+  std::atomic<long long> checksSeen{0};
+  long long unknownAtCheck = 0;
+  long long throwAtCheck = 0;
+};
+
 /// A sharded, thread-safe verdict cache shared by the per-worker solvers of
 /// one parallel analysis. Keys are canonical assertion-stack fingerprints
 /// (Solver::stackKey), which cover the ENTIRE live stack — including
@@ -80,16 +100,43 @@ class VerdictCache {
   /// conjunction (every decider is deterministic and order-independent),
   /// so serving it with the verdict keeps per-tier accounting identical
   /// at any pool width.
+  ///
+  /// Budget provenance: `complete` records whether the verdict finished
+  /// its solve; `steps` holds the deterministic step count it consumed
+  /// (complete) or the step limit it ran out at (incomplete). lookup()
+  /// only serves an entry to a solver whose budget would have produced
+  /// the same answer — so a budget-limited Unknown can never poison a
+  /// later run with a larger budget, and a large-budget verdict can never
+  /// leak into a run whose budget could not have afforded it.
   struct Entry {
     CheckResult result = CheckResult::Unknown;
     int tier = 2;
+    bool complete = true;
+    long long steps = 0;
   };
 
-  /// Returns the cached verdict, or nullopt on miss. Counts a hit/miss.
-  [[nodiscard]] std::optional<Entry> lookup(const std::string& key);
+  /// True iff a solver with per-check step budget `stepLimit` (<= 0 =
+  /// unlimited) would derive exactly this entry's verdict itself: a
+  /// complete verdict needs the budget to cover its step count; an
+  /// exhausted one needs a budget no larger than the one that ran out
+  /// (step counts are deterministic, so exhaustion is monotone in the
+  /// limit).
+  [[nodiscard]] static bool sufficientFor(const Entry& e, long long stepLimit) {
+    return e.complete ? (stepLimit <= 0 || e.steps <= stepLimit)
+                      : (stepLimit > 0 && stepLimit <= e.steps);
+  }
+
+  /// Returns the cached verdict, or nullopt on miss. An entry whose budget
+  /// provenance is insufficient for `stepLimit` counts as a miss (the
+  /// caller re-derives under its own budget; store() keeps the first
+  /// entry, which is fine — lookups are guarded, never trusted blindly).
+  [[nodiscard]] std::optional<Entry> lookup(const std::string& key,
+                                            long long stepLimit = 0);
   /// Records a verdict. Concurrent stores of the same key are benign: every
-  /// solver derives the same verdict (and tier) for the same fingerprint.
-  void store(const std::string& key, CheckResult r, int tier = 2);
+  /// solver derives the same verdict (and tier) for the same fingerprint
+  /// under the same budget, and cross-budget reuse is guarded in lookup().
+  void store(const std::string& key, CheckResult r, int tier = 2,
+             bool complete = true, long long steps = 0);
 
   [[nodiscard]] long long hits() const {
     return hits_.load(std::memory_order_relaxed);
@@ -177,6 +224,11 @@ class Solver {
     long long reduceMemoHits = 0;  // reductions reused from the per-solve memo
     long long modelSearches = 0;   // model() invocations
     long long modelsFound = 0;     // model() calls that produced a witness
+    /// Checks that returned a budget-exhausted Unknown (including ones
+    /// served from a cache entry recorded as exhausted, and injected
+    /// faults). Appended to describe() only when nonzero, so default
+    /// (unlimited) runs render byte-identically to the pre-budget format.
+    long long budgetExhausted = 0;
 
     /// Stable one-line rendering of the tier breakdown plus the classic
     /// counters (golden-tested; reports and the CLI print it verbatim).
@@ -190,6 +242,37 @@ class Solver {
   /// exact, so only speed — never any verdict — depends on the mode).
   void setFastPathMode(FastPathMode m) { fastMode_ = m; }
   [[nodiscard]] FastPathMode fastPathMode() const { return fastMode_; }
+
+  /// Per-check deterministic step budget (<= 0 = unlimited, the default).
+  /// A check that runs out returns CheckResult::Unknown with
+  /// lastCheckBudgetExhausted() set — the safe direction (FormAD keeps the
+  /// atomic; the race checker reports the pair undecided). Steps are
+  /// counted at fixed points of the decision procedures (pivot
+  /// substitutions, congruence merges, HNF column ops, model-search
+  /// candidates), so the verdict under a given budget is a pure function
+  /// of the conjunction: byte-identical at any thread count. Survives
+  /// reset(), like the cache attachment.
+  void setStepBudget(long long stepsPerCheck) { stepLimit_ = stepsPerCheck; }
+  [[nodiscard]] long long stepBudget() const { return stepLimit_; }
+
+  /// Attaches a cooperative cancellation token, polled every few hundred
+  /// steps while solving. A fired token unwinds the in-flight check as
+  /// support::Cancelled — a liveness mechanism only, never a verdict (see
+  /// support/cancel.h). Pass nullptr to detach. Survives reset().
+  void setCancelToken(const support::CancelToken* t) { cancel_ = t; }
+
+  /// Attaches the shared fault-injection harness (nullptr = off).
+  /// Survives reset().
+  void setFaultInjection(FaultInject* f) { fault_ = f; }
+
+  /// True iff the most recent check() gave up on its step budget (or was
+  /// forced to by fault injection) — its Unknown is a resource verdict,
+  /// not a structural one.
+  [[nodiscard]] bool lastCheckBudgetExhausted() const {
+    return lastBudgetExhausted_;
+  }
+  /// Deterministic steps the most recent non-cached check() consumed.
+  [[nodiscard]] long long lastCheckSteps() const { return lastSteps_; }
 
   /// Decision tier of the most recent check(): 0/1 = fast path, 2 = full
   /// solve. Cache hits report the tier stored with the verdict, which is a
@@ -226,6 +309,9 @@ class Solver {
   /// the fallback. Records the decision tier in lastTier_.
   [[nodiscard]] CheckResult decide();
   [[nodiscard]] CheckResult solve();
+  /// model() body; runs under the armed step budget (StepLimitReached is
+  /// caught by the wrapper and rendered as "no witness found").
+  [[nodiscard]] std::optional<Model> modelImpl();
   /// Solvers are thread-confined: the first mutating call binds the owning
   /// thread, and any use from another thread throws. reset() clears the
   /// binding. This turns cross-thread sharing bugs into immediate errors
@@ -244,6 +330,12 @@ class Solver {
   std::thread::id owner_{};
   FastPathMode fastMode_ = FastPathMode::Off;
   int lastTier_ = 2;
+  long long stepLimit_ = 0;  // per-check; <= 0 = unlimited
+  const support::CancelToken* cancel_ = nullptr;
+  FaultInject* fault_ = nullptr;
+  bool lastBudgetExhausted_ = false;
+  long long lastSteps_ = 0;
+  StepBudget budget_;  // re-armed per check()/model()
   Stats stats_;
 };
 

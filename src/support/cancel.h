@@ -1,0 +1,81 @@
+// Cooperative cancellation for the analysis pipeline.
+//
+// A CancelToken carries one sticky "stop" flag plus an optional wall-clock
+// deadline. Producers (a task that failed, a region deadline, a caller that
+// lost interest) cancel it once; consumers poll it at safe points — the
+// worker pool before claiming the next task, the solver every few hundred
+// internal steps — and unwind via the Cancelled exception.
+//
+// Determinism contract: cancellation is strictly a *liveness* mechanism.
+// It never decides a solver verdict — verdict-affecting limits are the
+// deterministic step budgets (smt/budget.h). Wall-clock only gates whether
+// work keeps running, so with no deadline configured (the default) reports
+// stay byte-identical at any thread count; with a deadline, the analysis
+// degrades conservatively (atomic adjoints / Unknown pairs) but never
+// hangs past it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace formad::support {
+
+/// Thrown by cooperative cancellation points (Solver step polls, scheduler
+/// task loops) when their CancelToken fires mid-task. Schedulers catch it
+/// and degrade the in-flight task; it is never an analysis verdict.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("analysis cancelled (deadline or error)") {}
+};
+
+class CancelToken {
+ public:
+  /// Arms a wall-clock deadline `ms` milliseconds from now; <= 0 cancels
+  /// immediately (an already-expired deadline). poll() converts the
+  /// deadline into the sticky flag once it passes.
+  void armDeadline(long long ms) {
+    if (ms <= 0) {
+      cancel();
+      return;
+    }
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms);
+    hasDeadline_ = true;
+  }
+
+  /// Requests cancellation. Idempotent, callable from any thread.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// Cheap sticky-flag check (one relaxed load) — safe inside solver inner
+  /// loops. Does NOT read the clock; someone must poll() for a deadline to
+  /// take effect.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Clock-reading check: trips the flag if the armed deadline has passed,
+  /// then returns the flag. Called at scheduling edges (task claims,
+  /// between solver probes), so the clock read is amortized over real work.
+  bool poll() noexcept {
+    if (cancelled()) return true;
+    if (hasDeadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      cancel();
+      return true;
+    }
+    return false;
+  }
+
+  /// Throws Cancelled if the flag is set (flag only; pair with poll() at
+  /// clock-reading call sites).
+  void throwIfCancelled() const {
+    if (cancelled()) throw Cancelled();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool hasDeadline_ = false;  // written before the token is shared
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace formad::support

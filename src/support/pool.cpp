@@ -24,11 +24,22 @@ int WorkPool::hardwareWidth() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void WorkPool::run(size_t n, const std::function<void(size_t, int)>& fn) {
+void WorkPool::run(size_t n, const std::function<void(size_t, int)>& fn,
+                   CancelToken* cancel) {
+  skipped_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
   if (n == 0) return;
   if (width_ == 1 || n == 1) {
-    // Inline serial fast path: no publication, no wakeups.
-    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    // Inline serial fast path: no publication, no wakeups. A thrown task
+    // stops the loop by unwinding, so "first exception cancels the rest"
+    // holds here for free.
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->poll()) {
+        skipped_.fetch_add(n - i, std::memory_order_release);
+        return;
+      }
+      fn(i, 0);
+    }
     return;
   }
   uint64_t epoch;
@@ -37,6 +48,7 @@ void WorkPool::run(size_t n, const std::function<void(size_t, int)>& fn) {
     epoch = ++epoch_;
     pending_.store(n, std::memory_order_relaxed);
     fn_.store(&fn, std::memory_order_relaxed);
+    cancel_.store(cancel, std::memory_order_relaxed);
     limit_.store((epoch << kEpochShift) | n, std::memory_order_release);
     // Publishing the cursor opens the epoch for claiming: workers claim
     // tickets with an acq_rel RMW on cursor_, which synchronizes with this
@@ -50,6 +62,7 @@ void WorkPool::run(size_t n, const std::function<void(size_t, int)>& fn) {
   std::unique_lock<std::mutex> lk(mu_);
   done_.wait(lk, [this] { return pending_.load() == 0; });
   fn_.store(nullptr, std::memory_order_relaxed);
+  cancel_.store(nullptr, std::memory_order_relaxed);
   if (error_) {
     std::exception_ptr e = error_;
     error_ = nullptr;
@@ -73,11 +86,26 @@ void WorkPool::drain(int worker) {
     if ((limit >> kEpochShift) != epoch || index >= (limit & kIndexMask))
       return;
     const auto* fn = fn_.load(std::memory_order_acquire);
-    try {
-      (*fn)(index, worker);
-    } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!error_) error_ = std::current_exception();
+    CancelToken* cancel = cancel_.load(std::memory_order_acquire);
+    // A claimed task still decrements pending_ when skipped — otherwise
+    // run() would wait forever for tasks that never execute.
+    if (abort_.load(std::memory_order_acquire) ||
+        (cancel != nullptr && cancel->poll())) {
+      skipped_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      try {
+        (*fn)(index, worker);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (!error_) error_ = std::current_exception();
+        }
+        // First exception cancels the rest of the run: surviving workers
+        // skip at their next claim, and (via the token) in-flight solver
+        // checks unwind at their next cooperative poll.
+        abort_.store(true, std::memory_order_release);
+        if (cancel != nullptr) cancel->cancel();
+      }
     }
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last task: wake the owner. Taking the mutex orders this notify

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/cancel.h"
+
 namespace formad::support {
 
 class WorkPool {
@@ -41,8 +43,25 @@ class WorkPool {
   /// most one OS thread for the duration of the call. Not reentrant and not
   /// thread-safe: one run() at a time, always from the owning thread. If a
   /// task throws, the first exception is rethrown here after all claimed
-  /// tasks finished.
-  void run(size_t n, const std::function<void(size_t, int)>& fn);
+  /// tasks finished — and the throw fires `cancel` (when given) plus an
+  /// internal abort flag, so surviving workers stop claiming new tasks at
+  /// their next scheduling edge instead of grinding through the backlog.
+  ///
+  /// `cancel`, when non-null, is polled before every task claim (a clock
+  /// read, so armed deadlines take effect here even if no task ever polls):
+  /// once it fires, remaining tasks are skipped, not executed. Skipping is
+  /// not an error — run() returns normally and lastRunSkipped() reports how
+  /// many task indices never ran, so callers can degrade those results
+  /// conservatively.
+  void run(size_t n, const std::function<void(size_t, int)>& fn,
+           CancelToken* cancel = nullptr);
+
+  /// Number of task indices the most recent run() skipped because its
+  /// CancelToken fired (deadline or task exception). 0 after a run that
+  /// executed everything.
+  [[nodiscard]] size_t lastRunSkipped() const {
+    return skipped_.load(std::memory_order_acquire);
+  }
 
   /// std::thread::hardware_concurrency with a floor of 1.
   [[nodiscard]] static int hardwareWidth();
@@ -69,6 +88,9 @@ class WorkPool {
   std::atomic<uint64_t> limit_{0};   // (epoch << 32) | task count
   std::atomic<uint64_t> pending_{0};
   std::atomic<const std::function<void(size_t, int)>*> fn_{nullptr};
+  std::atomic<CancelToken*> cancel_{nullptr};  // this run's token (or null)
+  std::atomic<bool> abort_{false};     // set on first task exception
+  std::atomic<uint64_t> skipped_{0};   // tasks skipped by the current run
 
   std::mutex mu_;
   std::condition_variable wake_;  // workers wait here between runs
