@@ -122,7 +122,10 @@ std::string Json::dump(int indent) const {
 void writeBenchFile(const std::string& name, const Json& body) {
   Json root = Json::object();
   root.set("benchmark", Json::str(name));
-  root.set("schema_version", Json::integer(1));
+  // v2: adds the optional persistent-cache members (cacheCountsJson) and
+  // the incremental-reanalysis bench file. Existing members are unchanged,
+  // so v1 consumers only need to ignore unknown keys.
+  root.set("schema_version", Json::integer(2));
   for (const auto& [k, v] : body.members()) root.set(k, v);
   const std::string file = "BENCH_" + name + ".json";
   std::ofstream out(file);
@@ -138,6 +141,23 @@ Json tierCountsJson(const core::KernelAnalysis& a) {
   t.set("tier2", Json::integer(a.tier2Checks()));
   t.set("cached", Json::integer(a.cacheHits()));
   return t;
+}
+
+Json cacheCountsJson(const core::KernelAnalysis& a) {
+  Json c = Json::object();
+  c.set("tasks_spliced", Json::integer(a.tasksSpliced()));
+  c.set("tasks_persisted", Json::integer(a.tasksPersisted()));
+  c.set("fresh_solver_checks", Json::integer(a.freshSolverChecks()));
+  c.set("fresh_tier2_solves", Json::integer(a.freshTier2Solves()));
+  c.set("memory_hits", Json::integer(a.cacheMemoryHits()));
+  c.set("disk_hits", Json::integer(a.cacheDiskHits()));
+  c.set("disk_stores", Json::integer(a.cacheDiskStores()));
+  const long long tasks = a.tasksSpliced() + a.tasksPersisted();
+  c.set("task_hit_rate", Json::num(tasks > 0 ? static_cast<double>(
+                                                   a.tasksSpliced()) /
+                                                   static_cast<double>(tasks)
+                                             : 0.0));
+  return c;
 }
 
 using driver::AdjointMode;

@@ -74,6 +74,11 @@ void writeBenchFile(const std::string& name, const Json& body);
 /// core::KernelAnalysis — the four components partition queries).
 [[nodiscard]] Json tierCountsJson(const core::KernelAnalysis& a);
 
+/// The persistent-cache object of the incremental benches (schema v2):
+/// spliced/persisted task counts, fresh solver work, memory/disk IO
+/// counters, and the task-level hit rate (0.0 when no store was attached).
+[[nodiscard]] Json cacheCountsJson(const core::KernelAnalysis& a);
+
 struct FigureSetup {
   std::string name;            // file-safe id, e.g. "fig3_fig5_small_stencil";
                                // results land in BENCH_<name>.json

@@ -28,12 +28,22 @@
 // internal steps (checks that run out degrade to atomic adjoints /
 // undecided race pairs); -deadline-ms N puts a wall-clock deadline on each
 // region's analysis (liveness only — degraded, never hung).
+//
+// -cache-dir <path> persists solver verdicts to a cross-run
+// content-addressed store: a repeat invocation on an unchanged kernel is
+// answered from disk with zero tier-2 solver checks, and after an edit
+// only the contexts whose fingerprints moved are re-proven. Serving is
+// verdict-neutral — every report and the generated adjoint are
+// byte-identical with or without the flag. -cache-stats prints the
+// per-region cache breakdown (core::describeCache) plus store-level IO
+// counters to stderr.
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +57,7 @@
 #include "ir/printer.h"
 #include "parser/parser.h"
 #include "racecheck/racecheck.h"
+#include "smt/diskcache.h"
 
 using namespace formad;
 
@@ -75,7 +86,11 @@ int usage() {
          "                  [-fastpath off|syntactic|full]   (default full)\n"
          "                  [-solver-budget N|unlimited]   (steps per check)\n"
          "                  [-deadline-ms N]   (per-region analysis "
-         "deadline)\n";
+         "deadline)\n"
+         "                  [-cache-dir <path>]   (persistent verdict "
+         "cache)\n"
+         "                  [-cache-stats]   (print cache breakdown to "
+         "stderr)\n";
   return 2;
 }
 
@@ -114,6 +129,16 @@ std::map<std::string, long long> parseBindings(const std::string& s) {
   return pins;
 }
 
+/// Prints the store-level IO counters of the persistent verdict cache
+/// (-cache-stats; stable format, golden-testable by the CI smoke job).
+void printStoreStats(const smt::PersistentVerdictStore& store) {
+  const smt::PersistentVerdictStore::Stats s = store.stats();
+  std::cerr << "cache store '" << store.dir() << "': checks " << s.checkHits
+            << " hit / " << s.checkMisses << " miss / " << s.checkStores
+            << " stored; tasks " << s.taskHits << " hit / " << s.taskMisses
+            << " miss / " << s.taskStores << " stored\n";
+}
+
 /// Prints the register-VM listing of `kernel` to stderr (-disasm).
 void disassemble(const ir::Kernel& kernel) {
   auto clone = kernel.clone();
@@ -140,6 +165,8 @@ int main(int argc, char** argv) {
   smt::FastPathMode fastpath = smt::FastPathMode::Full;
   long long solverBudget = 0;  // steps per solver check; 0 = unlimited
   int deadlineMs = 0;          // per-region analysis deadline; 0 = none
+  std::string cacheDir;        // "" = no persistent verdict cache
+  bool cacheStats = false;
   racecheck::RaceCheckOptions rcOpts;
 
   for (int i = 2; i < argc; ++i) {
@@ -179,6 +206,8 @@ int main(int argc, char** argv) {
         solverBudget = parseIntFlag(arg, v, 1, INT64_MAX,
                                     "a step count >= 1, or 'unlimited'");
     }
+    else if (arg == "-cache-dir") cacheDir = next();
+    else if (arg == "-cache-stats") cacheStats = true;
     else if (arg == "-deadline-ms") {
       deadlineMs = static_cast<int>(parseIntFlag(
           arg, next(), 0, INT32_MAX, "a millisecond count >= 0; 0 = none"));
@@ -217,11 +246,19 @@ int main(int argc, char** argv) {
       head = program.kernels()[0]->name;
     const ir::Kernel& primal = program.get(head);
 
+    // The CLI owns the persistent store (rather than handing the driver a
+    // cacheDir) so -cache-stats can read the IO counters afterwards.
+    std::unique_ptr<smt::PersistentVerdictStore> store;
+    if (!cacheDir.empty())
+      store = std::make_unique<smt::PersistentVerdictStore>(cacheDir);
+
     rcOpts.solverSteps = solverBudget;
     rcOpts.deadlineMs = deadlineMs;
+    rcOpts.store = store.get();
     if (racecheckOnly) {
       auto report = racecheck::checkKernelRaces(primal, rcOpts);
       std::cout << report.describe();
+      if (cacheStats && store != nullptr) printStoreStats(*store);
       return report.overall() == racecheck::RaceVerdict::Racy ? 1 : 0;
     }
 
@@ -246,9 +283,14 @@ int main(int argc, char** argv) {
     analyzeOpts.fastpath = fastpath;
     analyzeOpts.solverStepBudget = solverBudget;
     analyzeOpts.analysisDeadlineMs = deadlineMs;
+    analyzeOpts.verdictStore = store.get();
     auto analysis = driver::analyze(primal, indeps, deps, analyzeOpts);
     std::cerr << core::describe(analysis);
     std::cerr << core::describeTiers(analysis);
+    if (cacheStats) {
+      std::cerr << core::describeCache(analysis);
+      if (store != nullptr) printStoreStats(*store);
+    }
     if (analyzeOnly) return 0;
 
     driver::DriverOptions dopts;
@@ -264,6 +306,7 @@ int main(int argc, char** argv) {
     dopts.fastpath = fastpath;
     dopts.solverStepBudget = solverBudget;
     dopts.analysisDeadlineMs = deadlineMs;
+    dopts.verdictStore = store.get();
 
     auto dr = driver::differentiate(primal, indeps, deps, dopts);
     if (racecheckFlag) std::cerr << dr.raceReport.describe();

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "smt/diskcache.h"
 #include "support/pool.h"
 
 namespace formad::driver {
@@ -26,6 +27,21 @@ smt::FaultInject* envFaultInjection() {
     return fault.unknownAtCheck > 0 || fault.throwAtCheck > 0;
   }();
   return configured ? &fault : nullptr;
+}
+
+/// Resolves the persistent verdict store of a driver call: a caller-owned
+/// store wins, else cacheDir opens one owned by `owned` for the call's
+/// duration. Fault injection disables the store outright — injected
+/// verdicts are not pure functions of their query, so neither serving nor
+/// persisting them would be sound.
+smt::PersistentVerdictStore* resolveStore(
+    const DriverOptions& dopts, smt::FaultInject* fault,
+    std::unique_ptr<smt::PersistentVerdictStore>& owned) {
+  if (fault != nullptr) return nullptr;
+  if (dopts.verdictStore != nullptr) return dopts.verdictStore;
+  if (dopts.cacheDir.empty()) return nullptr;
+  owned = std::make_unique<smt::PersistentVerdictStore>(dopts.cacheDir);
+  return owned.get();
 }
 
 }  // namespace
@@ -65,6 +81,8 @@ DifferentiateResult differentiate(const Kernel& primal,
 
   smt::FaultInject* fault =
       dopts.faultInject != nullptr ? dopts.faultInject : envFaultInjection();
+  std::unique_ptr<smt::PersistentVerdictStore> ownedStore;
+  smt::PersistentVerdictStore* store = resolveStore(dopts, fault, ownedStore);
 
   if (dopts.racecheckPrimal) {
     racecheck::RaceCheckOptions ropts = dopts.racecheck;
@@ -73,6 +91,7 @@ DifferentiateResult differentiate(const Kernel& primal,
     ropts.solverSteps = dopts.solverStepBudget;
     ropts.deadlineMs = dopts.analysisDeadlineMs;
     ropts.faultInject = fault;
+    ropts.store = store;
     result.raceReport = racecheck::checkKernelRaces(primal, ropts);
     long long rcExhausted = 0, rcDegraded = 0;
     for (const auto& region : result.raceReport.regions) {
@@ -133,6 +152,7 @@ DifferentiateResult differentiate(const Kernel& primal,
       aopts.exploit.solverSteps = dopts.solverStepBudget;
       aopts.exploit.deadlineMs = dopts.analysisDeadlineMs;
       aopts.exploit.faultInject = fault;
+      aopts.exploit.store = store;
       result.analysis =
           core::analyzeKernel(primal, independents, dependents, aopts);
     }
@@ -208,8 +228,11 @@ core::KernelAnalysis analyze(const Kernel& primal,
   aopts.exploit.fastpath = opts.fastpath;
   aopts.exploit.solverSteps = opts.solverStepBudget;
   aopts.exploit.deadlineMs = opts.analysisDeadlineMs;
-  aopts.exploit.faultInject =
+  smt::FaultInject* fault =
       opts.faultInject != nullptr ? opts.faultInject : envFaultInjection();
+  aopts.exploit.faultInject = fault;
+  std::unique_ptr<smt::PersistentVerdictStore> ownedStore;
+  aopts.exploit.store = resolveStore(opts, fault, ownedStore);
   std::unique_ptr<support::WorkPool> pool;
   if (aopts.exploit.threads > 1) {
     pool = std::make_unique<support::WorkPool>(aopts.exploit.threads);

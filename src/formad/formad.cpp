@@ -87,6 +87,48 @@ long long KernelAnalysis::degradedPairs() const {
   return n;
 }
 
+long long KernelAnalysis::tasksSpliced() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.tasksSpliced;
+  return n;
+}
+
+long long KernelAnalysis::tasksPersisted() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.tasksPersisted;
+  return n;
+}
+
+long long KernelAnalysis::freshSolverChecks() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.freshSolverChecks;
+  return n;
+}
+
+long long KernelAnalysis::freshTier2Solves() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.freshTier2Solves;
+  return n;
+}
+
+long long KernelAnalysis::cacheMemoryHits() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.cacheMemoryHits;
+  return n;
+}
+
+long long KernelAnalysis::cacheDiskHits() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.cacheDiskHits;
+  return n;
+}
+
+long long KernelAnalysis::cacheDiskStores() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.cacheDiskStores;
+  return n;
+}
+
 KernelAnalysis analyzeKernel(const Kernel& kernel,
                              const std::vector<std::string>& independents,
                              const std::vector<std::string>& dependents,
@@ -167,6 +209,23 @@ std::string describeTiers(const KernelAnalysis& analysis) {
        << " queries = " << r.tier0Hits << " tier-0 + " << r.tier1Hits
        << " tier-1 + " << r.tier2Checks << " tier-2 + " << r.solverCacheHits
        << " cached\n";
+  }
+  return os.str();
+}
+
+std::string describeCache(const KernelAnalysis& analysis) {
+  std::ostringstream os;
+  int idx = 0;
+  for (const auto& r : analysis.regions) {
+    os << "region #" << idx++ << " cache: tasks " << r.tasksSpliced
+       << " spliced + " << r.tasksPersisted << " persisted; fresh checks "
+       << r.freshSolverChecks << " (" << r.freshTier2Solves
+       << " tier-2 solves); hits memory " << r.cacheMemoryHits << " ["
+       << r.cacheMemoryHitTiers[0] << '/' << r.cacheMemoryHitTiers[1] << '/'
+       << r.cacheMemoryHitTiers[2] << "] + disk " << r.cacheDiskHits << " ["
+       << r.cacheDiskHitTiers[0] << '/' << r.cacheDiskHitTiers[1] << '/'
+       << r.cacheDiskHitTiers[2] << "]; disk stores " << r.cacheDiskStores
+       << "\n";
   }
   return os.str();
 }

@@ -6,6 +6,7 @@
 #include "analysis/increment.h"
 #include "cfg/cfg.h"
 #include "ir/traversal.h"
+#include "smt/fingerprint.h"
 
 namespace formad::core {
 
@@ -305,6 +306,21 @@ RegionModel buildRegionModel(const Kernel& kernel, const For& loop,
   });
 
   return m;
+}
+
+std::map<int, std::string> contextFingerprints(const RegionModel& model) {
+  smt::Fingerprinter fp(*model.atoms);
+  // Group the per-constraint content keys by context, then digest each
+  // canonical conjunction. Sorting inside conjunctionKey makes the digest
+  // independent of knowledge insertion order.
+  std::map<int, std::vector<std::string>> parts;
+  for (const auto& k : model.knowledge)
+    parts[k.context].push_back(
+        fp.constraintKey(smt::Constraint::ne(k.primed, k.other)));
+  std::map<int, std::string> out;
+  for (auto& [ctx, keys] : parts)
+    out[ctx] = smt::contentDigest(smt::conjunctionKey(std::move(keys)));
+  return out;
 }
 
 }  // namespace formad::core

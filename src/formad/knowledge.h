@@ -100,6 +100,15 @@ struct ModelOptions {
                                            const analysis::Activity& act,
                                            const ModelOptions& opts = {});
 
+/// Content-addressed fingerprint of each context's knowledge base: context
+/// id -> 128-bit hex digest of the canonical (sorted) conjunction of the
+/// context's knowledge constraints. Stable across runs and knowledge
+/// insertion order; editing one index expression moves only the digests of
+/// the contexts whose knowledge mentions it. The incremental re-analysis
+/// tests pin golden values of these for the paper kernels.
+[[nodiscard]] std::map<int, std::string> contextFingerprints(
+    const RegionModel& model);
+
 /// Lowers integer index expressions to LinExpr over interned atoms.
 /// Exposed for unit tests.
 class IndexLowering {

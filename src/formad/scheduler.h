@@ -38,6 +38,7 @@
 //                exact; only the tier counters reflect the mode).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -68,6 +69,22 @@ struct QueryTask {
   /// one per dimension — stopping at the first Unsat (paper Sec. 3
   /// dimension rule).
   std::vector<smt::Constraint> probes;
+  /// Content fingerprint of each probe (smt/fingerprint.h), parallel to
+  /// `probes` — derived once at plan time and reused by replay accounting
+  /// and the persistent-store key.
+  std::vector<std::string> probeKeys;
+  /// Content-addressed key of the whole task for the persistent store:
+  /// kind tag + canonical base-conjunction key + ordered probe keys.
+  /// Empty when no store is attached (never derived).
+  std::string fingerprint;
+  /// Structural 32-hex file digest handed to the persistent store: kind
+  /// tag + the base node's order-independent content sums + the ordered
+  /// probe keys, mixed through FNV. A pure function of task content (never
+  /// of AtomIds or insertion order) that costs O(probes) to derive — the
+  /// multi-KB fingerprint is never re-walked to name a file. Digest
+  /// collisions only cost a miss: the store verifies the full fingerprint
+  /// on every load. Empty iff fingerprint is.
+  std::string digest;
 };
 
 /// Outcome of evaluating one QueryTask.
@@ -86,6 +103,11 @@ struct QueryResult {
   /// Unknown. Under a fixed step budget this too is a pure function of the
   /// conjunction (steps are counted, never timed).
   std::vector<char> exhausted;
+  /// Parallel to tiers: deterministic step provenance of each check (steps
+  /// a complete verdict consumed, or the limit an exhausted one ran out
+  /// at). Persisted with the task so VerdictCache::sufficientFor can
+  /// govern whether a later run may splice the record.
+  std::vector<long long> stepsUsed;
   double seconds = 0.0;  // wall time of this task (scaling diagnostics)
 };
 
@@ -113,8 +135,16 @@ class QueryScheduler {
   struct BaseNode {
     int parent = -1;
     smt::Constraint delta;
-    std::string deltaKey;  // Solver::constraintKey(delta), derived once
+    std::string deltaKey;  // content key of delta, derived once at plan
     size_t depth = 0;      // constraints on the root-to-node path
+    /// Order-independent 128-bit content signature of the root-to-node
+    /// conjunction: the two seeded per-part FNV hashes SUMMED along the
+    /// path (a conjunction is a multiset, and wrapping sums commute), so
+    /// each node derives its signature from its parent in O(|delta|).
+    /// Replay uses (sum0, sum1, depth) to identify base content without
+    /// materializing canonical keys; the persistent-store file digest is
+    /// derived from it the same way.
+    std::uint64_t sum0 = 0, sum1 = 0;
   };
 
   // One step of the canonical serial schedule (DFS pre-order).
@@ -132,9 +162,6 @@ class QueryScheduler {
   };
 
   void plan();
-  /// Per-constraint fingerprints of the base conjunction of `baseId`, in
-  /// root-to-node (stack) order.
-  [[nodiscard]] std::vector<std::string> baseKeysOf(int baseId) const;
   /// Moves `solver` (whose stack holds the base of `cur`, one push scope
   /// per base constraint) to the base of `target` incrementally: pop to
   /// the common ancestor, then push the missing deltas. `cur` is updated.

@@ -142,6 +142,22 @@ class RegionChecker {
     }
     solver_.setCancelToken(cancel);
 
+    // Region verdict cache, shared by every solver that evaluates converse
+    // queries. With a persistent store attached (and fault injection off —
+    // injected verdicts are not pure functions of their conjunction), the
+    // cache reads check records persisted by earlier runs — the same
+    // content-addressed records the exploitation phase uses — and writes
+    // fresh ones through. Serving is verdict-neutral, so reports stay
+    // byte-identical; only wall time changes.
+    smt::VerdictCache cache;
+    smt::PersistentVerdictStore* store =
+        opts_.faultInject == nullptr ? opts_.store : nullptr;
+    cache.attachStore(store);
+    // The serial path historically solves on the region solver's private
+    // map; attach the shared cache only when a store makes it worthwhile,
+    // keeping the default path untouched.
+    if (store != nullptr) solver_.attachCache(&cache);
+
     // Serial front half: lowering, substitution, and pair enumeration all
     // intern atoms and fill memo tables, so they stay on this thread. The
     // resulting tasks are self-contained converse queries.
@@ -159,7 +175,6 @@ class RegionChecker {
     support::WorkPool* pool = opts_.pool;
     if (pool != nullptr && pool->width() > 1 && tasks.size() > 1) {
       const int width = pool->width();
-      smt::VerdictCache cache;
       std::vector<std::unique_ptr<smt::Solver>> solvers;
       std::vector<char> seeded(static_cast<size_t>(width), 0);
       for (int w = 0; w < width; ++w) {
@@ -216,6 +231,10 @@ class RegionChecker {
     report_.analysisSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    const smt::VerdictCache::CacheStats cs = cache.cacheStats();
+    report_.cacheMemoryHits = cs.memoryHits;
+    report_.cacheDiskHits = cs.diskHits;
+    report_.cacheDiskStores = cs.diskStores;
     return std::move(report_);
   }
 

@@ -51,6 +51,7 @@ class WorkPool;
 
 namespace formad::smt {
 struct FaultInject;
+class PersistentVerdictStore;
 }
 
 namespace formad::racecheck {
@@ -115,6 +116,12 @@ struct RegionRaceReport {
   /// cancellation — rather than by the structure of the query.
   long long degradedPairs = 0;
   double analysisSeconds = 0;
+
+  // Cross-run persistent-cache diagnostics (IO observables; never printed
+  // by describe(), surfaced via the CLI's -cache-stats).
+  long long cacheMemoryHits = 0;
+  long long cacheDiskHits = 0;
+  long long cacheDiskStores = 0;
 };
 
 /// Verdicts for every parallel region of a kernel.
@@ -162,6 +169,12 @@ struct RaceCheckOptions {
   /// Deterministic fault-injection harness for tests and the CI smoke job
   /// (nullptr = off; see smt::FaultInject).
   smt::FaultInject* faultInject = nullptr;
+  /// Optional cross-run persistent verdict store shared with the FormAD
+  /// exploitation phase (the converse queries reuse the same
+  /// content-addressed check records). Verdict-neutral: persisted entries
+  /// are pure functions of conjunction + budget, so reports stay
+  /// byte-identical. Ignored while faultInject is set.
+  smt::PersistentVerdictStore* store = nullptr;
 };
 
 /// Runs the race checker on every parallel region of `kernel`.

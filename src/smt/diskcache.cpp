@@ -1,0 +1,229 @@
+#include "smt/diskcache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "smt/fingerprint.h"
+#include "support/diagnostics.h"
+
+namespace formad::smt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "formadvc 1";
+
+const char* verdictTag(CheckResult r) {
+  switch (r) {
+    case CheckResult::Sat: return "sat";
+    case CheckResult::Unsat: return "unsat";
+    case CheckResult::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::optional<CheckResult> parseVerdict(const std::string& tag) {
+  if (tag == "sat") return CheckResult::Sat;
+  if (tag == "unsat") return CheckResult::Unsat;
+  if (tag == "unknown") return CheckResult::Unknown;
+  return std::nullopt;
+}
+
+}  // namespace
+
+PersistentVerdictStore::PersistentVerdictStore(std::string dir)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_, ec))
+    fail("cache directory '" + dir_ + "' cannot be created: " + ec.message());
+}
+
+std::string PersistentVerdictStore::pathFor(
+    char kind, const std::string& key, const std::string* digest) const {
+  return dir_ + "/" + kind + (digest ? *digest : contentDigest(key)) + ".fvc";
+}
+
+void PersistentVerdictStore::writeRecord(char kind, const std::string& key,
+                                         const std::string& payload,
+                                         const std::string* digestHint) {
+  // Unique temp name: concurrent writers (threads or whole processes
+  // sharing the directory) never collide, and the final rename is atomic —
+  // readers see either no file or a complete one.
+  const unsigned long long n =
+      tmpCounter_.fetch_add(1, std::memory_order_relaxed);
+  const std::string digest = digestHint ? *digestHint : contentDigest(key);
+  const std::string tmp =
+      dir_ + "/.tmp-" + digest + "-" +
+      std::to_string(fnv1a64(digest) ^
+                     reinterpret_cast<unsigned long long>(this)) +
+      "-" + std::to_string(n);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // best effort: an unwritable store is a slow one
+    out << kMagic << ' ' << kind << '\n'
+        << "key " << key.size() << '\n'
+        << key << '\n'
+        << payload << "ok\n";
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), pathFor(kind, key, &digest).c_str()) != 0) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  }
+}
+
+std::optional<std::vector<std::string>> PersistentVerdictStore::readRecord(
+    char kind, const std::string& key, const std::string* digest) const {
+  std::ifstream in(pathFor(kind, key, digest), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != std::string(kMagic) + ' ' + kind)
+    return std::nullopt;
+  if (!std::getline(in, line) || line.rfind("key ", 0) != 0)
+    return std::nullopt;
+  size_t nbytes = 0;
+  try {
+    nbytes = std::stoull(line.substr(4));
+  } catch (...) {
+    return std::nullopt;
+  }
+  // Collision-proof verification: the digest in the file name only located
+  // a candidate; the verdict is served only if the FULL key matches.
+  std::string stored(nbytes, '\0');
+  if (!in.read(stored.data(), static_cast<std::streamsize>(nbytes)) ||
+      stored != key || in.get() != '\n')
+    return std::nullopt;
+  std::vector<std::string> payload;
+  while (std::getline(in, line)) {
+    if (line == "ok") return payload;  // terminator: the record is whole
+    payload.push_back(std::move(line));
+  }
+  return std::nullopt;  // truncated: treat as absent, recompute
+}
+
+std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheck(
+    const std::string& key, long long stepLimit) {
+  auto payload = readRecord('c', key, nullptr);
+  if (payload && payload->size() == 1) {
+    std::istringstream is((*payload)[0]);
+    std::string tag, verdict;
+    VerdictCache::Entry e;
+    int complete = -1;
+    if (is >> tag >> verdict >> e.tier >> complete >> e.steps &&
+        tag == "verdict" && (complete == 0 || complete == 1) && e.tier >= 0 &&
+        e.tier <= 2) {
+      if (auto r = parseVerdict(verdict)) {
+        e.result = *r;
+        e.complete = complete != 0;
+        // The budget-provenance guard governs disk entries exactly as it
+        // governs memory ones.
+        if (VerdictCache::sufficientFor(e, stepLimit)) {
+          checkHits_.fetch_add(1, std::memory_order_relaxed);
+          return e;
+        }
+      }
+    }
+  }
+  checkMisses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void PersistentVerdictStore::storeCheck(const std::string& key,
+                                        const VerdictCache::Entry& e) {
+  std::string payload = "verdict ";
+  payload += verdictTag(e.result);
+  payload += ' ';
+  payload += std::to_string(e.tier);
+  payload += e.complete ? " 1 " : " 0 ";
+  payload += std::to_string(e.steps);
+  payload += '\n';
+  writeRecord('c', key, payload, nullptr);
+  checkStores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<PersistentVerdictStore::TaskRecord>
+PersistentVerdictStore::loadTask(const std::string& key, long long stepLimit,
+                                 const std::string& digest) {
+  auto payload = readRecord('t', key, &digest);
+  if (payload && !payload->empty()) {
+    std::istringstream head((*payload)[0]);
+    std::string tag;
+    int unsat = -1, pairSafe = -1;
+    size_t nChecks = 0;
+    if (head >> tag >> unsat >> pairSafe >> nChecks && tag == "task" &&
+        (unsat == 0 || unsat == 1) && (pairSafe == 0 || pairSafe == 1) &&
+        payload->size() == nChecks + 1) {
+      TaskRecord rec;
+      rec.unsat = unsat != 0;
+      rec.pairSafe = pairSafe != 0;
+      bool good = true;
+      for (size_t i = 0; i < nChecks && good; ++i) {
+        std::istringstream is((*payload)[i + 1]);
+        int tier = -1, exhausted = -1;
+        long long steps = 0;
+        good = static_cast<bool>(is >> tag >> tier >> exhausted >> steps) &&
+               tag == "c" && tier >= 0 && tier <= 2 &&
+               (exhausted == 0 || exhausted == 1);
+        if (!good) break;
+        // Serve the record only when EVERY recorded check would have been
+        // derived identically under the caller's budget; then induction
+        // over the probe sequence gives the same walk, same stopping
+        // point, same verdict.
+        VerdictCache::Entry e{CheckResult::Unknown, tier, exhausted == 0,
+                              steps};
+        good = VerdictCache::sufficientFor(e, stepLimit);
+        rec.tiers.push_back(tier);
+        rec.exhausted.push_back(static_cast<char>(exhausted));
+        rec.steps.push_back(steps);
+      }
+      if (good) {
+        taskHits_.fetch_add(1, std::memory_order_relaxed);
+        return rec;
+      }
+    }
+  }
+  taskMisses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void PersistentVerdictStore::storeTask(const std::string& key,
+                                       const TaskRecord& rec,
+                                       const std::string& digest) {
+  std::string payload = "task ";
+  payload += rec.unsat ? "1 " : "0 ";
+  payload += rec.pairSafe ? "1 " : "0 ";
+  payload += std::to_string(rec.tiers.size());
+  payload += '\n';
+  for (size_t i = 0; i < rec.tiers.size(); ++i) {
+    payload += "c ";
+    payload += std::to_string(rec.tiers[i]);
+    payload += rec.exhausted[i] != 0 ? " 1 " : " 0 ";
+    payload += std::to_string(rec.steps[i]);
+    payload += '\n';
+  }
+  writeRecord('t', key, payload, &digest);
+  taskStores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PersistentVerdictStore::Stats PersistentVerdictStore::stats() const {
+  Stats s;
+  s.checkHits = checkHits_.load(std::memory_order_relaxed);
+  s.checkMisses = checkMisses_.load(std::memory_order_relaxed);
+  s.checkStores = checkStores_.load(std::memory_order_relaxed);
+  s.taskHits = taskHits_.load(std::memory_order_relaxed);
+  s.taskMisses = taskMisses_.load(std::memory_order_relaxed);
+  s.taskStores = taskStores_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace formad::smt

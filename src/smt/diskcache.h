@@ -1,0 +1,119 @@
+// Disk-backed content-addressed verdict store (the `-cache-dir` layer).
+//
+// Persists two record kinds across runs, both keyed by canonical CONTENT
+// fingerprints (smt/fingerprint.h) so any process that builds the same
+// logical conjunction — regardless of atom interning order — addresses the
+// same entry:
+//
+//   - check records: one solver verdict per conjunction fingerprint, the
+//     durable twin of a VerdictCache::Entry (verdict, decision tier, and
+//     the PR 5 budget provenance). VerdictCache consults the store on a
+//     memory miss and writes through on store().
+//   - task records: the outcome of one scheduler QueryTask (consistency
+//     probe or pair-probe sequence), keyed by base-conjunction fingerprint
+//     plus the ordered probe keys. The scheduler splices these into its
+//     result table before evaluation, so a warm run of an unchanged
+//     context performs ZERO solver checks — not even cache-hit ones.
+//
+// Durability contract:
+//   - every file carries its FULL key and is verified byte-for-byte on
+//     load; the 128-bit digest in the file name only locates candidates,
+//     so a digest collision costs a miss, never a wrong verdict;
+//   - files end with an `ok` terminator; corrupt or truncated files (torn
+//     writes, disk faults, concurrent writers on non-POSIX filesystems)
+//     fall through to recompute — loads NEVER throw;
+//   - writes go to a unique temp file and are renamed into place, so
+//     concurrent runs sharing one cache directory never observe partial
+//     records;
+//   - budget provenance rides along, and loads re-apply
+//     VerdictCache::sufficientFor under the CALLER's step limit — a
+//     budget-starved Unknown persisted by one run can never poison a later
+//     unlimited run, and vice versa.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smt/solver.h"
+
+namespace formad::smt {
+
+/// Thread-safe persistent verdict store over one directory. Safe to share
+/// between all solvers/schedulers of a run and between concurrent runs.
+class PersistentVerdictStore {
+ public:
+  /// Opens (creating if needed) the store directory. Throws formad::Error
+  /// when the directory cannot be created or is not writable.
+  explicit PersistentVerdictStore(std::string dir);
+
+  /// Outcome of one persisted scheduler task: the summary verdict plus the
+  /// per-check replay trace (tier / exhausted flag / step provenance per
+  /// check, in probe order).
+  struct TaskRecord {
+    bool unsat = false;     // Consistency: base proven Unsat
+    bool pairSafe = false;  // Pair: some probe proved disjointness
+    std::vector<int> tiers;
+    std::vector<char> exhausted;
+    std::vector<long long> steps;  // complete: steps used; else limit hit
+  };
+
+  /// Loads the check verdict persisted under `key`, or nullopt when absent,
+  /// corrupt, keyed differently (digest collision), or recorded under a
+  /// budget insufficient for `stepLimit`.
+  [[nodiscard]] std::optional<VerdictCache::Entry> loadCheck(
+      const std::string& key, long long stepLimit);
+  void storeCheck(const std::string& key, const VerdictCache::Entry& e);
+
+  /// Loads the task record persisted under `key`; same guard as loadCheck,
+  /// applied to EVERY recorded check (the replayed probe walk matches what
+  /// re-derivation under `stepLimit` would produce only if each recorded
+  /// verdict does). `digest` names the file: the caller supplies any
+  /// 32-hex digest that is a pure function of task content and uses the
+  /// same derivation for store and load (the scheduler accumulates its
+  /// structural digest in O(1) along the base prefix tree — see
+  /// QueryTask::digest — so the multi-KB key is never re-walked here).
+  /// Correctness never depends on the naming scheme: the full key is
+  /// verified byte-for-byte on every load, so a digest collision costs a
+  /// miss, never a wrong verdict.
+  [[nodiscard]] std::optional<TaskRecord> loadTask(const std::string& key,
+                                                   long long stepLimit,
+                                                   const std::string& digest);
+  void storeTask(const std::string& key, const TaskRecord& rec,
+                 const std::string& digest);
+
+  /// Monotone IO counters (relaxed atomics; snapshot semantics only).
+  struct Stats {
+    long long checkHits = 0;
+    long long checkMisses = 0;
+    long long checkStores = 0;
+    long long taskHits = 0;
+    long long taskMisses = 0;
+    long long taskStores = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  /// `digest` in these three: the file-naming digest — caller-supplied for
+  /// task records, contentDigest(key) (passed by loadCheck/storeCheck) for
+  /// check records.
+  [[nodiscard]] std::string pathFor(char kind, const std::string& key,
+                                    const std::string* digest) const;
+  /// Writes `payload` atomically to the final path for (kind, key).
+  void writeRecord(char kind, const std::string& key,
+                   const std::string& payload, const std::string* digest);
+  /// Reads + verifies the record file for (kind, key); returns the payload
+  /// lines between the verified key and the `ok` terminator, or nullopt.
+  [[nodiscard]] std::optional<std::vector<std::string>> readRecord(
+      char kind, const std::string& key, const std::string* digest) const;
+
+  std::string dir_;
+  std::atomic<long long> checkHits_{0}, checkMisses_{0}, checkStores_{0};
+  std::atomic<long long> taskHits_{0}, taskMisses_{0}, taskStores_{0};
+  std::atomic<unsigned long long> tmpCounter_{0};
+};
+
+}  // namespace formad::smt

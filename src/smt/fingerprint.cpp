@@ -1,0 +1,98 @@
+#include "smt/fingerprint.h"
+
+#include <algorithm>
+
+#include "smt/solver.h"
+
+namespace formad::smt {
+
+const std::string& Fingerprinter::atomKey(AtomId id) {
+  auto idx = static_cast<size_t>(id);
+  if (idx >= memo_.size()) memo_.resize(idx + 1);
+  std::string& slot = memo_[idx];
+  if (!slot.empty()) return slot;
+  const Atom& a = atoms_->atom(id);
+  std::string key;
+  if (a.kind == AtomKind::Var) {
+    key = a.name;
+    key += '#';
+    key += std::to_string(a.instance);
+    if (a.primed) key += '\'';
+  } else {
+    key = a.fn;
+    key += '(';
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (i) key += ',';
+      // exprKey may grow memo_ and invalidate `slot`; build into `key`
+      // first and re-resolve the slot below.
+      key += exprKey(a.args[i]);
+    }
+    key += ')';
+  }
+  memo_[idx] = std::move(key);
+  return memo_[idx];
+}
+
+std::string Fingerprinter::exprKey(const LinExpr& e) {
+  // Terms sorted by atom CONTENT key: interning order (AtomId) is a
+  // per-process accident and must not leak into the fingerprint.
+  // Derive every key first: atomKey may grow memo_, which would move the
+  // strings a pointer captured below refers to. Once derived, the second
+  // pass hits only memoized slots and memo_ stays put.
+  for (const auto& [id, c] : e.coeffs()) (void)atomKey(id);
+  std::vector<std::pair<const std::string*, const Rational*>> terms;
+  terms.reserve(e.coeffs().size());
+  for (const auto& [id, c] : e.coeffs()) terms.emplace_back(&atomKey(id), &c);
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  std::string key;
+  for (const auto& [ak, c] : terms) {
+    key += c->str();
+    key += '*';
+    key += *ak;
+    key += '+';
+  }
+  key += e.constant().str();
+  return key;
+}
+
+std::string Fingerprinter::constraintKey(const Constraint& c) {
+  const char* tag = c.rel == Rel::Eq ? "=" : c.rel == Rel::Ne ? "!" : "<";
+  return tag + exprKey(c.expr);
+}
+
+std::string conjunctionKey(std::vector<std::string> parts) {
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const auto& p : parts) {
+    key += p;
+    key += ';';
+  }
+  return key;
+}
+
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string digestHex(std::uint64_t lo, std::uint64_t hi) {
+  static const char* hex = "0123456789abcdef";
+  const std::uint64_t halves[2] = {lo, hi};
+  std::string out;
+  out.reserve(32);
+  for (std::uint64_t h : halves)
+    for (int shift = 60; shift >= 0; shift -= 4)
+      out += hex[(h >> shift) & 0xF];
+  return out;
+}
+
+std::string contentDigest(const std::string& key) {
+  return digestHex(fnv1a64(key), fnv1a64(key, kDigestSeed2));
+}
+
+}  // namespace formad::smt

@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "smt/diskcache.h"
 #include "support/diagnostics.h"
 
 namespace formad::smt {
@@ -18,33 +19,88 @@ std::string to_string(CheckResult r) {
   return "?";
 }
 
+namespace {
+
+/// Shared upgrade policy: true when `e` covers strictly more budgets than
+/// `cur` (a complete verdict over an exhausted one, or an exhaustion at a
+/// larger limit). Serving is guarded by sufficientFor, so this policy only
+/// affects hit rates, never verdicts.
+bool upgrades(const VerdictCache::Entry& e, const VerdictCache::Entry& cur) {
+  return (e.complete && !cur.complete) ||
+         (!e.complete && !cur.complete && e.steps > cur.steps);
+}
+
+void bumpTier(std::array<std::atomic<long long>, 3>& tiers, int tier) {
+  if (tier >= 0 && tier < 3)
+    tiers[static_cast<size_t>(tier)].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 std::optional<VerdictCache::Entry> VerdictCache::lookup(
     const std::string& key, long long stepLimit) {
-  Shard& s = shardFor(key);
-  std::lock_guard<std::mutex> lk(s.mu);
-  auto it = s.map.find(key);
-  if (it == s.map.end() || !sufficientFor(it->second, stepLimit)) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+  {
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end() && sufficientFor(it->second, stepLimit)) {
+      memoryHits_.fetch_add(1, std::memory_order_relaxed);
+      bumpTier(memoryHitTiers_, it->second.tier);
+      return it->second;
+    }
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  // Memory miss: consult the persistent store (IO outside the shard lock;
+  // the store applies the same sufficientFor guard) and memoize a hit so
+  // the rest of the run pays the disk read once per conjunction.
+  if (store_ != nullptr) {
+    if (auto e = store_->loadCheck(key, stepLimit)) {
+      diskHits_.fetch_add(1, std::memory_order_relaxed);
+      bumpTier(diskHitTiers_, e->tier);
+      Shard& s = shardFor(key);
+      std::lock_guard<std::mutex> lk(s.mu);
+      auto [it, inserted] = s.map.emplace(key, *e);
+      if (!inserted && upgrades(*e, it->second)) it->second = *e;
+      return e;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 void VerdictCache::store(const std::string& key, CheckResult r, int tier,
                          bool complete, long long steps) {
-  Shard& s = shardFor(key);
-  std::lock_guard<std::mutex> lk(s.mu);
-  auto [it, inserted] = s.map.emplace(key, Entry{r, tier, complete, steps});
-  if (inserted) return;
-  // Upgrade in place when the new verdict covers strictly more budgets:
-  // a complete verdict over an exhausted one, or an exhaustion at a larger
-  // limit. Serving is guarded by sufficientFor, so this policy only
-  // affects hit rates, never verdicts.
-  Entry& cur = it->second;
-  if ((complete && !cur.complete) ||
-      (!complete && !cur.complete && steps > cur.steps))
-    cur = Entry{r, tier, complete, steps};
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  const Entry e{r, tier, complete, steps};
+  bool fresh = false;
+  {
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto [it, inserted] = s.map.emplace(key, e);
+    fresh = inserted;
+    if (!inserted && upgrades(e, it->second)) {
+      it->second = e;
+      fresh = true;
+    }
+  }
+  // Write-through outside the lock; only new/upgraded entries hit the disk.
+  if (fresh && store_ != nullptr) {
+    store_->storeCheck(key, e);
+    diskStores_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+VerdictCache::CacheStats VerdictCache::cacheStats() const {
+  CacheStats cs;
+  cs.memoryHits = memoryHits_.load(std::memory_order_relaxed);
+  cs.diskHits = diskHits_.load(std::memory_order_relaxed);
+  cs.misses = misses_.load(std::memory_order_relaxed);
+  cs.stores = stores_.load(std::memory_order_relaxed);
+  cs.diskStores = diskStores_.load(std::memory_order_relaxed);
+  for (size_t t = 0; t < 3; ++t) {
+    cs.memoryHitTiers[t] = memoryHitTiers_[t].load(std::memory_order_relaxed);
+    cs.diskHitTiers[t] = diskHitTiers_[t].load(std::memory_order_relaxed);
+  }
+  return cs;
 }
 
 size_t VerdictCache::size() const {
@@ -92,7 +148,7 @@ void Solver::requireOwner() {
 
 void Solver::add(Constraint c) {
   requireOwner();
-  keys_.push_back(constraintKey(c));
+  keys_.push_back(fp_.constraintKey(c));
   stack_.push_back(std::move(c));
   ++stats_.assertionsAdded;
 }
@@ -110,11 +166,6 @@ void Solver::pop() {
   stack_.resize(marks_.back());
   keys_.resize(marks_.back());
   marks_.pop_back();
-}
-
-std::string Solver::constraintKey(const Constraint& c) {
-  const char* tag = c.rel == Rel::Eq ? "=" : c.rel == Rel::Ne ? "!" : "<";
-  return tag + c.expr.key();
 }
 
 std::string Solver::stackKey() const {
@@ -154,6 +205,7 @@ CheckResult Solver::check() {
     if (auto cached = sharedCache_->lookup(key, stepLimit_)) {
       ++stats_.cacheHits;
       lastTier_ = cached->tier;
+      lastSteps_ = cached->steps;  // served provenance (see lastCheckSteps)
       if (!cached->complete) {
         lastBudgetExhausted_ = true;
         ++stats_.budgetExhausted;
@@ -170,6 +222,7 @@ CheckResult Solver::check() {
       VerdictCache::sufficientFor(it->second, stepLimit_)) {
     ++stats_.cacheHits;
     lastTier_ = it->second.tier;
+    lastSteps_ = it->second.steps;
     if (!it->second.complete) {
       lastBudgetExhausted_ = true;
       ++stats_.budgetExhausted;

@@ -32,6 +32,7 @@
 #include "smt/budget.h"
 #include "smt/congruence.h"
 #include "smt/fastpath.h"
+#include "smt/fingerprint.h"
 #include "smt/hnf.h"
 #include "smt/lia.h"
 #include "smt/term.h"
@@ -41,6 +42,8 @@ class CancelToken;
 }
 
 namespace formad::smt {
+
+class PersistentVerdictStore;
 
 enum class CheckResult { Sat, Unsat, Unknown };
 
@@ -87,12 +90,14 @@ struct FaultInject {
 /// one parallel analysis. Keys are canonical assertion-stack fingerprints
 /// (Solver::stackKey), which cover the ENTIRE live stack — including
 /// assertions inside open push/pop scopes — so a verdict recorded under one
-/// scope can never be served for a different one.
+/// scope can never be served for a different one. Keys are CONTENT-based
+/// (smt/fingerprint.h): two runs that build the same logical conjunction
+/// derive the same key no matter how their atom tables are laid out, which
+/// is what makes the optional disk layer (attachStore) meaningful.
 ///
-/// Keys embed AtomIds, which are only meaningful relative to one AtomTable;
-/// sharing a cache across tables would alias unrelated conjunctions. The
-/// cache therefore binds to the table of the first solver that attaches and
-/// rejects attachment from any other table.
+/// Each solver still derives keys through its own per-table memo, so the
+/// cache binds to the table of the first solver that attaches and rejects
+/// attachment from any other table (one cache = one analysis).
 class VerdictCache {
  public:
   /// A cached verdict plus the decision tier (0/1 fast path, 2 full solve)
@@ -130,21 +135,49 @@ class VerdictCache {
   /// provenance is insufficient for `stepLimit` counts as a miss (the
   /// caller re-derives under its own budget; store() keeps the first
   /// entry, which is fine — lookups are guarded, never trusted blindly).
+  /// On a memory miss with a persistent store attached, the store is
+  /// consulted (under the same budget guard) and a disk hit is memoized
+  /// in the shard map for the rest of the run.
   [[nodiscard]] std::optional<Entry> lookup(const std::string& key,
                                             long long stepLimit = 0);
   /// Records a verdict. Concurrent stores of the same key are benign: every
   /// solver derives the same verdict (and tier) for the same fingerprint
   /// under the same budget, and cross-budget reuse is guarded in lookup().
+  /// With a persistent store attached, new or upgraded entries are written
+  /// through (outside the shard lock).
   void store(const std::string& key, CheckResult r, int tier = 2,
              bool complete = true, long long steps = 0);
 
+  /// Attaches a disk-backed persistent store consulted on memory misses and
+  /// written through on stores (nullptr = detach). The store outlives the
+  /// cache and may be shared by many caches and runs concurrently.
+  void attachStore(PersistentVerdictStore* store) { store_ = store; }
+  [[nodiscard]] PersistentVerdictStore* attachedStore() const {
+    return store_;
+  }
+
   [[nodiscard]] long long hits() const {
-    return hits_.load(std::memory_order_relaxed);
+    return memoryHits_.load(std::memory_order_relaxed) +
+           diskHits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] long long misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] size_t size() const;
+
+  /// Snapshot of the cache's own counters, split by layer and — for hits —
+  /// by the decision tier recorded with the served verdict. IO/timing
+  /// dependent diagnostics only: never folded into deterministic reports.
+  struct CacheStats {
+    long long memoryHits = 0;
+    long long diskHits = 0;    // served from the persistent store
+    long long misses = 0;      // not served by either layer
+    long long stores = 0;      // store() calls
+    long long diskStores = 0;  // entries written through to disk
+    std::array<long long, 3> memoryHitTiers{};
+    std::array<long long, 3> diskHitTiers{};
+  };
+  [[nodiscard]] CacheStats cacheStats() const;
 
  private:
   friend class Solver;
@@ -162,8 +195,14 @@ class VerdictCache {
   }
 
   std::array<Shard, kShards> shards_;
-  std::atomic<long long> hits_{0};
+  PersistentVerdictStore* store_ = nullptr;
+  std::atomic<long long> memoryHits_{0};
+  std::atomic<long long> diskHits_{0};
   std::atomic<long long> misses_{0};
+  std::atomic<long long> stores_{0};
+  std::atomic<long long> diskStores_{0};
+  std::array<std::atomic<long long>, 3> memoryHitTiers_{};
+  std::array<std::atomic<long long>, 3> diskHitTiers_{};
   std::mutex bindMu_;
   const AtomTable* atoms_ = nullptr;  // guarded by bindMu_
 };
@@ -271,7 +310,10 @@ class Solver {
   [[nodiscard]] bool lastCheckBudgetExhausted() const {
     return lastBudgetExhausted_;
   }
-  /// Deterministic steps the most recent non-cached check() consumed.
+  /// Deterministic step provenance of the most recent check(): the steps a
+  /// fresh solve consumed, or — on a cache hit — the provenance recorded
+  /// with the served entry (so callers persisting budget metadata see the
+  /// same numbers whether the verdict was derived or served).
   [[nodiscard]] long long lastCheckSteps() const { return lastSteps_; }
 
   /// Decision tier of the most recent check(): 0/1 = fast path, 2 = full
@@ -293,10 +335,13 @@ class Solver {
   /// Stats and cache attachment survive.
   void reset();
 
-  /// Canonical fingerprint of one constraint — the unit stackKey() and the
-  /// analysis replay build conjunction fingerprints from. Two constraints
-  /// with equal keys are the same assertion.
-  [[nodiscard]] static std::string constraintKey(const Constraint& c);
+  /// Canonical CONTENT fingerprint of one constraint (smt/fingerprint.h) —
+  /// the unit stackKey() and the analysis replay build conjunction
+  /// fingerprints from. Two constraints with equal keys are the same
+  /// assertion, in this run or any other over the same logical atoms.
+  [[nodiscard]] std::string constraintKey(const Constraint& c) {
+    return fp_.constraintKey(c);
+  }
 
   /// Canonical fingerprint of the current conjunction: per-constraint keys,
   /// sorted (a conjunction is order-independent) and joined. Covers the
@@ -319,6 +364,9 @@ class Solver {
   void requireOwner();
 
   AtomTable& atoms_;
+  /// Content-key deriver over atoms_ (memoized per atom). Thread-confined
+  /// with the solver; survives reset() like the memo it carries.
+  Fingerprinter fp_{atoms_};
   std::vector<Constraint> stack_;
   /// constraintKey of each stack_ entry, maintained by add/pop/reset so
   /// stackKey() never re-derives expression keys (the schedulers re-check

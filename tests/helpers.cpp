@@ -412,6 +412,22 @@ Harness randomHarness(unsigned seed) {
   return h;
 }
 
+std::string mutateIndexSite(const std::string& source, unsigned seed) {
+  std::vector<size_t> sites;
+  for (size_t at = source.find("[i]"); at != std::string::npos;
+       at = source.find("[i]", at + 1))
+    sites.push_back(at);
+  if (sites.empty()) return source;
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  const size_t at = sites[rng() % sites.size()];
+  const int d = 1 + static_cast<int>(rng() % 3);
+  const char sign = (rng() & 1) != 0 ? '+' : '-';
+  std::string out = source;
+  out.replace(at, 3,
+              std::string("[i ") + sign + ' ' + std::to_string(d) + ']');
+  return out;
+}
+
 std::vector<smt::Constraint> randomConjunction(smt::AtomTable& atoms,
                                                unsigned seed) {
   std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);

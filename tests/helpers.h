@@ -72,6 +72,14 @@ std::string randomKernelSource(unsigned seed);
 /// (u, v, w real arrays; r read-only reals; c a permutation of 0..n-1).
 Harness randomHarness(unsigned seed);
 
+/// Localized, seed-deterministic source edit for the incremental-cache
+/// fuzzer: rewrites exactly ONE bracketed bare `[i]` index (site chosen by
+/// seed) into `[i +/- d]` with a small seed-chosen offset. The edit touches
+/// a single statement, so an incremental re-analysis should re-prove only
+/// the contexts whose knowledge mentions the edited reference. Returns the
+/// source unchanged when it contains no `[i]` site.
+std::string mutateIndexSite(const std::string& source, unsigned seed);
+
 /// Random solver conjunction drawn from the FormAD query grammar: affine
 /// (dis)equalities and bounds over a counter pair, iteration-lattice
 /// coordinates, a parameter, and uninterpreted array reads — the

@@ -1,0 +1,167 @@
+// Persistent-cache behavior through the driver: the randomized edit-replay
+// fuzzer (cache serving must be verdict-neutral under localized kernel
+// edits at any thread count), budget-provenance isolation, and the
+// warm-run zero-fresh-work guarantee.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "driver/driver.h"
+#include "formad/formad.h"
+#include "helpers.h"
+#include "kernels/stencil.h"
+#include "smt/diskcache.h"
+
+namespace {
+
+using namespace formad;
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag)
+      : path(fs::temp_directory_path() /
+             (std::string("formad_cache_") + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+/// Keeps the parsed kernel alive next to its analysis: KernelAnalysis
+/// region verdicts point into the kernel IR (describe() reads the loop
+/// counter name through them).
+struct Analyzed {
+  std::unique_ptr<ir::Kernel> kernel;
+  core::KernelAnalysis analysis;
+};
+
+/// Classic report + tier breakdown, both timing-free: the full
+/// byte-identity surface the cache must not perturb.
+std::string reportOf(const Analyzed& a) {
+  return core::describe(a.analysis, false) + core::describeTiers(a.analysis);
+}
+
+Analyzed analyzeSource(const std::string& source,
+                       const std::vector<std::string>& ind,
+                       const std::vector<std::string>& dep,
+                       const driver::DriverOptions& opts) {
+  auto kernel = parser::parseKernel(source);
+  auto analysis = driver::analyze(*kernel, ind, dep, opts);
+  return {std::move(kernel), std::move(analysis)};
+}
+
+// The core fuzzer: analyze a random kernel cold (populating the store),
+// apply a localized seed-deterministic index edit, then re-analyze the
+// edited kernel warm at several thread counts. Every warm report must be
+// byte-identical to a store-free analysis of the same edited kernel —
+// stale entries for moved fingerprints must never be served, and splicing
+// must not depend on scheduling.
+TEST(PersistentCache, EditReplayFuzzer) {
+  for (unsigned seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto h = formad::testing::randomHarness(seed);
+    const std::string cold = h.spec.source;
+    const std::string edited = formad::testing::mutateIndexSite(cold, seed);
+
+    TempDir dir("fuzz");
+    smt::PersistentVerdictStore store(dir.path.string());
+    driver::DriverOptions withStore;
+    withStore.verdictStore = &store;
+
+    (void)analyzeSource(cold, h.spec.independents, h.spec.dependents,
+                        withStore);
+
+    driver::DriverOptions plain;
+    const std::string want = reportOf(analyzeSource(
+        edited, h.spec.independents, h.spec.dependents, plain));
+    for (int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      withStore.analysisThreads = threads;
+      const auto warm = analyzeSource(edited, h.spec.independents,
+                                      h.spec.dependents, withStore);
+      EXPECT_EQ(reportOf(warm), want);
+    }
+  }
+}
+
+// A cold run under a starvation budget persists exhausted verdicts; a
+// later unlimited run over the same store must not be poisoned by them —
+// its report must match a store-free unlimited analysis exactly.
+TEST(PersistentCache, BudgetStarvedEntriesNeverPoisonUnlimitedRuns) {
+  const auto spec = kernels::stencilSpec(2);
+  TempDir dir("budget");
+  smt::PersistentVerdictStore store(dir.path.string());
+
+  driver::DriverOptions starved;
+  starved.verdictStore = &store;
+  starved.solverStepBudget = 2;
+  (void)analyzeSource(spec.source, spec.independents, spec.dependents,
+                      starved);
+
+  driver::DriverOptions plain;
+  const std::string want = reportOf(
+      analyzeSource(spec.source, spec.independents, spec.dependents, plain));
+
+  driver::DriverOptions unlimited;
+  unlimited.verdictStore = &store;
+  const auto warm = analyzeSource(spec.source, spec.independents,
+                                  spec.dependents, unlimited);
+  EXPECT_EQ(reportOf(warm), want);
+  // And the unlimited pass back-fills the store: a THIRD run is fully warm.
+  const auto warm2 = analyzeSource(spec.source, spec.independents,
+                                   spec.dependents, unlimited);
+  EXPECT_EQ(reportOf(warm2), want);
+  EXPECT_EQ(warm2.analysis.freshSolverChecks(), 0);
+}
+
+// Steady state: an unchanged kernel re-analyzed over a populated store is
+// served ENTIRELY by task splicing — zero solver checks (not even
+// cache-hit ones), zero tier-2 solves, nothing new persisted.
+TEST(PersistentCache, WarmRunDoesZeroFreshWork) {
+  const auto spec = kernels::stencilSpec(4);
+  TempDir dir("warm");
+  smt::PersistentVerdictStore store(dir.path.string());
+
+  driver::DriverOptions opts;
+  opts.verdictStore = &store;
+  const auto cold = analyzeSource(spec.source, spec.independents,
+                                  spec.dependents, opts);
+  EXPECT_GT(cold.analysis.tasksPersisted(), 0);
+
+  const auto warm = analyzeSource(spec.source, spec.independents,
+                                  spec.dependents, opts);
+  EXPECT_EQ(warm.analysis.freshSolverChecks(), 0);
+  EXPECT_EQ(warm.analysis.freshTier2Solves(), 0);
+  EXPECT_EQ(warm.analysis.tasksPersisted(), 0);
+  EXPECT_EQ(warm.analysis.tasksSpliced(), cold.analysis.tasksPersisted());
+  EXPECT_EQ(reportOf(warm), reportOf(cold));
+
+  const auto s = store.stats();
+  EXPECT_EQ(s.taskStores, cold.analysis.tasksPersisted());
+  EXPECT_GE(s.taskHits, warm.analysis.tasksSpliced());
+}
+
+// Without a store the analysis must be byte-identical to the seed
+// analyzer, including the cache report rendering all-zero counters.
+TEST(PersistentCache, NoStoreLeavesAnalysisUntouched) {
+  const auto spec = kernels::stencilSpec(2);
+  driver::DriverOptions plain;
+  const auto a = analyzeSource(spec.source, spec.independents,
+                               spec.dependents, plain);
+  EXPECT_EQ(a.analysis.tasksSpliced(), 0);
+  EXPECT_EQ(a.analysis.tasksPersisted(), 0);
+
+  TempDir dir("nostore");
+  smt::PersistentVerdictStore store(dir.path.string());
+  driver::DriverOptions withStore;
+  withStore.verdictStore = &store;
+  const auto b = analyzeSource(spec.source, spec.independents,
+                               spec.dependents, withStore);
+  EXPECT_EQ(reportOf(a), reportOf(b));
+}
+
+}  // namespace

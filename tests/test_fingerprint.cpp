@@ -1,0 +1,284 @@
+// Content-fingerprint stability and persistent-store durability (the
+// -cache-dir layer): golden context fingerprints for the paper kernels,
+// interning-order independence of the canonical keys, edit locality, and
+// recovery from corrupt/truncated/misnamed cache files.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/activity.h"
+#include "analysis/symbols.h"
+#include "formad/knowledge.h"
+#include "helpers.h"
+#include "ir/traversal.h"
+#include "kernels/gfmc.h"
+#include "kernels/greengauss.h"
+#include "kernels/stencil.h"
+#include "parser/parser.h"
+#include "smt/diskcache.h"
+#include "smt/fingerprint.h"
+
+namespace {
+
+using namespace formad;
+namespace fs = std::filesystem;
+
+/// contextFingerprints of every parallel region of `source`, in region
+/// order.
+std::vector<std::map<int, std::string>> regionFingerprints(
+    const std::string& source, const std::vector<std::string>& independents,
+    const std::vector<std::string>& dependents) {
+  auto kernel = parser::parseKernel(source);
+  auto syms = analysis::verifyKernel(*kernel);
+  auto act =
+      analysis::computeActivity(*kernel, syms, independents, dependents);
+  std::vector<std::map<int, std::string>> out;
+  ir::forEachStmt(kernel->body, [&](const ir::Stmt& s) {
+    if (s.kind() != ir::StmtKind::For || !s.as<ir::For>().parallel) return;
+    auto model =
+        core::buildRegionModel(*kernel, s.as<ir::For>(), syms, act);
+    out.push_back(core::contextFingerprints(model));
+  });
+  return out;
+}
+
+/// Temp store directory, removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag)
+      : path(fs::temp_directory_path() /
+             (std::string("formad_fp_") + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+// The kernel behind the edit-locality tests: two branch contexts, each
+// writing u at two DIFFERENT offsets (knowledge constraints normalize to
+// the primed-other difference, so a lone uniform offset would cancel out).
+const char* kLocalityKernel =
+    "kernel loc(n: int in, u: real[] inout, v: real[] in, c: int[] in) {\n"
+    "  parallel for i = 0 : n - 1 : 4 {\n"
+    "    if (c[i] % 2 == 0) {\n"
+    "      u[i] += v[i];\n"
+    "      u[i + 1] += v[i];\n"
+    "    } else {\n"
+    "      u[i + 2] += v[i];\n"
+    "      u[i + 5] += v[i];\n"
+    "    }\n"
+    "  }\n"
+    "}\n";
+
+// Golden digests: any change here means every persisted cache in the wild
+// silently misses (fine) or the canonicalization broke (not fine) — bump
+// consciously, never casually.
+TEST(Fingerprint, GoldenPaperKernels) {
+  const auto stencil = kernels::stencilSpec(2);
+  auto fps = regionFingerprints(stencil.source, stencil.independents,
+                                stencil.dependents);
+  ASSERT_EQ(fps.size(), 1u);
+  EXPECT_EQ(fps[0], (std::map<int, std::string>{
+                        {0, "82a308b4fac7e65006305941f8ee1b80"}}));
+
+  const auto gfmc = kernels::gfmcSplitSpec();
+  fps = regionFingerprints(gfmc.source, gfmc.independents, gfmc.dependents);
+  ASSERT_EQ(fps.size(), 2u);
+  EXPECT_EQ(fps[0], (std::map<int, std::string>{
+                        {1, "7f36b68334c0098501c45f266527f935"}}));
+  EXPECT_EQ(fps[1], (std::map<int, std::string>{
+                        {1, "a695b6e1c13c9af76a436987b9d9bf47"}}));
+
+  const auto gg = kernels::greenGaussSpec();
+  fps = regionFingerprints(gg.source, gg.independents, gg.dependents);
+  ASSERT_EQ(fps.size(), 1u);
+  EXPECT_EQ(fps[0], (std::map<int, std::string>{
+                        {1, "b9cde78027f23615d28cfeb5013c94c5"}}));
+}
+
+TEST(Fingerprint, GoldenDigestPrimitives) {
+  // Pins the digest algorithm itself (two seeded FNV-1a halves).
+  EXPECT_EQ(smt::contentDigest(""), "cbf29ce4842223259e3779b97f4a7c15");
+  EXPECT_EQ(smt::contentDigest("=1*i#0+0;"),
+            "aee2f5bf0eaebf1fa7412c802aaf6a0f");
+  // digestHex over precomputed halves agrees with contentDigest.
+  const std::string k = "=1*i#0+0;";
+  EXPECT_EQ(smt::digestHex(smt::fnv1a64(k),
+                           smt::fnv1a64(k, smt::kDigestSeed2)),
+            smt::contentDigest(k));
+  // FNV-1a is a streaming left fold: digest(prefix + suffix) resumes from
+  // the prefix state (the scheduler's incremental derivations rely on it).
+  EXPECT_EQ(smt::fnv1a64("abcdef"), smt::fnv1a64("def", smt::fnv1a64("abc")));
+}
+
+TEST(Fingerprint, StableAcrossIndependentBuilds) {
+  const auto spec = kernels::stencilSpec(4);
+  const auto a =
+      regionFingerprints(spec.source, spec.independents, spec.dependents);
+  const auto b =
+      regionFingerprints(spec.source, spec.independents, spec.dependents);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fingerprint, IndependentOfAtomInterningOrder) {
+  // Two tables interning the same atoms in opposite order must produce
+  // byte-identical canonical keys — AtomIds are process accidents.
+  smt::AtomTable fwd, rev;
+  auto i1 = fwd.internVar("i", 0, false);
+  auto j1 = fwd.internVar("j", 0, true);
+  auto j2 = rev.internVar("j", 0, true);
+  auto i2 = rev.internVar("i", 0, false);
+
+  auto keyOf = [](smt::AtomTable& t, smt::AtomId i, smt::AtomId j) {
+    smt::Fingerprinter fp(t);
+    smt::LinExpr e = smt::LinExpr::atom(i);
+    e.addTerm(j, smt::Rational(-1));
+    std::vector<std::string> parts;
+    parts.push_back(fp.constraintKey(smt::Constraint::ne(
+        smt::LinExpr::atom(i), smt::LinExpr::atom(j))));
+    parts.push_back(
+        fp.constraintKey(smt::Constraint{std::move(e), smt::Rel::Eq}));
+    return smt::conjunctionKey(std::move(parts));
+  };
+  const std::string a = keyOf(fwd, i1, j1);
+  const std::string b = keyOf(rev, i2, j2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(smt::contentDigest(a), smt::contentDigest(b));
+}
+
+TEST(Fingerprint, ConjunctionKeyIgnoresPartOrder) {
+  EXPECT_EQ(smt::conjunctionKey({"b", "a", "c"}),
+            smt::conjunctionKey({"c", "a", "b"}));
+  EXPECT_EQ(smt::conjunctionKey({"b", "a", "c"}), "a;b;c;");
+}
+
+TEST(Fingerprint, EditMovesOnlyTheEditedContext) {
+  std::string edited = kLocalityKernel;
+  const size_t at = edited.find("u[i + 5]");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 8, "u[i + 6]");
+
+  const auto base = regionFingerprints(kLocalityKernel, {"v"}, {"u"});
+  const auto moved = regionFingerprints(edited, {"v"}, {"u"});
+  ASSERT_EQ(base.size(), 1u);
+  ASSERT_EQ(moved.size(), 1u);
+  ASSERT_EQ(base[0].size(), 2u);  // then-context and else-context
+  ASSERT_EQ(moved[0].size(), 2u);
+  // The then-branch knowledge never mentions the edited reference: its
+  // fingerprint must not move. The else-branch one must.
+  EXPECT_EQ(base[0].at(1), moved[0].at(1));
+  EXPECT_NE(base[0].at(2), moved[0].at(2));
+}
+
+// --- persistent store durability ---
+
+TEST(DiskCache, CheckRecordRoundtripAndBudgetGuard) {
+  TempDir dir("check");
+  smt::PersistentVerdictStore store(dir.path.string());
+  const std::string key = "!1*i#0'+-1*i#0+0;";
+
+  smt::VerdictCache::Entry complete{smt::CheckResult::Unsat, 2, true, 50};
+  store.storeCheck(key, complete);
+  // Complete verdict: served at any budget that covers its step count.
+  EXPECT_TRUE(store.loadCheck(key, 0).has_value());
+  EXPECT_TRUE(store.loadCheck(key, 50).has_value());
+  EXPECT_FALSE(store.loadCheck(key, 10).has_value());
+  auto e = store.loadCheck(key, 0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->result, smt::CheckResult::Unsat);
+  EXPECT_EQ(e->tier, 2);
+  EXPECT_TRUE(e->complete);
+  EXPECT_EQ(e->steps, 50);
+
+  // Exhausted verdict: only served under a budget no larger than the one
+  // that ran out — a starved Unknown must never poison an unlimited run.
+  const std::string key2 = key + "x";
+  smt::VerdictCache::Entry starved{smt::CheckResult::Unknown, 2, false, 100};
+  store.storeCheck(key2, starved);
+  EXPECT_TRUE(store.loadCheck(key2, 100).has_value());
+  EXPECT_TRUE(store.loadCheck(key2, 50).has_value());
+  EXPECT_FALSE(store.loadCheck(key2, 200).has_value());
+  EXPECT_FALSE(store.loadCheck(key2, 0).has_value());
+}
+
+TEST(DiskCache, TaskRecordRoundtripVerifiesFullKey) {
+  TempDir dir("task");
+  smt::PersistentVerdictStore store(dir.path.string());
+  const std::string key = "P|!1*i#0'+-1*i#0+0;|=1*q#0+0";
+  const std::string digest(32, 'a');
+
+  smt::PersistentVerdictStore::TaskRecord rec;
+  rec.pairSafe = true;
+  rec.tiers = {2, 0};
+  rec.exhausted = {0, 0};
+  rec.steps = {40, 1};
+  store.storeTask(key, rec, digest);
+
+  auto got = store.loadTask(key, 0, digest);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->pairSafe);
+  EXPECT_FALSE(got->unsat);
+  EXPECT_EQ(got->tiers, (std::vector<int>{2, 0}));
+  EXPECT_EQ(got->steps, (std::vector<long long>{40, 1}));
+
+  // A different digest looks under a different file name: miss.
+  EXPECT_FALSE(store.loadTask(key, 0, std::string(32, 'b')).has_value());
+  // Same digest, different key (a simulated digest collision): the full
+  // key verification rejects it — a collision costs a miss, never a wrong
+  // verdict.
+  EXPECT_FALSE(store.loadTask(key + ";", 0, digest).has_value());
+  // Budget guard applies to EVERY recorded check.
+  EXPECT_FALSE(store.loadTask(key, 10, digest).has_value());
+}
+
+TEST(DiskCache, CorruptAndTruncatedFilesFallThrough) {
+  TempDir dir("corrupt");
+  smt::PersistentVerdictStore store(dir.path.string());
+  const std::string key = "!1*i#0'+-1*i#0+0;";
+  store.storeCheck(key, {smt::CheckResult::Unsat, 2, true, 5});
+  ASSERT_TRUE(store.loadCheck(key, 0).has_value());
+
+  fs::path file;
+  for (const auto& e : fs::directory_iterator(dir.path)) file = e.path();
+  ASSERT_FALSE(file.empty());
+
+  // Truncate: drop the trailing "ok" terminator — a torn write.
+  std::string whole;
+  {
+    std::ifstream in(file, std::ios::binary);
+    whole.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(whole.size(), 3u);
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out << whole.substr(0, whole.size() - 3);
+  }
+  EXPECT_FALSE(store.loadCheck(key, 0).has_value());
+
+  // Corrupt: garbage body under the right name.
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out << "not a record at all";
+  }
+  EXPECT_FALSE(store.loadCheck(key, 0).has_value());
+
+  // Empty file.
+  { std::ofstream out(file, std::ios::binary | std::ios::trunc); }
+  EXPECT_FALSE(store.loadCheck(key, 0).has_value());
+
+  // Recovery: a rewrite heals the slot.
+  store.storeCheck(key, {smt::CheckResult::Unsat, 2, true, 5});
+  EXPECT_TRUE(store.loadCheck(key, 0).has_value());
+
+  const auto s = store.stats();
+  EXPECT_EQ(s.checkStores, 2);
+  EXPECT_EQ(s.checkHits, 2);
+  EXPECT_EQ(s.checkMisses, 3);
+}
+
+}  // namespace
