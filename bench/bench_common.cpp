@@ -125,7 +125,10 @@ void writeBenchFile(const std::string& name, const Json& body) {
   // v2: adds the optional persistent-cache members (cacheCountsJson) and
   // the incremental-reanalysis bench file. Existing members are unchanged,
   // so v1 consumers only need to ignore unknown keys.
-  root.set("schema_version", Json::integer(2));
+  // v3: tier-count objects gain absint_facts, and the table1/ablation
+  // files gain absint on/off rows plus tier2_killed_by_absint counters.
+  // Again purely additive: v2 consumers ignore the new keys.
+  root.set("schema_version", Json::integer(3));
   for (const auto& [k, v] : body.members()) root.set(k, v);
   const std::string file = "BENCH_" + name + ".json";
   std::ofstream out(file);
@@ -140,6 +143,7 @@ Json tierCountsJson(const core::KernelAnalysis& a) {
   t.set("tier1", Json::integer(a.tier1Hits()));
   t.set("tier2", Json::integer(a.tier2Checks()));
   t.set("cached", Json::integer(a.cacheHits()));
+  t.set("absint_facts", Json::integer(a.absintFacts()));
   return t;
 }
 

@@ -64,14 +64,15 @@ class Json {
 };
 
 /// Writes BENCH_<name>.json in the working directory with the shared
-/// envelope: {"benchmark": <name>, "schema_version": 1, ...body members...}.
+/// envelope: {"benchmark": <name>, "schema_version": 3, ...body members...}.
 /// `body` must be object(). Prints the "wrote ..." line the CI artifact
 /// step greps for.
 void writeBenchFile(const std::string& name, const Json& body);
 
 /// The per-tier query-count object every analysis bench embeds:
-/// {"queries", "tier0", "tier1", "tier2", "cached"} (see
-/// core::KernelAnalysis — the four components partition queries).
+/// {"queries", "tier0", "tier1", "tier2", "cached", "absint_facts"} (see
+/// core::KernelAnalysis — the four tier components partition queries;
+/// absint_facts is 0 unless the analysis ran with model.absint on).
 [[nodiscard]] Json tierCountsJson(const core::KernelAnalysis& a);
 
 /// The persistent-cache object of the incremental benches (schema v2):

@@ -5,7 +5,9 @@
 // 1/2/4/8 worker threads (-analysis-threads; the statistics themselves
 // are identical at every width) and writes BENCH_table1_analysis.json
 // through the shared writer (bench_common.h), including the per-tier
-// query counts of the fast-path deciders.
+// query counts of the fast-path deciders and, since schema v3, the same
+// tier counts with the abstract interpreter on plus how many tier-2
+// (full-solver) checks the injected invariants eliminated.
 #include <iostream>
 
 #include "bench_common.h"
@@ -48,7 +50,8 @@ int main() {
 
   std::cout << "\n### FormAD analysis statistics — paper Table 1\n\n";
   driver::Table table({"problem", "time [s]", "model size", "queries",
-                       "queries*", "exprs", "stmts", "verdict"});
+                       "queries*", "exprs", "stmts", "tier2 off>on",
+                       "verdict"});
   std::vector<std::string> notes;
   bench::Json cases = bench::Json::array();
   for (const auto& row : rows) {
@@ -61,6 +64,13 @@ int main() {
     noCC.exploit.checkKnowledgeConsistency = false;
     auto exploitOnly = core::analyzeKernel(*kernel, row.spec.independents,
                                            row.spec.dependents, noCC);
+    // Same analysis with the abstract interpreter on: verdicts never
+    // weaken (identical on these kernels), tier-2 (full-solver) checks
+    // shift into the cheaper tiers.
+    core::AnalyzeOptions withAbsint;
+    withAbsint.model.absint = true;
+    auto absintRun = core::analyzeKernel(*kernel, row.spec.independents,
+                                         row.spec.dependents, withAbsint);
 
     bool allSafe = true;
     for (const auto& r : analysis.regions) allSafe = allSafe && r.allSafe();
@@ -71,6 +81,8 @@ int main() {
                   std::to_string(exploitOnly.queries()),
                   std::to_string(analysis.uniqueExprs()),
                   std::to_string(analysis.statementsInRegions()),
+                  std::to_string(analysis.tier2Checks()) + ">" +
+                      std::to_string(absintRun.tier2Checks()),
                   allSafe ? "safe (no atomics)" : "REJECTED (keep guards)"});
     notes.push_back(row.problem + " — " + row.paper);
 
@@ -83,6 +95,10 @@ int main() {
     c.set("stmts", bench::Json::integer(analysis.statementsInRegions()));
     c.set("safe", bench::Json::boolean(allSafe));
     c.set("tiers", bench::tierCountsJson(analysis));
+    c.set("tiers_absint", bench::tierCountsJson(absintRun));
+    c.set("tier2_killed_by_absint",
+          bench::Json::integer(analysis.tier2Checks() -
+                               absintRun.tier2Checks()));
     bench::Json byThreads = bench::Json::object();
     for (int threads : {1, 2, 4, 8}) {
       auto timed = driver::analyze(*kernel, row.spec.independents,

@@ -37,6 +37,21 @@
 // byte-identical with or without the flag. -cache-stats prints the
 // per-region cache breakdown (core::describeCache) plus store-level IO
 // counters to stderr.
+//
+// -absint on|off (default off) runs the abstract interpreter (src/absint/)
+// before analysis: sound interval/stride invariants are injected into the
+// knowledge base and guide the t1-absint fast-path decider. Solver work
+// shifts to cheaper tiers; verdicts can only improve (a stride invariant
+// may prove a collision pair SAFE that the seed model cannot), never
+// weaken, and off is byte-identical to the seed.
+//
+// -lint runs the standalone static linter (absint/lint.h) over the head
+// kernel (or every kernel when -head is omitted), prints the findings, and
+// exits 1 iff anything was flagged. Solver-free; -pin values are honored.
+//
+// -pin name=value (repeatable) pins one never-written integer parameter,
+// merging into the same pin set as -bind; consumed by the race checker,
+// the abstract interpreter, and the linter.
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
@@ -48,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "absint/lint.h"
 #include "ad/forward.h"
 #include "codegen/cgen.h"
 #include "driver/driver.h"
@@ -90,7 +106,13 @@ int usage() {
          "                  [-cache-dir <path>]   (persistent verdict "
          "cache)\n"
          "                  [-cache-stats]   (print cache breakdown to "
-         "stderr)\n";
+         "stderr)\n"
+         "                  [-absint on|off]   (abstract-interpretation "
+         "invariants; default off)\n"
+         "                  [-lint]   (static bounds/race linter; exit 1 "
+         "iff findings)\n"
+         "                  [-pin name=value]   (repeatable parameter pin "
+         "for -lint/-absint/racecheck)\n";
   return 2;
 }
 
@@ -167,6 +189,8 @@ int main(int argc, char** argv) {
   int deadlineMs = 0;          // per-region analysis deadline; 0 = none
   std::string cacheDir;        // "" = no persistent verdict cache
   bool cacheStats = false;
+  bool absintFlag = false;
+  bool lintOnly = false;
   racecheck::RaceCheckOptions rcOpts;
 
   for (int i = 2; i < argc; ++i) {
@@ -189,6 +213,28 @@ int main(int argc, char** argv) {
     else if (arg == "-racecheck") racecheckFlag = true;
     else if (arg == "-racecheck-only") racecheckOnly = true;
     else if (arg == "-bind") rcOpts.paramValues = parseBindings(next());
+    else if (arg == "-lint") lintOnly = true;
+    else if (arg == "-pin") {
+      std::string item = next();
+      size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "bad -pin entry '" << item << "' (expected name=value)\n";
+        return 2;
+      }
+      rcOpts.paramValues[item.substr(0, eq)] =
+          parseIntFlag("-pin", item.substr(eq + 1), INT64_MIN, INT64_MAX,
+                       "name=value with an integer value");
+    }
+    else if (arg == "-absint" || arg.rfind("-absint=", 0) == 0) {
+      std::string v = arg == "-absint" ? next() : arg.substr(8);
+      if (v == "on") absintFlag = true;
+      else if (v == "off") absintFlag = false;
+      else {
+        std::cerr << "bad -absint value '" << v
+                  << "' (expected on or off)\n";
+        return 2;
+      }
+    }
     else if (arg == "-coloring") {
       for (const std::string& a : splitCommas(next()))
         rcOpts.colorings.insert(a);
@@ -244,6 +290,22 @@ int main(int argc, char** argv) {
     ir::Program program = parser::parseProgram(buf.str());
     if (head.empty() && program.kernels().size() == 1)
       head = program.kernels()[0]->name;
+
+    if (lintOnly) {
+      // Standalone static lint: no solver, no differentiation. Exit 1 iff
+      // any linted kernel has findings (the CI smoke job keys off this).
+      absint::LintOptions lopts;
+      lopts.paramValues = rcOpts.paramValues;
+      bool anyFindings = false;
+      for (const auto& kp : program.kernels()) {
+        if (!head.empty() && kp->name != head) continue;
+        absint::LintReport report = absint::lintKernel(*kp, lopts);
+        std::cout << report.render();
+        anyFindings = anyFindings || !report.clean();
+      }
+      return anyFindings ? 1 : 0;
+    }
+
     const ir::Kernel& primal = program.get(head);
 
     // The CLI owns the persistent store (rather than handing the driver a
@@ -281,6 +343,8 @@ int main(int argc, char** argv) {
     driver::DriverOptions analyzeOpts;
     analyzeOpts.analysisThreads = analysisThreads;
     analyzeOpts.fastpath = fastpath;
+    analyzeOpts.absint = absintFlag;
+    analyzeOpts.racecheck = rcOpts;
     analyzeOpts.solverStepBudget = solverBudget;
     analyzeOpts.analysisDeadlineMs = deadlineMs;
     analyzeOpts.verdictStore = store.get();
@@ -304,6 +368,7 @@ int main(int argc, char** argv) {
     dopts.racecheck = rcOpts;
     dopts.analysisThreads = analysisThreads;
     dopts.fastpath = fastpath;
+    dopts.absint = absintFlag;
     dopts.solverStepBudget = solverBudget;
     dopts.analysisDeadlineMs = deadlineMs;
     dopts.verdictStore = store.get();

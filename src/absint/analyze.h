@@ -1,0 +1,103 @@
+// The abstract interpreter: a fixpoint pass over the kernel IR computing,
+// per parallel region and per CFG context, a sound invariant (reduced
+// interval × congruence product, see absint/domain.h) for every integer
+// scalar in scope.
+//
+// The DSL is fully structured (src/cfg/ rejects anything irreducible), so
+// the interpreter follows the statement tree; loops iterate their bodies
+// to a fixpoint with widening after a bounded number of joins, and counted
+// loops additionally get a closed-form counter invariant
+//     counter ∈ [lo, hi],  counter ≡ lo (mod step)
+// read straight off the loop header. Per-context attribution uses the same
+// cfg::buildCfg + cfg::buildContextTree numbering as formad::RegionModel,
+// so consumers can line facts up with knowledge contexts.
+//
+// Soundness: every transfer function over-approximates the concrete
+// semantics and every recorded fact is the join over all fixpoint
+// iterations (an increasing chain, so the join is the stable value). The
+// dynamic oracle in tests/test_absint.cpp re-checks this against the real
+// interpreter on random kernels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "absint/domain.h"
+#include "ir/kernel.h"
+#include "smt/bounds.h"
+
+namespace formad::absint {
+
+struct AbsintOptions {
+  /// Pinned integer parameter values (e.g. from -pin on the CLI): the
+  /// analysis treats these parameters as the given constants. Unpinned
+  /// integer parameters are unknown (top).
+  std::map<std::string, long long> paramValues;
+};
+
+/// Invariants for one parallel region (one `parallel for` loop).
+struct RegionFacts {
+  int region = 0;                 // 0-based, in source order
+  const ir::For* loop = nullptr;  // the parallel loop
+  /// Per-variable facts joined over every program point in the region
+  /// (so they hold for EVERY instance of the variable, plain or primed).
+  std::map<std::string, AbsVal> facts;
+  /// The same facts split by CFG context id (RegionModel numbering).
+  std::map<int, std::map<std::string, AbsVal>> contextFacts;
+
+  /// Count of non-trivial facts (anything below top).
+  [[nodiscard]] int factCount() const;
+  /// Deterministic one-line-per-fact rendering (stable across runs and
+  /// thread counts; used for digests, reports, and golden tests).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The abstract value of a comparison guard `lhs op rhs`, recorded as the
+/// joined abstraction of `lhs - rhs` over every visit. If the difference
+/// decides the comparison, the guard is dead in one direction.
+struct GuardFact {
+  const ir::If* stmt = nullptr;
+  ir::BinOp op = ir::BinOp::Lt;
+  AbsVal diff = AbsVal::bottom();  // bottom until first (reachable) visit
+
+  /// Some(true) = condition provably always holds, Some(false) = provably
+  /// never holds, nullopt = undecided (or the guard is unreachable).
+  [[nodiscard]] std::optional<bool> decided() const;
+};
+
+struct KernelFacts {
+  std::vector<RegionFacts> regions;
+  /// Facts at kernel scope (pinned parameters, pre-region scalars).
+  std::map<std::string, AbsVal> globals;
+  /// Every comparison-shaped If guard, in first-visit (source) order.
+  std::vector<GuardFact> guards;
+
+  [[nodiscard]] int factCount() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runs the abstract interpreter over the kernel. Deterministic and
+/// thread-invariant: pure function of (kernel, options).
+[[nodiscard]] KernelFacts analyzeKernel(const ir::Kernel& k,
+                                        const AbsintOptions& opts = {});
+
+/// Abstract evaluation of an integer expression under per-name facts
+/// (names absent from the env are top; array reads, calls and non-integer
+/// literals are top). The evaluator the interpreter itself uses, exposed
+/// for consumers like the lint pass that re-evaluate index expressions
+/// under region-level facts.
+[[nodiscard]] AbsVal evalExpr(const ir::Expr& e,
+                              const std::map<std::string, AbsVal>& env);
+
+/// Converts one region's facts into the solver-facing hint bundle
+/// (smt/bounds.h), with `salt` = factsDigest so cache keys separate runs
+/// whose facts differ.
+[[nodiscard]] smt::AbsintHints toHints(const RegionFacts& rf);
+
+/// Deterministic 64-bit digest of a region's facts (FNV-1a over the
+/// describe() rendering, never zero).
+[[nodiscard]] std::uint64_t factsDigest(const RegionFacts& rf);
+
+}  // namespace formad::absint

@@ -1,0 +1,453 @@
+#include "absint/domain.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace formad::absint {
+
+namespace {
+
+constexpr long long kI64Max = std::numeric_limits<long long>::max();
+constexpr long long kI64Min = std::numeric_limits<long long>::min();
+
+/// Saturate a 128-bit lower endpoint: anything below the representable
+/// range becomes "unbounded below" (the sound direction).
+std::optional<long long> satLo(__int128 v) {
+  if (v < static_cast<__int128>(kI64Min)) return std::nullopt;
+  if (v > static_cast<__int128>(kI64Max)) return kI64Max;
+  return static_cast<long long>(v);
+}
+
+std::optional<long long> satHi(__int128 v) {
+  if (v > static_cast<__int128>(kI64Max)) return std::nullopt;
+  if (v < static_cast<__int128>(kI64Min)) return kI64Min;
+  return static_cast<long long>(v);
+}
+
+/// Fits in long long, else nullopt.
+std::optional<long long> narrow128(__int128 v) {
+  if (v > static_cast<__int128>(kI64Max) || v < static_cast<__int128>(kI64Min))
+    return std::nullopt;
+  return static_cast<long long>(v);
+}
+
+long long gcdll(long long a, long long b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    long long t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Euclidean remainder: 0 <= result < |m|.
+long long emod(__int128 v, long long m) {
+  FORMAD_ASSERT(m != 0, "emod by zero");
+  if (m < 0) m = -m;
+  long long r = static_cast<long long>(v % m);
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Itv --
+
+Itv Itv::range(long long lo, long long hi) {
+  Itv v;
+  v.lo = lo;
+  v.hi = hi;
+  v.bot = hi < lo;
+  return v;
+}
+
+bool Itv::contains(long long v) const {
+  if (bot) return false;
+  if (lo && v < *lo) return false;
+  if (hi && v > *hi) return false;
+  return true;
+}
+
+bool Itv::sameAs(const Itv& o) const {
+  return bot == o.bot && lo == o.lo && hi == o.hi;
+}
+
+std::string Itv::str() const {
+  if (bot) return "[bot]";
+  std::ostringstream os;
+  os << "[";
+  if (lo)
+    os << *lo;
+  else
+    os << "-inf";
+  os << ", ";
+  if (hi)
+    os << *hi;
+  else
+    os << "+inf";
+  os << "]";
+  return os.str();
+}
+
+Itv join(const Itv& a, const Itv& b) {
+  if (a.bot) return b;
+  if (b.bot) return a;
+  Itv r;
+  if (a.lo && b.lo) r.lo = std::min(*a.lo, *b.lo);
+  if (a.hi && b.hi) r.hi = std::max(*a.hi, *b.hi);
+  return r;
+}
+
+Itv meet(const Itv& a, const Itv& b) {
+  if (a.bot || b.bot) return Itv::bottom();
+  Itv r;
+  if (a.lo && b.lo)
+    r.lo = std::max(*a.lo, *b.lo);
+  else
+    r.lo = a.lo ? a.lo : b.lo;
+  if (a.hi && b.hi)
+    r.hi = std::min(*a.hi, *b.hi);
+  else
+    r.hi = a.hi ? a.hi : b.hi;
+  if (r.lo && r.hi && *r.hi < *r.lo) return Itv::bottom();
+  return r;
+}
+
+Itv widen(const Itv& a, const Itv& b) {
+  if (a.bot) return b;
+  if (b.bot) return a;
+  Itv r;
+  // Keep a stable endpoint; an endpoint that moved outward goes to
+  // infinity so ascending chains stabilize in one step per side.
+  if (a.lo && b.lo && *b.lo >= *a.lo) r.lo = a.lo;
+  if (a.hi && b.hi && *b.hi <= *a.hi) r.hi = a.hi;
+  return r;
+}
+
+Itv add(const Itv& a, const Itv& b) {
+  if (a.bot || b.bot) return Itv::bottom();
+  Itv r;
+  if (a.lo && b.lo)
+    r.lo = satLo(static_cast<__int128>(*a.lo) + *b.lo);
+  if (a.hi && b.hi)
+    r.hi = satHi(static_cast<__int128>(*a.hi) + *b.hi);
+  return r;
+}
+
+Itv sub(const Itv& a, const Itv& b) {
+  if (a.bot || b.bot) return Itv::bottom();
+  Itv r;
+  if (a.lo && b.hi)
+    r.lo = satLo(static_cast<__int128>(*a.lo) - *b.hi);
+  if (a.hi && b.lo)
+    r.hi = satHi(static_cast<__int128>(*a.hi) - *b.lo);
+  return r;
+}
+
+Itv neg(const Itv& a) {
+  if (a.bot) return Itv::bottom();
+  Itv r;
+  if (a.hi) r.lo = satLo(-static_cast<__int128>(*a.hi));
+  if (a.lo) r.hi = satHi(-static_cast<__int128>(*a.lo));
+  return r;
+}
+
+Itv mul(const Itv& a, const Itv& b) {
+  if (a.bot || b.bot) return Itv::bottom();
+  // Fully bounded on both sides: min/max over the endpoint products.
+  if (a.lo && a.hi && b.lo && b.hi) {
+    __int128 c[4] = {static_cast<__int128>(*a.lo) * *b.lo,
+                     static_cast<__int128>(*a.lo) * *b.hi,
+                     static_cast<__int128>(*a.hi) * *b.lo,
+                     static_cast<__int128>(*a.hi) * *b.hi};
+    __int128 mn = c[0], mx = c[0];
+    for (__int128 v : c) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    Itv r;
+    r.lo = satLo(mn);
+    r.hi = satHi(mx);
+    return r;
+  }
+  // Multiplication by an exact constant keeps half-bounded information.
+  const Itv* k = a.isConstant() ? &a : (b.isConstant() ? &b : nullptr);
+  const Itv* x = a.isConstant() ? &b : &a;
+  if (k != nullptr) {
+    long long c = *k->lo;
+    if (c == 0) return Itv::constant(0);
+    Itv r;
+    if (c > 0) {
+      if (x->lo) r.lo = satLo(static_cast<__int128>(*x->lo) * c);
+      if (x->hi) r.hi = satHi(static_cast<__int128>(*x->hi) * c);
+    } else {
+      if (x->hi) r.lo = satLo(static_cast<__int128>(*x->hi) * c);
+      if (x->lo) r.hi = satHi(static_cast<__int128>(*x->lo) * c);
+    }
+    return r;
+  }
+  return Itv::top();
+}
+
+Itv div(const Itv& a, const Itv& b) {
+  if (a.bot || b.bot) return Itv::bottom();
+  // Only division by a nonzero constant is tracked (the kernels' shape);
+  // truncating division is monotone in the dividend for a fixed divisor,
+  // so endpoint quotients bound the result.
+  if (!b.isConstant() || *b.lo == 0) return Itv::top();
+  long long c = *b.lo;
+  Itv r;
+  if (c > 0) {
+    if (a.lo) r.lo = *a.lo / c;
+    if (a.hi) r.hi = *a.hi / c;
+  } else {
+    if (a.hi) r.lo = *a.hi / c;
+    if (a.lo) r.hi = *a.lo / c;
+  }
+  return r;
+}
+
+Itv mod(const Itv& a, const Itv& b) {
+  if (a.bot || b.bot) return Itv::bottom();
+  if (!b.isConstant() || *b.lo == 0) return Itv::top();
+  long long c = *b.lo;
+  if (c < 0) c = -c;
+  // C-style % has the sign of the dividend.
+  if (a.lo && *a.lo >= 0) {
+    // Entirely nonnegative dividend: result in [0, c-1], and a dividend
+    // already inside [0, c) passes through unchanged.
+    if (a.hi && *a.hi < c) return a;
+    return Itv::range(0, c - 1);
+  }
+  return Itv::range(-(c - 1), c - 1);
+}
+
+// --------------------------------------------------------------- Cong --
+
+Cong Cong::make(long long m, long long r) {
+  if (m < 0) m = -m;
+  if (m == 0) return {0, r};
+  if (m == 1) return {1, 0};
+  return {m, emod(r, m)};
+}
+
+bool Cong::contains(long long v) const {
+  if (m == 0) return v == r;
+  if (m == 1) return true;
+  return emod(v, m) == emod(r, m);
+}
+
+std::string Cong::str() const {
+  if (m == 1) return "top";
+  if (m == 0) return "const " + std::to_string(r);
+  return std::to_string(r) + " (mod " + std::to_string(m) + ")";
+}
+
+Cong join(const Cong& a, const Cong& b) {
+  if (a.isConstant() && b.isConstant() && a.r == b.r) return a;
+  long long g = gcdll(gcdll(a.m, b.m), a.r >= b.r ? a.r - b.r : b.r - a.r);
+  if (g == 0) return Cong::constant(a.r);
+  return Cong::make(g, a.r);
+}
+
+std::optional<Cong> meet(const Cong& a, const Cong& b) {
+  if (a.isTop()) return b;
+  if (b.isTop()) return a;
+  if (a.isConstant()) return b.contains(a.r) ? std::optional<Cong>(a) : std::nullopt;
+  if (b.isConstant()) return a.contains(b.r) ? std::optional<Cong>(b) : std::nullopt;
+  // CRT: x ≡ a.r (mod a.m) ∧ x ≡ b.r (mod b.m).
+  long long g = gcdll(a.m, b.m);
+  if (emod(a.r - b.r, g) != 0) return std::nullopt;
+  __int128 l = static_cast<__int128>(a.m) / g * b.m;  // lcm
+  if (l > static_cast<__int128>(kI64Max)) return a;   // sound coarse fallback
+  long long lcm = static_cast<long long>(l);
+  if (lcm / a.m > 4096) return a;  // sound coarse fallback for huge moduli
+  // Walk a's lattice to the first point also on b's (moduli are small in
+  // kernel indexing; bounded by lcm/a.m iterations).
+  long long x = a.r;
+  for (long long i = 0; i < lcm / a.m; ++i) {
+    if (b.contains(x)) return Cong::make(lcm, x);
+    x += a.m;
+  }
+  return std::nullopt;
+}
+
+Cong add(const Cong& a, const Cong& b) {
+  auto r = narrow128(static_cast<__int128>(a.r) + b.r);
+  if (!r) return Cong::top();
+  return Cong::make(gcdll(a.m, b.m), *r);
+}
+
+Cong sub(const Cong& a, const Cong& b) {
+  auto r = narrow128(static_cast<__int128>(a.r) - b.r);
+  if (!r) return Cong::top();
+  return Cong::make(gcdll(a.m, b.m), *r);
+}
+
+Cong mul(const Cong& a, const Cong& b) {
+  // Granger: (a.m·Z + a.r)(b.m·Z + b.r) ⊆ gcd(a.m·b.m, a.m·b.r, b.m·a.r)·Z
+  //          + a.r·b.r.
+  auto mm = narrow128(static_cast<__int128>(a.m) * b.m);
+  auto mr = narrow128(static_cast<__int128>(a.m) * b.r);
+  auto rm = narrow128(static_cast<__int128>(b.m) * a.r);
+  auto rr = narrow128(static_cast<__int128>(a.r) * b.r);
+  if (!mm || !mr || !rm || !rr) return Cong::top();
+  return Cong::make(gcdll(gcdll(*mm, *mr), *rm), *rr);
+}
+
+Cong neg(const Cong& a) { return Cong::make(a.m, -a.r); }
+
+// ------------------------------------------------------------- AbsVal --
+
+AbsVal AbsVal::bottom() {
+  AbsVal v;
+  v.itv = Itv::bottom();
+  v.bot = true;
+  return v;
+}
+
+AbsVal AbsVal::constant(long long v) {
+  AbsVal a;
+  a.itv = Itv::constant(v);
+  a.cong = Cong::constant(v);
+  return a;
+}
+
+bool AbsVal::contains(long long v) const {
+  return !bot && itv.contains(v) && cong.contains(v);
+}
+
+bool AbsVal::sameAs(const AbsVal& o) const {
+  return bot == o.bot && itv.sameAs(o.itv) && cong.sameAs(o.cong);
+}
+
+std::string AbsVal::str() const {
+  if (bot) return "bot";
+  std::string s = itv.str();
+  if (!cong.isTop()) s += " " + cong.str();
+  return s;
+}
+
+void AbsVal::reduce() {
+  if (bot || itv.bot) {
+    *this = bottom();
+    return;
+  }
+  if (cong.isConstant()) {
+    itv = meet(itv, Itv::constant(cong.r));
+    if (itv.bot) *this = bottom();
+    return;
+  }
+  if (itv.isConstant()) {
+    if (!cong.contains(*itv.lo)) {
+      *this = bottom();
+      return;
+    }
+    cong = Cong::constant(*itv.lo);
+    return;
+  }
+  if (cong.m >= 2) {
+    // Snap finite endpoints inward to the nearest congruence lattice point.
+    if (itv.lo) {
+      long long d = emod(static_cast<__int128>(cong.r) - *itv.lo, cong.m);
+      auto lo = narrow128(static_cast<__int128>(*itv.lo) + d);
+      if (lo) itv.lo = *lo;
+    }
+    if (itv.hi) {
+      long long d = emod(static_cast<__int128>(*itv.hi) - cong.r, cong.m);
+      auto hi = narrow128(static_cast<__int128>(*itv.hi) - d);
+      if (hi) itv.hi = *hi;
+    }
+    if (itv.lo && itv.hi && *itv.hi < *itv.lo) {
+      *this = bottom();
+      return;
+    }
+    if (itv.isConstant()) cong = Cong::constant(*itv.lo);
+  }
+}
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.bot) return b;
+  if (b.bot) return a;
+  AbsVal r;
+  r.itv = join(a.itv, b.itv);
+  r.cong = join(a.cong, b.cong);
+  return r;
+}
+
+AbsVal meet(const AbsVal& a, const AbsVal& b) {
+  if (a.bot || b.bot) return AbsVal::bottom();
+  AbsVal r;
+  r.itv = meet(a.itv, b.itv);
+  auto c = meet(a.cong, b.cong);
+  if (!c) return AbsVal::bottom();
+  r.cong = *c;
+  r.reduce();
+  return r;
+}
+
+AbsVal widen(const AbsVal& a, const AbsVal& b) {
+  if (a.bot) return b;
+  if (b.bot) return a;
+  AbsVal r;
+  r.itv = widen(a.itv, b.itv);
+  // Congruence join IS a widening: moduli only ever divide, and divisor
+  // chains are finite.
+  r.cong = join(a.cong, b.cong);
+  return r;
+}
+
+namespace {
+AbsVal lift(Itv i, Cong c) {
+  AbsVal r;
+  r.itv = i;
+  r.cong = c;
+  r.reduce();
+  return r;
+}
+}  // namespace
+
+AbsVal add(const AbsVal& a, const AbsVal& b) {
+  if (a.bot || b.bot) return AbsVal::bottom();
+  return lift(add(a.itv, b.itv), add(a.cong, b.cong));
+}
+
+AbsVal sub(const AbsVal& a, const AbsVal& b) {
+  if (a.bot || b.bot) return AbsVal::bottom();
+  return lift(sub(a.itv, b.itv), sub(a.cong, b.cong));
+}
+
+AbsVal mul(const AbsVal& a, const AbsVal& b) {
+  if (a.bot || b.bot) return AbsVal::bottom();
+  return lift(mul(a.itv, b.itv), mul(a.cong, b.cong));
+}
+
+AbsVal div(const AbsVal& a, const AbsVal& b) {
+  if (a.bot || b.bot) return AbsVal::bottom();
+  // Congruences do not survive truncating division in general (only the
+  // exact-constant case, which the interval component already captures).
+  return lift(div(a.itv, b.itv), Cong::top());
+}
+
+AbsVal mod(const AbsVal& a, const AbsVal& b) {
+  if (a.bot || b.bot) return AbsVal::bottom();
+  Itv i = mod(a.itv, b.itv);
+  Cong c = Cong::top();
+  // x ≡ r (mod m), m divisible by the constant divisor c0, nonnegative x:
+  // x % c0 is the constant r mod c0.
+  if (b.itv.isConstant() && *b.itv.lo > 0 && a.cong.m >= 2 &&
+      a.itv.lo && *a.itv.lo >= 0 && a.cong.m % *b.itv.lo == 0)
+    c = Cong::constant(emod(a.cong.r, *b.itv.lo));
+  return lift(i, c);
+}
+
+AbsVal neg(const AbsVal& a) {
+  if (a.bot) return AbsVal::bottom();
+  return lift(neg(a.itv), neg(a.cong));
+}
+
+}  // namespace formad::absint

@@ -1,0 +1,125 @@
+// Abstract domains for the kernel-level abstract interpreter.
+//
+// A reduced product of two classic numeric domains over the integers:
+//
+//   Itv   closed intervals [lo, hi] with absent endpoints meaning
+//         unbounded (Cousot & Cousot 1977);
+//   Cong  congruences value ≡ r (mod m) (Granger 1989) — the stride
+//         lattice. m == 1 is ⊤ (no information), m == 0 pins the value to
+//         the constant r, m >= 2 is a genuine stride.
+//
+// AbsVal couples the two and `reduce()` lets each refine the other: a
+// constant congruence collapses the interval, a singleton interval
+// collapses the congruence, and interval endpoints are tightened to the
+// nearest lattice points of the congruence. All transfer functions are
+// sound over-approximations: if xᵃ describes x and yᵃ describes y, then
+// (xᵃ op yᵃ) describes (x op y) for every concrete pair — the dynamic
+// oracle in tests/test_absint.cpp checks exactly this on random kernels.
+//
+// All arithmetic saturates through __int128 so no transfer function can
+// wrap silently; saturation only ever widens, which is the sound direction.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace formad::absint {
+
+/// Interval over the integers. Bottom (empty) is represented explicitly.
+struct Itv {
+  std::optional<long long> lo;  // absent = -inf
+  std::optional<long long> hi;  // absent = +inf
+  bool bot = false;
+
+  [[nodiscard]] static Itv top() { return {}; }
+  [[nodiscard]] static Itv bottom() { return {std::nullopt, std::nullopt, true}; }
+  [[nodiscard]] static Itv constant(long long v) { return {v, v, false}; }
+  [[nodiscard]] static Itv range(long long lo, long long hi);
+
+  [[nodiscard]] bool isTop() const { return !bot && !lo && !hi; }
+  [[nodiscard]] bool isConstant() const { return !bot && lo && hi && *lo == *hi; }
+  [[nodiscard]] bool contains(long long v) const;
+  [[nodiscard]] bool sameAs(const Itv& o) const;
+
+  [[nodiscard]] std::string str() const;
+};
+
+[[nodiscard]] Itv join(const Itv& a, const Itv& b);
+[[nodiscard]] Itv meet(const Itv& a, const Itv& b);
+/// Standard widening: any unstable endpoint jumps to the corresponding
+/// infinity, guaranteeing termination of ascending chains.
+[[nodiscard]] Itv widen(const Itv& a, const Itv& b);
+
+[[nodiscard]] Itv add(const Itv& a, const Itv& b);
+[[nodiscard]] Itv sub(const Itv& a, const Itv& b);
+[[nodiscard]] Itv mul(const Itv& a, const Itv& b);
+[[nodiscard]] Itv div(const Itv& a, const Itv& b);  // C-style truncating /
+[[nodiscard]] Itv mod(const Itv& a, const Itv& b);  // C-style %
+[[nodiscard]] Itv neg(const Itv& a);
+
+/// Congruence x ≡ r (mod m). Normal form: m >= 0; for m >= 2, 0 <= r < m;
+/// m == 1 forces r == 0 (⊤); m == 0 means "the constant r".
+struct Cong {
+  long long m = 1;
+  long long r = 0;
+
+  [[nodiscard]] static Cong top() { return {1, 0}; }
+  [[nodiscard]] static Cong constant(long long v) { return {0, v}; }
+  [[nodiscard]] static Cong make(long long m, long long r);
+
+  [[nodiscard]] bool isTop() const { return m == 1; }
+  [[nodiscard]] bool isConstant() const { return m == 0; }
+  [[nodiscard]] bool contains(long long v) const;
+  [[nodiscard]] bool sameAs(const Cong& o) const { return m == o.m && r == o.r; }
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Granger's join: gcd of the moduli and the remainder difference. Also
+/// the widening — congruence lattices have finite divisor chains, so
+/// joining terminates without a separate widening operator.
+[[nodiscard]] Cong join(const Cong& a, const Cong& b);
+/// Meet via CRT; nullopt when the two congruences are incompatible
+/// (bottom), e.g. even ∧ odd.
+[[nodiscard]] std::optional<Cong> meet(const Cong& a, const Cong& b);
+
+[[nodiscard]] Cong add(const Cong& a, const Cong& b);
+[[nodiscard]] Cong sub(const Cong& a, const Cong& b);
+[[nodiscard]] Cong mul(const Cong& a, const Cong& b);
+[[nodiscard]] Cong neg(const Cong& a);
+
+/// The reduced product. `bot` marks unreachable states (e.g. an infeasible
+/// branch); every operation propagates it.
+struct AbsVal {
+  Itv itv;
+  Cong cong;
+  bool bot = false;
+
+  [[nodiscard]] static AbsVal top() { return {}; }
+  [[nodiscard]] static AbsVal bottom();
+  [[nodiscard]] static AbsVal constant(long long v);
+
+  [[nodiscard]] bool isTop() const { return !bot && itv.isTop() && cong.isTop(); }
+  [[nodiscard]] bool contains(long long v) const;
+  [[nodiscard]] bool sameAs(const AbsVal& o) const;
+
+  /// Mutual refinement of the two components (see file comment). Detects
+  /// emptiness (e.g. interval [3,4] with congruence ≡0 mod 8) and collapses
+  /// to bottom.
+  void reduce();
+
+  [[nodiscard]] std::string str() const;
+};
+
+[[nodiscard]] AbsVal join(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal meet(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal widen(const AbsVal& a, const AbsVal& b);
+
+[[nodiscard]] AbsVal add(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal sub(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal mul(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal div(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal mod(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal neg(const AbsVal& a);
+
+}  // namespace formad::absint

@@ -1,0 +1,528 @@
+#include "absint/lint.h"
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "analysis/accesses.h"
+#include "analysis/symbols.h"
+#include "support/diagnostics.h"
+
+namespace formad::absint {
+
+namespace {
+
+/// Exact affine form  a·counter + b  of an index expression in the
+/// parallel counter (128-bit checked; nullopt = not resolvable).
+struct Affine {
+  long long a = 0;
+  long long b = 0;
+};
+
+std::optional<long long> fit(__int128 v) {
+  if (v > static_cast<__int128>(INT64_MAX) ||
+      v < static_cast<__int128>(INT64_MIN))
+    return std::nullopt;
+  return static_cast<long long>(v);
+}
+
+/// Per-region lint context: merged facts, single unconditional defining
+/// expressions for locals, privatized names, and guard nesting.
+struct RegionCtx {
+  const ir::For* loop = nullptr;
+  const RegionFacts* facts = nullptr;
+  std::map<std::string, AbsVal> env;  // globals overlaid with region facts
+  std::map<std::string, const ir::Expr*> defs;
+  std::set<std::string> multiDef;
+  std::set<std::string> privates;
+  std::map<const ir::Stmt*, std::vector<const ir::If*>> guardsOf;
+};
+
+void scanBody(const ir::StmtList& body, int ifDepth,
+              std::vector<const ir::If*>& ifStack, RegionCtx& ctx) {
+  for (const auto& sp : body) {
+    const ir::Stmt& s = *sp;
+    ctx.guardsOf[&s] = ifStack;
+    switch (s.kind()) {
+      case ir::StmtKind::DeclLocal: {
+        const auto& d = s.as<ir::DeclLocal>();
+        ctx.privates.insert(d.name);
+        if (d.init != nullptr && ifDepth == 0 &&
+            ctx.defs.find(d.name) == ctx.defs.end() &&
+            ctx.multiDef.find(d.name) == ctx.multiDef.end())
+          ctx.defs.emplace(d.name, d.init.get());
+        else
+          ctx.multiDef.insert(d.name);
+        break;
+      }
+      case ir::StmtKind::Assign: {
+        const auto& a = s.as<ir::Assign>();
+        if (a.lhs->kind() == ir::ExprKind::VarRef) {
+          const std::string& n = a.lhs->as<ir::VarRef>().name;
+          if (ifDepth == 0 && ctx.defs.find(n) == ctx.defs.end() &&
+              ctx.multiDef.find(n) == ctx.multiDef.end())
+            ctx.defs.emplace(n, a.rhs.get());
+          else {
+            ctx.defs.erase(n);
+            ctx.multiDef.insert(n);
+          }
+        }
+        break;
+      }
+      case ir::StmtKind::If: {
+        const auto& i = s.as<ir::If>();
+        ifStack.push_back(&i);
+        scanBody(i.thenBody, ifDepth + 1, ifStack, ctx);
+        scanBody(i.elseBody, ifDepth + 1, ifStack, ctx);
+        ifStack.pop_back();
+        break;
+      }
+      case ir::StmtKind::For: {
+        const auto& f = s.as<ir::For>();
+        ctx.privates.insert(f.var);
+        scanBody(f.body, ifDepth, ifStack, ctx);
+        break;
+      }
+      case ir::StmtKind::Pop:
+        ctx.privates.insert(s.as<ir::Pop>().target);
+        ctx.multiDef.insert(s.as<ir::Pop>().target);
+        break;
+      case ir::StmtKind::Push:
+        break;
+    }
+  }
+}
+
+std::optional<Affine> affineOf(const ir::Expr& e, const RegionCtx& ctx,
+                               const LintOptions& opts, int depth) {
+  if (depth > 16) return std::nullopt;
+  switch (e.kind()) {
+    case ir::ExprKind::IntLit:
+      return Affine{0, e.as<ir::IntLit>().value};
+    case ir::ExprKind::VarRef: {
+      const std::string& n = e.as<ir::VarRef>().name;
+      if (n == ctx.loop->var) return Affine{1, 0};
+      auto pin = opts.paramValues.find(n);
+      if (pin != opts.paramValues.end()) return Affine{0, pin->second};
+      auto f = ctx.env.find(n);
+      if (f != ctx.env.end() && !f->second.bot && f->second.cong.isConstant())
+        return Affine{0, f->second.cong.r};
+      auto d = ctx.defs.find(n);
+      if (d != ctx.defs.end() && ctx.multiDef.find(n) == ctx.multiDef.end())
+        return affineOf(*d->second, ctx, opts, depth + 1);
+      return std::nullopt;
+    }
+    case ir::ExprKind::Unary: {
+      const auto& u = e.as<ir::Unary>();
+      if (u.op != ir::UnOp::Neg) return std::nullopt;
+      auto v = affineOf(*u.operand, ctx, opts, depth + 1);
+      if (!v) return std::nullopt;
+      return Affine{-v->a, -v->b};
+    }
+    case ir::ExprKind::Binary: {
+      const auto& b = e.as<ir::Binary>();
+      auto l = affineOf(*b.lhs, ctx, opts, depth + 1);
+      auto r = affineOf(*b.rhs, ctx, opts, depth + 1);
+      if (!l || !r) return std::nullopt;
+      switch (b.op) {
+        case ir::BinOp::Add: {
+          auto a = fit(static_cast<__int128>(l->a) + r->a);
+          auto c = fit(static_cast<__int128>(l->b) + r->b);
+          if (!a || !c) return std::nullopt;
+          return Affine{*a, *c};
+        }
+        case ir::BinOp::Sub: {
+          auto a = fit(static_cast<__int128>(l->a) - r->a);
+          auto c = fit(static_cast<__int128>(l->b) - r->b);
+          if (!a || !c) return std::nullopt;
+          return Affine{*a, *c};
+        }
+        case ir::BinOp::Mul: {
+          const Affine* k = l->a == 0 ? &*l : (r->a == 0 ? &*r : nullptr);
+          const Affine* x = l->a == 0 ? &*r : &*l;
+          if (k == nullptr) return std::nullopt;  // quadratic in the counter
+          auto a = fit(static_cast<__int128>(x->a) * k->b);
+          auto c = fit(static_cast<__int128>(x->b) * k->b);
+          if (!a || !c) return std::nullopt;
+          return Affine{*a, *c};
+        }
+        case ir::BinOp::Div:
+          if (l->a != 0 || r->a != 0 || r->b == 0) return std::nullopt;
+          return Affine{0, l->b / r->b};
+        case ir::BinOp::Mod:
+          if (l->a != 0 || r->a != 0 || r->b == 0) return std::nullopt;
+          return Affine{0, l->b % r->b};
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;  // array reads (indirect indexing), calls
+  }
+}
+
+struct LoweredAccess {
+  const analysis::ArrayAccess* acc = nullptr;
+  std::vector<Affine> idx;
+};
+
+/// A proven cross-iteration collision. Witnesses are exact iterations of
+/// the loop's own lattice lo + step*t — NEVER the abstract counter fact,
+/// which over-approximates the iteration set and would manufacture
+/// iterations that don't exist (e.g. the clean strided stencil, whose
+/// joined congruence is top because its lower bound varies per color).
+struct Collision {
+  bool concrete = false;  // q/qp are counter values; else delta is the gap
+  long long q = 0, qp = 0;
+  long long delta = 0;  // counter-value distance q' - q (relative witness)
+};
+
+/// Decides whether accesses A and B can touch the same element from two
+/// DISTINCT iterations. `loConst`/`hiConst` are the loop bounds when they
+/// are statically constant (under pins); `step` is the constant loop step.
+/// With an unknown lower bound the decision falls back to an
+/// iteration-distance argument that cancels the bound — exact, but only
+/// available when every dimension has equal counter coefficients on both
+/// sides. Unknown upper bounds assume the loop runs far enough to reach
+/// the witness iterations (documented caveat in lint.h).
+std::optional<Collision> collide(const LoweredAccess& A,
+                                 const LoweredAccess& B,
+                                 std::optional<long long> loConst,
+                                 std::optional<long long> hiConst,
+                                 long long step) {
+  if (A.idx.size() != B.idx.size() || step <= 0) return std::nullopt;
+  const size_t dims = A.idx.size();
+
+  if (loConst) {
+    // Exact lattice {lo, lo+step, ...}: enumerate A's iteration, solve B's
+    // from the first counter-dependent dimension, verify everything.
+    const long long L = *loConst;
+    int solveDim = -1;
+    for (size_t k = 0; k < dims; ++k)
+      if (B.idx[k].a != 0) {
+        solveDim = static_cast<int>(k);
+        break;
+      }
+    auto onLattice = [&](long long q) {
+      if (q < L) return false;
+      if (hiConst && q > *hiConst) return false;
+      return (q - L) % step == 0;
+    };
+    for (long long t = 0; t < 1024; ++t) {
+      const long long q = L + t * step;
+      if (hiConst && q > *hiConst) break;
+      std::optional<long long> qp;
+      if (solveDim >= 0) {
+        const Affine& a = A.idx[static_cast<size_t>(solveDim)];
+        const Affine& b = B.idx[static_cast<size_t>(solveDim)];
+        __int128 num = static_cast<__int128>(a.a) * q + a.b - b.b;
+        if (num % b.a != 0) continue;
+        auto v = fit(num / b.a);
+        if (!v) continue;
+        qp = *v;
+      } else {
+        // B's element is iteration-independent; any other lattice point
+        // works if every dimension matches.
+        if (onLattice(q + step))
+          qp = q + step;
+        else if (onLattice(q - step))
+          qp = q - step;
+        else
+          continue;
+      }
+      if (*qp == q || !onLattice(*qp)) continue;
+      bool allEqual = true;
+      for (size_t k = 0; k < dims && allEqual; ++k) {
+        __int128 ea = static_cast<__int128>(A.idx[k].a) * q + A.idx[k].b;
+        __int128 eb = static_cast<__int128>(B.idx[k].a) * *qp + B.idx[k].b;
+        if (ea != eb) allEqual = false;
+      }
+      if (allEqual) {
+        Collision c;
+        c.concrete = true;
+        c.q = q;
+        c.qp = *qp;
+        return c;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Unknown lower bound: with q = lo + step*t and q' = lo + step*t', the
+  // bound cancels from a*q + bA = a*q' + bB whenever both sides share the
+  // counter coefficient a per dimension:  q - q' = (bB - bA)/a  must be a
+  // nonzero multiple of step, consistent across dimensions.
+  std::optional<long long> delta;  // q' - q
+  bool anyCounter = false;
+  for (size_t k = 0; k < dims; ++k) {
+    const Affine& a = A.idx[k];
+    const Affine& b = B.idx[k];
+    if (a.a != b.a) return std::nullopt;  // bound does not cancel: undecidable
+    if (a.a == 0) {
+      if (a.b != b.b) return std::nullopt;  // constant dims must agree
+      continue;
+    }
+    anyCounter = true;
+    const long long num = a.b - b.b;  // a*(q' - q) = bA - bB
+    if (num % a.a != 0) return std::nullopt;
+    const long long d = num / a.a;
+    if (d % step != 0) return std::nullopt;  // off-lattice distance: safe
+    if (delta && *delta != d) return std::nullopt;
+    delta = d;
+  }
+  Collision c;
+  if (!anyCounter) {
+    // Iteration-independent on both sides with equal constants: every
+    // pair of iterations collides; adjacent ones witness it.
+    c.delta = step;
+    return c;
+  }
+  if (!delta || *delta == 0) return std::nullopt;  // same iteration only
+  c.delta = *delta;
+  return c;
+}
+
+std::string renderElement(const LoweredAccess& A, long long q) {
+  std::string s = "[";
+  for (size_t k = 0; k < A.idx.size(); ++k) {
+    if (k > 0) s += ", ";
+    s += std::to_string(A.idx[k].a * q + A.idx[k].b);
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+std::string to_string(LintFinding::Kind k) {
+  switch (k) {
+    case LintFinding::Kind::OutOfBounds: return "out-of-bounds";
+    case LintFinding::Kind::RacyWritePair: return "racy-write-pair";
+    case LintFinding::Kind::SharedScalarWrite: return "shared-scalar-write";
+    case LintFinding::Kind::DeadGuard: return "dead-guard";
+  }
+  return "?";
+}
+
+std::string LintFinding::render() const {
+  std::string s = to_string(kind) + " kernel=" + kernel;
+  if (region >= 0) s += " region=" + std::to_string(region);
+  if (!array.empty()) s += " " + array;
+  if (loc.known()) s += " at " + loc.str();
+  s += ": " + detail;
+  return s;
+}
+
+std::string LintReport::render() const {
+  std::ostringstream os;
+  os << "lint " << kernel << ": " << findings.size() << " finding"
+     << (findings.size() == 1 ? "" : "s") << ", " << regionsAnalyzed
+     << " region" << (regionsAnalyzed == 1 ? "" : "s") << ", " << factCount
+     << " facts, " << pairsChecked << " pairs checked, " << pairsSkipped
+     << " skipped\n";
+  for (const auto& f : findings) os << "  " << f.render() << "\n";
+  return os.str();
+}
+
+LintReport lintKernel(const ir::Kernel& k, const LintOptions& rawOpts) {
+  LintReport report;
+  report.kernel = k.name;
+
+  // Keep only the sound pins (int scalar params the kernel never writes);
+  // the same validated map drives both the interpreter and affineOf, so
+  // the linter can never resolve a name the interpreter would not.
+  LintOptions opts = rawOpts;
+  opts.paramValues = analysis::validatePins(
+      k, analysis::verifyKernel(k), rawOpts.paramValues);
+
+  AbsintOptions aopts;
+  aopts.paramValues = opts.paramValues;
+  KernelFacts facts = analyzeKernel(k, aopts);
+  report.factCount = facts.factCount();
+  report.regionsAnalyzed = static_cast<int>(facts.regions.size());
+
+  // Guard decidability, looked up by If statement.
+  std::map<const ir::If*, const GuardFact*> guardFacts;
+  for (const auto& g : facts.guards) guardFacts.emplace(g.stmt, &g);
+  auto provablyTaken = [&](const std::vector<const ir::If*>& guards) {
+    for (const ir::If* g : guards) {
+      auto it = guardFacts.find(g);
+      if (it == guardFacts.end()) return false;
+      auto d = it->second->decided();
+      if (!d || !*d) return false;  // undecided or provably-false guard
+    }
+    return true;
+  };
+
+  // Dead guards (anywhere in the kernel).
+  for (const auto& g : facts.guards) {
+    if (auto d = g.decided()) {
+      LintFinding f;
+      f.kind = LintFinding::Kind::DeadGuard;
+      f.kernel = k.name;
+      f.loc = g.stmt->loc();
+      f.detail = std::string("condition is provably ") +
+                 (*d ? "always true" : "always false") +
+                 " (lhs - rhs abstracts to " + g.diff.str() + ")";
+      report.findings.push_back(std::move(f));
+    }
+  }
+
+  for (const RegionFacts& rf : facts.regions) {
+    const ir::For& loop = *rf.loop;
+    RegionCtx ctx;
+    ctx.loop = &loop;
+    ctx.facts = &rf;
+    ctx.env = facts.globals;
+    for (const auto& [name, v] : rf.facts) ctx.env[name] = v;
+    ctx.privates.insert(loop.var);
+    for (const auto& p : loop.privates) ctx.privates.insert(p);
+    std::vector<const ir::If*> ifStack;
+    scanBody(loop.body, 0, ifStack, ctx);
+
+    // Exact loop lattice for collision witnesses: constant step always
+    // (the surface language requires it), constant bounds when the
+    // abstract evaluation pins them.
+    AbsVal stepVal = evalExpr(*loop.step, ctx.env);
+    const long long step =
+        stepVal.itv.isConstant() && *stepVal.itv.lo > 0 ? *stepVal.itv.lo : 1;
+    AbsVal loVal = evalExpr(*loop.lo, ctx.env);
+    AbsVal hiVal = evalExpr(*loop.hi, ctx.env);
+    std::optional<long long> loConst, hiConst;
+    if (loVal.itv.isConstant()) loConst = *loVal.itv.lo;
+    if (hiVal.itv.isConstant()) hiConst = *hiVal.itv.lo;
+
+    // Unguarded writes to shared scalars: every iteration pair races.
+    std::set<std::string> reductions;
+    for (const auto& rc : loop.reductions) reductions.insert(rc.var);
+    std::set<std::string> flaggedScalars;
+    std::function<void(const ir::StmtList&)> scalarScan =
+        [&](const ir::StmtList& body) {
+          for (const auto& sp : body) {
+            if (sp->kind() == ir::StmtKind::If) {
+              const auto& i = sp->as<ir::If>();
+              scalarScan(i.thenBody);
+              scalarScan(i.elseBody);
+            } else if (sp->kind() == ir::StmtKind::For) {
+              scalarScan(sp->as<ir::For>().body);
+            } else if (sp->kind() == ir::StmtKind::Assign) {
+              const auto& a = sp->as<ir::Assign>();
+              if (a.lhs->kind() != ir::ExprKind::VarRef) continue;
+              const std::string& n = a.lhs->as<ir::VarRef>().name;
+              if (a.guard != ir::Guard::None) continue;
+              if (ctx.privates.count(n) != 0 || reductions.count(n) != 0)
+                continue;
+              auto git = ctx.guardsOf.find(sp.get());
+              if (git != ctx.guardsOf.end() && !provablyTaken(git->second))
+                continue;
+              if (!flaggedScalars.insert(n).second) continue;
+              LintFinding f;
+              f.kind = LintFinding::Kind::SharedScalarWrite;
+              f.kernel = k.name;
+              f.region = rf.region;
+              f.array = n;
+              f.loc = sp->loc();
+              f.detail =
+                  "unguarded write to shared scalar '" + n +
+                  "' from every iteration (any two iterations race)";
+              report.findings.push_back(std::move(f));
+            }
+          }
+        };
+    scalarScan(loop.body);
+
+    // Array accesses: out-of-bounds, then provable collision pairs.
+    std::vector<analysis::ArrayAccess> accesses =
+        analysis::collectAccesses(loop);
+    std::vector<LoweredAccess> lowered;
+    for (const auto& acc : accesses) {
+      // Out-of-bounds: an index dimension provably negative whenever the
+      // access executes (extents are dynamic, so negativity is the only
+      // statically provable violation).
+      for (size_t d = 0; d < acc.ref->indices.size(); ++d) {
+        AbsVal v = evalExpr(*acc.ref->indices[d], ctx.env);
+        if (!v.bot && v.itv.hi && *v.itv.hi < 0) {
+          LintFinding f;
+          f.kind = LintFinding::Kind::OutOfBounds;
+          f.kernel = k.name;
+          f.region = rf.region;
+          f.array = acc.array;
+          f.loc = acc.stmt != nullptr ? acc.stmt->loc() : SourceLoc{};
+          f.detail = "index " + std::to_string(d) + " is provably negative: " +
+                     v.itv.str();
+          report.findings.push_back(std::move(f));
+        }
+      }
+
+      // Lower for pair checking; only unguarded (or provably-taken-guard)
+      // accesses with fully affine indices participate.
+      auto git = ctx.guardsOf.find(acc.stmt);
+      bool unguarded =
+          git == ctx.guardsOf.end() ? false : provablyTaken(git->second);
+      LoweredAccess la;
+      la.acc = &acc;
+      bool affineOk = unguarded;
+      if (affineOk) {
+        for (const auto& ix : acc.ref->indices) {
+          auto a = affineOf(*ix, ctx, opts, 0);
+          if (!a) {
+            affineOk = false;
+            break;
+          }
+          la.idx.push_back(*a);
+        }
+      }
+      if (affineOk)
+        lowered.push_back(std::move(la));
+      else
+        ++report.pairsSkipped;
+    }
+
+    // Write × (write ∪ read) pairs per array, self-pairs included (the
+    // same site can collide with itself across iterations when its index
+    // is iteration-independent). Capped witnesses per array.
+    std::map<std::string, int> flaggedPerArray;
+    for (size_t i = 0; i < lowered.size(); ++i) {
+      if (!lowered[i].acc->isWrite || lowered[i].acc->isAtomic) continue;
+      for (size_t j = 0; j < lowered.size(); ++j) {
+        const bool self = i == j;
+        if (!self && lowered[j].acc->isWrite && j < i)
+          continue;  // write-write pairs once
+        if (lowered[i].acc->array != lowered[j].acc->array) continue;
+        if (lowered[j].acc->isAtomic) continue;
+        ++report.pairsChecked;
+        auto w = collide(lowered[i], lowered[j], loConst, hiConst, step);
+        if (!w) continue;
+        int& n = flaggedPerArray[lowered[i].acc->array];
+        if (n >= 4) continue;
+        ++n;
+        LintFinding f;
+        f.kind = LintFinding::Kind::RacyWritePair;
+        f.kernel = k.name;
+        f.region = rf.region;
+        f.array = lowered[i].acc->array;
+        f.loc = lowered[i].acc->stmt != nullptr ? lowered[i].acc->stmt->loc()
+                                                : SourceLoc{};
+        f.detail =
+            std::string(lowered[j].acc->isWrite ? "write/write" : "write/read")
+            + " collision: ";
+        if (w->concrete)
+          f.detail += "iterations " + ctx.loop->var + "=" +
+                      std::to_string(w->q) + " and " + ctx.loop->var + "'=" +
+                      std::to_string(w->qp) + " both touch element " +
+                      renderElement(lowered[i], w->q);
+        else
+          f.detail += "any iterations " + ctx.loop->var + " and " +
+                      ctx.loop->var + "'=" + ctx.loop->var +
+                      (w->delta >= 0 ? "+" : "") + std::to_string(w->delta) +
+                      " touch the same element (the symbolic loop bound "
+                      "cancels from the distance)";
+        report.findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace formad::absint

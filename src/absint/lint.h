@@ -1,0 +1,72 @@
+// Standalone static lint pass over kernels (formad_cli -lint).
+//
+// Entirely solver-free: every claim is witnessed from the abstract domain
+// (absint/analyze.h) plus an exact affine model of index expressions in
+// the parallel counter. Reported findings are *provable* for the analyzed
+// configuration (pinned parameters treated as the given constants,
+// unbounded loop extents assumed large enough to reach the witness
+// iterations); anything the affine model cannot resolve — indirect
+// indices through arrays, multi-counter subscripts, guarded accesses
+// under undecided conditions — is silently skipped, never flagged. This
+// makes the pass suitable as a hard gate: the paper kernels lint clean,
+// and every racy mutant in src/kernels/mutants.* is flagged.
+//
+// Finding kinds:
+//   - out-of-bounds:      an index provably negative at every execution;
+//   - racy-write-pair:    two array writes (or a write and a read) from
+//                         distinct iterations provably hitting the same
+//                         element, with concrete witness iterations;
+//   - shared-scalar-write: an unguarded write to a shared scalar inside a
+//                         parallel region (every iteration pair races);
+//   - dead-guard:         an If condition provably constant.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "absint/analyze.h"
+#include "ir/kernel.h"
+
+namespace formad::absint {
+
+struct LintOptions {
+  /// Pinned integer parameter values (CLI -pin name=value). The lint
+  /// verdict is relative to these: a collision found under pins is a
+  /// genuine race of that configuration.
+  std::map<std::string, long long> paramValues;
+};
+
+struct LintFinding {
+  enum class Kind { OutOfBounds, RacyWritePair, SharedScalarWrite, DeadGuard };
+
+  Kind kind = Kind::RacyWritePair;
+  std::string kernel;
+  int region = -1;        // -1 = outside any parallel region (dead guards)
+  std::string array;      // subject array/scalar ("" for dead guards)
+  std::string detail;     // deterministic human-readable witness line
+  SourceLoc loc;
+
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] std::string to_string(LintFinding::Kind k);
+
+struct LintReport {
+  std::string kernel;
+  std::vector<LintFinding> findings;
+  int regionsAnalyzed = 0;
+  int factCount = 0;
+  int pairsChecked = 0;   // affine-resolvable access pairs examined
+  int pairsSkipped = 0;   // pairs the affine model could not resolve
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  /// Deterministic multi-line report (stable across runs/threads).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Lints one kernel. Deterministic: pure function of (kernel, options).
+[[nodiscard]] LintReport lintKernel(const ir::Kernel& k,
+                                    const LintOptions& opts = {});
+
+}  // namespace formad::absint

@@ -1,5 +1,7 @@
 #include "analysis/symbols.h"
 
+#include <set>
+
 #include "ir/traversal.h"
 
 namespace formad::analysis {
@@ -215,6 +217,24 @@ SymbolTable verifyKernel(const Kernel& k) {
   SymbolTable syms = buildSymbolTable(k);
   Checker(syms).checkBody(k.body);
   return syms;
+}
+
+std::map<std::string, long long> validatePins(
+    const Kernel& k, const SymbolTable& syms,
+    const std::map<std::string, long long>& requested) {
+  std::map<std::string, long long> pinned;
+  if (requested.empty()) return pinned;
+  std::set<std::string> written;
+  for (const auto& n : assignedNames(k.body, /*includeArrays=*/true))
+    written.insert(n);
+  for (const auto& [name, value] : requested) {
+    const Symbol* sym = syms.find(name);
+    if (sym == nullptr || sym->kind != SymbolKind::Param) continue;
+    if (!sym->type.isInt() || sym->type.isArray()) continue;
+    if (written.count(name) > 0) continue;
+    pinned.emplace(name, value);
+  }
+  return pinned;
 }
 
 }  // namespace formad::analysis

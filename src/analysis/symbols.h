@@ -54,4 +54,14 @@ class SymbolTable {
 /// checks every statement. Returns the table for further use.
 SymbolTable verifyKernel(const ir::Kernel& k);
 
+/// Filters requested parameter pins (name -> constant value) down to the
+/// sound subset: integer scalar parameters the kernel never writes.
+/// Substituting a constant for anything else — a local, an array, a real,
+/// or a parameter the kernel reassigns — would be unsound, so such entries
+/// are silently dropped. Shared by the race checker, the abstract
+/// interpreter, and the linter so all three agree on what a pin means.
+[[nodiscard]] std::map<std::string, long long> validatePins(
+    const ir::Kernel& k, const SymbolTable& syms,
+    const std::map<std::string, long long>& requested);
+
 }  // namespace formad::analysis

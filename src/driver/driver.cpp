@@ -153,6 +153,8 @@ DifferentiateResult differentiate(const Kernel& primal,
       aopts.exploit.deadlineMs = dopts.analysisDeadlineMs;
       aopts.exploit.faultInject = fault;
       aopts.exploit.store = store;
+      aopts.model.absint = dopts.absint;
+      aopts.model.paramValues = dopts.racecheck.paramValues;
       result.analysis =
           core::analyzeKernel(primal, independents, dependents, aopts);
     }
@@ -233,6 +235,8 @@ core::KernelAnalysis analyze(const Kernel& primal,
   aopts.exploit.faultInject = fault;
   std::unique_ptr<smt::PersistentVerdictStore> ownedStore;
   aopts.exploit.store = resolveStore(opts, fault, ownedStore);
+  aopts.model.absint = opts.absint;
+  aopts.model.paramValues = opts.racecheck.paramValues;
   std::unique_ptr<support::WorkPool> pool;
   if (aopts.exploit.threads > 1) {
     pool = std::make_unique<support::WorkPool>(aopts.exploit.threads);

@@ -44,6 +44,16 @@ struct DriverOptions {
   /// Fast verdicts are exact: any mode yields bit-identical analyses,
   /// verdicts, and reports — only wall time and the tier breakdown change.
   smt::FastPathMode fastpath = smt::FastPathMode::Full;
+  /// Run the abstract interpreter (src/absint/) before exploitation and
+  /// feed its invariants into the knowledge base and the t1-absint
+  /// fast-path decider. Facts are sound and fast verdicts exact, so
+  /// verdicts can only improve (stride invariants may prove SAFE a pair
+  /// the seed model leaves UNSAFE), never weaken; the tier breakdown and
+  /// solver work shift toward cheaper tiers. Off (default) is
+  /// byte-identical to the seed analyzer.
+  /// Parameter pins from racecheck.paramValues are forwarded to the
+  /// interpreter.
+  bool absint = false;
   /// Per-check deterministic solver step budget for the whole analysis
   /// phase (FormAD exploitation + race checker); <= 0 = unlimited. Checks
   /// that run out degrade conservatively (atomic adjoints, undecided race

@@ -27,6 +27,12 @@ int KernelAnalysis::modelAssertions() const {
   return n;
 }
 
+int KernelAnalysis::absintFacts() const {
+  int n = 0;
+  for (const auto& r : regions) n += r.absintFacts;
+  return n;
+}
+
 long long KernelAnalysis::queries() const {
   long long n = 0;
   for (const auto& r : regions) n += r.queries;

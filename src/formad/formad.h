@@ -27,6 +27,8 @@ struct KernelAnalysis {
 
   // Aggregate Table-1 statistics over all regions of the kernel.
   [[nodiscard]] int modelAssertions() const;
+  /// Abstract-interpretation facts across all regions (0 with absint off).
+  [[nodiscard]] int absintFacts() const;
   [[nodiscard]] long long queries() const;
   [[nodiscard]] int uniqueExprs() const;
   [[nodiscard]] int statementsInRegions() const;

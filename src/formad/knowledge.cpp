@@ -13,6 +13,7 @@ namespace formad::core {
 using namespace ::formad::ir;
 using analysis::ArrayAccess;
 using smt::AtomId;
+using smt::Constraint;
 using smt::LinExpr;
 
 std::set<std::string> privateNames(const For& loop) {
@@ -152,7 +153,6 @@ RegionModel buildRegionModel(const Kernel& kernel, const For& loop,
                              const analysis::SymbolTable& syms,
                              const analysis::Activity& act,
                              const ModelOptions& opts) {
-  (void)kernel;
   RegionModel m;
   m.loop = &loop;
   m.atoms = std::make_shared<smt::AtomTable>();
@@ -304,6 +304,51 @@ RegionModel buildRegionModel(const Kernel& kernel, const For& loop,
       });
     });
   });
+
+  // --- abstract-interpretation invariants (ModelOptions::absint) ---
+  if (opts.absint) {
+    absint::AbsintOptions ao;
+    ao.paramValues = opts.paramValues;
+    absint::KernelFacts facts = absint::analyzeKernel(kernel, ao);
+    for (const auto& rf : facts.regions) {
+      if (rf.loop != &loop) continue;
+      m.hints = absint::toHints(rf);
+      m.absintFacts = rf.factCount();
+      // Stride equality for the parallel counter: for step s >= 2, both
+      // i and i' lie on the lattice lo + s*Z. Encoded exactly as
+      //   i  = lo + s*q    i' = lo + s*q'
+      // with fresh existential atoms q/q' that appear nowhere else, so
+      // the equalities can only ever REMOVE spurious models (any real
+      // iteration extends to a model of the augmented system) and their
+      // constraint keys can never collide with question probes. Step 1
+      // carries no congruence information and injects nothing.
+      if (loop.step->kind() == ExprKind::IntLit) {
+        const long long step = loop.step->as<IntLit>().value;
+        if (step >= 2) {
+          // Bounds are evaluated once outside the region: null instance
+          // map (= instance 0 everywhere), unprimed, no pinning — the
+          // injected fact must hold for every run, not just pinned ones.
+          IndexLowering boundLow(*m.atoms, nullptr, privates, syms, nullptr);
+          try {
+            LinExpr lo = boundLow.lower(*loop.lo, /*primed=*/false);
+            LinExpr q = LinExpr::atom(
+                m.atoms->internVar("__ai_q_" + loop.var, 0, false));
+            LinExpr qp = LinExpr::atom(
+                m.atoms->internVar("__ai_q_" + loop.var, 0, true));
+            m.invariants.push_back(Constraint::eq(
+                LinExpr::atom(m.counterAtom),
+                lo + q.scaled(smt::Rational(step))));
+            m.invariants.push_back(Constraint::eq(
+                LinExpr::atom(m.counterPrimeAtom),
+                lo + qp.scaled(smt::Rational(step))));
+          } catch (const Error&) {
+            // Unlowerable bound: skip the invariant, keep the hints.
+          }
+        }
+      }
+      break;
+    }
+  }
 
   return m;
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "absint/analyze.h"
 #include "analysis/activity.h"
 #include "analysis/instances.h"
 #include "analysis/symbols.h"
@@ -71,13 +72,30 @@ struct RegionModel {
   std::vector<KnowledgeAssertion> knowledge;
   std::vector<VarQuestions> questions;
 
+  /// Abstract-interpretation invariants (ModelOptions::absint): sound
+  /// equality facts over fresh `__ai_*` atoms, injected as ordinary base
+  /// assertions right below the root so every decision tier sees them.
+  /// Only equalities are ever injected (an interval bound as a `<=` would
+  /// leave multi-atom Le residues that flip exact Sat verdicts to Unknown;
+  /// interval facts travel via `hints` instead and never constrain).
+  std::vector<smt::Constraint> invariants;
+  /// Per-atom interval/stride facts guiding the t1-absint fast-path
+  /// decider (witness construction only — verified by evaluation, so they
+  /// cannot change any verdict, only the tier that reaches it). salt != 0
+  /// iff absint ran; the salt separates solver/task cache keys.
+  smt::AbsintHints hints;
+  int absintFacts = 0;  // non-trivial facts the analyzer derived
+
   // Statistics (Table 1).
   int uniqueExprs = 0;       // distinct (array, write offset) pairs
   int statementsInRegion = 0;
 
-  /// 1 (the i != i' assertion) + number of knowledge assertions.
+  /// 1 (the i != i' assertion) + injected invariants + knowledge
+  /// assertions. Unchanged from the seed when absint is off (no
+  /// invariants).
   [[nodiscard]] int modelSize() const {
-    return 1 + static_cast<int>(knowledge.size());
+    return 1 + static_cast<int>(invariants.size()) +
+           static_cast<int>(knowledge.size());
   }
 };
 
@@ -91,6 +109,16 @@ struct ModelOptions {
   /// Use activity analysis to question only active variables. Off = every
   /// real-typed shared array/scalar with adjoint writes is questioned.
   bool activityPruning = true;
+  /// Run the abstract interpreter (src/absint/) over the kernel and feed
+  /// its invariants into the model: stride equalities as base assertions,
+  /// interval/congruence facts as fast-path hints. The invariants are
+  /// sound, so verdicts can only improve (a stride fact may prove a pair
+  /// SAFE that the seed model leaves UNSAFE), never weaken. Off (the
+  /// default) is byte-identical to the seed analyzer.
+  bool absint = false;
+  /// Pinned integer parameter values forwarded to the abstract
+  /// interpreter (CLI -pin). Only consulted when absint is on.
+  std::map<std::string, long long> paramValues;
 };
 
 /// Builds the region model of a parallel loop of `kernel`.

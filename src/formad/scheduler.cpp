@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <tuple>
 #include <map>
 #include <memory>
@@ -92,6 +93,11 @@ void QueryScheduler::plan() {
   int current =
       appendBase(-1, Constraint::ne(LinExpr::atom(model_.counterPrimeAtom),
                                     LinExpr::atom(model_.counterAtom)));
+  // Absint invariants sit right below the root, shared by every task in
+  // the region (switchBase never pops past them). They are sound by
+  // construction — no Consistency tasks are emitted for them; the dynamic
+  // oracle in tests/test_absint.cpp cross-checks the analyzer instead.
+  for (const auto& inv : model_.invariants) current = appendBase(current, inv);
 
   std::map<std::string, int> taskByPairKey;
 
@@ -193,6 +199,16 @@ void QueryScheduler::plan() {
       h ^= v;
       return h * 0x100000001b3ULL;
     };
+    // Absint hints change tier attribution (t1-absint) without changing
+    // the conjunction, and records store tiers — so runs with different
+    // hint sets must never share task records. Mix the facts digest into
+    // the fingerprint and both hash lanes; salt 0 (absint off) leaves the
+    // seed bytes and digests untouched.
+    const std::uint64_t salt = model_.hints.salt;
+    char saltTag[32] = {0};
+    if (salt != 0)
+      std::snprintf(saltTag, sizeof(saltTag), "absint:%016llx|",
+                    static_cast<unsigned long long>(salt));
     for (auto& t : tasks_) {
       const BaseNode& bn = bases_[static_cast<size_t>(t.baseId)];
       const std::string& baseKey = baseKeyMemo(t.baseId);
@@ -201,6 +217,7 @@ void QueryScheduler::plan() {
       for (const auto& pk : t.probeKeys) len += 1 + pk.size();
       t.fingerprint.assign(cons ? "C|" : "P|");
       t.fingerprint.reserve(len);
+      t.fingerprint += saltTag;
       t.fingerprint += baseKey;
       // File digest from the node's order-independent content sums plus
       // the ordered probe keys — O(probes), never a walk of the multi-KB
@@ -210,6 +227,10 @@ void QueryScheduler::plan() {
           mix(smt::fnv1a64(cons ? "C" : "P", smt::kDigestSeed2), bn.sum1);
       h0 = mix(h0, bn.depth);
       h1 = mix(h1, bn.depth);
+      if (salt != 0) {
+        h0 = mix(h0, salt);
+        h1 = mix(h1, salt);
+      }
       for (const auto& pk : t.probeKeys) {
         t.fingerprint += '|';
         t.fingerprint += pk;
@@ -296,6 +317,7 @@ RegionVerdict QueryScheduler::replay(
   RegionVerdict verdict;
   verdict.loop = model_.loop;
   verdict.modelAssertions = model_.modelSize();
+  verdict.absintFacts = model_.absintFacts;
   verdict.uniqueExprs = model_.uniqueExprs;
   verdict.statementsInRegion = model_.statementsInRegion;
   for (const auto& vq : model_.questions) {
@@ -309,9 +331,11 @@ RegionVerdict QueryScheduler::replay(
   // stack fingerprint was already seen would have been a cache hit; the
   // first occurrence is attributed to the tier that decided it (a pure
   // function of the conjunction, so the breakdown is width-independent).
-  // A stack's canonical conjunction is base ∪ {probe}. Base constraints
-  // are all disequalities (key tag '!') and probes all equalities (tag
-  // '='), so no probe key can equal a base key and the pair (base
+  // A stack's canonical conjunction is base ∪ {probe}. Knowledge base
+  // constraints are all disequalities (key tag '!') and probes all
+  // equalities (tag '='); the only equality bases are absint invariants,
+  // which mention fresh `__ai_*` atoms that no question probe can contain.
+  // So no probe key can equal a base key and the pair (base
   // content, probe key) identifies the sorted conjunction exactly —
   // dedup on the pair instead of materializing the multi-KB joined key
   // per check. Base content is identified by the node's 128-bit
@@ -516,6 +540,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
       solvers.back()->setStepBudget(opts_.solverSteps);
       solvers.back()->setCancelToken(cancel);
       solvers.back()->setFaultInjection(opts_.faultInject);
+      solvers.back()->setAbsintHints(&model_.hints);
     }
     pool->run(
         nBatches,
@@ -566,6 +591,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
     solver.setStepBudget(opts_.solverSteps);
     solver.setCancelToken(cancel);
     solver.setFaultInjection(opts_.faultInject);
+    solver.setAbsintHints(&model_.hints);
     int atBase = -1;
     double evalSeconds = 0.0;
     bool abandoned = false;  // solver stack desynced by a mid-check cancel

@@ -792,18 +792,10 @@ RaceReport checkKernelRaces(const Kernel& kernel,
   analysis::SymbolTable syms = analysis::verifyKernel(kernel);
 
   // Pinned parameters must be integer scalars the kernel never writes —
-  // otherwise substituting a constant would be unsound.
-  std::set<std::string> written;
-  for (const auto& n : assignedNames(kernel.body, /*includeArrays=*/true))
-    written.insert(n);
-  std::map<std::string, long long> pinned;
-  for (const auto& [name, value] : opts.paramValues) {
-    const analysis::Symbol* sym = syms.find(name);
-    if (sym == nullptr || sym->kind != analysis::SymbolKind::Param) continue;
-    if (!sym->type.isInt() || sym->type.isArray()) continue;
-    if (written.count(name) > 0) continue;
-    pinned.emplace(name, value);
-  }
+  // otherwise substituting a constant would be unsound. The validation is
+  // shared with the abstract interpreter and the linter (analysis/symbols).
+  std::map<std::string, long long> pinned =
+      analysis::validatePins(kernel, syms, opts.paramValues);
 
   RaceReport report;
   report.kernel = kernel.name;

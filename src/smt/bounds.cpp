@@ -1,0 +1,61 @@
+#include "smt/bounds.h"
+
+#include <sstream>
+
+namespace formad::smt {
+
+void Bounds::tightenLo(const Rational& v) {
+  if (!lo || v > *lo) lo = v;
+}
+
+void Bounds::tightenHi(const Rational& v) {
+  if (!hi || v < *hi) hi = v;
+}
+
+BoundsMap::LeFold BoundsMap::foldLeResidue(const LinExpr& r) {
+  if (r.isConstant())
+    return r.constant() > Rational(0) ? LeFold::ConstantViolated
+                                      : LeFold::ConstantHolds;
+  if (r.coeffs().size() != 1) return LeFold::MultiAtom;
+  const auto& [id, coeff] = *r.coeffs().begin();
+  // coeff*x + c <= 0  =>  x <= -c/coeff (coeff > 0) or x >= -c/coeff.
+  Rational bound = (-r.constant()) / coeff;
+  Bounds& b = map_[id];
+  if (coeff > Rational(0))
+    b.tightenHi(bound);
+  else
+    b.tightenLo(bound);
+  return LeFold::Folded;
+}
+
+const Bounds* BoundsMap::find(AtomId id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::string AbsintFact::str() const {
+  std::ostringstream os;
+  os << "[";
+  if (lo)
+    os << *lo;
+  else
+    os << "-inf";
+  os << ", ";
+  if (hi)
+    os << *hi;
+  else
+    os << "+inf";
+  os << "]";
+  if (modulus == 0)
+    os << " const " << remainder;
+  else if (modulus >= 2)
+    os << " ≡ " << remainder << " (mod " << modulus << ")";
+  return os.str();
+}
+
+const AbsintFact* AbsintHints::find(const std::string& name) const {
+  auto it = facts.find(name);
+  return it == facts.end() ? nullptr : &it->second;
+}
+
+}  // namespace formad::smt

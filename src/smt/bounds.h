@@ -1,0 +1,89 @@
+// Shared per-atom bounds bookkeeping for the interval reasoning that both
+// the tier-1 fast-path decider ("t1-interval") and `Solver::solve()`'s Le
+// pass perform, plus the statically-derived per-variable facts the abstract
+// interpreter (src/absint/) hands to its consumers.
+//
+// Keeping one implementation here guarantees the decider and the solver can
+// never drift in how they fold `expr <= 0` residues into per-atom intervals
+// (the PR 4 exactness contract depends on both sides agreeing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "smt/linear.h"
+#include "smt/rational.h"
+
+namespace formad::smt {
+
+/// Closed rational interval for a single atom; absent endpoints are
+/// unbounded. Used while scanning the Le constraints of one conjunction.
+struct Bounds {
+  std::optional<Rational> lo;
+  std::optional<Rational> hi;
+
+  void tightenLo(const Rational& v);
+  void tightenHi(const Rational& v);
+
+  /// Both endpoints present and crossed: no value fits.
+  [[nodiscard]] bool empty() const { return lo && hi && *hi < *lo; }
+  /// Both endpoints present and equal: the atom is pinned to one value.
+  [[nodiscard]] bool pinned() const { return lo && hi && *lo == *hi; }
+};
+
+/// Folds reduced `expr <= 0` residues into per-atom intervals. Only
+/// single-atom residues tighten an interval; residues mentioning two or more
+/// atoms are reported back so the caller can decide (the fast path gives up,
+/// the solver marks the check undecided).
+class BoundsMap {
+ public:
+  enum class LeFold {
+    ConstantViolated,  ///< residue is a constant > 0: conjunction infeasible
+    ConstantHolds,     ///< residue is a constant <= 0: trivially satisfied
+    Folded,            ///< single-atom residue folded into the interval map
+    MultiAtom,         ///< residue mentions >= 2 atoms: not handled here
+  };
+
+  /// Classify `r <= 0` (with `r` already reduced modulo the equalities) and
+  /// fold single-atom residues into the map.
+  LeFold foldLeResidue(const LinExpr& r);
+
+  [[nodiscard]] const Bounds* find(AtomId id) const;
+  [[nodiscard]] const std::map<AtomId, Bounds>& all() const { return map_; }
+
+ private:
+  std::map<AtomId, Bounds> map_;
+};
+
+/// A statically-proven invariant about one integer variable, produced by the
+/// abstract interpreter: an interval (absent endpoint = unbounded) and a
+/// congruence. `modulus == 1` carries no congruence information;
+/// `modulus == 0` means the variable is the constant `remainder`;
+/// `modulus >= 2` means `value ≡ remainder (mod modulus)`.
+struct AbsintFact {
+  std::optional<long long> lo;
+  std::optional<long long> hi;
+  long long modulus = 1;
+  long long remainder = 0;
+
+  [[nodiscard]] bool hasCongruence() const { return modulus != 1; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Per-kernel-region bundle of absint facts keyed by variable *name* (a fact
+/// holds for every instance of the variable, so plain and primed atoms share
+/// it). `salt` is nonzero exactly when the abstract interpreter contributed
+/// to the analysis; it is mixed into every cache key (in-memory and on-disk)
+/// so verdicts computed under different `-absint` settings can never be
+/// confused (cached records carry the deciding *tier*, which differs).
+struct AbsintHints {
+  std::map<std::string, AbsintFact> facts;
+  std::uint64_t salt = 0;
+
+  [[nodiscard]] const AbsintFact* find(const std::string& name) const;
+  [[nodiscard]] bool empty() const { return facts.empty(); }
+};
+
+}  // namespace formad::smt

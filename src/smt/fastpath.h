@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "smt/bounds.h"
 #include "smt/term.h"
 
 namespace formad::smt {
@@ -61,8 +62,22 @@ struct FastDecision {
 /// Runs the tiered deciders over the conjunction `stack` (the solver's
 /// full live assertion stack). Returns Unknown unless a decider can
 /// certify the exact solve() verdict.
+///
+/// `hints` (optional) carries statically-derived per-variable facts from
+/// the abstract interpreter (src/absint/). When present with a nonzero
+/// salt, one extra tier-1 decider runs ("t1-absint"): it builds the same
+/// congruence-closed triangular system solve() would, refuses unless every
+/// inequality residue is constant or single-atom (the shapes solve()
+/// decides), and then tries to construct a concrete integer witness of the
+/// whole stack, using the absint intervals/strides to pick values. The
+/// witness is verified by exact evaluation of every constraint, so an
+/// Overlap claim is certified Sat; and since all of solve()'s Unsat gates
+/// are sound and no undecidable residue shape remains, solve() would
+/// answer exactly Sat too — the exactness contract holds. The hints only
+/// ever guide value choice; they never narrow the feasible set.
 [[nodiscard]] FastDecision decideFast(const AtomTable& atoms,
                                       const std::vector<Constraint>& stack,
-                                      FastPathMode mode);
+                                      FastPathMode mode,
+                                      const AbsintHints* hints = nullptr);
 
 }  // namespace formad::smt

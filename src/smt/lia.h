@@ -48,6 +48,11 @@ class LiaSystem {
   /// Its solution set equals that of every equality added so far.
   [[nodiscard]] std::vector<LinExpr> equations() const;
 
+  /// The raw triangular rows: pivot atom -> the expression it equals (free
+  /// of all pivot atoms). Lets model builders assign the free atoms and
+  /// evaluate each pivot directly.
+  [[nodiscard]] const std::map<AtomId, LinExpr>& rows() const { return rows_; }
+
   [[nodiscard]] size_t rowCount() const { return rows_.size(); }
 
  private:

@@ -1,6 +1,7 @@
 #include "smt/solver.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <set>
 #include <string>
@@ -175,6 +176,15 @@ std::string Solver::stackKey() const {
   std::vector<std::string> parts = keys_;
   std::sort(parts.begin(), parts.end());
   std::string key;
+  if (hints_ != nullptr && hints_->salt != 0) {
+    // Verdicts carry the decision tier, and the available deciders differ
+    // under -absint — prefixing the fact-bundle salt keeps the two key
+    // spaces (and hence every in-memory and on-disk cache) disjoint.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "absint:%016llx;",
+                  static_cast<unsigned long long>(hints_->salt));
+    key += buf;
+  }
   for (const auto& p : parts) {
     key += p;
     key += ';';
@@ -247,7 +257,7 @@ CheckResult Solver::check() {
 
 CheckResult Solver::decide() {
   if (fastMode_ != FastPathMode::Off) {
-    FastDecision d = decideFast(atoms_, stack_, fastMode_);
+    FastDecision d = decideFast(atoms_, stack_, fastMode_, hints_);
     if (d.verdict != FastVerdict::Unknown) {
       lastTier_ = d.tier;
       if (d.tier == 0)
@@ -323,48 +333,38 @@ CheckResult Solver::solve() {
     neResidues.push_back(std::move(r));
   }
 
-  // Inequalities: constant violations, then single-atom interval tracking.
+  // Inequalities: constant violations, then single-atom interval tracking
+  // (shared with the tier-1 "t1-interval" decider via smt/bounds.h, so the
+  // two can never drift).
   bool sawUndecidedLe = false;
-  struct Bounds {
-    std::optional<Rational> lo, hi;
-  };
-  std::map<AtomId, Bounds> bounds;
+  BoundsMap bounds;
   for (const auto& c : stack_) {
     if (c.rel != Rel::Le) continue;
     ++stats_.reduceCalls;
-    LinExpr r = lia.reduce(c.expr);  // r <= 0
-    if (r.isConstant()) {
-      if (r.constant().sign() > 0) return CheckResult::Unsat;
-      continue;
-    }
-    if (r.coeffs().size() == 1) {
-      auto [id, coeff] = *r.coeffs().begin();
-      Rational bound = (-r.constant()) / coeff;  // x <= b or x >= b
-      Bounds& bb = bounds[id];
-      if (coeff.sign() > 0) {
-        if (!bb.hi || bound < *bb.hi) bb.hi = bound;
-      } else {
-        if (!bb.lo || bound > *bb.lo) bb.lo = bound;
-      }
-    } else {
-      sawUndecidedLe = true;
+    switch (bounds.foldLeResidue(lia.reduce(c.expr))) {
+      case BoundsMap::LeFold::ConstantViolated:
+        return CheckResult::Unsat;
+      case BoundsMap::LeFold::ConstantHolds:
+      case BoundsMap::LeFold::Folded:
+        break;
+      case BoundsMap::LeFold::MultiAtom:
+        sawUndecidedLe = true;
+        break;
     }
   }
-  for (const auto& [id, bb] : bounds) {
+  for (const auto& [id, bb] : bounds.all()) {
     (void)id;
-    if (bb.lo && bb.hi && *bb.hi < *bb.lo) return CheckResult::Unsat;
+    if (bb.empty()) return CheckResult::Unsat;
   }
   // Disequality pinned to a point interval (residues memoized above).
   for (const LinExpr& r : neResidues) {
     ++stats_.reduceMemoHits;
     if (r.coeffs().size() != 1) continue;
     auto [id, coeff] = *r.coeffs().begin();
-    auto it = bounds.find(id);
-    if (it == bounds.end()) continue;
-    const Bounds& bb = it->second;
+    const Bounds* bb = bounds.find(id);
+    if (bb == nullptr) continue;
     Rational v = (-r.constant()) / coeff;  // the excluded value
-    if (bb.lo && bb.hi && *bb.lo == *bb.hi && *bb.lo == v)
-      return CheckResult::Unsat;
+    if (bb->pinned() && *bb->lo == v) return CheckResult::Unsat;
   }
 
   return sawUndecidedLe ? CheckResult::Unknown : CheckResult::Sat;

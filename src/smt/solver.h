@@ -304,6 +304,16 @@ class Solver {
   /// Survives reset().
   void setFaultInjection(FaultInject* f) { fault_ = f; }
 
+  /// Attaches the abstract interpreter's per-variable facts (nullptr =
+  /// off, the default). While attached with a nonzero salt, the tiered
+  /// fast path additionally runs the "t1-absint" witness decider, and
+  /// stackKey() is prefixed with the salt — verdicts (whose recorded tier
+  /// depends on the deciders available) computed under different -absint
+  /// settings can then never be served across settings, in memory or on
+  /// disk. Survives reset().
+  void setAbsintHints(const AbsintHints* hints) { hints_ = hints; }
+  [[nodiscard]] const AbsintHints* absintHints() const { return hints_; }
+
   /// True iff the most recent check() gave up on its step budget (or was
   /// forced to by fault injection) — its Unknown is a resource verdict,
   /// not a structural one.
@@ -381,6 +391,7 @@ class Solver {
   long long stepLimit_ = 0;  // per-check; <= 0 = unlimited
   const support::CancelToken* cancel_ = nullptr;
   FaultInject* fault_ = nullptr;
+  const AbsintHints* hints_ = nullptr;
   bool lastBudgetExhausted_ = false;
   long long lastSteps_ = 0;
   StepBudget budget_;  // re-armed per check()/model()

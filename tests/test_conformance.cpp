@@ -42,7 +42,8 @@ struct Transcript {
 };
 
 Transcript runDriver(const kernels::KernelSpec& spec, int analysisThreads,
-                     smt::FastPathMode fastpath = smt::FastPathMode::Full) {
+                     smt::FastPathMode fastpath = smt::FastPathMode::Full,
+                     bool absint = false) {
   Transcript t;
   auto primal = parser::parseKernel(spec.source);
   driver::DriverOptions dopts;
@@ -50,6 +51,7 @@ Transcript runDriver(const kernels::KernelSpec& spec, int analysisThreads,
   dopts.racecheckPrimal = true;
   dopts.analysisThreads = analysisThreads;
   dopts.fastpath = fastpath;
+  dopts.absint = absint;
   try {
     auto dr = driver::differentiate(*primal, spec.independents,
                                     spec.dependents, dopts);
@@ -149,6 +151,51 @@ TEST(Conformance, FastPathModesAgreeOnRacyMutant) {
   // Refusals carry SMT-derived witness text; the fast path must not change
   // a single byte of it.
   expectFastPathInvariant(kernels::stencilStrideRacySpec());
+}
+
+// --- abstract interpreter conformance ---
+//
+// -absint=on must be a pure function of the kernel too: the whole driver
+// transcript (analysis, race check, warnings, refusals) byte-identical at
+// every thread count. (-absint=off is the default, so the tests above
+// already pin the off path.)
+
+void expectAbsintThreadInvariant(const kernels::KernelSpec& spec) {
+  const Transcript serial =
+      runDriver(spec, 1, smt::FastPathMode::Full, /*absint=*/true);
+  for (int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const Transcript parallel =
+        runDriver(spec, threads, smt::FastPathMode::Full, /*absint=*/true);
+    EXPECT_EQ(serial.analysis, parallel.analysis)
+        << spec.name << " absint=on analysis report diverges at " << threads
+        << " threads";
+    EXPECT_EQ(serial.racecheck, parallel.racecheck)
+        << spec.name << " absint=on race-check report diverges at "
+        << threads << " threads";
+    EXPECT_EQ(serial.warnings, parallel.warnings)
+        << spec.name << " absint=on warnings diverge at " << threads
+        << " threads";
+    EXPECT_EQ(serial.error, parallel.error)
+        << spec.name << " absint=on refusal diverges at " << threads
+        << " threads";
+  }
+}
+
+TEST(Conformance, AbsintOnWideStencil) {
+  expectAbsintThreadInvariant(stencilHarness(3, 96, 7).spec);
+}
+
+TEST(Conformance, AbsintOnLbm) {
+  expectAbsintThreadInvariant(lbmHarness(7).spec);
+}
+
+TEST(Conformance, AbsintOnGfmcFused) {
+  expectAbsintThreadInvariant(gfmcHarness(true, 7).spec);
+}
+
+TEST(Conformance, AbsintOnRacyMutant) {
+  expectAbsintThreadInvariant(kernels::stencilStrideRacySpec());
 }
 
 // --- racy mutants: the refusal (witnesses included) must match too ---
