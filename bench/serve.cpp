@@ -1,0 +1,306 @@
+// High-traffic serving workload for the analysis daemon (DESIGN.md §11).
+//
+// Replays a mixed batch of protocol requests — analyze on the paper
+// kernels (stencils, GFMC, Green-Gauss, indirect gather, LBM), racecheck
+// on the racy mutants, lint, stats, plus a family of localized-edit
+// gather variants (the same kernel with a shifting constant offset, the
+// serving analogue of bench/incremental's edited phase) — against an
+// in-process AnalysisServer, from several concurrent client threads.
+//
+// Two phases over one persistent store directory:
+//
+//   cold  fresh daemon, empty store: every task is proven and persisted;
+//   warm  fresh daemon, populated store: repeated kernels splice from
+//         disk into the shared memory layer and every later repetition
+//         hits memory.
+//
+// Reports throughput, per-request latency percentiles (p50/p95/p99), and
+// the task-level cache hit rate per phase into BENCH_serve.json. The warm
+// phase must reach a >= 90% analyze-task hit rate and every response must
+// come back ok — either failure exits nonzero (the CI serve-smoke job
+// keys off this).
+//
+//   bench/serve [--smoke]   (--smoke shrinks kernel sizes, not the
+//                            request count: both modes replay >= 200)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/gfmc.h"
+#include "kernels/greengauss.h"
+#include "kernels/indirect.h"
+#include "kernels/lbm.h"
+#include "kernels/mutants.h"
+#include "kernels/stencil.h"
+#include "server/json.h"
+#include "server/server.h"
+#include "support/diagnostics.h"
+
+using namespace formad;
+
+namespace {
+
+struct WorkItem {
+  std::string frame;
+  std::string what;  // label for failure messages
+};
+
+std::string analyzeFrame(const kernels::KernelSpec& spec, int id) {
+  server::JsonValue req = server::JsonValue::object();
+  req.set("id", server::JsonValue::integer(id));
+  req.set("op", server::JsonValue::str("analyze"));
+  req.set("source", server::JsonValue::str(spec.source));
+  server::JsonValue indeps = server::JsonValue::array();
+  for (const auto& v : spec.independents)
+    indeps.push(server::JsonValue::str(v));
+  req.set("independents", std::move(indeps));
+  server::JsonValue deps = server::JsonValue::array();
+  for (const auto& v : spec.dependents) deps.push(server::JsonValue::str(v));
+  req.set("dependents", std::move(deps));
+  return req.dump();
+}
+
+std::string racecheckFrame(const kernels::KernelSpec& spec, int id) {
+  server::JsonValue req = server::JsonValue::object();
+  req.set("id", server::JsonValue::integer(id));
+  req.set("op", server::JsonValue::str("racecheck"));
+  req.set("source", server::JsonValue::str(spec.source));
+  return req.dump();
+}
+
+std::string lintFrame(const kernels::KernelSpec& spec, int id) {
+  server::JsonValue req = server::JsonValue::object();
+  req.set("id", server::JsonValue::integer(id));
+  req.set("op", server::JsonValue::str("lint"));
+  req.set("source", server::JsonValue::str(spec.source));
+  return req.dump();
+}
+
+std::string statsFrame(int id) {
+  server::JsonValue req = server::JsonValue::object();
+  req.set("id", server::JsonValue::integer(id));
+  req.set("op", server::JsonValue::str("stats"));
+  return req.dump();
+}
+
+/// The localized-edit family: one gather kernel per constant offset. Each
+/// offset is distinct content (distinct task fingerprints), so the cold
+/// phase proves each once; repetitions within and across phases hit.
+kernels::KernelSpec gatherVariant(int offset) {
+  kernels::KernelSpec spec;
+  spec.name = "gather_off" + std::to_string(offset);
+  spec.source =
+      "kernel " + spec.name +
+      "(n: int in, x: real[] in, y: real[] inout) {\n"
+      "  parallel for i = 0 : n shared(y, x) {\n"
+      "    y[i] = y[i] + x[i + " + std::to_string(offset) + "];\n"
+      "  }\n"
+      "}\n";
+  spec.independents = {"x"};
+  spec.dependents = {"y"};
+  return spec;
+}
+
+/// One round of the mixed workload (17 requests). `round` seeds ids only.
+void appendRound(std::vector<WorkItem>& out, int round, bool smoke) {
+  int id = round * 100;
+  auto add = [&](std::string frame, const std::string& what) {
+    out.push_back(WorkItem{std::move(frame), what});
+  };
+  // Paper kernels under analyze.
+  add(analyzeFrame(kernels::stencilSpec(1), ++id), "analyze stencil1");
+  add(analyzeFrame(kernels::stencilSpec(smoke ? 2 : 4), ++id),
+      "analyze stencil_large");
+  add(analyzeFrame(kernels::gfmcSplitSpec(), ++id), "analyze gfmc_split");
+  add(analyzeFrame(kernels::gfmcFusedSpec(), ++id), "analyze gfmc_fused");
+  add(analyzeFrame(kernels::greenGaussSpec(), ++id), "analyze greengauss");
+  add(analyzeFrame(kernels::indirectSpec(), ++id), "analyze indirect");
+  if (!smoke) add(analyzeFrame(kernels::lbmSpec(), ++id), "analyze lbm");
+  // Localized-edit variants: four offsets per round.
+  for (int off = 0; off < 4; ++off)
+    add(analyzeFrame(gatherVariant(off), ++id),
+        "analyze gather_off" + std::to_string(off));
+  // Racecheck on the racy mutants (and one clean kernel).
+  add(racecheckFrame(kernels::stencilRacySpec(), ++id),
+      "racecheck stencil_racy");
+  add(racecheckFrame(kernels::gatherRacySpec(), ++id),
+      "racecheck gather_racy");
+  add(racecheckFrame(kernels::sumRacySpec(), ++id), "racecheck sum_racy");
+  add(racecheckFrame(kernels::stencilSpec(1), ++id), "racecheck stencil1");
+  // Lint + stats round out the mix.
+  add(lintFrame(kernels::greenGaussSpec(), ++id), "lint greengauss");
+  add(statsFrame(++id), "stats");
+}
+
+struct PhaseStats {
+  double wallSeconds = 0;
+  std::vector<double> latenciesMs;
+  long long failures = 0;
+  double taskHitRate = 0;
+  long long taskMemoryHits = 0;
+
+  [[nodiscard]] double percentile(double p) const {
+    if (latenciesMs.empty()) return 0;
+    std::vector<double> sorted = latenciesMs;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+};
+
+/// Replays the workload from `clients` threads against a fresh daemon on
+/// `cacheDir`, checking every response parses and reports ok.
+PhaseStats runPhase(const std::vector<WorkItem>& work, int clients,
+                    int sessions, const std::string& cacheDir) {
+  server::ServeOptions opts;
+  opts.sessions = sessions;
+  opts.analysisThreads = 1;
+  opts.cacheDir = cacheDir;
+  server::AnalysisServer daemon(opts);
+
+  PhaseStats stats;
+  stats.latenciesMs.resize(work.size(), 0.0);
+  std::vector<long long> failures(static_cast<size_t>(clients), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Client c takes every clients-th request: all clients interleave
+      // over the same mixed stream.
+      for (size_t i = static_cast<size_t>(c); i < work.size();
+           i += static_cast<size_t>(clients)) {
+        const auto s0 = std::chrono::steady_clock::now();
+        const std::string line = daemon.process(work[i].frame);
+        const auto s1 = std::chrono::steady_clock::now();
+        stats.latenciesMs[i] =
+            std::chrono::duration<double, std::milli>(s1 - s0).count();
+        try {
+          server::JsonValue resp = server::parseJson(line);
+          const server::JsonValue* ok = resp.find("ok");
+          if (ok == nullptr || ok->kind() != server::JsonValue::Kind::Bool ||
+              !ok->asBool()) {
+            ++failures[static_cast<size_t>(c)];
+            std::cerr << "FAIL " << work[i].what << ": " << line << "\n";
+          }
+        } catch (const Error& e) {
+          ++failures[static_cast<size_t>(c)];
+          std::cerr << "FAIL " << work[i].what
+                    << ": unparseable response: " << e.what() << "\n";
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  for (long long f : failures) stats.failures += f;
+
+  const smt::PersistentVerdictStore::Stats s = daemon.store().stats();
+  const long long lookups = s.taskHits + s.taskMisses;
+  stats.taskHitRate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(s.taskHits) /
+                         static_cast<double>(lookups);
+  stats.taskMemoryHits = s.taskMemoryHits;
+  return stats;
+}
+
+bench::Json phaseJson(const std::string& name, const PhaseStats& s,
+                      size_t requests) {
+  bench::Json j = bench::Json::object();
+  j.set("phase", bench::Json::str(name));
+  j.set("requests", bench::Json::integer(static_cast<long long>(requests)));
+  j.set("wall_s", bench::Json::num(s.wallSeconds));
+  j.set("throughput_rps",
+        bench::Json::num(s.wallSeconds > 0
+                             ? static_cast<double>(requests) / s.wallSeconds
+                             : 0));
+  bench::Json lat = bench::Json::object();
+  lat.set("p50", bench::Json::num(s.percentile(50)));
+  lat.set("p95", bench::Json::num(s.percentile(95)));
+  lat.set("p99", bench::Json::num(s.percentile(99)));
+  j.set("latency_ms", std::move(lat));
+  j.set("task_hit_rate", bench::Json::num(s.taskHitRate));
+  j.set("task_memory_hits", bench::Json::integer(s.taskMemoryHits));
+  j.set("failures", bench::Json::integer(s.failures));
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
+  const int kRounds = 13;  // 13 rounds x >= 16 requests/round >= 208
+  const int kClients = 4;
+  const int kSessions = 2;
+
+  std::vector<WorkItem> work;
+  for (int round = 0; round < kRounds; ++round)
+    appendRound(work, round, smoke);
+  std::cout << "serve workload: " << work.size() << " requests ("
+            << kRounds << " rounds), " << kClients << " clients, "
+            << kSessions << " sessions" << (smoke ? ", smoke" : "") << "\n";
+
+  const std::string cacheDir =
+      (std::filesystem::temp_directory_path() / "formad_bench_serve_store")
+          .string();
+  std::filesystem::remove_all(cacheDir);
+
+  const PhaseStats cold = runPhase(work, kClients, kSessions, cacheDir);
+  const PhaseStats warm = runPhase(work, kClients, kSessions, cacheDir);
+  std::filesystem::remove_all(cacheDir);
+
+  for (const auto* phase : {&cold, &warm}) {
+    const bool isCold = phase == &cold;
+    std::printf(
+        "%-5s %4zu req  %7.2f req/s  p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f "
+        "ms  task hit rate %.3f  failures %lld\n",
+        isCold ? "cold" : "warm", work.size(),
+        phase->wallSeconds > 0
+            ? static_cast<double>(work.size()) / phase->wallSeconds
+            : 0,
+        phase->percentile(50), phase->percentile(95), phase->percentile(99),
+        phase->taskHitRate, phase->failures);
+  }
+
+  bench::Json body = bench::Json::object();
+  body.set("smoke", bench::Json::boolean(smoke));
+  body.set("clients", bench::Json::integer(kClients));
+  body.set("sessions", bench::Json::integer(kSessions));
+  bench::Json phases = bench::Json::array();
+  phases.push(phaseJson("cold", cold, work.size()));
+  phases.push(phaseJson("warm", warm, work.size()));
+  body.set("phases", std::move(phases));
+  bench::writeBenchFile("serve", body);
+
+  bool ok = true;
+  if (cold.failures + warm.failures > 0) {
+    std::cout << "FAIL: " << (cold.failures + warm.failures)
+              << " request(s) did not come back ok\n";
+    ok = false;
+  }
+  if (warm.taskHitRate < 0.9) {
+    std::cout << "FAIL: warm task hit rate " << warm.taskHitRate
+              << " below the 0.9 floor\n";
+    ok = false;
+  }
+  if (work.size() < 200) {
+    std::cout << "FAIL: workload shrank below 200 requests\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -74,6 +74,7 @@
 #include "parser/parser.h"
 #include "racecheck/racecheck.h"
 #include "smt/diskcache.h"
+#include "support/flags.h"
 
 using namespace formad;
 
@@ -116,23 +117,18 @@ int usage() {
   return 2;
 }
 
-/// Validated integer parse for numeric flag values: the ENTIRE string must
-/// be one in-range decimal integer — "4x", "", "  7", or an overflow all
-/// fail with the flag name, the offending text, and the expectation, then
-/// exit with the usage status. Every numeric flag funnels through here so
-/// a typo is a diagnosed error, never a silently truncated value.
+/// Validated integer parse for numeric flag values (support::parseIntFlag
+/// with the CLI exit convention): a typo is a diagnosed error printed to
+/// stderr followed by the usage exit status, never a silently truncated
+/// value.
 long long parseIntFlag(const std::string& flag, const std::string& text,
                        long long min, long long max, const char* expected) {
-  errno = 0;
-  char* end = nullptr;
-  long long v = std::strtoll(text.c_str(), &end, 10);
-  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
-      v < min || v > max) {
-    std::cerr << "bad " << flag << " value '" << text << "' (expected "
-              << expected << ")\n";
+  try {
+    return support::parseIntFlag(flag, text, min, max, expected);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
     std::exit(2);
   }
-  return v;
 }
 
 /// Parses "-bind n=20,c=0" pin lists.

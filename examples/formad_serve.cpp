@@ -1,0 +1,109 @@
+// formad_serve: the analysis daemon (DESIGN.md §11).
+//
+//   formad_serve --stdio [options]
+//   formad_serve -socket /path/to.sock [options]
+//
+// Options:
+//   -sessions N           worker sessions answering requests (default 2)
+//   -threads N            analysis pool width per session (0 = auto)
+//   -cache-dir DIR        persistent verdict store ("" = memory-only)
+//   -max-request-bytes N  frame size limit (default 4 MiB)
+//   -solver-budget N      default per-check solver step budget (0 = off)
+//   -deadline-ms N        default per-region analysis deadline (0 = off)
+//
+// Speaks the newline-delimited JSON protocol of src/server/protocol.h:
+// one request per line, one response per line, responses in request order
+// per connection. --stdio serves stdin/stdout (tests, CI, piping);
+// -socket serves concurrent clients over a unix-domain socket. Either
+// way the daemon exits after answering a {"op": "shutdown"} request (or,
+// in stdio mode, at end of input).
+
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "server/server.h"
+#include "support/diagnostics.h"
+#include "support/flags.h"
+
+using namespace formad;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: formad_serve --stdio | -socket <path>\n"
+            << "  [-sessions N] [-threads N] [-cache-dir DIR]\n"
+            << "  [-max-request-bytes N] [-solver-budget N] "
+               "[-deadline-ms N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool stdio = false;
+  std::string socketPath;
+  server::ServeOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value after " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto nextInt = [&](long long min, long long max, const char* expected) {
+      return support::parseIntFlag(arg, next(), min, max, expected);
+    };
+    try {
+      if (arg == "--stdio") stdio = true;
+      else if (arg == "-socket") socketPath = next();
+      else if (arg == "-sessions")
+        opts.sessions = static_cast<int>(
+            nextInt(1, 1 << 10, "a session count in [1, 1024]"));
+      else if (arg == "-threads")
+        opts.analysisThreads = static_cast<int>(
+            nextInt(0, 1 << 16, "a thread count (0 = auto)"));
+      else if (arg == "-cache-dir") opts.cacheDir = next();
+      else if (arg == "-max-request-bytes")
+        opts.maxRequestBytes = static_cast<size_t>(
+            nextInt(1, 1LL << 30, "a frame limit in bytes"));
+      else if (arg == "-solver-budget")
+        opts.defaultSolverBudget =
+            nextInt(0, std::numeric_limits<long long>::max(),
+                    "a step budget (0 = unlimited)");
+      else if (arg == "-deadline-ms")
+        opts.defaultDeadlineMs = static_cast<int>(
+            nextInt(0, std::numeric_limits<int>::max(),
+                    "a deadline in ms (0 = none)"));
+      else {
+        std::cerr << "unknown flag " << arg << "\n";
+        return usage();
+      }
+    } catch (const Error& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (stdio != socketPath.empty()) {
+    // Exactly one of --stdio / -socket must be chosen.
+    return usage();
+  }
+
+  try {
+    server::AnalysisServer server(opts);
+    if (stdio) {
+      server::serveStdio(server, std::cin, std::cout);
+    } else {
+      std::cerr << "formad_serve: listening on " << socketPath << "\n";
+      server::serveUnixSocket(server, socketPath);
+    }
+  } catch (const Error& e) {
+    std::cerr << "formad_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

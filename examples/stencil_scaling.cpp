@@ -1,6 +1,7 @@
 // Domain example: compact-stencil adjoints (paper Sec. 7.1) end to end —
 // differentiate, check FormAD removed every safeguard, then use the
 // simulated testbed to print a miniature scaling study for any radius.
+#include <cstdlib>
 #include <iostream>
 
 #include "driver/driver.h"
@@ -10,10 +11,20 @@
 #include "ir/printer.h"
 #include "kernels/stencil.h"
 #include "parser/parser.h"
+#include "support/flags.h"
 
 int main(int argc, char** argv) {
   using namespace formad;
-  const int radius = argc > 1 ? std::atoi(argv[1]) : 3;
+  int radius = 3;
+  if (argc > 1) {
+    try {
+      radius = static_cast<int>(
+          support::parseIntFlag("radius", argv[1], 1, 64, "a stencil radius"));
+    } catch (const Error& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
   const long long n = 200000;
 
   auto spec = kernels::stencilSpec(radius);

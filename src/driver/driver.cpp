@@ -73,11 +73,18 @@ DifferentiateResult differentiate(const Kernel& primal,
 
   // One worker pool for the whole analysis phase: the race checker's
   // converse queries and FormAD's exploitation queries share it, so a
-  // driver invocation spins threads up at most once.
-  const int analysisThreads = resolveAnalysisThreads(dopts.analysisThreads);
-  std::unique_ptr<support::WorkPool> pool;
-  if (analysisThreads > 1)
-    pool = std::make_unique<support::WorkPool>(analysisThreads);
+  // driver invocation spins threads up at most once. A caller-owned pool
+  // (serving daemon sessions) wins outright — threads spin up once per
+  // process, not per request.
+  const int analysisThreads = dopts.analysisPool != nullptr
+                                  ? dopts.analysisPool->width()
+                                  : resolveAnalysisThreads(dopts.analysisThreads);
+  std::unique_ptr<support::WorkPool> ownedPool;
+  support::WorkPool* poolPtr = dopts.analysisPool;
+  if (poolPtr == nullptr && analysisThreads > 1) {
+    ownedPool = std::make_unique<support::WorkPool>(analysisThreads);
+    poolPtr = ownedPool.get();
+  }
 
   smt::FaultInject* fault =
       dopts.faultInject != nullptr ? dopts.faultInject : envFaultInjection();
@@ -86,7 +93,7 @@ DifferentiateResult differentiate(const Kernel& primal,
 
   if (dopts.racecheckPrimal) {
     racecheck::RaceCheckOptions ropts = dopts.racecheck;
-    ropts.pool = pool.get();
+    ropts.pool = poolPtr;
     ropts.fastpath = dopts.fastpath;
     ropts.solverSteps = dopts.solverStepBudget;
     ropts.deadlineMs = dopts.analysisDeadlineMs;
@@ -147,7 +154,7 @@ DifferentiateResult differentiate(const Kernel& primal,
     case AdjointMode::FormAD: {
       core::AnalyzeOptions aopts;
       aopts.exploit.threads = analysisThreads;
-      aopts.exploit.pool = pool.get();
+      aopts.exploit.pool = poolPtr;
       aopts.exploit.fastpath = dopts.fastpath;
       aopts.exploit.solverSteps = dopts.solverStepBudget;
       aopts.exploit.deadlineMs = dopts.analysisDeadlineMs;
@@ -238,7 +245,10 @@ core::KernelAnalysis analyze(const Kernel& primal,
   aopts.model.absint = opts.absint;
   aopts.model.paramValues = opts.racecheck.paramValues;
   std::unique_ptr<support::WorkPool> pool;
-  if (aopts.exploit.threads > 1) {
+  if (opts.analysisPool != nullptr) {
+    aopts.exploit.pool = opts.analysisPool;
+    aopts.exploit.threads = opts.analysisPool->width();
+  } else if (aopts.exploit.threads > 1) {
     pool = std::make_unique<support::WorkPool>(aopts.exploit.threads);
     aopts.exploit.pool = pool.get();
   }

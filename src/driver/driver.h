@@ -85,6 +85,13 @@ struct DriverOptions {
   /// the CLI and benches keep one store across driver calls and read its
   /// IO stats afterwards). Same neutrality and fault-injection rules.
   smt::PersistentVerdictStore* verdictStore = nullptr;
+  /// Caller-owned analysis worker pool; wins over analysisThreads when
+  /// non-null (lets a long-running process — the serving daemon — reuse
+  /// one pool across many driver calls instead of spawning threads per
+  /// call). The caller must invoke the driver from the pool's owning
+  /// thread (WorkPool::run is not reentrant). Verdicts and reports are
+  /// byte-identical at any pool width, as always.
+  support::WorkPool* analysisPool = nullptr;
 };
 
 /// Resolves a requested analysis thread count: 0 -> hardware concurrency,

@@ -465,33 +465,37 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
   cache.attachStore(store);
   std::vector<QueryResult> results(tasks_.size());
   std::vector<char> spliced(tasks_.size(), 0);
+  long long splicedCount = 0;
   RegionVerdict verdict;
   double replaySeconds = 0.0;
 
   // Incremental splice: serve whole task outcomes persisted by earlier
   // runs for conjunctions whose fingerprints did not move. A spliced task
-  // is marked evaluated up front, so neither evaluation mode touches a
-  // solver for it — the steady-state warm run does no solver work at all.
-  // Replay consumes spliced and fresh results identically (both are pure
+  // is marked evaluated, so neither evaluation mode touches a solver for
+  // it — the steady-state warm run does no solver work at all. Replay
+  // consumes spliced and fresh results identically (both are pure
   // functions of conjunction + budget), keeping the report byte-identical
-  // to a cold run at any width.
-  if (store != nullptr) {
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      auto rec = store->loadTask(tasks_[i].fingerprint, opts_.solverSteps,
-                                 tasks_[i].digest);
-      if (!rec) continue;
-      QueryResult& r = results[i];
-      r.evaluated = true;
-      r.unsat = rec->unsat;
-      r.pairSafe = rec->pairSafe;
-      r.checksPerformed = static_cast<int>(rec->tiers.size());
-      r.tiers = std::move(rec->tiers);
-      r.exhausted = std::move(rec->exhausted);
-      r.stepsUsed = std::move(rec->steps);
-      spliced[i] = 1;
-      ++verdict.tasksSpliced;
-    }
-  }
+  // to a cold run at any width. The eager parallel path splices every
+  // planned task up front; the lazy serial path splices on demand (replay
+  // skips whole variables once one pair proves unsafe, and a task that is
+  // never demanded is never evaluated or persisted, so looking it up
+  // every run would be a guaranteed store miss).
+  auto spliceTask = [&](size_t i) {
+    if (store == nullptr) return;
+    auto rec = store->loadTask(tasks_[i].fingerprint, opts_.solverSteps,
+                               tasks_[i].digest);
+    if (!rec) return;
+    QueryResult& r = results[i];
+    r.evaluated = true;
+    r.unsat = rec->unsat;
+    r.pairSafe = rec->pairSafe;
+    r.checksPerformed = static_cast<int>(rec->tiers.size());
+    r.tiers = std::move(rec->tiers);
+    r.exhausted = std::move(rec->exhausted);
+    r.stepsUsed = std::move(rec->steps);
+    spliced[i] = 1;
+    ++splicedCount;
+  };
 
   // Gathers per-solver stats into the verdict's fresh-work diagnostics
   // (fresh = not served by any cache layer; tier-2 fresh = full solves).
@@ -528,6 +532,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
     // rebuilding the stack per task. All workers share the concurrent
     // verdict cache. Several batches per worker keep the pool's dynamic
     // self-scheduling effective on uneven batch costs.
+    for (size_t i = 0; i < tasks_.size(); ++i) spliceTask(i);
     const size_t nBatches =
         std::min(tasks_.size(), static_cast<size_t>(width) * 8);
     std::vector<std::unique_ptr<smt::Solver>> solvers;
@@ -574,7 +579,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
     verdict = replay([&](int i) -> const QueryResult& {
       return results[static_cast<size_t>(i)];
     });
-    verdict.tasksSpliced = diag.tasksSpliced;
+    verdict.tasksSpliced = splicedCount;
     replaySeconds = secondsSince(tReplay);
     verdict.threadsUsed = width;
     for (const auto& s : solvers) addSolverStats(*s);
@@ -598,6 +603,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
     const RegionVerdict diag = verdict;
     verdict = replay([&](int i) -> const QueryResult& {
       QueryResult& r = results[static_cast<size_t>(i)];
+      if (!r.evaluated) spliceTask(static_cast<size_t>(i));
       if (!r.evaluated && !abandoned &&
           (cancel == nullptr || !cancel->poll())) {
         try {
@@ -610,7 +616,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
       }
       return r;
     });
-    verdict.tasksSpliced = diag.tasksSpliced;
+    verdict.tasksSpliced = splicedCount;
     replaySeconds = secondsSince(t0) - evalSeconds;
     verdict.threadsUsed = 1;
     addSolverStats(solver);

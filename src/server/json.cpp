@@ -1,0 +1,442 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/diagnostics.h"
+
+namespace formad::server {
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::integer(long long v) {
+  JsonValue j;
+  j.kind_ = Kind::Int;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::Double;
+  j.num_ = v;
+  return j;
+}
+
+JsonValue JsonValue::str(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::String;
+  j.str_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+bool JsonValue::asBool() const {
+  FORMAD_ASSERT(kind_ == Kind::Bool, "JsonValue::asBool on non-bool");
+  return bool_;
+}
+
+long long JsonValue::asInt() const {
+  FORMAD_ASSERT(kind_ == Kind::Int, "JsonValue::asInt on non-int");
+  return int_;
+}
+
+double JsonValue::asDouble() const {
+  FORMAD_ASSERT(kind_ == Kind::Int || kind_ == Kind::Double,
+                "JsonValue::asDouble on non-number");
+  return kind_ == Kind::Int ? static_cast<double>(int_) : num_;
+}
+
+const std::string& JsonValue::asString() const {
+  FORMAD_ASSERT(kind_ == Kind::String, "JsonValue::asString on non-string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::elements() const {
+  FORMAD_ASSERT(kind_ == Kind::Array, "JsonValue::elements on non-array");
+  return elems_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  FORMAD_ASSERT(kind_ == Kind::Object, "JsonValue::members on non-object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  FORMAD_ASSERT(kind_ == Kind::Array, "JsonValue::push on non-array");
+  elems_.push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  FORMAD_ASSERT(kind_ == Kind::Object, "JsonValue::set on non-object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+namespace {
+
+void dumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void dumpValue(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: out += "null"; break;
+    case JsonValue::Kind::Bool: out += v.asBool() ? "true" : "false"; break;
+    case JsonValue::Kind::Int: out += std::to_string(v.asInt()); break;
+    case JsonValue::Kind::Double: {
+      const double d = v.asDouble();
+      if (!std::isfinite(d)) {
+        out += "null";  // JSON has no Inf/NaN; null is the least-bad stand-in
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+      break;
+    }
+    case JsonValue::Kind::String: dumpString(v.asString(), out); break;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.elements()) {
+        if (!first) out += ',';
+        first = false;
+        dumpValue(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        dumpString(k, out);
+        out += ':';
+        dumpValue(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue v = parseValue(0);
+    skipWs();
+    if (pos_ != text_.size()) error("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void error(const std::string& what) const {
+    fail("JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeWord(const char* w) {
+    size_t n = 0;
+    while (w[n] != '\0') ++n;
+    if (text_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parseValue(int depth) {
+    if (depth > kMaxDepth) error("nesting too deep");
+    skipWs();
+    const char c = peek();
+    if (c == '{') return parseObject(depth);
+    if (c == '[') return parseArray(depth);
+    if (c == '"') return JsonValue::str(parseString());
+    if (c == 't') {
+      if (!consumeWord("true")) error("bad literal");
+      return JsonValue::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consumeWord("false")) error("bad literal");
+      return JsonValue::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consumeWord("null")) error("bad literal");
+      return JsonValue::null();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parseNumber();
+    error("unexpected character");
+  }
+
+  JsonValue parseObject(int depth) {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skipWs();
+      if (peek() != '"') error("expected object key string");
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      if (obj.find(key) != nullptr) error("duplicate object key '" + key + "'");
+      obj.set(key, parseValue(depth + 1));
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parseArray(int depth) {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parseValue(depth + 1));
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  unsigned parseHex4() {
+    if (pos_ + 4 > text_.size()) error("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else error("bad \\u escape digit");
+    }
+    return v;
+  }
+
+  static void appendUtf8(unsigned cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) error("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      if (pos_ >= text_.size()) error("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned cp = parseHex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (text_.compare(pos_, 2, "\\u") != 0)
+              error("lone high surrogate");
+            pos_ += 2;
+            const unsigned lo = parseHex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) error("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            error("lone low surrogate");
+          }
+          appendUtf8(cp, out);
+          break;
+        }
+        default: error("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      error("malformed number");
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-" || tok.back() == '.' || tok.back() == 'e' ||
+        tok.back() == 'E' || tok.back() == '+' || tok.back() == '-')
+      error("malformed number");
+    // Leading zeros (other than a bare 0) are invalid JSON.
+    {
+      const size_t d = tok[0] == '-' ? 1 : 0;
+      if (tok.size() > d + 1 && tok[d] == '0' && std::isdigit(
+              static_cast<unsigned char>(tok[d + 1])))
+        error("leading zero in number");
+      if (tok.size() == d) error("malformed number");
+    }
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno != ERANGE && end == tok.c_str() + tok.size())
+        return JsonValue::integer(v);
+      // Falls through to double on long long overflow.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) error("malformed number");
+    return JsonValue::number(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dumpValue(*this, out);
+  return out;
+}
+
+JsonValue parseJson(const std::string& text) {
+  return Parser(text).parseDocument();
+}
+
+}  // namespace formad::server

@@ -1,0 +1,148 @@
+// The analysis daemon: many concurrent analyze/racecheck/lint requests
+// over one shared verdict store (DESIGN.md §11).
+//
+// Architecture: requests are dispatched onto a BOUNDED SESSION POOL. Each
+// session is one long-lived thread owning one analysis WorkPool
+// (DriverOptions::analysisPool), so per-request thread spawn cost is paid
+// once per daemon, not once per request. All sessions share exactly one
+// smt::PersistentVerdictStore — disk-backed when a cache directory is
+// configured, memory-only otherwise — whose in-memory sharded layer is the
+// daemon's hot cache: the first analysis of a kernel persists every task
+// verdict, every later analysis of the same content splices them back with
+// zero solver checks, whichever session serves it.
+//
+// Determinism: verdict reports are pure functions of (source, options) —
+// byte-identical at any session count, any request arrival order, any
+// per-session pool width, with or without a warm store (the PR 3/6
+// conformance guarantees, extended to the serving layer). Only wall-clock
+// fields and cache counters vary; responses carry those separately from
+// the report text.
+//
+// Governance: per-request solver budgets, deadlines, and fault injection
+// ride through to the driver, so one pathological kernel degrades its own
+// response and nothing else; budget-starved or injected verdicts can
+// never poison the shared store (PR 5/6 provenance guards + the driver's
+// fault-disables-store rule).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "smt/diskcache.h"
+
+namespace formad::support {
+class WorkPool;
+}
+
+namespace formad::server {
+
+struct ServeOptions {
+  /// Session (worker) threads answering requests. Bounded: at most this
+  /// many requests are in flight; the rest queue. Must be >= 1.
+  int sessions = 2;
+  /// Analysis pool width per session (0 = auto-detect). Request option
+  /// "threads" picks serial (1) or the session pool (anything else).
+  int analysisThreads = 0;
+  /// Persistent store directory ("" = the shared store is memory-only:
+  /// warm serving within the daemon's lifetime, nothing on disk).
+  std::string cacheDir;
+  /// Frames above this size are rejected with a structured "oversized"
+  /// error instead of being buffered.
+  size_t maxRequestBytes = 4u << 20;
+  /// Default per-check solver step budget applied when a request does not
+  /// set options.solver_budget (0 = unlimited).
+  long long defaultSolverBudget = 0;
+  /// Default per-region deadline when a request does not set
+  /// options.deadline_ms (0 = none).
+  int defaultDeadlineMs = 0;
+};
+
+class AnalysisServer {
+ public:
+  /// Starts the session pool. Throws formad::Error on bad options or an
+  /// uncreatable cache directory.
+  explicit AnalysisServer(const ServeOptions& opts);
+  /// Drains queued requests and joins the sessions.
+  ~AnalysisServer();
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  /// Enqueues one frame onto the session pool; the future yields the
+  /// response line (JSON, no trailing newline). Thread-safe; blocks while
+  /// the queue is full (backpressure). After shutdown has been requested,
+  /// returns an immediate "shutting_down" error response.
+  [[nodiscard]] std::future<std::string> submit(std::string frame);
+
+  /// Synchronous convenience: submit + wait. Thread-safe.
+  [[nodiscard]] std::string process(const std::string& frame);
+
+  /// The response for a frame the framer flagged oversized.
+  [[nodiscard]] std::string oversizedResponse() const;
+
+  /// True once a shutdown request has been answered.
+  [[nodiscard]] bool shutdownRequested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] smt::PersistentVerdictStore& store() { return *store_; }
+  [[nodiscard]] const ServeOptions& options() const { return opts_; }
+
+ private:
+  struct Job {
+    std::string frame;
+    std::promise<std::string> done;
+  };
+
+  void sessionLoop();
+  [[nodiscard]] std::string handle(const std::string& frame,
+                                   support::WorkPool* pool);
+  [[nodiscard]] JsonValue dispatch(const Request& req,
+                                   support::WorkPool* pool);
+  [[nodiscard]] JsonValue handleAnalyze(const Request& req,
+                                        support::WorkPool* pool);
+  [[nodiscard]] JsonValue handleRacecheck(const Request& req,
+                                          support::WorkPool* pool);
+  [[nodiscard]] JsonValue handleLint(const Request& req);
+  [[nodiscard]] JsonValue handleStats(const Request& req);
+
+  ServeOptions opts_;
+  int poolWidth_ = 1;
+  std::unique_ptr<smt::PersistentVerdictStore> store_;
+
+  std::mutex mu_;
+  std::condition_variable workAvailable_;
+  std::condition_variable spaceAvailable_;
+  std::deque<Job> queue_;
+  size_t maxQueue_ = 0;
+  bool stop_ = false;  // destructor: sessions exit once the queue drains
+  std::vector<std::thread> sessions_;
+
+  std::atomic<bool> shutdown_{false};
+  // Request counters for the stats op (relaxed; snapshot semantics).
+  std::atomic<long long> nAnalyze_{0}, nRacecheck_{0}, nLint_{0}, nStats_{0},
+      nShutdown_{0}, nErrors_{0};
+};
+
+/// Drives a server over newline-delimited streams: reads requests from
+/// `in`, writes responses to `out` in request order (pipelined: reading
+/// continues while sessions work). Returns at end of input or once a
+/// shutdown request has been answered and all earlier responses written.
+void serveStdio(AnalysisServer& server, std::istream& in, std::ostream& out);
+
+/// Listens on a unix-domain socket at `path`, serving each connection
+/// with the newline protocol (responses in request order per connection;
+/// connections are served concurrently). Returns once a shutdown request
+/// has been answered; the socket file is removed on exit. Throws
+/// formad::Error on socket setup failures.
+void serveUnixSocket(AnalysisServer& server, const std::string& path);
+
+}  // namespace formad::server

@@ -34,12 +34,38 @@ std::optional<CheckResult> parseVerdict(const std::string& tag) {
 
 }  // namespace
 
-PersistentVerdictStore::PersistentVerdictStore(std::string dir)
-    : dir_(std::move(dir)) {
+PersistentVerdictStore::PersistentVerdictStore(std::string dir,
+                                               bool memoryLayer)
+    : dir_(std::move(dir)), memoryLayer_(memoryLayer) {
+  if (dir_.empty()) {
+    if (!memoryLayer_)
+      fail("a verdict store needs a directory, a memory layer, or both");
+    return;  // memory-only store: no filesystem involvement at all
+  }
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_, ec))
     fail("cache directory '" + dir_ + "' cannot be created: " + ec.message());
+}
+
+PersistentVerdictStore::MemShard& PersistentVerdictStore::shardFor(
+    const std::string& key) {
+  return memShards_[fnv1a64(key) % kMemShards];
+}
+
+void PersistentVerdictStore::memoizeCheck(const std::string& key,
+                                          const VerdictCache::Entry& e) {
+  MemShard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto [it, inserted] = shard.checks.emplace(key, e);
+  if (inserted) return;
+  // Upgrade rule mirrors VerdictCache::store: a complete verdict beats an
+  // exhausted one, and among exhausted ones the larger limit wins (it
+  // serves every budget the smaller one could).
+  const VerdictCache::Entry& cur = it->second;
+  const bool upgrade = (e.complete && !cur.complete) ||
+                       (!e.complete && !cur.complete && e.steps > cur.steps);
+  if (upgrade) it->second = e;
 }
 
 std::string PersistentVerdictStore::pathFor(
@@ -113,6 +139,29 @@ std::optional<std::vector<std::string>> PersistentVerdictStore::readRecord(
 
 std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheck(
     const std::string& key, long long stepLimit) {
+  if (memoryLayer_) {
+    MemShard& shard = shardFor(key);
+    std::optional<VerdictCache::Entry> hit;
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      auto it = shard.checks.find(key);
+      if (it != shard.checks.end() &&
+          VerdictCache::sufficientFor(it->second, stepLimit))
+        hit = it->second;
+    }
+    if (hit) {
+      checkHits_.fetch_add(1, std::memory_order_relaxed);
+      checkMemHits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+    // A guard-failing or absent memory entry falls through to disk: a
+    // concurrent run sharing the directory may have persisted an upgraded
+    // record the memory layer has not seen.
+    if (dir_.empty()) {
+      checkMisses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  }
   auto payload = readRecord('c', key, nullptr);
   if (payload && payload->size() == 1) {
     std::istringstream is((*payload)[0]);
@@ -125,6 +174,7 @@ std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheck(
       if (auto r = parseVerdict(verdict)) {
         e.result = *r;
         e.complete = complete != 0;
+        if (memoryLayer_) memoizeCheck(key, e);
         // The budget-provenance guard governs disk entries exactly as it
         // governs memory ones.
         if (VerdictCache::sufficientFor(e, stepLimit)) {
@@ -140,6 +190,11 @@ std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheck(
 
 void PersistentVerdictStore::storeCheck(const std::string& key,
                                         const VerdictCache::Entry& e) {
+  if (memoryLayer_) memoizeCheck(key, e);
+  if (dir_.empty()) {
+    checkStores_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::string payload = "verdict ";
   payload += verdictTag(e.result);
   payload += ' ';
@@ -151,9 +206,45 @@ void PersistentVerdictStore::storeCheck(const std::string& key,
   checkStores_.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// True iff every recorded check of `rec` passes the budget-provenance
+/// guard under `stepLimit` (the memory-layer twin of loadTask's per-check
+/// walk over the disk payload).
+bool taskSufficientFor(const PersistentVerdictStore::TaskRecord& rec,
+                       long long stepLimit) {
+  for (size_t i = 0; i < rec.tiers.size(); ++i) {
+    VerdictCache::Entry e{CheckResult::Unknown, rec.tiers[i],
+                          rec.exhausted[i] == 0, rec.steps[i]};
+    if (!VerdictCache::sufficientFor(e, stepLimit)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::optional<PersistentVerdictStore::TaskRecord>
 PersistentVerdictStore::loadTask(const std::string& key, long long stepLimit,
                                  const std::string& digest) {
+  if (memoryLayer_) {
+    MemShard& shard = shardFor(key);
+    std::optional<TaskRecord> hit;
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      auto it = shard.tasks.find(key);
+      if (it != shard.tasks.end() && taskSufficientFor(it->second, stepLimit))
+        hit = it->second;
+    }
+    if (hit) {
+      taskHits_.fetch_add(1, std::memory_order_relaxed);
+      taskMemHits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+    if (dir_.empty()) {
+      taskMisses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  }
   auto payload = readRecord('t', key, &digest);
   if (payload && !payload->empty()) {
     std::istringstream head((*payload)[0]);
@@ -187,6 +278,11 @@ PersistentVerdictStore::loadTask(const std::string& key, long long stepLimit,
         rec.steps.push_back(steps);
       }
       if (good) {
+        if (memoryLayer_) {
+          MemShard& shard = shardFor(key);
+          std::lock_guard<std::mutex> lk(shard.mu);
+          shard.tasks[key] = rec;
+        }
         taskHits_.fetch_add(1, std::memory_order_relaxed);
         return rec;
       }
@@ -199,6 +295,15 @@ PersistentVerdictStore::loadTask(const std::string& key, long long stepLimit,
 void PersistentVerdictStore::storeTask(const std::string& key,
                                        const TaskRecord& rec,
                                        const std::string& digest) {
+  if (memoryLayer_) {
+    MemShard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.tasks[key] = rec;
+  }
+  if (dir_.empty()) {
+    taskStores_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::string payload = "task ";
   payload += rec.unsat ? "1 " : "0 ";
   payload += rec.pairSafe ? "1 " : "0 ";
@@ -223,6 +328,8 @@ PersistentVerdictStore::Stats PersistentVerdictStore::stats() const {
   s.taskHits = taskHits_.load(std::memory_order_relaxed);
   s.taskMisses = taskMisses_.load(std::memory_order_relaxed);
   s.taskStores = taskStores_.load(std::memory_order_relaxed);
+  s.checkMemoryHits = checkMemHits_.load(std::memory_order_relaxed);
+  s.taskMemoryHits = taskMemHits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -31,9 +31,12 @@
 //     unlimited run, and vice versa.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "smt/solver.h"
@@ -42,11 +45,24 @@ namespace formad::smt {
 
 /// Thread-safe persistent verdict store over one directory. Safe to share
 /// between all solvers/schedulers of a run and between concurrent runs.
+///
+/// Memory layer (the serving daemon's shared hot cache): with
+/// `memoryLayer` enabled, every record loaded from or written to disk is
+/// also memoized in a sharded in-process map, so repeated queries for the
+/// same content key are answered without touching the filesystem. The
+/// layer is sound by the same argument as the disk layer — records are
+/// pure functions of their content key and budget provenance, and every
+/// memory hit re-applies VerdictCache::sufficientFor under the caller's
+/// step limit — so enabling it changes IO counters and wall time only,
+/// never a verdict. A store constructed with an EMPTY directory is
+/// memory-only: a process-wide shared verdict cache with no persistence
+/// (what `formad_serve` uses when no --cache-dir is given).
 class PersistentVerdictStore {
  public:
   /// Opens (creating if needed) the store directory. Throws formad::Error
-  /// when the directory cannot be created or is not writable.
-  explicit PersistentVerdictStore(std::string dir);
+  /// when the directory cannot be created or is not writable. An empty
+  /// `dir` requires `memoryLayer` and yields a memory-only store.
+  explicit PersistentVerdictStore(std::string dir, bool memoryLayer = false);
 
   /// Outcome of one persisted scheduler task: the summary verdict plus the
   /// per-check replay trace (tier / exhausted flag / step provenance per
@@ -84,6 +100,9 @@ class PersistentVerdictStore {
                  const std::string& digest);
 
   /// Monotone IO counters (relaxed atomics; snapshot semantics only).
+  /// Memory-layer hits count toward checkHits/taskHits AND the dedicated
+  /// memory counters, so hit rates stay comparable with and without the
+  /// layer.
   struct Stats {
     long long checkHits = 0;
     long long checkMisses = 0;
@@ -91,10 +110,13 @@ class PersistentVerdictStore {
     long long taskHits = 0;
     long long taskMisses = 0;
     long long taskStores = 0;
+    long long checkMemoryHits = 0;
+    long long taskMemoryHits = 0;
   };
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] bool memoryLayerEnabled() const { return memoryLayer_; }
 
  private:
   /// `digest` in these three: the file-naming digest — caller-supplied for
@@ -110,9 +132,29 @@ class PersistentVerdictStore {
   [[nodiscard]] std::optional<std::vector<std::string>> readRecord(
       char kind, const std::string& key, const std::string* digest) const;
 
+  // Memory layer: sharded maps keyed by the full content key. Positive
+  // records only — a miss is never memoized, so a record another process
+  // writes to the shared directory later is still found. Check entries
+  // keep the upgrade rule of VerdictCache::store (complete beats
+  // exhausted, larger exhaustion limit beats smaller); task records are
+  // last-write-wins, which is sound because every load re-applies the
+  // budget guard.
+  static constexpr size_t kMemShards = 16;
+  struct MemShard {
+    std::mutex mu;
+    std::unordered_map<std::string, VerdictCache::Entry> checks;
+    std::unordered_map<std::string, TaskRecord> tasks;
+  };
+  [[nodiscard]] MemShard& shardFor(const std::string& key);
+  /// Memoizes a check entry, keeping the stronger of old and new.
+  void memoizeCheck(const std::string& key, const VerdictCache::Entry& e);
+
   std::string dir_;
+  bool memoryLayer_ = false;
+  std::array<MemShard, kMemShards> memShards_;
   std::atomic<long long> checkHits_{0}, checkMisses_{0}, checkStores_{0};
   std::atomic<long long> taskHits_{0}, taskMisses_{0}, taskStores_{0};
+  std::atomic<long long> checkMemHits_{0}, taskMemHits_{0};
   std::atomic<unsigned long long> tmpCounter_{0};
 };
 

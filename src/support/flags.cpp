@@ -1,0 +1,26 @@
+#include "support/flags.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/diagnostics.h"
+
+namespace formad::support {
+
+long long parseIntFlag(const std::string& flag, const std::string& text,
+                       long long min, long long max, const char* expected) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  // strtoll silently skips leading whitespace; the flag contract is that
+  // the ENTIRE string is the number, so reject that too.
+  const bool leadingSpace =
+      !text.empty() && std::isspace(static_cast<unsigned char>(text[0]));
+  if (text.empty() || leadingSpace || end != text.c_str() + text.size() ||
+      errno == ERANGE || v < min || v > max)
+    fail("bad " + flag + " value '" + text + "' (expected " + expected + ")");
+  return v;
+}
+
+}  // namespace formad::support

@@ -1,0 +1,20 @@
+// Validated command-line flag parsing shared by the CLI tools, the
+// serving daemon, and the bench mains (PR 5 introduced the validation in
+// formad_cli; every numeric flag in examples/ and bench/ funnels through
+// here so a typo is a diagnosed error, never a silently truncated value).
+#pragma once
+
+#include <string>
+
+namespace formad::support {
+
+/// Parses one integer flag value: the ENTIRE string must be one in-range
+/// decimal integer — "4x", "", "  7", or an overflow all throw
+/// formad::Error naming the flag, the offending text, and `expected`.
+/// Binaries catch the error at their argument loop and exit with their
+/// usage status.
+[[nodiscard]] long long parseIntFlag(const std::string& flag,
+                                     const std::string& text, long long min,
+                                     long long max, const char* expected);
+
+}  // namespace formad::support

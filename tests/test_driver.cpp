@@ -1,9 +1,12 @@
 // Driver-layer tests: mode plumbing, report formatting, and describe().
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "driver/driver.h"
 #include "driver/report.h"
 #include "helpers.h"
+#include "support/flags.h"
 
 namespace formad::testing {
 namespace {
@@ -183,6 +186,56 @@ TEST(Driver, DifferentiateRejectsNegativeAnalysisThreads) {
   EXPECT_THROW((void)driver::differentiate(*k, h.spec.independents,
                                            h.spec.dependents, opts),
                Error);
+}
+
+// support::parseIntFlag is the single validated numeric-flag parser shared
+// by formad_cli, formad_serve, the examples, and the bench mains. The
+// ENTIRE string must be one in-range decimal integer; anything else throws
+// an Error naming the flag, the offending text, and the expectation.
+TEST(FlagParsing, AcceptsWholeInRangeIntegers) {
+  EXPECT_EQ(support::parseIntFlag("-threads", "4", 0, 64, "a count"), 4);
+  EXPECT_EQ(support::parseIntFlag("-bind", "-20", INT64_MIN, INT64_MAX,
+                                  "an integer"),
+            -20);
+  EXPECT_EQ(support::parseIntFlag("-budget", "0", 0, 1000, "steps"), 0);
+}
+
+TEST(FlagParsing, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)support::parseIntFlag("-threads", "4x", 0, 64, "a count"),
+               Error);
+  EXPECT_THROW((void)support::parseIntFlag("-threads", "7 ", 0, 64, "a count"),
+               Error);
+}
+
+TEST(FlagParsing, RejectsEmptyAndLeadingWhitespace) {
+  EXPECT_THROW((void)support::parseIntFlag("-threads", "", 0, 64, "a count"),
+               Error);
+  EXPECT_THROW((void)support::parseIntFlag("-threads", "  7", 0, 64,
+                                           "a count"),
+               Error);
+}
+
+TEST(FlagParsing, RejectsOutOfRangeAndOverflow) {
+  EXPECT_THROW((void)support::parseIntFlag("-threads", "65", 0, 64, "a count"),
+               Error);
+  EXPECT_THROW((void)support::parseIntFlag("-threads", "-1", 0, 64, "a count"),
+               Error);
+  EXPECT_THROW((void)support::parseIntFlag("-budget", "99999999999999999999",
+                                           0, INT64_MAX, "steps"),
+               Error);
+}
+
+TEST(FlagParsing, ErrorMessageNamesFlagTextAndExpectation) {
+  try {
+    (void)support::parseIntFlag("-sessions", "lots", 1, 1024,
+                                "a session count");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("-sessions"), std::string::npos);
+    EXPECT_NE(msg.find("'lots'"), std::string::npos);
+    EXPECT_NE(msg.find("a session count"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,503 @@
+// The serving layer (src/server/): protocol round-trips for every request
+// type, structured errors for every malformed input (never a crash), a
+// byte-split fuzz loop over the framing parser, concurrency determinism
+// (byte-identical reports at any session count, arrival order, and store
+// temperature), and governance under load (a starved or fault-injected
+// request degrades only its own response — the shared store never serves
+// its poison to concurrent clean requests).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/gfmc.h"
+#include "kernels/greengauss.h"
+#include "kernels/mutants.h"
+#include "kernels/stencil.h"
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "support/diagnostics.h"
+
+namespace {
+
+using namespace formad;
+using server::AnalysisServer;
+using server::JsonValue;
+using server::LineFramer;
+using server::ServeOptions;
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag)
+      : path(fs::temp_directory_path() /
+             (std::string("formad_server_") + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+JsonValue parse(const std::string& line) {
+  return server::parseJson(line);
+}
+
+/// Response accessors; each asserts the member exists with the right kind.
+bool okOf(const JsonValue& r) {
+  const JsonValue* ok = r.find("ok");
+  EXPECT_NE(ok, nullptr);
+  return ok != nullptr && ok->kind() == JsonValue::Kind::Bool && ok->asBool();
+}
+
+std::string errorCodeOf(const JsonValue& r) {
+  const JsonValue* err = r.find("error");
+  if (err == nullptr || err->kind() != JsonValue::Kind::Object) return "";
+  const JsonValue* code = err->find("code");
+  return code != nullptr && code->kind() == JsonValue::Kind::String
+             ? code->asString()
+             : "";
+}
+
+std::string stringField(const JsonValue& r, const std::string& key) {
+  const JsonValue* v = r.find(key);
+  EXPECT_NE(v, nullptr) << "missing '" << key << "'";
+  return v != nullptr && v->kind() == JsonValue::Kind::String ? v->asString()
+                                                              : "";
+}
+
+/// The deterministic part of a response: everything except wall-clock and
+/// store-temperature observables. Byte-compared across configurations.
+std::string deterministicPart(const std::string& line) {
+  JsonValue r = parse(line);
+  JsonValue out = JsonValue::object();
+  for (const auto& [key, val] : r.members())
+    if (key != "wall_ms" && key != "cache") out.set(key, val);
+  return out.dump();
+}
+
+std::string analyzeFrame(const kernels::KernelSpec& spec,
+                         const std::string& optionsJson = "") {
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::str(spec.name));
+  req.set("op", JsonValue::str("analyze"));
+  req.set("source", JsonValue::str(spec.source));
+  JsonValue ind = JsonValue::array();
+  for (const auto& v : spec.independents) ind.push(JsonValue::str(v));
+  req.set("independents", std::move(ind));
+  JsonValue dep = JsonValue::array();
+  for (const auto& v : spec.dependents) dep.push(JsonValue::str(v));
+  req.set("dependents", std::move(dep));
+  if (!optionsJson.empty()) req.set("options", parse(optionsJson));
+  return req.dump();
+}
+
+std::string racecheckFrame(const kernels::KernelSpec& spec) {
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::str(spec.name));
+  req.set("op", JsonValue::str("racecheck"));
+  req.set("source", JsonValue::str(spec.source));
+  return req.dump();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol round-trips.
+
+TEST(ServerProtocol, AnalyzeRoundTrip) {
+  AnalysisServer daemon(ServeOptions{});
+  const kernels::KernelSpec spec = kernels::stencilSpec(1);
+  JsonValue r = parse(daemon.process(analyzeFrame(spec)));
+  EXPECT_TRUE(okOf(r));
+  EXPECT_EQ(stringField(r, "op"), "analyze");
+  EXPECT_EQ(stringField(r, "id"), "stencil1");
+  EXPECT_EQ(stringField(r, "kernel"), "stencil1");
+  const std::string report = stringField(r, "report");
+  EXPECT_NE(report.find("SAFE"), std::string::npos);
+  EXPECT_NE(report.find("decision tiers"), std::string::npos);
+  ASSERT_NE(r.find("tiers"), nullptr);
+  ASSERT_NE(r.find("governance"), nullptr);
+  ASSERT_NE(r.find("cache"), nullptr);
+  ASSERT_NE(r.find("wall_ms"), nullptr);
+}
+
+TEST(ServerProtocol, RacecheckRoundTripRacyAndClean) {
+  AnalysisServer daemon(ServeOptions{});
+  JsonValue racy = parse(daemon.process(racecheckFrame(
+      kernels::stencilRacySpec())));
+  EXPECT_TRUE(okOf(racy));
+  EXPECT_EQ(stringField(racy, "verdict"), "RACY");
+  JsonValue clean =
+      parse(daemon.process(racecheckFrame(kernels::stencilSpec(1))));
+  EXPECT_TRUE(okOf(clean));
+  EXPECT_EQ(stringField(clean, "verdict"), "race-free");
+}
+
+TEST(ServerProtocol, LintRoundTrip) {
+  AnalysisServer daemon(ServeOptions{});
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("lint"));
+  req.set("source", JsonValue::str(kernels::greenGaussSpec().source));
+  JsonValue r = parse(daemon.process(req.dump()));
+  EXPECT_TRUE(okOf(r));
+  const JsonValue* clean = r.find("clean");
+  ASSERT_NE(clean, nullptr);
+  EXPECT_TRUE(clean->asBool());  // the paper kernels lint clean
+  // Absent id echoes back as null.
+  const JsonValue* id = r.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->kind(), JsonValue::Kind::Null);
+}
+
+TEST(ServerProtocol, StatsCountsRequests) {
+  AnalysisServer daemon(ServeOptions{});
+  (void)daemon.process(analyzeFrame(kernels::stencilSpec(1)));
+  (void)daemon.process(R"({"op":"nonsense"})");
+  JsonValue r = parse(daemon.process(R"({"id":7,"op":"stats"})"));
+  EXPECT_TRUE(okOf(r));
+  const JsonValue* id = r.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->asInt(), 7);
+  const JsonValue* reqs = r.find("requests");
+  ASSERT_NE(reqs, nullptr);
+  EXPECT_EQ(reqs->find("analyze")->asInt(), 1);
+  EXPECT_EQ(reqs->find("errors")->asInt(), 1);
+  const JsonValue* store = r.find("store");
+  ASSERT_NE(store, nullptr);
+  EXPECT_GT(store->find("task_stores")->asInt(), 0);
+}
+
+TEST(ServerProtocol, ShutdownStopsNewRequests) {
+  AnalysisServer daemon(ServeOptions{});
+  JsonValue r = parse(daemon.process(R"({"id":1,"op":"shutdown"})"));
+  EXPECT_TRUE(okOf(r));
+  EXPECT_TRUE(daemon.shutdownRequested());
+  JsonValue after = parse(daemon.process(R"({"id":2,"op":"stats"})"));
+  EXPECT_FALSE(okOf(after));
+  EXPECT_EQ(errorCodeOf(after), "shutting_down");
+}
+
+// ---------------------------------------------------------------------------
+// Structured errors: every malformed input gets a typed error response.
+
+TEST(ServerProtocol, MalformedInputsGetStructuredErrors) {
+  AnalysisServer daemon(ServeOptions{});
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"{not json", "parse_error"},
+      {"42", "bad_request"},                        // not an object
+      {R"({"id":1})", "bad_request"},               // missing op
+      {R"({"op":"noop"})", "bad_request"},          // unknown op
+      {R"({"op":"stats","shards":4})", "bad_request"},  // unknown field
+      {R"({"op":"stats","options":{"turbo":true}})",
+       "bad_request"},                              // unknown options field
+      {R"({"op":"stats","options":{"threads":"four"}})",
+       "bad_request"},                              // wrong option type
+      {R"({"op":"stats","options":{"solver_budget":-2}})",
+       "bad_request"},                              // out of range
+      {R"({"id":true,"op":"stats"})", "bad_request"},   // bad id kind
+      {R"({"op":"analyze","source":"kernel k() {}"})",
+       "bad_request"},                              // missing indep/dep
+      {R"({"op":"stats","source":"kernel k() {}"})",
+       "bad_request"},                              // source on a no-source op
+      {R"({"op":"lint","source":""})", "bad_request"},  // empty source
+      {R"({"op":"lint","source":"kernel k("})",
+       "kernel_error"},                             // DSL parse failure
+  };
+  for (const auto& [frame, code] : cases) {
+    JsonValue r = parse(daemon.process(frame));
+    EXPECT_FALSE(okOf(r)) << frame;
+    EXPECT_EQ(errorCodeOf(r), code) << frame;
+  }
+  // The daemon survived all of it.
+  EXPECT_TRUE(okOf(parse(daemon.process(R"({"op":"stats"})"))));
+}
+
+TEST(ServerProtocol, BadRequestStillEchoesTheId) {
+  AnalysisServer daemon(ServeOptions{});
+  JsonValue r = parse(daemon.process(R"({"id":"req-9","op":"noop"})"));
+  EXPECT_FALSE(okOf(r));
+  EXPECT_EQ(stringField(r, "id"), "req-9");
+}
+
+TEST(ServerProtocol, UnknownHeadKernelIsAKernelError) {
+  AnalysisServer daemon(ServeOptions{});
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("lint"));
+  req.set("source", JsonValue::str(kernels::stencilSpec(1).source));
+  req.set("head", JsonValue::str("nope"));
+  JsonValue r = parse(daemon.process(req.dump()));
+  EXPECT_FALSE(okOf(r));
+  EXPECT_EQ(errorCodeOf(r), "kernel_error");
+}
+
+TEST(ServerProtocol, OversizedFrameIsRejectedNotBuffered) {
+  ServeOptions opts;
+  opts.maxRequestBytes = 256;
+  AnalysisServer daemon(opts);
+  std::istringstream in(std::string(10000, 'x') + "\n" +
+                        R"({"id":1,"op":"stats"})" + "\n" +
+                        R"({"op":"shutdown"})" + "\n");
+  std::ostringstream out;
+  server::serveStdio(daemon, in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(errorCodeOf(parse(line)), "oversized");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(okOf(parse(line)));  // the next request still works
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(okOf(parse(line)));  // shutdown acknowledged
+}
+
+// ---------------------------------------------------------------------------
+// Framing fuzz: random byte splits must reproduce unsplit framing.
+
+TEST(ServerFraming, RandomChunkSplitsReproduceUnsplitFrames) {
+  const std::string stream =
+      "{\"op\":\"stats\"}\n"
+      "\n"                              // blank line: dropped
+      "{\"id\":1,\"op\":\"lint\"}\r\n"  // CRLF client
+      + std::string(300, 'y') + "\n"    // oversized at limit 128
+      + "{\"id\":2}\n"
+        "tail-without-newline";
+  auto frameAll = [](LineFramer& framer, const std::string& bytes,
+                     const std::vector<size_t>& cuts) {
+    std::vector<LineFramer::Frame> out;
+    size_t pos = 0;
+    for (size_t cut : cuts) {
+      framer.feed(bytes.data() + pos, cut - pos, out);
+      pos = cut;
+    }
+    framer.feed(bytes.data() + pos, bytes.size() - pos, out);
+    framer.finish(out);
+    return out;
+  };
+
+  LineFramer whole(128);
+  const std::vector<LineFramer::Frame> reference =
+      frameAll(whole, stream, {});
+  ASSERT_EQ(reference.size(), 5u);
+  EXPECT_TRUE(reference[2].oversized);
+
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<size_t> cuts;
+    const size_t nCuts = rng() % 12;
+    for (size_t c = 0; c < nCuts; ++c)
+      cuts.push_back(rng() % (stream.size() + 1));
+    std::sort(cuts.begin(), cuts.end());
+    LineFramer framer(128);
+    const std::vector<LineFramer::Frame> got =
+        frameAll(framer, stream, cuts);
+    ASSERT_EQ(got.size(), reference.size()) << "round " << round;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].text, reference[i].text) << "round " << round;
+      EXPECT_EQ(got[i].oversized, reference[i].oversized)
+          << "round " << round;
+    }
+  }
+}
+
+TEST(ServerFraming, SplitRequestsYieldIdenticalResponses) {
+  AnalysisServer daemon(ServeOptions{});
+  const std::string frame = analyzeFrame(kernels::stencilSpec(1));
+  const std::string reference =
+      deterministicPart(daemon.process(frame));
+
+  // The same request arriving in arbitrary chunks through the framer must
+  // produce the same response.
+  std::mt19937 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    LineFramer framer(1 << 20);
+    std::vector<LineFramer::Frame> frames;
+    const std::string bytes = frame + "\n";
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+      const size_t n = 1 + rng() % 40;
+      const size_t len = std::min(n, bytes.size() - pos);
+      framer.feed(bytes.data() + pos, len, frames);
+      pos += len;
+    }
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(deterministicPart(daemon.process(frames[0].text)), reference);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency determinism: byte-identical reports at any session count,
+// arrival order, and store temperature.
+
+TEST(ServerConcurrency, ReportsAreByteIdenticalAcrossSessionsAndOrder) {
+  // The mixed workload every client replays.
+  std::vector<std::string> mix = {
+      analyzeFrame(kernels::stencilSpec(1)),
+      analyzeFrame(kernels::stencilSpec(2)),
+      analyzeFrame(kernels::gfmcSplitSpec()),
+      analyzeFrame(kernels::greenGaussSpec()),
+      racecheckFrame(kernels::stencilRacySpec()),
+      racecheckFrame(kernels::gatherRacySpec()),
+      racecheckFrame(kernels::stencilSpec(1)),
+  };
+
+  // Reference: a serial 1-session daemon, one request at a time.
+  std::map<std::string, std::string> reference;
+  {
+    ServeOptions opts;
+    opts.sessions = 1;
+    AnalysisServer daemon(opts);
+    for (const auto& frame : mix)
+      reference[frame] = deterministicPart(daemon.process(frame));
+  }
+
+  TempDir dir("determinism");
+  for (int sessions : {1, 2, 4, 8}) {
+    // Two passes over one shared cache directory: the second runs against
+    // a warm store (disk + memory layer), and must still be
+    // byte-identical.
+    ServeOptions opts;
+    opts.sessions = sessions;
+    opts.cacheDir = dir.path.string();
+    AnalysisServer daemon(opts);
+    for (int pass = 0; pass < 2; ++pass) {
+      const int kClients = 4;
+      std::vector<std::vector<std::pair<std::string, std::string>>> got(
+          kClients);
+      std::vector<std::thread> clients;
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          // Each client its own arrival order.
+          std::vector<std::string> order = mix;
+          std::mt19937 rng(static_cast<unsigned>(1000 * pass + c));
+          std::shuffle(order.begin(), order.end(), rng);
+          for (const auto& frame : order)
+            got[static_cast<size_t>(c)].emplace_back(
+                frame, daemon.process(frame));
+        });
+      }
+      for (auto& t : clients) t.join();
+      for (const auto& client : got)
+        for (const auto& [frame, line] : client)
+          EXPECT_EQ(deterministicPart(line), reference[frame])
+              << "sessions=" << sessions << " pass=" << pass;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Governance under load: a starved or faulted request degrades only its
+// own response; the shared store never serves its poison.
+
+TEST(ServerGovernance, StarvedRequestDegradesOnlyItself) {
+  const kernels::KernelSpec spec = kernels::stencilSpec(2);
+  // Solver work is real with the fast paths off; budget 1 starves it.
+  const std::string starved =
+      analyzeFrame(spec, R"({"fastpath":"off","solver_budget":1})");
+  const std::string unlimited = analyzeFrame(spec, R"({"fastpath":"off"})");
+
+  std::string reference;
+  {
+    ServeOptions opts;
+    opts.sessions = 1;
+    AnalysisServer daemon(opts);
+    reference = deterministicPart(daemon.process(unlimited));
+  }
+
+  TempDir dir("governance");
+  ServeOptions opts;
+  opts.sessions = 2;
+  opts.cacheDir = dir.path.string();
+  AnalysisServer daemon(opts);
+
+  JsonValue starvedResp = parse(daemon.process(starved));
+  EXPECT_TRUE(okOf(starvedResp));
+  const JsonValue* gov = starvedResp.find("governance");
+  ASSERT_NE(gov, nullptr);
+  EXPECT_GT(gov->find("budget_exhausted")->asInt(), 0);
+  EXPECT_GT(gov->find("degraded_pairs")->asInt(), 0);
+
+  // Concurrent unlimited requests through the same store stay complete:
+  // the starved run's exhausted verdicts must not satisfy them.
+  std::vector<std::thread> clients;
+  std::vector<std::string> lines(4);
+  for (size_t c = 0; c < lines.size(); ++c)
+    clients.emplace_back(
+        [&, c] { lines[c] = daemon.process(unlimited); });
+  for (auto& t : clients) t.join();
+  for (const auto& line : lines) {
+    EXPECT_EQ(deterministicPart(line), reference);
+    JsonValue r = parse(line);
+    const JsonValue* g = r.find("governance");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->find("budget_exhausted")->asInt(), 0);
+    EXPECT_EQ(g->find("degraded_pairs")->asInt(), 0);
+  }
+}
+
+TEST(ServerGovernance, InjectedFaultsStayPerRequest) {
+  const kernels::KernelSpec spec = kernels::stencilSpec(2);
+  const std::string clean = analyzeFrame(spec, R"({"fastpath":"off"})");
+  const std::string unknownFault =
+      analyzeFrame(spec, R"({"fastpath":"off","fault_unknown_at":1})");
+  const std::string throwFault =
+      analyzeFrame(spec, R"({"fastpath":"off","fault_throw_at":1})");
+
+  std::string reference;
+  {
+    ServeOptions opts;
+    opts.sessions = 1;
+    AnalysisServer daemon(opts);
+    reference = deterministicPart(daemon.process(clean));
+  }
+
+  TempDir dir("faults");
+  ServeOptions opts;
+  opts.sessions = 2;
+  opts.cacheDir = dir.path.string();
+  AnalysisServer daemon(opts);
+
+  // The injected-Unknown request answers ok but degraded (the forced
+  // Unknown surfaces like a budget-exhausted check)...
+  JsonValue degraded = parse(daemon.process(unknownFault));
+  EXPECT_TRUE(okOf(degraded));
+  EXPECT_GT(
+      degraded.find("governance")->find("budget_exhausted")->asInt(), 0);
+  // ...and the injected-throw request fails alone, with a typed error.
+  JsonValue thrown = parse(daemon.process(throwFault));
+  EXPECT_FALSE(okOf(thrown));
+  EXPECT_EQ(errorCodeOf(thrown), "kernel_error");
+
+  // Concurrent clean requests (sharing the store the faulted requests
+  // were barred from) still match the fault-free reference byte for byte.
+  std::vector<std::thread> clients;
+  std::vector<std::string> lines(4);
+  for (size_t c = 0; c < lines.size(); ++c)
+    clients.emplace_back([&, c] {
+      lines[c] = daemon.process(c % 2 == 0 ? clean : unknownFault);
+    });
+  for (auto& t : clients) t.join();
+  for (size_t c = 0; c < lines.size(); ++c) {
+    if (c % 2 == 0) {
+      EXPECT_EQ(deterministicPart(lines[c]), reference);
+    } else {
+      EXPECT_TRUE(okOf(parse(lines[c])));
+    }
+  }
+
+  // After all the faults, a fresh daemon on the same directory still
+  // serves the clean verdicts (nothing poisoned the persisted records).
+  {
+    ServeOptions fresh;
+    fresh.sessions = 1;
+    fresh.cacheDir = dir.path.string();
+    AnalysisServer daemon2(fresh);
+    EXPECT_EQ(deterministicPart(daemon2.process(clean)), reference);
+  }
+}
+
+}  // namespace
