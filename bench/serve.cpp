@@ -139,6 +139,17 @@ void appendRound(std::vector<WorkItem>& out, int round, bool smoke) {
   add(statsFrame(++id), "stats");
 }
 
+double percentileOf(const std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
 struct PhaseStats {
   double wallSeconds = 0;
   std::vector<double> latenciesMs;
@@ -147,14 +158,7 @@ struct PhaseStats {
   long long taskMemoryHits = 0;
 
   [[nodiscard]] double percentile(double p) const {
-    if (latenciesMs.empty()) return 0;
-    std::vector<double> sorted = latenciesMs;
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+    return percentileOf(latenciesMs, p);
   }
 };
 
@@ -216,6 +220,138 @@ PhaseStats runPhase(const std::vector<WorkItem>& work, int clients,
   return stats;
 }
 
+// ------------------------------------------------ contention section
+//
+// K clients race the SAME cold kernel through a shared-pool daemon while
+// a lint/stats background churns the other dispatch threads (DESIGN.md
+// §12). Single-flight must collapse the duplicate proofs: across every
+// racing client and round, the store performs exactly as many fresh task
+// evaluations as ONE single-session cold run — everything else joins
+// in-flight work or hits the shared memory layer.
+
+struct ContentionStats {
+  double wallSeconds = 0;
+  std::vector<double> analyzeLatenciesMs;  // the racing analyzes only
+  long long failures = 0;
+  long long taskStores = 0;
+  long long taskHits = 0;
+  long long flightClaims = 0;
+  long long flightJoins = 0;
+  long long flightUnclaims = 0;
+  double dedupRate = 0;  // duplicates absorbed / duplicate opportunities
+};
+
+/// One single-session daemon analyzing `hot` once: the fresh-work
+/// reference the contention floor is measured against.
+long long referenceTaskStores(const kernels::KernelSpec& hot) {
+  server::ServeOptions opts;
+  opts.sessions = 1;
+  server::AnalysisServer daemon(opts);
+  const std::string line = daemon.process(analyzeFrame(hot, 1));
+  server::JsonValue resp = server::parseJson(line);
+  const server::JsonValue* ok = resp.find("ok");
+  if (ok == nullptr || !ok->asBool()) {
+    std::cerr << "FAIL contention reference: " << line << "\n";
+    return -1;
+  }
+  return daemon.store().stats().taskStores;
+}
+
+ContentionStats runContention(const kernels::KernelSpec& hot, int clients,
+                              int rounds) {
+  server::ServeOptions opts;
+  opts.sessions = clients;  // one dispatch thread per racing client
+  opts.analysisThreads = 0;
+  server::AnalysisServer daemon(opts);
+
+  ContentionStats stats;
+  stats.analyzeLatenciesMs.resize(
+      static_cast<size_t>(clients) * static_cast<size_t>(rounds), 0.0);
+  std::vector<long long> failures(static_cast<size_t>(clients), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c, round] {
+        auto check = [&](const std::string& line, const char* what) {
+          try {
+            server::JsonValue resp = server::parseJson(line);
+            const server::JsonValue* ok = resp.find("ok");
+            if (ok == nullptr ||
+                ok->kind() != server::JsonValue::Kind::Bool ||
+                !ok->asBool()) {
+              ++failures[static_cast<size_t>(c)];
+              std::cerr << "FAIL contention " << what << ": " << line
+                        << "\n";
+            }
+          } catch (const Error& e) {
+            ++failures[static_cast<size_t>(c)];
+            std::cerr << "FAIL contention " << what
+                      << ": unparseable response: " << e.what() << "\n";
+          }
+        };
+        const int id = round * 1000 + c * 10;
+        const auto s0 = std::chrono::steady_clock::now();
+        const std::string line = daemon.process(analyzeFrame(hot, id));
+        const auto s1 = std::chrono::steady_clock::now();
+        stats.analyzeLatenciesMs[static_cast<size_t>(round) *
+                                     static_cast<size_t>(clients) +
+                                 static_cast<size_t>(c)] =
+            std::chrono::duration<double, std::milli>(s1 - s0).count();
+        check(line, "analyze");
+        // Mixed background on the same dispatch threads: lint + stats
+        // churn dispatch without touching the verdict store, so the
+        // store-level accounting below stays exact.
+        check(daemon.process(lintFrame(kernels::greenGaussSpec(), id + 1)),
+              "lint");
+        check(daemon.process(statsFrame(id + 2)), "stats");
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  for (long long f : failures) stats.failures += f;
+
+  const smt::PersistentVerdictStore::Stats s = daemon.store().stats();
+  stats.taskStores = s.taskStores;
+  stats.taskHits = s.taskHits;
+  stats.flightClaims = s.flightClaims;
+  stats.flightJoins = s.flightJoins;
+  stats.flightUnclaims = s.flightUnclaims;
+  // Duplicate opportunities: every task lookup beyond the fresh ones.
+  const long long lookups = s.taskHits + s.taskMisses;
+  const long long duplicates = lookups - s.taskStores;
+  stats.dedupRate =
+      duplicates <= 0 ? 1.0
+                      : static_cast<double>(s.taskHits + s.flightJoins) /
+                            static_cast<double>(duplicates);
+  return stats;
+}
+
+bench::Json contentionJson(const ContentionStats& s, int clients,
+                           int rounds, long long refTaskStores) {
+  bench::Json j = bench::Json::object();
+  j.set("clients", bench::Json::integer(clients));
+  j.set("rounds", bench::Json::integer(rounds));
+  j.set("wall_s", bench::Json::num(s.wallSeconds));
+  bench::Json lat = bench::Json::object();
+  lat.set("p50", bench::Json::num(percentileOf(s.analyzeLatenciesMs, 50)));
+  lat.set("p95", bench::Json::num(percentileOf(s.analyzeLatenciesMs, 95)));
+  lat.set("p99", bench::Json::num(percentileOf(s.analyzeLatenciesMs, 99)));
+  j.set("analyze_latency_ms", std::move(lat));
+  j.set("task_stores", bench::Json::integer(s.taskStores));
+  j.set("reference_task_stores", bench::Json::integer(refTaskStores));
+  j.set("task_hits", bench::Json::integer(s.taskHits));
+  j.set("flight_claims", bench::Json::integer(s.flightClaims));
+  j.set("flight_joins", bench::Json::integer(s.flightJoins));
+  j.set("flight_unclaims", bench::Json::integer(s.flightUnclaims));
+  j.set("dedup_rate", bench::Json::num(s.dedupRate));
+  j.set("failures", bench::Json::integer(s.failures));
+  return j;
+}
+
 bench::Json phaseJson(const std::string& name, const PhaseStats& s,
                       size_t requests) {
   bench::Json j = bench::Json::object();
@@ -264,6 +400,17 @@ int main(int argc, char** argv) {
   const PhaseStats warm = runPhase(work, kClients, kSessions, cacheDir);
   std::filesystem::remove_all(cacheDir);
 
+  // Contention: racing identical cold analyzes + mixed background. Smoke
+  // shrinks the kernel and the fan-out, not the shape of the check.
+  const int kContClients = smoke ? 4 : 8;
+  const int kContRounds = smoke ? 2 : 3;
+  const kernels::KernelSpec hot = kernels::stencilSpec(smoke ? 2 : 4);
+  std::cout << "contention: " << kContClients << " clients x "
+            << kContRounds << " rounds, kernel " << hot.name << "\n";
+  const long long refTaskStores = referenceTaskStores(hot);
+  const ContentionStats cont =
+      runContention(hot, kContClients, kContRounds);
+
   for (const auto* phase : {&cold, &warm}) {
     const bool isCold = phase == &cold;
     std::printf(
@@ -276,6 +423,14 @@ int main(int argc, char** argv) {
         phase->percentile(50), phase->percentile(95), phase->percentile(99),
         phase->taskHitRate, phase->failures);
   }
+  std::printf(
+      "cont  %4zu req  p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f ms  "
+      "fresh %lld/%lld  joins %lld  hits %lld  dedup %.3f  failures %lld\n",
+      cont.analyzeLatenciesMs.size(), percentileOf(cont.analyzeLatenciesMs, 50),
+      percentileOf(cont.analyzeLatenciesMs, 95),
+      percentileOf(cont.analyzeLatenciesMs, 99), cont.taskStores,
+      refTaskStores, cont.flightJoins, cont.taskHits, cont.dedupRate,
+      cont.failures);
 
   bench::Json body = bench::Json::object();
   body.set("smoke", bench::Json::boolean(smoke));
@@ -285,6 +440,8 @@ int main(int argc, char** argv) {
   phases.push(phaseJson("cold", cold, work.size()));
   phases.push(phaseJson("warm", warm, work.size()));
   body.set("phases", std::move(phases));
+  body.set("contention",
+           contentionJson(cont, kContClients, kContRounds, refTaskStores));
   bench::writeBenchFile("serve", body);
 
   bool ok = true;
@@ -300,6 +457,23 @@ int main(int argc, char** argv) {
   }
   if (work.size() < 200) {
     std::cout << "FAIL: workload shrank below 200 requests\n";
+    ok = false;
+  }
+  // Contention floors: no failures, and dedup must be EFFECTIVE — the
+  // racing clients' fresh task work collapses to exactly one cold run.
+  if (refTaskStores < 0 || cont.failures > 0) {
+    std::cout << "FAIL: contention section had failing requests\n";
+    ok = false;
+  }
+  if (cont.taskStores != refTaskStores) {
+    std::cout << "FAIL: contention performed " << cont.taskStores
+              << " fresh task evaluations; single-flight floor is "
+              << refTaskStores << " (one cold run)\n";
+    ok = false;
+  }
+  if (cont.taskHits + cont.flightJoins <= 0) {
+    std::cout << "FAIL: contention absorbed no duplicates "
+              << "(joins + hits == 0)\n";
     ok = false;
   }
   return ok ? 0 : 1;

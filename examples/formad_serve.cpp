@@ -5,7 +5,13 @@
 //
 // Options:
 //   -sessions N           worker sessions answering requests (default 2)
-//   -threads N            analysis pool width per session (0 = auto)
+//   -threads N            workers of the ONE shared analysis pool all
+//                         sessions draw from (0 = auto: hardware
+//                         concurrency minus the sessions). An explicit
+//                         width whose total sessions+threads exceeds the
+//                         hardware is clamped back to auto with a warning
+//                         unless -allow-oversubscribe is passed.
+//   -allow-oversubscribe  honor an oversubscribing -threads verbatim
 //   -cache-dir DIR        persistent verdict store ("" = memory-only)
 //   -max-request-bytes N  frame size limit (default 4 MiB)
 //   -solver-budget N      default per-check solver step budget (0 = off)
@@ -32,8 +38,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: formad_serve --stdio | -socket <path>\n"
-            << "  [-sessions N] [-threads N] [-cache-dir DIR]\n"
-            << "  [-max-request-bytes N] [-solver-budget N] "
+            << "  [-sessions N] [-threads N] [-allow-oversubscribe]\n"
+            << "  [-cache-dir DIR] [-max-request-bytes N] [-solver-budget N] "
                "[-deadline-ms N]\n";
   return 2;
 }
@@ -65,7 +71,8 @@ int main(int argc, char** argv) {
             nextInt(1, 1 << 10, "a session count in [1, 1024]"));
       else if (arg == "-threads")
         opts.analysisThreads = static_cast<int>(
-            nextInt(0, 1 << 16, "a thread count (0 = auto)"));
+            nextInt(0, 1 << 16, "a shared-pool worker count (0 = auto)"));
+      else if (arg == "-allow-oversubscribe") opts.allowOversubscribe = true;
       else if (arg == "-cache-dir") opts.cacheDir = next();
       else if (arg == "-max-request-bytes")
         opts.maxRequestBytes = static_cast<size_t>(
@@ -95,6 +102,8 @@ int main(int argc, char** argv) {
 
   try {
     server::AnalysisServer server(opts);
+    if (!server.sizingWarning().empty())
+      std::cerr << "formad_serve: " << server.sizingWarning() << "\n";
     if (stdio) {
       server::serveStdio(server, std::cin, std::cout);
     } else {

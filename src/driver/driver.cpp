@@ -1,5 +1,6 @@
 #include "driver/driver.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 
@@ -46,12 +47,46 @@ smt::PersistentVerdictStore* resolveStore(
 
 }  // namespace
 
-int resolveAnalysisThreads(int requested) {
+int resolveThreadRequest(int requested, int autoValue) {
   if (requested < 0)
     fail("analysis threads must be >= 0 (0 = auto-detect), got " +
          std::to_string(requested));
-  if (requested == 0) return support::WorkPool::hardwareWidth();
+  if (requested == 0) return autoValue;
   return requested;
+}
+
+int resolveAnalysisThreads(int requested) {
+  return resolveThreadRequest(requested, support::WorkPool::hardwareWidth());
+}
+
+ServePoolPlan resolveServePool(int sessions, int analysisThreads,
+                               bool allowOversubscribe) {
+  if (sessions < 1)
+    fail("serve sessions must be >= 1, got " + std::to_string(sessions));
+  const int hw = support::WorkPool::hardwareWidth();
+  const int autoWorkers = std::max(0, hw - sessions);
+  ServePoolPlan plan;
+  plan.sessions = sessions;
+  plan.poolWorkers = resolveThreadRequest(analysisThreads, autoWorkers);
+  if (sessions > hw) {
+    plan.warning = std::to_string(sessions) +
+                   " sessions exceed hardware concurrency (" +
+                   std::to_string(hw) +
+                   "); session threads mostly block on IO, so they are kept, "
+                   "but expect dispatch contention";
+  }
+  if (plan.poolWorkers > autoWorkers && !allowOversubscribe) {
+    plan.warning = std::to_string(sessions) + " session(s) + " +
+                   std::to_string(plan.poolWorkers) +
+                   " analysis worker(s) oversubscribe hardware concurrency (" +
+                   std::to_string(hw) + "); clamping the shared pool to " +
+                   std::to_string(autoWorkers) +
+                   " worker(s) — pass -allow-oversubscribe to keep the "
+                   "requested width";
+    plan.poolWorkers = autoWorkers;
+    plan.clamped = true;
+  }
+  return plan;
 }
 
 std::string to_string(AdjointMode mode) {
@@ -80,7 +115,7 @@ DifferentiateResult differentiate(const Kernel& primal,
                                   ? dopts.analysisPool->width()
                                   : resolveAnalysisThreads(dopts.analysisThreads);
   std::unique_ptr<support::WorkPool> ownedPool;
-  support::WorkPool* poolPtr = dopts.analysisPool;
+  support::TaskPool* poolPtr = dopts.analysisPool;
   if (poolPtr == nullptr && analysisThreads > 1) {
     ownedPool = std::make_unique<support::WorkPool>(analysisThreads);
     poolPtr = ownedPool.get();

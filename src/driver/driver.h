@@ -88,15 +88,44 @@ struct DriverOptions {
   /// Caller-owned analysis worker pool; wins over analysisThreads when
   /// non-null (lets a long-running process — the serving daemon — reuse
   /// one pool across many driver calls instead of spawning threads per
-  /// call). The caller must invoke the driver from the pool's owning
-  /// thread (WorkPool::run is not reentrant). Verdicts and reports are
+  /// call). Accepts a private WorkPool or a SharedAnalysisPool client. The
+  /// caller must invoke the driver from the pool's owning thread
+  /// (TaskPool::run is not reentrant). Verdicts and reports are
   /// byte-identical at any pool width, as always.
-  support::WorkPool* analysisPool = nullptr;
+  support::TaskPool* analysisPool = nullptr;
 };
 
 /// Resolves a requested analysis thread count: 0 -> hardware concurrency,
 /// n >= 1 -> n, negative -> throws formad::Error.
 [[nodiscard]] int resolveAnalysisThreads(int requested);
+
+/// The validated core both resolveAnalysisThreads and the daemon's pool
+/// sizing share: 0 -> `autoValue`, n >= 1 -> n, negative -> throws
+/// formad::Error with the standard message.
+[[nodiscard]] int resolveThreadRequest(int requested, int autoValue);
+
+/// The serving daemon's pool plan: session dispatch threads plus shared
+/// analysis-pool workers, derived from one validated policy so the CLI and
+/// the server cannot drift apart.
+///
+/// `analysisThreads` follows the familiar convention (0 = auto, negative
+/// rejected) but counts SHARED POOL WORKERS: auto sizes the pool to
+/// hardware concurrency minus the session threads (floor 0 — sessions
+/// still analyze inline at width 1). An explicit worker count whose total
+/// `sessions + workers` oversubscribes the hardware is clamped back to the
+/// auto size with a warning unless `allowOversubscribe` is set. A session
+/// count above hardware concurrency alone is warned about but never
+/// altered (session threads mostly block on IO; only the analysis width is
+/// clamped). sessions < 1 throws formad::Error.
+struct ServePoolPlan {
+  int sessions = 1;
+  int poolWorkers = 0;
+  bool clamped = false;
+  std::string warning;  // empty when the request was honored as-is
+};
+[[nodiscard]] ServePoolPlan resolveServePool(int sessions,
+                                             int analysisThreads,
+                                             bool allowOversubscribe);
 
 struct DifferentiateResult {
   std::unique_ptr<ir::Kernel> adjoint;

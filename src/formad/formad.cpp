@@ -99,6 +99,12 @@ long long KernelAnalysis::tasksSpliced() const {
   return n;
 }
 
+long long KernelAnalysis::tasksJoined() const {
+  long long n = 0;
+  for (const auto& r : regions) n += r.tasksJoined;
+  return n;
+}
+
 long long KernelAnalysis::tasksPersisted() const {
   long long n = 0;
   for (const auto& r : regions) n += r.tasksPersisted;
@@ -224,7 +230,8 @@ std::string describeCache(const KernelAnalysis& analysis) {
   int idx = 0;
   for (const auto& r : analysis.regions) {
     os << "region #" << idx++ << " cache: tasks " << r.tasksSpliced
-       << " spliced + " << r.tasksPersisted << " persisted; fresh checks "
+       << " spliced + " << r.tasksJoined << " joined + " << r.tasksPersisted
+       << " persisted; fresh checks "
        << r.freshSolverChecks << " (" << r.freshTier2Solves
        << " tier-2 solves); hits memory " << r.cacheMemoryHits << " ["
        << r.cacheMemoryHitTiers[0] << '/' << r.cacheMemoryHitTiers[1] << '/'

@@ -53,6 +53,7 @@ struct KernelAnalysis {
   // zero without an attached store; never rendered by describe() (see
   // describeCache below).
   [[nodiscard]] long long tasksSpliced() const;
+  [[nodiscard]] long long tasksJoined() const;
   [[nodiscard]] long long tasksPersisted() const;
   [[nodiscard]] long long freshSolverChecks() const;
   [[nodiscard]] long long freshTier2Solves() const;

@@ -1,6 +1,7 @@
 #include "formad/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <tuple>
@@ -450,7 +451,7 @@ RegionVerdict QueryScheduler::replay(
   return verdict;
 }
 
-RegionVerdict QueryScheduler::run(support::WorkPool* pool,
+RegionVerdict QueryScheduler::run(support::TaskPool* pool,
                                   support::CancelToken* cancel) {
   auto t0 = std::chrono::steady_clock::now();
   const int width = pool != nullptr ? pool->width() : 1;
@@ -480,19 +481,23 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
   // skips whole variables once one pair proves unsafe, and a task that is
   // never demanded is never evaluated or persisted, so looking it up
   // every run would be a guaranteed store miss).
+  auto adoptRecord = [&](size_t i,
+                         smt::PersistentVerdictStore::TaskRecord&& rec) {
+    QueryResult& r = results[i];
+    r.evaluated = true;
+    r.unsat = rec.unsat;
+    r.pairSafe = rec.pairSafe;
+    r.checksPerformed = static_cast<int>(rec.tiers.size());
+    r.tiers = std::move(rec.tiers);
+    r.exhausted = std::move(rec.exhausted);
+    r.stepsUsed = std::move(rec.steps);
+  };
   auto spliceTask = [&](size_t i) {
     if (store == nullptr) return;
     auto rec = store->loadTask(tasks_[i].fingerprint, opts_.solverSteps,
                                tasks_[i].digest);
     if (!rec) return;
-    QueryResult& r = results[i];
-    r.evaluated = true;
-    r.unsat = rec->unsat;
-    r.pairSafe = rec->pairSafe;
-    r.checksPerformed = static_cast<int>(rec->tiers.size());
-    r.tiers = std::move(rec->tiers);
-    r.exhausted = std::move(rec->exhausted);
-    r.stepsUsed = std::move(rec->steps);
+    adoptRecord(i, std::move(*rec));
     spliced[i] = 1;
     ++splicedCount;
   };
@@ -506,21 +511,39 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
                                 st.fastpathTier1;
   };
 
-  // Writes freshly evaluated (never spliced, never cancelled) task
-  // outcomes back to the store.
-  auto persistFresh = [&] {
-    if (store == nullptr) return;
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (spliced[i] != 0 || !results[i].evaluated) continue;
-      smt::PersistentVerdictStore::TaskRecord rec;
-      rec.unsat = results[i].unsat;
-      rec.pairSafe = results[i].pairSafe;
-      rec.tiers = results[i].tiers;
-      rec.exhausted = results[i].exhausted;
-      rec.steps = results[i].stepsUsed;
-      store->storeTask(tasks_[i].fingerprint, rec, tasks_[i].digest);
-      ++verdict.tasksPersisted;
+  // Single-flight evaluation of one fresh (non-spliced) task. With a store
+  // attached, the task fingerprint is claimed before any solver work: a
+  // conjunction another worker or session is computing right now is
+  // *joined* (its published record adopted — accounted exactly like a
+  // splice, since both are pure functions of conjunction + budget), and a
+  // task evaluated here is published the moment it completes, resolving
+  // the claim, so concurrent joiners wait for one task rather than a whole
+  // run. If evaluate() unwinds (deadline, cancellation, fault), the
+  // claim's destructor unclaims and the next joiner recomputes — a failed
+  // winner can delay duplicates, never poison or hang them.
+  std::atomic<long long> joinedCount{0};
+  std::atomic<long long> persistedCount{0};
+  auto claimEvaluate = [&](smt::Solver& solver, int& atBase, size_t i) {
+    if (store == nullptr) {
+      results[i] = evaluate(solver, atBase, tasks_[i]);
+      return;
     }
+    auto flight = store->claimTask(tasks_[i].fingerprint, opts_.solverSteps,
+                                   tasks_[i].digest, cancel);
+    if (flight.served) {
+      adoptRecord(i, std::move(*flight.served));
+      joinedCount.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    results[i] = evaluate(solver, atBase, tasks_[i]);
+    smt::PersistentVerdictStore::TaskRecord rec;
+    rec.unsat = results[i].unsat;
+    rec.pairSafe = results[i].pairSafe;
+    rec.tiers = results[i].tiers;
+    rec.exhausted = results[i].exhausted;
+    rec.steps = results[i].stepsUsed;
+    store->storeTask(tasks_[i].fingerprint, rec, tasks_[i].digest);
+    persistedCount.fetch_add(1, std::memory_order_relaxed);
   };
 
   if (width > 1 && tasks_.size() > 1) {
@@ -557,8 +580,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
             if (results[i].evaluated) continue;  // spliced from the store
             if (cancel != nullptr && cancel->cancelled()) return;
             try {
-              results[i] = evaluate(solver, atBase[static_cast<size_t>(w)],
-                                    tasks_[i]);
+              claimEvaluate(solver, atBase[static_cast<size_t>(w)], i);
             } catch (const support::Cancelled&) {
               // The token fired mid-check. The unwind may have skipped
               // pops, so this worker's solver stack no longer matches its
@@ -580,10 +602,11 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
       return results[static_cast<size_t>(i)];
     });
     verdict.tasksSpliced = splicedCount;
+    verdict.tasksJoined = joinedCount.load(std::memory_order_relaxed);
+    verdict.tasksPersisted = persistedCount.load(std::memory_order_relaxed);
     replaySeconds = secondsSince(tReplay);
     verdict.threadsUsed = width;
     for (const auto& s : solvers) addSolverStats(*s);
-    persistFresh();
   } else {
     // Lazy evaluation: tasks run on demand during replay over ONE
     // persistent incremental trail (replay demands tasks in canonical DFS
@@ -607,7 +630,7 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
       if (!r.evaluated && !abandoned &&
           (cancel == nullptr || !cancel->poll())) {
         try {
-          r = evaluate(solver, atBase, tasks_[static_cast<size_t>(i)]);
+          claimEvaluate(solver, atBase, static_cast<size_t>(i));
           evalSeconds += r.seconds;
         } catch (const support::Cancelled&) {
           abandoned = true;
@@ -617,10 +640,11 @@ RegionVerdict QueryScheduler::run(support::WorkPool* pool,
       return r;
     });
     verdict.tasksSpliced = splicedCount;
+    verdict.tasksJoined = joinedCount.load(std::memory_order_relaxed);
+    verdict.tasksPersisted = persistedCount.load(std::memory_order_relaxed);
     replaySeconds = secondsSince(t0) - evalSeconds;
     verdict.threadsUsed = 1;
     addSolverStats(solver);
-    persistFresh();
   }
 
   const smt::VerdictCache::CacheStats cs = cache.cacheStats();

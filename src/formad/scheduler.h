@@ -48,7 +48,7 @@
 
 namespace formad::support {
 class CancelToken;
-class WorkPool;
+class TaskPool;
 }
 
 namespace formad::core {
@@ -124,7 +124,7 @@ class QueryScheduler {
   /// region's cooperative cancellation token: tasks it stops before they
   /// evaluate degrade to unsafe pairs in replay (which pairs depends on
   /// timing — cancellation trades reproducibility for liveness).
-  [[nodiscard]] RegionVerdict run(support::WorkPool* pool,
+  [[nodiscard]] RegionVerdict run(support::TaskPool* pool,
                                   support::CancelToken* cancel = nullptr);
 
  private:

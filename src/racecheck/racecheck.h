@@ -46,7 +46,7 @@
 
 namespace formad::support {
 class CancelToken;
-class WorkPool;
+class TaskPool;
 }
 
 namespace formad::smt {
@@ -154,7 +154,7 @@ struct RaceCheckOptions {
   /// scheduler by the driver): per-pair converse queries are evaluated
   /// speculatively across its workers and merged in canonical pair order,
   /// so the report is bit-identical at any pool width.
-  support::WorkPool* pool = nullptr;
+  support::TaskPool* pool = nullptr;
   /// Per-check deterministic solver step budget (<= 0 = unlimited). A
   /// query that runs out is reported undecided with reason "solver step
   /// budget exhausted" — never Racy, never RaceFree.

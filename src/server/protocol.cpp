@@ -120,6 +120,12 @@ RequestOptions parseOptions(const JsonValue& v) {
     } else if (key == "colorings") {
       for (const auto& a : requireStringArray(val, "options.colorings"))
         o.colorings.insert(a);
+    } else if (key == "priority") {
+      const std::string p = requireString(val, "options.priority");
+      if (p == "high") o.priority = 0;
+      else if (p == "normal") o.priority = 1;
+      else if (p == "low") o.priority = 2;
+      else badRequest("options.priority must be high, normal, or low");
     } else if (key == "fault_unknown_at") {
       o.faultUnknownAt = requireInt(val, "options.fault_unknown_at", 0,
                                     std::numeric_limits<long long>::max());

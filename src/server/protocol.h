@@ -16,7 +16,8 @@
 //    "independents": ["x", ...],           // analyze
 //    "dependents": ["y", ...],             // analyze
 //    "options": {                          // all optional
-//      "threads": N,            // 0 = daemon default (session pool)
+//      "threads": N,            // 0 = daemon default (shared pool)
+//      "priority": "high"|"normal"|"low",  // shared-pool class
 //      "fastpath": "off"|"syntactic"|"full",
 //      "absint": true|false,
 //      "solver_budget": N,      // 0 = daemon default; -1 = unlimited
@@ -82,6 +83,10 @@ enum class Op { Analyze, Racecheck, Lint, Stats, Shutdown };
 /// unlimited budget / no deadline even when the daemon has a default.
 struct RequestOptions {
   int threads = 0;
+  /// Shared-pool priority class of this request's analysis tasks: 0 high,
+  /// 1 normal (default), 2 low (support::SharedAnalysisPool's classes).
+  /// Scheduling only — verdicts and reports are priority-independent.
+  int priority = 1;
   smt::FastPathMode fastpath = smt::FastPathMode::Full;
   bool fastpathSet = false;
   bool absint = false;

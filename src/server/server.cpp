@@ -64,11 +64,14 @@ int effectiveDeadline(int requested, int daemonDefault) {
 }  // namespace
 
 AnalysisServer::AnalysisServer(const ServeOptions& opts) : opts_(opts) {
-  if (opts_.sessions < 1)
-    fail("serve sessions must be >= 1, got " + std::to_string(opts_.sessions));
-  poolWidth_ = driver::resolveAnalysisThreads(opts_.analysisThreads);
+  const driver::ServePoolPlan plan = driver::resolveServePool(
+      opts_.sessions, opts_.analysisThreads, opts_.allowOversubscribe);
+  poolWorkers_ = plan.poolWorkers;
+  sizingWarning_ = plan.warning;
   store_ = std::make_unique<smt::PersistentVerdictStore>(opts_.cacheDir,
                                                          /*memoryLayer=*/true);
+  if (poolWorkers_ > 0)
+    pool_ = std::make_unique<support::SharedAnalysisPool>(poolWorkers_);
   maxQueue_ = static_cast<size_t>(opts_.sessions) * 64;
   sessions_.reserve(static_cast<size_t>(opts_.sessions));
   for (int i = 0; i < opts_.sessions; ++i)
@@ -124,12 +127,12 @@ std::string AnalysisServer::oversizedResponse() const {
 }
 
 void AnalysisServer::sessionLoop() {
-  // The session's analysis pool is created here, on the session thread:
-  // WorkPool::run must be called from the owning thread, and every driver
-  // call this session serves runs right here. One pool per session, alive
-  // for the daemon's lifetime — request handling never spawns threads.
-  std::unique_ptr<support::WorkPool> pool;
-  if (poolWidth_ > 1) pool = std::make_unique<support::WorkPool>(poolWidth_);
+  // Each session holds one client handle onto the daemon's shared pool
+  // (TaskPool::run is driven from this thread; stealing workers live in
+  // the pool). Request handling never spawns threads — the pool's workers
+  // were spun up once in the constructor.
+  std::unique_ptr<support::SharedAnalysisPool::Client> client;
+  if (pool_ != nullptr) client = pool_->makeClient();
   for (;;) {
     Job job;
     {
@@ -141,21 +144,21 @@ void AnalysisServer::sessionLoop() {
     }
     spaceAvailable_.notify_one();
     try {
-      job.done.set_value(handle(job.frame, pool.get()));
+      job.done.set_value(handle(job.frame, client.get()));
     } catch (...) {
       job.done.set_exception(std::current_exception());
     }
   }
 }
 
-std::string AnalysisServer::handle(const std::string& frame,
-                                   support::WorkPool* pool) {
+std::string AnalysisServer::handle(
+    const std::string& frame, support::SharedAnalysisPool::Client* client) {
   const auto t0 = std::chrono::steady_clock::now();
   JsonValue id = JsonValue::null();
   try {
     Request req = parseRequest(frame);
     id = req.id;
-    JsonValue resp = dispatch(req, pool);
+    JsonValue resp = dispatch(req, client);
     const auto t1 = std::chrono::steady_clock::now();
     resp.set("wall_ms",
              JsonValue::number(
@@ -173,15 +176,20 @@ std::string AnalysisServer::handle(const std::string& frame,
   }
 }
 
-JsonValue AnalysisServer::dispatch(const Request& req,
-                                   support::WorkPool* pool) {
+JsonValue AnalysisServer::dispatch(
+    const Request& req, support::SharedAnalysisPool::Client* client) {
+  // Per-request fairness class: the client's priority governs which jobs
+  // the shared pool's workers steal from first, so a queue of low-priority
+  // bulk analyses never starves an interactive high-priority one.
+  // Scheduling only — reports are byte-identical at any priority.
+  if (client != nullptr) client->setPriority(req.options.priority);
   switch (req.op) {
     case Op::Analyze:
       nAnalyze_.fetch_add(1, std::memory_order_relaxed);
-      return handleAnalyze(req, pool);
+      return handleAnalyze(req, client);
     case Op::Racecheck:
       nRacecheck_.fetch_add(1, std::memory_order_relaxed);
-      return handleRacecheck(req, pool);
+      return handleRacecheck(req, client);
     case Op::Lint:
       nLint_.fetch_add(1, std::memory_order_relaxed);
       return handleLint(req);
@@ -201,7 +209,7 @@ JsonValue AnalysisServer::dispatch(const Request& req,
 }
 
 JsonValue AnalysisServer::handleAnalyze(const Request& req,
-                                        support::WorkPool* pool) {
+                                        support::TaskPool* pool) {
   ir::Program program = parser::parseProgram(req.source);
   const ir::Kernel& primal = resolveHead(program, req.head);
 
@@ -256,6 +264,7 @@ JsonValue AnalysisServer::handleAnalyze(const Request& req,
   resp.set("governance", std::move(gov));
   JsonValue cache = JsonValue::object();
   cache.set("tasks_spliced", JsonValue::integer(analysis.tasksSpliced()));
+  cache.set("tasks_joined", JsonValue::integer(analysis.tasksJoined()));
   cache.set("tasks_persisted", JsonValue::integer(analysis.tasksPersisted()));
   cache.set("fresh_solver_checks",
             JsonValue::integer(analysis.freshSolverChecks()));
@@ -266,7 +275,7 @@ JsonValue AnalysisServer::handleAnalyze(const Request& req,
 }
 
 JsonValue AnalysisServer::handleRacecheck(const Request& req,
-                                          support::WorkPool* pool) {
+                                          support::TaskPool* pool) {
   ir::Program program = parser::parseProgram(req.source);
   const ir::Kernel& primal = resolveHead(program, req.head);
 
@@ -337,7 +346,10 @@ JsonValue AnalysisServer::handleLint(const Request& req) {
 JsonValue AnalysisServer::handleStats(const Request& req) {
   JsonValue resp = okResponse(req);
   resp.set("sessions", JsonValue::integer(opts_.sessions));
-  resp.set("analysis_threads", JsonValue::integer(poolWidth_));
+  // Effective analysis width a parallel request sees: the shared pool's
+  // workers plus the session thread driving the job, or 1 inline.
+  resp.set("analysis_threads",
+           JsonValue::integer(pool_ != nullptr ? poolWorkers_ + 1 : 1));
   resp.set("cache_dir", JsonValue::str(opts_.cacheDir));
   resp.set("memory_layer", JsonValue::boolean(store_->memoryLayerEnabled()));
   JsonValue ops = JsonValue::object();
@@ -363,7 +375,28 @@ JsonValue AnalysisServer::handleStats(const Request& req) {
   store.set("task_stores", JsonValue::integer(s.taskStores));
   store.set("check_memory_hits", JsonValue::integer(s.checkMemoryHits));
   store.set("task_memory_hits", JsonValue::integer(s.taskMemoryHits));
+  // Single-flight duplicate suppression (DESIGN.md §12): claims taken,
+  // waiters served by a winner's publish, claims released unpublished.
+  store.set("flight_claims", JsonValue::integer(s.flightClaims));
+  store.set("flight_joins", JsonValue::integer(s.flightJoins));
+  store.set("flight_unclaims", JsonValue::integer(s.flightUnclaims));
   resp.set("store", std::move(store));
+  JsonValue pool = JsonValue::object();
+  if (pool_ != nullptr) {
+    const support::SharedAnalysisPool::Stats p = pool_->stats();
+    pool.set("workers", JsonValue::integer(p.workers));
+    pool.set("busy_workers", JsonValue::integer(p.busyWorkers));
+    pool.set("queue_depth", JsonValue::integer(p.queuedJobs));
+    JsonValue perClass = JsonValue::array();
+    for (const int c : p.queuedByPriority) perClass.push(JsonValue::integer(c));
+    pool.set("queued_by_priority", std::move(perClass));
+    pool.set("jobs_run", JsonValue::integer(p.jobsRun));
+    pool.set("tasks_stolen", JsonValue::integer(p.tasksStolen));
+    pool.set("tasks_owner_run", JsonValue::integer(p.tasksOwnerRun));
+  } else {
+    pool.set("workers", JsonValue::integer(0));
+  }
+  resp.set("pool", std::move(pool));
   return resp;
 }
 

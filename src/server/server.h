@@ -2,14 +2,20 @@
 // over one shared verdict store (DESIGN.md §11).
 //
 // Architecture: requests are dispatched onto a BOUNDED SESSION POOL. Each
-// session is one long-lived thread owning one analysis WorkPool
-// (DriverOptions::analysisPool), so per-request thread spawn cost is paid
-// once per daemon, not once per request. All sessions share exactly one
-// smt::PersistentVerdictStore — disk-backed when a cache directory is
-// configured, memory-only otherwise — whose in-memory sharded layer is the
-// daemon's hot cache: the first analysis of a kernel persists every task
-// verdict, every later analysis of the same content splices them back with
-// zero solver checks, whichever session serves it.
+// session is one long-lived thread holding a client handle onto ONE shared
+// work-stealing analysis pool (support::SharedAnalysisPool), sized once
+// for the whole daemon from hardware concurrency (driver::resolveServePool)
+// — so analysis parallelism is a daemon-wide budget the sessions share
+// fairly (per-request priority classes, round-robin victim selection)
+// instead of `sessions x threads` oversubscribed private pools. All
+// sessions share exactly one smt::PersistentVerdictStore — disk-backed
+// when a cache directory is configured, memory-only otherwise — whose
+// in-memory sharded layer is the daemon's hot cache, and whose
+// single-flight registry collapses concurrent duplicate work: when several
+// sessions analyze the same content at once, each solver check and each
+// scheduler task is claimed by content fingerprint before evaluation, so
+// exactly one session computes it and the rest block briefly and join the
+// winner's published verdict.
 //
 // Determinism: verdict reports are pure functions of (source, options) —
 // byte-identical at any session count, any request arrival order, any
@@ -38,10 +44,7 @@
 
 #include "server/protocol.h"
 #include "smt/diskcache.h"
-
-namespace formad::support {
-class WorkPool;
-}
+#include "support/pool.h"
 
 namespace formad::server {
 
@@ -49,9 +52,16 @@ struct ServeOptions {
   /// Session (worker) threads answering requests. Bounded: at most this
   /// many requests are in flight; the rest queue. Must be >= 1.
   int sessions = 2;
-  /// Analysis pool width per session (0 = auto-detect). Request option
-  /// "threads" picks serial (1) or the session pool (anything else).
+  /// Worker threads of the daemon's ONE shared analysis pool (0 = auto:
+  /// hardware concurrency minus the session threads, floor 0 — sessions
+  /// then analyze inline at width 1). Request option "threads" picks
+  /// serial (1) or the shared pool (anything else). An explicit width
+  /// whose total `sessions + analysisThreads` oversubscribes the hardware
+  /// is clamped back to auto with a warning unless allowOversubscribe.
   int analysisThreads = 0;
+  /// Honor an oversubscribing explicit analysisThreads instead of clamping
+  /// it (benchmarks, tests, containers whose reported concurrency lies).
+  bool allowOversubscribe = false;
   /// Persistent store directory ("" = the shared store is memory-only:
   /// warm serving within the daemon's lifetime, nothing on disk).
   std::string cacheDir;
@@ -95,6 +105,13 @@ class AnalysisServer {
 
   [[nodiscard]] smt::PersistentVerdictStore& store() { return *store_; }
   [[nodiscard]] const ServeOptions& options() const { return opts_; }
+  /// Shared-pool worker count the sizing policy settled on (0 = inline).
+  [[nodiscard]] int poolWorkers() const { return poolWorkers_; }
+  /// Non-empty when resolveServePool warned (oversubscription clamp or a
+  /// session count above hardware concurrency); surface it at startup.
+  [[nodiscard]] const std::string& sizingWarning() const {
+    return sizingWarning_;
+  }
 
  private:
   struct Job {
@@ -104,19 +121,25 @@ class AnalysisServer {
 
   void sessionLoop();
   [[nodiscard]] std::string handle(const std::string& frame,
-                                   support::WorkPool* pool);
+                                   support::SharedAnalysisPool::Client* client);
   [[nodiscard]] JsonValue dispatch(const Request& req,
-                                   support::WorkPool* pool);
+                                   support::SharedAnalysisPool::Client* client);
   [[nodiscard]] JsonValue handleAnalyze(const Request& req,
-                                        support::WorkPool* pool);
+                                        support::TaskPool* pool);
   [[nodiscard]] JsonValue handleRacecheck(const Request& req,
-                                          support::WorkPool* pool);
+                                          support::TaskPool* pool);
   [[nodiscard]] JsonValue handleLint(const Request& req);
   [[nodiscard]] JsonValue handleStats(const Request& req);
 
   ServeOptions opts_;
-  int poolWidth_ = 1;
+  int poolWorkers_ = 0;
+  std::string sizingWarning_;
   std::unique_ptr<smt::PersistentVerdictStore> store_;
+  /// The daemon-wide analysis pool; null when poolWorkers_ == 0 (sessions
+  /// then run every analysis inline). Declared after store_ so in-flight
+  /// claims are long gone by the time the store unwinds, and before
+  /// sessions_ joins happen in ~AnalysisServer's body.
+  std::unique_ptr<support::SharedAnalysisPool> pool_;
 
   std::mutex mu_;
   std::condition_variable workAvailable_;

@@ -1,11 +1,13 @@
 #include "smt/diskcache.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "smt/fingerprint.h"
+#include "support/cancel.h"
 #include "support/diagnostics.h"
 
 namespace formad::smt {
@@ -139,6 +141,11 @@ std::optional<std::vector<std::string>> PersistentVerdictStore::readRecord(
 
 std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheck(
     const std::string& key, long long stepLimit) {
+  return loadCheckImpl(key, stepLimit, /*countMiss=*/true);
+}
+
+std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheckImpl(
+    const std::string& key, long long stepLimit, bool countMiss) {
   if (memoryLayer_) {
     MemShard& shard = shardFor(key);
     std::optional<VerdictCache::Entry> hit;
@@ -158,7 +165,7 @@ std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheck(
     // concurrent run sharing the directory may have persisted an upgraded
     // record the memory layer has not seen.
     if (dir_.empty()) {
-      checkMisses_.fetch_add(1, std::memory_order_relaxed);
+      if (countMiss) checkMisses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
   }
@@ -184,7 +191,7 @@ std::optional<VerdictCache::Entry> PersistentVerdictStore::loadCheck(
       }
     }
   }
-  checkMisses_.fetch_add(1, std::memory_order_relaxed);
+  if (countMiss) checkMisses_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
@@ -193,6 +200,7 @@ void PersistentVerdictStore::storeCheck(const std::string& key,
   if (memoryLayer_) memoizeCheck(key, e);
   if (dir_.empty()) {
     checkStores_.fetch_add(1, std::memory_order_relaxed);
+    resolveFlight('c', key);
     return;
   }
   std::string payload = "verdict ";
@@ -204,6 +212,9 @@ void PersistentVerdictStore::storeCheck(const std::string& key,
   payload += '\n';
   writeRecord('c', key, payload, nullptr);
   checkStores_.fetch_add(1, std::memory_order_relaxed);
+  // Publishing resolves any in-flight claim for this key: joiners wake and
+  // re-probe the layers the lines above just populated.
+  resolveFlight('c', key);
 }
 
 namespace {
@@ -226,6 +237,14 @@ bool taskSufficientFor(const PersistentVerdictStore::TaskRecord& rec,
 std::optional<PersistentVerdictStore::TaskRecord>
 PersistentVerdictStore::loadTask(const std::string& key, long long stepLimit,
                                  const std::string& digest) {
+  return loadTaskImpl(key, stepLimit, digest, /*countMiss=*/true);
+}
+
+std::optional<PersistentVerdictStore::TaskRecord>
+PersistentVerdictStore::loadTaskImpl(const std::string& key,
+                                     long long stepLimit,
+                                     const std::string& digest,
+                                     bool countMiss) {
   if (memoryLayer_) {
     MemShard& shard = shardFor(key);
     std::optional<TaskRecord> hit;
@@ -241,7 +260,7 @@ PersistentVerdictStore::loadTask(const std::string& key, long long stepLimit,
       return hit;
     }
     if (dir_.empty()) {
-      taskMisses_.fetch_add(1, std::memory_order_relaxed);
+      if (countMiss) taskMisses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
   }
@@ -288,7 +307,7 @@ PersistentVerdictStore::loadTask(const std::string& key, long long stepLimit,
       }
     }
   }
-  taskMisses_.fetch_add(1, std::memory_order_relaxed);
+  if (countMiss) taskMisses_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
@@ -302,6 +321,7 @@ void PersistentVerdictStore::storeTask(const std::string& key,
   }
   if (dir_.empty()) {
     taskStores_.fetch_add(1, std::memory_order_relaxed);
+    resolveFlight('t', key);
     return;
   }
   std::string payload = "task ";
@@ -318,6 +338,146 @@ void PersistentVerdictStore::storeTask(const std::string& key,
   }
   writeRecord('t', key, payload, &digest);
   taskStores_.fetch_add(1, std::memory_order_relaxed);
+  resolveFlight('t', key);
+}
+
+PersistentVerdictStore::FlightShard& PersistentVerdictStore::flightShardFor(
+    const std::string& key) {
+  return flightShards_[fnv1a64(key) % kMemShards];
+}
+
+namespace {
+std::string flightKey(char kind, const std::string& key) {
+  std::string k(1, kind);
+  k += '|';
+  k += key;
+  return k;
+}
+}  // namespace
+
+void PersistentVerdictStore::resolveFlight(char kind, const std::string& key) {
+  FlightShard& fs = flightShardFor(key);
+  bool erased = false;
+  {
+    std::lock_guard<std::mutex> lk(fs.mu);
+    erased = fs.inflight.erase(flightKey(kind, key)) > 0;
+  }
+  if (erased) fs.cv.notify_all();
+}
+
+void PersistentVerdictStore::releaseFlight(char kind, const std::string& key,
+                                           unsigned long long token,
+                                           bool countUnclaim) {
+  FlightShard& fs = flightShardFor(key);
+  bool erased = false;
+  {
+    std::lock_guard<std::mutex> lk(fs.mu);
+    auto it = fs.inflight.find(flightKey(kind, key));
+    // Token check: if the publish already resolved this entry (and perhaps
+    // a new claimant re-registered the key), a stale handle must not erase
+    // the newcomer's claim.
+    if (it != fs.inflight.end() && it->second == token) {
+      fs.inflight.erase(it);
+      erased = true;
+    }
+  }
+  if (erased) {
+    if (countUnclaim)
+      flightUnclaims_.fetch_add(1, std::memory_order_relaxed);
+    fs.cv.notify_all();
+  }
+}
+
+std::optional<FlightClaim> PersistentVerdictStore::awaitOrClaim(
+    char kind, const std::string& key, bool& waited,
+    const support::CancelToken* cancel) {
+  FlightShard& fs = flightShardFor(key);
+  const std::string fkey = flightKey(kind, key);
+  std::unique_lock<std::mutex> lk(fs.mu);
+  auto it = fs.inflight.find(fkey);
+  if (it == fs.inflight.end()) {
+    const unsigned long long token =
+        claimToken_.fetch_add(1, std::memory_order_relaxed);
+    fs.inflight.emplace(fkey, token);
+    flightClaims_.fetch_add(1, std::memory_order_relaxed);
+    return FlightClaim(this, kind, key, token);
+  }
+  waited = true;
+  // Bounded wait, then let the caller re-probe: the condvar wakeup is an
+  // optimization, the timeout guarantees progress (and gives the cancel
+  // token a polling edge) even if a notify is missed.
+  fs.cv.wait_for(lk, std::chrono::milliseconds(20));
+  lk.unlock();
+  if (cancel != nullptr && cancel->poll()) throw support::Cancelled();
+  return std::nullopt;
+}
+
+PersistentVerdictStore::CheckClaim PersistentVerdictStore::claimCheck(
+    const std::string& key, long long stepLimit,
+    const support::CancelToken* cancel) {
+  // Probe misses inside the claim loop are never counted — the caller's
+  // original lookup already counted the one real miss; hits (including
+  // joined ones) count as usual.
+  CheckClaim out;
+  bool waited = false;
+  for (;;) {
+    if (auto claim = awaitOrClaim('c', key, waited, cancel)) {
+      // Ownership verification probe. A publish fully completes (memoize,
+      // then resolve) before its registry entry disappears, so if another
+      // owner published before we could register, the layers already hold
+      // the result here — serve it instead of recomputing. This closes the
+      // lookup-miss → publish → claim race deterministically: duplicate
+      // fresh evaluations cannot happen, not just rarely happen.
+      if (auto e = loadCheckImpl(key, stepLimit, /*countMiss=*/false)) {
+        releaseFlight('c', key, claim->token_, /*countUnclaim=*/false);
+        claim->store_ = nullptr;  // disarm: registration already dropped
+        if (waited) flightJoins_.fetch_add(1, std::memory_order_relaxed);
+        out.served = *e;
+        return out;
+      }
+      out.claim = std::move(*claim);
+      return out;
+    }
+    // Woke from a bounded wait on another owner's claim: re-probe.
+    if (auto e = loadCheckImpl(key, stepLimit, /*countMiss=*/false)) {
+      flightJoins_.fetch_add(1, std::memory_order_relaxed);
+      out.served = *e;
+      return out;
+    }
+  }
+}
+
+PersistentVerdictStore::TaskClaim PersistentVerdictStore::claimTask(
+    const std::string& key, long long stepLimit, const std::string& digest,
+    const support::CancelToken* cancel) {
+  TaskClaim out;
+  bool waited = false;
+  for (;;) {
+    if (auto claim = awaitOrClaim('t', key, waited, cancel)) {
+      if (auto rec =
+              loadTaskImpl(key, stepLimit, digest, /*countMiss=*/false)) {
+        releaseFlight('t', key, claim->token_, /*countUnclaim=*/false);
+        claim->store_ = nullptr;  // disarm: registration already dropped
+        if (waited) flightJoins_.fetch_add(1, std::memory_order_relaxed);
+        out.served = std::move(*rec);
+        return out;
+      }
+      out.claim = std::move(*claim);
+      return out;
+    }
+    if (auto rec = loadTaskImpl(key, stepLimit, digest, /*countMiss=*/false)) {
+      flightJoins_.fetch_add(1, std::memory_order_relaxed);
+      out.served = std::move(*rec);
+      return out;
+    }
+  }
+}
+
+void FlightClaim::release() {
+  if (store_ == nullptr) return;
+  PersistentVerdictStore* s = store_;
+  store_ = nullptr;
+  s->releaseFlight(kind_, key_, token_);
 }
 
 PersistentVerdictStore::Stats PersistentVerdictStore::stats() const {
@@ -330,6 +490,9 @@ PersistentVerdictStore::Stats PersistentVerdictStore::stats() const {
   s.taskStores = taskStores_.load(std::memory_order_relaxed);
   s.checkMemoryHits = checkMemHits_.load(std::memory_order_relaxed);
   s.taskMemoryHits = taskMemHits_.load(std::memory_order_relaxed);
+  s.flightClaims = flightClaims_.load(std::memory_order_relaxed);
+  s.flightJoins = flightJoins_.load(std::memory_order_relaxed);
+  s.flightUnclaims = flightUnclaims_.load(std::memory_order_relaxed);
   return s;
 }
 

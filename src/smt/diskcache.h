@@ -33,13 +33,19 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "smt/singleflight.h"
 #include "smt/solver.h"
+
+namespace formad::support {
+class CancelToken;
+}
 
 namespace formad::smt {
 
@@ -99,6 +105,43 @@ class PersistentVerdictStore {
   void storeTask(const std::string& key, const TaskRecord& rec,
                  const std::string& digest);
 
+  // Single-flight in-flight registry (duplicate-proof suppression).
+  //
+  // claimCheck/claimTask gate one evaluation per content fingerprint at a
+  // time: the first caller gets an owned FlightClaim and computes; every
+  // concurrent duplicate blocks here, re-probing the memory/disk layers
+  // until the owner publishes (storeCheck/storeTask resolve the claim) or
+  // unclaims (FlightClaim destruction without publishing), in which case
+  // the first waiter to re-probe becomes the new owner and recomputes.
+  //
+  // Verdict-neutrality: a joined result is served through the SAME loads —
+  // and hence the same budget-provenance guard under the JOINER's step
+  // limit — as any cold cache hit. A publish that is insufficient for a
+  // waiting joiner's budget does not satisfy it; the joiner claims and
+  // recomputes under its own budget. Dedup changes wall time and IO/dedup
+  // counters only, never a verdict.
+  //
+  // `cancel`, when non-null, is polled while waiting; a fired token throws
+  // support::Cancelled, so a joiner can never hang on a stalled winner
+  // past its own deadline.
+
+  struct CheckClaim {
+    std::optional<VerdictCache::Entry> served;  // set: result is available
+    FlightClaim claim;  // owned() set: caller computes, then storeCheck()s
+  };
+  [[nodiscard]] CheckClaim claimCheck(const std::string& key,
+                                      long long stepLimit,
+                                      const support::CancelToken* cancel);
+
+  struct TaskClaim {
+    std::optional<TaskRecord> served;
+    FlightClaim claim;
+  };
+  [[nodiscard]] TaskClaim claimTask(const std::string& key,
+                                    long long stepLimit,
+                                    const std::string& digest,
+                                    const support::CancelToken* cancel);
+
   /// Monotone IO counters (relaxed atomics; snapshot semantics only).
   /// Memory-layer hits count toward checkHits/taskHits AND the dedicated
   /// memory counters, so hit rates stay comparable with and without the
@@ -112,6 +155,12 @@ class PersistentVerdictStore {
     long long taskStores = 0;
     long long checkMemoryHits = 0;
     long long taskMemoryHits = 0;
+    // Single-flight dedup counters (checks + tasks combined): ownership
+    // grants, results served to a caller that waited on another's claim,
+    // and claims released without publishing.
+    long long flightClaims = 0;
+    long long flightJoins = 0;
+    long long flightUnclaims = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -119,6 +168,41 @@ class PersistentVerdictStore {
   [[nodiscard]] bool memoryLayerEnabled() const { return memoryLayer_; }
 
  private:
+  friend class FlightClaim;
+
+  /// Load bodies shared by the public loads and the claim loops. The claim
+  /// loop re-probes on every wakeup, so its probes must not count misses —
+  /// the caller's original lookup already counted the one real miss.
+  [[nodiscard]] std::optional<VerdictCache::Entry> loadCheckImpl(
+      const std::string& key, long long stepLimit, bool countMiss);
+  [[nodiscard]] std::optional<TaskRecord> loadTaskImpl(
+      const std::string& key, long long stepLimit, const std::string& digest,
+      bool countMiss);
+
+  // In-flight registry: sharded (mutex, condvar, map of resolved-by-token
+  // entries) keyed by kind + content key. resolveFlight is called by every
+  // store (publish resolves); releaseFlight by FlightClaim (unclaim), which
+  // erases only if the token still matches — a later claimant's fresh entry
+  // is never clobbered by a stale handle.
+  struct FlightShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, unsigned long long> inflight;
+  };
+  [[nodiscard]] FlightShard& flightShardFor(const std::string& key);
+  void resolveFlight(char kind, const std::string& key);
+  /// `countUnclaim` is false only for the claim loops' verification-probe
+  /// release (registered, then found the result already published): nothing
+  /// was abandoned mid-compute, so it is not an unclaim for the counters.
+  void releaseFlight(char kind, const std::string& key,
+                     unsigned long long token, bool countUnclaim = true);
+  /// The claim loop body shared by claimCheck/claimTask: returns an owned
+  /// claim once the key is free, or nullopt after a wakeup (caller
+  /// re-probes). Throws support::Cancelled when `cancel` fires.
+  [[nodiscard]] std::optional<FlightClaim> awaitOrClaim(
+      char kind, const std::string& key, bool& waited,
+      const support::CancelToken* cancel);
+
   /// `digest` in these three: the file-naming digest — caller-supplied for
   /// task records, contentDigest(key) (passed by loadCheck/storeCheck) for
   /// check records.
@@ -152,9 +236,13 @@ class PersistentVerdictStore {
   std::string dir_;
   bool memoryLayer_ = false;
   std::array<MemShard, kMemShards> memShards_;
+  std::array<FlightShard, kMemShards> flightShards_;
   std::atomic<long long> checkHits_{0}, checkMisses_{0}, checkStores_{0};
   std::atomic<long long> taskHits_{0}, taskMisses_{0}, taskStores_{0};
   std::atomic<long long> checkMemHits_{0}, taskMemHits_{0};
+  std::atomic<long long> flightClaims_{0}, flightJoins_{0},
+      flightUnclaims_{0};
+  std::atomic<unsigned long long> claimToken_{1};
   std::atomic<unsigned long long> tmpCounter_{0};
 };
 

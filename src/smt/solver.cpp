@@ -90,6 +90,29 @@ void VerdictCache::store(const std::string& key, CheckResult r, int tier,
   }
 }
 
+VerdictCache::CheckFlight VerdictCache::claimCheck(
+    const std::string& key, long long stepLimit,
+    const support::CancelToken* cancel) {
+  CheckFlight out;
+  if (store_ == nullptr) return out;  // inert: caller computes, no claim
+  auto res = store_->claimCheck(key, stepLimit, cancel);
+  if (res.served) {
+    // A joined result is a store-layer hit: account and memoize it exactly
+    // like a disk hit in lookup(), so hit-rate diagnostics stay comparable.
+    diskHits_.fetch_add(1, std::memory_order_relaxed);
+    bumpTier(diskHitTiers_, res.served->tier);
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto [it, inserted] = s.map.emplace(key, *res.served);
+    if (!inserted && upgrades(*res.served, it->second))
+      it->second = *res.served;
+    out.served = *res.served;
+    return out;
+  }
+  out.claim = std::move(res.claim);
+  return out;
+}
+
 VerdictCache::CacheStats VerdictCache::cacheStats() const {
   CacheStats cs;
   cs.memoryHits = memoryHits_.load(std::memory_order_relaxed);
@@ -221,6 +244,25 @@ CheckResult Solver::check() {
         ++stats_.budgetExhausted;
       }
       return cached->result;
+    }
+    // Single-flight gate (inert without an attached store): claim the
+    // conjunction before solving so concurrent duplicates — other workers,
+    // other sessions of a daemon — block and join this solve instead of
+    // re-paying it. A served claim is indistinguishable from the cache hit
+    // above (same counters, same provenance), keeping freshSolverChecks
+    // = checks - cacheHits meaningful under dedup; and if decide() unwinds
+    // (cancellation, deadline, injected fault), the claim's destructor
+    // unclaims so a joiner recomputes instead of hanging.
+    auto flight = sharedCache_->claimCheck(key, stepLimit_, cancel_);
+    if (flight.served) {
+      ++stats_.cacheHits;
+      lastTier_ = flight.served->tier;
+      lastSteps_ = flight.served->steps;
+      if (!flight.served->complete) {
+        lastBudgetExhausted_ = true;
+        ++stats_.budgetExhausted;
+      }
+      return flight.served->result;
     }
     CheckResult r = decide();
     sharedCache_->store(key, r, lastTier_, !lastBudgetExhausted_,

@@ -35,6 +35,7 @@
 #include "smt/fingerprint.h"
 #include "smt/hnf.h"
 #include "smt/lia.h"
+#include "smt/singleflight.h"
 #include "smt/term.h"
 
 namespace formad::support {
@@ -155,6 +156,21 @@ class VerdictCache {
   [[nodiscard]] PersistentVerdictStore* attachedStore() const {
     return store_;
   }
+
+  /// Single-flight gate consulted by Solver::check() after a lookup miss.
+  /// With a store attached, delegates to PersistentVerdictStore::claimCheck:
+  /// either the winner's published entry is served (memoized in the shard
+  /// and counted like a disk hit), or the caller receives the owned claim
+  /// and must compute + store() (which publishes and resolves it). Without
+  /// a store this is inert — no served entry, no owned claim, no blocking —
+  /// so single-process runs keep their exact pre-existing behavior.
+  struct CheckFlight {
+    std::optional<Entry> served;
+    FlightClaim claim;
+  };
+  [[nodiscard]] CheckFlight claimCheck(const std::string& key,
+                                       long long stepLimit,
+                                       const support::CancelToken* cancel);
 
   [[nodiscard]] long long hits() const {
     return memoryHits_.load(std::memory_order_relaxed) +

@@ -55,12 +55,16 @@ class CancelToken {
   }
 
   /// Clock-reading check: trips the flag if the armed deadline has passed,
-  /// then returns the flag. Called at scheduling edges (task claims,
-  /// between solver probes), so the clock read is amortized over real work.
-  bool poll() noexcept {
+  /// then returns the flag. Called at scheduling edges (task claims, cache
+  /// join waits, between solver probes), so the clock read is amortized
+  /// over real work. Const because polling is a consumer action — it only
+  /// converts an already-armed deadline into the sticky flag, it never
+  /// originates a cancellation — so consumers holding const pointers may
+  /// still keep deadlines live while they wait.
+  bool poll() const noexcept {
     if (cancelled()) return true;
     if (hasDeadline_ && std::chrono::steady_clock::now() >= deadline_) {
-      cancel();
+      cancelled_.store(true, std::memory_order_release);
       return true;
     }
     return false;
@@ -73,7 +77,7 @@ class CancelToken {
   }
 
  private:
-  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> cancelled_{false};  // poll() trips it (see above)
   bool hasDeadline_ = false;  // written before the token is shared
   std::chrono::steady_clock::time_point deadline_{};
 };

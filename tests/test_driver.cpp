@@ -1,12 +1,14 @@
 // Driver-layer tests: mode plumbing, report formatting, and describe().
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #include "driver/driver.h"
 #include "driver/report.h"
 #include "helpers.h"
 #include "support/flags.h"
+#include "support/pool.h"
 
 namespace formad::testing {
 namespace {
@@ -174,6 +176,79 @@ TEST(Driver, AnalyzeOverloadHonoursThreadConvention) {
   auto zero = driver::analyze(*k, h.spec.independents, h.spec.dependents, 0);
   EXPECT_EQ(core::describe(one, false), core::describe(four, false));
   EXPECT_EQ(core::describe(one, false), core::describe(zero, false));
+}
+
+// ------------------------------------------- serve pool sizing policy
+
+// resolveServePool shares resolveThreadRequest's validation core, so the
+// daemon and the CLI agree on what a thread request means.
+TEST(Driver, ServePoolRejectsNonPositiveSessions) {
+  try {
+    (void)driver::resolveServePool(0, 0, false);
+    FAIL() << "expected a formad::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sessions"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(">= 1"), std::string::npos) << msg;
+  }
+  EXPECT_THROW((void)driver::resolveServePool(-3, 0, false), Error);
+}
+
+TEST(Driver, ServePoolRejectsNegativeWorkerRequests) {
+  try {
+    (void)driver::resolveServePool(1, -4, false);
+    FAIL() << "expected a formad::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(">= 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-4"), std::string::npos) << msg;
+  }
+}
+
+// Auto sizing leaves headroom for the session threads: workers = hardware
+// concurrency minus sessions, floored at zero (sessions then analyze
+// inline at width 1, never negative).
+TEST(Driver, ServePoolAutoSizesToHardwareMinusSessions) {
+  const int hw = support::WorkPool::hardwareWidth();
+  const auto plan = driver::resolveServePool(1, 0, false);
+  EXPECT_EQ(plan.sessions, 1);
+  EXPECT_EQ(plan.poolWorkers, std::max(0, hw - 1));
+  EXPECT_FALSE(plan.clamped);
+
+  // Sessions alone saturating the machine: pool floors at 0, and the plan
+  // carries a warning instead of failing (session threads mostly block).
+  const auto packed = driver::resolveServePool(hw + 2, 0, false);
+  EXPECT_EQ(packed.poolWorkers, 0);
+  EXPECT_FALSE(packed.clamped);
+  EXPECT_FALSE(packed.warning.empty());
+}
+
+// An explicit worker count that oversubscribes the machine is clamped back
+// to the auto size with a warning naming the override flag — unless the
+// operator opts in, in which case the request is honored verbatim.
+TEST(Driver, ServePoolClampsOversubscriptionUnlessOverridden) {
+  const int hw = support::WorkPool::hardwareWidth();
+  const int greedy = hw * 4;
+
+  const auto clamped = driver::resolveServePool(2, greedy, false);
+  EXPECT_TRUE(clamped.clamped);
+  EXPECT_EQ(clamped.poolWorkers, std::max(0, hw - 2));
+  EXPECT_NE(clamped.warning.find("-allow-oversubscribe"), std::string::npos)
+      << clamped.warning;
+
+  const auto allowed = driver::resolveServePool(2, greedy, true);
+  EXPECT_FALSE(allowed.clamped);
+  EXPECT_EQ(allowed.poolWorkers, greedy);
+
+  // A fitting explicit request is honored as-is either way. Only possible
+  // when the machine has headroom beyond the session thread (an explicit 0
+  // would mean auto, per the shared convention).
+  if (hw >= 2) {
+    const auto fitting = driver::resolveServePool(1, hw - 1, false);
+    EXPECT_FALSE(fitting.clamped);
+    EXPECT_EQ(fitting.poolWorkers, hw - 1);
+    EXPECT_TRUE(fitting.warning.empty()) << fitting.warning;
+  }
 }
 
 // DriverOptions::analysisThreads feeds the same gate: differentiate() must

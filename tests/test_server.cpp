@@ -500,4 +500,175 @@ TEST(ServerGovernance, InjectedFaultsStayPerRequest) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Single-flight under contention: 8 sessions racing one identical cold
+// kernel perform exactly one cold run of fresh solver work between them.
+
+long long cacheField(const JsonValue& r, const char* key) {
+  const JsonValue* cache = r.find("cache");
+  EXPECT_NE(cache, nullptr);
+  if (cache == nullptr) return -1;
+  const JsonValue* v = cache->find(key);
+  EXPECT_NE(v, nullptr) << "missing cache." << key;
+  return v != nullptr ? v->asInt() : -1;
+}
+
+TEST(ServerStress, EightRacingSessionsDoOneColdRunOfFreshWork) {
+  const kernels::KernelSpec spec = kernels::stencilSpec(4);
+  const std::string frame = analyzeFrame(spec);
+
+  // Reference: a serial single-session daemon, cold store.
+  std::string refReport;
+  long long refFresh = 0, refTier2 = 0, refTaskTotal = 0, refPersisted = 0;
+  {
+    ServeOptions opts;
+    opts.sessions = 1;
+    AnalysisServer daemon(opts);
+    const std::string line = daemon.process(frame);
+    JsonValue r = parse(line);
+    ASSERT_TRUE(okOf(r));
+    refReport = deterministicPart(line);
+    refFresh = cacheField(r, "fresh_solver_checks");
+    refTier2 = cacheField(r, "fresh_tier2_solves");
+    refPersisted = cacheField(r, "tasks_persisted");
+    refTaskTotal = refPersisted + cacheField(r, "tasks_spliced") +
+                   cacheField(r, "tasks_joined");
+    ASSERT_GT(refFresh, 0);
+  }
+
+  ServeOptions opts;
+  opts.sessions = 8;
+  AnalysisServer daemon(opts);
+  constexpr int kClients = 8;
+  std::vector<std::string> lines(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back(
+        [&daemon, &lines, &frame, c] { lines[c] = daemon.process(frame); });
+  for (auto& t : clients) t.join();
+
+  long long fresh = 0, tier2 = 0, persisted = 0;
+  for (const auto& line : lines) {
+    JsonValue r = parse(line);
+    ASSERT_TRUE(okOf(r));
+    // Byte-identical reports no matter who won which claim.
+    EXPECT_EQ(deterministicPart(line), refReport);
+    fresh += cacheField(r, "fresh_solver_checks");
+    tier2 += cacheField(r, "fresh_tier2_solves");
+    persisted += cacheField(r, "tasks_persisted");
+    EXPECT_EQ(cacheField(r, "tasks_persisted") +
+                  cacheField(r, "tasks_spliced") +
+                  cacheField(r, "tasks_joined"),
+              refTaskTotal);
+  }
+  // The single-flight guarantee: total fresh solver work across all eight
+  // racing requests equals ONE single-session cold run — duplicates joined
+  // the winner's claims instead of recomputing.
+  EXPECT_EQ(fresh, refFresh);
+  EXPECT_EQ(tier2, refTier2);
+  EXPECT_EQ(persisted, refPersisted);
+
+  // And the daemon's stats agree: no claim was abandoned mid-flight.
+  JsonValue stats = parse(daemon.process(R"({"op":"stats"})"));
+  ASSERT_TRUE(okOf(stats));
+  const JsonValue* store = stats.find("store");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->find("flight_unclaims")->asInt(), 0);
+  EXPECT_EQ(store->find("task_stores")->asInt(), refPersisted);
+}
+
+TEST(ServerStress, FaultedWinnerNeverWedgesOrPoisonsRacingRequests) {
+  const kernels::KernelSpec spec = kernels::stencilSpec(3);
+  const std::string clean = analyzeFrame(spec, R"({"fastpath":"off"})");
+  const std::string throwFault =
+      analyzeFrame(spec, R"({"fastpath":"off","fault_throw_at":2})");
+  // Unlike a fault (which detaches the store), a 1ms deadline cancels a
+  // request that holds REAL single-flight claims mid-evaluation: its
+  // claims must unwind so concurrent duplicates get promoted and
+  // recompute — never hang, never inherit partial work.
+  const std::string starved =
+      analyzeFrame(spec, R"({"fastpath":"off","deadline_ms":1})");
+
+  std::string reference;
+  {
+    ServeOptions opts;
+    opts.sessions = 1;
+    AnalysisServer daemon(opts);
+    reference = deterministicPart(daemon.process(clean));
+  }
+
+  // Race clean analyses against mid-flight-failing duplicates of the same
+  // kernel, repeatedly on one daemon: every clean response must match the
+  // reference (the failed request's partial work never surfaces), every
+  // faulted one must come back a typed error — promptly, never a hang.
+  ServeOptions opts;
+  opts.sessions = 8;
+  AnalysisServer daemon(opts);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::string> lines(8);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < lines.size(); ++c)
+      clients.emplace_back(
+          [&daemon, &lines, &clean, &throwFault, &starved, c] {
+            const std::string& frame =
+                c % 4 == 0 ? throwFault : (c % 4 == 2 ? starved : clean);
+            lines[c] = daemon.process(frame);
+          });
+    for (auto& t : clients) t.join();
+    for (size_t c = 0; c < lines.size(); ++c) {
+      if (c % 4 == 0) {
+        EXPECT_EQ(errorCodeOf(parse(lines[c])), "kernel_error");
+      } else if (c % 4 == 2) {
+        // Deadline-cancelled mid-flight: answers ok (degraded), and its
+        // abandoned claims were released, not left wedging the others.
+        EXPECT_TRUE(okOf(parse(lines[c]))) << "round " << round;
+      } else {
+        EXPECT_EQ(deterministicPart(lines[c]), reference)
+            << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(ServerStats, ExposesPoolOccupancyAndFlightCounters) {
+  ServeOptions opts;
+  opts.sessions = 1;
+  opts.analysisThreads = 2;
+  opts.allowOversubscribe = true;  // deterministic width on tiny CI boxes
+  AnalysisServer daemon(opts);
+  (void)daemon.process(analyzeFrame(kernels::stencilSpec(1)));
+  JsonValue r = parse(daemon.process(R"({"op":"stats"})"));
+  ASSERT_TRUE(okOf(r));
+
+  const JsonValue* pool = r.find("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->find("workers")->asInt(), 2);
+  EXPECT_EQ(pool->find("busy_workers")->asInt(), 0);  // idle at stats time
+  EXPECT_EQ(pool->find("queue_depth")->asInt(), 0);
+  ASSERT_NE(pool->find("queued_by_priority"), nullptr);
+  EXPECT_EQ(pool->find("queued_by_priority")->elements().size(), 3u);
+  EXPECT_GE(pool->find("jobs_run")->asInt(), 1);
+  EXPECT_GE(pool->find("tasks_owner_run")->asInt() +
+                pool->find("tasks_stolen")->asInt(),
+            1);
+
+  const JsonValue* store = r.find("store");
+  ASSERT_NE(store, nullptr);
+  for (const char* key :
+       {"flight_claims", "flight_joins", "flight_unclaims"}) {
+    ASSERT_NE(store->find(key), nullptr) << key;
+    EXPECT_GE(store->find(key)->asInt(), 0) << key;
+  }
+  EXPECT_EQ(store->find("flight_unclaims")->asInt(), 0);
+
+  // Priority is accepted per request (scheduling-only; the response is
+  // identical), and a bad class is a schema violation.
+  EXPECT_TRUE(okOf(parse(daemon.process(
+      analyzeFrame(kernels::stencilSpec(1), R"({"priority":"low"})")))));
+  EXPECT_EQ(errorCodeOf(parse(daemon.process(
+                analyzeFrame(kernels::stencilSpec(1),
+                             R"({"priority":"urgent"})")))),
+            "bad_request");
+}
+
 }  // namespace
