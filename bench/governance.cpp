@@ -15,6 +15,7 @@
 //
 // Writes BENCH_governance.json through the shared writer (bench_common.h).
 // `--smoke` runs a seconds-sized subset for the CI quick-bench step.
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "bench_common.h"
 #include "driver/driver.h"
 #include "driver/report.h"
+#include "exec/costmodel.h"
 #include "kernels/gfmc.h"
 #include "kernels/greengauss.h"
 #include "kernels/lbm.h"
@@ -71,6 +73,59 @@ SweepPoint runPoint(const ir::Kernel& kernel, const kernels::KernelSpec& spec,
   p.exhaustedChecks = a.budgetExhaustedChecks();
   p.seconds = a.analysisSeconds();
   return p;
+}
+
+// ----- Hybrid safeguard ablation ------------------------------------------
+
+struct AblationConfig {
+  std::string name;
+  kernels::KernelSpec spec;
+  std::function<void(exec::Inputs&)> bind;
+};
+
+/// Binds zero-ish adjoint seed arrays for every adjoint parameter (their
+/// contents do not affect operation counts).
+void bindAdjointSeeds(exec::Inputs& io,
+                      const std::map<std::string, std::string>& adjParams) {
+  for (const auto& [p, pb] : adjParams) {
+    const exec::ArrayValue& a = io.array(p);
+    std::vector<long long> dims;
+    for (int k = 0; k < a.rank(); ++k) dims.push_back(a.dim(k));
+    exec::ArrayValue& b = io.bindArray(pb, exec::ArrayValue::reals(dims));
+    b.fill(1e-3);
+  }
+}
+
+/// Profiles one application of `adjoint` and returns its simulated wall
+/// time on `threads` threads (0 = fully serialized baseline).
+double simulatedAdjointSeconds(
+    const ir::Kernel& adjoint,
+    const std::map<std::string, std::string>& adjParams,
+    const std::function<void(exec::Inputs&)>& bind,
+    const exec::CostParams& costs, int threads) {
+  exec::Executor ex(adjoint);
+  exec::Inputs io;
+  bind(io);
+  bindAdjointSeeds(io, adjParams);
+  exec::ExecStats st =
+      ex.run(io, exec::ExecOptions{exec::ExecMode::Profile, 1});
+  return threads == 0 ? exec::serialTime(st.profile, costs)
+                      : exec::runTime(st.profile, costs, threads);
+}
+
+struct GuardMix {
+  long long shared = 0, atomic = 0, localAccumulate = 0;
+};
+
+GuardMix guardMixOf(const std::vector<ad::LoopGuardReport>& reports) {
+  GuardMix m;
+  for (const auto& rep : reports)
+    for (const auto& d : rep.siteDecisions) {
+      if (d.guard == ir::Guard::None) ++m.shared;
+      else if (d.guard == ir::Guard::Atomic) ++m.atomic;
+      else ++m.localAccumulate;
+    }
+  return m;
 }
 
 }  // namespace
@@ -160,6 +215,135 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Hybrid safeguard ablation: how much parallel speedup each safeguard
+  // recovers as the solver budget shrinks. The whole-variable row is the
+  // classic degradation (every increment of an unproven variable atomic);
+  // the hybrid row consumes the per-site verdict map, keeps proven sites
+  // plainly shared, and picks atomic vs. thread-local accumulation for the
+  // residue with the cost model. Speedups are simulated on the calibrated
+  // 18-core model from measured operation counts, so the rows are exact
+  // and deterministic.
+  std::cout << "\n### Hybrid safeguard: recovered speedup vs. step budget\n\n";
+  const exec::CostParams costs;
+  std::vector<AblationConfig> hybridConfigs;
+  {
+    AblationConfig st;
+    st.name = "small_stencil_r2";
+    st.spec = kernels::stencilSpec(2);
+    st.bind = [](exec::Inputs& io) {
+      kernels::Rng rng(2022);
+      kernels::bindStencil(io, 2, 100'000, rng);
+    };
+    hybridConfigs.push_back(std::move(st));
+    AblationConfig gf;
+    gf.name = "gfmc_split";
+    gf.spec = kernels::gfmcSplitSpec();
+    gf.bind = [](exec::Inputs& io) {
+      kernels::GfmcConfig cfg;
+      cfg.ns = 48;
+      cfg.nw = 256;
+      cfg.npair = 48;
+      cfg.nk = 8;
+      kernels::Rng rng(2022);
+      kernels::bindGfmc(io, cfg, rng);
+    };
+    hybridConfigs.push_back(std::move(gf));
+  }
+  const std::vector<long long> hybridBudgets =
+      smoke ? std::vector<long long>{1, 0}
+            : std::vector<long long>{1, 4, 16, 64, 0};
+  bench::Json hybridRows = bench::Json::array();
+  bool hybridRecovers = true;   // strictly more than whole-var when starved
+  bool hybridDominates = true;  // never less at any budget
+  for (const auto& cfg : hybridConfigs) {
+    auto kernel = parser::parseKernel(cfg.spec.source);
+    auto serialRes =
+        driver::differentiate(*kernel, cfg.spec.independents,
+                              cfg.spec.dependents, driver::AdjointMode::Serial,
+                              /*omitTapeFreePrimalSweep=*/true);
+    const double serialBase = simulatedAdjointSeconds(
+        *serialRes.adjoint, serialRes.adjointParams, cfg.bind, costs, 0);
+
+    std::cout << cfg.name << " (adjoint speedup vs. serial adjoint, "
+              << costs.maxCores << "T simulated):\n";
+    driver::Table t({"budget", "whole-var atomic", "hybrid", "shared sites",
+                     "atomic sites", "local-accum sites"});
+    for (long long budget : hybridBudgets) {
+      driver::DriverOptions d;
+      d.analysisThreads = 1;
+      d.fastpath = smt::FastPathMode::Off;
+      d.solverStepBudget = budget;
+      d.omitTapeFreePrimalSweep = true;
+
+      d.mode = driver::AdjointMode::FormAD;
+      auto wholeRes = driver::differentiate(*kernel, cfg.spec.independents,
+                                            cfg.spec.dependents, d);
+      d.mode = driver::AdjointMode::Hybrid;
+      auto hybridRes = driver::differentiate(*kernel, cfg.spec.independents,
+                                             cfg.spec.dependents, d);
+
+      const double wholeSpeedup =
+          serialBase / simulatedAdjointSeconds(*wholeRes.adjoint,
+                                               wholeRes.adjointParams,
+                                               cfg.bind, costs, costs.maxCores);
+      const double hybridSpeedup =
+          serialBase /
+          simulatedAdjointSeconds(*hybridRes.adjoint, hybridRes.adjointParams,
+                                  cfg.bind, costs, costs.maxCores);
+      const GuardMix mix = guardMixOf(hybridRes.loopReports);
+
+      t.addRow({budget == 0 ? "unlimited" : std::to_string(budget),
+                driver::fmtSpeedup(wholeSpeedup),
+                driver::fmtSpeedup(hybridSpeedup),
+                std::to_string(mix.shared), std::to_string(mix.atomic),
+                std::to_string(mix.localAccumulate)});
+      // The starved points are where site granularity must pay off: the
+      // acceptance bar is *strictly* more recovered speedup than the
+      // whole-variable fallback. At unlimited budget both modes emit the
+      // same ungated adjoint, so only >= is required there.
+      if (budget == 1 && hybridSpeedup <= wholeSpeedup) hybridRecovers = false;
+      if (hybridSpeedup < wholeSpeedup - 1e-12) hybridDominates = false;
+
+      bench::Json row = bench::Json::object();
+      row.set("config", bench::Json::str(cfg.name));
+      row.set("budget", bench::Json::integer(budget));
+      row.set("unlimited", bench::Json::boolean(budget == 0));
+      row.set("whole_var_atomic_speedup", bench::Json::num(wholeSpeedup));
+      row.set("hybrid_speedup", bench::Json::num(hybridSpeedup));
+      row.set("hybrid_shared_sites", bench::Json::integer(mix.shared));
+      row.set("hybrid_atomic_sites", bench::Json::integer(mix.atomic));
+      row.set("hybrid_local_accumulate_sites",
+              bench::Json::integer(mix.localAccumulate));
+      hybridRows.push(std::move(row));
+    }
+    std::cout << t.str() << "\n";
+  }
+
+  // The hybrid report (per-site verdict lines included) must be
+  // byte-identical at any analysis thread count, like every other report.
+  bool hybridReportDeterministic = true;
+  {
+    const auto& cfg = hybridConfigs.front();
+    auto kernel = parser::parseKernel(cfg.spec.source);
+    driver::DriverOptions d;
+    d.mode = driver::AdjointMode::Hybrid;
+    d.fastpath = smt::FastPathMode::Off;
+    d.solverStepBudget = 1;
+    std::string reference;
+    for (int threads : {1, 2, 4, 8}) {
+      d.analysisThreads = threads;
+      auto a = driver::analyze(*kernel, cfg.spec.independents,
+                               cfg.spec.dependents, d);
+      std::string report = core::describe(a, /*includeTiming=*/false);
+      if (reference.empty()) reference = report;
+      else if (report != reference) hybridReportDeterministic = false;
+    }
+    std::cout << cfg.name
+              << " hybrid report @ 1/2/4/8 analysis threads: "
+              << (hybridReportDeterministic ? "byte-identical\n"
+                                            : "MISMATCH (determinism bug)\n");
+  }
+
   bench::Json body = bench::Json::object();
   body.set("smoke", bench::Json::boolean(smoke));
   body.set("budget_sweep", std::move(sweepRows));
@@ -167,11 +351,26 @@ int main(int argc, char** argv) {
   body.set("budgeted_verdicts_thread_deterministic",
            bench::Json::boolean(deterministic));
   body.set("determinism_check", std::move(determinism));
+  body.set("hybrid_ablation", std::move(hybridRows));
+  body.set("hybrid_recovers_more_than_whole_var_atomic",
+           bench::Json::boolean(hybridRecovers));
+  body.set("hybrid_never_below_whole_var",
+           bench::Json::boolean(hybridDominates));
+  body.set("hybrid_report_thread_deterministic",
+           bench::Json::boolean(hybridReportDeterministic));
   bench::writeBenchFile("governance", body);
 
   if (!monotone)
     std::cout << "NOTE: safe-variable count dropped as the budget grew\n";
   if (!deterministic)
     std::cout << "NOTE: budgeted verdicts differed across thread counts\n";
-  return monotone && deterministic ? 0 : 1;
+  if (!hybridRecovers)
+    std::cout << "NOTE: hybrid failed to beat whole-variable atomic when "
+                 "starved\n";
+  if (!hybridReportDeterministic)
+    std::cout << "NOTE: hybrid reports differed across analysis threads\n";
+  return monotone && deterministic && hybridRecovers && hybridDominates &&
+                 hybridReportDeterministic
+             ? 0
+             : 1;
 }

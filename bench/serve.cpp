@@ -42,6 +42,7 @@
 #include "server/json.h"
 #include "server/server.h"
 #include "support/diagnostics.h"
+#include "support/percentile.h"
 
 using namespace formad;
 
@@ -139,16 +140,7 @@ void appendRound(std::vector<WorkItem>& out, int round, bool smoke) {
   add(statsFrame(++id), "stats");
 }
 
-double percentileOf(const std::vector<double>& xs, double p) {
-  if (xs.empty()) return 0;
-  std::vector<double> sorted = xs;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
-}
+using support::percentileOf;
 
 struct PhaseStats {
   double wallSeconds = 0;

@@ -93,8 +93,13 @@ std::vector<std::string> splitCommas(const std::string& s) {
 int usage() {
   std::cerr
       << "usage: formad_cli <file> -head <kernel> -indep a,b -dep c\n"
-         "                  [-mode formad|atomic|reduction|serial|plain|"
-         "tangent]\n"
+         "                  [-mode formad|hybrid|atomic|reduction|serial|"
+         "plain|tangent]\n"
+         "                  [-safeguard formad|hybrid|atomic|reduction]\n"
+         "                      (safeguard strategy — alias of the matching "
+         "-mode;\n"
+         "                       hybrid guards residual unproven increments "
+         "per access site)\n"
          "                  [-engine bytecode|treewalk] [-disasm]\n"
          "                  [-analyze-only]\n"
          "                  [-racecheck] [-racecheck-only]\n"
@@ -202,6 +207,17 @@ int main(int argc, char** argv) {
     else if (arg == "-indep") indeps = splitCommas(next());
     else if (arg == "-dep") deps = splitCommas(next());
     else if (arg == "-mode") mode = next();
+    else if (arg == "-safeguard") {
+      // Safeguard-strategy spelling of the mode knob (restricted to the
+      // strategies that actually guard adjoints).
+      mode = next();
+      if (mode != "formad" && mode != "hybrid" && mode != "atomic" &&
+          mode != "reduction") {
+        std::cerr << "bad -safeguard value '" << mode
+                  << "' (expected formad, hybrid, atomic, or reduction)\n";
+        return 2;
+      }
+    }
     else if (arg == "-engine") engine = next();
     else if (arg == "-disasm") disasm = true;
     else if (arg == "-analyze-only") analyzeOnly = true;
@@ -337,6 +353,9 @@ int main(int argc, char** argv) {
     }
 
     driver::DriverOptions analyzeOpts;
+    // Hybrid analyzes with per-site verdicts so the report shows which
+    // access sites stay shared and which need a residual guard.
+    if (mode == "hybrid") analyzeOpts.mode = driver::AdjointMode::Hybrid;
     analyzeOpts.analysisThreads = analysisThreads;
     analyzeOpts.fastpath = fastpath;
     analyzeOpts.absint = absintFlag;
@@ -355,6 +374,7 @@ int main(int argc, char** argv) {
 
     driver::DriverOptions dopts;
     if (mode == "formad") dopts.mode = driver::AdjointMode::FormAD;
+    else if (mode == "hybrid") dopts.mode = driver::AdjointMode::Hybrid;
     else if (mode == "atomic") dopts.mode = driver::AdjointMode::Atomic;
     else if (mode == "reduction") dopts.mode = driver::AdjointMode::Reduction;
     else if (mode == "serial") dopts.mode = driver::AdjointMode::Serial;
@@ -372,6 +392,28 @@ int main(int argc, char** argv) {
     auto dr = driver::differentiate(primal, indeps, deps, dopts);
     if (racecheckFlag) std::cerr << dr.raceReport.describe();
     for (const auto& w : dr.warnings) std::cerr << "warning: " << w << "\n";
+    // Hybrid surfaces the builder's per-increment choice (stable format;
+    // absent in every other mode, keeping their output byte-identical).
+    if (dopts.mode == driver::AdjointMode::Hybrid) {
+      auto guardName = [](ir::Guard g) {
+        switch (g) {
+          case ir::Guard::None: return "shared";
+          case ir::Guard::Atomic: return "atomic";
+          case ir::Guard::Reduction: return "local-accumulate";
+        }
+        return "?";
+      };
+      for (const auto& rep : dr.loopReports) {
+        if (rep.siteDecisions.empty()) continue;
+        std::cerr << "hybrid safeguards (region counter '"
+                  << rep.primalLoop->var << "'):\n";
+        for (const auto& d : rep.siteDecisions)
+          std::cerr << "  " << d.primalVar << " increment from "
+                    << (d.site != nullptr ? ir::printExpr(*d.site)
+                                          : std::string("<no provenance>"))
+                    << ": " << guardName(d.guard) << "\n";
+      }
+    }
     std::cout << (emitC ? codegen::emitC(*dr.adjoint)
                         : ir::printKernel(*dr.adjoint));
     if (disasm) disassemble(*dr.adjoint);

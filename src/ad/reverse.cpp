@@ -139,6 +139,9 @@ class AdjointBuilder {
   bool inParallel_ = false;
   int tempCounter_ = 0;
   std::vector<LoopGuardReport> reports_;
+  /// Generated adjoint increment -> primal occurrence it differentiates
+  /// (feeds the per-site safeguard policy).
+  std::map<const Stmt*, const Expr*> siteOfIncrement_;
 
   // ----- naming -----
 
@@ -267,8 +270,13 @@ class AdjointBuilder {
       ExprPtr partial =
           makeAvailable(partialWrtOccurrence(rhs, occ), Scalar::Real, taped);
       ExprPtr adjRef = adjointRefFor(*occ, taped);
-      out.push_back(
-          b::increment(std::move(adjRef), sMul(seed(), std::move(partial))));
+      StmtPtr inc =
+          b::increment(std::move(adjRef), sMul(seed(), std::move(partial)));
+      // Provenance for the per-site safeguard: which primal occurrence
+      // this increment differentiates. Statements are moved (never cloned)
+      // into the reverse loop, so applyGuards sees the same addresses.
+      siteOfIncrement_.emplace(inc.get(), occ);
+      out.push_back(std::move(inc));
     }
     return out;
   }
@@ -597,8 +605,17 @@ class AdjointBuilder {
       if (declared.count(lhsName) > 0) return;  // private adjoint: race-free
       if (revLoop.var == lhsName) return;
       Guard g = Guard::None;
-      if (!opts_.serialize && opts_.guardPolicy)
-        g = opts_.guardPolicy(primalLoop, it->second);
+      if (!opts_.serialize) {
+        if (opts_.siteGuardPolicy) {
+          auto st = siteOfIncrement_.find(&s);
+          const Expr* site =
+              st == siteOfIncrement_.end() ? nullptr : st->second;
+          g = opts_.siteGuardPolicy(primalLoop, it->second, site);
+          rep.siteDecisions.push_back({it->second, site, g});
+        } else if (opts_.guardPolicy) {
+          g = opts_.guardPolicy(primalLoop, it->second);
+        }
+      }
       a.guard = g;
       rep.decisions[it->second] = g;
       if (g == Guard::Reduction && reduced.insert(lhsName).second)

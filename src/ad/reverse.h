@@ -37,6 +37,17 @@ namespace formad::ad {
 using GuardPolicy = std::function<ir::Guard(const ir::For& primalLoop,
                                             const std::string& primalVar)>;
 
+/// Per-site refinement of GuardPolicy (hybrid safeguard): decides the
+/// safeguard for ONE adjoint increment, identified by the primal
+/// occurrence (the read reference in the primal kernel) it differentiates
+/// — the same node the analysis exports in SiteVerdict::site, so pointer
+/// equality connects the two. `site` is null when the increment has no
+/// recorded provenance; the policy must then answer conservatively for the
+/// whole variable. When set, this takes precedence over guardPolicy.
+using SiteGuardPolicy = std::function<ir::Guard(const ir::For& primalLoop,
+                                                const std::string& primalVar,
+                                                const ir::Expr* site)>;
+
 struct ReverseOptions {
   std::vector<std::string> independents;
   std::vector<std::string> dependents;
@@ -45,6 +56,9 @@ struct ReverseOptions {
   /// Decides the safeguard for each adjoint increment to a shared variable;
   /// null means Guard::None everywhere (plain shared).
   GuardPolicy guardPolicy;
+  /// Per-increment override of guardPolicy (hybrid safeguard). Null = use
+  /// guardPolicy for every increment of a variable.
+  SiteGuardPolicy siteGuardPolicy;
   /// Name of the generated kernel; default "<primal>_b".
   std::string name;
   /// Drop the forward sweep entirely when it pushes nothing to the tape
@@ -58,7 +72,20 @@ struct ReverseOptions {
 struct LoopGuardReport {
   const ir::For* primalLoop = nullptr;
   /// primal variable name -> safeguard applied to its adjoint increments.
+  /// Under a SiteGuardPolicy increments of one variable can differ; this
+  /// map then records the last decision and siteDecisions holds them all.
   std::map<std::string, ir::Guard> decisions;
+
+  /// One per-increment decision made under a SiteGuardPolicy (empty under
+  /// a plain GuardPolicy, so existing reports are unchanged).
+  struct SiteDecision {
+    std::string primalVar;
+    /// Primal occurrence the increment differentiates; null when the
+    /// increment carried no provenance.
+    const ir::Expr* site = nullptr;
+    ir::Guard guard = ir::Guard::None;
+  };
+  std::vector<SiteDecision> siteDecisions;
 };
 
 struct ReverseResult {

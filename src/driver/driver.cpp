@@ -95,6 +95,7 @@ std::string to_string(AdjointMode mode) {
     case AdjointMode::Atomic: return "atomic";
     case AdjointMode::Reduction: return "reduction";
     case AdjointMode::FormAD: return "formad";
+    case AdjointMode::Hybrid: return "hybrid";
     case AdjointMode::Plain: return "plain";
   }
   return "?";
@@ -186,7 +187,8 @@ DifferentiateResult differentiate(const Kernel& primal,
         return Guard::Reduction;
       };
       break;
-    case AdjointMode::FormAD: {
+    case AdjointMode::FormAD:
+    case AdjointMode::Hybrid: {
       core::AnalyzeOptions aopts;
       aopts.exploit.threads = analysisThreads;
       aopts.exploit.pool = poolPtr;
@@ -195,11 +197,13 @@ DifferentiateResult differentiate(const Kernel& primal,
       aopts.exploit.deadlineMs = dopts.analysisDeadlineMs;
       aopts.exploit.faultInject = fault;
       aopts.exploit.store = store;
+      // Hybrid consumes per-(var, access-site) verdicts, so replay must
+      // answer every pair instead of taking the per-variable early exit.
+      aopts.exploit.siteVerdicts = dopts.mode == AdjointMode::Hybrid;
       aopts.model.absint = dopts.absint;
       aopts.model.paramValues = dopts.racecheck.paramValues;
       result.analysis =
           core::analyzeKernel(primal, independents, dependents, aopts);
-    }
       // Satisfiability safeguard: contradictory knowledge means the primal
       // itself is racy; an adjoint generated from it would inherit the bug.
       for (const auto& r : result.analysis.regions)
@@ -207,7 +211,9 @@ DifferentiateResult differentiate(const Kernel& primal,
           fail("refusing to differentiate '" + primal.name + "': " +
                r.knowledgeContradiction);
       // Graceful degradation is never silent: a budget or deadline that
-      // forced atomics gets a warning (the adjoint is correct either way).
+      // forced safeguards gets a warning (the adjoint is correct either
+      // way). Hybrid keeps the blast radius per site; classic FormAD keeps
+      // whole variables atomic.
       if (result.analysis.budgetExhaustedChecks() > 0 ||
           result.analysis.degradedPairs() > 0)
         result.warnings.push_back(
@@ -216,9 +222,15 @@ DifferentiateResult differentiate(const Kernel& primal,
             std::to_string(result.analysis.budgetExhaustedChecks()) +
             " budget-exhausted check(s), " +
             std::to_string(result.analysis.degradedPairs()) +
-            " pair(s) kept atomic conservatively");
-      opts.guardPolicy = core::formadPolicy(result.analysis);
+            (dopts.mode == AdjointMode::Hybrid
+                 ? " pair(s) guarded selectively (hybrid safeguard)"
+                 : " pair(s) kept atomic conservatively"));
+      if (dopts.mode == AdjointMode::Hybrid)
+        opts.siteGuardPolicy = core::hybridPolicy(result.analysis);
+      else
+        opts.guardPolicy = core::formadPolicy(result.analysis);
       break;
+    }
     case AdjointMode::Plain:
       break;  // null policy: everything plainly shared
   }
@@ -272,6 +284,9 @@ core::KernelAnalysis analyze(const Kernel& primal,
   aopts.exploit.fastpath = opts.fastpath;
   aopts.exploit.solverSteps = opts.solverStepBudget;
   aopts.exploit.deadlineMs = opts.analysisDeadlineMs;
+  // Analyze-only callers opt into per-site verdicts via the mode knob (the
+  // serving daemon's "safeguard": "hybrid" request option lands here).
+  aopts.exploit.siteVerdicts = opts.mode == AdjointMode::Hybrid;
   smt::FaultInject* fault =
       opts.faultInject != nullptr ? opts.faultInject : envFaultInjection();
   aopts.exploit.faultInject = fault;

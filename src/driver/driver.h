@@ -15,7 +15,12 @@
 
 namespace formad::driver {
 
-enum class AdjointMode { Serial, Atomic, Reduction, FormAD, Plain };
+/// The paper's four program versions plus Plain (no safeguards, testing
+/// only) and Hybrid (FormAD verdicts consumed per access site: proven
+/// sites stay plainly shared even inside unsafe variables; only residual
+/// unproven increments are guarded, atomically or via thread-local
+/// accumulation buffers, whichever the cost model predicts cheaper).
+enum class AdjointMode { Serial, Atomic, Reduction, FormAD, Hybrid, Plain };
 
 [[nodiscard]] std::string to_string(AdjointMode mode);
 
@@ -166,8 +171,10 @@ struct DifferentiateResult {
     const std::vector<std::string>& dependents);
 
 /// Full-options analyze: honors analysisThreads, fastpath,
-/// solverStepBudget, analysisDeadlineMs, and faultInject (mode and the
-/// race-check fields are ignored — this runs the FormAD analysis only).
+/// solverStepBudget, analysisDeadlineMs, and faultInject (the race-check
+/// fields are ignored — this runs the FormAD analysis only). `mode ==
+/// Hybrid` additionally exports per-(var, access-site) verdicts
+/// (ExploitOptions::siteVerdicts); every other mode analyzes classically.
 [[nodiscard]] core::KernelAnalysis analyze(
     const ir::Kernel& primal, const std::vector<std::string>& independents,
     const std::vector<std::string>& dependents, const DriverOptions& opts);

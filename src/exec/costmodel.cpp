@@ -58,4 +58,24 @@ double serialTime(const RunProfile& rp, const CostParams& p) {
   return time;
 }
 
+double atomicIncrementCost(const CostParams& p, int threads) {
+  return p.atomicOp *
+         (1.0 + p.atomicContention * (threads > 1 ? threads - 1 : 0));
+}
+
+double shadowElementCost(const CostParams& p, int threads) {
+  // One real element: 8 bytes zero-initialized per thread (in parallel, so
+  // one element's worth of wall time) plus 8 bytes merged per thread copy,
+  // serialized.
+  return 8.0 * p.shadowInitByte +
+         8.0 * p.shadowMergeByte * static_cast<double>(threads);
+}
+
+ir::Guard cheaperHybridGuard(const CostParams& p, double incrementsPerElement,
+                             int threads) {
+  const double atomic = incrementsPerElement * atomicIncrementCost(p, threads);
+  return atomic > shadowElementCost(p, threads) ? ir::Guard::Reduction
+                                                : ir::Guard::Atomic;
+}
+
 }  // namespace formad::exec

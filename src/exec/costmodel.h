@@ -61,4 +61,26 @@ struct CostParams {
 /// Simulated wall time with every loop serialized (threads ignored).
 [[nodiscard]] double serialTime(const RunProfile& rp, const CostParams& p);
 
+// ----- Residual-safeguard cost rows for the hybrid mode (DESIGN §13) -----
+
+/// Predicted cost of one atomically guarded adjoint increment at `threads`
+/// (base latency plus the contention slope of the calibrated model).
+[[nodiscard]] double atomicIncrementCost(const CostParams& p, int threads);
+
+/// Predicted per-element overhead of routing increments into a
+/// thread-local accumulation buffer merged after the parallel region:
+/// zero-init (parallel, per-thread traffic) plus the merge, which is
+/// effectively serialized across the `threads` shadow copies.
+[[nodiscard]] double shadowElementCost(const CostParams& p, int threads);
+
+/// Picks the cheaper residual safeguard for one unproven increment site.
+/// `incrementsPerElement` estimates how many guarded increments land on
+/// each element of the would-be privatized array: ~1 for dense
+/// counter-indexed sweeps (shadow init/merge amortizes, Reduction wins),
+/// << 1 for indirect gathers over a large array (per-increment atomics
+/// beat touching every element, Atomic wins).
+[[nodiscard]] ir::Guard cheaperHybridGuard(const CostParams& p,
+                                           double incrementsPerElement,
+                                           int threads);
+
 }  // namespace formad::exec

@@ -1,9 +1,11 @@
 #include "formad/formad.h"
 
+#include <set>
 #include <sstream>
 
 #include "analysis/activity.h"
 #include "analysis/symbols.h"
+#include "ir/printer.h"
 #include "ir/traversal.h"
 
 namespace formad::core {
@@ -175,6 +177,74 @@ ad::GuardPolicy formadPolicy(const KernelAnalysis& analysis) {
   };
 }
 
+namespace {
+
+/// Expected guarded increments per element of the would-be privatized
+/// array. Counter-indexed sweeps touch each element about once (dense);
+/// an indirect index (an array read inside the subscript) scatters few
+/// increments over an arbitrarily large array, modeled as the calibrated
+/// sparse density 1/64.
+double siteDensityEstimate(const Expr& site) {
+  if (site.kind() != ExprKind::ArrayRef) return 1.0;  // scalar: one element
+  double density = 1.0;
+  for (const auto& idx : site.as<ArrayRef>().indices)
+    forEachExpr(*idx, [&](const Expr& x) {
+      if (x.kind() == ExprKind::ArrayRef) density = 1.0 / 64.0;
+    });
+  return density;
+}
+
+}  // namespace
+
+ad::SiteGuardPolicy hybridPolicy(const KernelAnalysis& analysis,
+                                 const exec::CostParams& costs) {
+  struct VarPlan {
+    bool safe = false;
+    /// An unproven pair without site provenance forces the classic
+    /// whole-variable fallback.
+    bool wholeVar = false;
+    std::set<const Expr*> unsafeSites;
+  };
+  // The policy callback outlives this function; copy the verdict data.
+  std::map<const For*, std::map<std::string, VarPlan>> plans;
+  for (const auto& r : analysis.regions) {
+    auto& m = plans[r.loop];
+    for (const auto& v : r.vars) {
+      VarPlan p;
+      p.safe = v.safe;
+      p.wholeVar = !v.safe && (v.sitelessUnsafe || v.sites.empty());
+      for (const auto& sv : v.sites)
+        if (!sv.safe) p.unsafeSites.insert(sv.site);
+      m.emplace(v.var, std::move(p));
+    }
+  }
+  return [plans = std::move(plans), costs](const For& loop,
+                                           const std::string& var,
+                                           const Expr* site) {
+    auto it = plans.find(&loop);
+    if (it == plans.end()) return Guard::Atomic;  // unanalyzed loop
+    auto vit = it->second.find(var);
+    if (vit == it->second.end()) return Guard::Atomic;  // unknown variable
+    const VarPlan& p = vit->second;
+    if (p.safe) return Guard::None;
+    // Whole-variable degradation (no provenance to refine on): shared
+    // scalars take the classic OpenMP reduction (one element, trivial
+    // merge); arrays fall back to atomics like AdjointMode::Atomic.
+    if (p.wholeVar || site == nullptr) {
+      const bool scalar =
+          site != nullptr && site->kind() != ExprKind::ArrayRef;
+      return scalar ? Guard::Reduction : Guard::Atomic;
+    }
+    if (p.unsafeSites.count(site) == 0)
+      return Guard::None;  // every pair of this site proved disjoint
+    // Residual unproven increment: per-site choice via the cost model,
+    // evaluated at the model's core count (deterministic — no runtime
+    // thread count leaks into the generated code).
+    return exec::cheaperHybridGuard(costs, siteDensityEstimate(*site),
+                                    costs.maxCores);
+  };
+}
+
 std::string describe(const KernelAnalysis& analysis) {
   return describe(analysis, /*includeTiming=*/true);
 }
@@ -208,6 +278,22 @@ std::string describe(const KernelAnalysis& analysis, bool includeTiming) {
       if (!v.safe && !v.unsafeReason.empty())
         os << " [" << v.unsafeReason << "]";
       os << "\n";
+      // Per-site lines exist only under ExploitOptions::siteVerdicts (the
+      // hybrid safeguard), so default reports stay byte-identical.
+      if (!v.safe && v.sitelessUnsafe && !v.sites.empty())
+        os << "    site policy: whole-variable fallback (unproven pair "
+              "without site provenance)\n";
+      if (!v.safe && !v.sitelessUnsafe) {
+        for (const auto& sv : v.sites) {
+          os << "    site " << ir::printExpr(*sv.site) << ": "
+             << (sv.safe ? "SAFE (shared)" : "UNSAFE (guard residual)");
+          if (!sv.safe && !sv.firstUnsafePair.empty())
+            os << " — offending pair: " << sv.firstUnsafePair;
+          if (!sv.safe && !sv.unsafeReason.empty())
+            os << " [" << sv.unsafeReason << "]";
+          os << "\n";
+        }
+      }
     }
   }
   return os.str();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ad/reverse.h"
+#include "exec/costmodel.h"
 #include "formad/exploit.h"
 #include "ir/kernel.h"
 
@@ -71,6 +72,20 @@ struct KernelAnalysis {
 /// Guard policy implementing the paper's FormAD program version: proven
 /// variables stay plainly shared, everything else falls back to atomics.
 [[nodiscard]] ad::GuardPolicy formadPolicy(const KernelAnalysis& analysis);
+
+/// Per-site guard policy implementing the hybrid safeguard (requires an
+/// analysis run with ExploitOptions::siteVerdicts): increments whose every
+/// question pair was proven disjoint stay plainly shared even when the
+/// variable as a whole is unsafe; only the residual unproven increments
+/// are guarded — atomically, or routed into thread-local accumulation
+/// buffers merged after the region, whichever the calibrated cost model
+/// predicts cheaper for the site's access pattern. Unproven pairs without
+/// site provenance (the shared-scalar pseudo-question, cancelled or
+/// contradictory regions) degrade the whole variable, exactly like the
+/// classic fallback, so the hybrid adjoint is never less guarded than the
+/// soundness envelope of AdjointMode::Atomic.
+[[nodiscard]] ad::SiteGuardPolicy hybridPolicy(
+    const KernelAnalysis& analysis, const exec::CostParams& costs = {});
 
 /// Human-readable per-region report (verdicts + statistics). With
 /// includeTiming=false the wall-clock field is omitted, making the report a

@@ -251,18 +251,36 @@ RegionModel buildRegionModel(const Kernel& kernel, const For& loop,
 
     VarQuestions vq;
     vq.var = array;
-    std::set<std::string> pairKeys;
+    std::map<std::string, size_t> pairIndexByKey;
     auto addPair = [&](const LoweredAccess& w, const LoweredAccess& x) {
       int ctx = m.contexts.commonRoot(w.context, x.context);
       std::string key = w.offsetPrimed.key() + " # " + x.offset.key() +
                         " @ " + std::to_string(ctx);
-      if (!pairKeys.insert(key).second) return;
+      // Site provenance accumulates across duplicates: several primal
+      // references can share one offset key, and a verdict for the pair
+      // must reach every one of them (hybrid safeguard).
+      auto attachSites = [&](QuestionPair& qp) {
+        for (const ir::Expr* site :
+             {static_cast<const ir::Expr*>(w.acc->ref),
+              static_cast<const ir::Expr*>(x.acc->ref)}) {
+          if (std::find(qp.sites.begin(), qp.sites.end(), site) ==
+              qp.sites.end())
+            qp.sites.push_back(site);
+        }
+      };
+      auto it = pairIndexByKey.find(key);
+      if (it != pairIndexByKey.end()) {
+        attachSites(vq.pairs[it->second]);
+        return;
+      }
       QuestionPair qp;
       qp.primedWrite = w.offsetPrimed;
       qp.other = x.offset;
       qp.primedDims = w.dimsPrimed;
       qp.otherDims = x.dims;
       qp.context = ctx;
+      attachSites(qp);
+      pairIndexByKey.emplace(std::move(key), vq.pairs.size());
       vq.pairs.push_back(std::move(qp));
     };
     for (const auto* w : adjWrites) {

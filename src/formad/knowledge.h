@@ -54,6 +54,11 @@ struct QuestionPair {
   std::vector<smt::LinExpr> primedDims;
   std::vector<smt::LinExpr> otherDims;
   int context = 0;  // common root of the two primal reference contexts
+  /// Primal reference nodes whose adjoint accesses this pair constrains
+  /// (both sides, accumulated across offset-key-deduplicated duplicates;
+  /// empty for the scalar pseudo-question, which has no array reference).
+  /// The hybrid safeguard keys its per-site verdicts on these pointers.
+  std::vector<const ir::Expr*> sites;
 };
 
 /// Adjoint access pattern of one shared variable in one region.

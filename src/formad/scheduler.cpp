@@ -325,6 +325,20 @@ RegionVerdict QueryScheduler::replay(
     VarVerdict vv;
     vv.var = vq.var;
     vv.safe = true;
+    if (opts_.siteVerdicts) {
+      // Seed one (initially safe) verdict per distinct primal site, in
+      // first-appearance order over the variable's pairs — a pure function
+      // of the model, so the export is width-independent like everything
+      // else replay produces.
+      std::set<const ir::Expr*> seen;
+      for (const auto& p : vq.pairs)
+        for (const ir::Expr* site : p.sites)
+          if (seen.insert(site).second) {
+            SiteVerdict sv;
+            sv.site = site;
+            vv.sites.push_back(std::move(sv));
+          }
+    }
     verdict.vars.push_back(std::move(vv));
   }
 
@@ -406,13 +420,22 @@ RegionVerdict QueryScheduler::replay(
             step.array +
             "': the primal parallel loop has a data race (or the extracted "
             "model is inconsistent)";
-        for (auto& v : verdict.vars) v.safe = false;
+        for (auto& v : verdict.vars) {
+          v.safe = false;
+          // Site verdicts below a contradiction would be vacuous — force
+          // the whole-variable fallback on every variable.
+          v.sitelessUnsafe = true;
+          for (auto& sv : v.sites) sv.safe = false;
+        }
         break;
       }
       continue;
     }
     VarVerdict& vv = verdict.vars[step.varIndex];
-    if (!vv.safe) continue;  // early exit per variable (paper Sec. 7.5)
+    // Early exit per variable (paper Sec. 7.5). Site-verdict mode keeps
+    // going: every pair must be answered so proven-disjoint sites of an
+    // unsafe variable can stay plainly shared under the hybrid safeguard.
+    if (!vv.safe && !opts_.siteVerdicts) continue;
     ++vv.pairsTested;
     PairOutcome outcome;
     auto cached = pairVerdicts.find(step.pairKey);
@@ -442,10 +465,24 @@ RegionVerdict QueryScheduler::replay(
       pairVerdicts.emplace(step.pairKey, outcome);
     }
     if (!outcome.safe) {
-      vv.safe = false;
-      vv.unsafeReason = outcome.reason;
-      vv.firstUnsafePair = model_.atoms->render(step.pair->primedWrite) +
-                           " == " + model_.atoms->render(step.pair->other);
+      if (vv.safe) {
+        vv.safe = false;
+        vv.unsafeReason = outcome.reason;
+        vv.firstUnsafePair = model_.atoms->render(step.pair->primedWrite) +
+                             " == " + model_.atoms->render(step.pair->other);
+      }
+      if (opts_.siteVerdicts) {
+        if (step.pair->sites.empty()) vv.sitelessUnsafe = true;
+        for (const ir::Expr* site : step.pair->sites)
+          for (auto& sv : vv.sites)
+            if (sv.site == site && sv.safe) {
+              sv.safe = false;
+              sv.unsafeReason = outcome.reason;
+              sv.firstUnsafePair =
+                  model_.atoms->render(step.pair->primedWrite) + " == " +
+                  model_.atoms->render(step.pair->other);
+            }
+      }
     }
   }
   return verdict;

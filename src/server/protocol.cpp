@@ -103,6 +103,11 @@ RequestOptions parseOptions(const JsonValue& v) {
       if (val.kind() != JsonValue::Kind::Bool)
         badRequest("options.absint must be a boolean");
       o.absint = val.asBool();
+    } else if (key == "safeguard") {
+      const std::string s = requireString(val, "options.safeguard");
+      if (s == "formad") o.hybridSafeguard = false;
+      else if (s == "hybrid") o.hybridSafeguard = true;
+      else badRequest("options.safeguard must be formad or hybrid");
     } else if (key == "solver_budget") {
       o.solverStepBudget = requireInt(val, "options.solver_budget", -1,
                                       std::numeric_limits<long long>::max());

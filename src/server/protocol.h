@@ -20,6 +20,9 @@
 //      "priority": "high"|"normal"|"low",  // shared-pool class
 //      "fastpath": "off"|"syntactic"|"full",
 //      "absint": true|false,
+//      "safeguard": "formad"|"hybrid",  // analyze: hybrid adds
+//                               // per-(var, access-site) verdict lines
+//                               // to the report (default formad)
 //      "solver_budget": N,      // 0 = daemon default; -1 = unlimited
 //      "deadline_ms": N,        // 0 = daemon default; -1 = none
 //      "pins": {"n": 20, ...},
@@ -90,6 +93,10 @@ struct RequestOptions {
   smt::FastPathMode fastpath = smt::FastPathMode::Full;
   bool fastpathSet = false;
   bool absint = false;
+  /// Analyze with the hybrid safeguard's per-(var, access-site) verdicts
+  /// (ExploitOptions::siteVerdicts). Default (false) is the classic
+  /// whole-variable analysis, byte-identical to the pre-hybrid daemon.
+  bool hybridSafeguard = false;
   long long solverStepBudget = 0;
   int deadlineMs = 0;
   std::map<std::string, long long> pins;

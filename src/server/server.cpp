@@ -217,6 +217,9 @@ JsonValue AnalysisServer::handleAnalyze(const Request& req,
   driver::DriverOptions d;
   d.fastpath = o.fastpath;
   d.absint = o.absint;
+  // "safeguard": "hybrid" analyzes with per-(var, access-site) verdicts;
+  // the report gains site lines, default requests stay byte-identical.
+  if (o.hybridSafeguard) d.mode = driver::AdjointMode::Hybrid;
   d.solverStepBudget = effectiveBudget(o.solverStepBudget,
                                        opts_.defaultSolverBudget);
   d.analysisDeadlineMs = effectiveDeadline(o.deadlineMs,

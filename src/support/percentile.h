@@ -1,0 +1,27 @@
+// Percentiles over latency samples (the serving bench's p50/p95/p99).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace formad::support {
+
+/// The p-th percentile (p in [0, 100]) of `xs` by linear interpolation
+/// between closest ranks (the "linear" definition: rank = p/100 * (n-1)).
+/// Well-defined on degenerate inputs: an empty sample yields 0.0, a
+/// single sample its only value for every p; p is clamped into [0, 100],
+/// so an out-of-range request returns the min/max instead of reading out
+/// of bounds.
+[[nodiscard]] inline double percentileOf(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double rank =
+      clamped / 100.0 * (static_cast<double>(xs.size()) - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+}  // namespace formad::support

@@ -191,13 +191,33 @@ double finiteDifferenceError(const Harness& h, driver::AdjointMode mode,
 std::map<std::string, std::vector<double>> adjointGradients(
     const Harness& h, driver::AdjointMode mode, const ExecOptions& execOpts,
     unsigned seed) {
+  driver::DriverOptions dopts;
+  dopts.mode = mode;
+  return adjointGradients(h, dopts, execOpts, seed);
+}
+
+std::map<std::string, std::vector<double>> adjointGradients(
+    const Harness& h, const driver::DriverOptions& dopts,
+    const ExecOptions& execOpts, unsigned seed) {
   auto primal = h.parse();
-  auto dr =
-      driver::differentiate(*primal, h.spec.independents, h.spec.dependents, mode);
+  auto dr = driver::differentiate(*primal, h.spec.independents,
+                                  h.spec.dependents, dopts);
+  // A scalar primal (e.g. the shared sum `s`) gets a scalar adjoint.
+  auto scalarParam = [&](const std::string& name) {
+    for (const auto& p : primal->params)
+      if (p.name == name) return !p.type.isArray();
+    return false;
+  };
   Inputs aio;
   h.bind(aio);
   unsigned stream = seed * 104729 + 57;
   for (const auto& [p, pb] : dr.adjointParams) {
+    if (scalarParam(p)) {
+      aio.bindReal(pb, contains(h.spec.dependents, p)
+                           ? randomVector(1, stream++)[0]
+                           : 0.0);
+      continue;
+    }
     auto dims = dimsOf(aio, p);
     ArrayValue& a = aio.bindArray(pb, ArrayValue::reals(dims));
     if (contains(h.spec.dependents, p))
@@ -208,7 +228,8 @@ std::map<std::string, std::vector<double>> adjointGradients(
   EXPECT_TRUE(st.tapeDrained);
   std::map<std::string, std::vector<double>> out;
   for (const auto& [p, pb] : dr.adjointParams)
-    out[p] = aio.array(pb).realData();
+    out[p] = scalarParam(p) ? std::vector<double>{aio.real(pb)}
+                            : aio.array(pb).realData();
   return out;
 }
 

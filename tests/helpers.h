@@ -53,6 +53,13 @@ std::map<std::string, std::vector<double>> adjointGradients(
     const Harness& h, driver::AdjointMode mode,
     const exec::ExecOptions& execOpts, unsigned seed);
 
+/// Full-options variant: differentiates under `dopts` verbatim (mode,
+/// budget, fastpath, ...), for suites that exercise analysis governance —
+/// e.g. a budget-starved hybrid adjoint. Same seeding contract.
+std::map<std::string, std::vector<double>> adjointGradients(
+    const Harness& h, const driver::DriverOptions& dopts,
+    const exec::ExecOptions& execOpts, unsigned seed);
+
 // --- prebuilt harnesses for the paper's kernels ---
 Harness stencilHarness(int radius, long long n, unsigned seed);
 Harness gfmcHarness(bool fused, unsigned seed);

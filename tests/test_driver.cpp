@@ -278,7 +278,17 @@ TEST(FlagParsing, AcceptsWholeInRangeIntegers) {
 TEST(FlagParsing, RejectsTrailingGarbage) {
   EXPECT_THROW((void)support::parseIntFlag("-threads", "4x", 0, 64, "a count"),
                Error);
+  EXPECT_THROW((void)support::parseIntFlag("-threads", "8x", 0, 64, "a count"),
+               Error);
   EXPECT_THROW((void)support::parseIntFlag("-threads", "7 ", 0, 64, "a count"),
+               Error);
+  // Scientific notation and hex prefixes are not decimal integers, even
+  // though strtoll would happily consume their leading digits.
+  EXPECT_THROW((void)support::parseIntFlag("-budget", "1e3", 0, 10000,
+                                           "steps"),
+               Error);
+  EXPECT_THROW((void)support::parseIntFlag("-budget", "0x10", 0, 10000,
+                                           "steps"),
                Error);
 }
 
@@ -298,6 +308,21 @@ TEST(FlagParsing, RejectsOutOfRangeAndOverflow) {
   EXPECT_THROW((void)support::parseIntFlag("-budget", "99999999999999999999",
                                            0, INT64_MAX, "steps"),
                Error);
+  // Exactly one past the representable range in either direction: strtoll
+  // clamps and sets ERANGE, which must surface as a rejection rather than
+  // the silently saturated value — while the extremes themselves parse.
+  EXPECT_THROW((void)support::parseIntFlag("-bind", "9223372036854775808",
+                                           INT64_MIN, INT64_MAX, "an integer"),
+               Error);
+  EXPECT_THROW((void)support::parseIntFlag("-bind", "-9223372036854775809",
+                                           INT64_MIN, INT64_MAX, "an integer"),
+               Error);
+  EXPECT_EQ(support::parseIntFlag("-bind", "9223372036854775807", INT64_MIN,
+                                  INT64_MAX, "an integer"),
+            INT64_MAX);
+  EXPECT_EQ(support::parseIntFlag("-bind", "-9223372036854775808", INT64_MIN,
+                                  INT64_MAX, "an integer"),
+            INT64_MIN);
 }
 
 TEST(FlagParsing, ErrorMessageNamesFlagTextAndExpectation) {

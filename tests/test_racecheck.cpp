@@ -348,6 +348,48 @@ TEST(RaceOracle, EventCapIsCountedNotSilent) {
   EXPECT_NE(text.find(tail), std::string::npos) << text;
 }
 
+TEST(RaceOracle, DroppedCountsEveryEventBeyondTheCapExactly) {
+  // A shifted-write loop with a conflict count known in closed form:
+  // iteration i writes a[i] and a[i + 1], so iterations i-1 and i collide
+  // on exactly the n-2 interior elements — one write-write event each,
+  // nothing else. That makes the cap accounting checkable to the event:
+  // with C conflicts the log must hold min(C, 64) events and report
+  // dropped == max(0, C - 64), not an approximation.
+  auto conflicts = [](long long n) {
+    kernels::KernelSpec spec;
+    spec.name = "race_cap";
+    spec.source = R"(
+kernel race_cap(n: int in, x: real[] in, a: real[] out) {
+  parallel for i = 0 : n - 2 {
+    a[i] = x[i];
+    a[i + 1] = x[i] + 1.0;
+  }
+}
+)";
+    return oracle(spec, [n](exec::Inputs& io, kernels::Rng& rng) {
+      io.bindInt("n", n);
+      auto& x = io.bindArray("x", exec::ArrayValue::reals({n}));
+      kernels::fillUniform(x, rng, 0.0, 1.0);
+      io.bindArray("a", exec::ArrayValue::reals({n}));
+    });
+  };
+
+  // 98 conflicts: the cap fills exactly and the other 34 are all counted.
+  exec::RaceLog over = conflicts(100);
+  EXPECT_EQ(over.events.size(), 64u);
+  EXPECT_EQ(over.dropped, 34);
+
+  // 64 conflicts land exactly on the cap: nothing may be dropped.
+  exec::RaceLog atCap = conflicts(66);
+  EXPECT_EQ(atCap.events.size(), 64u);
+  EXPECT_EQ(atCap.dropped, 0);
+
+  // One past the cap drops exactly one.
+  exec::RaceLog justOver = conflicts(67);
+  EXPECT_EQ(justOver.events.size(), 64u);
+  EXPECT_EQ(justOver.dropped, 1);
+}
+
 // ------------------------------------------------ driver pre-flight gate
 
 TEST(RaceCheckDriver, RefusesToDifferentiateARacyPrimal) {

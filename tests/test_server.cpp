@@ -25,6 +25,7 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "support/diagnostics.h"
+#include "support/percentile.h"
 
 namespace {
 
@@ -669,6 +670,82 @@ TEST(ServerStats, ExposesPoolOccupancyAndFlightCounters) {
                 analyzeFrame(kernels::stencilSpec(1),
                              R"({"priority":"urgent"})")))),
             "bad_request");
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid safeguard over the wire.
+
+TEST(ServerProtocol, HybridSafeguardOptionAddsSiteVerdictLines) {
+  AnalysisServer daemon(ServeOptions{});
+  const kernels::KernelSpec spec = kernels::stencilSpec(2);
+
+  // Default analyses never render site lines (byte-locked report).
+  const std::string plain = stringField(
+      parse(daemon.process(analyzeFrame(
+          spec, R"({"fastpath":"off","solver_budget":2})"))),
+      "report");
+  EXPECT_EQ(plain.find("site "), std::string::npos);
+
+  // "safeguard": "formad" is the explicit spelling of the default.
+  const std::string formad = stringField(
+      parse(daemon.process(analyzeFrame(
+          spec,
+          R"({"fastpath":"off","solver_budget":2,"safeguard":"formad"})"))),
+      "report");
+  EXPECT_EQ(formad, plain);
+
+  // Hybrid + a starved budget: unproven residue surfaces per access site.
+  const std::string hybrid = stringField(
+      parse(daemon.process(analyzeFrame(
+          spec,
+          R"({"fastpath":"off","solver_budget":2,"safeguard":"hybrid"})"))),
+      "report");
+  EXPECT_NE(hybrid.find("site "), std::string::npos);
+  EXPECT_NE(hybrid.find("UNSAFE (guard residual)"), std::string::npos);
+
+  // Hybrid with an unlimited budget: everything proves, no residue, and
+  // the site lines are elided wherever the variable verdict is SAFE.
+  const std::string proven = stringField(
+      parse(daemon.process(
+          analyzeFrame(spec, R"({"safeguard":"hybrid"})"))),
+      "report");
+  EXPECT_NE(proven.find("SAFE"), std::string::npos);
+  EXPECT_EQ(proven.find("guard residual"), std::string::npos);
+
+  // Unknown safeguard values are schema violations, not silent defaults.
+  EXPECT_EQ(errorCodeOf(parse(daemon.process(
+                analyzeFrame(spec, R"({"safeguard":"atomic"})")))),
+            "bad_request");
+  EXPECT_EQ(errorCodeOf(parse(daemon.process(
+                analyzeFrame(spec, R"({"safeguard":7})")))),
+            "bad_request");
+}
+
+// ---------------------------------------------------------------------------
+// Latency percentiles (support/percentile.h, used by bench/serve).
+
+TEST(Percentile, DegenerateSamplesAreWellDefined) {
+  EXPECT_EQ(support::percentileOf({}, 99), 0.0);
+  for (double p : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(support::percentileOf({3.25}, p), 3.25);
+}
+
+TEST(Percentile, SmallSampleRankRounding) {
+  const std::vector<double> xs = {5, 1, 4, 2, 3};  // sorted: 1 2 3 4 5
+  EXPECT_DOUBLE_EQ(support::percentileOf(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(support::percentileOf(xs, 50), 3.0);
+  // p99 over n=5: rank = 0.99 * 4 = 3.96 interpolates between the two
+  // largest samples — NOT rounded up to the max.
+  EXPECT_DOUBLE_EQ(support::percentileOf(xs, 99), 4.96);
+  EXPECT_DOUBLE_EQ(support::percentileOf(xs, 100), 5.0);
+  // Two samples: p99 sits just below the max.
+  EXPECT_DOUBLE_EQ(support::percentileOf({10, 20}, 99), 19.9);
+}
+
+TEST(Percentile, OutOfRangeRequestsClampToExtremes) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(support::percentileOf(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(support::percentileOf(xs, 150), 5.0);
 }
 
 }  // namespace
